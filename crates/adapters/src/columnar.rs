@@ -1,0 +1,246 @@
+//! The columnar adapter: wraps a set of [`ColumnStore`] tables.
+//!
+//! Models a scan-oriented analytics engine: filters (accelerated by
+//! zone maps), projections and limits execute at the source, but
+//! joins, aggregates and sorts do not — the mediator must do those.
+//! Parameterized lookups are served as repeated equality scans, which
+//! zone maps keep cheap when the key column is clustered.
+
+use crate::request::{SourceAdapter, SourceRequest};
+use gis_catalog::CapabilityProfile;
+use gis_storage::{CmpOp, ColumnStore, ScanPredicate, TableStats};
+use gis_types::{Batch, GisError, Result, SchemaRef, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A scan-only analytics component system backed by column stores.
+pub struct ColumnarAdapter {
+    name: String,
+    tables: RwLock<BTreeMap<String, ColumnStore>>,
+}
+
+impl ColumnarAdapter {
+    /// An empty source named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ColumnarAdapter {
+            name: name.into(),
+            tables: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&self, store: ColumnStore) {
+        let key = store.name().to_ascii_lowercase();
+        self.tables.write().insert(key, store);
+    }
+
+    /// Appends rows to a table.
+    pub fn load(
+        &self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<usize> {
+        let mut tables = self.tables.write();
+        let store = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| self.no_table(table))?;
+        store.append_many(rows)
+    }
+
+    fn no_table(&self, table: &str) -> GisError {
+        GisError::Storage(format!(
+            "source '{}' has no table '{table}'",
+            self.name
+        ))
+    }
+}
+
+impl SourceAdapter for ColumnarAdapter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> &'static str {
+        "columnar"
+    }
+
+    fn capabilities(&self) -> CapabilityProfile {
+        CapabilityProfile::scan_only()
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<SchemaRef> {
+        let tables = self.tables.read();
+        tables
+            .get(&table.to_ascii_lowercase())
+            .map(|t| t.schema().clone())
+            .ok_or_else(|| self.no_table(table))
+    }
+
+    fn collect_stats(&self, table: &str) -> Result<TableStats> {
+        let mut tables = self.tables.write();
+        tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| self.no_table(table))?
+            .collect_stats()
+    }
+
+    fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>> {
+        request.check_capabilities(&self.capabilities())?;
+        let mut tables = self.tables.write();
+        let store = tables
+            .get_mut(&request.table().to_ascii_lowercase())
+            .ok_or_else(|| self.no_table(request.table()))?;
+        match request {
+            SourceRequest::Scan {
+                predicates,
+                projection,
+                limit,
+                ..
+            } => {
+                let (batch, _metrics) =
+                    store.scan(predicates, projection, limit.map(|l| l as usize))?;
+                Ok(vec![batch])
+            }
+            SourceRequest::Aggregate { .. } => Err(GisError::Unsupported(format!(
+                "columnar source '{}' cannot aggregate",
+                self.name
+            ))),
+            SourceRequest::Join { .. } => Err(GisError::Unsupported(format!(
+                "columnar source '{}' cannot join",
+                self.name
+            ))),
+            SourceRequest::Lookup {
+                key_columns,
+                keys,
+                projection,
+                ..
+            } => {
+                let mut parts = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for key in keys {
+                    if key.len() != key_columns.len() {
+                        return Err(GisError::Internal(
+                            "lookup key width mismatch".into(),
+                        ));
+                    }
+                    if !seen.insert(key.clone()) || key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let preds: Vec<ScanPredicate> = key_columns
+                        .iter()
+                        .zip(key)
+                        .map(|(&c, v)| ScanPredicate::new(c, CmpOp::Eq, v.clone()))
+                        .collect();
+                    let (batch, _) = store.scan(&preds, projection, None)?;
+                    if batch.num_rows() > 0 {
+                        parts.push(batch);
+                    }
+                }
+                let out_schema = request.output_schema(store.schema())?;
+                Ok(vec![Batch::concat(out_schema, &parts)?])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{DataType, Field, Schema};
+
+    fn adapter() -> ColumnarAdapter {
+        let a = ColumnarAdapter::new("sales");
+        let schema = Schema::new(vec![
+            Field::required("order_id", DataType::Int64),
+            Field::new("day", DataType::Int64),
+            Field::new("amount", DataType::Float64),
+        ])
+        .into_ref();
+        a.add_table(ColumnStore::with_segment_rows("orders", schema, 64));
+        a.load(
+            "orders",
+            (0..512i64).map(|i| {
+                vec![
+                    Value::Int64(i),
+                    Value::Int64(i / 8),
+                    Value::Float64((i % 100) as f64),
+                ]
+            }),
+        )
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn scan_filters_and_projects() {
+        let a = adapter();
+        let req = SourceRequest::Scan {
+            table: "orders".into(),
+            predicates: vec![
+                ScanPredicate::new(1, CmpOp::GtEq, Value::Int64(10)),
+                ScanPredicate::new(1, CmpOp::Lt, Value::Int64(12)),
+            ],
+            projection: vec![0],
+            sort: vec![],
+            limit: None,
+        };
+        let b = &a.execute(&req).unwrap()[0];
+        assert_eq!(b.num_rows(), 16);
+        assert_eq!(b.num_columns(), 1);
+    }
+
+    #[test]
+    fn aggregates_rejected() {
+        let a = adapter();
+        let req = SourceRequest::Aggregate {
+            table: "orders".into(),
+            predicates: vec![],
+            group_by: vec![],
+            aggregates: vec![],
+        };
+        let err = a.execute(&req).unwrap_err();
+        assert_eq!(err.code(), "UNSUPPORTED");
+    }
+
+    #[test]
+    fn sorts_rejected_by_capability_check() {
+        let a = adapter();
+        let req = SourceRequest::Scan {
+            table: "orders".into(),
+            predicates: vec![],
+            projection: vec![],
+            sort: vec![crate::request::SortSpec {
+                column: 0,
+                asc: true,
+                nulls_first: true,
+            }],
+            limit: None,
+        };
+        assert!(a.execute(&req).is_err());
+    }
+
+    #[test]
+    fn lookup_as_repeated_scans() {
+        let a = adapter();
+        let req = SourceRequest::Lookup {
+            table: "orders".into(),
+            key_columns: vec![0],
+            keys: vec![vec![Value::Int64(5)], vec![Value::Int64(400)]],
+            projection: vec![],
+        };
+        let b = &a.execute(&req).unwrap()[0];
+        assert_eq!(b.num_rows(), 2);
+    }
+
+    #[test]
+    fn stats_and_schema() {
+        let a = adapter();
+        let s = a.collect_stats("orders").unwrap();
+        assert_eq!(s.row_count, 512);
+        assert_eq!(a.table_schema("orders").unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,412 @@
+//! The key-value adapter: wraps a set of [`KvStore`] tables.
+//!
+//! The least capable wrapper, standing in for the hierarchical /
+//! flat-file systems a 1989 federation had to absorb. Structurally it
+//! can only:
+//!
+//! * match an **equality prefix** of the key columns (`k1 = a AND
+//!   k2 = b` when `(k1, k2, ...)` is the key), or
+//! * apply a **range on the first key column** when no equality on
+//!   it is present,
+//! * serve parameterized lookups on a key prefix.
+//!
+//! Everything else — non-key predicates, projections, aggregates —
+//! is declined via [`SourceAdapter::pushable_predicates`] and
+//! capability checks, leaving the work to the mediator. Experiment
+//! T4 measures exactly this asymmetry.
+
+use crate::request::{SourceAdapter, SourceRequest};
+use gis_catalog::CapabilityProfile;
+use gis_storage::{CmpOp, KvStore, ScanPredicate, TableStats};
+use gis_types::{Batch, GisError, Result, SchemaRef, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A key-value component system.
+pub struct KvAdapter {
+    name: String,
+    tables: RwLock<BTreeMap<String, KvStore>>,
+}
+
+impl KvAdapter {
+    /// An empty source named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KvAdapter {
+            name: name.into(),
+            tables: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&self, store: KvStore) {
+        let key = store.name().to_ascii_lowercase();
+        self.tables.write().insert(key, store);
+    }
+
+    /// Puts rows into a table.
+    pub fn load(
+        &self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<usize> {
+        let mut tables = self.tables.write();
+        let store = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| self.no_table(table))?;
+        let mut n = 0;
+        for row in rows {
+            store.put(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn no_table(&self, table: &str) -> GisError {
+        GisError::Storage(format!(
+            "source '{}' has no table '{table}'",
+            self.name
+        ))
+    }
+
+    /// Classifies predicates into the natively servable plan:
+    /// `(eq_prefix_len, range_low, range_high, accepted_mask)`.
+    fn classify(
+        key_width: usize,
+        predicates: &[ScanPredicate],
+    ) -> (Vec<Value>, Option<Value>, Option<Value>, Vec<bool>) {
+        let mut accepted = vec![false; predicates.len()];
+        // Longest all-equality key prefix.
+        let mut prefix: Vec<Value> = Vec::new();
+        for key_col in 0..key_width {
+            let found = predicates
+                .iter()
+                .position(|p| p.column == key_col && p.op == CmpOp::Eq);
+            match found {
+                Some(i) => {
+                    accepted[i] = true;
+                    prefix.push(predicates[i].value.clone());
+                }
+                None => break,
+            }
+        }
+        // Range on the first key column, only when it has no equality.
+        let mut lo = None;
+        let mut hi = None;
+        if prefix.is_empty() {
+            for (i, p) in predicates.iter().enumerate() {
+                if p.column != 0 {
+                    continue;
+                }
+                match p.op {
+                    // Half-open range scan: inclusive bounds only are
+                    // exact; Gt/LtEq conservatively widen and the
+                    // residual predicate (kept mediator-side because
+                    // `accepted` stays false) re-filters.
+                    CmpOp::GtEq
+                        if lo.is_none() => {
+                            lo = Some(p.value.clone());
+                            accepted[i] = true;
+                        }
+                    CmpOp::Lt
+                        if hi.is_none() => {
+                            hi = Some(p.value.clone());
+                            accepted[i] = true;
+                        }
+                    _ => {}
+                }
+            }
+        }
+        (prefix, lo, hi, accepted)
+    }
+}
+
+impl SourceAdapter for KvAdapter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> &'static str {
+        "kv"
+    }
+
+    fn capabilities(&self) -> CapabilityProfile {
+        CapabilityProfile::key_value()
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<SchemaRef> {
+        let tables = self.tables.read();
+        tables
+            .get(&table.to_ascii_lowercase())
+            .map(|t| t.schema().clone())
+            .ok_or_else(|| self.no_table(table))
+    }
+
+    fn collect_stats(&self, table: &str) -> Result<TableStats> {
+        let tables = self.tables.read();
+        tables
+            .get(&table.to_ascii_lowercase())
+            .map(KvStore::collect_stats)
+            .ok_or_else(|| self.no_table(table))
+    }
+
+    fn pushable_predicates(&self, table: &str, predicates: &[ScanPredicate]) -> Vec<bool> {
+        let tables = self.tables.read();
+        match tables.get(&table.to_ascii_lowercase()) {
+            Some(store) => Self::classify(store.key_width(), predicates).3,
+            None => vec![false; predicates.len()],
+        }
+    }
+
+    fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>> {
+        request.check_capabilities(&self.capabilities())?;
+        let tables = self.tables.read();
+        let store = tables
+            .get(&request.table().to_ascii_lowercase())
+            .ok_or_else(|| self.no_table(request.table()))?;
+        match request {
+            SourceRequest::Scan {
+                predicates,
+                limit,
+                ..
+            } => {
+                let (prefix, lo, hi, accepted) =
+                    Self::classify(store.key_width(), predicates);
+                if accepted.iter().any(|a| !a) {
+                    return Err(GisError::Unsupported(format!(
+                        "kv source '{}' cannot evaluate non-key predicates",
+                        self.name
+                    )));
+                }
+                let limit = limit.map(|l| l as usize);
+                let batch = if !prefix.is_empty() {
+                    store.scan_prefix(&prefix, limit)?
+                } else if lo.is_some() || hi.is_some() {
+                    store.scan_range(lo.as_ref(), hi.as_ref(), limit)?
+                } else {
+                    store.scan_all(limit)?
+                };
+                Ok(vec![batch])
+            }
+            SourceRequest::Aggregate { .. } => Err(GisError::Unsupported(format!(
+                "kv source '{}' cannot aggregate",
+                self.name
+            ))),
+            SourceRequest::Join { .. } => Err(GisError::Unsupported(format!(
+                "kv source '{}' cannot join",
+                self.name
+            ))),
+            SourceRequest::Lookup {
+                key_columns,
+                keys,
+                ..
+            } => {
+                // Keys must address a key prefix, in order.
+                let is_prefix = key_columns.iter().enumerate().all(|(i, &c)| c == i)
+                    && key_columns.len() <= store.key_width();
+                if !is_prefix || key_columns.is_empty() {
+                    return Err(GisError::Unsupported(format!(
+                        "kv source '{}' only serves lookups on a key prefix",
+                        self.name
+                    )));
+                }
+                let mut parts = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for key in keys {
+                    if !seen.insert(key.clone()) || key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let batch = if key.len() == store.key_width() {
+                        // Full-key point get.
+                        match store.get(key)? {
+                            Some(row) => Batch::from_rows(
+                                store.schema().clone(),
+                                &[row.to_vec()],
+                            )?,
+                            None => continue,
+                        }
+                    } else {
+                        store.scan_prefix(key, None)?
+                    };
+                    if batch.num_rows() > 0 {
+                        parts.push(batch);
+                    }
+                }
+                Ok(vec![Batch::concat(store.schema().clone(), &parts)?])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{DataType, Field, Schema};
+
+    fn adapter() -> KvAdapter {
+        let a = KvAdapter::new("inventory");
+        let schema = Schema::new(vec![
+            Field::required("sku", DataType::Int64),
+            Field::required("warehouse", DataType::Utf8),
+            Field::new("qty", DataType::Int64),
+        ])
+        .into_ref();
+        a.add_table(KvStore::new("stock", schema, 2).unwrap());
+        let rows = (0..20i64).flat_map(|sku| {
+            ["e", "w"].into_iter().map(move |w| {
+                vec![
+                    Value::Int64(sku),
+                    Value::Utf8(w.into()),
+                    Value::Int64(sku * 10),
+                ]
+            })
+        });
+        a.load("stock", rows).unwrap();
+        a
+    }
+
+    #[test]
+    fn eq_prefix_scan() {
+        let a = adapter();
+        let req = SourceRequest::Scan {
+            table: "stock".into(),
+            predicates: vec![ScanPredicate::new(0, CmpOp::Eq, Value::Int64(7))],
+            projection: vec![],
+            sort: vec![],
+            limit: None,
+        };
+        let b = &a.execute(&req).unwrap()[0];
+        assert_eq!(b.num_rows(), 2);
+    }
+
+    #[test]
+    fn full_key_equality() {
+        let a = adapter();
+        let req = SourceRequest::Scan {
+            table: "stock".into(),
+            predicates: vec![
+                ScanPredicate::new(0, CmpOp::Eq, Value::Int64(7)),
+                ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("w".into())),
+            ],
+            projection: vec![],
+            sort: vec![],
+            limit: None,
+        };
+        let b = &a.execute(&req).unwrap()[0];
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.row_values(0)[2], Value::Int64(70));
+    }
+
+    #[test]
+    fn range_on_first_key_column() {
+        let a = adapter();
+        let req = SourceRequest::Scan {
+            table: "stock".into(),
+            predicates: vec![
+                ScanPredicate::new(0, CmpOp::GtEq, Value::Int64(18)),
+                ScanPredicate::new(0, CmpOp::Lt, Value::Int64(20)),
+            ],
+            projection: vec![],
+            sort: vec![],
+            limit: None,
+        };
+        let b = &a.execute(&req).unwrap()[0];
+        assert_eq!(b.num_rows(), 4);
+    }
+
+    #[test]
+    fn non_key_predicates_rejected() {
+        let a = adapter();
+        let preds = vec![
+            ScanPredicate::new(0, CmpOp::Eq, Value::Int64(7)),
+            ScanPredicate::new(2, CmpOp::Gt, Value::Int64(0)), // qty: not key
+        ];
+        assert_eq!(
+            a.pushable_predicates("stock", &preds),
+            vec![true, false]
+        );
+        let req = SourceRequest::Scan {
+            table: "stock".into(),
+            predicates: preds,
+            projection: vec![],
+            sort: vec![],
+            limit: None,
+        };
+        assert!(a.execute(&req).is_err());
+    }
+
+    #[test]
+    fn eq_on_second_key_without_first_not_pushable() {
+        let a = adapter();
+        let preds = vec![ScanPredicate::new(
+            1,
+            CmpOp::Eq,
+            Value::Utf8("w".into()),
+        )];
+        assert_eq!(a.pushable_predicates("stock", &preds), vec![false]);
+    }
+
+    #[test]
+    fn projection_rejected() {
+        let a = adapter();
+        let req = SourceRequest::Scan {
+            table: "stock".into(),
+            predicates: vec![],
+            projection: vec![0],
+            sort: vec![],
+            limit: None,
+        };
+        let err = a.execute(&req).unwrap_err();
+        assert_eq!(err.code(), "UNSUPPORTED");
+    }
+
+    #[test]
+    fn lookup_on_key_prefix_and_full_key() {
+        let a = adapter();
+        // prefix lookup (sku only)
+        let req = SourceRequest::Lookup {
+            table: "stock".into(),
+            key_columns: vec![0],
+            keys: vec![vec![Value::Int64(3)], vec![Value::Int64(3)]],
+            projection: vec![],
+        };
+        let b = &a.execute(&req).unwrap()[0];
+        assert_eq!(b.num_rows(), 2);
+        // full key
+        let req2 = SourceRequest::Lookup {
+            table: "stock".into(),
+            key_columns: vec![0, 1],
+            keys: vec![
+                vec![Value::Int64(3), Value::Utf8("e".into())],
+                vec![Value::Int64(99), Value::Utf8("e".into())],
+            ],
+            projection: vec![],
+        };
+        let b2 = &a.execute(&req2).unwrap()[0];
+        assert_eq!(b2.num_rows(), 1);
+        // non-prefix lookup rejected
+        let req3 = SourceRequest::Lookup {
+            table: "stock".into(),
+            key_columns: vec![1],
+            keys: vec![vec![Value::Utf8("e".into())]],
+            projection: vec![],
+        };
+        assert!(a.execute(&req3).is_err());
+    }
+
+    #[test]
+    fn scan_all_with_limit() {
+        let a = adapter();
+        let req = SourceRequest::Scan {
+            table: "stock".into(),
+            predicates: vec![],
+            projection: vec![],
+            sort: vec![],
+            limit: Some(5),
+        };
+        assert_eq!(a.execute(&req).unwrap()[0].num_rows(), 5);
+    }
+}

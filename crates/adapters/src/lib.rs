@@ -1,0 +1,36 @@
+//! # gis-adapters — wrappers around autonomous component systems
+//!
+//! The mediator never touches component storage directly; it speaks a
+//! small *fragment protocol* ([`request::SourceRequest`]) to an
+//! adapter (wrapper) per source. Each adapter:
+//!
+//! * declares a [`gis_catalog::CapabilityProfile`] — the contract the
+//!   optimizer plans against,
+//! * translates protocol requests into its engine's native access
+//!   paths (B-tree lookups, zone-mapped scans, key-prefix gets),
+//! * rejects anything outside its profile with
+//!   [`gis_types::GisError::Unsupported`] — a planner bug, loudly.
+//!
+//! [`remote::RemoteSource`] wraps any adapter behind a metered
+//! [`gis_net::Link`]: requests and response batches are serialized
+//! with the byte-exact wire format, so every experiment knows exactly
+//! what a plan shipped. Retries for transient faults live here too.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod columnar;
+pub mod kv;
+pub mod local_exec;
+pub mod register;
+pub mod relational;
+pub mod remote;
+pub mod request;
+pub mod wire_req;
+
+pub use columnar::ColumnarAdapter;
+pub use kv::KvAdapter;
+pub use register::register_adapter;
+pub use relational::RelationalAdapter;
+pub use remote::RemoteSource;
+pub use request::{AggFunc, AggSpec, SortSpec, SourceAdapter, SourceRequest};

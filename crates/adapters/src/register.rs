@@ -1,0 +1,75 @@
+//! Registration: introducing a component system to the federation.
+//!
+//! Joining a GIS is a metadata operation: the source's export schemas,
+//! statistics and capability profile flow into the catalog once; no
+//! data moves. This module performs that handshake for any adapter.
+
+use crate::request::SourceAdapter;
+use gis_catalog::CatalogRef;
+use gis_types::Result;
+use std::sync::Arc;
+
+/// Registers `adapter` (source + all exported tables + fresh
+/// statistics) into `catalog`. Returns the number of tables
+/// registered.
+pub fn register_adapter(catalog: &CatalogRef, adapter: &Arc<dyn SourceAdapter>) -> Result<usize> {
+    catalog.register_source(adapter.name(), adapter.kind(), adapter.capabilities());
+    let tables = adapter.tables();
+    for table in &tables {
+        let schema = adapter.table_schema(table)?;
+        let stats = adapter.collect_stats(table)?;
+        catalog.register_table(adapter.name(), table, schema, Some(stats))?;
+    }
+    Ok(tables.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvAdapter;
+    use crate::relational::RelationalAdapter;
+    use gis_catalog::Catalog;
+    use gis_storage::{KvStore, RowStore};
+    use gis_types::{DataType, Field, Schema, Value};
+
+    #[test]
+    fn registers_source_tables_and_stats() {
+        let catalog = Catalog::new();
+        let a = RelationalAdapter::new("crm");
+        let schema = Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ])
+        .into_ref();
+        a.add_table(RowStore::new("customers", schema, Some(0)).unwrap());
+        a.load(
+            "customers",
+            (0..10i64).map(|i| vec![Value::Int64(i), Value::Utf8(format!("c{i}"))]),
+        )
+        .unwrap();
+        let adapter: Arc<dyn SourceAdapter> = Arc::new(a);
+        let n = register_adapter(&catalog, &adapter).unwrap();
+        assert_eq!(n, 1);
+        let resolved = catalog.resolve(Some("crm"), "customers").unwrap();
+        assert_eq!(resolved.source.kind, "relational");
+        assert_eq!(resolved.table.stats.as_ref().unwrap().row_count, 10);
+        assert_eq!(resolved.source.capabilities.summary(), "FRPJASLB");
+    }
+
+    #[test]
+    fn kv_registration_carries_weak_capabilities() {
+        let catalog = Catalog::new();
+        let a = KvAdapter::new("inventory");
+        let schema = Schema::new(vec![
+            Field::required("sku", DataType::Int64),
+            Field::new("qty", DataType::Int64),
+        ])
+        .into_ref();
+        a.add_table(KvStore::new("stock", schema, 1).unwrap());
+        let adapter: Arc<dyn SourceAdapter> = Arc::new(a);
+        register_adapter(&catalog, &adapter).unwrap();
+        let resolved = catalog.resolve(Some("inventory"), "stock").unwrap();
+        assert!(!resolved.source.capabilities.project);
+        assert!(!resolved.source.capabilities.aggregate);
+    }
+}

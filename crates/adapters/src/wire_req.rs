@@ -1,0 +1,456 @@
+//! Wire serialization of [`SourceRequest`]s.
+//!
+//! The request is the *other half* of what a federated plan ships —
+//! bind-joins in particular can send large key sets source-ward, and
+//! the strategy crossover experiments (F1/F4) hinge on counting those
+//! bytes as honestly as the response bytes.
+
+use crate::request::{AggFunc, AggSpec, SortSpec, SourceRequest};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gis_net::wire::{
+    decode_value, encode_value, get_uvarint, put_uvarint,
+};
+use gis_storage::{CmpOp, ScanPredicate};
+use gis_types::{GisError, Result};
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(GisError::Network("truncated request".into()));
+    }
+    String::from_utf8(buf.copy_to_bytes(len).to_vec())
+        .map_err(|_| GisError::Network("invalid UTF-8 in request".into()))
+}
+
+fn put_ordinals(buf: &mut BytesMut, ords: &[usize]) {
+    put_uvarint(buf, ords.len() as u64);
+    for &o in ords {
+        put_uvarint(buf, o as u64);
+    }
+}
+
+fn get_ordinals(buf: &mut Bytes) -> Result<Vec<usize>> {
+    let n = get_uvarint(buf)? as usize;
+    (0..n).map(|_| Ok(get_uvarint(buf)? as usize)).collect()
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::NotEq => 1,
+        CmpOp::Lt => 2,
+        CmpOp::LtEq => 3,
+        CmpOp::Gt => 4,
+        CmpOp::GtEq => 5,
+    }
+}
+
+fn tag_cmp(tag: u8) -> Result<CmpOp> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::NotEq,
+        2 => CmpOp::Lt,
+        3 => CmpOp::LtEq,
+        4 => CmpOp::Gt,
+        5 => CmpOp::GtEq,
+        other => {
+            return Err(GisError::Network(format!(
+                "unknown comparison tag {other}"
+            )))
+        }
+    })
+}
+
+fn agg_tag(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Avg => 4,
+    }
+}
+
+fn tag_agg(tag: u8) -> Result<AggFunc> {
+    Ok(match tag {
+        0 => AggFunc::Count,
+        1 => AggFunc::Sum,
+        2 => AggFunc::Min,
+        3 => AggFunc::Max,
+        4 => AggFunc::Avg,
+        other => {
+            return Err(GisError::Network(format!(
+                "unknown aggregate tag {other}"
+            )))
+        }
+    })
+}
+
+fn put_predicates(buf: &mut BytesMut, preds: &[ScanPredicate]) {
+    put_uvarint(buf, preds.len() as u64);
+    for p in preds {
+        put_uvarint(buf, p.column as u64);
+        buf.put_u8(cmp_tag(p.op));
+        encode_value(buf, &p.value);
+    }
+}
+
+fn get_predicates(buf: &mut Bytes) -> Result<Vec<ScanPredicate>> {
+    let n = get_uvarint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let column = get_uvarint(buf)? as usize;
+        if !buf.has_remaining() {
+            return Err(GisError::Network("truncated request".into()));
+        }
+        let op = tag_cmp(buf.get_u8())?;
+        let value = decode_value(buf)?;
+        out.push(ScanPredicate { column, op, value });
+    }
+    Ok(out)
+}
+
+/// Encodes a request to its wire frame.
+pub fn encode_request(req: &SourceRequest) -> Bytes {
+    let mut buf = BytesMut::new();
+    match req {
+        SourceRequest::Scan {
+            table,
+            predicates,
+            projection,
+            sort,
+            limit,
+        } => {
+            buf.put_u8(0);
+            put_string(&mut buf, table);
+            put_predicates(&mut buf, predicates);
+            put_ordinals(&mut buf, projection);
+            put_uvarint(&mut buf, sort.len() as u64);
+            for s in sort {
+                put_uvarint(&mut buf, s.column as u64);
+                buf.put_u8(u8::from(s.asc) | (u8::from(s.nulls_first) << 1));
+            }
+            match limit {
+                Some(l) => {
+                    buf.put_u8(1);
+                    put_uvarint(&mut buf, *l);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        SourceRequest::Aggregate {
+            table,
+            predicates,
+            group_by,
+            aggregates,
+        } => {
+            buf.put_u8(1);
+            put_string(&mut buf, table);
+            put_predicates(&mut buf, predicates);
+            put_ordinals(&mut buf, group_by);
+            put_uvarint(&mut buf, aggregates.len() as u64);
+            for a in aggregates {
+                buf.put_u8(agg_tag(a.func));
+                match a.column {
+                    Some(c) => {
+                        buf.put_u8(1);
+                        put_uvarint(&mut buf, c as u64);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+        }
+        SourceRequest::Join {
+            left_table,
+            right_table,
+            left_keys,
+            right_keys,
+            left_predicates,
+            right_predicates,
+            left_projection,
+            right_projection,
+        } => {
+            buf.put_u8(3);
+            put_string(&mut buf, left_table);
+            put_string(&mut buf, right_table);
+            put_ordinals(&mut buf, left_keys);
+            put_ordinals(&mut buf, right_keys);
+            put_predicates(&mut buf, left_predicates);
+            put_predicates(&mut buf, right_predicates);
+            put_ordinals(&mut buf, left_projection);
+            put_ordinals(&mut buf, right_projection);
+        }
+        SourceRequest::Lookup {
+            table,
+            key_columns,
+            keys,
+            projection,
+        } => {
+            buf.put_u8(2);
+            put_string(&mut buf, table);
+            put_ordinals(&mut buf, key_columns);
+            put_uvarint(&mut buf, keys.len() as u64);
+            for key in keys {
+                put_uvarint(&mut buf, key.len() as u64);
+                for v in key {
+                    encode_value(&mut buf, v);
+                }
+            }
+            put_ordinals(&mut buf, projection);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a request frame.
+pub fn decode_request(mut buf: Bytes) -> Result<SourceRequest> {
+    if !buf.has_remaining() {
+        return Err(GisError::Network("empty request".into()));
+    }
+    let kind = buf.get_u8();
+    let req = match kind {
+        0 => {
+            let table = get_string(&mut buf)?;
+            let predicates = get_predicates(&mut buf)?;
+            let projection = get_ordinals(&mut buf)?;
+            let n_sort = get_uvarint(&mut buf)? as usize;
+            let mut sort = Vec::with_capacity(n_sort.min(64));
+            for _ in 0..n_sort {
+                let column = get_uvarint(&mut buf)? as usize;
+                if !buf.has_remaining() {
+                    return Err(GisError::Network("truncated request".into()));
+                }
+                let flags = buf.get_u8();
+                sort.push(SortSpec {
+                    column,
+                    asc: flags & 1 != 0,
+                    nulls_first: flags & 2 != 0,
+                });
+            }
+            if !buf.has_remaining() {
+                return Err(GisError::Network("truncated request".into()));
+            }
+            let limit = if buf.get_u8() != 0 {
+                Some(get_uvarint(&mut buf)?)
+            } else {
+                None
+            };
+            SourceRequest::Scan {
+                table,
+                predicates,
+                projection,
+                sort,
+                limit,
+            }
+        }
+        1 => {
+            let table = get_string(&mut buf)?;
+            let predicates = get_predicates(&mut buf)?;
+            let group_by = get_ordinals(&mut buf)?;
+            let n = get_uvarint(&mut buf)? as usize;
+            let mut aggregates = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                if buf.remaining() < 2 {
+                    return Err(GisError::Network("truncated request".into()));
+                }
+                let func = tag_agg(buf.get_u8())?;
+                let column = if buf.get_u8() != 0 {
+                    Some(get_uvarint(&mut buf)? as usize)
+                } else {
+                    None
+                };
+                aggregates.push(AggSpec { func, column });
+            }
+            SourceRequest::Aggregate {
+                table,
+                predicates,
+                group_by,
+                aggregates,
+            }
+        }
+        2 => {
+            let table = get_string(&mut buf)?;
+            let key_columns = get_ordinals(&mut buf)?;
+            let n_keys = get_uvarint(&mut buf)? as usize;
+            let mut keys = Vec::with_capacity(n_keys.min(1 << 16));
+            for _ in 0..n_keys {
+                let w = get_uvarint(&mut buf)? as usize;
+                let mut key = Vec::with_capacity(w.min(16));
+                for _ in 0..w {
+                    key.push(decode_value(&mut buf)?);
+                }
+                keys.push(key);
+            }
+            let projection = get_ordinals(&mut buf)?;
+            SourceRequest::Lookup {
+                table,
+                key_columns,
+                keys,
+                projection,
+            }
+        }
+        3 => {
+            let left_table = get_string(&mut buf)?;
+            let right_table = get_string(&mut buf)?;
+            let left_keys = get_ordinals(&mut buf)?;
+            let right_keys = get_ordinals(&mut buf)?;
+            let left_predicates = get_predicates(&mut buf)?;
+            let right_predicates = get_predicates(&mut buf)?;
+            let left_projection = get_ordinals(&mut buf)?;
+            let right_projection = get_ordinals(&mut buf)?;
+            SourceRequest::Join {
+                left_table,
+                right_table,
+                left_keys,
+                right_keys,
+                left_predicates,
+                right_predicates,
+                left_projection,
+                right_projection,
+            }
+        }
+        other => {
+            return Err(GisError::Network(format!(
+                "unknown request kind {other}"
+            )))
+        }
+    };
+    if buf.has_remaining() {
+        return Err(GisError::Network("trailing bytes after request".into()));
+    }
+    Ok(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::Value;
+
+    fn roundtrip(req: SourceRequest) {
+        let bytes = encode_request(&req);
+        let back = decode_request(bytes).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn scan_roundtrip() {
+        roundtrip(SourceRequest::Scan {
+            table: "orders".into(),
+            predicates: vec![
+                ScanPredicate::new(0, CmpOp::GtEq, Value::Int64(10)),
+                ScanPredicate::new(2, CmpOp::Eq, Value::Utf8("x".into())),
+            ],
+            projection: vec![0, 3],
+            sort: vec![
+                SortSpec {
+                    column: 1,
+                    asc: false,
+                    nulls_first: true,
+                },
+                SortSpec {
+                    column: 0,
+                    asc: true,
+                    nulls_first: false,
+                },
+            ],
+            limit: Some(100),
+        });
+        roundtrip(SourceRequest::Scan {
+            table: "t".into(),
+            predicates: vec![],
+            projection: vec![],
+            sort: vec![],
+            limit: None,
+        });
+    }
+
+    #[test]
+    fn aggregate_roundtrip() {
+        roundtrip(SourceRequest::Aggregate {
+            table: "orders".into(),
+            predicates: vec![ScanPredicate::new(1, CmpOp::Lt, Value::Float64(5.0))],
+            group_by: vec![2, 0],
+            aggregates: vec![
+                AggSpec {
+                    func: AggFunc::Count,
+                    column: None,
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    column: Some(3),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        roundtrip(SourceRequest::Lookup {
+            table: "stock".into(),
+            key_columns: vec![0, 1],
+            keys: vec![
+                vec![Value::Int64(1), Value::Utf8("e".into())],
+                vec![Value::Int64(2), Value::Null],
+            ],
+            projection: vec![2],
+        });
+    }
+
+    #[test]
+    fn join_roundtrip() {
+        roundtrip(SourceRequest::Join {
+            left_table: "employees".into(),
+            right_table: "departments".into(),
+            left_keys: vec![1],
+            right_keys: vec![0],
+            left_predicates: vec![ScanPredicate::new(
+                3,
+                CmpOp::Gt,
+                Value::Int64(60_000),
+            )],
+            right_predicates: vec![],
+            left_projection: vec![2, 1],
+            right_projection: vec![1],
+        });
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let bytes = encode_request(&SourceRequest::Scan {
+            table: "orders".into(),
+            predicates: vec![ScanPredicate::new(0, CmpOp::Eq, Value::Int64(1))],
+            projection: vec![],
+            sort: vec![],
+            limit: Some(5),
+        });
+        for cut in 0..bytes.len() {
+            assert!(decode_request(bytes.slice(0..cut)).is_err(), "cut {cut}");
+        }
+        let mut extended = BytesMut::from(&bytes[..]);
+        extended.put_u8(7);
+        assert!(decode_request(extended.freeze()).is_err());
+        assert!(decode_request(Bytes::from_static(&[9])).is_err());
+    }
+
+    #[test]
+    fn key_bytes_scale_with_key_count() {
+        let small = encode_request(&SourceRequest::Lookup {
+            table: "t".into(),
+            key_columns: vec![0],
+            keys: (0..10i64).map(|i| vec![Value::Int64(i)]).collect(),
+            projection: vec![],
+        });
+        let large = encode_request(&SourceRequest::Lookup {
+            table: "t".into(),
+            key_columns: vec![0],
+            keys: (0..1000i64).map(|i| vec![Value::Int64(i)]).collect(),
+            projection: vec![],
+        });
+        assert!(large.len() > small.len() * 50);
+    }
+}

@@ -1,0 +1,32 @@
+//! Frontend throughput: parse, bind, optimize — the mediator's
+//! fixed per-query cost, independent of the network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_datagen::{build_fedmart, FedMartConfig};
+use std::hint::black_box;
+
+const SQL: &str = "SELECT c.region, count(*) AS n, sum(o.amount) AS rev \
+                   FROM customers c JOIN orders o ON c.id = o.cust_id \
+                   JOIN products p ON o.product_id = p.product_id \
+                   WHERE c.balance > 100.0 AND p.category = 'tools' \
+                   GROUP BY c.region HAVING count(*) > 3 \
+                   ORDER BY rev DESC LIMIT 10";
+
+fn bench_frontend(c: &mut Criterion) {
+    let fm = build_fedmart(FedMartConfig::tiny()).expect("build");
+    let fed = &fm.federation;
+    let mut group = c.benchmark_group("frontend");
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(gis_sql::parse(SQL).unwrap()))
+    });
+    group.bench_function("parse_bind_optimize", |b| {
+        b.iter(|| black_box(fed.logical_plan(SQL).unwrap().node_count()))
+    });
+    group.bench_function("explain_including_physical", |b| {
+        b.iter(|| black_box(fed.explain(SQL).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion companion to F1/F3: host-side cost of the three join
+//! strategies at a fixed selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gis_core::{ExecOptions, JoinStrategy};
+use gis_datagen::{build_fedmart, FedMartConfig};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let fm = build_fedmart(FedMartConfig {
+        scale: 0.5,
+        ..FedMartConfig::default()
+    })
+    .expect("build");
+    let fed = &fm.federation;
+    let k = fm.sizes.customers as i64 / 20;
+    let sql = format!(
+        "SELECT c.name, o.amount FROM customers c \
+         JOIN orders o ON c.id = o.cust_id WHERE c.id < {k}"
+    );
+    let mut group = c.benchmark_group("join_strategies");
+    group.sample_size(20);
+    for strategy in [
+        JoinStrategy::ShipWhole,
+        JoinStrategy::SemiJoin,
+        JoinStrategy::BindJoin,
+        JoinStrategy::Auto,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &sql,
+            |b, sql| {
+                fed.set_exec_options(ExecOptions {
+                    join_strategy: strategy,
+                    bind_batch_size: 128,
+                    ..ExecOptions::default()
+                });
+                b.iter(|| black_box(fed.query(sql).unwrap().batch.num_rows()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

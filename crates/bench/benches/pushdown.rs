@@ -1,0 +1,45 @@
+//! Criterion companion to experiment T1: end-to-end federated query
+//! latency (host CPU time; the virtual-network numbers live in the
+//! `t1_pushdown` report binary) with and without pushdown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gis_core::{ExecOptions, OptimizerOptions};
+use gis_datagen::{build_fedmart, FedMartConfig};
+use std::hint::black_box;
+
+fn bench_pushdown(c: &mut Criterion) {
+    let fm = build_fedmart(FedMartConfig {
+        scale: 0.5,
+        ..FedMartConfig::default()
+    })
+    .expect("build");
+    let fed = &fm.federation;
+    let mut group = c.benchmark_group("pushdown");
+    group.sample_size(20);
+    for selectivity in [0.01f64, 0.5] {
+        let k = (fm.sizes.orders as f64 * selectivity) as i64;
+        let sql = format!("SELECT order_id, amount FROM orders WHERE order_id < {k}");
+        group.bench_with_input(
+            BenchmarkId::new("optimized", format!("sel={selectivity}")),
+            &sql,
+            |b, sql| {
+                fed.set_optimizer_options(OptimizerOptions::default());
+                fed.set_exec_options(ExecOptions::default());
+                b.iter(|| black_box(fed.query(sql).unwrap().batch.num_rows()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("sel={selectivity}")),
+            &sql,
+            |b, sql| {
+                fed.set_optimizer_options(OptimizerOptions::naive());
+                fed.set_exec_options(ExecOptions::naive());
+                b.iter(|| black_box(fed.query(sql).unwrap().batch.num_rows()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Wire-format throughput: encode/decode of batches and requests.
+//! The wire is on every fragment's critical path; these benches keep
+//! its cost visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gis_adapters::{SourceRequest, wire_req};
+use gis_net::wire::{decode_batch, encode_batch};
+use gis_storage::{CmpOp, ScanPredicate};
+use gis_types::{Batch, DataType, Field, Schema, Value};
+use std::hint::black_box;
+
+fn sample_batch(rows: usize) -> Batch {
+    let schema = Schema::new(vec![
+        Field::required("id", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+        Field::new("score", DataType::Float64),
+        Field::new("day", DataType::Date),
+    ])
+    .into_ref();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int64(i as i64),
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Utf8(format!("name-{i}"))
+                },
+                Value::Float64(i as f64 / 3.0),
+                Value::Date(i as i32),
+            ]
+        })
+        .collect();
+    Batch::from_rows(schema, &data).unwrap()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for rows in [128usize, 4096] {
+        let batch = sample_batch(rows);
+        let encoded = encode_batch(&batch);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_batch", rows),
+            &batch,
+            |b, batch| b.iter(|| black_box(encode_batch(batch).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_batch", rows),
+            &encoded,
+            |b, encoded| {
+                b.iter(|| black_box(decode_batch(encoded.clone()).unwrap().num_rows()))
+            },
+        );
+    }
+    let lookup = SourceRequest::Lookup {
+        table: "t".into(),
+        key_columns: vec![0],
+        keys: (0..1000i64).map(|i| vec![Value::Int64(i)]).collect(),
+        projection: vec![0, 2],
+    };
+    group.bench_function("encode_lookup_1k_keys", |b| {
+        b.iter(|| black_box(wire_req::encode_request(&lookup).len()))
+    });
+    let scan = SourceRequest::Scan {
+        table: "t".into(),
+        predicates: vec![
+            ScanPredicate::new(0, CmpOp::GtEq, Value::Int64(10)),
+            ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("x".into())),
+        ],
+        projection: vec![0, 1, 2],
+        sort: vec![],
+        limit: Some(100),
+    };
+    group.bench_function("request_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = wire_req::encode_request(&scan);
+            black_box(wire_req::decode_request(bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! F2 — scale-out across component sources.
+//!
+//! The same `orders` data horizontally partitioned over 1–16 columnar
+//! sources; the query is a filtered aggregate over the UNION of the
+//! partitions. Expected shape: total bytes ~constant (the data is the
+//! data), per-source bytes ∝ 1/N, message count grows linearly (one
+//! fragment per source) — the mediator's integration overhead is the
+//! per-source fixed cost.
+
+use gis_bench::{fmt_bytes, Report};
+use gis_core::ExecOptions;
+use gis_datagen::{build_fedmart, FedMartConfig};
+
+fn main() {
+    let mut report = Report::new(
+        "F2: scale-out, SELECT count(*), sum(amount) over partitioned orders (day filter)",
+        &[
+            "sources",
+            "rows",
+            "total_bytes",
+            "max_source_bytes",
+            "msgs",
+            "seq_net_ms",
+            "par_net_ms",
+            "wall_ms",
+        ],
+    );
+    for parts in [1usize, 2, 4, 8, 16] {
+        let fm = build_fedmart(FedMartConfig {
+            sales_partitions: parts,
+            ..FedMartConfig::default()
+        })
+        .expect("build");
+        let fed = &fm.federation;
+        fed.set_exec_options(ExecOptions {
+            parallel_fetch: true,
+            ..ExecOptions::default()
+        });
+        let sql = format!(
+            "SELECT count(*) AS n, sum(amount) AS total FROM {} \
+             WHERE order_day >= DATE '2020-01-01'",
+            fm.orders_from_clause()
+        );
+        let r = fed.query(&sql).expect("query");
+        let max_source = r
+            .metrics
+            .per_source
+            .values()
+            .map(|t| t.bytes)
+            .max()
+            .unwrap_or(0);
+        report.row(&[
+            &parts,
+            &r.batch.row_values(0)[0],
+            &fmt_bytes(r.metrics.bytes_shipped),
+            &fmt_bytes(max_source),
+            &r.metrics.messages,
+            &format!("{:.0}", r.metrics.virtual_network_ms()),
+            &format!("{:.0}", r.metrics.virtual_parallel_ms()),
+            &format!("{:.1}", r.metrics.wall_us as f64 / 1e3),
+        ]);
+    }
+    report.note("seq_net_ms = shared-clock sum (total work); par_net_ms = busiest link (elapsed lower bound with parallel_fetch=on).");
+    report.note("Expected shape: total_bytes flat, max_source_bytes and par_net_ms ∝ 1/N (plus per-source fixed latency), msgs ∝ N.");
+    report.print();
+}

@@ -1,0 +1,106 @@
+//! F5 — co-located join pushdown (the R* local-join claim).
+//!
+//! Two tables on the same relational source, joined with a
+//! selectivity dial on the small side. With pushdown enabled the
+//! planner ships the join when its estimated output beats shipping
+//! both inputs (cost-gated); the baseline disables it. Expected
+//! shape: pushed bytes ∝ join output at low σ; at high σ the gate
+//! declines and both plans converge.
+
+use gis_adapters::{RelationalAdapter, SourceAdapter};
+use gis_bench::{fmt_bytes, fmt_ratio, Report};
+use gis_core::{ExecOptions, Federation};
+use gis_net::NetworkConditions;
+use gis_storage::RowStore;
+use gis_types::{DataType, Field, Schema, Value};
+use std::sync::Arc;
+
+const FACTS: i64 = 20_000;
+const DIMS: i64 = 200;
+
+fn fed() -> Federation {
+    let fed = Federation::new();
+    let erp = RelationalAdapter::new("erp");
+    let facts = Schema::new(vec![
+        Field::required("fid", DataType::Int64),
+        Field::new("dim_id", DataType::Int64),
+        Field::new("payload", DataType::Utf8),
+    ])
+    .into_ref();
+    erp.add_table(RowStore::new("facts", facts, Some(0)).unwrap());
+    erp.load(
+        "facts",
+        (0..FACTS).map(|i| {
+            vec![
+                Value::Int64(i),
+                Value::Int64(i % DIMS),
+                Value::Utf8(format!("row-{i}-{}", "x".repeat(24))),
+            ]
+        }),
+    )
+    .unwrap();
+    let dims = Schema::new(vec![
+        Field::required("dim_id", DataType::Int64),
+        Field::new("label", DataType::Utf8),
+    ])
+    .into_ref();
+    erp.add_table(RowStore::new("dims", dims, Some(0)).unwrap());
+    erp.load(
+        "dims",
+        (0..DIMS).map(|d| vec![Value::Int64(d), Value::Utf8(format!("dim{d}"))]),
+    )
+    .unwrap();
+    fed.add_source(Arc::new(erp) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
+        .unwrap();
+    fed
+}
+
+fn main() {
+    let f = fed();
+    let mut report = Report::new(
+        "F5: co-located join pushdown, facts ⋈ dims(σ) on one source",
+        &[
+            "dim_sel",
+            "result_rows",
+            "auto_bytes",
+            "auto_ms",
+            "mediator_bytes",
+            "mediator_ms",
+            "saving",
+        ],
+    );
+    for selectivity in [0.005, 0.05, 0.25, 0.5, 1.0] {
+        let k = ((DIMS as f64 * selectivity).round() as i64).max(1);
+        let sql = format!(
+            "SELECT f.payload, d.label FROM erp.facts f \
+             JOIN erp.dims d ON f.dim_id = d.dim_id WHERE d.dim_id < {k}"
+        );
+        f.set_exec_options(ExecOptions::default());
+        let pushed = f.query(&sql).expect("pushed");
+        f.set_exec_options(ExecOptions {
+            colocated_join: false,
+            ..ExecOptions::default()
+        });
+        let mediator = f.query(&sql).expect("mediator");
+        assert_eq!(pushed.batch.num_rows(), mediator.batch.num_rows());
+        report.row(&[
+            &format!("{selectivity:.3}"),
+            &pushed.batch.num_rows(),
+            &fmt_bytes(pushed.metrics.bytes_shipped),
+            &format!("{:.0}", pushed.metrics.virtual_network_ms()),
+            &fmt_bytes(mediator.metrics.bytes_shipped),
+            &format!("{:.0}", mediator.metrics.virtual_network_ms()),
+            &fmt_ratio(
+                mediator.metrics.bytes_shipped as f64,
+                pushed.metrics.bytes_shipped as f64,
+            ),
+        ]);
+    }
+    report.note(format!(
+        "{FACTS} facts ⋈ {DIMS} dims; WAN 40 ms / 1 MB/s. Without pushdown the mediator's \
+         strategy chooser still applies (bind-join on the dims side), so the baseline is the \
+         engine's best non-colocated plan, not a strawman."
+    ));
+    report.note("The planner cost-gates the pushdown: at σ=1 the join output exceeds the inputs, so it declines and the two plans converge (saving → 1.0x, never below).");
+    report.print();
+}

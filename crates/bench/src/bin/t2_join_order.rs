@@ -1,0 +1,81 @@
+//! T2 — cost-based join ordering vs syntactic order.
+//!
+//! Multi-way join queries written in a deliberately bad order (big ⋈
+//! big first, selective relation last). With the DP reorderer the
+//! selective customer filter drives the plan; without it, the
+//! mediator materializes the big intermediate. Expected shape: the
+//! gap grows with join width.
+
+use gis_bench::{fmt_bytes, fmt_ratio, Report};
+use gis_core::OptimizerOptions;
+use gis_datagen::{build_fedmart, FedMartConfig};
+
+fn main() {
+    let fm = build_fedmart(FedMartConfig::default()).expect("build");
+    let fed = &fm.federation;
+    let queries: &[(&str, String)] = &[
+        (
+            "3-way",
+            "SELECT count(*) FROM orders o \
+             JOIN stock s ON o.product_id = s.product_id \
+             JOIN customers c ON o.cust_id = c.id \
+             WHERE c.id < 10"
+                .to_string(),
+        ),
+        (
+            "4-way",
+            "SELECT count(*) FROM orders o \
+             JOIN stock s ON o.product_id = s.product_id \
+             JOIN products p ON s.product_id = p.product_id \
+             JOIN customers c ON o.cust_id = c.id \
+             WHERE c.id < 10"
+                .to_string(),
+        ),
+        (
+            "5-way",
+            "SELECT count(*) FROM orders o \
+             JOIN stock s ON o.product_id = s.product_id \
+             JOIN products p ON s.product_id = p.product_id \
+             JOIN customers c ON o.cust_id = c.id \
+             JOIN regions r ON c.region = r.region \
+             WHERE c.id < 10"
+                .to_string(),
+        ),
+    ];
+    let mut report = Report::new(
+        "T2: DP join ordering vs syntactic order (selective filter written last)",
+        &[
+            "query",
+            "dp_wall_ms",
+            "dp_bytes",
+            "syntactic_wall_ms",
+            "syntactic_bytes",
+            "wall_speedup",
+        ],
+    );
+    for (name, sql) in queries {
+        fed.set_optimizer_options(OptimizerOptions::default());
+        let dp = fed.query(sql).expect("dp query");
+        fed.set_optimizer_options(OptimizerOptions {
+            join_reorder: false,
+            ..OptimizerOptions::default()
+        });
+        let syntactic = fed.query(sql).expect("syntactic query");
+        assert_eq!(
+            dp.batch.to_rows(),
+            syntactic.batch.to_rows(),
+            "{name}: orders must not change results"
+        );
+        report.row(&[
+            name,
+            &format!("{:.1}", dp.metrics.wall_us as f64 / 1e3),
+            &fmt_bytes(dp.metrics.bytes_shipped),
+            &format!("{:.1}", syntactic.metrics.wall_us as f64 / 1e3),
+            &fmt_bytes(syntactic.metrics.bytes_shipped),
+            &fmt_ratio(syntactic.metrics.wall_us as f64, dp.metrics.wall_us as f64),
+        ]);
+    }
+    report.note("Identical fragments ship either way; the reorderer saves mediator work (wall time) by joining the selective side first, and can unlock bind-joins.");
+    report.note("Expected shape: speedup grows with join width.");
+    report.print();
+}

@@ -1,0 +1,80 @@
+//! T5 — cost model accuracy: estimated vs measured cardinality.
+//!
+//! Runs the optimizer's cardinality estimator over a suite of plans
+//! and compares against observed result sizes, reporting the q-error
+//! (max(est/act, act/est)). Expected shape: single-table predicates
+//! land within ~2x (statistics-backed); joins and aggregates drift
+//! further (magic constants) but stay within an order of magnitude —
+//! good enough for strategy choices, which is all the mediator asks
+//! of them.
+
+use gis_bench::Report;
+use gis_core::cost::estimate;
+use gis_datagen::{build_fedmart, FedMartConfig};
+
+fn main() {
+    let fm = build_fedmart(FedMartConfig::default()).expect("build");
+    let fed = &fm.federation;
+    let queries: &[(&str, &str)] = &[
+        ("full scan", "SELECT id FROM customers"),
+        ("eq on indexed pk", "SELECT id FROM customers WHERE id = 42"),
+        (
+            "range 10%",
+            "SELECT id FROM customers WHERE id < 100",
+        ),
+        (
+            "range 50%",
+            "SELECT order_id FROM orders WHERE order_id < 5000",
+        ),
+        (
+            "eq on categorical",
+            "SELECT id FROM customers WHERE tier = 'gold'",
+        ),
+        (
+            "conjunction",
+            "SELECT id FROM customers WHERE id < 500 AND balance > 0.0",
+        ),
+        (
+            "equi join",
+            "SELECT c.id FROM customers c JOIN orders o ON c.id = o.cust_id",
+        ),
+        (
+            "selective join",
+            "SELECT c.id FROM customers c JOIN orders o ON c.id = o.cust_id WHERE c.id < 10",
+        ),
+        (
+            "group by",
+            "SELECT region, count(*) FROM customers GROUP BY region",
+        ),
+        (
+            "global agg",
+            "SELECT count(*) FROM orders",
+        ),
+    ];
+    let mut report = Report::new(
+        "T5: estimated vs measured rows (q-error)",
+        &["query", "estimated", "actual", "q_error"],
+    );
+    let mut worst: f64 = 1.0;
+    for (name, sql) in queries {
+        let plan = fed.logical_plan(sql).expect("plan");
+        let est = estimate(&plan).rows;
+        let r = fed.query(sql).expect("query");
+        let act = r.batch.num_rows() as f64;
+        let q = if act == 0.0 || est == 0.0 {
+            f64::INFINITY
+        } else {
+            (est / act).max(act / est)
+        };
+        worst = worst.max(q);
+        report.row(&[
+            name,
+            &format!("{est:.0}"),
+            &format!("{act:.0}"),
+            &format!("{q:.2}"),
+        ]);
+    }
+    report.note(format!("worst q-error: {worst:.2}"));
+    report.note("Expected shape: stats-backed single-table ≤2, join/agg ≤10 (magic constants).");
+    report.print();
+}

@@ -1,0 +1,149 @@
+//! # gis-bench — the experiment harness
+//!
+//! One report binary per reconstructed table/figure (see DESIGN.md's
+//! evaluation index) plus Criterion micro-benchmarks. Every binary
+//! prints a self-contained aligned table; EXPERIMENTS.md records the
+//! outputs and compares their *shape* against the paper-implied
+//! claims.
+//!
+//! | binary | experiment |
+//! |--------|-----------|
+//! | `t1_pushdown` | T1 — predicate/projection pushdown traffic |
+//! | `f1_join_strategies` | F1 — strategy crossover vs selectivity |
+//! | `t2_join_order` | T2 — DP join ordering vs syntactic order |
+//! | `f2_scaleout` | F2 — source scale-out |
+//! | `t3_mapping_overhead` | T3 — heterogeneity mediation cost |
+//! | `f3_latency` | F3 — WAN latency sensitivity |
+//! | `t4_capabilities` | T4 — source capability asymmetry |
+//! | `f4_semijoin` | F4 — semijoin byte reduction |
+//! | `t5_cost_model` | T5 — estimate vs measured |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+/// A simple aligned text table for experiment reports.
+#[derive(Debug, Default)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// A report titled `title` with the given column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: vec![],
+            notes: vec![],
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        out.push_str(&hdr.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(hdr.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n* {n}"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a byte count with a thousands separator.
+pub fn fmt_bytes(b: u64) -> String {
+    let s = b.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio like `12.3x`.
+pub fn fmt_ratio(num: f64, den: f64) -> String {
+    if den <= 0.0 {
+        return "∞".into();
+    }
+    format!("{:.1}x", num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned() {
+        let mut r = Report::new("demo", &["a", "long_header"]);
+        r.row(&[&1, &"x"]);
+        r.row(&[&22222, &"yyyy"]);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long_header"));
+        assert!(s.contains("* a note"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header and rows share width
+        let hline = lines.iter().find(|l| l.contains("long_header")).unwrap();
+        let rline = lines.iter().find(|l| l.contains("22222")).unwrap();
+        assert_eq!(hline.len(), rline.len());
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(123), "123");
+        assert_eq!(fmt_bytes(1234567), "1_234_567");
+        assert_eq!(fmt_ratio(10.0, 2.0), "5.0x");
+        assert_eq!(fmt_ratio(1.0, 0.0), "∞");
+    }
+}

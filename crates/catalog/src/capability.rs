@@ -1,0 +1,140 @@
+//! Source capability profiles.
+//!
+//! Autonomy is the hard constraint of a federation: every component
+//! system exposes only what its native interface supports. The
+//! mediator reads these profiles at plan time and decomposes queries
+//! so each shipped fragment stays inside its source's profile; the
+//! remainder executes mediator-side.
+
+use std::fmt;
+
+/// What a component source can execute natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapabilityProfile {
+    /// Accepts `column op constant` filters.
+    pub filter: bool,
+    /// Accepts range filters (`<`, `BETWEEN`); false means only
+    /// equality filters are understood (typical for KV).
+    pub range_filter: bool,
+    /// Can return a subset of columns.
+    pub project: bool,
+    /// Can join tables that live on the same source.
+    pub join: bool,
+    /// Can evaluate grouped aggregates.
+    pub aggregate: bool,
+    /// Can sort its output.
+    pub sort: bool,
+    /// Honors row limits.
+    pub limit: bool,
+    /// Supports parameterized repeated lookups (the bind-join /
+    /// fetch-matches protocol).
+    pub bind_lookup: bool,
+}
+
+impl CapabilityProfile {
+    /// A full SQL system: everything pushable.
+    pub fn full_sql() -> Self {
+        CapabilityProfile {
+            filter: true,
+            range_filter: true,
+            project: true,
+            join: true,
+            aggregate: true,
+            sort: true,
+            limit: true,
+            bind_lookup: true,
+        }
+    }
+
+    /// A scan-oriented analytics engine: filter/project/limit but no
+    /// joins, aggregates or sorts.
+    pub fn scan_only() -> Self {
+        CapabilityProfile {
+            filter: true,
+            range_filter: true,
+            project: true,
+            join: false,
+            aggregate: false,
+            sort: false,
+            limit: true,
+            bind_lookup: true,
+        }
+    }
+
+    /// A key-value system: equality lookup on key columns only; the
+    /// mediator does all filtering beyond that.
+    pub fn key_value() -> Self {
+        CapabilityProfile {
+            filter: true,        // equality on key prefix only
+            range_filter: true,  // range on first key component
+            project: false,
+            join: false,
+            aggregate: false,
+            sort: false,
+            limit: true,
+            bind_lookup: true,
+        }
+    }
+
+    /// The weakest useful profile: full scans only (a flat file).
+    pub fn dump_only() -> Self {
+        CapabilityProfile {
+            filter: false,
+            range_filter: false,
+            project: false,
+            join: false,
+            aggregate: false,
+            sort: false,
+            limit: false,
+            bind_lookup: false,
+        }
+    }
+
+    /// A short human-readable summary, e.g. `FPJASLB` with dashes for
+    /// missing capabilities (used in EXPLAIN output).
+    pub fn summary(&self) -> String {
+        let flag = |b: bool, c: char| if b { c } else { '-' };
+        [
+            flag(self.filter, 'F'),
+            flag(self.range_filter, 'R'),
+            flag(self.project, 'P'),
+            flag(self.join, 'J'),
+            flag(self.aggregate, 'A'),
+            flag(self.sort, 'S'),
+            flag(self.limit, 'L'),
+            flag(self.bind_lookup, 'B'),
+        ]
+        .iter()
+        .collect()
+    }
+}
+
+impl fmt::Display for CapabilityProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_capability() {
+        let full = CapabilityProfile::full_sql();
+        let scan = CapabilityProfile::scan_only();
+        let kv = CapabilityProfile::key_value();
+        let dump = CapabilityProfile::dump_only();
+        assert!(full.join && full.aggregate);
+        assert!(scan.filter && !scan.join);
+        assert!(kv.filter && !kv.project);
+        assert!(!dump.filter && !dump.limit);
+    }
+
+    #[test]
+    fn summary_renders_flags() {
+        assert_eq!(CapabilityProfile::full_sql().summary(), "FRPJASLB");
+        assert_eq!(CapabilityProfile::dump_only().summary(), "--------");
+        assert_eq!(CapabilityProfile::scan_only().summary(), "FRP---LB");
+    }
+}

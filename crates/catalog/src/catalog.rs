@@ -1,0 +1,373 @@
+//! The catalog proper: sources, export tables, global tables.
+//!
+//! Thread-safe via an internal `RwLock`; the planner and the
+//! registration path share one [`CatalogRef`]. The catalog stores
+//! *metadata only* — executable adapter handles are registered with
+//! the mediator's execution context (`gis-core`), keeping this crate
+//! free of execution dependencies.
+
+use crate::capability::CapabilityProfile;
+use crate::mapping::TableMapping;
+use gis_storage::TableStats;
+use gis_types::{GisError, Result, SchemaRef};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shared catalog handle.
+pub type CatalogRef = Arc<Catalog>;
+
+/// Metadata for one registered source.
+#[derive(Debug, Clone)]
+pub struct SourceMeta {
+    /// Source name (unique).
+    pub name: String,
+    /// Human-readable kind, e.g. `"relational"`, `"column"`, `"kv"`.
+    pub kind: String,
+    /// What the source can execute natively.
+    pub capabilities: CapabilityProfile,
+}
+
+/// Metadata for one exported table of a source.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Export schema (the source's own column names/types).
+    pub export_schema: SchemaRef,
+    /// Statistics collected at registration, if any.
+    pub stats: Option<TableStats>,
+}
+
+/// A fully resolved global table: everything the planner needs.
+#[derive(Debug, Clone)]
+pub struct ResolvedTable {
+    /// Source metadata.
+    pub source: SourceMeta,
+    /// Export-side table metadata.
+    pub table: TableMeta,
+    /// The mapping from export schema to global schema.
+    pub mapping: TableMapping,
+    /// The global schema produced by the mapping.
+    pub global_schema: SchemaRef,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    sources: BTreeMap<String, SourceMeta>,
+    /// (source, table) -> meta
+    tables: BTreeMap<(String, String), TableMeta>,
+    /// global name -> mapping
+    globals: BTreeMap<String, TableMapping>,
+}
+
+/// The federation catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: RwLock<Inner>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> CatalogRef {
+        Arc::new(Catalog::default())
+    }
+
+    /// Registers (or replaces) a source.
+    pub fn register_source(
+        &self,
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        capabilities: CapabilityProfile,
+    ) {
+        let name = name.into();
+        self.inner.write().sources.insert(
+            name.to_ascii_lowercase(),
+            SourceMeta {
+                name,
+                kind: kind.into(),
+                capabilities,
+            },
+        );
+    }
+
+    /// Registers a table exported by `source`.
+    pub fn register_table(
+        &self,
+        source: &str,
+        table: &str,
+        export_schema: SchemaRef,
+        stats: Option<TableStats>,
+    ) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.sources.contains_key(&source.to_ascii_lowercase()) {
+            return Err(GisError::Catalog(format!(
+                "cannot register table '{table}': unknown source '{source}'"
+            )));
+        }
+        inner.tables.insert(
+            (source.to_ascii_lowercase(), table.to_ascii_lowercase()),
+            TableMeta {
+                export_schema,
+                stats,
+            },
+        );
+        Ok(())
+    }
+
+    /// Updates (or installs) statistics for an exported table.
+    pub fn update_stats(&self, source: &str, table: &str, stats: TableStats) -> Result<()> {
+        let mut inner = self.inner.write();
+        let meta = inner
+            .tables
+            .get_mut(&(source.to_ascii_lowercase(), table.to_ascii_lowercase()))
+            .ok_or_else(|| {
+                GisError::Catalog(format!("unknown table '{source}.{table}'"))
+            })?;
+        meta.stats = Some(stats);
+        Ok(())
+    }
+
+    /// Registers a global table via an explicit mapping. The mapping
+    /// is validated against the source's export schema.
+    pub fn register_global(&self, mapping: TableMapping) -> Result<()> {
+        let inner = self.inner.read();
+        let key = (
+            mapping.source.to_ascii_lowercase(),
+            mapping.source_table.to_ascii_lowercase(),
+        );
+        let table = inner.tables.get(&key).ok_or_else(|| {
+            GisError::Catalog(format!(
+                "global '{}' maps to unknown table '{}.{}'",
+                mapping.global_name, mapping.source, mapping.source_table
+            ))
+        })?;
+        mapping.validate(&table.export_schema)?;
+        drop(inner);
+        let mut inner = self.inner.write();
+        inner
+            .globals
+            .insert(mapping.global_name.to_ascii_lowercase(), mapping);
+        Ok(())
+    }
+
+    /// Registers `source.table` under global name `global` with an
+    /// identity mapping.
+    pub fn register_global_identity(
+        &self,
+        global: &str,
+        source: &str,
+        table: &str,
+    ) -> Result<()> {
+        let export = {
+            let inner = self.inner.read();
+            inner
+                .tables
+                .get(&(source.to_ascii_lowercase(), table.to_ascii_lowercase()))
+                .ok_or_else(|| {
+                    GisError::Catalog(format!("unknown table '{source}.{table}'"))
+                })?
+                .export_schema
+                .clone()
+        };
+        self.register_global(TableMapping::identity(global, source, table, &export))
+    }
+
+    /// Resolves a table reference from a query: either a bare global
+    /// name, or an explicit `source.table` (which gets an implicit
+    /// identity mapping).
+    pub fn resolve(&self, source: Option<&str>, name: &str) -> Result<ResolvedTable> {
+        let inner = self.inner.read();
+        let (mapping, src_key) = match source {
+            None => {
+                let mapping = inner
+                    .globals
+                    .get(&name.to_ascii_lowercase())
+                    .cloned()
+                    .ok_or_else(|| {
+                        let known: Vec<&str> =
+                            inner.globals.keys().map(String::as_str).collect();
+                        GisError::Catalog(format!(
+                            "unknown global table '{name}' (known: {})",
+                            known.join(", ")
+                        ))
+                    })?;
+                let key = mapping.source.to_ascii_lowercase();
+                (mapping, key)
+            }
+            Some(src) => {
+                let key = (src.to_ascii_lowercase(), name.to_ascii_lowercase());
+                let table = inner.tables.get(&key).ok_or_else(|| {
+                    GisError::Catalog(format!("unknown table '{src}.{name}'"))
+                })?;
+                (
+                    TableMapping::identity(name, src, name, &table.export_schema),
+                    key.0,
+                )
+            }
+        };
+        let source_meta = inner
+            .sources
+            .get(&src_key)
+            .cloned()
+            .ok_or_else(|| GisError::Catalog(format!("unknown source '{src_key}'")))?;
+        let table = inner
+            .tables
+            .get(&(
+                src_key,
+                mapping.source_table.to_ascii_lowercase(),
+            ))
+            .cloned()
+            .ok_or_else(|| {
+                GisError::Catalog(format!(
+                    "mapping references unknown table '{}.{}'",
+                    mapping.source, mapping.source_table
+                ))
+            })?;
+        let global_schema = mapping.global_schema();
+        Ok(ResolvedTable {
+            source: source_meta,
+            table,
+            mapping,
+            global_schema,
+        })
+    }
+
+    /// All registered sources, ordered by name.
+    pub fn sources(&self) -> Vec<SourceMeta> {
+        self.inner.read().sources.values().cloned().collect()
+    }
+
+    /// All global table names, ordered.
+    pub fn global_tables(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .globals
+            .values()
+            .map(|m| m.global_name.clone())
+            .collect()
+    }
+
+    /// All tables exported by `source`.
+    pub fn tables_of(&self, source: &str) -> Vec<String> {
+        let key = source.to_ascii_lowercase();
+        self.inner
+            .read()
+            .tables
+            .keys()
+            .filter(|(s, _)| *s == key)
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ColumnMapping, Transform};
+    use gis_types::{DataType, Field, Schema};
+
+    fn catalog() -> CatalogRef {
+        let c = Catalog::new();
+        c.register_source("crm", "relational", CapabilityProfile::full_sql());
+        let export = Schema::new(vec![
+            Field::required("cust_no", DataType::Int32),
+            Field::new("nm", DataType::Utf8),
+        ])
+        .into_ref();
+        c.register_table("crm", "kunden", export, None).unwrap();
+        c
+    }
+
+    #[test]
+    fn register_and_resolve_explicit() {
+        let c = catalog();
+        let r = c.resolve(Some("crm"), "kunden").unwrap();
+        assert_eq!(r.source.name, "crm");
+        assert_eq!(r.global_schema.len(), 2);
+        assert!(r.mapping.is_pure_identity(&r.table.export_schema));
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        let c = catalog();
+        assert!(c.resolve(Some("CRM"), "Kunden").is_ok());
+    }
+
+    #[test]
+    fn global_mapping_resolution() {
+        let c = catalog();
+        c.register_global(TableMapping {
+            global_name: "customers".into(),
+            source: "crm".into(),
+            source_table: "kunden".into(),
+            columns: vec![
+                ColumnMapping {
+                    global: Field::required("id", DataType::Int64),
+                    source_column: "cust_no".into(),
+                    transform: Transform::Cast(DataType::Int64),
+                },
+                ColumnMapping {
+                    global: Field::new("name", DataType::Utf8),
+                    source_column: "nm".into(),
+                    transform: Transform::Identity,
+                },
+            ],
+        })
+        .unwrap();
+        let r = c.resolve(None, "customers").unwrap();
+        assert_eq!(r.global_schema.field(0).name, "id");
+        assert_eq!(r.global_schema.field(0).data_type, DataType::Int64);
+        assert_eq!(r.mapping.source_table, "kunden");
+    }
+
+    #[test]
+    fn unknown_names_error_helpfully() {
+        let c = catalog();
+        let err = c.resolve(None, "nope").unwrap_err();
+        assert!(err.to_string().contains("unknown global table"));
+        assert!(c.resolve(Some("crm"), "nope").is_err());
+        assert!(c.resolve(Some("nosrc"), "kunden").is_err());
+    }
+
+    #[test]
+    fn invalid_mapping_rejected_at_registration() {
+        let c = catalog();
+        let bad = TableMapping {
+            global_name: "g".into(),
+            source: "crm".into(),
+            source_table: "kunden".into(),
+            columns: vec![ColumnMapping {
+                global: Field::new("x", DataType::Int64),
+                source_column: "missing".into(),
+                transform: Transform::Identity,
+            }],
+        };
+        assert!(c.register_global(bad).is_err());
+    }
+
+    #[test]
+    fn register_table_requires_source() {
+        let c = Catalog::new();
+        let export = Schema::new(vec![Field::new("a", DataType::Int64)]).into_ref();
+        assert!(c.register_table("ghost", "t", export, None).is_err());
+    }
+
+    #[test]
+    fn stats_update() {
+        let c = catalog();
+        let stats = TableStats::empty(2);
+        c.update_stats("crm", "kunden", stats.clone()).unwrap();
+        let r = c.resolve(Some("crm"), "kunden").unwrap();
+        assert_eq!(r.table.stats, Some(stats));
+        assert!(c.update_stats("crm", "nope", TableStats::empty(0)).is_err());
+    }
+
+    #[test]
+    fn listings() {
+        let c = catalog();
+        c.register_global_identity("kunden_global", "crm", "kunden")
+            .unwrap();
+        assert_eq!(c.sources().len(), 1);
+        assert_eq!(c.tables_of("crm"), vec!["kunden"]);
+        assert_eq!(c.global_tables(), vec!["kunden_global"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # gis-catalog — the global schema and its mappings
+//!
+//! The defining feature of a Global Information System (Kameny, ICDE
+//! 1989) is that users see **one global schema** while data stays in
+//! **autonomous component systems** with their own export schemas.
+//! This crate is that bridge:
+//!
+//! * [`catalog::Catalog`] — registry of sources, their exported
+//!   tables (schema + statistics + capability profile), and the
+//!   global tables mapped over them.
+//! * [`mapping::TableMapping`] — declarative column mappings from an
+//!   export schema to a global table: renames, type coercions, and
+//!   linear unit conversions. Mappings are applied to data flowing
+//!   mediator-ward and *inverted* to push predicates source-ward.
+//! * [`capability::CapabilityProfile`] — what each source can do
+//!   natively (filter? project? aggregate? parameterized lookup?);
+//!   the optimizer never ships a fragment a source cannot run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capability;
+pub mod catalog;
+pub mod mapping;
+
+pub use capability::CapabilityProfile;
+pub use catalog::{Catalog, CatalogRef, ResolvedTable, SourceMeta, TableMeta};
+pub use mapping::{ColumnMapping, TableMapping, Transform};

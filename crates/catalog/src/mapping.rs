@@ -1,0 +1,466 @@
+//! Schema mappings: how export schemas become global tables.
+//!
+//! Heterogeneity in a federation is not just different SQL dialects —
+//! the *same concept* is stored under different names, types and
+//! units across components (`cust_no: int32` vs `customer_id: int64`;
+//! prices in cents vs dollars; temperatures in °F vs °C). A
+//! [`TableMapping`] records, per global column, which source column
+//! feeds it and which [`Transform`] reconciles representation.
+//!
+//! Two directions matter:
+//!
+//! * **forward** (source → global): applied to every batch a source
+//!   returns; see [`TableMapping::apply`].
+//! * **inverse** (global → source): applied to *predicates* so they
+//!   can still be pushed down through the mapping; see
+//!   [`Transform::invert_literal`]. Non-invertible transforms simply
+//!   disable pushdown for that column — correctness first.
+
+use gis_types::{
+    Array, Batch, DataType, Field, GisError, Result, Schema, SchemaRef, Value,
+};
+use std::sync::Arc;
+
+/// A value-level transform between source and global representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Values pass through unchanged.
+    Identity,
+    /// Cast to the global type (e.g. `int32` → `int64`).
+    Cast(DataType),
+    /// `global = source * factor + offset` computed in f64, then cast
+    /// to the global type. Unit conversions (cents→dollars, °F→°C).
+    Linear {
+        /// Multiplier.
+        factor: f64,
+        /// Additive offset.
+        offset: f64,
+        /// Global type of the result.
+        to: DataType,
+    },
+    /// Enumerated recode: pairs of (source value, global value);
+    /// unmatched source values map to NULL. (Code-set reconciliation,
+    /// e.g. `1/2/3` → `'gold'/'silver'/'bronze'`.)
+    ValueMap(Vec<(Value, Value)>),
+}
+
+impl Transform {
+    /// The global type produced from a source column of `input`.
+    pub fn output_type(&self, input: DataType) -> DataType {
+        match self {
+            Transform::Identity => input,
+            Transform::Cast(t) => *t,
+            Transform::Linear { to, .. } => *to,
+            Transform::ValueMap(pairs) => pairs
+                .first()
+                .map(|(_, g)| g.data_type())
+                .unwrap_or(DataType::Null),
+        }
+    }
+
+    /// Applies the transform to one value (source → global).
+    pub fn apply_value(&self, v: &Value) -> Result<Value> {
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        match self {
+            Transform::Identity => Ok(v.clone()),
+            Transform::Cast(t) => v.cast_to(*t),
+            Transform::Linear { factor, offset, to } => {
+                let x = v.as_f64()?.ok_or_else(|| {
+                    GisError::Execution("linear transform on non-numeric".into())
+                })?;
+                Value::Float64(x * factor + offset).cast_to(*to)
+            }
+            Transform::ValueMap(pairs) => Ok(pairs
+                .iter()
+                .find(|(s, _)| s == v)
+                .map(|(_, g)| g.clone())
+                .unwrap_or(Value::Null)),
+        }
+    }
+
+    /// Applies the transform to a whole column.
+    pub fn apply_array(&self, a: &Array) -> Result<Array> {
+        match self {
+            Transform::Identity => Ok(a.clone()),
+            Transform::Cast(t) => a.cast_to(*t),
+            _ => {
+                let out_type = self.output_type(a.data_type());
+                let mut b = gis_types::ArrayBuilder::with_capacity(out_type, a.len());
+                for i in 0..a.len() {
+                    b.push_value(&self.apply_value(&a.value_at(i))?.cast_to(out_type)?)?;
+                }
+                Ok(b.finish())
+            }
+        }
+    }
+
+    /// Inverts a *global-side* literal back to source representation,
+    /// for predicate pushdown. Returns `None` when the transform is
+    /// not invertible for this literal (pushdown is then skipped).
+    pub fn invert_literal(&self, global: &Value, source_type: DataType) -> Option<Value> {
+        if global.is_null() {
+            return Some(Value::Null);
+        }
+        match self {
+            Transform::Identity => Some(global.clone()),
+            Transform::Cast(_) => {
+                // Safe only when the roundtrip is exact.
+                let back = global.cast_to(source_type).ok()?;
+                let again = back.cast_to(global.data_type()).ok()?;
+                (again == *global).then_some(back)
+            }
+            Transform::Linear { factor, offset, to: _ } => {
+                if *factor == 0.0 {
+                    return None;
+                }
+                let g = global.as_f64().ok()??;
+                let s = (g - offset) / factor;
+                let candidate = Value::Float64(s).cast_to(source_type).ok()?;
+                // Verify exactness through the forward direction.
+                let forward = self.apply_value(&candidate).ok()?;
+                (forward == *global).then_some(candidate)
+            }
+            Transform::ValueMap(pairs) => {
+                let mut matches = pairs.iter().filter(|(_, g)| g == global);
+                let first = matches.next()?;
+                // Ambiguous (many-to-one) recodes cannot be inverted.
+                matches.next().is_none().then(|| first.0.clone())
+            }
+        }
+    }
+
+    /// True when order is preserved source→global (needed to push
+    /// range predicates, not just equality).
+    pub fn is_monotonic(&self) -> bool {
+        match self {
+            Transform::Identity => true,
+            Transform::Cast(_) => true,
+            Transform::Linear { factor, .. } => *factor > 0.0,
+            Transform::ValueMap(_) => false,
+        }
+    }
+}
+
+/// One global column: its field definition, the source column that
+/// feeds it, and the reconciling transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMapping {
+    /// The global-side field (name/type/nullability).
+    pub global: Field,
+    /// Name of the column in the source's export schema.
+    pub source_column: String,
+    /// Representation transform.
+    pub transform: Transform,
+}
+
+/// Maps one source table onto one global table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMapping {
+    /// Global table name.
+    pub global_name: String,
+    /// Source (component system) name.
+    pub source: String,
+    /// Table name within the source.
+    pub source_table: String,
+    /// Column mappings, in global-schema order.
+    pub columns: Vec<ColumnMapping>,
+}
+
+impl TableMapping {
+    /// An identity mapping exposing `source.table` 1:1 as
+    /// `global_name` (the common case for homogeneous columns).
+    pub fn identity(
+        global_name: impl Into<String>,
+        source: impl Into<String>,
+        source_table: impl Into<String>,
+        export_schema: &Schema,
+    ) -> Self {
+        TableMapping {
+            global_name: global_name.into(),
+            source: source.into(),
+            source_table: source_table.into(),
+            columns: export_schema
+                .fields()
+                .iter()
+                .map(|f| ColumnMapping {
+                    global: Field {
+                        qualifier: None,
+                        ..f.clone()
+                    },
+                    source_column: f.name.clone(),
+                    transform: Transform::Identity,
+                })
+                .collect(),
+        }
+    }
+
+    /// The global schema this mapping produces.
+    pub fn global_schema(&self) -> SchemaRef {
+        Arc::new(Schema::new(
+            self.columns.iter().map(|c| c.global.clone()).collect(),
+        ))
+    }
+
+    /// Validates against the source's export schema: every referenced
+    /// source column must exist and transforms must type-check.
+    pub fn validate(&self, export_schema: &Schema) -> Result<()> {
+        for cm in &self.columns {
+            let idx = export_schema
+                .index_of(None, &cm.source_column)
+                .map_err(|_| {
+                    GisError::Catalog(format!(
+                        "mapping for global '{}' references missing source column '{}' of {}.{}",
+                        self.global_name, cm.source_column, self.source, self.source_table
+                    ))
+                })?;
+            let src_type = export_schema.field(idx).data_type;
+            let out = cm.transform.output_type(src_type);
+            if out != cm.global.data_type {
+                return Err(GisError::Catalog(format!(
+                    "mapping for '{}.{}': transform yields {} but global column '{}' is {}",
+                    self.source, self.source_table, out, cm.global.name, cm.global.data_type
+                )));
+            }
+            if let Transform::Linear { .. } = cm.transform {
+                if !src_type.is_numeric() {
+                    return Err(GisError::Catalog(format!(
+                        "linear transform on non-numeric source column '{}'",
+                        cm.source_column
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The source-column ordinals this mapping reads, given the
+    /// export schema (in global-column order).
+    pub fn source_ordinals(&self, export_schema: &Schema) -> Result<Vec<usize>> {
+        self.columns
+            .iter()
+            .map(|cm| export_schema.index_of(None, &cm.source_column))
+            .collect()
+    }
+
+    /// Applies the mapping to a batch *in export-schema layout*,
+    /// producing a batch in global-schema layout.
+    pub fn apply(&self, export_schema: &Schema, batch: &Batch) -> Result<Batch> {
+        let ordinals = self.source_ordinals(export_schema)?;
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for (cm, &ord) in self.columns.iter().zip(&ordinals) {
+            // The incoming batch may itself be a projection of the
+            // export schema; locate the column by name.
+            let pos = batch
+                .schema()
+                .index_of(None, &cm.source_column)
+                .unwrap_or(ord);
+            let transformed = cm.transform.apply_array(batch.column(pos))?;
+            columns.push(transformed.cast_to(cm.global.data_type)?);
+        }
+        Batch::try_new(self.global_schema(), columns)
+    }
+
+    /// True when every column is an identity transform over the same
+    /// name (mapping application can be skipped entirely).
+    pub fn is_pure_identity(&self, export_schema: &Schema) -> bool {
+        self.columns.iter().all(|cm| {
+            cm.transform == Transform::Identity
+                && export_schema
+                    .index_of(None, &cm.source_column)
+                    .map(|i| {
+                        let f = export_schema.field(i);
+                        f.name == cm.global.name && f.data_type == cm.global.data_type
+                    })
+                    .unwrap_or(false)
+        })
+    }
+
+    /// Finds the mapping entry feeding global column `name`.
+    pub fn column(&self, name: &str) -> Option<&ColumnMapping> {
+        self.columns
+            .iter()
+            .find(|c| c.global.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{DataType, Field};
+
+    fn export_schema() -> Schema {
+        Schema::new(vec![
+            Field::required("cust_no", DataType::Int32),
+            Field::new("nm", DataType::Utf8),
+            Field::new("bal_cents", DataType::Int64),
+            Field::new("tier_code", DataType::Int32),
+        ])
+    }
+
+    fn mapping() -> TableMapping {
+        TableMapping {
+            global_name: "customers".into(),
+            source: "crm".into(),
+            source_table: "KUNDEN".into(),
+            columns: vec![
+                ColumnMapping {
+                    global: Field::required("id", DataType::Int64),
+                    source_column: "cust_no".into(),
+                    transform: Transform::Cast(DataType::Int64),
+                },
+                ColumnMapping {
+                    global: Field::new("name", DataType::Utf8),
+                    source_column: "nm".into(),
+                    transform: Transform::Identity,
+                },
+                ColumnMapping {
+                    global: Field::new("balance", DataType::Float64),
+                    source_column: "bal_cents".into(),
+                    transform: Transform::Linear {
+                        factor: 0.01,
+                        offset: 0.0,
+                        to: DataType::Float64,
+                    },
+                },
+                ColumnMapping {
+                    global: Field::new("tier", DataType::Utf8),
+                    source_column: "tier_code".into(),
+                    transform: Transform::ValueMap(vec![
+                        (Value::Int32(1), Value::Utf8("gold".into())),
+                        (Value::Int32(2), Value::Utf8("silver".into())),
+                    ]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validates_against_export_schema() {
+        let m = mapping();
+        assert!(m.validate(&export_schema()).is_ok());
+        let mut bad = m.clone();
+        bad.columns[0].source_column = "nope".into();
+        assert!(bad.validate(&export_schema()).is_err());
+        let mut bad2 = m;
+        bad2.columns[1].global.data_type = DataType::Int64; // identity can't change type
+        assert!(bad2.validate(&export_schema()).is_err());
+    }
+
+    #[test]
+    fn apply_transforms_batch() {
+        let export = export_schema();
+        let batch = Batch::from_rows(
+            Arc::new(export.clone()),
+            &[
+                vec![
+                    Value::Int32(7),
+                    Value::Utf8("ada".into()),
+                    Value::Int64(2500),
+                    Value::Int32(1),
+                ],
+                vec![Value::Int32(8), Value::Null, Value::Int64(-100), Value::Int32(9)],
+            ],
+        )
+        .unwrap();
+        let global = mapping().apply(&export, &batch).unwrap();
+        assert_eq!(global.schema().field(0).name, "id");
+        assert_eq!(global.row_values(0)[0], Value::Int64(7));
+        assert_eq!(global.row_values(0)[2], Value::Float64(25.0));
+        assert_eq!(global.row_values(0)[3], Value::Utf8("gold".into()));
+        // unmapped tier code 9 -> NULL
+        assert_eq!(global.row_values(1)[3], Value::Null);
+        assert_eq!(global.row_values(1)[2], Value::Float64(-1.0));
+    }
+
+    #[test]
+    fn linear_inversion_roundtrips() {
+        let t = Transform::Linear {
+            factor: 0.01,
+            offset: 0.0,
+            to: DataType::Float64,
+        };
+        // global 25.0 dollars -> source 2500 cents
+        let inv = t
+            .invert_literal(&Value::Float64(25.0), DataType::Int64)
+            .unwrap();
+        assert_eq!(inv, Value::Int64(2500));
+        // a dollar value that is not a whole cent count cannot be
+        // inverted exactly
+        assert!(t
+            .invert_literal(&Value::Float64(0.005), DataType::Int64)
+            .is_none());
+    }
+
+    #[test]
+    fn cast_inversion_checks_roundtrip() {
+        let t = Transform::Cast(DataType::Int64);
+        assert_eq!(
+            t.invert_literal(&Value::Int64(5), DataType::Int32),
+            Some(Value::Int32(5))
+        );
+        assert_eq!(
+            t.invert_literal(&Value::Int64(i64::MAX), DataType::Int32),
+            None
+        );
+    }
+
+    #[test]
+    fn valuemap_inversion_requires_uniqueness() {
+        let t = Transform::ValueMap(vec![
+            (Value::Int32(1), Value::Utf8("gold".into())),
+            (Value::Int32(2), Value::Utf8("silver".into())),
+        ]);
+        assert_eq!(
+            t.invert_literal(&Value::Utf8("gold".into()), DataType::Int32),
+            Some(Value::Int32(1))
+        );
+        assert_eq!(
+            t.invert_literal(&Value::Utf8("bronze".into()), DataType::Int32),
+            None
+        );
+        let ambiguous = Transform::ValueMap(vec![
+            (Value::Int32(1), Value::Utf8("x".into())),
+            (Value::Int32(2), Value::Utf8("x".into())),
+        ]);
+        assert_eq!(
+            ambiguous.invert_literal(&Value::Utf8("x".into()), DataType::Int32),
+            None
+        );
+    }
+
+    #[test]
+    fn monotonicity() {
+        assert!(Transform::Identity.is_monotonic());
+        assert!(Transform::Linear {
+            factor: 2.0,
+            offset: 1.0,
+            to: DataType::Float64
+        }
+        .is_monotonic());
+        assert!(!Transform::Linear {
+            factor: -1.0,
+            offset: 0.0,
+            to: DataType::Float64
+        }
+        .is_monotonic());
+        assert!(!Transform::ValueMap(vec![]).is_monotonic());
+    }
+
+    #[test]
+    fn identity_mapping_detection() {
+        let export = export_schema();
+        let ident = TableMapping::identity("kunden", "crm", "KUNDEN", &export);
+        assert!(ident.is_pure_identity(&export));
+        assert!(!mapping().is_pure_identity(&export));
+        assert!(ident.validate(&export).is_ok());
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let m = mapping();
+        assert!(m.column("BALANCE").is_some());
+        assert!(m.column("nope").is_none());
+    }
+}

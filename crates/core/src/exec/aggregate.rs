@@ -1,0 +1,298 @@
+//! Mediator-side hash aggregation (with DISTINCT support).
+//!
+//! The adapters have their own small aggregate evaluator (a component
+//! system is a separate engine); this one is the mediator's and adds
+//! what the sources never see: `DISTINCT` aggregates and arbitrary
+//! expressions as arguments and group keys.
+
+use crate::expr::eval::evaluate;
+use crate::expr::ScalarExpr;
+use crate::plan::logical::AggregateExpr;
+use gis_adapters::AggFunc;
+use gis_types::{Batch, GisError, Result, SchemaRef, Value};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug)]
+struct Acc {
+    count: i64,
+    sum_i: Option<i64>,
+    sum_f: Option<f64>,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: Option<HashSet<Value>>,
+    int_input: bool,
+}
+
+impl Acc {
+    fn new(distinct: bool, int_input: bool) -> Acc {
+        Acc {
+            count: 0,
+            sum_i: None,
+            sum_f: None,
+            min: None,
+            max: None,
+            distinct: distinct.then(HashSet::new),
+            int_input,
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        // v = None means COUNT(*): count unconditionally.
+        let Some(v) = v else {
+            self.count += 1;
+            return Ok(());
+        };
+        if v.is_null() {
+            return Ok(());
+        }
+        if let Some(set) = &mut self.distinct {
+            if !set.insert(v.clone()) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        if self.int_input {
+            if let Ok(Some(i)) = v.as_i64() {
+                self.sum_i = Some(self.sum_i.unwrap_or(0).wrapping_add(i));
+            }
+        }
+        if let Ok(Some(f)) = v.as_f64() {
+            self.sum_f = Some(self.sum_f.unwrap_or(0.0) + f);
+        }
+        match &self.min {
+            Some(m) if m.total_cmp(v).is_le() => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if m.total_cmp(v).is_ge() => {}
+            _ => self.max = Some(v.clone()),
+        }
+        Ok(())
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int64(self.count),
+            AggFunc::Sum => {
+                if self.int_input {
+                    self.sum_i.map_or(Value::Null, Value::Int64)
+                } else {
+                    self.sum_f.map_or(Value::Null, Value::Float64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => match (self.sum_f, self.count) {
+                (Some(s), n) if n > 0 => Value::Float64(s / n as f64),
+                _ => Value::Null,
+            },
+        }
+    }
+}
+
+/// Executes a grouped aggregation over one input batch.
+pub fn hash_aggregate(
+    input: &Batch,
+    group_exprs: &[ScalarExpr],
+    aggregates: &[AggregateExpr],
+    out_schema: SchemaRef,
+) -> Result<Batch> {
+    // Evaluate group keys and aggregate arguments once, vectorized.
+    let group_arrays: Vec<_> = group_exprs
+        .iter()
+        .map(|g| evaluate(g, input))
+        .collect::<Result<_>>()?;
+    let arg_arrays: Vec<Option<gis_types::Array>> = aggregates
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| evaluate(e, input)).transpose())
+        .collect::<Result<_>>()?;
+    let int_inputs: Vec<bool> = aggregates
+        .iter()
+        .map(|a| {
+            a.arg
+                .as_ref()
+                .and_then(|e| e.data_type(input.schema()).ok())
+                .map(|t| t.is_integer())
+                .unwrap_or(false)
+        })
+        .collect();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in 0..input.num_rows() {
+        let key: Vec<Value> = group_arrays.iter().map(|a| a.value_at(row)).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            aggregates
+                .iter()
+                .zip(&int_inputs)
+                .map(|(a, &ii)| Acc::new(a.distinct, ii))
+                .collect()
+        });
+        for ((acc, a), arg) in accs.iter_mut().zip(aggregates).zip(&arg_arrays) {
+            let v = arg.as_ref().map(|arr| arr.value_at(row));
+            if a.arg.is_some() {
+                acc.update(Some(&v.expect("arg evaluated")))?;
+            } else {
+                acc.update(None)?;
+            }
+        }
+    }
+    if group_exprs.is_empty() && order.is_empty() {
+        let accs: Vec<Acc> = aggregates
+            .iter()
+            .zip(&int_inputs)
+            .map(|(a, &ii)| Acc::new(a.distinct, ii))
+            .collect();
+        order.push(vec![]);
+        groups.insert(vec![], accs);
+    }
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
+    for key in &order {
+        let accs = &groups[key];
+        let mut row = key.clone();
+        for (acc, a) in accs.iter().zip(aggregates) {
+            let v = acc.finish(a.func);
+            // Coerce to the declared output type.
+            let target = out_schema.field(row.len()).data_type;
+            row.push(v.cast_to(target).map_err(|e| {
+                GisError::Execution(format!("aggregate output coercion: {e}"))
+            })?);
+        }
+        rows.push(row);
+    }
+    Batch::from_rows(out_schema, &rows)
+}
+
+/// Duplicate elimination over all columns (DISTINCT).
+pub fn distinct(input: &Batch) -> Batch {
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut keep: Vec<usize> = Vec::new();
+    for r in 0..input.num_rows() {
+        let key = input.row_values(r);
+        if seen.insert(key) {
+            keep.push(r);
+        }
+    }
+    input.take(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{DataType, Field, Schema};
+
+    fn batch() -> Batch {
+        Batch::from_rows(
+            Schema::new(vec![
+                Field::new("g", DataType::Utf8),
+                Field::new("v", DataType::Int64),
+            ])
+            .into_ref(),
+            &[
+                vec![Value::Utf8("a".into()), Value::Int64(1)],
+                vec![Value::Utf8("a".into()), Value::Int64(1)],
+                vec![Value::Utf8("a".into()), Value::Int64(2)],
+                vec![Value::Utf8("b".into()), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn out_schema(aggs: &[AggregateExpr], groups: usize) -> SchemaRef {
+        let mut fields = vec![Field::new("g", DataType::Utf8)];
+        fields.truncate(groups);
+        for a in aggs {
+            let t = match a.func {
+                AggFunc::Avg => DataType::Float64,
+                AggFunc::Min | AggFunc::Max | AggFunc::Sum => DataType::Int64,
+                AggFunc::Count => DataType::Int64,
+            };
+            fields.push(Field::new(a.display_name(), t));
+        }
+        Schema::new(fields).into_ref()
+    }
+
+    #[test]
+    fn distinct_aggregates() {
+        let aggs = vec![
+            AggregateExpr {
+                func: AggFunc::Count,
+                arg: Some(ScalarExpr::col(1)),
+                distinct: true,
+            },
+            AggregateExpr {
+                func: AggFunc::Sum,
+                arg: Some(ScalarExpr::col(1)),
+                distinct: true,
+            },
+            AggregateExpr {
+                func: AggFunc::Count,
+                arg: Some(ScalarExpr::col(1)),
+                distinct: false,
+            },
+        ];
+        let schema = out_schema(&aggs, 1);
+        let out = hash_aggregate(&batch(), &[ScalarExpr::col(0)], &aggs, schema).unwrap();
+        let rows = out.to_rows();
+        let a = rows.iter().find(|r| r[0] == Value::Utf8("a".into())).unwrap();
+        assert_eq!(a[1], Value::Int64(2)); // distinct {1,2}
+        assert_eq!(a[2], Value::Int64(3)); // 1+2
+        assert_eq!(a[3], Value::Int64(3)); // plain count
+        let b = rows.iter().find(|r| r[0] == Value::Utf8("b".into())).unwrap();
+        assert_eq!(b[1], Value::Int64(0));
+        assert_eq!(b[2], Value::Null);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty() {
+        let aggs = vec![AggregateExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        }];
+        let schema = out_schema(&aggs, 0);
+        let empty = batch().slice(0, 0);
+        let out = hash_aggregate(&empty, &[], &aggs, schema).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row_values(0)[0], Value::Int64(0));
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let b = batch();
+        let d = distinct(&b);
+        assert_eq!(d.num_rows(), 3); // (a,1) appears twice
+    }
+
+    #[test]
+    fn null_group_keys_group_together() {
+        let b = Batch::from_rows(
+            Schema::new(vec![
+                Field::new("g", DataType::Utf8),
+                Field::new("v", DataType::Int64),
+            ])
+            .into_ref(),
+            &[
+                vec![Value::Null, Value::Int64(1)],
+                vec![Value::Null, Value::Int64(2)],
+            ],
+        )
+        .unwrap();
+        let aggs = vec![AggregateExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        }];
+        let mut fields = vec![Field::new("g", DataType::Utf8)];
+        fields.push(Field::new("count(*)", DataType::Int64));
+        let out = hash_aggregate(
+            &b,
+            &[ScalarExpr::col(0)],
+            &aggs,
+            Schema::new(fields).into_ref(),
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row_values(0)[1], Value::Int64(2));
+    }
+}

@@ -1,0 +1,440 @@
+//! Mediator-side join algorithms.
+//!
+//! [`hash_join`] covers every join kind over equi-keys (with an
+//! optional residual condition); [`nested_loop_join`] covers the
+//! rest. Both operate on materialized batches — the federation's
+//! costs are on the wire, not here.
+
+use crate::expr::eval::evaluate_predicate;
+use crate::expr::ScalarExpr;
+use gis_sql::ast::JoinKind;
+use gis_types::{Batch, GisError, Result, Row, SchemaRef, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Hash join on equi-keys.
+///
+/// `residual` (if any) is evaluated over the combined
+/// `left ++ right` layout and participates in *match* semantics
+/// (i.e. it is part of the ON condition, which matters for outer
+/// kinds).
+pub fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    residual: Option<&ScalarExpr>,
+    out_schema: SchemaRef,
+) -> Result<Batch> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(GisError::Internal(
+            "hash join requires at least one key pair".into(),
+        ));
+    }
+    // Build side: right.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for r in 0..right.num_rows() {
+        let key = Row::new(right, r).key(right_keys);
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        table.entry(key).or_default().push(r);
+    }
+    // Probe: collect candidate pairs.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for l in 0..left.num_rows() {
+        let key = Row::new(left, l).key(left_keys);
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for &r in matches {
+                pairs.push((l, r));
+            }
+        }
+    }
+    // Residual condition filters candidate pairs.
+    let pairs = match residual {
+        Some(cond) if !pairs.is_empty() => {
+            let li: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let ri: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let combined = left.take(&li).hstack(&right.take(&ri))?;
+            let keep = evaluate_predicate(cond, &combined)?;
+            pairs
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(p, k)| k.then_some(p))
+                .collect()
+        }
+        _ => pairs,
+    };
+    assemble(left, right, pairs, kind, out_schema)
+}
+
+/// Nested-loop join for joins without usable equi-keys (cross joins,
+/// pure inequality conditions).
+pub fn nested_loop_join(
+    left: &Batch,
+    right: &Batch,
+    kind: JoinKind,
+    condition: Option<&ScalarExpr>,
+    out_schema: SchemaRef,
+) -> Result<Batch> {
+    let mut pairs: Vec<(usize, usize)> =
+        Vec::with_capacity(left.num_rows() * right.num_rows().min(16));
+    for l in 0..left.num_rows() {
+        for r in 0..right.num_rows() {
+            pairs.push((l, r));
+        }
+    }
+    let pairs = match condition {
+        Some(cond) if !pairs.is_empty() => {
+            let li: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let ri: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let combined = left.take(&li).hstack(&right.take(&ri))?;
+            let keep = evaluate_predicate(cond, &combined)?;
+            pairs
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(p, k)| k.then_some(p))
+                .collect()
+        }
+        _ => pairs,
+    };
+    assemble(left, right, pairs, kind, out_schema)
+}
+
+/// Turns matched `(left, right)` row pairs into the output batch for
+/// each join kind.
+fn assemble(
+    left: &Batch,
+    right: &Batch,
+    pairs: Vec<(usize, usize)>,
+    kind: JoinKind,
+    out_schema: SchemaRef,
+) -> Result<Batch> {
+    match kind {
+        JoinKind::Inner | JoinKind::Cross => {
+            let li: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let ri: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let combined = left.take(&li).hstack(&right.take(&ri))?;
+            Batch::try_new(out_schema, combined.columns().to_vec())
+        }
+        JoinKind::Semi => {
+            let mut seen: HashSet<usize> = HashSet::new();
+            let mut keep: Vec<usize> = Vec::new();
+            for (l, _) in pairs {
+                if seen.insert(l) {
+                    keep.push(l);
+                }
+            }
+            keep.sort_unstable();
+            let out = left.take(&keep);
+            Batch::try_new(out_schema, out.columns().to_vec())
+        }
+        JoinKind::Anti => {
+            let matched: HashSet<usize> = pairs.iter().map(|p| p.0).collect();
+            let keep: Vec<usize> = (0..left.num_rows())
+                .filter(|l| !matched.contains(l))
+                .collect();
+            let out = left.take(&keep);
+            Batch::try_new(out_schema, out.columns().to_vec())
+        }
+        JoinKind::Left | JoinKind::Right | JoinKind::Full => {
+            let matched_left: HashSet<usize> = pairs.iter().map(|p| p.0).collect();
+            let matched_right: HashSet<usize> = pairs.iter().map(|p| p.1).collect();
+            let mut li: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let mut ri: Vec<Option<usize>> =
+                pairs.iter().map(|p| Some(p.1)).collect();
+            if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                for l in 0..left.num_rows() {
+                    if !matched_left.contains(&l) {
+                        li.push(l);
+                        ri.push(None);
+                    }
+                }
+            }
+            // Unmatched right rows (Right/Full): null left side.
+            let mut extra_right: Vec<usize> = Vec::new();
+            if matches!(kind, JoinKind::Right | JoinKind::Full) {
+                for r in 0..right.num_rows() {
+                    if !matched_right.contains(&r) {
+                        extra_right.push(r);
+                    }
+                }
+            }
+            // Assemble matched + left-padded rows.
+            let left_part = left.take(&li);
+            let right_part = take_optional(right, &ri)?;
+            let mut combined = left_part.hstack(&right_part)?;
+            if !extra_right.is_empty() {
+                let null_left = null_batch(left, extra_right.len())?;
+                let right_rows = right.take(&extra_right);
+                let pad = null_left.hstack(&right_rows)?;
+                combined = Batch::concat(
+                    combined.schema().clone(),
+                    &[combined.clone(), pad],
+                )?;
+            }
+            Batch::try_new(out_schema, combined.columns().to_vec())
+        }
+    }
+}
+
+/// `take` allowing missing (NULL-padded) rows.
+fn take_optional(batch: &Batch, indices: &[Option<usize>]) -> Result<Batch> {
+    let rows: Vec<Vec<Value>> = indices
+        .iter()
+        .map(|i| match i {
+            Some(r) => batch.row_values(*r),
+            None => vec![Value::Null; batch.num_columns()],
+        })
+        .collect();
+    // NULL padding requires a nullable view of the schema.
+    let fields: Vec<gis_types::Field> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.clone().with_nullable(true))
+        .collect();
+    Batch::from_rows(
+        std::sync::Arc::new(gis_types::Schema::new(fields)),
+        &rows,
+    )
+}
+
+/// `len` all-NULL rows shaped like `batch`.
+fn null_batch(batch: &Batch, len: usize) -> Result<Batch> {
+    let rows: Vec<Vec<Value>> =
+        (0..len).map(|_| vec![Value::Null; batch.num_columns()]).collect();
+    let fields: Vec<gis_types::Field> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.clone().with_nullable(true))
+        .collect();
+    Batch::from_rows(
+        std::sync::Arc::new(gis_types::Schema::new(fields)),
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::logical::JoinNode;
+    use gis_types::{DataType, Field, Schema};
+
+    fn left() -> Batch {
+        Batch::from_rows(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ])
+            .into_ref(),
+            &[
+                vec![Value::Int64(1), Value::Utf8("a".into())],
+                vec![Value::Int64(2), Value::Utf8("b".into())],
+                vec![Value::Int64(3), Value::Utf8("c".into())],
+                vec![Value::Null, Value::Utf8("n".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn right() -> Batch {
+        Batch::from_rows(
+            Schema::new(vec![
+                Field::new("rid", DataType::Int64),
+                Field::new("amount", DataType::Float64),
+            ])
+            .into_ref(),
+            &[
+                vec![Value::Int64(1), Value::Float64(10.0)],
+                vec![Value::Int64(1), Value::Float64(11.0)],
+                vec![Value::Int64(3), Value::Float64(30.0)],
+                vec![Value::Int64(9), Value::Float64(90.0)],
+                vec![Value::Null, Value::Float64(0.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn schema_for(kind: JoinKind) -> SchemaRef {
+        JoinNode::compute_schema(left().schema(), right().schema(), kind)
+    }
+
+    #[test]
+    fn inner_join_matches_and_skips_nulls() {
+        let out = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Inner,
+            None,
+            schema_for(JoinKind::Inner),
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3); // 1x2 + 3x1; NULLs never match
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let out = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Left,
+            None,
+            schema_for(JoinKind::Left),
+        )
+        .unwrap();
+        // 3 matches + unmatched rows 2 and NULL
+        assert_eq!(out.num_rows(), 5);
+        let rows = out.to_rows();
+        let padded: Vec<_> = rows.iter().filter(|r| r[2] == Value::Null).collect();
+        assert_eq!(padded.len(), 2);
+    }
+
+    #[test]
+    fn right_and_full_joins() {
+        let out = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Right,
+            None,
+            schema_for(JoinKind::Right),
+        )
+        .unwrap();
+        // 3 matches + unmatched right rows (9 and NULL)
+        assert_eq!(out.num_rows(), 5);
+        let full = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Full,
+            None,
+            schema_for(JoinKind::Full),
+        )
+        .unwrap();
+        // 3 matches + 2 left-unmatched + 2 right-unmatched
+        assert_eq!(full.num_rows(), 7);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let semi = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Semi,
+            None,
+            schema_for(JoinKind::Semi),
+        )
+        .unwrap();
+        assert_eq!(semi.num_rows(), 2); // ids 1 and 3
+        let anti = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Anti,
+            None,
+            schema_for(JoinKind::Anti),
+        )
+        .unwrap();
+        assert_eq!(anti.num_rows(), 2); // id 2 and the NULL row
+    }
+
+    #[test]
+    fn residual_condition_affects_matching() {
+        // ON id = rid AND amount > 10.0
+        let residual = ScalarExpr::col(3).binary(
+            gis_sql::ast::BinaryOp::Gt,
+            ScalarExpr::lit(Value::Float64(10.0)),
+        );
+        let inner = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Inner,
+            Some(&residual),
+            schema_for(JoinKind::Inner),
+        )
+        .unwrap();
+        assert_eq!(inner.num_rows(), 2); // (1,11.0) and (3,30.0)
+        // LEFT: non-matching due to residual still padded
+        let left_join = hash_join(
+            &left(),
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Left,
+            Some(&residual),
+            schema_for(JoinKind::Left),
+        )
+        .unwrap();
+        assert_eq!(left_join.num_rows(), 2 + 2); // 2 matches + ids 2, NULL... and id 1? id1 matched (11.0) so not padded; id3 matched; id2+null padded
+    }
+
+    #[test]
+    fn nested_loop_cross_and_inequality() {
+        let cross = nested_loop_join(
+            &left(),
+            &right(),
+            JoinKind::Cross,
+            None,
+            schema_for(JoinKind::Cross),
+        )
+        .unwrap();
+        assert_eq!(cross.num_rows(), 20);
+        let cond = ScalarExpr::col(0).binary(
+            gis_sql::ast::BinaryOp::Lt,
+            ScalarExpr::col(2),
+        );
+        let ineq = nested_loop_join(
+            &left(),
+            &right(),
+            JoinKind::Inner,
+            Some(&cond),
+            schema_for(JoinKind::Inner),
+        )
+        .unwrap();
+        // id < rid pairs: 1<3, 1<9, 2<3, 2<9, 3<9 (x multiplicities: rid1 twice but 1<1 false)
+        assert_eq!(ineq.num_rows(), 5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = left().slice(0, 0);
+        let out = hash_join(
+            &l,
+            &right(),
+            &[0],
+            &[0],
+            JoinKind::Left,
+            None,
+            schema_for(JoinKind::Left),
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        let anti = hash_join(
+            &left(),
+            &right().slice(0, 0),
+            &[0],
+            &[0],
+            JoinKind::Anti,
+            None,
+            schema_for(JoinKind::Anti),
+        )
+        .unwrap();
+        assert_eq!(anti.num_rows(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Execution options: the distributed-strategy knobs the experiments
+//! sweep.
+
+/// How a mediator-side join against a remote table fetches the
+/// remote side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Cost-based choice among the three below (default).
+    #[default]
+    Auto,
+    /// Fetch the whole remote relation and hash-join at the mediator.
+    ShipWhole,
+    /// Ship the distinct join-key set in one message, fetch only
+    /// matching rows (SDD-1-style semijoin reduction).
+    SemiJoin,
+    /// Ship keys in batches of `bind_batch_size`, fetching matches
+    /// incrementally (R*-style bind join / fetch-matches).
+    BindJoin,
+}
+
+impl JoinStrategy {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinStrategy::Auto => "auto",
+            JoinStrategy::ShipWhole => "ship-whole",
+            JoinStrategy::SemiJoin => "semijoin",
+            JoinStrategy::BindJoin => "bind-join",
+        }
+    }
+}
+
+/// Knobs for physical planning and execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOptions {
+    /// Remote join strategy.
+    pub join_strategy: JoinStrategy,
+    /// Keys per message for [`JoinStrategy::BindJoin`].
+    pub bind_batch_size: usize,
+    /// Push whole-aggregate fragments to capable sources.
+    pub aggregate_pushdown: bool,
+    /// Push ORDER BY into capable sources when the sort sits directly
+    /// over a scan.
+    pub sort_pushdown: bool,
+    /// Rows per response message (overrides the remote default when
+    /// set).
+    pub chunk_rows: usize,
+    /// Push inner equi-joins of two tables on the *same* source down
+    /// as one join fragment (the source joins; only results ship).
+    pub colocated_join: bool,
+    /// Fetch independent subplans (union branches, join sides) on
+    /// separate threads. Does not change results; wall time and the
+    /// *parallel* virtual-time metric improve, while the sequential
+    /// virtual clock still accumulates total work.
+    pub parallel_fetch: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            join_strategy: JoinStrategy::Auto,
+            bind_batch_size: 1024,
+            aggregate_pushdown: true,
+            sort_pushdown: true,
+            chunk_rows: 1024,
+            colocated_join: true,
+            parallel_fetch: false,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The naive baseline: ship everything, push nothing.
+    pub fn naive() -> Self {
+        ExecOptions {
+            join_strategy: JoinStrategy::ShipWhole,
+            aggregate_pushdown: false,
+            sort_pushdown: false,
+            colocated_join: false,
+            ..ExecOptions::default()
+        }
+    }
+}

@@ -1,0 +1,796 @@
+//! The physical operator tree.
+
+use crate::exec::aggregate::{distinct, hash_aggregate};
+use crate::exec::fragment::FragmentExec;
+use crate::exec::join::{hash_join, nested_loop_join};
+use crate::expr::eval::{evaluate, evaluate_predicate};
+use crate::expr::ScalarExpr;
+use crate::plan::logical::AggregateExpr;
+use gis_adapters::{RemoteSource, SourceRequest};
+use gis_catalog::TableMapping;
+use gis_sql::ast::JoinKind;
+use gis_types::{
+    Batch, GisError, Result, Row, Schema, SchemaRef, SortKey, SortOrder, Value,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Everything execution needs: the registry of metered sources and
+/// the execution options.
+pub struct ExecContext<'a> {
+    sources: &'a HashMap<String, RemoteSource>,
+    options: crate::exec::options::ExecOptions,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context over a source registry with default options.
+    pub fn new(sources: &'a HashMap<String, RemoteSource>) -> Self {
+        ExecContext {
+            sources,
+            options: crate::exec::options::ExecOptions::default(),
+        }
+    }
+
+    /// A context with explicit options.
+    pub fn with_options(
+        sources: &'a HashMap<String, RemoteSource>,
+        options: crate::exec::options::ExecOptions,
+    ) -> Self {
+        ExecContext { sources, options }
+    }
+
+    /// The execution options.
+    pub fn options(&self) -> &crate::exec::options::ExecOptions {
+        &self.options
+    }
+
+    /// Looks up a source by name.
+    pub fn source(&self, name: &str) -> Result<&RemoteSource> {
+        self.sources.get(&name.to_ascii_lowercase()).ok_or_else(|| {
+            GisError::Internal(format!("no adapter registered for source '{name}'"))
+        })
+    }
+}
+
+/// A pushed-down whole aggregation executed at the source.
+#[derive(Debug, Clone)]
+pub struct RemoteAggExec {
+    /// Source name.
+    pub source: String,
+    /// The aggregate request.
+    pub request: SourceRequest,
+    /// Full export schema of the table.
+    pub export_schema: SchemaRef,
+    /// Export→global mapping (for group-column transforms).
+    pub mapping: TableMapping,
+    /// Global ordinals of the group columns, in request order.
+    pub group_global: Vec<usize>,
+    /// Output schema (matches the logical Aggregate node).
+    pub schema: SchemaRef,
+}
+
+/// A co-located join evaluated entirely at one source: both tables
+/// live there, only the joined (filtered, projected) result ships.
+#[derive(Debug, Clone)]
+pub struct RemoteJoinExec {
+    /// Source name.
+    pub source: String,
+    /// The [`SourceRequest::Join`] shipped.
+    pub request: SourceRequest,
+    /// Full export schema of the left table.
+    pub left_export: SchemaRef,
+    /// Full export schema of the right table.
+    pub right_export: SchemaRef,
+    /// Positional mapping columns: `columns[i]` transforms response
+    /// column `i` to its global form.
+    pub columns: Vec<gis_catalog::ColumnMapping>,
+    /// Mediator-side residual over the transformed response layout.
+    pub residual: Option<ScalarExpr>,
+    /// Positions into the transformed response forming the output.
+    pub output_positions: Vec<usize>,
+    /// Final output schema (the logical join's schema).
+    pub schema: SchemaRef,
+}
+
+impl RemoteJoinExec {
+    fn execute(&self, ctx: &ExecContext<'_>) -> Result<Batch> {
+        let remote = ctx.source(&self.source)?;
+        let resp_schema = self
+            .request
+            .join_output_schema(&self.left_export, &self.right_export)?;
+        let raw = remote.execute_all(&self.request, resp_schema)?;
+        // Apply per-column transforms positionally.
+        let mut cols = Vec::with_capacity(self.columns.len());
+        let mut fields = Vec::with_capacity(self.columns.len());
+        for (i, cm) in self.columns.iter().enumerate() {
+            let transformed = cm.transform.apply_array(raw.column(i))?;
+            cols.push(transformed.cast_to(cm.global.data_type)?);
+            fields.push(cm.global.clone());
+        }
+        let mapped = Batch::try_new(
+            Arc::new(Schema::new(fields)),
+            cols,
+        )?;
+        let filtered = match &self.residual {
+            Some(pred) => {
+                let keep = evaluate_predicate(pred, &mapped)?;
+                mapped.filter(&keep)?
+            }
+            None => mapped,
+        };
+        let projected = filtered.project(&self.output_positions)?;
+        Batch::try_new(self.schema.clone(), projected.columns().to_vec())
+    }
+}
+
+/// A bind-join: outer rows' keys shipped to the inner source, which
+/// returns only matching rows.
+#[derive(Debug, Clone)]
+pub struct BindJoinExec {
+    /// Mediator-side (outer) input.
+    pub outer: Box<PhysicalPlan>,
+    /// Key ordinals in the outer output.
+    pub outer_keys: Vec<usize>,
+    /// The inner fragment (request field holds the Lookup template).
+    pub inner: FragmentExec,
+    /// Positions of the key columns within the inner fragment output.
+    pub inner_key_positions: Vec<usize>,
+    /// Join kind (Inner, Left, Semi or Anti).
+    pub kind: JoinKind,
+    /// Residual join condition over `outer ++ inner` layout.
+    pub residual: Option<ScalarExpr>,
+    /// Keys per Lookup message (`usize::MAX` = classic semijoin:
+    /// one message with the whole distinct key set).
+    pub batch_size: usize,
+    /// Output schema.
+    pub schema: SchemaRef,
+    /// Strategy label for EXPLAIN (`semijoin` / `bind-join`).
+    pub label: &'static str,
+}
+
+/// One resolved sort key.
+#[derive(Debug, Clone)]
+pub struct PhysicalSortKey {
+    /// Key expression over the input.
+    pub expr: ScalarExpr,
+    /// Ascending?
+    pub asc: bool,
+    /// NULLs first?
+    pub nulls_first: bool,
+}
+
+/// The physical plan.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Remote scan fragment.
+    Fragment(FragmentExec),
+    /// Remote aggregation fragment.
+    RemoteAggregate(RemoteAggExec),
+    /// Co-located join fragment.
+    RemoteJoin(RemoteJoinExec),
+    /// Mediator filter.
+    Filter {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Predicate.
+        predicate: ScalarExpr,
+    },
+    /// Mediator projection.
+    Project {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Output expressions.
+        exprs: Vec<ScalarExpr>,
+        /// Output schema.
+        schema: SchemaRef,
+    },
+    /// Mediator hash join.
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Probe key ordinals.
+        left_keys: Vec<usize>,
+        /// Build key ordinals.
+        right_keys: Vec<usize>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Residual ON condition over `left ++ right`.
+        residual: Option<ScalarExpr>,
+        /// Output schema.
+        schema: SchemaRef,
+    },
+    /// Mediator nested-loop join (cross / non-equi).
+    NestedLoop {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Condition over `left ++ right`.
+        condition: Option<ScalarExpr>,
+        /// Output schema.
+        schema: SchemaRef,
+    },
+    /// Bind-join / semijoin reduction.
+    BindJoin(BindJoinExec),
+    /// Mediator hash aggregation.
+    HashAggregate {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Group expressions.
+        group_exprs: Vec<ScalarExpr>,
+        /// Aggregates.
+        aggregates: Vec<AggregateExpr>,
+        /// Output schema.
+        schema: SchemaRef,
+    },
+    /// Mediator sort.
+    Sort {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Keys.
+        keys: Vec<PhysicalSortKey>,
+    },
+    /// Skip/fetch.
+    Limit {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Rows to skip.
+        skip: usize,
+        /// Max rows.
+        fetch: Option<usize>,
+    },
+    /// Bag union.
+    Union {
+        /// Inputs.
+        inputs: Vec<PhysicalPlan>,
+        /// Output schema.
+        schema: SchemaRef,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input.
+        input: Box<PhysicalPlan>,
+    },
+    /// Constant rows.
+    Values {
+        /// Output schema.
+        schema: SchemaRef,
+        /// Rows.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema.
+    pub fn schema(&self) -> &SchemaRef {
+        match self {
+            PhysicalPlan::Fragment(f) => &f.schema,
+            PhysicalPlan::RemoteAggregate(r) => &r.schema,
+            PhysicalPlan::RemoteJoin(r) => &r.schema,
+            PhysicalPlan::Filter { input, .. } => input.schema(),
+            PhysicalPlan::Project { schema, .. } => schema,
+            PhysicalPlan::HashJoin { schema, .. } => schema,
+            PhysicalPlan::NestedLoop { schema, .. } => schema,
+            PhysicalPlan::BindJoin(b) => &b.schema,
+            PhysicalPlan::HashAggregate { schema, .. } => schema,
+            PhysicalPlan::Sort { input, .. } => input.schema(),
+            PhysicalPlan::Limit { input, .. } => input.schema(),
+            PhysicalPlan::Union { schema, .. } => schema,
+            PhysicalPlan::Distinct { input } => input.schema(),
+            PhysicalPlan::Values { schema, .. } => schema,
+        }
+    }
+
+    /// Number of source fragments in the tree (shipped requests).
+    pub fn fragment_count(&self) -> usize {
+        let own = match self {
+            PhysicalPlan::Fragment(_)
+            | PhysicalPlan::RemoteAggregate(_)
+            | PhysicalPlan::RemoteJoin(_) => 1,
+            PhysicalPlan::BindJoin(_) => 1,
+            _ => 0,
+        };
+        own + self.children().iter().map(|c| c.fragment_count()).sum::<usize>()
+    }
+
+    fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::Fragment(_)
+            | PhysicalPlan::RemoteAggregate(_)
+            | PhysicalPlan::RemoteJoin(_)
+            | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoop { left, right, .. } => vec![left, right],
+            PhysicalPlan::BindJoin(b) => vec![&b.outer],
+            PhysicalPlan::Union { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    /// Executes the plan to a single batch.
+    pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<Batch> {
+        match self {
+            PhysicalPlan::Fragment(f) => f.execute(ctx.source(&f.source)?),
+            PhysicalPlan::RemoteAggregate(r) => execute_remote_agg(r, ctx),
+            PhysicalPlan::RemoteJoin(r) => r.execute(ctx),
+            PhysicalPlan::Filter { input, predicate } => {
+                let batch = input.execute(ctx)?;
+                let keep = evaluate_predicate(predicate, &batch)?;
+                batch.filter(&keep)
+            }
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
+                let batch = input.execute(ctx)?;
+                let mut columns = Vec::with_capacity(exprs.len());
+                for (e, f) in exprs.iter().zip(schema.fields()) {
+                    let col = evaluate(e, &batch)?;
+                    columns.push(col.cast_to(f.data_type)?);
+                }
+                Batch::try_new(schema.clone(), columns)
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                residual,
+                schema,
+            } => {
+                let (l, r) = execute_pair(left, right, ctx)?;
+                hash_join(
+                    &l,
+                    &r,
+                    left_keys,
+                    right_keys,
+                    *kind,
+                    residual.as_ref(),
+                    schema.clone(),
+                )
+            }
+            PhysicalPlan::NestedLoop {
+                left,
+                right,
+                kind,
+                condition,
+                schema,
+            } => {
+                let (l, r) = execute_pair(left, right, ctx)?;
+                nested_loop_join(&l, &r, *kind, condition.as_ref(), schema.clone())
+            }
+            PhysicalPlan::BindJoin(b) => execute_bind_join(b, ctx),
+            PhysicalPlan::HashAggregate {
+                input,
+                group_exprs,
+                aggregates,
+                schema,
+            } => {
+                let batch = input.execute(ctx)?;
+                hash_aggregate(&batch, group_exprs, aggregates, schema.clone())
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let batch = input.execute(ctx)?;
+                sort_batch(&batch, keys)
+            }
+            PhysicalPlan::Limit { input, skip, fetch } => {
+                let batch = input.execute(ctx)?;
+                let start = (*skip).min(batch.num_rows());
+                let len = fetch.unwrap_or(usize::MAX);
+                Ok(batch.slice(start, len))
+            }
+            PhysicalPlan::Union { inputs, schema } => {
+                let raw: Vec<Batch> = if ctx.options.parallel_fetch && inputs.len() > 1 {
+                    execute_all_parallel(inputs, ctx)?
+                } else {
+                    inputs
+                        .iter()
+                        .map(|i| i.execute(ctx))
+                        .collect::<Result<_>>()?
+                };
+                // Re-install the union schema (names may differ).
+                let parts: Vec<Batch> = raw
+                    .into_iter()
+                    .map(|b| Batch::try_new(schema.clone(), b.columns().to_vec()))
+                    .collect::<Result<_>>()?;
+                Batch::concat(schema.clone(), &parts)
+            }
+            PhysicalPlan::Distinct { input } => {
+                let batch = input.execute(ctx)?;
+                Ok(distinct(&batch))
+            }
+            PhysicalPlan::Values { schema, rows } => {
+                if schema.is_empty() {
+                    // Zero-column relations still carry a row count
+                    // (`SELECT 1` evaluates over one empty row).
+                    Ok(Batch::placeholder(rows.len()))
+                } else {
+                    Batch::from_rows(schema.clone(), rows)
+                }
+            }
+        }
+    }
+
+    /// Renders the physical tree for `EXPLAIN`.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        out
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::Fragment(f) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Fragment[{}]: {:?} residual={}",
+                    f.source,
+                    request_summary(&f.request),
+                    f.residual
+                        .as_ref()
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "none".into()),
+                );
+            }
+            PhysicalPlan::RemoteAggregate(r) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}RemoteAggregate[{}]: {:?}",
+                    r.source,
+                    request_summary(&r.request)
+                );
+            }
+            PhysicalPlan::RemoteJoin(r) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}RemoteJoin[{}]: {:?}",
+                    r.source,
+                    request_summary(&r.request)
+                );
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter: {predicate}");
+                input.render(depth + 1, out);
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                let _ = writeln!(out, "{pad}Project: {}", items.join(", "));
+                input.render(depth + 1, out);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin[{kind}]: left{left_keys:?} = right{right_keys:?}"
+                );
+                left.render(depth + 1, out);
+                right.render(depth + 1, out);
+            }
+            PhysicalPlan::NestedLoop { left, right, kind, .. } => {
+                let _ = writeln!(out, "{pad}NestedLoop[{kind}]");
+                left.render(depth + 1, out);
+                right.render(depth + 1, out);
+            }
+            PhysicalPlan::BindJoin(b) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}BindJoin[{}→{} {}]: outer{:?}, batch={}",
+                    b.label,
+                    b.inner.source,
+                    b.kind,
+                    b.outer_keys,
+                    if b.batch_size == usize::MAX {
+                        "all".to_string()
+                    } else {
+                        b.batch_size.to_string()
+                    }
+                );
+                b.outer.render(depth + 1, out);
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_exprs,
+                aggregates,
+                ..
+            } => {
+                let gs: Vec<String> = group_exprs.iter().map(|g| g.to_string()).collect();
+                let asx: Vec<String> =
+                    aggregates.iter().map(|a| a.display_name()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAggregate: group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    asx.join(", ")
+                );
+                input.render(depth + 1, out);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{} {}", k.expr, if k.asc { "ASC" } else { "DESC" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort: {}", ks.join(", "));
+                input.render(depth + 1, out);
+            }
+            PhysicalPlan::Limit { input, skip, fetch } => {
+                let _ = writeln!(out, "{pad}Limit: skip={skip} fetch={fetch:?}");
+                input.render(depth + 1, out);
+            }
+            PhysicalPlan::Union { inputs, .. } => {
+                let _ = writeln!(out, "{pad}UnionAll");
+                for i in inputs {
+                    i.render(depth + 1, out);
+                }
+            }
+            PhysicalPlan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.render(depth + 1, out);
+            }
+            PhysicalPlan::Values { rows, .. } => {
+                let _ = writeln!(out, "{pad}Values: {} row(s)", rows.len());
+            }
+        }
+    }
+}
+
+/// Executes two subplans, concurrently when `parallel_fetch` is on.
+fn execute_pair(
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    ctx: &ExecContext<'_>,
+) -> Result<(Batch, Batch)> {
+    if !ctx.options.parallel_fetch {
+        return Ok((left.execute(ctx)?, right.execute(ctx)?));
+    }
+    crossbeam::thread::scope(|s| {
+        let lh = s.spawn(|_| left.execute(ctx));
+        let r = right.execute(ctx);
+        let l = lh.join().expect("left executor thread panicked");
+        Ok((l?, r?))
+    })
+    .expect("crossbeam scope")
+}
+
+/// Executes many subplans on one thread each.
+fn execute_all_parallel(
+    plans: &[PhysicalPlan],
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Batch>> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|p| s.spawn(move |_| p.execute(ctx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor thread panicked"))
+            .collect::<Result<Vec<_>>>()
+    })
+    .expect("crossbeam scope")
+}
+
+fn request_summary(req: &SourceRequest) -> String {
+    match req {
+        SourceRequest::Scan {
+            table,
+            predicates,
+            projection,
+            sort,
+            limit,
+        } => format!(
+            "scan {table} preds={} proj={} sort={} limit={limit:?}",
+            predicates.len(),
+            projection.len(),
+            sort.len()
+        ),
+        SourceRequest::Aggregate {
+            table,
+            group_by,
+            aggregates,
+            ..
+        } => format!(
+            "agg {table} groups={} aggs={}",
+            group_by.len(),
+            aggregates.len()
+        ),
+        SourceRequest::Lookup {
+            table,
+            key_columns,
+            keys,
+            ..
+        } => format!("lookup {table} keycols={key_columns:?} keys={}", keys.len()),
+        SourceRequest::Join {
+            left_table,
+            right_table,
+            left_keys,
+            right_keys,
+            left_predicates,
+            right_predicates,
+            ..
+        } => format!(
+            "join {left_table}{left_keys:?} = {right_table}{right_keys:?} preds={}+{}",
+            left_predicates.len(),
+            right_predicates.len()
+        ),
+    }
+}
+
+fn sort_batch(batch: &Batch, keys: &[PhysicalSortKey]) -> Result<Batch> {
+    // Evaluate key expressions into a key-only batch, sort its row
+    // indices, and gather.
+    let mut key_cols = Vec::with_capacity(keys.len());
+    let mut key_fields = Vec::with_capacity(keys.len());
+    for (i, k) in keys.iter().enumerate() {
+        let col = evaluate(&k.expr, batch)?;
+        key_fields.push(gis_types::Field::new(
+            format!("k{i}"),
+            col.data_type(),
+        ));
+        key_cols.push(col);
+    }
+    let key_batch = Batch::try_new(Arc::new(Schema::new(key_fields)), key_cols)?;
+    let sort_keys: Vec<SortKey> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| SortKey {
+            column: i,
+            order: if k.asc {
+                SortOrder::Ascending
+            } else {
+                SortOrder::Descending
+            },
+            nulls_first: k.nulls_first,
+        })
+        .collect();
+    let idx = gis_types::ordering::sorted_indices(&key_batch, &sort_keys);
+    Ok(batch.take(&idx))
+}
+
+fn execute_remote_agg(r: &RemoteAggExec, ctx: &ExecContext<'_>) -> Result<Batch> {
+    let remote = ctx.source(&r.source)?;
+    let resp_schema = r.request.output_schema(&r.export_schema)?;
+    let raw = remote.execute_all(&r.request, resp_schema)?;
+    // Group columns go through their mapping transforms; aggregate
+    // outputs are cast to the declared output types.
+    let mut columns = Vec::with_capacity(r.schema.len());
+    for (i, field) in r.schema.fields().iter().enumerate() {
+        let col = if i < r.group_global.len() {
+            let cm = &r.mapping.columns[r.group_global[i]];
+            cm.transform.apply_array(raw.column(i))?
+        } else {
+            raw.column(i).clone()
+        };
+        columns.push(col.cast_to(field.data_type)?);
+    }
+    Batch::try_new(r.schema.clone(), columns)
+}
+
+fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
+    let outer = b.outer.execute(ctx)?;
+    let remote = ctx.source(&b.inner.source)?;
+    // Distinct non-null outer key tuples, inverted to export values.
+    let SourceRequest::Lookup {
+        table,
+        key_columns,
+        projection,
+        ..
+    } = &b.inner.request
+    else {
+        return Err(GisError::Internal(
+            "bind join inner request must be a Lookup".into(),
+        ));
+    };
+    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    let mut export_keys: Vec<Vec<Value>> = Vec::new();
+    for row in 0..outer.num_rows() {
+        let key = Row::new(&outer, row).key(&b.outer_keys);
+        if key.iter().any(Value::is_null) || !seen.insert(key.clone()) {
+            continue;
+        }
+        // Invert each component through the mapping transform of the
+        // inner key column; a non-invertible value matches nothing.
+        let mut export_key = Vec::with_capacity(key.len());
+        let mut ok = true;
+        for (component, &kexp) in key.iter().zip(key_columns.iter()) {
+            let export_type = b.inner.export_schema.field(kexp).data_type;
+            // Find the mapping column feeding from this export col
+            // among fetched key positions: use the global ordinal the
+            // planner stored via inner_key_positions/fetched_global.
+            let g = b.inner.fetched_global[b.inner_key_positions
+                .get(export_key.len())
+                .copied()
+                .unwrap_or(0)];
+            let cm = &b.inner.mapping.columns[g];
+            match cm.transform.invert_literal(component, export_type) {
+                Some(v) => export_key.push(v),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            export_keys.push(export_key);
+        }
+    }
+    // Ship keys in batches, collect matching inner rows.
+    let resp_schema = b.inner.request.output_schema(&b.inner.export_schema)?;
+    let mut inner_parts: Vec<Batch> = Vec::new();
+    let chunk = b.batch_size.max(1);
+    let mut idx = 0;
+    while idx < export_keys.len() || (idx == 0 && export_keys.is_empty()) {
+        let end = export_keys.len().min(idx.saturating_add(chunk));
+        let keys_chunk: Vec<Vec<Value>> = export_keys[idx..end].to_vec();
+        if keys_chunk.is_empty() {
+            break;
+        }
+        let request = SourceRequest::Lookup {
+            table: table.clone(),
+            key_columns: key_columns.clone(),
+            keys: keys_chunk,
+            projection: projection.clone(),
+        };
+        let raw = remote.execute_all(&request, resp_schema.clone())?;
+        let mapped = b.inner.map_response(&raw)?;
+        let filtered = match &b.inner.residual {
+            Some(pred) => {
+                let keep = evaluate_predicate(pred, &mapped)?;
+                mapped.filter(&keep)?
+            }
+            None => mapped,
+        };
+        inner_parts.push(filtered.project(&b.inner.output_positions)?);
+        idx = end;
+    }
+    let inner_all = if inner_parts.is_empty() {
+        Batch::empty(b.inner.schema.clone())
+    } else {
+        let s = inner_parts[0].schema().clone();
+        let joined = Batch::concat(s, &inner_parts)?;
+        Batch::try_new(b.inner.schema.clone(), joined.columns().to_vec())?
+    };
+    hash_join(
+        &outer,
+        &inner_all,
+        &b.outer_keys,
+        &b.inner_key_positions_output(),
+        b.kind,
+        b.residual.as_ref(),
+        b.schema.clone(),
+    )
+}
+
+impl BindJoinExec {
+    /// Key positions within the inner fragment's *output* layout.
+    fn inner_key_positions_output(&self) -> Vec<usize> {
+        self.inner_key_positions
+            .iter()
+            .map(|&fetched_pos| {
+                self.inner
+                    .output_positions
+                    .iter()
+                    .position(|&p| p == fetched_pos)
+                    .expect("key columns are part of the inner output")
+            })
+            .collect()
+    }
+}

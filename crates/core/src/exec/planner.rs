@@ -1,0 +1,735 @@
+//! Physical planning: logical plan → operator tree.
+//!
+//! This is where federation strategy is decided:
+//!
+//! * every `TableScan` becomes a [`FragmentExec`] scoped to what its
+//!   source can run (predicates re-checked against the adapter's
+//!   structural pushability),
+//! * an `Aggregate` directly over a scan of a capable source becomes
+//!   a [`RemoteAggExec`] — the whole aggregation runs remotely,
+//! * an equi-join whose inner side is a remote scan picks among
+//!   **ship-whole**, **semijoin** and **bind-join** by estimated
+//!   virtual network time on the actual link conditions (the F1/F3
+//!   crossover experiments sweep exactly this decision),
+//! * `ORDER BY`/`LIMIT` directly over a fully-pushed scan ride along
+//!   in the fragment when the source is capable.
+
+use crate::cost::{estimate, Estimate};
+use crate::exec::fragment::{
+    build_fragment, build_lookup_fragment, key_export_ordinals, FragmentExec,
+};
+use crate::exec::options::{ExecOptions, JoinStrategy};
+use crate::exec::physical::{
+    BindJoinExec, PhysicalPlan, PhysicalSortKey, RemoteAggExec,
+};
+use crate::expr::ScalarExpr;
+use crate::plan::logical::{LogicalPlan, TableScanNode};
+use gis_adapters::{AggSpec, RemoteSource, SortSpec, SourceRequest};
+use gis_catalog::Transform;
+use gis_net::NetworkConditions;
+use gis_sql::ast::JoinKind;
+use gis_types::{GisError, Result};
+use std::collections::HashMap;
+
+/// Compiles an optimized logical plan into a physical plan.
+pub fn create_physical_plan(
+    plan: &LogicalPlan,
+    sources: &HashMap<String, RemoteSource>,
+    options: &ExecOptions,
+) -> Result<PhysicalPlan> {
+    let planner = Planner { sources, options };
+    planner.create(plan)
+}
+
+struct Planner<'a> {
+    sources: &'a HashMap<String, RemoteSource>,
+    options: &'a ExecOptions,
+}
+
+impl Planner<'_> {
+    fn remote(&self, source: &str) -> Result<&RemoteSource> {
+        self.sources
+            .get(&source.to_ascii_lowercase())
+            .ok_or_else(|| {
+                GisError::Internal(format!(
+                    "no adapter registered for source '{source}'"
+                ))
+            })
+    }
+
+    fn create(&self, plan: &LogicalPlan) -> Result<PhysicalPlan> {
+        match plan {
+            LogicalPlan::TableScan(t) => {
+                let remote = self.remote(&t.resolved.source.name)?;
+                Ok(PhysicalPlan::Fragment(build_fragment(t, remote)?))
+            }
+            LogicalPlan::Filter { input, predicate } => Ok(PhysicalPlan::Filter {
+                input: Box::new(self.create(input)?),
+                predicate: predicate.clone(),
+            }),
+            LogicalPlan::Projection {
+                input,
+                exprs,
+                schema,
+            } => Ok(PhysicalPlan::Project {
+                input: Box::new(self.create(input)?),
+                exprs: exprs.clone(),
+                schema: schema.clone(),
+            }),
+            LogicalPlan::Join(j) => self.create_join(j),
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                aggregates,
+                schema,
+            } => {
+                if self.options.aggregate_pushdown {
+                    if let LogicalPlan::TableScan(t) = input.as_ref() {
+                        if let Some(remote_agg) =
+                            self.try_remote_aggregate(t, group_exprs, aggregates, schema)?
+                        {
+                            return Ok(PhysicalPlan::RemoteAggregate(remote_agg));
+                        }
+                    }
+                }
+                Ok(PhysicalPlan::HashAggregate {
+                    input: Box::new(self.create(input)?),
+                    group_exprs: group_exprs.clone(),
+                    aggregates: aggregates.clone(),
+                    schema: schema.clone(),
+                })
+            }
+            LogicalPlan::Sort { input, keys } => {
+                // Sort pushdown: Sort directly over a fully-pushed
+                // scan of a sort-capable source rides in the fragment.
+                if self.options.sort_pushdown {
+                    if let LogicalPlan::TableScan(t) = input.as_ref() {
+                        if let Some(frag) = self.try_pushed_sort(t, keys)? {
+                            return Ok(PhysicalPlan::Fragment(frag));
+                        }
+                    }
+                }
+                Ok(PhysicalPlan::Sort {
+                    input: Box::new(self.create(input)?),
+                    keys: keys
+                        .iter()
+                        .map(|k| PhysicalSortKey {
+                            expr: k.expr.clone(),
+                            asc: k.asc,
+                            nulls_first: k.nulls_first,
+                        })
+                        .collect(),
+                })
+            }
+            LogicalPlan::Limit { input, skip, fetch } => {
+                // Top-k pushdown: Limit(Sort(scan)) on a sort-capable
+                // source ships only skip+fetch rows, pre-sorted.
+                if self.options.sort_pushdown {
+                    if let (Some(f), LogicalPlan::Sort { input: sort_in, keys }) =
+                        (fetch, input.as_ref())
+                    {
+                        if let LogicalPlan::TableScan(t) = sort_in.as_ref() {
+                            let bound = f.saturating_add(*skip);
+                            if let Some(frag) =
+                                self.try_pushed_sort_with_limit(t, keys, Some(bound))?
+                            {
+                                return Ok(PhysicalPlan::Limit {
+                                    input: Box::new(PhysicalPlan::Fragment(frag)),
+                                    skip: *skip,
+                                    fetch: *fetch,
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(PhysicalPlan::Limit {
+                    input: Box::new(self.create(input)?),
+                    skip: *skip,
+                    fetch: *fetch,
+                })
+            }
+            LogicalPlan::Union { inputs, schema } => Ok(PhysicalPlan::Union {
+                inputs: inputs
+                    .iter()
+                    .map(|i| self.create(i))
+                    .collect::<Result<_>>()?,
+                schema: schema.clone(),
+            }),
+            LogicalPlan::Distinct { input } => Ok(PhysicalPlan::Distinct {
+                input: Box::new(self.create(input)?),
+            }),
+            LogicalPlan::Values { schema, rows } => Ok(PhysicalPlan::Values {
+                schema: schema.clone(),
+                rows: rows.clone(),
+            }),
+        }
+    }
+
+    fn create_join(&self, j: &crate::plan::logical::JoinNode) -> Result<PhysicalPlan> {
+        let (left_keys, right_keys, residual) = j.equi_keys();
+        // Co-located inner equi-join: both sides scan tables on the
+        // same source, which can join natively — the whole join ships
+        // as one fragment.
+        if self.options.colocated_join && j.kind == JoinKind::Inner && !left_keys.is_empty() {
+            if let (LogicalPlan::TableScan(l), LogicalPlan::TableScan(r)) =
+                (j.left.as_ref(), j.right.as_ref())
+            {
+                if let Some(plan) = self.try_colocated_join(
+                    j, l, r, &left_keys, &right_keys, residual.as_ref(),
+                )? {
+                    return Ok(plan);
+                }
+            }
+        }
+        // Candidate for a key-shipping strategy: equi-join whose
+        // right side is a remote scan, with a kind where the right
+        // side only needs matching rows.
+        let bindable_kind = matches!(
+            j.kind,
+            JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti
+        );
+        if !left_keys.is_empty() && bindable_kind {
+            if let LogicalPlan::TableScan(t) = j.right.as_ref() {
+                if let Some(plan) = self.try_key_shipping(
+                    j, t, &left_keys, &right_keys, residual.as_ref(),
+                )? {
+                    return Ok(plan);
+                }
+            }
+        }
+        let left = Box::new(self.create(&j.left)?);
+        let right = Box::new(self.create(&j.right)?);
+        if left_keys.is_empty() {
+            return Ok(PhysicalPlan::NestedLoop {
+                left,
+                right,
+                kind: j.kind,
+                condition: j.on.clone(),
+                schema: j.schema.clone(),
+            });
+        }
+        Ok(PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind: j.kind,
+            residual,
+            schema: j.schema.clone(),
+        })
+    }
+
+    /// Attempts to push the whole inner equi-join to the common
+    /// source. `None` when the sources differ, the source cannot
+    /// join, key transforms are not passthrough, or a scan carries a
+    /// fetch limit (limit-then-join differs from join-then-limit).
+    fn try_colocated_join(
+        &self,
+        j: &crate::plan::logical::JoinNode,
+        left: &TableScanNode,
+        right: &TableScanNode,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        on_residual: Option<&ScalarExpr>,
+    ) -> Result<Option<PhysicalPlan>> {
+        if left.resolved.source.name != right.resolved.source.name
+            || !left.resolved.source.capabilities.join
+            || left.fetch.is_some()
+            || right.fetch.is_some()
+        {
+            return Ok(None);
+        }
+        let remote = self.remote(&left.resolved.source.name)?;
+        // Cost gate: joining at the source ships the join *output*;
+        // declining ships both (filtered, projected) inputs and joins
+        // at the mediator. A fan-out join can make the output larger
+        // than the inputs — measured in experiment F5 — so push only
+        // when the estimate favors it.
+        let out_est = estimate(&LogicalPlan::Join(j.clone()));
+        let in_est = estimate(&j.left).total_bytes() + estimate(&j.right).total_bytes();
+        if out_est.total_bytes() > in_est {
+            return Ok(None);
+        }
+        // Key transforms must be passthrough so export-side equality
+        // coincides with global equality.
+        let passthrough = |scan: &TableScanNode, out_ord: usize| -> Option<usize> {
+            let g = scan.output_ordinals()[out_ord];
+            match scan.resolved.mapping.columns[g].transform {
+                Transform::Identity | Transform::Cast(_) => Some(g),
+                _ => None,
+            }
+        };
+        let mut lk_export = Vec::with_capacity(left_keys.len());
+        let mut rk_export = Vec::with_capacity(right_keys.len());
+        for (&lo, &ro) in left_keys.iter().zip(right_keys) {
+            let (Some(lg), Some(rg)) = (passthrough(left, lo), passthrough(right, ro))
+            else {
+                return Ok(None);
+            };
+            lk_export.push(
+                left.resolved
+                    .table
+                    .export_schema
+                    .index_of(None, &left.resolved.mapping.columns[lg].source_column)?,
+            );
+            rk_export.push(
+                right
+                    .resolved
+                    .table
+                    .export_schema
+                    .index_of(None, &right.resolved.mapping.columns[rg].source_column)?,
+            );
+        }
+        // Per-side fragments give us the predicate split and fetch
+        // sets; reuse the scan fragment builder.
+        let lf = build_fragment(left, remote)?;
+        let rf = build_fragment(right, remote)?;
+        let (SourceRequest::Scan {
+            predicates: lpreds, ..
+        }, SourceRequest::Scan {
+            predicates: rpreds, ..
+        }) = (&lf.request, &rf.request)
+        else {
+            return Ok(None);
+        };
+        // Response layout: left fetched globals then right fetched
+        // globals, each shipped 1:1 (duplicates allowed) so transforms
+        // apply positionally.
+        let side_projection = |scan: &TableScanNode, fetched: &[usize]| -> Result<Vec<usize>> {
+            fetched
+                .iter()
+                .map(|&g| {
+                    scan.resolved
+                        .table
+                        .export_schema
+                        .index_of(None, &scan.resolved.mapping.columns[g].source_column)
+                })
+                .collect()
+        };
+        let left_projection = side_projection(left, &lf.fetched_global)?;
+        let right_projection = side_projection(right, &rf.fetched_global)?;
+        let request = SourceRequest::Join {
+            left_table: left.resolved.mapping.source_table.clone(),
+            right_table: right.resolved.mapping.source_table.clone(),
+            left_keys: lk_export,
+            right_keys: rk_export,
+            left_predicates: lpreds.clone(),
+            right_predicates: rpreds.clone(),
+            left_projection,
+            right_projection,
+        };
+        if request
+            .check_capabilities(&left.resolved.source.capabilities)
+            .is_err()
+        {
+            return Ok(None);
+        }
+        // Positional transform columns.
+        let mut columns: Vec<gis_catalog::ColumnMapping> = lf
+            .fetched_global
+            .iter()
+            .map(|&g| left.resolved.mapping.columns[g].clone())
+            .collect();
+        columns.extend(
+            rf.fetched_global
+                .iter()
+                .map(|&g| right.resolved.mapping.columns[g].clone()),
+        );
+        // Residuals: per-side scan residuals are already remapped to
+        // their fetched layouts; shift the right side. The ON
+        // residual is over the logical combined schema (left output
+        // ++ right output) and needs remapping to fetched positions.
+        let left_width = lf.fetched_global.len();
+        let mut residuals: Vec<ScalarExpr> = Vec::new();
+        if let Some(rsd) = &lf.residual {
+            residuals.push(rsd.clone());
+        }
+        if let Some(rsd) = &rf.residual {
+            let map: HashMap<usize, usize> = (0..rf.fetched_global.len())
+                .map(|i| (i, left_width + i))
+                .collect();
+            residuals.push(rsd.clone().remap_columns(&map)?);
+        }
+        if let Some(on) = on_residual {
+            let left_out = left.output_ordinals();
+            let right_out = right.output_ordinals();
+            let mut map: HashMap<usize, usize> = HashMap::new();
+            for (c, &g) in left_out.iter().enumerate() {
+                let pos = lf
+                    .fetched_global
+                    .iter()
+                    .position(|&f| f == g)
+                    .expect("output is fetched");
+                map.insert(c, pos);
+            }
+            for (c, &g) in right_out.iter().enumerate() {
+                let pos = rf
+                    .fetched_global
+                    .iter()
+                    .position(|&f| f == g)
+                    .expect("output is fetched");
+                map.insert(left_out.len() + c, left_width + pos);
+            }
+            residuals.push(on.clone().remap_columns(&map)?);
+        }
+        // Output positions: left scan output then right scan output.
+        let mut output_positions: Vec<usize> = left
+            .output_ordinals()
+            .iter()
+            .map(|g| {
+                lf.fetched_global
+                    .iter()
+                    .position(|f| f == g)
+                    .expect("output is fetched")
+            })
+            .collect();
+        output_positions.extend(right.output_ordinals().iter().map(|g| {
+            left_width
+                + rf.fetched_global
+                    .iter()
+                    .position(|f| f == g)
+                    .expect("output is fetched")
+        }));
+        Ok(Some(PhysicalPlan::RemoteJoin(
+            crate::exec::physical::RemoteJoinExec {
+                source: left.resolved.source.name.clone(),
+                request,
+                left_export: left.resolved.table.export_schema.clone(),
+                right_export: right.resolved.table.export_schema.clone(),
+                columns,
+                residual: ScalarExpr::conjunction(residuals),
+                output_positions,
+                schema: j.schema.clone(),
+            },
+        )))
+    }
+
+    /// Attempts a semijoin / bind-join against the remote inner scan;
+    /// `None` means ship-whole (plain hash join) wins or the strategy
+    /// is inapplicable.
+    fn try_key_shipping(
+        &self,
+        j: &crate::plan::logical::JoinNode,
+        inner: &TableScanNode,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        residual: Option<&ScalarExpr>,
+        ) -> Result<Option<PhysicalPlan>> {
+        let remote = self.remote(&inner.resolved.source.name)?;
+        let caps = inner.resolved.source.capabilities;
+        if !caps.bind_lookup {
+            return Ok(None);
+        }
+        // The right-side key ordinals are over the scan's *output*;
+        // convert to global ordinals of the table.
+        let out_ords = inner.output_ordinals();
+        let key_global: Vec<usize> = right_keys
+            .iter()
+            .map(|&k| out_ords[k])
+            .collect();
+        // Key transforms must be invertible kinds.
+        for &g in &key_global {
+            match &inner.resolved.mapping.columns[g].transform {
+                Transform::Identity | Transform::Cast(_) => {}
+                _ => return Ok(None),
+            }
+        }
+        // KV sources only serve lookups on a key prefix.
+        let key_export = key_export_ordinals(
+            &inner.resolved.mapping,
+            &inner.resolved.table.export_schema,
+            &key_global,
+        )?;
+        if inner.resolved.source.kind == "kv" {
+            let is_prefix = key_export
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| c == i);
+            if !is_prefix || key_export.is_empty() {
+                return Ok(None);
+            }
+        }
+        // Cost the strategies on the actual link conditions.
+        let outer_est = estimate(&j.left);
+        let inner_est = estimate(&j.right);
+        let conditions = remote.link().conditions();
+        let chosen = self.choose_strategy(&outer_est, &inner_est, left_keys.len(), conditions);
+        let (batch_size, label) = match chosen {
+            JoinStrategy::ShipWhole => return Ok(None),
+            JoinStrategy::SemiJoin => (usize::MAX, "semijoin"),
+            JoinStrategy::BindJoin => (self.options.bind_batch_size, "bind-join"),
+            JoinStrategy::Auto => unreachable!("choose_strategy resolves Auto"),
+        };
+        let fragment = build_lookup_fragment(inner, &key_global)?;
+        // Positions of key globals within the fetched layout.
+        let inner_key_positions: Vec<usize> = key_global
+            .iter()
+            .map(|g| {
+                fragment
+                    .fetched_global
+                    .iter()
+                    .position(|f| f == g)
+                    .expect("keys are fetched")
+            })
+            .collect();
+        let outer_plan = self.create(&j.left)?;
+        Ok(Some(PhysicalPlan::BindJoin(BindJoinExec {
+            outer: Box::new(outer_plan),
+            outer_keys: left_keys.to_vec(),
+            inner: fragment,
+            inner_key_positions,
+            kind: j.kind,
+            residual: residual.cloned(),
+            batch_size,
+            schema: j.schema.clone(),
+            label,
+        })))
+    }
+
+    /// Picks a strategy from estimates and link conditions (resolving
+    /// `Auto` to a concrete choice).
+    fn choose_strategy(
+        &self,
+        outer: &Estimate,
+        inner: &Estimate,
+        key_width: usize,
+        conditions: NetworkConditions,
+    ) -> JoinStrategy {
+        match self.options.join_strategy {
+            JoinStrategy::Auto => {}
+            forced => return forced,
+        }
+        let chunk = self.options.chunk_rows.max(1) as f64;
+        let key_bytes_per_row = 9.0 * key_width as f64;
+        // Ship-whole: fetch the entire inner relation.
+        let ship_msgs = 1.0 + (inner.rows / chunk).ceil();
+        let ship_cost = virtual_cost(
+            conditions,
+            ship_msgs,
+            inner.total_bytes(),
+        );
+        // Key shipping: distinct outer keys out, matching rows back.
+        let keys = outer.rows;
+        let matched = outer.rows.min(inner.rows);
+        let fetch_bytes = keys * key_bytes_per_row + matched * inner.row_bytes;
+        // Semijoin: one lookup message (plus response chunks).
+        let semi_msgs = 1.0 + (matched / chunk).ceil();
+        let semi_cost = virtual_cost(conditions, semi_msgs, fetch_bytes);
+        // Bind-join: one message pair per key batch.
+        let bind_batches = (keys / self.options.bind_batch_size.max(1) as f64).ceil().max(1.0);
+        let bind_msgs = bind_batches + (matched / chunk).ceil().max(bind_batches);
+        let bind_cost = virtual_cost(conditions, bind_msgs, fetch_bytes);
+        let min = ship_cost.min(semi_cost).min(bind_cost);
+        if min == ship_cost {
+            JoinStrategy::ShipWhole
+        } else if min == semi_cost {
+            JoinStrategy::SemiJoin
+        } else {
+            JoinStrategy::BindJoin
+        }
+    }
+
+    fn try_remote_aggregate(
+        &self,
+        scan: &TableScanNode,
+        group_exprs: &[ScalarExpr],
+        aggregates: &[crate::plan::logical::AggregateExpr],
+        schema: &gis_types::SchemaRef,
+    ) -> Result<Option<RemoteAggExec>> {
+        let caps = scan.resolved.source.capabilities;
+        if !caps.aggregate || scan.fetch.is_some() {
+            return Ok(None);
+        }
+        let mapping = &scan.resolved.mapping;
+        let export = &scan.resolved.table.export_schema;
+        let out_ords = scan.output_ordinals();
+        // Group keys and aggregate args must be bare columns with
+        // passthrough transforms (Identity / lossless Cast).
+        let passthrough = |g: usize| {
+            matches!(
+                mapping.columns[g].transform,
+                Transform::Identity | Transform::Cast(_)
+            )
+        };
+        let mut group_global = Vec::with_capacity(group_exprs.len());
+        for g in group_exprs {
+            let ScalarExpr::Column(c) = g else {
+                return Ok(None);
+            };
+            let global = out_ords[*c];
+            if !passthrough(global) {
+                return Ok(None);
+            }
+            group_global.push(global);
+        }
+        let mut specs = Vec::with_capacity(aggregates.len());
+        for a in aggregates {
+            if a.distinct {
+                return Ok(None);
+            }
+            let column = match &a.arg {
+                None => None,
+                Some(ScalarExpr::Column(c)) => {
+                    let global = out_ords[*c];
+                    if !matches!(mapping.columns[global].transform, Transform::Identity) {
+                        return Ok(None);
+                    }
+                    Some(export.index_of(None, &mapping.columns[global].source_column)?)
+                }
+                Some(_) => return Ok(None),
+            };
+            specs.push(AggSpec {
+                func: a.func,
+                column,
+            });
+        }
+        // Every scan filter must ship (no residual allowed — the
+        // aggregate would otherwise see unfiltered rows).
+        let remote = self.remote(&scan.resolved.source.name)?;
+        let probe = build_fragment(scan, remote)?;
+        let SourceRequest::Scan { predicates, .. } = &probe.request else {
+            return Ok(None);
+        };
+        if probe.residual.is_some() {
+            return Ok(None);
+        }
+        let group_by: Vec<usize> = group_global
+            .iter()
+            .map(|&g| export.index_of(None, &mapping.columns[g].source_column))
+            .collect::<Result<_>>()?;
+        let request = SourceRequest::Aggregate {
+            table: mapping.source_table.clone(),
+            predicates: predicates.clone(),
+            group_by,
+            aggregates: specs,
+        };
+        // Dry-run the capability check so planning errors early.
+        if request.check_capabilities(&caps).is_err() {
+            return Ok(None);
+        }
+        Ok(Some(RemoteAggExec {
+            source: scan.resolved.source.name.clone(),
+            request,
+            export_schema: export.clone(),
+            mapping: mapping.clone(),
+            group_global,
+            schema: schema.clone(),
+        }))
+    }
+
+    /// Sort over a scan: push when the source sorts and nothing stays
+    /// residual.
+    fn try_pushed_sort(
+        &self,
+        scan: &TableScanNode,
+        keys: &[crate::plan::logical::SortExpr],
+    ) -> Result<Option<FragmentExec>> {
+        self.try_pushed_sort_with_limit(scan, keys, None)
+    }
+
+    /// Like [`Planner::try_pushed_sort`], optionally installing a
+    /// top-k row bound in the same request (the source sorts, then
+    /// limits).
+    fn try_pushed_sort_with_limit(
+        &self,
+        scan: &TableScanNode,
+        keys: &[crate::plan::logical::SortExpr],
+        top_k: Option<usize>,
+    ) -> Result<Option<FragmentExec>> {
+        let caps = scan.resolved.source.capabilities;
+        if !caps.sort {
+            return Ok(None);
+        }
+        // Keys must be bare output columns with monotonic transforms.
+        let out_ords = scan.output_ordinals();
+        let mut specs = Vec::with_capacity(keys.len());
+        for k in keys {
+            let ScalarExpr::Column(c) = &k.expr else {
+                return Ok(None);
+            };
+            let global = out_ords[*c];
+            if !scan.resolved.mapping.columns[global].transform.is_monotonic() {
+                return Ok(None);
+            }
+            specs.push(SortSpec {
+                column: *c,
+                asc: k.asc,
+                nulls_first: k.nulls_first,
+            });
+        }
+        let remote = self.remote(&scan.resolved.source.name)?;
+        let mut fragment = build_fragment(scan, remote)?;
+        if fragment.residual.is_some() {
+            // Residual filtering would destroy the source order's
+            // completeness guarantee with a fetch limit; keep simple:
+            // only push sorts over fully-shipped scans.
+            return Ok(None);
+        }
+        // The SortSpec ordinals refer to the request's output schema;
+        // fragment output ordering equals scan output ordering only
+        // when projection kept all key columns — they are output
+        // columns by construction (bare Column over scan output).
+        // However the *request* projection is in export order; map
+        // output ordinal -> position in the request's response.
+        let SourceRequest::Scan {
+            table,
+            predicates,
+            projection,
+            limit,
+            ..
+        } = &fragment.request
+        else {
+            return Ok(None);
+        };
+        let mapping = &scan.resolved.mapping;
+        let export = &scan.resolved.table.export_schema;
+        let mut remapped = Vec::with_capacity(specs.len());
+        for s in &specs {
+            let global = out_ords[s.column];
+            let export_ord =
+                export.index_of(None, &mapping.columns[global].source_column)?;
+            let resp_pos = if projection.is_empty() {
+                export_ord
+            } else {
+                match projection.iter().position(|&p| p == export_ord) {
+                    Some(p) => p,
+                    None => return Ok(None),
+                }
+            };
+            remapped.push(SortSpec {
+                column: resp_pos,
+                ..*s
+            });
+        }
+        let effective_limit = match (top_k, *limit) {
+            (Some(k), Some(l)) => Some((k as u64).min(l)),
+            (Some(k), None) => Some(k as u64),
+            (None, l) => l,
+        };
+        if top_k.is_some() && !caps.limit {
+            return Ok(None);
+        }
+        fragment.request = SourceRequest::Scan {
+            table: table.clone(),
+            predicates: predicates.clone(),
+            projection: projection.clone(),
+            sort: remapped,
+            limit: effective_limit,
+        };
+        if fragment
+            .request
+            .check_capabilities(&caps)
+            .is_err()
+        {
+            return Ok(None);
+        }
+        Ok(Some(fragment))
+    }
+}
+
+/// Virtual network time (µs) for `msgs` messages carrying `bytes`.
+fn virtual_cost(conditions: NetworkConditions, msgs: f64, bytes: f64) -> f64 {
+    let bw = conditions.bandwidth_bytes_per_sec;
+    let transfer = if bw == 0 { 0.0 } else { bytes * 1e6 / bw as f64 };
+    msgs * conditions.latency_us as f64 + transfer
+}

@@ -1,0 +1,477 @@
+//! Scalar function registry.
+//!
+//! Resolution from name happens in the binder via
+//! [`ScalarFunc::resolve`]; evaluation is row-at-a-time inside the
+//! vectorized evaluator (the function set is small enough that
+//! per-function kernels would be noise).
+
+use gis_types::{DataType, GisError, Result, Value};
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    /// `abs(x)` — absolute value.
+    Abs,
+    /// `length(s)` — characters in a string.
+    Length,
+    /// `upper(s)` / `lower(s)`.
+    Upper,
+    /// Lowercase.
+    Lower,
+    /// `substr(s, start[, len])` — 1-based start.
+    Substr,
+    /// `coalesce(a, b, ...)` — first non-null.
+    Coalesce,
+    /// `round(x[, digits])`.
+    Round,
+    /// `floor(x)` / `ceil(x)`.
+    Floor,
+    /// Ceiling.
+    Ceil,
+    /// `nullif(a, b)` — NULL when equal, else `a`.
+    NullIf,
+    /// `trim(s)` — strip ASCII whitespace.
+    Trim,
+    /// `concat(a, b, ...)` — string concatenation, NULL-safe (skips
+    /// NULLs, matching common engine behaviour).
+    ConcatWs,
+    /// `year(d)` / `month(d)` / `day(d)` — date parts.
+    Year,
+    /// Month part.
+    Month,
+    /// Day part.
+    Day,
+    /// `sqrt(x)`.
+    Sqrt,
+}
+
+impl ScalarFunc {
+    /// Resolves a lowercase function name.
+    pub fn resolve(name: &str) -> Option<ScalarFunc> {
+        Some(match name {
+            "abs" => ScalarFunc::Abs,
+            "length" | "char_length" => ScalarFunc::Length,
+            "upper" => ScalarFunc::Upper,
+            "lower" => ScalarFunc::Lower,
+            "substr" | "substring" => ScalarFunc::Substr,
+            "coalesce" => ScalarFunc::Coalesce,
+            "round" => ScalarFunc::Round,
+            "floor" => ScalarFunc::Floor,
+            "ceil" | "ceiling" => ScalarFunc::Ceil,
+            "nullif" => ScalarFunc::NullIf,
+            "trim" => ScalarFunc::Trim,
+            "concat" => ScalarFunc::ConcatWs,
+            "year" => ScalarFunc::Year,
+            "month" => ScalarFunc::Month,
+            "day" => ScalarFunc::Day,
+            "sqrt" => ScalarFunc::Sqrt,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarFunc::Abs => "abs",
+            ScalarFunc::Length => "length",
+            ScalarFunc::Upper => "upper",
+            ScalarFunc::Lower => "lower",
+            ScalarFunc::Substr => "substr",
+            ScalarFunc::Coalesce => "coalesce",
+            ScalarFunc::Round => "round",
+            ScalarFunc::Floor => "floor",
+            ScalarFunc::Ceil => "ceil",
+            ScalarFunc::NullIf => "nullif",
+            ScalarFunc::Trim => "trim",
+            ScalarFunc::ConcatWs => "concat",
+            ScalarFunc::Year => "year",
+            ScalarFunc::Month => "month",
+            ScalarFunc::Day => "day",
+            ScalarFunc::Sqrt => "sqrt",
+        }
+    }
+
+    /// Return type given argument types; validates arity.
+    pub fn return_type(self, args: &[DataType]) -> Result<DataType> {
+        let arity_err = |want: &str| {
+            Err(GisError::Analysis(format!(
+                "{}() expects {want} argument(s), got {}",
+                self.name(),
+                args.len()
+            )))
+        };
+        match self {
+            ScalarFunc::Abs => {
+                if args.len() != 1 {
+                    return arity_err("1");
+                }
+                Ok(args[0])
+            }
+            ScalarFunc::Length => {
+                if args.len() != 1 {
+                    return arity_err("1");
+                }
+                Ok(DataType::Int64)
+            }
+            ScalarFunc::Upper | ScalarFunc::Lower | ScalarFunc::Trim => {
+                if args.len() != 1 {
+                    return arity_err("1");
+                }
+                Ok(DataType::Utf8)
+            }
+            ScalarFunc::Substr => {
+                if args.len() != 2 && args.len() != 3 {
+                    return arity_err("2 or 3");
+                }
+                Ok(DataType::Utf8)
+            }
+            ScalarFunc::Coalesce => {
+                if args.is_empty() {
+                    return arity_err("at least 1");
+                }
+                let mut ty = DataType::Null;
+                for &a in args {
+                    ty = ty.common_supertype(a).ok_or_else(|| {
+                        GisError::Analysis("coalesce() arguments have incompatible types".to_string())
+                    })?;
+                }
+                Ok(ty)
+            }
+            ScalarFunc::Round => {
+                if args.len() != 1 && args.len() != 2 {
+                    return arity_err("1 or 2");
+                }
+                Ok(DataType::Float64)
+            }
+            ScalarFunc::Floor | ScalarFunc::Ceil => {
+                if args.len() != 1 {
+                    return arity_err("1");
+                }
+                Ok(DataType::Int64)
+            }
+            ScalarFunc::NullIf => {
+                if args.len() != 2 {
+                    return arity_err("2");
+                }
+                Ok(args[0])
+            }
+            ScalarFunc::ConcatWs => {
+                if args.is_empty() {
+                    return arity_err("at least 1");
+                }
+                Ok(DataType::Utf8)
+            }
+            ScalarFunc::Year | ScalarFunc::Month | ScalarFunc::Day => {
+                if args.len() != 1 {
+                    return arity_err("1");
+                }
+                Ok(DataType::Int64)
+            }
+            ScalarFunc::Sqrt => {
+                if args.len() != 1 {
+                    return arity_err("1");
+                }
+                Ok(DataType::Float64)
+            }
+        }
+    }
+
+    /// Evaluates over materialized argument values.
+    pub fn eval(self, args: &[Value]) -> Result<Value> {
+        let null_in = |n: usize| args[..n].iter().any(Value::is_null);
+        Ok(match self {
+            ScalarFunc::Abs => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                match &args[0] {
+                    Value::Int32(v) => Value::Int32(v.wrapping_abs()),
+                    Value::Int64(v) => Value::Int64(v.wrapping_abs()),
+                    Value::Float64(v) => Value::Float64(v.abs()),
+                    other => {
+                        return Err(GisError::Execution(format!(
+                            "abs() on {}",
+                            other.data_type()
+                        )))
+                    }
+                }
+            }
+            ScalarFunc::Length => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                Value::Int64(req_str(&args[0], "length")?.chars().count() as i64)
+            }
+            ScalarFunc::Upper => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                Value::Utf8(req_str(&args[0], "upper")?.to_uppercase())
+            }
+            ScalarFunc::Lower => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                Value::Utf8(req_str(&args[0], "lower")?.to_lowercase())
+            }
+            ScalarFunc::Trim => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                Value::Utf8(req_str(&args[0], "trim")?.trim().to_string())
+            }
+            ScalarFunc::Substr => {
+                if args.iter().any(Value::is_null) {
+                    return Ok(Value::Null);
+                }
+                let s: Vec<char> = req_str(&args[0], "substr")?.chars().collect();
+                let start = args[1]
+                    .as_i64()?
+                    .unwrap_or(1)
+                    .max(1) as usize
+                    - 1;
+                let len = if args.len() == 3 {
+                    args[2].as_i64()?.unwrap_or(0).max(0) as usize
+                } else {
+                    usize::MAX
+                };
+                let end = start.saturating_add(len).min(s.len());
+                let start = start.min(s.len());
+                Value::Utf8(s[start..end].iter().collect())
+            }
+            ScalarFunc::Coalesce => args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null),
+            ScalarFunc::Round => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                let x = req_num(&args[0], "round")?;
+                let digits = if args.len() == 2 {
+                    if args[1].is_null() {
+                        return Ok(Value::Null);
+                    }
+                    args[1].as_i64()?.unwrap_or(0)
+                } else {
+                    0
+                };
+                let scale = 10f64.powi(digits as i32);
+                Value::Float64((x * scale).round() / scale)
+            }
+            ScalarFunc::Floor => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                Value::Int64(req_num(&args[0], "floor")?.floor() as i64)
+            }
+            ScalarFunc::Ceil => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                Value::Int64(req_num(&args[0], "ceil")?.ceil() as i64)
+            }
+            ScalarFunc::NullIf => {
+                if args[0].is_null() {
+                    return Ok(Value::Null);
+                }
+                if args[0].sql_eq(&args[1]) == Some(true) {
+                    Value::Null
+                } else {
+                    args[0].clone()
+                }
+            }
+            ScalarFunc::ConcatWs => {
+                let mut s = String::new();
+                for a in args {
+                    if !a.is_null() {
+                        s.push_str(&a.to_string());
+                    }
+                }
+                Value::Utf8(s)
+            }
+            ScalarFunc::Year | ScalarFunc::Month | ScalarFunc::Day => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                let days = match &args[0] {
+                    Value::Date(d) => *d,
+                    Value::Timestamp(us) => us.div_euclid(86_400_000_000) as i32,
+                    other => {
+                        return Err(GisError::Execution(format!(
+                            "{}() on {}",
+                            self.name(),
+                            other.data_type()
+                        )))
+                    }
+                };
+                let formatted = gis_types::value::format_date(days);
+                let mut parts = formatted.split('-');
+                let y: i64 = parts.next().unwrap().parse().unwrap();
+                let m: i64 = parts.next().unwrap().parse().unwrap();
+                let d: i64 = parts.next().unwrap().parse().unwrap();
+                Value::Int64(match self {
+                    ScalarFunc::Year => y,
+                    ScalarFunc::Month => m,
+                    _ => d,
+                })
+            }
+            ScalarFunc::Sqrt => {
+                if null_in(1) {
+                    return Ok(Value::Null);
+                }
+                Value::Float64(req_num(&args[0], "sqrt")?.sqrt())
+            }
+        })
+    }
+}
+
+fn req_str<'a>(v: &'a Value, func: &str) -> Result<&'a str> {
+    v.as_str()?.ok_or_else(|| {
+        GisError::Execution(format!("{func}() received NULL unexpectedly"))
+    })
+}
+
+fn req_num(v: &Value, func: &str) -> Result<f64> {
+    v.as_f64()?.ok_or_else(|| {
+        GisError::Execution(format!("{func}() received NULL unexpectedly"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_and_names() {
+        assert_eq!(ScalarFunc::resolve("upper"), Some(ScalarFunc::Upper));
+        assert_eq!(ScalarFunc::resolve("CEILING".to_lowercase().as_str()), Some(ScalarFunc::Ceil));
+        assert_eq!(ScalarFunc::resolve("nope"), None);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            ScalarFunc::Upper.eval(&[Value::Utf8("abc".into())]).unwrap(),
+            Value::Utf8("ABC".into())
+        );
+        assert_eq!(
+            ScalarFunc::Length.eval(&[Value::Utf8("héllo".into())]).unwrap(),
+            Value::Int64(5)
+        );
+        assert_eq!(
+            ScalarFunc::Substr
+                .eval(&[
+                    Value::Utf8("hello".into()),
+                    Value::Int64(2),
+                    Value::Int64(3)
+                ])
+                .unwrap(),
+            Value::Utf8("ell".into())
+        );
+        assert_eq!(
+            ScalarFunc::Substr
+                .eval(&[Value::Utf8("hello".into()), Value::Int64(10)])
+                .unwrap(),
+            Value::Utf8("".into())
+        );
+        assert_eq!(
+            ScalarFunc::Trim.eval(&[Value::Utf8("  x ".into())]).unwrap(),
+            Value::Utf8("x".into())
+        );
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(
+            ScalarFunc::Abs.eval(&[Value::Int64(-5)]).unwrap(),
+            Value::Int64(5)
+        );
+        assert_eq!(
+            ScalarFunc::Round
+                .eval(&[Value::Float64(2.345), Value::Int64(2)])
+                .unwrap(),
+            Value::Float64(2.35)
+        );
+        assert_eq!(
+            ScalarFunc::Floor.eval(&[Value::Float64(-1.5)]).unwrap(),
+            Value::Int64(-2)
+        );
+        assert_eq!(
+            ScalarFunc::Ceil.eval(&[Value::Float64(1.2)]).unwrap(),
+            Value::Int64(2)
+        );
+        assert_eq!(
+            ScalarFunc::Sqrt.eval(&[Value::Int64(9)]).unwrap(),
+            Value::Float64(3.0)
+        );
+    }
+
+    #[test]
+    fn null_handling() {
+        assert_eq!(ScalarFunc::Abs.eval(&[Value::Null]).unwrap(), Value::Null);
+        assert_eq!(
+            ScalarFunc::Coalesce
+                .eval(&[Value::Null, Value::Null, Value::Int64(3)])
+                .unwrap(),
+            Value::Int64(3)
+        );
+        assert_eq!(
+            ScalarFunc::Coalesce.eval(&[Value::Null]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            ScalarFunc::NullIf
+                .eval(&[Value::Int64(1), Value::Int64(1)])
+                .unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            ScalarFunc::NullIf
+                .eval(&[Value::Int64(1), Value::Int64(2)])
+                .unwrap(),
+            Value::Int64(1)
+        );
+    }
+
+    #[test]
+    fn date_parts() {
+        // 2024-02-29
+        let d = Value::Date(gis_types::value::parse_date("2024-02-29").unwrap());
+        assert_eq!(ScalarFunc::Year.eval(&[d.clone()]).unwrap(), Value::Int64(2024));
+        assert_eq!(ScalarFunc::Month.eval(&[d.clone()]).unwrap(), Value::Int64(2));
+        assert_eq!(ScalarFunc::Day.eval(&[d]).unwrap(), Value::Int64(29));
+    }
+
+    #[test]
+    fn concat_skips_nulls() {
+        assert_eq!(
+            ScalarFunc::ConcatWs
+                .eval(&[
+                    Value::Utf8("a".into()),
+                    Value::Null,
+                    Value::Int64(7),
+                ])
+                .unwrap(),
+            Value::Utf8("a7".into())
+        );
+    }
+
+    #[test]
+    fn return_types_and_arity() {
+        assert_eq!(
+            ScalarFunc::Coalesce
+                .return_type(&[DataType::Null, DataType::Int64])
+                .unwrap(),
+            DataType::Int64
+        );
+        assert!(ScalarFunc::Coalesce
+            .return_type(&[DataType::Int64, DataType::Utf8])
+            .is_err());
+        assert!(ScalarFunc::Abs.return_type(&[]).is_err());
+        assert!(ScalarFunc::Substr
+            .return_type(&[DataType::Utf8])
+            .is_err());
+    }
+}

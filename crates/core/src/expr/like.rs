@@ -1,0 +1,113 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! `%` matches any run of characters (including empty), `_` matches
+//! exactly one character, `\` escapes the next character. Matching is
+//! over Unicode scalar values, implemented with the classic
+//! two-pointer backtracking algorithm (linear in practice, no regex
+//! dependency).
+
+/// Returns whether `text` matches the SQL LIKE `pattern`.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = parse_pattern(pattern);
+    matches(&t, &p)
+}
+
+/// Pattern tokens after escape processing: we encode literals as the
+/// char itself, `%` as '\u{0}' and `_` as '\u{1}' (neither can appear
+/// as a raw literal because escapes substitute them earlier).
+const ANY_RUN: char = '\u{0}';
+const ANY_ONE: char = '\u{1}';
+
+fn parse_pattern(pattern: &str) -> Vec<char> {
+    let mut out = Vec::with_capacity(pattern.len());
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                // Escaped char is a literal; a trailing backslash is
+                // itself a literal backslash.
+                out.push(chars.next().unwrap_or('\\'));
+            }
+            '%' => out.push(ANY_RUN),
+            '_' => out.push(ANY_ONE),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn matches(t: &[char], p: &[char]) -> bool {
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == ANY_ONE || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == ANY_RUN {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % absorb one more char.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == ANY_RUN {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_wildcards() {
+        assert!(like_match("hello", "hello"));
+        assert!(!like_match("hello", "hell"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%o"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn multiple_percents_backtrack() {
+        assert!(like_match("abcbcd", "a%bcd"));
+        assert!(like_match("aaa", "%a%a%"));
+        assert!(!like_match("ab", "%a%a%"));
+        assert!(like_match("mississippi", "%iss%ppi"));
+        assert!(!like_match("mississippi", "%iss%ppx"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(like_match("50%", "50\\%"));
+        assert!(!like_match("50x", "50\\%"));
+        assert!(like_match("a_b", "a\\_b"));
+        assert!(!like_match("axb", "a\\_b"));
+        assert!(like_match("back\\slash", "back\\\\slash"));
+        // trailing backslash is a literal backslash
+        assert!(like_match("a\\", "a\\"));
+    }
+
+    #[test]
+    fn unicode() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("日本語", "日%"));
+        assert!(like_match("日本語", "__語"));
+    }
+
+    #[test]
+    fn case_sensitive() {
+        assert!(!like_match("Hello", "hello"));
+    }
+}

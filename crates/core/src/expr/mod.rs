@@ -1,0 +1,617 @@
+//! Resolved scalar expressions.
+//!
+//! After binding, every column reference is an **ordinal** into the
+//! input schema of the plan node that owns the expression — name
+//! resolution happens exactly once, in the binder. This keeps the
+//! optimizer's expression rewrites (pushdown remapping, folding) free
+//! of name-scoping bugs.
+
+pub mod eval;
+pub mod functions;
+pub mod like;
+pub mod simplify;
+
+use gis_sql::ast::{BinaryOp, UnaryOp};
+use gis_types::{DataType, GisError, Result, Schema, Value};
+use std::fmt;
+
+pub use functions::ScalarFunc;
+
+/// A resolved scalar expression over a known input schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Input column by ordinal.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<ScalarExpr>,
+    },
+    /// Scalar function call.
+    Func {
+        /// The function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<ScalarExpr>,
+    },
+    /// Explicit cast.
+    Cast {
+        /// Input.
+        expr: Box<ScalarExpr>,
+        /// Target type.
+        to: DataType,
+    },
+    /// Searched CASE (`CASE x WHEN ...` is desugared by the binder).
+    Case {
+        /// (condition, result) pairs.
+        branches: Vec<(ScalarExpr, ScalarExpr)>,
+        /// ELSE result (NULL when absent).
+        else_expr: Option<Box<ScalarExpr>>,
+    },
+    /// `expr [NOT] IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// Members.
+        list: Vec<ScalarExpr>,
+        /// Negated.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// Pattern.
+        pattern: Box<ScalarExpr>,
+        /// Negated.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+impl ScalarExpr {
+    /// Convenience constructors.
+    pub fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::Column(i)
+    }
+
+    /// A literal.
+    pub fn lit(v: Value) -> ScalarExpr {
+        ScalarExpr::Literal(v)
+    }
+
+    /// `self op other`.
+    pub fn binary(self, op: BinaryOp, other: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::And, other)
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Eq, other)
+    }
+
+    /// The output type over `input`.
+    pub fn data_type(&self, input: &Schema) -> Result<DataType> {
+        Ok(match self {
+            ScalarExpr::Column(i) => {
+                if *i >= input.len() {
+                    return Err(GisError::Internal(format!(
+                        "column ordinal {i} out of range for schema [{input}]"
+                    )));
+                }
+                input.field(*i).data_type
+            }
+            ScalarExpr::Literal(v) => v.data_type(),
+            ScalarExpr::Binary { left, op, right } => {
+                let lt = left.data_type(input)?;
+                let rt = right.data_type(input)?;
+                binary_result_type(lt, *op, rt)?
+            }
+            ScalarExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => DataType::Boolean,
+                UnaryOp::Neg | UnaryOp::Pos => expr.data_type(input)?,
+            },
+            ScalarExpr::Func { func, args } => {
+                let arg_types: Vec<DataType> = args
+                    .iter()
+                    .map(|a| a.data_type(input))
+                    .collect::<Result<_>>()?;
+                func.return_type(&arg_types)?
+            }
+            ScalarExpr::Cast { to, .. } => *to,
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut ty = DataType::Null;
+                for (_, result) in branches {
+                    let rt = result.data_type(input)?;
+                    ty = ty.common_supertype(rt).ok_or_else(|| {
+                        GisError::Analysis(format!(
+                            "CASE branches have incompatible types {ty} and {rt}"
+                        ))
+                    })?;
+                }
+                if let Some(e) = else_expr {
+                    let et = e.data_type(input)?;
+                    ty = ty.common_supertype(et).ok_or_else(|| {
+                        GisError::Analysis(format!(
+                            "CASE ELSE type {et} incompatible with branches ({ty})"
+                        ))
+                    })?;
+                }
+                ty
+            }
+            ScalarExpr::InList { .. }
+            | ScalarExpr::Like { .. }
+            | ScalarExpr::IsNull { .. } => DataType::Boolean,
+        })
+    }
+
+    /// Whether the expression can produce NULL over `input`.
+    pub fn nullable(&self, input: &Schema) -> bool {
+        match self {
+            ScalarExpr::Column(i) => input.field(*i).nullable,
+            ScalarExpr::Literal(v) => v.is_null(),
+            ScalarExpr::IsNull { .. } => false,
+            ScalarExpr::Binary { left, right, .. } => {
+                left.nullable(input) || right.nullable(input)
+            }
+            ScalarExpr::Unary { expr, .. } => expr.nullable(input),
+            ScalarExpr::Cast { expr, .. } => expr.nullable(input),
+            // Conservative for the rest.
+            _ => true,
+        }
+    }
+
+    /// Pre-order walk.
+    pub fn walk(&self, f: &mut impl FnMut(&ScalarExpr)) {
+        f(self);
+        match self {
+            ScalarExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            ScalarExpr::Unary { expr, .. }
+            | ScalarExpr::Cast { expr, .. }
+            | ScalarExpr::IsNull { expr, .. } => expr.walk(f),
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (w, t) in branches {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            ScalarExpr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            ScalarExpr::Column(_) | ScalarExpr::Literal(_) => {}
+        }
+    }
+
+    /// Rewrites every node bottom-up with `f`.
+    pub fn transform(self, f: &impl Fn(ScalarExpr) -> ScalarExpr) -> ScalarExpr {
+        let rebuilt = match self {
+            ScalarExpr::Binary { left, op, right } => ScalarExpr::Binary {
+                left: Box::new(left.transform(f)),
+                op,
+                right: Box::new(right.transform(f)),
+            },
+            ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+                op,
+                expr: Box::new(expr.transform(f)),
+            },
+            ScalarExpr::Func { func, args } => ScalarExpr::Func {
+                func,
+                args: args.into_iter().map(|a| a.transform(f)).collect(),
+            },
+            ScalarExpr::Cast { expr, to } => ScalarExpr::Cast {
+                expr: Box::new(expr.transform(f)),
+                to,
+            },
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => ScalarExpr::Case {
+                branches: branches
+                    .into_iter()
+                    .map(|(w, t)| (w.transform(f), t.transform(f)))
+                    .collect(),
+                else_expr: else_expr.map(|e| Box::new(e.transform(f))),
+            },
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
+                expr: Box::new(expr.transform(f)),
+                list: list.into_iter().map(|e| e.transform(f)).collect(),
+                negated,
+            },
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ScalarExpr::Like {
+                expr: Box::new(expr.transform(f)),
+                pattern: Box::new(pattern.transform(f)),
+                negated,
+            },
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.transform(f)),
+                negated,
+            },
+            leaf @ (ScalarExpr::Column(_) | ScalarExpr::Literal(_)) => leaf,
+        };
+        f(rebuilt)
+    }
+
+    /// Ordinals of all referenced input columns (sorted, deduped).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.walk(&mut |e| {
+            if let ScalarExpr::Column(i) = e {
+                cols.push(*i);
+            }
+        });
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Rewrites column ordinals through `map` (old ordinal → new);
+    /// errors if a referenced ordinal is missing from the map.
+    pub fn remap_columns(self, map: &std::collections::HashMap<usize, usize>) -> Result<ScalarExpr> {
+        // Detect unmapped ordinals first (transform can't fail).
+        for c in self.referenced_columns() {
+            if !map.contains_key(&c) {
+                return Err(GisError::Internal(format!(
+                    "cannot remap expression: ordinal {c} not in target schema"
+                )));
+            }
+        }
+        Ok(self.transform(&|e| match e {
+            ScalarExpr::Column(i) => ScalarExpr::Column(map[&i]),
+            other => other,
+        }))
+    }
+
+    /// True when no column references appear.
+    pub fn is_constant(&self) -> bool {
+        self.referenced_columns().is_empty()
+    }
+
+    /// Splits `a AND b AND c` into parts.
+    pub fn split_conjunction(&self) -> Vec<&ScalarExpr> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
+            if let ScalarExpr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } = e
+            {
+                go(left, out);
+                go(right, out);
+            } else {
+                out.push(e);
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// AND-joins expressions; `None` when empty.
+    pub fn conjunction(parts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
+        parts.into_iter().reduce(|a, b| a.and(b))
+    }
+}
+
+/// Result type of a binary operation, enforcing the coercion lattice.
+pub fn binary_result_type(lt: DataType, op: BinaryOp, rt: DataType) -> Result<DataType> {
+    use BinaryOp::*;
+    match op {
+        And | Or => {
+            for t in [lt, rt] {
+                if t != DataType::Boolean && t != DataType::Null {
+                    return Err(GisError::Analysis(format!(
+                        "logical operator {op} requires booleans, got {t}"
+                    )));
+                }
+            }
+            Ok(DataType::Boolean)
+        }
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            lt.common_supertype(rt).ok_or_else(|| {
+                GisError::Analysis(format!("cannot compare {lt} {op} {rt}"))
+            })?;
+            Ok(DataType::Boolean)
+        }
+        Plus | Minus | Multiply | Divide | Modulo => {
+            // Date arithmetic: date ± integer = date.
+            if lt == DataType::Date && rt.is_integer() && matches!(op, Plus | Minus) {
+                return Ok(DataType::Date);
+            }
+            let common = lt.common_supertype(rt).ok_or_else(|| {
+                GisError::Analysis(format!("cannot apply {op} to {lt} and {rt}"))
+            })?;
+            if !common.is_numeric() && common != DataType::Null {
+                return Err(GisError::Analysis(format!(
+                    "arithmetic {op} requires numerics, got {common}"
+                )));
+            }
+            // Division always yields float (SQL-ish pragmatism).
+            if matches!(op, Divide) {
+                Ok(DataType::Float64)
+            } else {
+                Ok(common)
+            }
+        }
+        Concat => Ok(DataType::Utf8),
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column(i) => write!(f, "#{i}"),
+            ScalarExpr::Literal(v) => match v {
+                Value::Utf8(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            ScalarExpr::Binary { left, op, right } => {
+                write!(f, "({left} {op} {right})")
+            }
+            ScalarExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "NOT {expr}"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::Pos => write!(f, "(+{expr})"),
+            },
+            ScalarExpr::Func { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE {pattern}",
+                if *negated { "NOT " } else { "" }
+            ),
+            ScalarExpr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+            Field::new("flag", DataType::Boolean),
+            Field::new("d", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = schema();
+        let e = ScalarExpr::col(0).binary(BinaryOp::Plus, ScalarExpr::col(1));
+        assert_eq!(e.data_type(&s).unwrap(), DataType::Float64);
+        let cmp = ScalarExpr::col(0).binary(BinaryOp::Lt, ScalarExpr::lit(Value::Int64(3)));
+        assert_eq!(cmp.data_type(&s).unwrap(), DataType::Boolean);
+        let div = ScalarExpr::col(0).binary(BinaryOp::Divide, ScalarExpr::lit(Value::Int64(2)));
+        assert_eq!(div.data_type(&s).unwrap(), DataType::Float64);
+        let date_add =
+            ScalarExpr::col(4).binary(BinaryOp::Plus, ScalarExpr::lit(Value::Int64(7)));
+        assert_eq!(date_add.data_type(&s).unwrap(), DataType::Date);
+    }
+
+    #[test]
+    fn type_errors() {
+        let s = schema();
+        // int + string
+        let bad = ScalarExpr::col(0).binary(BinaryOp::Plus, ScalarExpr::col(2));
+        assert!(bad.data_type(&s).is_err());
+        // AND over ints
+        let bad2 = ScalarExpr::col(0).and(ScalarExpr::col(0));
+        assert!(bad2.data_type(&s).is_err());
+        // comparing string to int
+        let bad3 = ScalarExpr::col(2).eq(ScalarExpr::col(0));
+        assert!(bad3.data_type(&s).is_err());
+        // out-of-range ordinal
+        assert!(ScalarExpr::col(9).data_type(&s).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_and_remap() {
+        let e = ScalarExpr::col(3).and(ScalarExpr::col(1).eq(ScalarExpr::col(3)));
+        assert_eq!(e.referenced_columns(), vec![1, 3]);
+        let map = [(1usize, 0usize), (3, 1)].into_iter().collect();
+        let remapped = e.clone().remap_columns(&map).unwrap();
+        assert_eq!(remapped.referenced_columns(), vec![0, 1]);
+        let bad_map = [(1usize, 0usize)].into_iter().collect();
+        assert!(e.remap_columns(&bad_map).is_err());
+    }
+
+    #[test]
+    fn transform_reaches_every_node_kind() {
+        // Regression: IsNull children were once skipped by transform,
+        // silently surviving ordinal remaps.
+        let bump = |e: ScalarExpr| match e {
+            ScalarExpr::Column(i) => ScalarExpr::Column(i + 10),
+            other => other,
+        };
+        let exprs = vec![
+            ScalarExpr::IsNull {
+                expr: Box::new(ScalarExpr::col(1)),
+                negated: false,
+            },
+            ScalarExpr::Like {
+                expr: Box::new(ScalarExpr::col(1)),
+                pattern: Box::new(ScalarExpr::col(2)),
+                negated: true,
+            },
+            ScalarExpr::InList {
+                expr: Box::new(ScalarExpr::col(1)),
+                list: vec![ScalarExpr::col(2)],
+                negated: false,
+            },
+            ScalarExpr::Case {
+                branches: vec![(ScalarExpr::col(1), ScalarExpr::col(2))],
+                else_expr: Some(Box::new(ScalarExpr::col(3))),
+            },
+            ScalarExpr::Cast {
+                expr: Box::new(ScalarExpr::col(1)),
+                to: DataType::Int64,
+            },
+            ScalarExpr::Func {
+                func: crate::expr::functions::ScalarFunc::Abs,
+                args: vec![ScalarExpr::col(1)],
+            },
+            ScalarExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(ScalarExpr::col(1)),
+            },
+        ];
+        for e in exprs {
+            let before = e.referenced_columns();
+            let after = e.clone().transform(&bump).referenced_columns();
+            assert_eq!(
+                after,
+                before.iter().map(|c| c + 10).collect::<Vec<_>>(),
+                "transform missed children of {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjunction_roundtrip() {
+        let e = ScalarExpr::col(0)
+            .eq(ScalarExpr::lit(Value::Int64(1)))
+            .and(ScalarExpr::col(1).eq(ScalarExpr::lit(Value::Int64(2))));
+        assert_eq!(e.split_conjunction().len(), 2);
+        assert!(ScalarExpr::conjunction(vec![]).is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = ScalarExpr::col(0).binary(
+            BinaryOp::Plus,
+            ScalarExpr::lit(Value::Int64(1)),
+        );
+        assert_eq!(e.to_string(), "(#0 + 1)");
+    }
+
+    #[test]
+    fn case_type_unification() {
+        let s = schema();
+        let c = ScalarExpr::Case {
+            branches: vec![(
+                ScalarExpr::col(3),
+                ScalarExpr::lit(Value::Int32(1)),
+            )],
+            else_expr: Some(Box::new(ScalarExpr::lit(Value::Float64(0.5)))),
+        };
+        assert_eq!(c.data_type(&s).unwrap(), DataType::Float64);
+        let bad = ScalarExpr::Case {
+            branches: vec![
+                (ScalarExpr::col(3), ScalarExpr::lit(Value::Int32(1))),
+                (
+                    ScalarExpr::col(3),
+                    ScalarExpr::lit(Value::Utf8("x".into())),
+                ),
+            ],
+            else_expr: None,
+        };
+        assert!(bad.data_type(&s).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Expression simplification: constant folding and boolean algebra.
+//!
+//! Runs as part of the optimizer but lives next to the expression
+//! type because it is a pure expression→expression rewrite. Folding
+//! matters doubly in a federation: a predicate reduced to `TRUE`
+//! disappears before it is (pointlessly) shipped, and one reduced to
+//! `FALSE` lets the whole fragment be answered locally with zero
+//! messages.
+
+use crate::expr::eval::evaluate_constant;
+use crate::expr::ScalarExpr;
+use gis_sql::ast::{BinaryOp, UnaryOp};
+use gis_types::Value;
+
+/// Simplifies an expression bottom-up. Idempotent.
+pub fn simplify(expr: ScalarExpr) -> ScalarExpr {
+    expr.transform(&simplify_node)
+}
+
+fn simplify_node(e: ScalarExpr) -> ScalarExpr {
+    // Fold any constant subtree that evaluates cleanly. Evaluation
+    // errors (overflow, bad cast) are left in place to surface at
+    // runtime rather than plan time.
+    if e.is_constant() && !matches!(e, ScalarExpr::Literal(_)) {
+        if let Ok(v) = evaluate_constant(&e) {
+            return ScalarExpr::Literal(v);
+        }
+    }
+    match e {
+        ScalarExpr::Binary { left, op, right } => simplify_binary(*left, op, *right),
+        ScalarExpr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => match *expr {
+            // NOT(NOT x) => x
+            ScalarExpr::Unary {
+                op: UnaryOp::Not,
+                expr: inner,
+            } => *inner,
+            ScalarExpr::Literal(Value::Boolean(b)) => {
+                ScalarExpr::Literal(Value::Boolean(!b))
+            }
+            other => ScalarExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(other),
+            },
+        },
+        other => other,
+    }
+}
+
+fn simplify_binary(left: ScalarExpr, op: BinaryOp, right: ScalarExpr) -> ScalarExpr {
+    use BinaryOp::*;
+    let t = |b| ScalarExpr::Literal(Value::Boolean(b));
+    match op {
+        And => match (&left, &right) {
+            (ScalarExpr::Literal(Value::Boolean(false)), _)
+            | (_, ScalarExpr::Literal(Value::Boolean(false))) => t(false),
+            (ScalarExpr::Literal(Value::Boolean(true)), _) => right,
+            (_, ScalarExpr::Literal(Value::Boolean(true))) => left,
+            _ if left == right => left,
+            _ => left.binary(And, right),
+        },
+        Or => match (&left, &right) {
+            (ScalarExpr::Literal(Value::Boolean(true)), _)
+            | (_, ScalarExpr::Literal(Value::Boolean(true))) => t(true),
+            (ScalarExpr::Literal(Value::Boolean(false)), _) => right,
+            (_, ScalarExpr::Literal(Value::Boolean(false))) => left,
+            _ if left == right => left,
+            _ => left.binary(Or, right),
+        },
+        Plus | Minus => match (&left, &right) {
+            // x + 0, x - 0 => x (only when types already align:
+            // keep it conservative by requiring an integer zero)
+            (_, ScalarExpr::Literal(Value::Int64(0))) => left,
+            (ScalarExpr::Literal(Value::Int64(0)), _) if op == Plus => right,
+            _ => left.binary(op, right),
+        },
+        Multiply => match (&left, &right) {
+            (_, ScalarExpr::Literal(Value::Int64(1))) => left,
+            (ScalarExpr::Literal(Value::Int64(1)), _) => right,
+            _ => left.binary(op, right),
+        },
+        _ => left.binary(op, right),
+    }
+}
+
+/// True when the (simplified) predicate is the literal TRUE.
+pub fn is_true(e: &ScalarExpr) -> bool {
+    matches!(e, ScalarExpr::Literal(Value::Boolean(true)))
+}
+
+/// True when the (simplified) predicate is the literal FALSE.
+pub fn is_false(e: &ScalarExpr) -> bool {
+    matches!(e, ScalarExpr::Literal(Value::Boolean(false)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit_i(v: i64) -> ScalarExpr {
+        ScalarExpr::lit(Value::Int64(v))
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let e = lit_i(2).binary(BinaryOp::Multiply, lit_i(21));
+        assert_eq!(simplify(e), lit_i(42));
+        // nested: (1+2) < 10 => true
+        let cmp = lit_i(1)
+            .binary(BinaryOp::Plus, lit_i(2))
+            .binary(BinaryOp::Lt, lit_i(10));
+        assert!(is_true(&simplify(cmp)));
+    }
+
+    #[test]
+    fn boolean_shortcuts() {
+        let col = ScalarExpr::col(0);
+        let e = ScalarExpr::lit(Value::Boolean(true)).and(col.clone());
+        assert_eq!(simplify(e), col);
+        let e2 = ScalarExpr::lit(Value::Boolean(false)).and(ScalarExpr::col(0));
+        assert!(is_false(&simplify(e2)));
+        let e3 = ScalarExpr::col(0).binary(BinaryOp::Or, ScalarExpr::lit(Value::Boolean(true)));
+        assert!(is_true(&simplify(e3)));
+        let dup = ScalarExpr::col(0).and(ScalarExpr::col(0));
+        assert_eq!(simplify(dup), ScalarExpr::col(0));
+    }
+
+    #[test]
+    fn double_negation() {
+        let e = ScalarExpr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(ScalarExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(ScalarExpr::col(2)),
+            }),
+        };
+        assert_eq!(simplify(e), ScalarExpr::col(2));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let e = ScalarExpr::col(0).binary(BinaryOp::Plus, lit_i(0));
+        assert_eq!(simplify(e), ScalarExpr::col(0));
+        let m = lit_i(1).binary(BinaryOp::Multiply, ScalarExpr::col(0));
+        assert_eq!(simplify(m), ScalarExpr::col(0));
+    }
+
+    #[test]
+    fn erroring_constants_left_for_runtime() {
+        let e = lit_i(i64::MAX).binary(BinaryOp::Plus, lit_i(1));
+        // must remain a binary op, not fold or panic
+        assert!(matches!(simplify(e), ScalarExpr::Binary { .. }));
+    }
+
+    #[test]
+    fn idempotent() {
+        let e = ScalarExpr::col(0)
+            .eq(lit_i(3))
+            .and(ScalarExpr::lit(Value::Boolean(true)));
+        let once = simplify(e);
+        let twice = simplify(once.clone());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,255 @@
+//! The federation façade — the public face of the GIS.
+//!
+//! A [`Federation`] owns the catalog, the registry of metered remote
+//! sources, the shared virtual clock, and the option sets. Downstream
+//! users do three things: register component systems, optionally
+//! declare global-schema mappings, and run SQL.
+//!
+//! ```no_run
+//! # use gis_core::Federation;
+//! # use gis_net::NetworkConditions;
+//! let fed = Federation::new();
+//! // fed.add_source(adapter, NetworkConditions::wan())?;
+//! let result = fed.query("SELECT 1 AS x")?;
+//! println!("{}", result.batch.to_table());
+//! # Ok::<(), gis_types::GisError>(())
+//! ```
+
+use crate::exec::{create_physical_plan, ExecContext, ExecOptions};
+use crate::metrics::{QueryMetrics, TrafficSnapshot};
+use crate::optimizer::{optimize, OptimizerOptions};
+use crate::plan::binder::{check_duplicate_aliases, Binder};
+use crate::plan::logical::LogicalPlan;
+use gis_adapters::{register_adapter, RemoteSource, SourceAdapter};
+use gis_catalog::{Catalog, CatalogRef, TableMapping};
+use gis_net::{Link, NetworkConditions, SimClock};
+use gis_sql::ast::Statement;
+use gis_types::{Batch, GisError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A query result: data plus everything measured about getting it.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The result rows.
+    pub batch: Batch,
+    /// Traffic and timing.
+    pub metrics: QueryMetrics,
+}
+
+/// A Global Information System instance.
+pub struct Federation {
+    catalog: CatalogRef,
+    sources: RwLock<HashMap<String, RemoteSource>>,
+    clock: SimClock,
+    optimizer_options: RwLock<OptimizerOptions>,
+    exec_options: RwLock<ExecOptions>,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Federation::new()
+    }
+}
+
+impl Federation {
+    /// An empty federation with default options.
+    pub fn new() -> Self {
+        Federation {
+            catalog: Catalog::new(),
+            sources: RwLock::new(HashMap::new()),
+            clock: SimClock::new(),
+            optimizer_options: RwLock::new(OptimizerOptions::default()),
+            exec_options: RwLock::new(ExecOptions::default()),
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &CatalogRef {
+        &self.catalog
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Replaces the optimizer options (ablation knobs).
+    pub fn set_optimizer_options(&self, options: OptimizerOptions) {
+        *self.optimizer_options.write() = options;
+    }
+
+    /// Current optimizer options.
+    pub fn optimizer_options(&self) -> OptimizerOptions {
+        *self.optimizer_options.read()
+    }
+
+    /// Replaces the execution options (strategy knobs).
+    pub fn set_exec_options(&self, options: ExecOptions) {
+        *self.exec_options.write() = options;
+    }
+
+    /// Current execution options.
+    pub fn exec_options(&self) -> ExecOptions {
+        *self.exec_options.read()
+    }
+
+    /// Registers a component system behind a simulated link with the
+    /// given conditions. Export schemas and statistics flow into the
+    /// catalog; the adapter becomes reachable to query plans.
+    pub fn add_source(
+        &self,
+        adapter: Arc<dyn SourceAdapter>,
+        conditions: NetworkConditions,
+    ) -> Result<()> {
+        register_adapter(&self.catalog, &adapter)?;
+        let name = adapter.name().to_ascii_lowercase();
+        let link = Link::new(adapter.name(), conditions, self.clock.clone());
+        let chunk = self.exec_options.read().chunk_rows;
+        let remote = RemoteSource::new(adapter, link).with_chunk_rows(chunk);
+        self.sources.write().insert(name, remote);
+        Ok(())
+    }
+
+    /// Declares a global table over a registered source table.
+    pub fn add_global_mapping(&self, mapping: TableMapping) -> Result<()> {
+        self.catalog.register_global(mapping)
+    }
+
+    /// Declares `global` as an identity view of `source.table`.
+    pub fn add_global_identity(&self, global: &str, source: &str, table: &str) -> Result<()> {
+        self.catalog.register_global_identity(global, source, table)
+    }
+
+    /// The link to a registered source — the handle for scripting
+    /// faults (partitions, transient loss) and reading raw traffic
+    /// counters in tests and chaos experiments.
+    pub fn source_link(&self, source: &str) -> Option<Link> {
+        self.sources
+            .read()
+            .get(&source.to_ascii_lowercase())
+            .map(|r| r.link().clone())
+    }
+
+    /// Names of all registered sources.
+    pub fn source_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .sources
+            .read()
+            .values()
+            .map(|s| s.name().to_string())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Refreshes catalog statistics for one table from its source.
+    pub fn refresh_stats(&self, source: &str, table: &str) -> Result<()> {
+        let sources = self.sources.read();
+        let remote = sources
+            .get(&source.to_ascii_lowercase())
+            .ok_or_else(|| GisError::Catalog(format!("unknown source '{source}'")))?;
+        let stats = remote.adapter().collect_stats(table)?;
+        self.catalog.update_stats(source, table, stats)
+    }
+
+    /// Runs `sql` and returns rows plus metrics. `EXPLAIN` statements
+    /// return the plan rendering as a one-column batch.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = gis_sql::parse(sql)?;
+        match stmt {
+            Statement::Explain { analyze, statement } => {
+                self.explain_statement(*statement, analyze)
+            }
+            Statement::Query(_) => self.run_statement(&stmt),
+        }
+    }
+
+    /// Binds and optimizes `sql` without executing (inspection/tests).
+    pub fn logical_plan(&self, sql: &str) -> Result<LogicalPlan> {
+        let stmt = gis_sql::parse(sql)?;
+        self.plan_statement(&stmt)
+    }
+
+    /// Renders the optimized logical and physical plans.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = gis_sql::parse(sql)?;
+        let plan = self.plan_statement(&stmt)?;
+        let sources = self.sources.read();
+        let physical =
+            create_physical_plan(&plan, &sources, &self.exec_options.read())?;
+        Ok(format!(
+            "== Logical plan ==\n{plan}== Physical plan ==\n{}",
+            physical.display()
+        ))
+    }
+
+    fn plan_statement(&self, stmt: &Statement) -> Result<LogicalPlan> {
+        if let Statement::Query(q) = stmt {
+            if let gis_sql::ast::SetExpr::Select(s) = &q.body {
+                if let Some(from) = &s.from {
+                    let mut seen = std::collections::HashSet::new();
+                    check_duplicate_aliases(from, &mut seen)?;
+                }
+            }
+        }
+        let binder = Binder::new(self.catalog.clone());
+        let bound = binder.bind(stmt)?;
+        optimize(bound, &self.optimizer_options.read())
+    }
+
+    fn run_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+        let started = Instant::now();
+        let plan = self.plan_statement(stmt)?;
+        let sources = self.sources.read();
+        let physical =
+            create_physical_plan(&plan, &sources, &self.exec_options.read())?;
+        let links: Vec<&Link> = sources.values().map(|s| s.link()).collect();
+        let snapshot = TrafficSnapshot::capture(links.iter().copied(), &self.clock);
+        let ctx = ExecContext::with_options(&sources, self.exec_options());
+        let batch = physical.execute(&ctx)?;
+        let mut metrics = snapshot.diff_against(
+            sources.values().map(|s| s.link()),
+            &self.clock,
+        );
+        metrics.rows_returned = batch.num_rows();
+        metrics.fragments = physical.fragment_count();
+        metrics.wall_us = started.elapsed().as_micros();
+        Ok(QueryResult { batch, metrics })
+    }
+
+    fn explain_statement(&self, stmt: Statement, analyze: bool) -> Result<QueryResult> {
+        let rendered = if analyze {
+            let result = self.run_statement(&stmt)?;
+            let plan = self.plan_statement(&stmt)?;
+            format!(
+                "{plan}-- executed: {}\n",
+                result.metrics.summary()
+            )
+        } else {
+            let plan = self.plan_statement(&stmt)?;
+            let sources = self.sources.read();
+            let physical =
+                create_physical_plan(&plan, &sources, &self.exec_options.read())?;
+            format!(
+                "== Logical plan ==\n{plan}== Physical plan ==\n{}",
+                physical.display()
+            )
+        };
+        let schema = gis_types::Schema::new(vec![gis_types::Field::required(
+            "plan",
+            gis_types::DataType::Utf8,
+        )])
+        .into_ref();
+        let rows: Vec<Vec<gis_types::Value>> = rendered
+            .lines()
+            .map(|l| vec![gis_types::Value::Utf8(l.to_string())])
+            .collect();
+        Ok(QueryResult {
+            batch: Batch::from_rows(schema, &rows)?,
+            metrics: QueryMetrics::default(),
+        })
+    }
+}

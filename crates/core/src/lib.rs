@@ -1,0 +1,43 @@
+//! # gis-core — the GIS mediator
+//!
+//! The paper's primary contribution: one engine that presents the
+//! catalog's global schema, decomposes SQL into per-source fragments
+//! each component system can execute, and integrates the results —
+//! minimizing what crosses the (simulated) wide-area network.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! SQL ──parse──▶ AST ──bind──▶ LogicalPlan ──optimize──▶ LogicalPlan
+//!     ──physical──▶ PhysicalPlan (fragments + mediator operators)
+//!     ──execute──▶ Batch + QueryMetrics
+//! ```
+//!
+//! * [`expr`] — resolved, ordinal-based scalar expressions with a
+//!   vectorized evaluator.
+//! * [`plan`] — the logical algebra and the binder from SQL ASTs.
+//! * [`optimizer`] — rewrite rules: constant folding, predicate
+//!   pushdown, projection pruning, cost-based join ordering.
+//! * [`cost`] — cardinality estimation over catalog statistics.
+//! * [`exec`] — the physical operators, including the three
+//!   distributed join strategies (ship-whole, semijoin reduction,
+//!   bind-join) whose crossover the evaluation reproduces.
+//! * [`federation`] — the façade a downstream user touches:
+//!   register adapters, run SQL, read metrics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod exec;
+pub mod expr;
+pub mod federation;
+pub mod metrics;
+pub mod optimizer;
+pub mod plan;
+
+pub use exec::options::{ExecOptions, JoinStrategy};
+pub use federation::{Federation, QueryResult};
+pub use metrics::QueryMetrics;
+pub use optimizer::OptimizerOptions;
+pub use plan::logical::LogicalPlan;

@@ -1,0 +1,216 @@
+//! Per-query execution metrics.
+//!
+//! The currency of a federated engine is traffic, not CPU: every
+//! experiment in EXPERIMENTS.md reports bytes, messages and virtual
+//! network time per query. Metrics are computed by snapshotting each
+//! link's counters before and after execution and diffing, so
+//! concurrent accounting stays exact without threading a context
+//! through every operator.
+
+use gis_net::Link;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Traffic attributed to one source during one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceTraffic {
+    /// Bytes over the link (both directions).
+    pub bytes: u64,
+    /// Messages over the link.
+    pub messages: u64,
+    /// Transient failures observed (including retried ones).
+    pub failures: u64,
+    /// Virtual time the link was busy, microseconds.
+    pub busy_us: u64,
+}
+
+/// Everything measured about one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Total bytes shipped over all links.
+    pub bytes_shipped: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Total transient failures (retried or fatal).
+    pub failures: u64,
+    /// Virtual network time elapsed on the shared clock, µs.
+    pub virtual_network_us: u64,
+    /// Rows in the final result.
+    pub rows_returned: usize,
+    /// Host wall-clock time, µs (CPU + simulated accounting overhead;
+    /// *not* comparable across machines — use `virtual_network_us`).
+    pub wall_us: u128,
+    /// Per-source traffic breakdown.
+    pub per_source: BTreeMap<String, SourceTraffic>,
+    /// Number of source fragments the plan shipped.
+    pub fragments: usize,
+}
+
+impl QueryMetrics {
+    /// Virtual network time in milliseconds.
+    pub fn virtual_network_ms(&self) -> f64 {
+        self.virtual_network_us as f64 / 1_000.0
+    }
+
+    /// The *parallel* virtual-time lower bound: the busiest single
+    /// link's time. When fragments fetch concurrently
+    /// (`ExecOptions::parallel_fetch`), elapsed network time
+    /// approaches this instead of the sequential sum.
+    pub fn virtual_parallel_us(&self) -> u64 {
+        self.per_source.values().map(|t| t.busy_us).max().unwrap_or(0)
+    }
+
+    /// [`QueryMetrics::virtual_parallel_us`] in milliseconds.
+    pub fn virtual_parallel_ms(&self) -> f64 {
+        self.virtual_parallel_us() as f64 / 1_000.0
+    }
+
+    /// A compact single-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "rows={} bytes={} msgs={} net_ms={:.2} fragments={}",
+            self.rows_returned,
+            self.bytes_shipped,
+            self.messages,
+            self.virtual_network_ms(),
+            self.fragments
+        )
+    }
+}
+
+impl fmt::Display for QueryMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for (src, t) in &self.per_source {
+            writeln!(
+                f,
+                "  {src}: bytes={} msgs={} busy_ms={:.2}{}",
+                t.bytes,
+                t.messages,
+                t.busy_us as f64 / 1_000.0,
+                if t.failures > 0 {
+                    format!(" failures={}", t.failures)
+                } else {
+                    String::new()
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time snapshot of a set of links' counters.
+#[derive(Debug, Clone)]
+pub struct TrafficSnapshot {
+    per_link: BTreeMap<String, SourceTraffic>,
+    clock_us: u64,
+}
+
+impl TrafficSnapshot {
+    /// Captures the counters of `links` and the shared clock.
+    pub fn capture<'a>(
+        links: impl IntoIterator<Item = &'a Link>,
+        clock: &gis_net::SimClock,
+    ) -> Self {
+        let per_link = links
+            .into_iter()
+            .map(|l| {
+                let m = l.metrics();
+                (
+                    l.name().to_string(),
+                    SourceTraffic {
+                        bytes: m.bytes(),
+                        messages: m.messages(),
+                        failures: m.failures(),
+                        busy_us: m.busy_us(),
+                    },
+                )
+            })
+            .collect();
+        TrafficSnapshot {
+            per_link,
+            clock_us: clock.now_us(),
+        }
+    }
+
+    /// Traffic since `self`, per source and total.
+    pub fn diff_against<'a>(
+        &self,
+        links: impl IntoIterator<Item = &'a Link>,
+        clock: &gis_net::SimClock,
+    ) -> QueryMetrics {
+        let now = TrafficSnapshot::capture(links, clock);
+        let mut m = QueryMetrics {
+            virtual_network_us: now.clock_us.saturating_sub(self.clock_us),
+            ..QueryMetrics::default()
+        };
+        for (name, after) in &now.per_link {
+            let before = self.per_link.get(name).copied().unwrap_or_default();
+            let d = SourceTraffic {
+                bytes: after.bytes - before.bytes,
+                messages: after.messages - before.messages,
+                failures: after.failures - before.failures,
+                busy_us: after.busy_us - before.busy_us,
+            };
+            m.bytes_shipped += d.bytes;
+            m.messages += d.messages;
+            m.failures += d.failures;
+            if d.messages > 0 || d.bytes > 0 {
+                m.per_source.insert(name.clone(), d);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_net::{NetworkConditions, SimClock};
+
+    #[test]
+    fn snapshot_diff_isolates_a_query() {
+        let clock = SimClock::new();
+        let a = Link::new(
+            "a",
+            NetworkConditions {
+                latency_us: 10,
+                bandwidth_bytes_per_sec: 0,
+            },
+            clock.clone(),
+        );
+        let b = Link::new("b", NetworkConditions::instant(), clock.clone());
+        // pre-query noise
+        a.transfer(100).unwrap();
+        let snap = TrafficSnapshot::capture([&a, &b], &clock);
+        a.transfer(50).unwrap();
+        a.transfer(50).unwrap();
+        b.transfer(7).unwrap();
+        let m = snap.diff_against([&a, &b], &clock);
+        assert_eq!(m.bytes_shipped, 107);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.virtual_network_us, 20);
+        assert_eq!(m.per_source["a"].bytes, 100);
+        assert_eq!(m.per_source["b"].messages, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut m = QueryMetrics::default();
+        m.rows_returned = 3;
+        m.bytes_shipped = 1024;
+        m.per_source.insert(
+            "crm".into(),
+            SourceTraffic {
+                bytes: 1024,
+                messages: 2,
+                failures: 1,
+                busy_us: 1500,
+            },
+        );
+        let s = m.to_string();
+        assert!(s.contains("rows=3"));
+        assert!(s.contains("crm"));
+        assert!(s.contains("failures=1"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Constant folding over every expression in a plan.
+
+use crate::expr::simplify::{is_false, is_true, simplify};
+use crate::plan::logical::{AggregateExpr, JoinNode, LogicalPlan, SortExpr};
+use gis_types::Result;
+
+/// Simplifies every expression; removes filters reduced to `TRUE`
+/// and replaces subtrees under a `FALSE` filter with an empty
+/// relation (nothing crosses the wire for a contradiction).
+pub fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = Box::new(fold_constants(*input)?);
+            let predicate = simplify(predicate);
+            if is_true(&predicate) {
+                return Ok(*input);
+            }
+            if is_false(&predicate) {
+                return Ok(LogicalPlan::Values {
+                    schema: input.schema().clone(),
+                    rows: vec![],
+                });
+            }
+            LogicalPlan::Filter { input, predicate }
+        }
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
+            input: Box::new(fold_constants(*input)?),
+            exprs: exprs.into_iter().map(simplify).collect(),
+            schema,
+        },
+        LogicalPlan::Join(j) => LogicalPlan::Join(JoinNode {
+            left: Box::new(fold_constants(*j.left)?),
+            right: Box::new(fold_constants(*j.right)?),
+            kind: j.kind,
+            on: j.on.map(simplify),
+            schema: j.schema,
+        }),
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants(*input)?),
+            group_exprs: group_exprs.into_iter().map(simplify).collect(),
+            aggregates: aggregates
+                .into_iter()
+                .map(|a| AggregateExpr {
+                    arg: a.arg.map(simplify),
+                    ..a
+                })
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_constants(*input)?),
+            keys: keys
+                .into_iter()
+                .map(|k| SortExpr {
+                    expr: simplify(k.expr),
+                    ..k
+                })
+                .collect(),
+        },
+        LogicalPlan::Limit { input, skip, fetch } => LogicalPlan::Limit {
+            input: Box::new(fold_constants(*input)?),
+            skip,
+            fetch,
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(fold_constants)
+                .collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(fold_constants(*input)?),
+        },
+        LogicalPlan::TableScan(mut t) => {
+            t.filters = t.filters.into_iter().map(simplify).collect();
+            // A FALSE filter inside the scan empties it.
+            if t.filters.iter().any(is_false) {
+                return Ok(LogicalPlan::Values {
+                    schema: t.schema.clone(),
+                    rows: vec![],
+                });
+            }
+            t.filters.retain(|f| !is_true(f));
+            LogicalPlan::TableScan(t)
+        }
+        leaf @ LogicalPlan::Values { .. } => leaf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr;
+    use gis_types::{DataType, Field, Schema, Value};
+    use std::sync::Arc;
+
+    fn values_plan() -> LogicalPlan {
+        LogicalPlan::Values {
+            schema: Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)])),
+            rows: vec![vec![Value::Int64(1)]],
+        }
+    }
+
+    #[test]
+    fn true_filter_removed() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(values_plan()),
+            predicate: ScalarExpr::lit(Value::Int64(1))
+                .eq(ScalarExpr::lit(Value::Int64(1))),
+        };
+        let folded = fold_constants(plan).unwrap();
+        assert!(matches!(folded, LogicalPlan::Values { .. }));
+    }
+
+    #[test]
+    fn false_filter_empties_relation() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(values_plan()),
+            predicate: ScalarExpr::lit(Value::Int64(1))
+                .eq(ScalarExpr::lit(Value::Int64(2))),
+        };
+        let folded = fold_constants(plan).unwrap();
+        match folded {
+            LogicalPlan::Values { rows, .. } => assert!(rows.is_empty()),
+            other => panic!("expected empty Values, got {other:?}"),
+        }
+    }
+}

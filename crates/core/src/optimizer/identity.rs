@@ -1,0 +1,207 @@
+//! Identity-projection elimination.
+//!
+//! Pruning and binding leave behind projections that merely pass
+//! every input column through in order (possibly renaming). Interior
+//! ones are pure noise — and worse, they hide `Sort(TableScan)` /
+//! `Aggregate(TableScan)` shapes from the physical planner's pushdown
+//! pattern matches. The root projection is preserved: it owns the
+//! query's output column names.
+
+use crate::expr::ScalarExpr;
+use crate::plan::logical::{JoinNode, LogicalPlan};
+use gis_types::Result;
+
+/// Removes interior identity projections.
+pub fn eliminate_identity_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
+    // Keep the root node itself (names), but clean its children.
+    Ok(match plan {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
+            input: Box::new(walk(*input)?),
+            exprs,
+            schema,
+        },
+        other => walk(other)?,
+    })
+}
+
+fn walk(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => {
+            let input = walk(*input)?;
+            if is_identity(&exprs, input.schema().len())
+                && types_match(&schema, input.schema())
+            {
+                input
+            } else {
+                LogicalPlan::Projection {
+                    input: Box::new(input),
+                    exprs,
+                    schema,
+                }
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(walk(*input)?),
+            predicate,
+        },
+        LogicalPlan::Join(j) => LogicalPlan::Join(JoinNode {
+            left: Box::new(walk(*j.left)?),
+            right: Box::new(walk(*j.right)?),
+            kind: j.kind,
+            on: j.on,
+            schema: j.schema,
+        }),
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(walk(*input)?),
+            group_exprs,
+            aggregates,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(walk(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit { input, skip, fetch } => LogicalPlan::Limit {
+            input: Box::new(walk(*input)?),
+            skip,
+            fetch,
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs.into_iter().map(walk).collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(walk(*input)?),
+        },
+        leaf => leaf,
+    })
+}
+
+fn is_identity(exprs: &[ScalarExpr], input_len: usize) -> bool {
+    exprs.len() == input_len
+        && exprs
+            .iter()
+            .enumerate()
+            .all(|(i, e)| matches!(e, ScalarExpr::Column(c) if *c == i))
+}
+
+fn types_match(a: &gis_types::Schema, b: &gis_types::Schema) -> bool {
+    a.len() == b.len()
+        && a.fields()
+            .iter()
+            .zip(b.fields())
+            .all(|(x, y)| x.data_type == y.data_type)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{DataType, Field, Schema, Value};
+    use std::sync::Arc;
+
+    fn values2() -> LogicalPlan {
+        LogicalPlan::Values {
+            schema: Arc::new(Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Utf8),
+            ])),
+            rows: vec![vec![Value::Int64(1), Value::Utf8("x".into())]],
+        }
+    }
+
+    fn identity_proj(input: LogicalPlan, names: &[&str]) -> LogicalPlan {
+        let exprs: Vec<ScalarExpr> =
+            (0..input.schema().len()).map(ScalarExpr::col).collect();
+        LogicalPlan::project_named(
+            input,
+            exprs,
+            names.iter().map(|s| s.to_string()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interior_identity_removed_root_kept() {
+        // Root identity projection survives (it owns output names);
+        // an interior one under a Sort is removed.
+        let inner = identity_proj(values2(), &["x", "y"]);
+        let sorted = LogicalPlan::Sort {
+            input: Box::new(inner),
+            keys: vec![],
+        };
+        let root = identity_proj(sorted, &["p", "q"]);
+        let out = eliminate_identity_projections(root).unwrap();
+        let LogicalPlan::Projection { input, .. } = &out else {
+            panic!("root projection must remain");
+        };
+        let LogicalPlan::Sort { input: sort_in, .. } = input.as_ref() else {
+            panic!("expected sort under root: {out}");
+        };
+        assert!(
+            matches!(sort_in.as_ref(), LogicalPlan::Values { .. }),
+            "interior identity projection should be gone: {out}"
+        );
+    }
+
+    #[test]
+    fn non_identity_projections_survive() {
+        let reorder = LogicalPlan::Projection {
+            exprs: vec![ScalarExpr::col(1), ScalarExpr::col(0)],
+            schema: Arc::new(Schema::new(vec![
+                Field::new("b", DataType::Utf8),
+                Field::new("a", DataType::Int64),
+            ])),
+            input: Box::new(values2()),
+        };
+        let wrapped = LogicalPlan::Distinct {
+            input: Box::new(reorder),
+        };
+        let out = eliminate_identity_projections(wrapped).unwrap();
+        let LogicalPlan::Distinct { input } = &out else {
+            panic!()
+        };
+        assert!(matches!(input.as_ref(), LogicalPlan::Projection { .. }));
+    }
+
+    #[test]
+    fn type_changing_projection_survives() {
+        // Identity ordinals but a cast changes the type: must stay.
+        let cast = LogicalPlan::Projection {
+            exprs: vec![
+                ScalarExpr::Cast {
+                    expr: Box::new(ScalarExpr::col(0)),
+                    to: DataType::Float64,
+                },
+                ScalarExpr::col(1),
+            ],
+            schema: Arc::new(Schema::new(vec![
+                Field::new("a", DataType::Float64),
+                Field::new("b", DataType::Utf8),
+            ])),
+            input: Box::new(values2()),
+        };
+        let wrapped = LogicalPlan::Limit {
+            input: Box::new(cast),
+            skip: 0,
+            fetch: None,
+        };
+        let out = eliminate_identity_projections(wrapped).unwrap();
+        let LogicalPlan::Limit { input, .. } = &out else {
+            panic!()
+        };
+        assert!(matches!(input.as_ref(), LogicalPlan::Projection { .. }));
+    }
+}

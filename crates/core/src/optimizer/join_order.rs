@@ -1,0 +1,403 @@
+//! Cost-based join ordering.
+//!
+//! Collects maximal regions of inner/cross joins (with their
+//! conjunctive predicates), then searches join orders with dynamic
+//! programming over relation subsets (bushy trees, avoiding cross
+//! joins when a connected order exists). Oversized regions fall back
+//! to a greedy smallest-intermediate-first heuristic. The chosen tree
+//! is wrapped in a projection restoring the original column order, so
+//! the rewrite is transparent to everything above it.
+
+use crate::cost::estimate;
+use crate::expr::ScalarExpr;
+use crate::plan::logical::{JoinNode, LogicalPlan};
+use gis_sql::ast::JoinKind;
+use gis_types::{Result, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Reorders inner-join regions found anywhere in the plan.
+pub fn reorder_joins(plan: LogicalPlan, dp_limit: usize) -> Result<LogicalPlan> {
+    rewrite(plan, dp_limit)
+}
+
+fn rewrite(plan: LogicalPlan, dp_limit: usize) -> Result<LogicalPlan> {
+    // Region head: an inner/cross join (possibly under filters that
+    // pushdown has already distributed, but handle stray filters by
+    // absorbing them into the region's predicate pool).
+    if is_region_head(&plan) {
+        let mut relations = Vec::new();
+        let mut predicates = Vec::new();
+        collect_region(plan, &mut relations, &mut predicates)?;
+        // Recurse inside each relation first.
+        let relations: Vec<LogicalPlan> = relations
+            .into_iter()
+            .map(|r| rewrite(r, dp_limit))
+            .collect::<Result<_>>()?;
+        return build_ordered(relations, predicates, dp_limit);
+    }
+    // Otherwise recurse structurally.
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite(*input, dp_limit)?),
+            predicate,
+        },
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
+            input: Box::new(rewrite(*input, dp_limit)?),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join(j) => LogicalPlan::Join(JoinNode {
+            left: Box::new(rewrite(*j.left, dp_limit)?),
+            right: Box::new(rewrite(*j.right, dp_limit)?),
+            kind: j.kind,
+            on: j.on,
+            schema: j.schema,
+        }),
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite(*input, dp_limit)?),
+            group_exprs,
+            aggregates,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite(*input, dp_limit)?),
+            keys,
+        },
+        LogicalPlan::Limit { input, skip, fetch } => LogicalPlan::Limit {
+            input: Box::new(rewrite(*input, dp_limit)?),
+            skip,
+            fetch,
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|i| rewrite(i, dp_limit))
+                .collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(rewrite(*input, dp_limit)?),
+        },
+        leaf => leaf,
+    })
+}
+
+fn is_region_head(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Join(j) => {
+            matches!(j.kind, JoinKind::Inner | JoinKind::Cross)
+        }
+        _ => false,
+    }
+}
+
+/// Flattens an inner-join tree into relations + predicates over the
+/// region's combined schema (relations in original left-to-right
+/// order).
+fn collect_region(
+    plan: LogicalPlan,
+    relations: &mut Vec<LogicalPlan>,
+    predicates: &mut Vec<ScalarExpr>,
+) -> Result<()> {
+    match plan {
+        LogicalPlan::Join(j)
+            if matches!(j.kind, JoinKind::Inner | JoinKind::Cross) =>
+        {
+            let left_len = j.left.schema().len();
+            let offset_before_left = region_width(relations);
+            collect_region(*j.left, relations, predicates)?;
+            let offset_before_right = region_width(relations);
+            collect_region(*j.right, relations, predicates)?;
+            if let Some(on) = j.on {
+                // `on` ordinals: [0, left_len) over the left subtree,
+                // [left_len, ..) over the right. Shift into region
+                // coordinates.
+                let shifted = on.transform(&|e| match e {
+                    ScalarExpr::Column(c) => {
+                        if c < left_len {
+                            ScalarExpr::Column(offset_before_left + c)
+                        } else {
+                            ScalarExpr::Column(offset_before_right + (c - left_len))
+                        }
+                    }
+                    other => other,
+                });
+                predicates.extend(
+                    shifted.split_conjunction().into_iter().cloned(),
+                );
+            }
+            Ok(())
+        }
+        other => {
+            relations.push(other);
+            Ok(())
+        }
+    }
+}
+
+fn region_width(relations: &[LogicalPlan]) -> usize {
+    relations.iter().map(|r| r.schema().len()).sum()
+}
+
+/// A DP entry: plan plus the region-ordinal of each output column.
+#[derive(Clone)]
+struct Candidate {
+    plan: LogicalPlan,
+    cols: Vec<usize>,
+    cost: f64,
+}
+
+/// Builds the best join tree over `relations` with `predicates`
+/// (region ordinals) and restores the original column order.
+fn build_ordered(
+    relations: Vec<LogicalPlan>,
+    predicates: Vec<ScalarExpr>,
+    dp_limit: usize,
+) -> Result<LogicalPlan> {
+    let n = relations.len();
+    // Region ordinal ranges per relation.
+    let mut offsets = Vec::with_capacity(n);
+    let mut acc = 0;
+    for r in &relations {
+        offsets.push(acc);
+        acc += r.schema().len();
+    }
+    let total_cols = acc;
+    let base: Vec<Candidate> = relations
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let w = r.schema().len();
+            let rows = estimate(&r).rows;
+            Candidate {
+                plan: r,
+                cols: (offsets[i]..offsets[i] + w).collect(),
+                cost: rows,
+            }
+        })
+        .collect();
+    let ordered = if n <= 1 {
+        base.into_iter().next()
+    } else if n <= dp_limit {
+        dp_order(&base, &predicates)
+    } else {
+        greedy_order(base, &predicates)
+    };
+    let Some(mut best) = ordered else {
+        return Err(gis_types::GisError::Plan(
+            "join ordering produced no plan".into(),
+        ));
+    };
+    // Any predicates never applied (shouldn't happen, but a predicate
+    // referencing zero relations would slip through): apply on top.
+    let applied = applied_mask(&best, &predicates);
+    let leftovers: Vec<ScalarExpr> = predicates
+        .iter()
+        .zip(&applied)
+        .filter(|(_, a)| !**a)
+        .map(|(p, _)| remap_region_expr(p, &best.cols))
+        .collect::<Result<_>>()?;
+    if let Some(f) = ScalarExpr::conjunction(leftovers) {
+        best.plan = LogicalPlan::Filter {
+            input: Box::new(best.plan),
+            predicate: f,
+        };
+    }
+    // Restore original region column order with a projection.
+    let pos: HashMap<usize, usize> = best
+        .cols
+        .iter()
+        .enumerate()
+        .map(|(p, &c)| (c, p))
+        .collect();
+    let exprs: Vec<ScalarExpr> = (0..total_cols)
+        .map(|c| ScalarExpr::col(pos[&c]))
+        .collect();
+    let fields: Vec<gis_types::Field> = (0..total_cols)
+        .map(|c| best.plan.schema().field(pos[&c]).clone())
+        .collect();
+    Ok(LogicalPlan::Projection {
+        input: Box::new(best.plan),
+        exprs,
+        schema: Arc::new(Schema::new(fields)),
+    })
+}
+
+/// Which predicates are applicable entirely within `cand`'s columns?
+fn applied_mask(cand: &Candidate, predicates: &[ScalarExpr]) -> Vec<bool> {
+    predicates
+        .iter()
+        .map(|p| {
+            p.referenced_columns()
+                .iter()
+                .all(|c| cand.cols.contains(c))
+        })
+        .collect()
+}
+
+/// Joins two candidates, attaching every newly-applicable predicate.
+fn join_candidates(
+    a: &Candidate,
+    b: &Candidate,
+    predicates: &[ScalarExpr],
+) -> Result<Candidate> {
+    let mut cols = a.cols.clone();
+    cols.extend(&b.cols);
+    let applicable: Vec<&ScalarExpr> = predicates
+        .iter()
+        .filter(|p| {
+            let refs = p.referenced_columns();
+            // Newly applicable: touches both sides or was not yet
+            // applicable in either input alone... predicates internal
+            // to one side were applied when that side was built.
+            let in_a = refs.iter().all(|c| a.cols.contains(c));
+            let in_b = refs.iter().all(|c| b.cols.contains(c));
+            let in_joined = refs.iter().all(|c| cols.contains(c));
+            in_joined && !in_a && !in_b
+        })
+        .collect();
+    let on = ScalarExpr::conjunction(
+        applicable
+            .iter()
+            .map(|p| remap_region_expr(p, &cols))
+            .collect::<Result<Vec<_>>>()?,
+    );
+    let has_on = on.is_some();
+    let plan = LogicalPlan::join(
+        a.plan.clone(),
+        b.plan.clone(),
+        if has_on {
+            JoinKind::Inner
+        } else {
+            JoinKind::Cross
+        },
+        on,
+    );
+    let rows = estimate(&plan).rows;
+    Ok(Candidate {
+        plan,
+        cols,
+        cost: a.cost + b.cost + rows,
+    })
+}
+
+fn remap_region_expr(p: &ScalarExpr, cols: &[usize]) -> Result<ScalarExpr> {
+    let map: HashMap<usize, usize> = cols
+        .iter()
+        .enumerate()
+        .map(|(pos, &c)| (c, pos))
+        .collect();
+    p.clone().remap_columns(&map)
+}
+
+/// Exhaustive bushy DP over subsets.
+fn dp_order(base: &[Candidate], predicates: &[ScalarExpr]) -> Option<Candidate> {
+    let n = base.len();
+    let full: usize = (1 << n) - 1;
+    let mut dp: Vec<Option<Candidate>> = vec![None; 1 << n];
+    for (i, c) in base.iter().enumerate() {
+        dp[1 << i] = Some(c.clone());
+    }
+    for subset in 1..=full {
+        if dp[subset].is_some() {
+            continue;
+        }
+        let mut best: Option<Candidate> = None;
+        // Enumerate proper sub-splits.
+        let mut left = (subset - 1) & subset;
+        while left > 0 {
+            let right = subset ^ left;
+            if left < right {
+                // each unordered split visited once
+                if let (Some(a), Some(b)) = (&dp[left], &dp[right]) {
+                    for (x, y) in [(a, b), (b, a)] {
+                        if let Ok(cand) = join_candidates(x, y, predicates) {
+                            // Prefer connected (non-cross) joins.
+                            let is_cross = matches!(
+                                &cand.plan,
+                                LogicalPlan::Join(j) if j.kind == JoinKind::Cross
+                            );
+                            let penalized = if is_cross {
+                                cand.cost * 1e6
+                            } else {
+                                cand.cost
+                            };
+                            let better = match &best {
+                                None => true,
+                                Some(b2) => {
+                                    let b_cross = matches!(
+                                        &b2.plan,
+                                        LogicalPlan::Join(j) if j.kind == JoinKind::Cross
+                                    );
+                                    let b_pen = if b_cross { b2.cost * 1e6 } else { b2.cost };
+                                    penalized < b_pen
+                                }
+                            };
+                            if better {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                }
+            }
+            left = (left - 1) & subset;
+        }
+        dp[subset] = best;
+    }
+    dp[full].clone()
+}
+
+/// Greedy fallback: repeatedly join the pair with the smallest
+/// estimated result.
+fn greedy_order(
+    mut pool: Vec<Candidate>,
+    predicates: &[ScalarExpr],
+) -> Option<Candidate> {
+    while pool.len() > 1 {
+        let mut best: Option<(usize, usize, Candidate)> = None;
+        for i in 0..pool.len() {
+            for jdx in (i + 1)..pool.len() {
+                for (x, y) in [(i, jdx), (jdx, i)] {
+                    if let Ok(cand) = join_candidates(&pool[x], &pool[y], predicates) {
+                        let is_cross = matches!(
+                            &cand.plan,
+                            LogicalPlan::Join(j) if j.kind == JoinKind::Cross
+                        );
+                        let score = if is_cross { cand.cost * 1e6 } else { cand.cost };
+                        let better = match &best {
+                            None => true,
+                            Some((_, _, b)) => {
+                                let b_cross = matches!(
+                                    &b.plan,
+                                    LogicalPlan::Join(j) if j.kind == JoinKind::Cross
+                                );
+                                let b_score =
+                                    if b_cross { b.cost * 1e6 } else { b.cost };
+                                score < b_score
+                            }
+                        };
+                        if better {
+                            best = Some((i, jdx, cand));
+                        }
+                    }
+                }
+            }
+        }
+        let (i, jdx, cand) = best?;
+        let (hi, lo) = if i > jdx { (i, jdx) } else { (jdx, i) };
+        pool.swap_remove(hi);
+        pool.swap_remove(lo);
+        pool.push(cand);
+    }
+    pool.into_iter().next()
+}

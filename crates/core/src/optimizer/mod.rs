@@ -1,0 +1,92 @@
+//! The logical optimizer.
+//!
+//! A fixed pipeline of rewrite rules, each individually toggleable so
+//! the benchmark harness can ablate them:
+//!
+//! 1. [`fold::fold_constants`] — expression simplification.
+//! 2. [`pushdown::push_predicates`] — move filters toward (and into)
+//!    table scans; in a federation this is the single highest-leverage
+//!    rewrite, because a filter inside a scan executes *at the source*
+//!    and shrinks what crosses the network (experiment T1).
+//! 3. [`join_order::reorder_joins`] — cost-based DP over inner-join
+//!    regions (experiment T2).
+//! 4. [`prune::prune_projections`] — drop unused columns so fragments
+//!    request only what the query needs (the other half of T1).
+
+pub mod fold;
+pub mod identity;
+pub mod join_order;
+pub mod limits;
+pub mod prune;
+pub mod pushdown;
+
+use crate::plan::logical::LogicalPlan;
+use gis_types::Result;
+
+/// Which rules run (ablation knobs for the harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerOptions {
+    /// Fold constant subexpressions.
+    pub fold_constants: bool,
+    /// Push predicates toward scans.
+    pub predicate_pushdown: bool,
+    /// Prune unused columns.
+    pub projection_pruning: bool,
+    /// Reorder inner joins by estimated cost.
+    pub join_reorder: bool,
+    /// Push LIMIT bounds into scans.
+    pub limit_pushdown: bool,
+    /// Maximum relations in one DP join-ordering region; larger
+    /// regions fall back to a greedy ordering.
+    pub dp_relation_limit: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            fold_constants: true,
+            predicate_pushdown: true,
+            projection_pruning: true,
+            join_reorder: true,
+            limit_pushdown: true,
+            dp_relation_limit: 10,
+        }
+    }
+}
+
+impl OptimizerOptions {
+    /// Everything off — the "naive mediator" baseline the experiments
+    /// compare against.
+    pub fn naive() -> Self {
+        OptimizerOptions {
+            fold_constants: false,
+            predicate_pushdown: false,
+            projection_pruning: false,
+            join_reorder: false,
+            limit_pushdown: false,
+            dp_relation_limit: 0,
+        }
+    }
+}
+
+/// Runs the configured rules over a bound plan.
+pub fn optimize(plan: LogicalPlan, options: &OptimizerOptions) -> Result<LogicalPlan> {
+    let mut plan = plan;
+    if options.fold_constants {
+        plan = fold::fold_constants(plan)?;
+    }
+    if options.predicate_pushdown {
+        plan = pushdown::push_predicates(plan)?;
+    }
+    if options.join_reorder {
+        plan = join_order::reorder_joins(plan, options.dp_relation_limit)?;
+    }
+    if options.projection_pruning {
+        plan = prune::prune_projections(plan)?;
+        plan = identity::eliminate_identity_projections(plan)?;
+    }
+    if options.limit_pushdown {
+        plan = limits::push_limits(plan)?;
+    }
+    Ok(plan)
+}

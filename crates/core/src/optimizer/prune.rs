@@ -1,0 +1,324 @@
+//! Projection pruning (column pruning).
+//!
+//! Top-down pass carrying the set of output ordinals the parent
+//! needs. Each node narrows its own output to (a superset of) that
+//! set, recurses, and reports which of its *original* ordinals it
+//! still produces so the parent can remap its expressions. For a
+//! federation this is the second half of traffic minimization: a
+//! fragment then requests only the columns the query touches.
+
+use crate::expr::ScalarExpr;
+use crate::plan::logical::{JoinNode, LogicalPlan, SortExpr};
+use gis_sql::ast::JoinKind;
+use gis_types::{GisError, Result, Schema};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Prunes unused columns everywhere below the root (the root's own
+/// output is preserved exactly).
+pub fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let all: BTreeSet<usize> = (0..plan.schema().len()).collect();
+    let (pruned, produced) = prune(plan, &all)?;
+    // The root must present its original schema order; a node that
+    // surfaced extra columns (e.g. a Filter's predicate inputs) gets
+    // narrowed back.
+    let want: Vec<usize> = all.into_iter().collect();
+    narrow_to(pruned, &produced, &want)
+}
+
+/// Returns the pruned plan and the ordered list of the node's
+/// *original* output ordinals that the new plan produces.
+fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, Vec<usize>)> {
+    match plan {
+        LogicalPlan::TableScan(mut t) => {
+            let current = t.output_ordinals();
+            let keep: Vec<usize> = required.iter().map(|&i| current[i]).collect();
+            // Keep global ordinal order stable (sorted) for
+            // determinism.
+            let mut keep_sorted = keep.clone();
+            keep_sorted.sort_unstable();
+            keep_sorted.dedup();
+            t.projection = Some(keep_sorted.clone());
+            t.recompute_schema();
+            // Which original output ordinals do we now produce?
+            let produced: Vec<usize> = keep_sorted
+                .iter()
+                .map(|g| current.iter().position(|c| c == g).expect("subset"))
+                .collect();
+            Ok((LogicalPlan::TableScan(t), produced))
+        }
+        LogicalPlan::Values { schema, rows } => {
+            let keep: Vec<usize> = required.iter().copied().collect();
+            let new_schema = Arc::new(schema.project(&keep));
+            let new_rows = rows
+                .into_iter()
+                .map(|r| keep.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            Ok((
+                LogicalPlan::Values {
+                    schema: new_schema,
+                    rows: new_rows,
+                },
+                keep,
+            ))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut need: BTreeSet<usize> = required.clone();
+            need.extend(predicate.referenced_columns());
+            let (child, produced) = prune(*input, &need)?;
+            let map = position_map(&produced);
+            let predicate = predicate.remap_columns(&map)?;
+            Ok((
+                LogicalPlan::Filter {
+                    input: Box::new(child),
+                    predicate,
+                },
+                produced,
+            ))
+        }
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => {
+            let keep: Vec<usize> = required.iter().copied().collect();
+            let kept_exprs: Vec<ScalarExpr> =
+                keep.iter().map(|&i| exprs[i].clone()).collect();
+            let mut need = BTreeSet::new();
+            for e in &kept_exprs {
+                need.extend(e.referenced_columns());
+            }
+            let (child, produced) = prune(*input, &need)?;
+            let map = position_map(&produced);
+            let remapped: Vec<ScalarExpr> = kept_exprs
+                .into_iter()
+                .map(|e| e.remap_columns(&map))
+                .collect::<Result<_>>()?;
+            let new_schema = Arc::new(schema.project(&keep));
+            Ok((
+                LogicalPlan::Projection {
+                    input: Box::new(child),
+                    exprs: remapped,
+                    schema: new_schema,
+                },
+                keep,
+            ))
+        }
+        LogicalPlan::Join(j) => prune_join(j, required),
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => {
+            // Keep the full aggregate output shape (group cols +
+            // aggs); prune only the input to what the expressions
+            // reference. (Narrowing agg outputs would change sibling
+            // ordinals; not worth the complexity here.)
+            let mut need = BTreeSet::new();
+            for g in &group_exprs {
+                need.extend(g.referenced_columns());
+            }
+            for a in &aggregates {
+                if let Some(arg) = &a.arg {
+                    need.extend(arg.referenced_columns());
+                }
+            }
+            // An argless COUNT(*) still needs at least one input
+            // column to count rows over.
+            if need.is_empty() && !input.schema().is_empty() {
+                need.insert(0);
+            }
+            let (child, produced) = prune(*input, &need)?;
+            let map = position_map(&produced);
+            let group_exprs = group_exprs
+                .into_iter()
+                .map(|g| g.remap_columns(&map))
+                .collect::<Result<Vec<_>>>()?;
+            let aggregates = aggregates
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(|x| x.remap_columns(&map)).transpose()?;
+                    Ok(a)
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let n_out = schema.len();
+            Ok((
+                LogicalPlan::Aggregate {
+                    input: Box::new(child),
+                    group_exprs,
+                    aggregates,
+                    schema,
+                },
+                (0..n_out).collect(),
+            ))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut need = required.clone();
+            for k in &keys {
+                need.extend(k.expr.referenced_columns());
+            }
+            let (child, produced) = prune(*input, &need)?;
+            let map = position_map(&produced);
+            let keys = keys
+                .into_iter()
+                .map(|k| {
+                    Ok(SortExpr {
+                        expr: k.expr.remap_columns(&map)?,
+                        ..k
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok((
+                LogicalPlan::Sort {
+                    input: Box::new(child),
+                    keys,
+                },
+                produced,
+            ))
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            let (child, produced) = prune(*input, required)?;
+            Ok((
+                LogicalPlan::Limit {
+                    input: Box::new(child),
+                    skip,
+                    fetch,
+                },
+                produced,
+            ))
+        }
+        LogicalPlan::Distinct { input } => {
+            // DISTINCT semantics depend on every column: no pruning
+            // below, identity above.
+            let all: BTreeSet<usize> = (0..input.schema().len()).collect();
+            let (child, produced) = prune(*input, &all)?;
+            debug_assert_eq!(produced.len(), child.schema().len());
+            Ok((
+                LogicalPlan::Distinct {
+                    input: Box::new(child),
+                },
+                produced,
+            ))
+        }
+        LogicalPlan::Union { inputs, schema } => {
+            let keep: Vec<usize> = required.iter().copied().collect();
+            let mut new_inputs = Vec::with_capacity(inputs.len());
+            for i in inputs {
+                let (child, produced) = prune(i, required)?;
+                // Children must produce exactly `keep` in order; they
+                // may produce a superset — narrow with a projection.
+                let child = narrow_to(child, &produced, &keep)?;
+                new_inputs.push(child);
+            }
+            let new_schema = Arc::new(schema.project(&keep));
+            Ok((
+                LogicalPlan::Union {
+                    inputs: new_inputs,
+                    schema: new_schema,
+                },
+                keep,
+            ))
+        }
+    }
+}
+
+fn prune_join(j: JoinNode, required: &BTreeSet<usize>) -> Result<(LogicalPlan, Vec<usize>)> {
+    let left_len = j.left.schema().len();
+    let mut need_left = BTreeSet::new();
+    let mut need_right = BTreeSet::new();
+    for &r in required {
+        if r < left_len {
+            need_left.insert(r);
+        } else {
+            need_right.insert(r - left_len);
+        }
+    }
+    if let Some(on) = &j.on {
+        for c in on.referenced_columns() {
+            if c < left_len {
+                need_left.insert(c);
+            } else {
+                need_right.insert(c - left_len);
+            }
+        }
+    }
+    // Semi/anti joins output only the left side but still consume
+    // right-side key columns via ON.
+    // Keep at least one column per side so schemas stay non-empty.
+    if need_left.is_empty() && !j.left.schema().is_empty() {
+        need_left.insert(0);
+    }
+    if need_right.is_empty() && !j.right.schema().is_empty() {
+        need_right.insert(0);
+    }
+    let (left, left_prod) = prune(*j.left, &need_left)?;
+    let (right, right_prod) = prune(*j.right, &need_right)?;
+    // Build the remap for the combined schema.
+    let mut combined_map: HashMap<usize, usize> = HashMap::new();
+    for (new_pos, &old) in left_prod.iter().enumerate() {
+        combined_map.insert(old, new_pos);
+    }
+    let new_left_len = left_prod.len();
+    for (new_pos, &old) in right_prod.iter().enumerate() {
+        combined_map.insert(left_len + old, new_left_len + new_pos);
+    }
+    let on = j
+        .on
+        .map(|e| e.remap_columns(&combined_map))
+        .transpose()?;
+    let kind = j.kind;
+    let joined = LogicalPlan::join(left, right, kind, on);
+    // What original combined ordinals does the new join produce?
+    let produced: Vec<usize> = match kind {
+        JoinKind::Semi | JoinKind::Anti => left_prod,
+        _ => left_prod
+            .into_iter()
+            .chain(right_prod.into_iter().map(|r| left_len + r))
+            .collect(),
+    };
+    Ok((joined, produced))
+}
+
+/// `child` produces original ordinals `produced`; narrow it (with a
+/// projection if needed) to exactly `want` in order.
+fn narrow_to(
+    child: LogicalPlan,
+    produced: &[usize],
+    want: &[usize],
+) -> Result<LogicalPlan> {
+    if produced == want {
+        return Ok(child);
+    }
+    let map = position_map(produced);
+    let exprs: Vec<ScalarExpr> = want
+        .iter()
+        .map(|w| {
+            map.get(w)
+                .map(|&p| ScalarExpr::col(p))
+                .ok_or_else(|| {
+                    GisError::Internal(format!(
+                        "pruned child lost required ordinal {w}"
+                    ))
+                })
+        })
+        .collect::<Result<_>>()?;
+    let fields: Vec<gis_types::Field> = want
+        .iter()
+        .map(|w| child.schema().field(map[w]).clone())
+        .collect();
+    Ok(LogicalPlan::Projection {
+        input: Box::new(child),
+        exprs,
+        schema: Arc::new(Schema::new(fields)),
+    })
+}
+
+/// old ordinal → new position.
+fn position_map(produced: &[usize]) -> HashMap<usize, usize> {
+    produced
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect()
+}

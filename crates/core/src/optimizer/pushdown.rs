@@ -1,0 +1,212 @@
+//! Predicate pushdown.
+//!
+//! Filters migrate toward the leaves: through projections (by
+//! substitution), through joins (to the side whose columns they
+//! reference, respecting outer-join semantics), through aggregates
+//! (group-key predicates only), through sorts/distinct/union, and
+//! finally *into* `TableScan.filters`, where the physical planner
+//! will try to ship them to the source. Whatever cannot descend is
+//! re-attached as a `Filter` at the deepest legal point.
+
+use crate::expr::ScalarExpr;
+use crate::plan::logical::{JoinNode, LogicalPlan};
+use gis_sql::ast::JoinKind;
+use gis_types::Result;
+use std::collections::HashMap;
+
+/// Pushes all filter predicates as deep as they can go.
+pub fn push_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
+    push(plan, vec![])
+}
+
+/// Recursive worker: `preds` are conjuncts expressed over `plan`'s
+/// output schema, to be absorbed as deep as possible.
+fn push(plan: LogicalPlan, mut preds: Vec<ScalarExpr>) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            preds.extend(predicate.split_conjunction().into_iter().cloned());
+            push(*input, preds)
+        }
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => {
+            // Substitute projection expressions into the predicates:
+            // a predicate over the projection's output becomes one
+            // over its input.
+            let substituted: Vec<ScalarExpr> = preds
+                .into_iter()
+                .map(|p| {
+                    p.transform(&|e| match e {
+                        ScalarExpr::Column(i) => exprs[i].clone(),
+                        other => other,
+                    })
+                })
+                .collect();
+            let input = push(*input, substituted)?;
+            Ok(LogicalPlan::Projection {
+                input: Box::new(input),
+                exprs,
+                schema,
+            })
+        }
+        LogicalPlan::Join(j) => push_join(j, preds),
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => {
+            // Predicates touching only group-key outputs substitute
+            // the group expression and descend; the rest stay above.
+            let n_groups = group_exprs.len();
+            let mut down = Vec::new();
+            let mut stay = Vec::new();
+            for p in preds {
+                if p.referenced_columns().iter().all(|&c| c < n_groups) {
+                    down.push(p.transform(&|e| match e {
+                        ScalarExpr::Column(i) => group_exprs[i].clone(),
+                        other => other,
+                    }));
+                } else {
+                    stay.push(p);
+                }
+            }
+            let input = push(*input, down)?;
+            let agg = LogicalPlan::Aggregate {
+                input: Box::new(input),
+                group_exprs,
+                aggregates,
+                schema,
+            };
+            Ok(wrap(agg, stay))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let input = push(*input, preds)?;
+            Ok(LogicalPlan::Sort {
+                input: Box::new(input),
+                keys,
+            })
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            // Filtering after a limit is not the same as before it:
+            // predicates stop here.
+            let input = push(*input, vec![])?;
+            Ok(wrap(
+                LogicalPlan::Limit {
+                    input: Box::new(input),
+                    skip,
+                    fetch,
+                },
+                preds,
+            ))
+        }
+        LogicalPlan::Distinct { input } => {
+            // Distinct commutes with filtering.
+            let input = push(*input, preds)?;
+            Ok(LogicalPlan::Distinct {
+                input: Box::new(input),
+            })
+        }
+        LogicalPlan::Union { inputs, schema } => {
+            // Same ordinals on every input.
+            let inputs = inputs
+                .into_iter()
+                .map(|i| push(i, preds.clone()))
+                .collect::<Result<_>>()?;
+            Ok(LogicalPlan::Union { inputs, schema })
+        }
+        LogicalPlan::TableScan(mut t) => {
+            // Remap output ordinals to full-global-schema ordinals.
+            let out_to_global: HashMap<usize, usize> = t
+                .output_ordinals()
+                .into_iter()
+                .enumerate()
+                .collect();
+            for p in preds {
+                let remapped = p.remap_columns(&out_to_global)?;
+                t.filters.push(remapped);
+            }
+            // A filtered scan cannot keep a pre-existing fetch limit
+            // (the limit was valid for the unfiltered scan).
+            if !t.filters.is_empty() {
+                t.fetch = None;
+            }
+            Ok(LogicalPlan::TableScan(t))
+        }
+        leaf @ LogicalPlan::Values { .. } => Ok(wrap(leaf, preds)),
+    }
+}
+
+fn push_join(j: JoinNode, preds: Vec<ScalarExpr>) -> Result<LogicalPlan> {
+    let left_len = j.left.schema().len();
+    let right_len = j.right.schema().len();
+    // Where may predicates-from-above descend?
+    let (can_left, can_right) = match j.kind {
+        JoinKind::Inner | JoinKind::Cross => (true, true),
+        // Below-the-join pushes on the preserved side only.
+        JoinKind::Left => (true, false),
+        JoinKind::Right => (false, true),
+        JoinKind::Full => (false, false),
+        // Semi/anti output the left schema.
+        JoinKind::Semi | JoinKind::Anti => (true, false),
+    };
+    let mut left_preds = Vec::new();
+    let mut right_preds = Vec::new();
+    let mut stay = Vec::new();
+    for p in preds {
+        let cols = p.referenced_columns();
+        let all_left = cols.iter().all(|&c| c < left_len);
+        let all_right = cols.iter().all(|&c| c >= left_len);
+        if all_left && can_left {
+            left_preds.push(p);
+        } else if all_right && can_right {
+            let map: HashMap<usize, usize> = (0..right_len)
+                .map(|i| (left_len + i, i))
+                .collect();
+            right_preds.push(p.remap_columns(&map)?);
+        } else {
+            stay.push(p);
+        }
+    }
+    // The ON condition of an INNER join is just a filter: its
+    // single-sided conjuncts may also descend.
+    let mut on_parts = Vec::new();
+    if let Some(on) = &j.on {
+        for part in on.split_conjunction() {
+            let cols = part.referenced_columns();
+            let all_left = cols.iter().all(|&c| c < left_len);
+            let all_right = cols.iter().all(|&c| c >= left_len);
+            if j.kind == JoinKind::Inner && all_left {
+                left_preds.push(part.clone());
+            } else if j.kind == JoinKind::Inner && all_right {
+                let map: HashMap<usize, usize> = (0..right_len)
+                    .map(|i| (left_len + i, i))
+                    .collect();
+                right_preds.push(part.clone().remap_columns(&map)?);
+            } else {
+                on_parts.push(part.clone());
+            }
+        }
+    }
+    let left = push(*j.left, left_preds)?;
+    let right = push(*j.right, right_preds)?;
+    let joined = LogicalPlan::join(
+        left,
+        right,
+        j.kind,
+        ScalarExpr::conjunction(on_parts),
+    );
+    Ok(wrap(joined, stay))
+}
+
+fn wrap(plan: LogicalPlan, preds: Vec<ScalarExpr>) -> LogicalPlan {
+    match ScalarExpr::conjunction(preds) {
+        Some(p) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: p,
+        },
+        None => plan,
+    }
+}

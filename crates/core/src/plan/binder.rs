@@ -1,0 +1,1072 @@
+//! The binder: SQL AST → logical plan.
+//!
+//! Name resolution happens exactly here — column references become
+//! ordinals, table references resolve through the catalog (bare
+//! names via the global schema, `source.table` explicitly), scalar
+//! and aggregate functions resolve from the registries. The binder
+//! also desugars: `BETWEEN` → range conjunction, operand-`CASE` →
+//! searched `CASE`, `USING` → equi-`ON`, `UNION` (distinct) →
+//! `Distinct(UnionAll)`, `DISTINCT` → `Distinct`, and rewrites
+//! post-aggregation expressions against the aggregate's output.
+
+use crate::expr::{functions::ScalarFunc, ScalarExpr};
+use crate::plan::logical::{AggregateExpr, LogicalPlan, SortExpr};
+use gis_adapters::AggFunc;
+use gis_catalog::CatalogRef;
+use gis_sql::ast::{
+    Expr, JoinConstraint, JoinKind, OrderByExpr, Query, Select, SelectItem, SetExpr, Statement,
+    TableRef, UnaryOp,
+};
+use gis_types::{DataType, GisError, Result, Schema, SchemaRef, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Binds statements against a catalog.
+pub struct Binder {
+    catalog: CatalogRef,
+}
+
+impl Binder {
+    /// A binder over `catalog`.
+    pub fn new(catalog: CatalogRef) -> Self {
+        Binder { catalog }
+    }
+
+    /// Binds a statement (queries only; `EXPLAIN` is peeled off by
+    /// the federation layer).
+    pub fn bind(&self, stmt: &Statement) -> Result<LogicalPlan> {
+        match stmt {
+            Statement::Query(q) => self.bind_query(q),
+            Statement::Explain { statement, .. } => self.bind(statement),
+        }
+    }
+
+    /// Binds a query expression.
+    pub fn bind_query(&self, query: &Query) -> Result<LogicalPlan> {
+        let mut plan = self.bind_set_expr(&query.body)?;
+        if !query.order_by.is_empty() {
+            plan = self.attach_order_by(plan, &query.order_by)?;
+        }
+        if query.limit.is_some() || query.offset.is_some() {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                skip: query.offset.unwrap_or(0) as usize,
+                fetch: query.limit.map(|l| l as usize),
+            };
+        }
+        Ok(plan)
+    }
+
+    fn bind_set_expr(&self, se: &SetExpr) -> Result<LogicalPlan> {
+        match se {
+            SetExpr::Select(s) => self.bind_select(s),
+            SetExpr::Union { left, right, all } => {
+                let l = self.bind_set_expr(left)?;
+                let r = self.bind_set_expr(right)?;
+                let union = self.build_union(l, r)?;
+                Ok(if *all {
+                    union
+                } else {
+                    LogicalPlan::Distinct {
+                        input: Box::new(union),
+                    }
+                })
+            }
+        }
+    }
+
+    /// Unions two plans, inserting casts where column types differ
+    /// but unify on the lattice.
+    fn build_union(&self, left: LogicalPlan, right: LogicalPlan) -> Result<LogicalPlan> {
+        let ls = left.schema().clone();
+        let rs = right.schema().clone();
+        if ls.len() != rs.len() {
+            return Err(GisError::Analysis(format!(
+                "UNION inputs have {} and {} columns",
+                ls.len(),
+                rs.len()
+            )));
+        }
+        let mut target = Vec::with_capacity(ls.len());
+        for (lf, rf) in ls.fields().iter().zip(rs.fields()) {
+            let t = lf.data_type.common_supertype(rf.data_type).ok_or_else(|| {
+                GisError::Analysis(format!(
+                    "UNION column '{}' has incompatible types {} and {}",
+                    lf.name, lf.data_type, rf.data_type
+                ))
+            })?;
+            target.push(t);
+        }
+        let coerce = |plan: LogicalPlan, schema: &Schema| -> Result<LogicalPlan> {
+            let needs = schema
+                .fields()
+                .iter()
+                .zip(&target)
+                .any(|(f, t)| f.data_type != *t);
+            if !needs {
+                return Ok(plan);
+            }
+            let exprs: Vec<ScalarExpr> = schema
+                .fields()
+                .iter()
+                .zip(&target)
+                .enumerate()
+                .map(|(i, (f, t))| {
+                    if f.data_type == *t {
+                        ScalarExpr::col(i)
+                    } else {
+                        ScalarExpr::Cast {
+                            expr: Box::new(ScalarExpr::col(i)),
+                            to: *t,
+                        }
+                    }
+                })
+                .collect();
+            let names = schema.fields().iter().map(|f| f.name.clone()).collect();
+            LogicalPlan::project_named(plan, exprs, names)
+        };
+        let left = coerce(left, &ls)?;
+        let right = coerce(right, &rs)?;
+        // Union output: names from the left, unified types, nullable
+        // if either side is.
+        let out_fields = ls
+            .fields()
+            .iter()
+            .zip(rs.fields())
+            .zip(&target)
+            .map(|((lf, rf), t)| gis_types::Field {
+                name: lf.name.clone(),
+                data_type: *t,
+                nullable: lf.nullable || rf.nullable,
+                qualifier: None,
+            })
+            .collect();
+        Ok(LogicalPlan::Union {
+            inputs: vec![left, right],
+            schema: Arc::new(Schema::new(out_fields)),
+        })
+    }
+
+    fn bind_select(&self, select: &Select) -> Result<LogicalPlan> {
+        // FROM
+        let mut plan = match &select.from {
+            Some(t) => self.bind_table_ref(t)?,
+            None => LogicalPlan::one_row(),
+        };
+        // WHERE: subquery-membership conjuncts become semi/anti
+        // joins; the rest filters.
+        if let Some(w) = &select.selection {
+            self.reject_aggregates(w, "WHERE")?;
+            let mut plain: Vec<Expr> = Vec::new();
+            for conjunct in w.split_conjunction() {
+                match conjunct {
+                    Expr::InSubquery {
+                        expr,
+                        negated,
+                        query,
+                    } => {
+                        plan = self.bind_in_subquery(plan, expr, *negated, query)?;
+                    }
+                    other => plain.push(other.clone()),
+                }
+            }
+            if let Some(rest) = Expr::conjunction(plain) {
+                let predicate = self.bind_expr(&rest, plan.schema())?;
+                expect_boolean(&predicate, plan.schema(), "WHERE")?;
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate,
+                };
+            }
+        }
+        // Expand wildcards into concrete items.
+        let items = self.expand_projection(&select.projection, plan.schema())?;
+        // Detect aggregation.
+        let has_aggs = items.iter().any(|(e, _)| contains_aggregate(e))
+            || select.having.as_ref().is_some_and(contains_aggregate)
+            || !select.group_by.is_empty();
+        if has_aggs {
+            plan = self.bind_aggregation(plan, select, &items)?;
+        } else {
+            if let Some(h) = &select.having {
+                return Err(GisError::Analysis(format!(
+                    "HAVING without aggregation: {}",
+                    gis_sql::unparse::expr_to_sql(h)
+                )));
+            }
+            let in_schema = plan.schema().clone();
+            let mut exprs = Vec::with_capacity(items.len());
+            let mut names = Vec::with_capacity(items.len());
+            for (ast, name) in &items {
+                exprs.push(self.bind_expr(ast, &in_schema)?);
+                names.push(name.clone());
+            }
+            plan = LogicalPlan::project_named(plan, exprs, names)?;
+        }
+        if select.distinct {
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        Ok(plan)
+    }
+
+    /// GROUP BY / aggregate binding. Builds
+    /// `Projection(Aggregate(input))`, rewriting projection and
+    /// HAVING expressions against the aggregate output.
+    fn bind_aggregation(
+        &self,
+        input: LogicalPlan,
+        select: &Select,
+        items: &[(Expr, String)],
+    ) -> Result<LogicalPlan> {
+        let in_schema = input.schema().clone();
+        // Group expressions: GROUP BY ordinal `k` refers to the k-th
+        // projection item (SQL-92 convenience).
+        let mut group_asts: Vec<Expr> = Vec::new();
+        for g in &select.group_by {
+            let ast = match g {
+                Expr::Literal(Value::Int64(k)) => {
+                    let idx = *k as usize;
+                    if idx == 0 || idx > items.len() {
+                        return Err(GisError::Analysis(format!(
+                            "GROUP BY position {idx} out of range"
+                        )));
+                    }
+                    items[idx - 1].0.clone()
+                }
+                other => other.clone(),
+            };
+            self.reject_aggregates(&ast, "GROUP BY")?;
+            group_asts.push(ast);
+        }
+        let group_exprs: Vec<ScalarExpr> = group_asts
+            .iter()
+            .map(|g| self.bind_expr(g, &in_schema))
+            .collect::<Result<_>>()?;
+        // Collect aggregate calls from projection and HAVING.
+        let mut agg_asts: Vec<Expr> = Vec::new();
+        for (e, _) in items {
+            collect_aggregates(e, &mut agg_asts);
+        }
+        if let Some(h) = &select.having {
+            collect_aggregates(h, &mut agg_asts);
+        }
+        // Dedup structurally.
+        let mut seen = Vec::new();
+        agg_asts.retain(|a| {
+            if seen.contains(a) {
+                false
+            } else {
+                seen.push(a.clone());
+                true
+            }
+        });
+        let aggregates: Vec<AggregateExpr> = agg_asts
+            .iter()
+            .map(|a| self.bind_aggregate_call(a, &in_schema))
+            .collect::<Result<_>>()?;
+        let agg_plan =
+            LogicalPlan::aggregate(input, group_exprs.clone(), aggregates)?;
+        let agg_schema = agg_plan.schema().clone();
+        // Rewriter: group AST -> ordinal, agg AST -> ordinal.
+        let ctx = PostAggContext {
+            binder: self,
+            group_asts: &group_asts,
+            agg_asts: &agg_asts,
+            n_groups: group_asts.len(),
+            agg_schema: &agg_schema,
+        };
+        let mut plan = agg_plan;
+        // HAVING filters above the aggregate.
+        if let Some(h) = &select.having {
+            let predicate = ctx.rewrite(h)?;
+            expect_boolean(&predicate, &agg_schema, "HAVING")?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+        let mut exprs = Vec::with_capacity(items.len());
+        let mut names = Vec::with_capacity(items.len());
+        for (ast, name) in items {
+            exprs.push(ctx.rewrite(ast)?);
+            names.push(name.clone());
+        }
+        LogicalPlan::project_named(plan, exprs, names)
+    }
+
+    /// Rewrites `expr [NOT] IN (SELECT ...)` into a semi/anti join.
+    ///
+    /// Dialect note (documented deviation from SQL's three-valued
+    /// `IN`): NULLs never match — a NULL tested value is dropped, and
+    /// NULLs in the subquery result are treated as non-matching for
+    /// `NOT IN` (most engines' historical pragmatics) rather than
+    /// poisoning the whole predicate.
+    fn bind_in_subquery(
+        &self,
+        plan: LogicalPlan,
+        tested: &Expr,
+        negated: bool,
+        query: &Query,
+    ) -> Result<LogicalPlan> {
+        let sub = self.bind_query(query)?;
+        if sub.schema().len() != 1 {
+            return Err(GisError::Analysis(format!(
+                "IN (SELECT ...) must produce exactly one column, got {}",
+                sub.schema().len()
+            )));
+        }
+        let left_schema = plan.schema().clone();
+        let key = self.bind_expr(tested, &left_schema)?;
+        self.reject_aggregates(tested, "IN (SELECT ...)")?;
+        // Types must unify.
+        let kt = key.data_type(&left_schema)?;
+        let st = sub.schema().field(0).data_type;
+        kt.common_supertype(st).ok_or_else(|| {
+            GisError::Analysis(format!(
+                "IN (SELECT ...): cannot compare {kt} with subquery column {st}"
+            ))
+        })?;
+        let left_len = left_schema.len();
+        let on = key.clone().eq(ScalarExpr::col(left_len));
+        let kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
+        let mut joined = LogicalPlan::join(plan, sub, kind, Some(on));
+        if negated {
+            // NULL tested values never satisfy NOT IN.
+            joined = LogicalPlan::Filter {
+                input: Box::new(joined),
+                predicate: ScalarExpr::IsNull {
+                    expr: Box::new(key),
+                    negated: true,
+                },
+            };
+        }
+        Ok(joined)
+    }
+
+    fn bind_aggregate_call(&self, e: &Expr, input: &Schema) -> Result<AggregateExpr> {
+        let Expr::Function {
+            name,
+            args,
+            distinct,
+        } = e
+        else {
+            return Err(GisError::Internal("not an aggregate call".into()));
+        };
+        let func = resolve_aggregate(name)
+            .ok_or_else(|| GisError::Internal(format!("unknown aggregate '{name}'")))?;
+        let arg = match args.as_slice() {
+            [Expr::Wildcard] | [] if func == AggFunc::Count => None,
+            [a] => {
+                self.reject_aggregates(a, "aggregate argument")?;
+                Some(self.bind_expr(a, input)?)
+            }
+            _ => {
+                return Err(GisError::Analysis(format!(
+                    "{name}() takes exactly one argument"
+                )))
+            }
+        };
+        if let Some(a) = &arg {
+            let t = a.data_type(input)?;
+            let ok = match func {
+                AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
+                AggFunc::Sum | AggFunc::Avg => t.is_numeric() || t == DataType::Null,
+            };
+            if !ok {
+                return Err(GisError::Analysis(format!(
+                    "{name}() cannot aggregate {t}"
+                )));
+            }
+        }
+        Ok(AggregateExpr {
+            func,
+            arg,
+            distinct: *distinct,
+        })
+    }
+
+    fn expand_projection(
+        &self,
+        items: &[SelectItem],
+        schema: &SchemaRef,
+    ) -> Result<Vec<(Expr, String)>> {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Wildcard => {
+                    if schema.is_empty() {
+                        return Err(GisError::Analysis(
+                            "SELECT * with no FROM clause".into(),
+                        ));
+                    }
+                    for f in schema.fields() {
+                        out.push((
+                            Expr::Column {
+                                qualifier: f.qualifier.clone(),
+                                name: f.name.clone(),
+                            },
+                            f.name.clone(),
+                        ));
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let mut any = false;
+                    for f in schema.fields() {
+                        if f.qualifier.as_deref().is_some_and(|fq| fq.eq_ignore_ascii_case(q)) {
+                            any = true;
+                            out.push((
+                                Expr::Column {
+                                    qualifier: f.qualifier.clone(),
+                                    name: f.name.clone(),
+                                },
+                                f.name.clone(),
+                            ));
+                        }
+                    }
+                    if !any {
+                        return Err(GisError::Analysis(format!(
+                            "unknown relation '{q}' in {q}.*"
+                        )));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                    out.push((expr.clone(), name));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn bind_table_ref(&self, t: &TableRef) -> Result<LogicalPlan> {
+        match t {
+            TableRef::Table {
+                source,
+                name,
+                alias,
+            } => {
+                let resolved = self.catalog.resolve(source.as_deref(), name)?;
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                Ok(LogicalPlan::TableScan(
+                    crate::plan::logical::TableScanNode::new(alias, resolved),
+                ))
+            }
+            TableRef::Subquery { query, alias } => {
+                let inner = self.bind_query(query)?;
+                // Requalify the subquery's output under the alias.
+                let schema = Arc::new(inner.schema().requalify(alias));
+                // Identity projection to install the new schema.
+                let exprs: Vec<ScalarExpr> =
+                    (0..schema.len()).map(ScalarExpr::col).collect();
+                Ok(LogicalPlan::Projection {
+                    input: Box::new(inner),
+                    exprs,
+                    schema,
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
+                let l = self.bind_table_ref(left)?;
+                let r = self.bind_table_ref(right)?;
+                let combined = l.schema().join(r.schema());
+                let on = match constraint {
+                    JoinConstraint::None => None,
+                    JoinConstraint::On(e) => {
+                        self.reject_aggregates(e, "JOIN ON")?;
+                        let bound = self.bind_expr(e, &combined)?;
+                        expect_boolean(&bound, &combined, "JOIN ON")?;
+                        Some(bound)
+                    }
+                    JoinConstraint::Using(cols) => {
+                        let left_len = l.schema().len();
+                        let mut parts = Vec::new();
+                        for c in cols {
+                            let li = l.schema().index_of(None, c)?;
+                            let ri = r.schema().index_of(None, c)?;
+                            parts.push(
+                                ScalarExpr::col(li)
+                                    .eq(ScalarExpr::col(left_len + ri)),
+                            );
+                        }
+                        ScalarExpr::conjunction(parts)
+                    }
+                };
+                if *kind != JoinKind::Cross && on.is_none() {
+                    return Err(GisError::Analysis(
+                        "join requires an ON or USING constraint".into(),
+                    ));
+                }
+                Ok(LogicalPlan::join(l, r, *kind, on))
+            }
+        }
+    }
+
+    /// Plans ORDER BY: keys bind against the output scope when they
+    /// can; when the root is a projection and a key only resolves in
+    /// its *input* scope (e.g. `ORDER BY a.id` after qualifiers were
+    /// dropped, or ordering by a non-projected column), the sort is
+    /// planned **below** the projection, where the projection is a
+    /// 1:1 row mapping so result order is preserved.
+    fn attach_order_by(
+        &self,
+        plan: LogicalPlan,
+        order_by: &[OrderByExpr],
+    ) -> Result<LogicalPlan> {
+        match self.bind_order_by(order_by, plan.schema()) {
+            Ok(keys) => Ok(LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            }),
+            Err(outer_err) => match plan {
+                LogicalPlan::Projection {
+                    input,
+                    exprs,
+                    schema,
+                } => {
+                    // Inner scope: ordinals and aliases refer to the
+                    // projection's expressions, names to its input.
+                    let keys = order_by
+                        .iter()
+                        .map(|o| {
+                            let expr = match &o.expr {
+                                Expr::Literal(Value::Int64(k)) => {
+                                    let idx = *k as usize;
+                                    if idx == 0 || idx > exprs.len() {
+                                        return Err(GisError::Analysis(format!(
+                                            "ORDER BY position {idx} out of range"
+                                        )));
+                                    }
+                                    exprs[idx - 1].clone()
+                                }
+                                Expr::Column {
+                                    qualifier: None,
+                                    name,
+                                } if schema.index_of(None, name).is_ok() => {
+                                    let idx = schema.index_of(None, name)?;
+                                    exprs[idx].clone()
+                                }
+                                other => self.bind_expr(other, input.schema())?,
+                            };
+                            Ok(SortExpr {
+                                expr,
+                                asc: o.asc,
+                                nulls_first: o.nulls_first.unwrap_or(true),
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()
+                        .map_err(|_| outer_err)?;
+                    Ok(LogicalPlan::Projection {
+                        input: Box::new(LogicalPlan::Sort { input, keys }),
+                        exprs,
+                        schema,
+                    })
+                }
+                other => {
+                    let _ = other;
+                    Err(outer_err)
+                }
+            },
+        }
+    }
+
+    fn bind_order_by(
+        &self,
+        order_by: &[OrderByExpr],
+        schema: &SchemaRef,
+    ) -> Result<Vec<SortExpr>> {
+        order_by
+            .iter()
+            .map(|o| {
+                let expr = match &o.expr {
+                    // ORDER BY k: 1-based output ordinal.
+                    Expr::Literal(Value::Int64(k)) => {
+                        let idx = *k as usize;
+                        if idx == 0 || idx > schema.len() {
+                            return Err(GisError::Analysis(format!(
+                                "ORDER BY position {idx} out of range"
+                            )));
+                        }
+                        ScalarExpr::col(idx - 1)
+                    }
+                    // Projection output drops qualifiers, but users
+                    // naturally write `ORDER BY o.amount`; fall back
+                    // to the unqualified name when the qualified
+                    // lookup misses.
+                    Expr::Column {
+                        qualifier: Some(_),
+                        name,
+                    } if schema.index_of_str(&o_expr_qualified(&o.expr)).is_err() => {
+                        let idx = schema.index_of(None, name)?;
+                        ScalarExpr::col(idx)
+                    }
+                    other => self.bind_expr(other, schema)?,
+                };
+                Ok(SortExpr {
+                    expr,
+                    asc: o.asc,
+                    // Default null placement follows direction, the
+                    // PostgreSQL convention: ASC → NULLS LAST,
+                    // DESC → NULLS FIRST... our engine-wide default
+                    // is NULLS FIRST for ASC; we follow the paper-era
+                    // simpler rule: nulls first unless specified.
+                    nulls_first: o.nulls_first.unwrap_or(true),
+                })
+            })
+            .collect()
+    }
+
+    /// Binds a scalar expression against `schema`.
+    pub fn bind_expr(&self, e: &Expr, schema: &Schema) -> Result<ScalarExpr> {
+        Ok(match e {
+            Expr::Column { qualifier, name } => {
+                let idx = schema.index_of(qualifier.as_deref(), name)?;
+                ScalarExpr::col(idx)
+            }
+            Expr::Literal(v) => ScalarExpr::lit(v.clone()),
+            Expr::Parameter(_) => {
+                return Err(GisError::Analysis(
+                    "positional parameters are only valid in prepared fragments".into(),
+                ))
+            }
+            Expr::BinaryOp { left, op, right } => ScalarExpr::Binary {
+                left: Box::new(self.bind_expr(left, schema)?),
+                op: *op,
+                right: Box::new(self.bind_expr(right, schema)?),
+            },
+            Expr::UnaryOp { op, expr } => ScalarExpr::Unary {
+                op: *op,
+                expr: Box::new(self.bind_expr(expr, schema)?),
+            },
+            Expr::Function { name, args, .. } => {
+                if resolve_aggregate(name).is_some() {
+                    return Err(GisError::Analysis(format!(
+                        "aggregate {name}() is not allowed here"
+                    )));
+                }
+                let func = ScalarFunc::resolve(name).ok_or_else(|| {
+                    GisError::Analysis(format!("unknown function '{name}'"))
+                })?;
+                let bound: Vec<ScalarExpr> = args
+                    .iter()
+                    .map(|a| self.bind_expr(a, schema))
+                    .collect::<Result<_>>()?;
+                // Validate types/arity eagerly for a good error.
+                let types: Vec<DataType> = bound
+                    .iter()
+                    .map(|b| b.data_type(schema))
+                    .collect::<Result<_>>()?;
+                func.return_type(&types)?;
+                ScalarExpr::Func { func, args: bound }
+            }
+            Expr::Wildcard => {
+                return Err(GisError::Analysis(
+                    "* is only valid in SELECT lists and COUNT(*)".into(),
+                ))
+            }
+            Expr::InSubquery { .. } => {
+                return Err(GisError::Analysis(
+                    "IN (SELECT ...) is only supported as a top-level WHERE conjunct"
+                        .into(),
+                ))
+            }
+            Expr::Cast { expr, to } => {
+                let inner = self.bind_expr(expr, schema)?;
+                let from = inner.data_type(schema)?;
+                if !from.can_cast_to(*to) {
+                    return Err(GisError::Analysis(format!(
+                        "cannot CAST {from} to {to}"
+                    )));
+                }
+                ScalarExpr::Cast {
+                    expr: Box::new(inner),
+                    to: *to,
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                // Desugar `CASE x WHEN v ...` to searched CASE.
+                let bound_branches: Vec<(ScalarExpr, ScalarExpr)> = branches
+                    .iter()
+                    .map(|(w, t)| {
+                        let when = match operand {
+                            Some(op) => Expr::BinaryOp {
+                                left: op.clone(),
+                                op: gis_sql::ast::BinaryOp::Eq,
+                                right: Box::new(w.clone()),
+                            },
+                            None => w.clone(),
+                        };
+                        let bw = self.bind_expr(&when, schema)?;
+                        expect_boolean(&bw, schema, "CASE WHEN")?;
+                        Ok((bw, self.bind_expr(t, schema)?))
+                    })
+                    .collect::<Result<_>>()?;
+                let bound_else = match else_expr {
+                    Some(e) => Some(Box::new(self.bind_expr(e, schema)?)),
+                    None => None,
+                };
+                let out = ScalarExpr::Case {
+                    branches: bound_branches,
+                    else_expr: bound_else,
+                };
+                // Validate type unification eagerly.
+                out.data_type(schema)?;
+                out
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                // Desugar to (e >= low AND e <= high), negated with NOT.
+                let e2 = self.bind_expr(expr, schema)?;
+                let lo = self.bind_expr(low, schema)?;
+                let hi = self.bind_expr(high, schema)?;
+                let range = e2
+                    .clone()
+                    .binary(gis_sql::ast::BinaryOp::GtEq, lo)
+                    .and(e2.binary(gis_sql::ast::BinaryOp::LtEq, hi));
+                if *negated {
+                    ScalarExpr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(range),
+                    }
+                } else {
+                    range
+                }
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => ScalarExpr::InList {
+                expr: Box::new(self.bind_expr(expr, schema)?),
+                list: list
+                    .iter()
+                    .map(|i| self.bind_expr(i, schema))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Like {
+                negated,
+                expr,
+                pattern,
+            } => ScalarExpr::Like {
+                expr: Box::new(self.bind_expr(expr, schema)?),
+                pattern: Box::new(self.bind_expr(pattern, schema)?),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(self.bind_expr(expr, schema)?),
+                negated: *negated,
+            },
+        })
+    }
+
+    fn reject_aggregates(&self, e: &Expr, clause: &str) -> Result<()> {
+        if contains_aggregate(e) {
+            return Err(GisError::Analysis(format!(
+                "aggregate functions are not allowed in {clause}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites post-aggregation expressions (projection items, HAVING)
+/// against the aggregate output schema.
+struct PostAggContext<'a> {
+    binder: &'a Binder,
+    group_asts: &'a [Expr],
+    agg_asts: &'a [Expr],
+    n_groups: usize,
+    agg_schema: &'a SchemaRef,
+}
+
+impl PostAggContext<'_> {
+    fn rewrite(&self, e: &Expr) -> Result<ScalarExpr> {
+        // Whole-expression match against a group key?
+        if let Some(i) = self.group_asts.iter().position(|g| g == e) {
+            return Ok(ScalarExpr::col(i));
+        }
+        // An aggregate call?
+        if let Some(i) = self.agg_asts.iter().position(|a| a == e) {
+            return Ok(ScalarExpr::col(self.n_groups + i));
+        }
+        match e {
+            Expr::Column { qualifier, name } => Err(GisError::Analysis(format!(
+                "column '{}{}{}' must appear in GROUP BY or an aggregate",
+                qualifier.as_deref().unwrap_or(""),
+                if qualifier.is_some() { "." } else { "" },
+                name
+            ))),
+            Expr::Literal(v) => Ok(ScalarExpr::lit(v.clone())),
+            Expr::BinaryOp { left, op, right } => Ok(ScalarExpr::Binary {
+                left: Box::new(self.rewrite(left)?),
+                op: *op,
+                right: Box::new(self.rewrite(right)?),
+            }),
+            Expr::UnaryOp { op, expr } => Ok(ScalarExpr::Unary {
+                op: *op,
+                expr: Box::new(self.rewrite(expr)?),
+            }),
+            Expr::Function { name, args, .. } => {
+                let func = ScalarFunc::resolve(name).ok_or_else(|| {
+                    GisError::Analysis(format!("unknown function '{name}'"))
+                })?;
+                Ok(ScalarExpr::Func {
+                    func,
+                    args: args
+                        .iter()
+                        .map(|a| self.rewrite(a))
+                        .collect::<Result<_>>()?,
+                })
+            }
+            Expr::Cast { expr, to } => Ok(ScalarExpr::Cast {
+                expr: Box::new(self.rewrite(expr)?),
+                to: *to,
+            }),
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                let rewritten: Vec<(ScalarExpr, ScalarExpr)> = branches
+                    .iter()
+                    .map(|(w, t)| {
+                        let when = match operand {
+                            Some(op) => Expr::BinaryOp {
+                                left: op.clone(),
+                                op: gis_sql::ast::BinaryOp::Eq,
+                                right: Box::new(w.clone()),
+                            },
+                            None => w.clone(),
+                        };
+                        Ok((self.rewrite(&when)?, self.rewrite(t)?))
+                    })
+                    .collect::<Result<_>>()?;
+                Ok(ScalarExpr::Case {
+                    branches: rewritten,
+                    else_expr: match else_expr {
+                        Some(e) => Some(Box::new(self.rewrite(e)?)),
+                        None => None,
+                    },
+                })
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                let e2 = self.rewrite(expr)?;
+                let lo = self.rewrite(low)?;
+                let hi = self.rewrite(high)?;
+                let range = e2
+                    .clone()
+                    .binary(gis_sql::ast::BinaryOp::GtEq, lo)
+                    .and(e2.binary(gis_sql::ast::BinaryOp::LtEq, hi));
+                Ok(if *negated {
+                    ScalarExpr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(range),
+                    }
+                } else {
+                    range
+                })
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => Ok(ScalarExpr::InList {
+                expr: Box::new(self.rewrite(expr)?),
+                list: list
+                    .iter()
+                    .map(|i| self.rewrite(i))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            }),
+            Expr::Like {
+                negated,
+                expr,
+                pattern,
+            } => Ok(ScalarExpr::Like {
+                expr: Box::new(self.rewrite(expr)?),
+                pattern: Box::new(self.rewrite(pattern)?),
+                negated: *negated,
+            }),
+            Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
+                expr: Box::new(self.rewrite(expr)?),
+                negated: *negated,
+            }),
+            Expr::Parameter(_) | Expr::Wildcard | Expr::InSubquery { .. } => {
+                Err(GisError::Analysis(
+                    "invalid expression after aggregation".into(),
+                ))
+            }
+        }
+        .and_then(|out| {
+            // Sanity: the rewritten expression must type-check against
+            // the aggregate schema.
+            let _ = self.binder;
+            out.data_type(self.agg_schema)?;
+            Ok(out)
+        })
+    }
+}
+
+/// Renders a qualified column AST as `q.name` for schema lookup.
+fn o_expr_qualified(e: &Expr) -> String {
+    match e {
+        Expr::Column {
+            qualifier: Some(q),
+            name,
+        } => format!("{q}.{name}"),
+        Expr::Column { name, .. } => name.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Resolves an aggregate function name.
+pub fn resolve_aggregate(name: &str) -> Option<AggFunc> {
+    Some(match name {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "avg" => AggFunc::Avg,
+        _ => None?,
+    })
+}
+
+/// True when the AST contains an aggregate call (not descending into
+/// nested aggregates, which the dialect forbids anyway).
+fn contains_aggregate(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if let Expr::Function { name, .. } = x {
+            if resolve_aggregate(name).is_some() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Collects aggregate calls in `e` into `out` (outermost only).
+fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Function { name, .. } if resolve_aggregate(name).is_some() => {
+            out.push(e.clone());
+        }
+        Expr::BinaryOp { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::UnaryOp { expr, .. }
+        | Expr::Cast { expr, .. }
+        | Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregates(o, out);
+            }
+            for (w, t) in branches {
+                collect_aggregates(w, out);
+                collect_aggregates(t, out);
+            }
+            if let Some(el) = else_expr {
+                collect_aggregates(el, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for i in list {
+                collect_aggregates(i, out);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(pattern, out);
+        }
+        // A subquery is its own aggregation scope.
+        Expr::InSubquery { expr, .. } => collect_aggregates(expr, out),
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Parameter(_) | Expr::Wildcard => {}
+    }
+}
+
+fn expect_boolean(e: &ScalarExpr, schema: &Schema, clause: &str) -> Result<()> {
+    let t = e.data_type(schema)?;
+    if t != DataType::Boolean && t != DataType::Null {
+        return Err(GisError::Analysis(format!(
+            "{clause} must be boolean, got {t}"
+        )));
+    }
+    Ok(())
+}
+
+/// Default output name for an unaliased projection expression.
+fn default_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => format!("{name}()"),
+        Expr::Cast { expr, .. } => default_name(expr),
+        _ => {
+            // Compact rendering, lowercased, as engines tend to do.
+            let s = gis_sql::unparse::expr_to_sql(e);
+            if s.len() > 30 {
+                "expr".to_string()
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Guards against duplicate aliases in one FROM clause (ambiguity
+/// trap the schema lookup would otherwise hit late with a worse
+/// message). Called by the federation layer before binding.
+pub fn check_duplicate_aliases(t: &TableRef, seen: &mut HashSet<String>) -> Result<()> {
+    match t {
+        TableRef::Join { left, right, .. } => {
+            check_duplicate_aliases(left, seen)?;
+            check_duplicate_aliases(right, seen)
+        }
+        other => {
+            if let Some(name) = other.visible_name() {
+                if !seen.insert(name.to_ascii_lowercase()) {
+                    return Err(GisError::Analysis(format!(
+                        "duplicate table alias '{name}' in FROM"
+                    )));
+                }
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Plan tree rendering for `EXPLAIN` and debugging.
+
+use crate::plan::logical::LogicalPlan;
+use std::fmt::Write as _;
+
+/// Renders an indented plan tree.
+pub fn plan_to_string(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        LogicalPlan::TableScan(t) => {
+            let proj = match &t.projection {
+                Some(p) => format!(" proj={p:?}"),
+                None => String::new(),
+            };
+            let filt = if t.filters.is_empty() {
+                String::new()
+            } else {
+                let fs: Vec<String> = t.filters.iter().map(|f| f.to_string()).collect();
+                format!(" filters=[{}]", fs.join(", "))
+            };
+            let fetch = match t.fetch {
+                Some(n) => format!(" fetch={n}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{pad}TableScan: {}.{} as {} [caps {}]{proj}{filt}{fetch}",
+                t.resolved.source.name,
+                t.resolved.mapping.source_table,
+                t.alias,
+                t.resolved.source.capabilities
+            );
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let _ = writeln!(out, "{pad}Filter: {predicate}");
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Projection { input, exprs, schema } => {
+            let items: Vec<String> = exprs
+                .iter()
+                .zip(schema.fields())
+                .map(|(e, f)| format!("{e} AS {}", f.name))
+                .collect();
+            let _ = writeln!(out, "{pad}Projection: {}", items.join(", "));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Join(j) => {
+            let on = match &j.on {
+                Some(e) => format!(" ON {e}"),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "{pad}{}{on}", j.kind);
+            render(&j.left, depth + 1, out);
+            render(&j.right, depth + 1, out);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            ..
+        } => {
+            let gs: Vec<String> = group_exprs.iter().map(|g| g.to_string()).collect();
+            let asx: Vec<String> = aggregates.iter().map(|a| a.display_name()).collect();
+            let _ = writeln!(
+                out,
+                "{pad}Aggregate: group=[{}] aggs=[{}]",
+                gs.join(", "),
+                asx.join(", ")
+            );
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{} {}{}",
+                        k.expr,
+                        if k.asc { "ASC" } else { "DESC" },
+                        if k.nulls_first { " NULLS FIRST" } else { "" }
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}Sort: {}", ks.join(", "));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            let _ = writeln!(out, "{pad}Limit: skip={skip} fetch={fetch:?}");
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Union { inputs, .. } => {
+            let _ = writeln!(out, "{pad}UnionAll: {} inputs", inputs.len());
+            for i in inputs {
+                render(i, depth + 1, out);
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let _ = writeln!(out, "{pad}Distinct");
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Values { rows, schema } => {
+            let _ = writeln!(
+                out,
+                "{pad}Values: {} row(s), {} col(s)",
+                rows.len(),
+                schema.len()
+            );
+        }
+    }
+}
+
+impl std::fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&plan_to_string(self))
+    }
+}

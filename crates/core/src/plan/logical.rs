@@ -1,0 +1,419 @@
+//! The logical algebra.
+//!
+//! Every node carries its output schema, computed at construction;
+//! expressions inside a node reference the node's *input* schema by
+//! ordinal. `TableScan` is federation-aware from the start: it knows
+//! which source exports the table, the mapping that produced its
+//! global schema, and accumulates pushed filters / projection /
+//! fetch-limit as the optimizer moves them in.
+
+use crate::expr::ScalarExpr;
+use gis_adapters::AggFunc;
+use gis_catalog::ResolvedTable;
+use gis_sql::ast::JoinKind;
+use gis_types::{Field, GisError, Result, Schema, SchemaRef, Value};
+use std::sync::Arc;
+
+/// A scan of one global table (backed by one source table).
+#[derive(Debug, Clone)]
+pub struct TableScanNode {
+    /// The alias this relation is known by in the query.
+    pub alias: String,
+    /// Catalog resolution: source, export schema, mapping, stats.
+    pub resolved: ResolvedTable,
+    /// Ordinals into the table's **global** schema to produce
+    /// (`None` = all).
+    pub projection: Option<Vec<usize>>,
+    /// Conjunctive filters over the table's **full global** schema
+    /// (pre-projection ordinals), pushed here by the optimizer.
+    pub filters: Vec<ScalarExpr>,
+    /// Row limit pushed into the scan.
+    pub fetch: Option<usize>,
+    /// Output schema (projected global schema, qualified by alias).
+    pub schema: SchemaRef,
+}
+
+impl TableScanNode {
+    /// Builds a scan of the full table.
+    pub fn new(alias: impl Into<String>, resolved: ResolvedTable) -> Self {
+        let alias = alias.into();
+        let schema = Arc::new(resolved.global_schema.requalify(&alias));
+        TableScanNode {
+            alias,
+            resolved,
+            projection: None,
+            filters: vec![],
+            fetch: None,
+            schema,
+        }
+    }
+
+    /// Recomputes the output schema after changing the projection.
+    pub fn recompute_schema(&mut self) {
+        let base = self.resolved.global_schema.requalify(&self.alias);
+        self.schema = Arc::new(match &self.projection {
+            Some(p) => base.project(p),
+            None => base,
+        });
+    }
+
+    /// The ordinals this scan outputs (projection or identity).
+    pub fn output_ordinals(&self) -> Vec<usize> {
+        match &self.projection {
+            Some(p) => p.clone(),
+            None => (0..self.resolved.global_schema.len()).collect(),
+        }
+    }
+}
+
+/// A join node.
+#[derive(Debug, Clone)]
+pub struct JoinNode {
+    /// Left input.
+    pub left: Box<LogicalPlan>,
+    /// Right input.
+    pub right: Box<LogicalPlan>,
+    /// Join kind.
+    pub kind: JoinKind,
+    /// Join condition over the **combined** (left ++ right) schema;
+    /// `None` for cross joins.
+    pub on: Option<ScalarExpr>,
+    /// Output schema.
+    pub schema: SchemaRef,
+}
+
+impl JoinNode {
+    /// Output schema for `kind` over the given inputs: semi/anti
+    /// joins output only the left side; outer joins relax
+    /// nullability on the weak side(s).
+    pub fn compute_schema(
+        left: &Schema,
+        right: &Schema,
+        kind: JoinKind,
+    ) -> SchemaRef {
+        match kind {
+            JoinKind::Semi | JoinKind::Anti => Arc::new(left.clone()),
+            _ => {
+                let weak_left = matches!(kind, JoinKind::Right | JoinKind::Full);
+                let weak_right = matches!(kind, JoinKind::Left | JoinKind::Full);
+                let mut fields: Vec<Field> = left
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        let mut f = f.clone();
+                        if weak_left {
+                            f.nullable = true;
+                        }
+                        f
+                    })
+                    .collect();
+                fields.extend(right.fields().iter().map(|f| {
+                    let mut f = f.clone();
+                    if weak_right {
+                        f.nullable = true;
+                    }
+                    f
+                }));
+                Arc::new(Schema::new(fields))
+            }
+        }
+    }
+
+    /// Extracts equi-join key pairs from the ON condition: conjuncts
+    /// of the form `left_col = right_col` (ordinals split by the left
+    /// schema width). Returns `(left_keys, right_keys_relative,
+    /// residual)` where right ordinals are rebased to the right
+    /// schema, and `residual` is the remaining non-equi condition
+    /// over the combined schema.
+    pub fn equi_keys(&self) -> (Vec<usize>, Vec<usize>, Option<ScalarExpr>) {
+        let left_len = self.left.schema().len();
+        let mut lk = Vec::new();
+        let mut rk = Vec::new();
+        let mut residual = Vec::new();
+        let Some(on) = &self.on else {
+            return (lk, rk, None);
+        };
+        for part in on.split_conjunction() {
+            if let ScalarExpr::Binary {
+                left,
+                op: gis_sql::ast::BinaryOp::Eq,
+                right,
+            } = part
+            {
+                if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let (a, b) = (*a, *b);
+                    if a < left_len && b >= left_len {
+                        lk.push(a);
+                        rk.push(b - left_len);
+                        continue;
+                    }
+                    if b < left_len && a >= left_len {
+                        lk.push(b);
+                        rk.push(a - left_len);
+                        continue;
+                    }
+                }
+            }
+            residual.push(part.clone());
+        }
+        (lk, rk, ScalarExpr::conjunction(residual))
+    }
+}
+
+/// One aggregate expression inside an Aggregate node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument over the aggregate's input schema; `None` = `COUNT(*)`.
+    pub arg: Option<ScalarExpr>,
+    /// DISTINCT modifier.
+    pub distinct: bool,
+}
+
+impl AggregateExpr {
+    /// Display name like `count(*)` / `sum(#2)`.
+    pub fn display_name(&self) -> String {
+        let d = if self.distinct { "DISTINCT " } else { "" };
+        match &self.arg {
+            Some(a) => format!("{}({d}{a})", self.func.name()),
+            None => format!("{}({d}*)", self.func.name()),
+        }
+    }
+}
+
+/// One sort key (expression over the node's input schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortExpr {
+    /// Key expression.
+    pub expr: ScalarExpr,
+    /// Ascending?
+    pub asc: bool,
+    /// NULLs first?
+    pub nulls_first: bool,
+}
+
+/// The logical plan.
+// Plans are built once per query and cloned rarely; boxing TableScan to
+// shrink the enum would cost more indirection than it saves.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Scan of one global table.
+    TableScan(TableScanNode),
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: ScalarExpr,
+    },
+    /// Column computation / reordering.
+    Projection {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions over the input schema.
+        exprs: Vec<ScalarExpr>,
+        /// Output schema (names chosen by the binder).
+        schema: SchemaRef,
+    },
+    /// Join.
+    Join(JoinNode),
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by expressions over the input schema.
+        group_exprs: Vec<ScalarExpr>,
+        /// Aggregates.
+        aggregates: Vec<AggregateExpr>,
+        /// Output schema: group columns then aggregate columns.
+        schema: SchemaRef,
+    },
+    /// Sort.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Keys over the input schema.
+        keys: Vec<SortExpr>,
+    },
+    /// Skip/fetch.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Rows to skip.
+        skip: usize,
+        /// Max rows to return (`None` = all).
+        fetch: Option<usize>,
+    },
+    /// Bag union (ALL semantics; wrap in Distinct for set union).
+    Union {
+        /// Inputs (all type-compatible).
+        inputs: Vec<LogicalPlan>,
+        /// Output schema (names from the first input).
+        schema: SchemaRef,
+    },
+    /// Duplicate elimination over all columns.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Inline constant rows (`SELECT` without `FROM`, empty relations).
+    Values {
+        /// Output schema.
+        schema: SchemaRef,
+        /// Row values.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl LogicalPlan {
+    /// The node's output schema.
+    pub fn schema(&self) -> &SchemaRef {
+        match self {
+            LogicalPlan::TableScan(t) => &t.schema,
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Projection { schema, .. } => schema,
+            LogicalPlan::Join(j) => &j.schema,
+            LogicalPlan::Aggregate { schema, .. } => schema,
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Union { schema, .. } => schema,
+            LogicalPlan::Distinct { input } => input.schema(),
+            LogicalPlan::Values { schema, .. } => schema,
+        }
+    }
+
+    /// Children of this node.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::TableScan(_) | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => vec![input],
+            LogicalPlan::Join(j) => vec![&j.left, &j.right],
+            LogicalPlan::Union { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    /// Builds a Projection, computing its schema from expressions and
+    /// chosen output names.
+    pub fn project_named(
+        input: LogicalPlan,
+        exprs: Vec<ScalarExpr>,
+        names: Vec<String>,
+    ) -> Result<LogicalPlan> {
+        if exprs.len() != names.len() {
+            return Err(GisError::Internal(
+                "projection exprs/names length mismatch".into(),
+            ));
+        }
+        let in_schema = input.schema().clone();
+        let mut fields = Vec::with_capacity(exprs.len());
+        for (e, n) in exprs.iter().zip(&names) {
+            fields.push(Field {
+                name: n.clone(),
+                data_type: e.data_type(&in_schema)?,
+                nullable: e.nullable(&in_schema),
+                qualifier: None,
+            });
+        }
+        Ok(LogicalPlan::Projection {
+            input: Box::new(input),
+            exprs,
+            schema: Arc::new(Schema::new(fields)),
+        })
+    }
+
+    /// Builds an Aggregate, computing its schema. Group columns take
+    /// their names from simple column references where possible.
+    pub fn aggregate(
+        input: LogicalPlan,
+        group_exprs: Vec<ScalarExpr>,
+        aggregates: Vec<AggregateExpr>,
+    ) -> Result<LogicalPlan> {
+        let in_schema = input.schema().clone();
+        let mut fields = Vec::with_capacity(group_exprs.len() + aggregates.len());
+        for (i, g) in group_exprs.iter().enumerate() {
+            let (name, qualifier) = match g {
+                ScalarExpr::Column(c) => {
+                    let f = in_schema.field(*c);
+                    (f.name.clone(), f.qualifier.clone())
+                }
+                _ => (format!("group_{i}"), None),
+            };
+            fields.push(Field {
+                name,
+                data_type: g.data_type(&in_schema)?,
+                nullable: g.nullable(&in_schema),
+                qualifier,
+            });
+        }
+        for a in &aggregates {
+            let input_type = match &a.arg {
+                Some(e) => e.data_type(&in_schema)?,
+                None => gis_types::DataType::Int64,
+            };
+            fields.push(Field::new(
+                a.display_name(),
+                a.func.output_type(input_type),
+            ));
+        }
+        Ok(LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_exprs,
+            aggregates,
+            schema: Arc::new(Schema::new(fields)),
+        })
+    }
+
+    /// Builds a Join, computing its schema.
+    pub fn join(
+        left: LogicalPlan,
+        right: LogicalPlan,
+        kind: JoinKind,
+        on: Option<ScalarExpr>,
+    ) -> LogicalPlan {
+        let schema = JoinNode::compute_schema(left.schema(), right.schema(), kind);
+        LogicalPlan::Join(JoinNode {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind,
+            on,
+            schema,
+        })
+    }
+
+    /// A single empty row with no columns (input for `SELECT 1`).
+    pub fn one_row() -> LogicalPlan {
+        LogicalPlan::Values {
+            schema: Arc::new(Schema::empty()),
+            rows: vec![vec![]],
+        }
+    }
+
+    /// Number of nodes (testing/metrics).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// All TableScan nodes in the tree.
+    pub fn scans(&self) -> Vec<&TableScanNode> {
+        let mut out = Vec::new();
+        fn go<'a>(p: &'a LogicalPlan, out: &mut Vec<&'a TableScanNode>) {
+            if let LogicalPlan::TableScan(t) = p {
+                out.push(t);
+            }
+            for c in p.children() {
+                go(c, out);
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}

@@ -1,0 +1,10 @@
+//! Logical planning: the relational algebra and the binder.
+
+pub mod binder;
+pub mod display;
+pub mod logical;
+
+pub use binder::Binder;
+pub use logical::{
+    AggregateExpr, JoinNode, LogicalPlan, SortExpr, TableScanNode,
+};

@@ -1,0 +1,161 @@
+//! `IN (SELECT ...)` membership tests: semi/anti rewrite semantics,
+//! cross-source execution, and the documented NULL-handling dialect.
+
+use gis_adapters::{RelationalAdapter, SourceAdapter};
+use gis_core::Federation;
+use gis_net::NetworkConditions;
+use gis_storage::RowStore;
+use gis_types::{DataType, Field, Schema, Value};
+use std::sync::Arc;
+
+fn fed() -> Federation {
+    let fed = Federation::new();
+    let a = RelationalAdapter::new("a");
+    let people = Schema::new(vec![
+        Field::required("id", DataType::Int64),
+        Field::new("team", DataType::Utf8),
+    ])
+    .into_ref();
+    a.add_table(RowStore::new("people", people, Some(0)).unwrap());
+    a.load(
+        "people",
+        [
+            (1i64, Some("red")),
+            (2, Some("blue")),
+            (3, None),
+            (4, Some("red")),
+            (5, Some("green")),
+        ]
+        .into_iter()
+        .map(|(id, t)| {
+            vec![
+                Value::Int64(id),
+                t.map_or(Value::Null, |x| Value::Utf8(x.into())),
+            ]
+        }),
+    )
+    .unwrap();
+    let winners = Schema::new(vec![
+        Field::required("wid", DataType::Int64),
+        Field::new("person", DataType::Int64),
+    ])
+    .into_ref();
+    a.add_table(RowStore::new("winners", winners, Some(0)).unwrap());
+    a.load(
+        "winners",
+        [(100i64, Some(1i64)), (101, Some(4)), (102, None)]
+            .into_iter()
+            .map(|(w, p)| {
+                vec![
+                    Value::Int64(w),
+                    p.map_or(Value::Null, Value::Int64),
+                ]
+            }),
+    )
+    .unwrap();
+    fed.add_source(Arc::new(a) as Arc<dyn SourceAdapter>, NetworkConditions::lan())
+        .unwrap();
+    fed
+}
+
+#[test]
+fn in_subquery_is_semi_join() {
+    let f = fed();
+    let r = f
+        .query(
+            "SELECT id FROM a.people WHERE id IN (SELECT person FROM a.winners) ORDER BY id",
+        )
+        .unwrap();
+    let ids: Vec<Value> = r.batch.column(0).iter_values().collect();
+    assert_eq!(ids, vec![Value::Int64(1), Value::Int64(4)]);
+    let plan = f
+        .explain("SELECT id FROM a.people WHERE id IN (SELECT person FROM a.winners)")
+        .unwrap();
+    assert!(plan.contains("SEMI"), "{plan}");
+}
+
+#[test]
+fn not_in_subquery_is_anti_join_null_stripped() {
+    let f = fed();
+    // Documented dialect: subquery NULLs are non-matching; tested
+    // NULLs never qualify. So: people {2,3,5} minus the NULL-team
+    // person... id column has no NULLs; winners.person has a NULL
+    // which we strip. Expect 2, 3, 5.
+    let r = f
+        .query(
+            "SELECT id FROM a.people WHERE id NOT IN (SELECT person FROM a.winners) ORDER BY id",
+        )
+        .unwrap();
+    let ids: Vec<Value> = r.batch.column(0).iter_values().collect();
+    assert_eq!(ids, vec![Value::Int64(2), Value::Int64(3), Value::Int64(5)]);
+    // A NULL tested value never passes NOT IN.
+    let r2 = f
+        .query(
+            "SELECT id FROM a.people WHERE team NOT IN (SELECT team FROM a.people WHERE id = 1) ORDER BY id",
+        )
+        .unwrap();
+    // team='red' excluded (ids 1,4); NULL team (id 3) excluded too.
+    let ids2: Vec<Value> = r2.batch.column(0).iter_values().collect();
+    assert_eq!(ids2, vec![Value::Int64(2), Value::Int64(5)]);
+}
+
+#[test]
+fn in_subquery_composes_with_other_predicates() {
+    let f = fed();
+    let r = f
+        .query(
+            "SELECT id FROM a.people \
+             WHERE id IN (SELECT person FROM a.winners) AND team = 'red' AND id > 1",
+        )
+        .unwrap();
+    assert_eq!(r.batch.num_rows(), 1);
+    assert_eq!(r.batch.row_values(0)[0], Value::Int64(4));
+}
+
+#[test]
+fn in_subquery_with_inner_shaping() {
+    let f = fed();
+    // Subquery with its own filter/distinct/limit machinery.
+    let r = f
+        .query(
+            "SELECT count(*) FROM a.people \
+             WHERE id IN (SELECT DISTINCT person FROM a.winners WHERE wid <= 101)",
+        )
+        .unwrap();
+    assert_eq!(r.batch.row_values(0)[0], Value::Int64(2));
+}
+
+#[test]
+fn errors_for_malformed_membership() {
+    let f = fed();
+    // Multi-column subquery.
+    let err = f
+        .query("SELECT id FROM a.people WHERE id IN (SELECT wid, person FROM a.winners)")
+        .unwrap_err();
+    assert!(err.to_string().contains("exactly one column"), "{err}");
+    // Incomparable types.
+    let err2 = f
+        .query("SELECT id FROM a.people WHERE team IN (SELECT person FROM a.winners)")
+        .unwrap_err();
+    assert!(err2.to_string().contains("cannot compare"), "{err2}");
+    // Not a top-level conjunct.
+    let err3 = f
+        .query(
+            "SELECT id FROM a.people \
+             WHERE id = 1 OR id IN (SELECT person FROM a.winners)",
+        )
+        .unwrap_err();
+    assert!(
+        err3.to_string().contains("top-level WHERE conjunct"),
+        "{err3}"
+    );
+}
+
+#[test]
+fn parser_roundtrips_in_subquery() {
+    let sql = "SELECT id FROM people WHERE id IN (SELECT person FROM winners WHERE wid < 5)";
+    let ast = gis_sql::parse(sql).unwrap();
+    let rendered = gis_sql::unparse::statement_to_sql(&ast);
+    assert_eq!(gis_sql::parse(&rendered).unwrap(), ast);
+    assert!(gis_sql::parse("SELECT 1 WHERE 1 NOT IN (SELECT)").is_err());
+}

@@ -1,0 +1,26 @@
+//! # gis-datagen — deterministic federated workloads
+//!
+//! **FedMart**: a retail federation spread across three heterogeneous
+//! component systems, sized by a scale factor and fully determined by
+//! a seed:
+//!
+//! * `crm` (relational / row store): `customers`, `regions`
+//! * `sales` (columnar / scan-only): `orders` (optionally partitioned
+//!   across several sources for scale-out experiments)
+//! * `inventory` (key-value): `products`, `stock`
+//!
+//! Global mappings exercise the heterogeneity machinery: customer
+//! balances are stored in cents and exposed in dollars (linear
+//! transform), customer tiers are stored as integer codes and exposed
+//! as strings (value map), ids widen from the CRM's legacy `int32`.
+//!
+//! Every generator takes an explicit [`rand::SeedableRng`] seed, so
+//! experiments are reproducible row-for-row.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod fedmart;
+
+pub use fedmart::{build_fedmart, FedMart, FedMartConfig};

@@ -1,0 +1,114 @@
+//! Shared virtual clock.
+//!
+//! All links of a federation advance one [`SimClock`]; because the
+//! mediator's executor is a pull-based pipeline, message costs
+//! accumulate sequentially exactly as a single-client query would
+//! experience them. Experiments read virtual elapsed time instead of
+//! wall time, so results are independent of host speed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically-advancing virtual clock, in microseconds.
+///
+/// Cloning yields a handle to the *same* clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A new clock at t = 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+
+    /// Current virtual time in milliseconds (convenience for reports).
+    pub fn now_ms(&self) -> f64 {
+        self.now_us() as f64 / 1_000.0
+    }
+
+    /// Advances the clock by `delta_us` and returns the new time.
+    pub fn advance(&self, delta_us: u64) -> u64 {
+        self.micros.fetch_add(delta_us, Ordering::Relaxed) + delta_us
+    }
+
+    /// Resets to zero (used between experiment trials).
+    pub fn reset(&self) {
+        self.micros.store(0, Ordering::Relaxed);
+    }
+
+    /// True when two handles refer to the same underlying clock.
+    pub fn same_clock(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.micros, &other.micros)
+    }
+}
+
+/// A scoped timer measuring virtual time elapsed between construction
+/// and [`VirtualSpan::elapsed_us`].
+#[derive(Debug)]
+pub struct VirtualSpan {
+    clock: SimClock,
+    start_us: u64,
+}
+
+impl VirtualSpan {
+    /// Starts a span at the clock's current time.
+    pub fn start(clock: &SimClock) -> Self {
+        VirtualSpan {
+            clock: clock.clone(),
+            start_us: clock.now_us(),
+        }
+    }
+
+    /// Virtual microseconds elapsed since the span started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.clock.now_us().saturating_sub(self.start_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        assert_eq!(c.now_us(), 0);
+        assert_eq!(c.advance(100), 100);
+        assert_eq!(c.advance(50), 150);
+        assert_eq!(c.now_ms(), 0.15);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now_us(), 42);
+        assert!(a.same_clock(&b));
+        assert!(!a.same_clock(&SimClock::new()));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = SimClock::new();
+        c.advance(10);
+        c.reset();
+        assert_eq!(c.now_us(), 0);
+    }
+
+    #[test]
+    fn spans_measure_elapsed() {
+        let c = SimClock::new();
+        c.advance(5);
+        let span = VirtualSpan::start(&c);
+        c.advance(37);
+        assert_eq!(span.elapsed_us(), 37);
+    }
+}

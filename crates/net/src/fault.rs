@@ -1,0 +1,122 @@
+//! Fault injection for links.
+//!
+//! Autonomy means component systems fail independently of the
+//! mediator; the federation executor must distinguish transient
+//! message loss (retryable) from partitions (fail the fragment,
+//! possibly answer from other sources). `FaultPlan` scripts both,
+//! deterministically, so tests can assert exact retry behaviour.
+
+use parking_lot::Mutex;
+
+/// Deterministic fault script attached to a [`crate::Link`].
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    state: Mutex<FaultState>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Fail the next N messages with a retryable error.
+    fail_next: u32,
+    /// Fail every k-th message (1-based), 0 = disabled.
+    fail_every: u32,
+    /// Messages observed so far.
+    seen: u64,
+    /// Hard partition: every message fails until healed.
+    partitioned: bool,
+}
+
+impl FaultPlan {
+    /// A plan that never injects faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Scripts the next `n` messages to fail (transient loss).
+    pub fn fail_next(&self, n: u32) {
+        self.state.lock().fail_next = n;
+    }
+
+    /// Fails every `k`-th message; `0` disables.
+    pub fn fail_every(&self, k: u32) {
+        self.state.lock().fail_every = k;
+    }
+
+    /// Starts a hard partition (all messages fail until
+    /// [`FaultPlan::heal`]).
+    pub fn partition(&self) {
+        self.state.lock().partitioned = true;
+    }
+
+    /// Ends a partition.
+    pub fn heal(&self) {
+        self.state.lock().partitioned = false;
+    }
+
+    /// True while partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.state.lock().partitioned
+    }
+
+    /// Called once per message; returns `Some(reason)` when this
+    /// message should fail.
+    pub fn check(&self) -> Option<&'static str> {
+        let mut s = self.state.lock();
+        s.seen += 1;
+        if s.partitioned {
+            return Some("link partitioned");
+        }
+        if s.fail_next > 0 {
+            s.fail_next -= 1;
+            return Some("injected transient failure");
+        }
+        if s.fail_every > 0 && s.seen.is_multiple_of(s.fail_every as u64) {
+            return Some("injected periodic failure");
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_faultless() {
+        let f = FaultPlan::none();
+        for _ in 0..100 {
+            assert!(f.check().is_none());
+        }
+    }
+
+    #[test]
+    fn fail_next_counts_down() {
+        let f = FaultPlan::none();
+        f.fail_next(2);
+        assert!(f.check().is_some());
+        assert!(f.check().is_some());
+        assert!(f.check().is_none());
+    }
+
+    #[test]
+    fn partition_blocks_until_healed() {
+        let f = FaultPlan::none();
+        f.partition();
+        assert!(f.is_partitioned());
+        assert!(f.check().is_some());
+        assert!(f.check().is_some());
+        f.heal();
+        assert!(f.check().is_none());
+    }
+
+    #[test]
+    fn fail_every_kth() {
+        let f = FaultPlan::none();
+        f.fail_every(3);
+        let outcomes: Vec<bool> = (0..9).map(|_| f.check().is_some()).collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+}

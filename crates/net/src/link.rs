@@ -1,0 +1,257 @@
+//! Metered point-to-point links.
+//!
+//! A [`Link`] models the mediator's connection to one component
+//! system: every message pays `latency + bytes/bandwidth` on the
+//! shared [`SimClock`], increments per-link counters, and consults the
+//! link's [`FaultPlan`]. The executor treats `transfer` failures as
+//! retryable network errors.
+
+use crate::clock::SimClock;
+use crate::fault::FaultPlan;
+use gis_types::{GisError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Static link characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConditions {
+    /// One-way latency per message, microseconds.
+    pub latency_us: u64,
+    /// Bandwidth in bytes per second (0 = infinite).
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl NetworkConditions {
+    /// A local (in-datacenter) link: 100 µs, ~10 Gbit/s.
+    pub fn lan() -> Self {
+        NetworkConditions {
+            latency_us: 100,
+            bandwidth_bytes_per_sec: 1_250_000_000,
+        }
+    }
+
+    /// A wide-area link of the paper's era flavor: 40 ms one-way,
+    /// ~1 MB/s.
+    pub fn wan() -> Self {
+        NetworkConditions {
+            latency_us: 40_000,
+            bandwidth_bytes_per_sec: 1_000_000,
+        }
+    }
+
+    /// An idealized free network (used to isolate CPU costs).
+    pub fn instant() -> Self {
+        NetworkConditions {
+            latency_us: 0,
+            bandwidth_bytes_per_sec: 0,
+        }
+    }
+
+    /// Conditions with the given one-way latency in milliseconds and
+    /// WAN-class bandwidth.
+    pub fn with_latency_ms(ms: u64) -> Self {
+        NetworkConditions {
+            latency_us: ms * 1_000,
+            ..NetworkConditions::wan()
+        }
+    }
+
+    /// Virtual microseconds one message of `bytes` costs.
+    pub fn message_cost_us(&self, bytes: usize) -> u64 {
+        let transfer = if self.bandwidth_bytes_per_sec == 0 {
+            0
+        } else {
+            (bytes as u128 * 1_000_000 / self.bandwidth_bytes_per_sec as u128) as u64
+        };
+        self.latency_us + transfer
+    }
+}
+
+/// Cumulative traffic counters for one link.
+#[derive(Debug, Default)]
+pub struct LinkMetrics {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    busy_us: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl LinkMetrics {
+    /// Messages transferred (both directions).
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual time spent on the wire, microseconds.
+    pub fn busy_us(&self) -> u64 {
+        self.busy_us.load(Ordering::Relaxed)
+    }
+
+    /// Injected/observed failures.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes all counters (between experiment trials).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.busy_us.store(0, Ordering::Relaxed);
+        self.failures.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A metered, fault-injectable link between mediator and one source.
+#[derive(Debug, Clone)]
+pub struct Link {
+    name: String,
+    conditions: NetworkConditions,
+    clock: SimClock,
+    metrics: Arc<LinkMetrics>,
+    faults: Arc<FaultPlan>,
+}
+
+impl Link {
+    /// A link named `name` with the given conditions, advancing `clock`.
+    pub fn new(name: impl Into<String>, conditions: NetworkConditions, clock: SimClock) -> Self {
+        Link {
+            name: name.into(),
+            conditions,
+            clock,
+            metrics: Arc::new(LinkMetrics::default()),
+            faults: Arc::new(FaultPlan::none()),
+        }
+    }
+
+    /// A zero-cost link for unit tests.
+    pub fn loopback() -> Self {
+        Link::new("loopback", NetworkConditions::instant(), SimClock::new())
+    }
+
+    /// The link's name (usually the source name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The link's conditions.
+    pub fn conditions(&self) -> NetworkConditions {
+        self.conditions
+    }
+
+    /// The traffic counters.
+    pub fn metrics(&self) -> &LinkMetrics {
+        &self.metrics
+    }
+
+    /// The fault plan (script failures through this handle).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The clock this link advances.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Transfers one message of `bytes` bytes across the link,
+    /// advancing the virtual clock and counters. Fails (without
+    /// advancing time past the latency already spent) when the fault
+    /// plan injects a failure.
+    pub fn transfer(&self, bytes: usize) -> Result<()> {
+        if let Some(reason) = self.faults.check() {
+            self.metrics.failures.fetch_add(1, Ordering::Relaxed);
+            // A failed message still wastes its latency.
+            self.clock.advance(self.conditions.latency_us);
+            self.metrics
+                .busy_us
+                .fetch_add(self.conditions.latency_us, Ordering::Relaxed);
+            return Err(GisError::Network(format!(
+                "link '{}': {reason}",
+                self.name
+            )));
+        }
+        let cost = self.conditions.message_cost_us(bytes);
+        self.clock.advance(cost);
+        self.metrics.messages.fetch_add(1, Ordering::Relaxed);
+        self.metrics.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.metrics.busy_us.fetch_add(cost, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Accounts a request/response exchange: `req` bytes out, `resp`
+    /// bytes back — two messages, two latencies.
+    pub fn round_trip(&self, req: usize, resp: usize) -> Result<()> {
+        self.transfer(req)?;
+        self.transfer(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_includes_latency_and_transfer() {
+        let c = NetworkConditions {
+            latency_us: 1_000,
+            bandwidth_bytes_per_sec: 1_000_000, // 1 byte/µs
+        };
+        assert_eq!(c.message_cost_us(0), 1_000);
+        assert_eq!(c.message_cost_us(500), 1_500);
+        assert_eq!(NetworkConditions::instant().message_cost_us(1 << 30), 0);
+    }
+
+    #[test]
+    fn transfer_advances_clock_and_counters() {
+        let clock = SimClock::new();
+        let link = Link::new(
+            "src",
+            NetworkConditions {
+                latency_us: 10,
+                bandwidth_bytes_per_sec: 1_000_000,
+            },
+            clock.clone(),
+        );
+        link.transfer(100).unwrap();
+        assert_eq!(clock.now_us(), 110);
+        assert_eq!(link.metrics().messages(), 1);
+        assert_eq!(link.metrics().bytes(), 100);
+        link.round_trip(50, 200).unwrap();
+        assert_eq!(link.metrics().messages(), 3);
+        assert_eq!(link.metrics().bytes(), 350);
+    }
+
+    #[test]
+    fn injected_failure_counts_and_wastes_latency() {
+        let clock = SimClock::new();
+        let link = Link::new(
+            "flaky",
+            NetworkConditions {
+                latency_us: 7,
+                bandwidth_bytes_per_sec: 0,
+            },
+            clock.clone(),
+        );
+        link.faults().fail_next(1);
+        let err = link.transfer(10).unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(link.metrics().failures(), 1);
+        assert_eq!(link.metrics().bytes(), 0);
+        assert_eq!(clock.now_us(), 7);
+        // retry succeeds
+        assert!(link.transfer(10).is_ok());
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let link = Link::loopback();
+        let clone = link.clone();
+        clone.transfer(5).unwrap();
+        assert_eq!(link.metrics().messages(), 1);
+    }
+}

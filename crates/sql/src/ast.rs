@@ -1,0 +1,631 @@
+//! Abstract syntax tree for the GIS SQL dialect.
+//!
+//! The AST is deliberately *unresolved*: column references are plain
+//! (possibly qualified) names, table references are `source.table`
+//! paths or bare global names. Binding against the catalog happens in
+//! `gis-core`'s analyzer, keeping the frontend reusable by adapters
+//! that accept SQL text.
+
+use gis_types::{DataType, Value};
+use std::fmt;
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query (`SELECT ...`).
+    Query(Query),
+    /// `EXPLAIN [ANALYZE] <query>` — show the plan (and, with
+    /// ANALYZE, execute and annotate with runtime metrics).
+    Explain {
+        /// Execute and collect metrics when true.
+        analyze: bool,
+        /// The statement being explained.
+        statement: Box<Statement>,
+    },
+}
+
+/// A query expression: set-op body plus ordering and limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The body (`SELECT` or `UNION` tree).
+    pub body: SetExpr,
+    /// `ORDER BY` keys applied to the final result.
+    pub order_by: Vec<OrderByExpr>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+    /// `OFFSET n`.
+    pub offset: Option<u64>,
+}
+
+/// A set-operation tree over SELECTs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A plain SELECT block.
+    Select(Box<Select>),
+    /// `left UNION [ALL] right`.
+    Union {
+        /// Left input.
+        left: Box<SetExpr>,
+        /// Right input.
+        right: Box<SetExpr>,
+        /// Keep duplicates when true (`UNION ALL`).
+        all: bool,
+    },
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT` modifier.
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// `FROM` clause; `None` for table-less selects (`SELECT 1`).
+    pub from: Option<TableRef>,
+    /// `WHERE` predicate.
+    pub selection: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+/// An item in the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `expr [AS alias]`.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `*` — all columns.
+    Wildcard,
+    /// `alias.*` — all columns of one relation.
+    QualifiedWildcard(String),
+}
+
+/// A table reference in `FROM`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named table: `[source.]table [AS alias]`. When `source` is
+    /// absent the name resolves through the global schema.
+    Table {
+        /// Component source name, if explicitly qualified.
+        source: Option<String>,
+        /// Table name.
+        name: String,
+        /// Alias, if any.
+        alias: Option<String>,
+    },
+    /// A parenthesized subquery with an alias.
+    Subquery {
+        /// The inner query.
+        query: Box<Query>,
+        /// Mandatory alias.
+        alias: String,
+    },
+    /// A join of two table references.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Join constraint.
+        constraint: JoinConstraint,
+    },
+}
+
+impl TableRef {
+    /// The alias or base name this relation is known by, when it has
+    /// a single name (joins do not).
+    pub fn visible_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Table { alias, name, .. } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => Some(alias),
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+/// Join kinds supported by the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Inner join.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Right outer join.
+    Right,
+    /// Full outer join.
+    Full,
+    /// Cross product.
+    Cross,
+    /// Left semi join (`SEMI JOIN`, also produced by `IN` rewrites).
+    Semi,
+    /// Left anti join (`ANTI JOIN`, also produced by `NOT IN` rewrites).
+    Anti,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinKind::Inner => "INNER JOIN",
+            JoinKind::Left => "LEFT JOIN",
+            JoinKind::Right => "RIGHT JOIN",
+            JoinKind::Full => "FULL JOIN",
+            JoinKind::Cross => "CROSS JOIN",
+            JoinKind::Semi => "SEMI JOIN",
+            JoinKind::Anti => "ANTI JOIN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Join constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinConstraint {
+    /// `ON <expr>`.
+    On(Expr),
+    /// `USING (col, ...)`.
+    Using(Vec<String>),
+    /// No constraint (cross join).
+    None,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByExpr {
+    /// The key expression (often a column or output ordinal).
+    pub expr: Expr,
+    /// Ascending when true.
+    pub asc: bool,
+    /// `NULLS FIRST` when true; default follows direction
+    /// (ASC → nulls first, DESC → nulls last).
+    pub nulls_first: Option<bool>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Multiply,
+    /// `/`
+    Divide,
+    /// `%`
+    Modulo,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `||` string concatenation
+    Concat,
+}
+
+impl BinaryOp {
+    /// True for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// True for `AND`/`OR`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// True for arithmetic operators.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Plus
+                | BinaryOp::Minus
+                | BinaryOp::Multiply
+                | BinaryOp::Divide
+                | BinaryOp::Modulo
+        )
+    }
+
+    /// The SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Concat => "||",
+        }
+    }
+
+    /// The comparison with its operands swapped (`a < b` ⇔ `b > a`),
+    /// used when normalizing join predicates.
+    pub fn swap(self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::Eq,
+            BinaryOp::NotEq => BinaryOp::NotEq,
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `NOT`
+    Not,
+    /// Unary `-`
+    Neg,
+    /// Unary `+` (no-op, kept for fidelity)
+    Pos,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, optionally qualified by relation.
+    Column {
+        /// Relation qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// A positional parameter `?` (1-based ordinal assigned in parse
+    /// order); bound at execution by bind-join and prepared queries.
+    Parameter(usize),
+    /// `left op right`.
+    BinaryOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `op expr`.
+    UnaryOp {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Function call (scalar or aggregate; resolved later).
+    Function {
+        /// Function name, lowercased.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `DISTINCT` inside an aggregate call.
+        distinct: bool,
+    },
+    /// `COUNT(*)`-style wildcard argument, or bare `*` in projections
+    /// (handled by [`SelectItem::Wildcard`]; this form only appears as
+    /// a function argument).
+    Wildcard,
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// Input expression.
+        expr: Box<Expr>,
+        /// Target type.
+        to: DataType,
+    },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
+    Case {
+        /// Optional comparand (`CASE x WHEN 1 ...`).
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` result.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+        /// List members.
+        list: Vec<Expr>,
+    },
+    /// `expr [NOT] IN (SELECT ...)` — an uncorrelated subquery
+    /// membership test, rewritten by the binder into a semi/anti
+    /// join.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+        /// The subquery (must produce exactly one column).
+        query: Box<Query>,
+    },
+    /// `expr [NOT] LIKE pattern` (`%` and `_` wildcards).
+    Like {
+        /// Negated form.
+        negated: bool,
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern expression.
+        pattern: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` form.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience: a bare column.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Convenience: a qualified column.
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Convenience: a literal.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    /// Convenience: `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::BinaryOp {
+            left: Box::new(self),
+            op: BinaryOp::And,
+            right: Box::new(other),
+        }
+    }
+
+    /// Convenience: `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::BinaryOp {
+            left: Box::new(self),
+            op: BinaryOp::Eq,
+            right: Box::new(other),
+        }
+    }
+
+    /// Walks the expression tree pre-order, calling `f` on every node.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::BinaryOp { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::UnaryOp { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.walk(f);
+                }
+                for (w, t) in branches {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            // The subquery body is a separate name scope; only the
+            // tested expression belongs to this one.
+            Expr::InSubquery { expr, .. } => expr.walk(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::Column { .. }
+            | Expr::Literal(_)
+            | Expr::Parameter(_)
+            | Expr::Wildcard => {}
+        }
+    }
+
+    /// Collects all column references mentioned anywhere in the tree.
+    pub fn referenced_columns(&self) -> Vec<(Option<String>, String)> {
+        let mut cols = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Column { qualifier, name } = e {
+                cols.push((qualifier.clone(), name.clone()));
+            }
+        });
+        cols
+    }
+
+    /// True when no column references or parameters appear (the
+    /// expression is evaluable at plan time).
+    pub fn is_constant(&self) -> bool {
+        let mut constant = true;
+        self.walk(&mut |e| {
+            if matches!(
+                e,
+                Expr::Column { .. }
+                    | Expr::Parameter(_)
+                    | Expr::Wildcard
+                    | Expr::InSubquery { .. }
+            ) {
+                constant = false;
+            }
+        });
+        constant
+    }
+
+    /// Splits a conjunction into its AND-ed parts (`a AND b AND c` →
+    /// `[a, b, c]`) — the unit the predicate-pushdown rule moves.
+    pub fn split_conjunction(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::BinaryOp {
+                    left,
+                    op: BinaryOp::And,
+                    right,
+                } => {
+                    go(left, out);
+                    go(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Re-joins parts with AND; `None` when the slice is empty.
+    pub fn conjunction(parts: Vec<Expr>) -> Option<Expr> {
+        parts.into_iter().reduce(|acc, e| acc.and(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_rejoin_conjunction() {
+        let e = Expr::col("a")
+            .eq(Expr::lit(Value::Int64(1)))
+            .and(Expr::col("b").eq(Expr::lit(Value::Int64(2))))
+            .and(Expr::col("c").eq(Expr::lit(Value::Int64(3))));
+        let parts = e.split_conjunction();
+        assert_eq!(parts.len(), 3);
+        let rejoined = Expr::conjunction(parts.into_iter().cloned().collect()).unwrap();
+        assert_eq!(rejoined.split_conjunction().len(), 3);
+        assert_eq!(Expr::conjunction(vec![]), None);
+    }
+
+    #[test]
+    fn referenced_columns_walks_nested() {
+        let e = Expr::Case {
+            operand: Some(Box::new(Expr::col("x"))),
+            branches: vec![(Expr::lit(Value::Int64(1)), Expr::qcol("t", "y"))],
+            else_expr: Some(Box::new(Expr::col("z"))),
+        };
+        let cols = e.referenced_columns();
+        assert_eq!(cols.len(), 3);
+        assert!(cols.contains(&(Some("t".into()), "y".into())));
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(Expr::lit(Value::Int64(1))
+            .and(Expr::lit(Value::Boolean(true)))
+            .is_constant());
+        assert!(!Expr::col("a").is_constant());
+        assert!(!Expr::Parameter(1).is_constant());
+    }
+
+    #[test]
+    fn comparison_swap() {
+        assert_eq!(BinaryOp::Lt.swap(), Some(BinaryOp::Gt));
+        assert_eq!(BinaryOp::Eq.swap(), Some(BinaryOp::Eq));
+        assert_eq!(BinaryOp::Plus.swap(), None);
+    }
+
+    #[test]
+    fn visible_names() {
+        let t = TableRef::Table {
+            source: Some("crm".into()),
+            name: "customers".into(),
+            alias: Some("c".into()),
+        };
+        assert_eq!(t.visible_name(), Some("c"));
+        let s = TableRef::Table {
+            source: None,
+            name: "orders".into(),
+            alias: None,
+        };
+        assert_eq!(s.visible_name(), Some("orders"));
+    }
+}

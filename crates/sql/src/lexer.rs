@@ -1,0 +1,414 @@
+//! Hand-written SQL tokenizer.
+//!
+//! Produces a flat token stream with byte offsets so parse errors can
+//! point at the offending position. Keywords are recognized
+//! case-insensitively but identifiers preserve their original casing
+//! (matching against the catalog is case-insensitive anyway).
+
+use gis_types::{GisError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased), e.g. `SELECT`.
+    Keyword(String),
+    /// Identifier, original casing; double-quoted identifiers unescaped.
+    Ident(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal, unescaped.
+    StringLit(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `||`
+    Concat,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `?` positional parameter
+    Question,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Integer(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::Eq => f.write_str("="),
+            Token::NotEq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Concat => f.write_str("||"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Semicolon => f.write_str(";"),
+            Token::Question => f.write_str("?"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// Reserved words recognized as keywords. Anything else lexes as an
+/// identifier; the parser decides contextually.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "ON",
+    "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "UNION", "ALL", "DISTINCT", "AND",
+    "OR", "NOT", "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "BETWEEN",
+    "IN", "LIKE", "IS", "ASC", "DESC", "NULLS", "FIRST", "LAST", "EXPLAIN", "ANALYZE", "EXISTS",
+    "SEMI", "ANTI", "USING", "DATE", "TIMESTAMP", "INTERVAL",
+];
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Tokenizes `sql` into a vector ending with [`Token::Eof`].
+pub fn tokenize(sql: &str) -> Result<Vec<Spanned>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(err(start, "unterminated block comment"));
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_quoted(sql, i, '\'')?;
+                out.push(Spanned {
+                    token: Token::StringLit(s),
+                    offset: start,
+                });
+                i = next;
+            }
+            '"' => {
+                let (s, next) = lex_quoted(sql, i, '"')?;
+                out.push(Spanned {
+                    token: Token::Ident(s),
+                    offset: start,
+                });
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(sql, i)?;
+                out.push(Spanned {
+                    token: tok,
+                    offset: start,
+                });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &sql[i..j];
+                let upper = word.to_ascii_uppercase();
+                let token = if KEYWORDS.contains(&upper.as_str()) {
+                    Token::Keyword(upper)
+                } else {
+                    Token::Ident(word.to_string())
+                };
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
+                i = j;
+            }
+            _ => {
+                let (token, width) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    ('<', Some('=')) => (Token::LtEq, 2),
+                    ('<', Some('>')) => (Token::NotEq, 2),
+                    ('>', Some('=')) => (Token::GtEq, 2),
+                    ('!', Some('=')) => (Token::NotEq, 2),
+                    ('|', Some('|')) => (Token::Concat, 2),
+                    ('=', _) => (Token::Eq, 1),
+                    ('<', _) => (Token::Lt, 1),
+                    ('>', _) => (Token::Gt, 1),
+                    ('+', _) => (Token::Plus, 1),
+                    ('-', _) => (Token::Minus, 1),
+                    ('*', _) => (Token::Star, 1),
+                    ('/', _) => (Token::Slash, 1),
+                    ('%', _) => (Token::Percent, 1),
+                    ('(', _) => (Token::LParen, 1),
+                    (')', _) => (Token::RParen, 1),
+                    (',', _) => (Token::Comma, 1),
+                    ('.', _) => (Token::Dot, 1),
+                    (';', _) => (Token::Semicolon, 1),
+                    ('?', _) => (Token::Question, 1),
+                    _ => return Err(err(i, &format!("unexpected character '{c}'"))),
+                };
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
+                i += width;
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        offset: sql.len(),
+    });
+    Ok(out)
+}
+
+fn lex_quoted(sql: &str, start: usize, quote: char) -> Result<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let q = quote as u8;
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == q {
+            if bytes.get(i + 1) == Some(&q) {
+                s.push(quote); // doubled quote escapes itself
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            // Preserve multi-byte UTF-8 sequences intact.
+            let ch_len = utf8_len(bytes[i]);
+            s.push_str(&sql[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(err(start, "unterminated quoted literal"))
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn lex_number(sql: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &sql[start..i];
+    let token = if is_float {
+        Token::Float(
+            text.parse()
+                .map_err(|_| err(start, &format!("invalid float literal '{text}'")))?,
+        )
+    } else {
+        Token::Integer(
+            text.parse()
+                .map_err(|_| err(start, &format!("integer literal '{text}' out of range")))?,
+        )
+    };
+    Ok((token, i))
+}
+
+fn err(offset: usize, msg: &str) -> GisError {
+    GisError::Parse(format!("{msg} (at byte {offset})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("SELECT foo FROM Bar"),
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Ident("foo".into()),
+                Token::Keyword("FROM".into()),
+                Token::Ident("Bar".into()),
+                Token::Eof,
+            ]
+        );
+        // case-insensitive keywords
+        assert_eq!(toks("select")[0], Token::Keyword("SELECT".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42")[0], Token::Integer(42));
+        assert_eq!(toks("3.5")[0], Token::Float(3.5));
+        assert_eq!(toks("1e3")[0], Token::Float(1000.0));
+        assert_eq!(toks("2.5e-1")[0], Token::Float(0.25));
+        // trailing dot is member access, not a float
+        assert_eq!(
+            toks("a.b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'it''s'")[0], Token::StringLit("it's".into()));
+        assert_eq!(toks("\"Weird Col\"")[0], Token::Ident("Weird Col".into()));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a <= b <> c != d || e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::LtEq,
+                Token::Ident("b".into()),
+                Token::NotEq,
+                Token::Ident("c".into()),
+                Token::NotEq,
+                Token::Ident("d".into()),
+                Token::Concat,
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- comment\n 1 /* block /* nested */ */ + 2"),
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Integer(1),
+                Token::Plus,
+                Token::Integer(2),
+                Token::Eof
+            ]
+        );
+        assert!(tokenize("/* open").is_err());
+    }
+
+    #[test]
+    fn offsets_track_positions() {
+        let spanned = tokenize("SELECT x").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 7);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let e = tokenize("SELECT #").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'héllo→'")[0], Token::StringLit("héllo→".into()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # gis-sql — the global query language frontend
+//!
+//! Users of a Global Information System pose queries against the
+//! *global schema* in SQL; this crate turns SQL text into an AST the
+//! mediator binds against the catalog.
+//!
+//! * [`lexer`] — hand-written tokenizer with position tracking.
+//! * [`ast`] — statements, queries, table references, expressions.
+//! * [`parser`] — recursive-descent statement parser with a Pratt
+//!   expression parser (precedence climbing).
+//! * [`unparse`] — renders ASTs back to SQL; used by `EXPLAIN`, error
+//!   messages, and when the mediator ships a query fragment to a
+//!   SQL-capable component system as text.
+//!
+//! The dialect is a pragmatic subset: `SELECT` (joins, subqueries in
+//! `FROM`, `GROUP BY`/`HAVING`, `ORDER BY`, `LIMIT`/`OFFSET`,
+//! `UNION [ALL]`), `EXPLAIN`, and the usual scalar/aggregate
+//! expression forms (`CASE`, `CAST`, `BETWEEN`, `IN`, `LIKE`,
+//! `IS [NOT] NULL`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod unparse;
+
+pub use ast::{
+    BinaryOp, Expr, JoinConstraint, JoinKind, OrderByExpr, Query, Select, SelectItem, SetExpr,
+    Statement, TableRef, UnaryOp,
+};
+pub use parser::{parse_expression, parse_sql, Parser};
+
+/// Parses a single SQL statement (convenience re-export).
+pub fn parse(sql: &str) -> gis_types::Result<Statement> {
+    parse_sql(sql)
+}

@@ -1,0 +1,1004 @@
+//! Recursive-descent statement parser with Pratt expression parsing.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! statement   := EXPLAIN [ANALYZE] statement | query
+//! query       := set_expr [ORDER BY ...] [LIMIT n] [OFFSET n]
+//! set_expr    := select (UNION [ALL] select)*
+//! select      := SELECT [DISTINCT] items [FROM table_ref]
+//!                [WHERE expr] [GROUP BY exprs] [HAVING expr]
+//! table_ref   := table_factor (join_clause)*
+//! table_factor:= name [. name] [AS alias] | ( query ) AS alias | ( table_ref )
+//! ```
+//!
+//! Expressions use precedence climbing; the precedence table mirrors
+//! PostgreSQL's ordering of the supported operators.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Spanned, Token};
+use gis_types::{DataType, GisError, Result, Value};
+
+/// Parses exactly one statement (a trailing semicolon is allowed).
+pub fn parse_sql(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.parse_statement()?;
+    p.consume_if(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a standalone scalar expression (used by tests, mapping
+/// definitions, and check constraints).
+pub fn parse_expression(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// The statement parser. Construct via [`Parser::new`], then call
+/// [`Parser::parse_statement`].
+pub struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    next_param: usize,
+}
+
+impl Parser {
+    /// Tokenizes `sql` and positions at the first token.
+    pub fn new(sql: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+            next_param: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].token
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    fn error(&self, msg: impl Into<String>) -> GisError {
+        GisError::Parse(format!(
+            "{} (near byte {}, found {})",
+            msg.into(),
+            self.offset(),
+            self.peek()
+        ))
+    }
+
+    fn consume_if(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn consume_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Keyword(k) if k == kw)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.consume_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}")))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.consume_if(t) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {t}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Token::Ident(s) => Ok(s),
+            // Non-reserved-in-context keywords usable as identifiers.
+            Token::Keyword(k)
+                if matches!(k.as_str(), "DATE" | "TIMESTAMP" | "FIRST" | "LAST") =>
+            {
+                Ok(k.to_ascii_lowercase())
+            }
+            other => Err(GisError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
+        }
+    }
+
+    /// Parses one statement.
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        if self.consume_keyword("EXPLAIN") {
+            let analyze = self.consume_keyword("ANALYZE");
+            let inner = self.parse_statement()?;
+            return Ok(Statement::Explain {
+                analyze,
+                statement: Box::new(inner),
+            });
+        }
+        Ok(Statement::Query(self.parse_query()?))
+    }
+
+    /// Parses a query expression.
+    pub fn parse_query(&mut self) -> Result<Query> {
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.consume_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                order_by.push(self.parse_order_by_expr()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if limit.is_none() && self.consume_keyword("LIMIT") {
+                limit = Some(self.parse_u64()?);
+            } else if offset.is_none() && self.consume_keyword("OFFSET") {
+                offset = Some(self.parse_u64()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_u64(&mut self) -> Result<u64> {
+        match self.advance() {
+            Token::Integer(v) if v >= 0 => Ok(v as u64),
+            other => Err(GisError::Parse(format!(
+                "expected non-negative integer, found {other}"
+            ))),
+        }
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_term()?;
+        while self.consume_keyword("UNION") {
+            let all = self.consume_keyword("ALL");
+            let right = self.parse_set_term()?;
+            left = SetExpr::Union {
+                left: Box::new(left),
+                right: Box::new(right),
+                all,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_term(&mut self) -> Result<SetExpr> {
+        if self.peek_keyword("SELECT") {
+            return Ok(SetExpr::Select(Box::new(self.parse_select()?)));
+        }
+        if self.consume_if(&Token::LParen) {
+            let inner = self.parse_set_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        Err(self.error("expected SELECT"))
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.consume_keyword("DISTINCT");
+        if !distinct {
+            self.consume_keyword("ALL");
+        }
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        let from = if self.consume_keyword("FROM") {
+            Some(self.parse_table_ref()?)
+        } else {
+            None
+        };
+        let selection = if self.consume_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.consume_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.consume_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    #[allow(clippy::if_same_then_else)] // AS-alias vs bare-alias arms read clearer apart
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.consume_if(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* form
+        if let (Token::Ident(q), Token::Dot, Token::Star) =
+            (self.peek(), self.peek_ahead(1), self.peek_ahead(2))
+        {
+            let q = q.clone();
+            self.advance();
+            self.advance();
+            self.advance();
+            return Ok(SelectItem::QualifiedWildcard(q));
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.consume_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if matches!(self.peek(), Token::Ident(_)) {
+            // bare alias: `SELECT a b FROM ...`
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.consume_keyword("CROSS") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Cross
+            } else if self.consume_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.consume_keyword("LEFT") {
+                self.consume_keyword("OUTER");
+                if self.consume_keyword("SEMI") {
+                    self.expect_keyword("JOIN")?;
+                    JoinKind::Semi
+                } else if self.consume_keyword("ANTI") {
+                    self.expect_keyword("JOIN")?;
+                    JoinKind::Anti
+                } else {
+                    self.expect_keyword("JOIN")?;
+                    JoinKind::Left
+                }
+            } else if self.consume_keyword("RIGHT") {
+                self.consume_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::Right
+            } else if self.consume_keyword("FULL") {
+                self.consume_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::Full
+            } else if self.consume_keyword("SEMI") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Semi
+            } else if self.consume_keyword("ANTI") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Anti
+            } else if self.consume_keyword("JOIN") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let constraint = if kind == JoinKind::Cross {
+                JoinConstraint::None
+            } else if self.consume_keyword("ON") {
+                JoinConstraint::On(self.parse_expr()?)
+            } else if self.consume_keyword("USING") {
+                self.expect(&Token::LParen)?;
+                let mut cols = Vec::new();
+                loop {
+                    cols.push(self.expect_ident()?);
+                    if !self.consume_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                JoinConstraint::Using(cols)
+            } else {
+                return Err(self.error("expected ON or USING after join"));
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                constraint,
+            };
+        }
+        Ok(left)
+    }
+
+    #[allow(clippy::if_same_then_else)] // AS-alias vs bare-alias arms read clearer apart
+    fn parse_table_factor(&mut self) -> Result<TableRef> {
+        if self.consume_if(&Token::LParen) {
+            // Either a subquery or a parenthesized join tree.
+            if self.peek_keyword("SELECT") || self.peek_keyword("EXPLAIN") {
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                self.consume_keyword("AS");
+                let alias = self.expect_ident().map_err(|_| {
+                    GisError::Parse("subquery in FROM requires an alias".into())
+                })?;
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
+            }
+            let inner = self.parse_table_ref()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        let first = self.expect_ident()?;
+        let (source, name) = if self.consume_if(&Token::Dot) {
+            (Some(first), self.expect_ident()?)
+        } else {
+            (None, first)
+        };
+        let alias = if self.consume_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if matches!(self.peek(), Token::Ident(_)) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table {
+            source,
+            name,
+            alias,
+        })
+    }
+
+    fn parse_order_by_expr(&mut self) -> Result<OrderByExpr> {
+        let expr = self.parse_expr()?;
+        let asc = if self.consume_keyword("DESC") {
+            false
+        } else {
+            self.consume_keyword("ASC");
+            true
+        };
+        let nulls_first = if self.consume_keyword("NULLS") {
+            if self.consume_keyword("FIRST") {
+                Some(true)
+            } else {
+                self.expect_keyword("LAST")?;
+                Some(false)
+            }
+        } else {
+            None
+        };
+        Ok(OrderByExpr {
+            expr,
+            asc,
+            nulls_first,
+        })
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    /// Parses a scalar expression.
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_subexpr(0)
+    }
+
+    fn parse_subexpr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_prefix()?;
+        while let Some(prec) = self.next_infix_precedence() {
+            if prec <= min_prec {
+                break;
+            }
+            lhs = self.parse_infix(lhs, prec)?;
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence of the *next* infix operator, or None.
+    fn next_infix_precedence(&self) -> Option<u8> {
+        Some(match self.peek() {
+            Token::Keyword(k) if k == "OR" => 5,
+            Token::Keyword(k) if k == "AND" => 10,
+            Token::Keyword(k) if k == "NOT" => match self.peek_ahead(1) {
+                Token::Keyword(k2) if matches!(k2.as_str(), "BETWEEN" | "IN" | "LIKE") => 20,
+                _ => return None,
+            },
+            Token::Keyword(k) if matches!(k.as_str(), "BETWEEN" | "IN" | "LIKE" | "IS") => 20,
+            Token::Eq | Token::NotEq | Token::Lt | Token::LtEq | Token::Gt | Token::GtEq => 30,
+            Token::Concat => 40,
+            Token::Plus | Token::Minus => 50,
+            Token::Star | Token::Slash | Token::Percent => 60,
+            _ => return None,
+        })
+    }
+
+    fn parse_infix(&mut self, lhs: Expr, prec: u8) -> Result<Expr> {
+        // IS [NOT] NULL
+        if self.peek_keyword("IS") {
+            self.advance();
+            let negated = self.consume_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN / IN / LIKE
+        let negated = self.consume_keyword("NOT");
+        if self.consume_keyword("BETWEEN") {
+            // bind tighter than AND: parse bounds at comparison level
+            let low = self.parse_subexpr(25)?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_subexpr(25)?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.consume_keyword("IN") {
+            self.expect(&Token::LParen)?;
+            // Subquery form: `expr IN (SELECT ...)`.
+            if self.peek_keyword("SELECT") {
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(lhs),
+                    negated,
+                    query: Box::new(query),
+                });
+            }
+            let mut list = Vec::new();
+            if !matches!(self.peek(), Token::RParen) {
+                loop {
+                    list.push(self.parse_expr()?);
+                    if !self.consume_if(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                negated,
+                list,
+            });
+        }
+        if self.consume_keyword("LIKE") {
+            let pattern = self.parse_subexpr(25)?;
+            return Ok(Expr::Like {
+                negated,
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+            });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        let op = match self.advance() {
+            Token::Keyword(k) if k == "AND" => BinaryOp::And,
+            Token::Keyword(k) if k == "OR" => BinaryOp::Or,
+            Token::Eq => BinaryOp::Eq,
+            Token::NotEq => BinaryOp::NotEq,
+            Token::Lt => BinaryOp::Lt,
+            Token::LtEq => BinaryOp::LtEq,
+            Token::Gt => BinaryOp::Gt,
+            Token::GtEq => BinaryOp::GtEq,
+            Token::Plus => BinaryOp::Plus,
+            Token::Minus => BinaryOp::Minus,
+            Token::Star => BinaryOp::Multiply,
+            Token::Slash => BinaryOp::Divide,
+            Token::Percent => BinaryOp::Modulo,
+            Token::Concat => BinaryOp::Concat,
+            other => return Err(GisError::Parse(format!("unexpected operator {other}"))),
+        };
+        let rhs = self.parse_subexpr(prec)?;
+        Ok(Expr::BinaryOp {
+            left: Box::new(lhs),
+            op,
+            right: Box::new(rhs),
+        })
+    }
+
+    fn parse_prefix(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::Keyword(k) => match k.as_str() {
+                "NOT" => {
+                    self.advance();
+                    let inner = self.parse_subexpr(15)?;
+                    Ok(Expr::UnaryOp {
+                        op: UnaryOp::Not,
+                        expr: Box::new(inner),
+                    })
+                }
+                "TRUE" => {
+                    self.advance();
+                    Ok(Expr::Literal(Value::Boolean(true)))
+                }
+                "FALSE" => {
+                    self.advance();
+                    Ok(Expr::Literal(Value::Boolean(false)))
+                }
+                "NULL" => {
+                    self.advance();
+                    Ok(Expr::Literal(Value::Null))
+                }
+                "CASE" => self.parse_case(),
+                "CAST" => self.parse_cast(),
+                "DATE" => {
+                    self.advance();
+                    // DATE 'YYYY-MM-DD' literal
+                    if let Token::StringLit(s) = self.peek().clone() {
+                        self.advance();
+                        let days = gis_types::value::parse_date(&s).ok_or_else(|| {
+                            GisError::Parse(format!("invalid date literal '{s}'"))
+                        })?;
+                        Ok(Expr::Literal(Value::Date(days)))
+                    } else {
+                        // treat as identifier `date` (column named date)
+                        self.parse_ident_expr("date".to_string())
+                    }
+                }
+                "TIMESTAMP" => {
+                    self.advance();
+                    if let Token::StringLit(s) = self.peek().clone() {
+                        self.advance();
+                        let v = Value::Utf8(s).cast_to(DataType::Timestamp).map_err(|e| {
+                            GisError::Parse(format!("invalid timestamp literal: {e}"))
+                        })?;
+                        Ok(Expr::Literal(v))
+                    } else {
+                        self.parse_ident_expr("timestamp".to_string())
+                    }
+                }
+                "EXISTS" => Err(self.error("EXISTS subqueries are not supported")),
+                _ => Err(self.error("unexpected keyword in expression")),
+            },
+            Token::Minus => {
+                self.advance();
+                let inner = self.parse_subexpr(70)?;
+                Ok(Expr::UnaryOp {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(inner),
+                })
+            }
+            Token::Plus => {
+                self.advance();
+                let inner = self.parse_subexpr(70)?;
+                Ok(Expr::UnaryOp {
+                    op: UnaryOp::Pos,
+                    expr: Box::new(inner),
+                })
+            }
+            Token::Integer(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int64(v)))
+            }
+            Token::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Float64(v)))
+            }
+            Token::StringLit(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Utf8(s)))
+            }
+            Token::Question => {
+                self.advance();
+                self.next_param += 1;
+                Ok(Expr::Parameter(self.next_param))
+            }
+            Token::LParen => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Star => {
+                self.advance();
+                Ok(Expr::Wildcard)
+            }
+            Token::Ident(name) => {
+                self.advance();
+                self.parse_ident_expr(name)
+            }
+            other => Err(GisError::Parse(format!(
+                "unexpected token {other} in expression"
+            ))),
+        }
+    }
+
+    /// Continues parsing after an identifier: function call, qualified
+    /// column, or bare column.
+    fn parse_ident_expr(&mut self, name: String) -> Result<Expr> {
+        if self.consume_if(&Token::LParen) {
+            // function call
+            let distinct = self.consume_keyword("DISTINCT");
+            let mut args = Vec::new();
+            if !matches!(self.peek(), Token::RParen) {
+                loop {
+                    if self.consume_if(&Token::Star) {
+                        args.push(Expr::Wildcard);
+                    } else {
+                        args.push(self.parse_expr()?);
+                    }
+                    if !self.consume_if(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Function {
+                name: name.to_ascii_lowercase(),
+                args,
+                distinct,
+            });
+        }
+        if self.consume_if(&Token::Dot) {
+            let col = self.expect_ident()?;
+            return Ok(Expr::Column {
+                qualifier: Some(name),
+                name: col,
+            });
+        }
+        Ok(Expr::Column {
+            qualifier: None,
+            name,
+        })
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_keyword("CASE")?;
+        let operand = if !self.peek_keyword("WHEN") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.consume_keyword("WHEN") {
+            let when = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.consume_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+
+    fn parse_cast(&mut self) -> Result<Expr> {
+        self.expect_keyword("CAST")?;
+        self.expect(&Token::LParen)?;
+        let expr = self.parse_expr()?;
+        self.expect_keyword("AS")?;
+        let ty_name = match self.advance() {
+            Token::Ident(s) => s,
+            Token::Keyword(k) => k.to_ascii_lowercase(),
+            other => return Err(GisError::Parse(format!("expected type name, found {other}"))),
+        };
+        let to = DataType::parse(&ty_name).map_err(|e| GisError::Parse(e.to_string()))?;
+        self.expect(&Token::RParen)?;
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            to,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str) -> Query {
+        match parse_sql(sql).unwrap() {
+            Statement::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    fn sel(sql: &str) -> Select {
+        match q(sql).body {
+            SetExpr::Select(s) => *s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT a, b AS bee FROM t WHERE a > 5");
+        assert_eq!(s.projection.len(), 2);
+        assert!(matches!(
+            &s.projection[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert!(s.selection.is_some());
+    }
+
+    #[test]
+    fn qualified_table_and_columns() {
+        let s = sel("SELECT c.name FROM crm.customers AS c");
+        match s.from.unwrap() {
+            TableRef::Table {
+                source,
+                name,
+                alias,
+            } => {
+                assert_eq!(source.as_deref(), Some("crm"));
+                assert_eq!(name, "customers");
+                assert_eq!(alias.as_deref(), Some("c"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        // must parse as 1 + (2*3)
+        match e {
+            Expr::BinaryOp { op, right, .. } => {
+                assert_eq!(op, BinaryOp::Plus);
+                assert!(matches!(
+                    *right,
+                    Expr::BinaryOp {
+                        op: BinaryOp::Multiply,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e2 = parse_expression("(1 + 2) * 3").unwrap();
+        assert!(matches!(
+            e2,
+            Expr::BinaryOp {
+                op: BinaryOp::Multiply,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let e = parse_expression("a OR b AND c").unwrap();
+        match e {
+            Expr::BinaryOp { op, .. } => assert_eq!(op, BinaryOp::Or),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_in_like_isnull() {
+        let e = parse_expression("x BETWEEN 1 AND 10 AND y IN (1,2) AND z LIKE 'a%' AND w IS NOT NULL").unwrap();
+        let parts = e.split_conjunction();
+        assert_eq!(parts.len(), 4);
+        assert!(matches!(parts[0], Expr::Between { negated: false, .. }));
+        assert!(matches!(parts[1], Expr::InList { .. }));
+        assert!(matches!(parts[2], Expr::Like { .. }));
+        assert!(matches!(parts[3], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn not_variants() {
+        assert!(matches!(
+            parse_expression("x NOT IN (1)").unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("x NOT BETWEEN 1 AND 2").unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("NOT x").unwrap(),
+            Expr::UnaryOp {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn joins() {
+        let s = sel(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c USING (id) CROSS JOIN d",
+        );
+        let mut join_count = 0;
+        fn count(t: &TableRef, n: &mut usize) {
+            if let TableRef::Join { left, right, .. } = t {
+                *n += 1;
+                count(left, n);
+                count(right, n);
+            }
+        }
+        count(&s.from.unwrap(), &mut join_count);
+        assert_eq!(join_count, 3);
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let query = q("SELECT g, count(*) FROM t GROUP BY g HAVING count(*) > 2 ORDER BY 2 DESC NULLS LAST LIMIT 10 OFFSET 5");
+        assert_eq!(query.limit, Some(10));
+        assert_eq!(query.offset, Some(5));
+        assert_eq!(query.order_by.len(), 1);
+        assert!(!query.order_by[0].asc);
+        assert_eq!(query.order_by[0].nulls_first, Some(false));
+        let SetExpr::Select(s) = query.body else {
+            panic!()
+        };
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+    }
+
+    #[test]
+    fn union_all_chain() {
+        let query = q("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3");
+        // left-associative: (1 UNION ALL 2) UNION 3
+        match query.body {
+            SetExpr::Union { all, left, .. } => {
+                assert!(!all);
+                assert!(matches!(*left, SetExpr::Union { all: true, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_in_from_requires_alias() {
+        assert!(parse_sql("SELECT * FROM (SELECT 1)").is_err());
+        let s = sel("SELECT * FROM (SELECT a FROM t) sub");
+        assert!(matches!(
+            s.from.unwrap(),
+            TableRef::Subquery { alias, .. } if alias == "sub"
+        ));
+    }
+
+    #[test]
+    fn case_expressions() {
+        let e = parse_expression(
+            "CASE WHEN a > 1 THEN 'big' WHEN a > 0 THEN 'small' ELSE 'neg' END",
+        )
+        .unwrap();
+        match e {
+            Expr::Case {
+                operand, branches, else_expr,
+            } => {
+                assert!(operand.is_none());
+                assert_eq!(branches.len(), 2);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e2 = parse_expression("CASE x WHEN 1 THEN 'one' END").unwrap();
+        assert!(matches!(e2, Expr::Case { operand: Some(_), .. }));
+        assert!(parse_expression("CASE END").is_err());
+    }
+
+    #[test]
+    fn cast_and_functions() {
+        let e = parse_expression("CAST(a AS bigint)").unwrap();
+        assert!(matches!(e, Expr::Cast { to: DataType::Int64, .. }));
+        let e2 = parse_expression("count(DISTINCT x)").unwrap();
+        assert!(matches!(e2, Expr::Function { distinct: true, .. }));
+        let e3 = parse_expression("count(*)").unwrap();
+        match e3 {
+            Expr::Function { name, args, .. } => {
+                assert_eq!(name, "count");
+                assert!(matches!(args[0], Expr::Wildcard));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn date_literals() {
+        let e = parse_expression("DATE '2024-01-15'").unwrap();
+        assert!(matches!(e, Expr::Literal(Value::Date(_))));
+        assert!(parse_expression("DATE '2024-13-15'").is_err());
+    }
+
+    #[test]
+    fn parameters_are_numbered_in_order() {
+        let e = parse_expression("a = ? AND b = ?").unwrap();
+        let mut params = Vec::new();
+        e.walk(&mut |x| {
+            if let Expr::Parameter(n) = x {
+                params.push(*n);
+            }
+        });
+        assert_eq!(params, vec![1, 2]);
+    }
+
+    #[test]
+    fn explain_wraps_statement() {
+        let s = parse_sql("EXPLAIN ANALYZE SELECT 1").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_sql("SELECT FROM t").unwrap_err();
+        assert!(err.to_string().contains("PARSE"));
+        assert!(parse_sql("SELECT 1 extra garbage, ,").is_err());
+        assert!(parse_sql("SELECT * FROM t WHERE").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_sql("SELECT 1;").is_ok());
+    }
+
+    #[test]
+    fn select_without_from() {
+        let s = sel("SELECT 1 + 1");
+        assert!(s.from.is_none());
+    }
+}

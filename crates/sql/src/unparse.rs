@@ -1,0 +1,362 @@
+//! Renders ASTs back to SQL text.
+//!
+//! Needed in three places: `EXPLAIN` output, error messages, and the
+//! relational adapter, which accepts query fragments as SQL text the
+//! way a real autonomous DBMS would. The output is fully parenthesized
+//! where precedence could be ambiguous, so `parse(unparse(x)) == x`
+//! structurally for everything the dialect supports.
+
+use crate::ast::*;
+use gis_types::Value;
+use std::fmt::Write as _;
+
+/// Renders a statement as SQL.
+pub fn statement_to_sql(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Query(q) => query_to_sql(q),
+        Statement::Explain { analyze, statement } => {
+            let a = if *analyze { "ANALYZE " } else { "" };
+            format!("EXPLAIN {a}{}", statement_to_sql(statement))
+        }
+    }
+}
+
+/// Renders a query as SQL.
+pub fn query_to_sql(q: &Query) -> String {
+    let mut s = set_expr_to_sql(&q.body);
+    if !q.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        let keys: Vec<String> = q.order_by.iter().map(order_by_to_sql).collect();
+        s.push_str(&keys.join(", "));
+    }
+    if let Some(n) = q.limit {
+        let _ = write!(s, " LIMIT {n}");
+    }
+    if let Some(n) = q.offset {
+        let _ = write!(s, " OFFSET {n}");
+    }
+    s
+}
+
+fn order_by_to_sql(o: &OrderByExpr) -> String {
+    let mut s = expr_to_sql(&o.expr);
+    s.push_str(if o.asc { " ASC" } else { " DESC" });
+    match o.nulls_first {
+        Some(true) => s.push_str(" NULLS FIRST"),
+        Some(false) => s.push_str(" NULLS LAST"),
+        None => {}
+    }
+    s
+}
+
+fn set_expr_to_sql(se: &SetExpr) -> String {
+    match se {
+        SetExpr::Select(s) => select_to_sql(s),
+        SetExpr::Union { left, right, all } => {
+            let kw = if *all { "UNION ALL" } else { "UNION" };
+            format!(
+                "{} {kw} {}",
+                set_expr_to_sql(left),
+                set_expr_to_sql(right)
+            )
+        }
+    }
+}
+
+fn select_to_sql(s: &Select) -> String {
+    let mut out = String::from("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    let items: Vec<String> = s.projection.iter().map(select_item_to_sql).collect();
+    out.push_str(&items.join(", "));
+    if let Some(from) = &s.from {
+        out.push_str(" FROM ");
+        out.push_str(&table_ref_to_sql(from));
+    }
+    if let Some(w) = &s.selection {
+        let _ = write!(out, " WHERE {}", expr_to_sql(w));
+    }
+    if !s.group_by.is_empty() {
+        let keys: Vec<String> = s.group_by.iter().map(expr_to_sql).collect();
+        let _ = write!(out, " GROUP BY {}", keys.join(", "));
+    }
+    if let Some(h) = &s.having {
+        let _ = write!(out, " HAVING {}", expr_to_sql(h));
+    }
+    out
+}
+
+fn select_item_to_sql(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Wildcard => "*".to_string(),
+        SelectItem::QualifiedWildcard(q) => format!("{}.*", ident(q)),
+        SelectItem::Expr { expr, alias } => match alias {
+            Some(a) => format!("{} AS {}", expr_to_sql(expr), ident(a)),
+            None => expr_to_sql(expr),
+        },
+    }
+}
+
+/// Renders a table reference.
+pub fn table_ref_to_sql(t: &TableRef) -> String {
+    match t {
+        TableRef::Table {
+            source,
+            name,
+            alias,
+        } => {
+            let mut s = match source {
+                Some(src) => format!("{}.{}", ident(src), ident(name)),
+                None => ident(name),
+            };
+            if let Some(a) = alias {
+                let _ = write!(s, " AS {}", ident(a));
+            }
+            s
+        }
+        TableRef::Subquery { query, alias } => {
+            format!("({}) AS {}", query_to_sql(query), ident(alias))
+        }
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            constraint,
+        } => {
+            let mut s = format!(
+                "{} {kind} {}",
+                table_ref_to_sql(left),
+                table_ref_to_sql(right)
+            );
+            match constraint {
+                JoinConstraint::On(e) => {
+                    let _ = write!(s, " ON {}", expr_to_sql(e));
+                }
+                JoinConstraint::Using(cols) => {
+                    let cols: Vec<String> = cols.iter().map(|c| ident(c)).collect();
+                    let _ = write!(s, " USING ({})", cols.join(", "));
+                }
+                JoinConstraint::None => {}
+            }
+            s
+        }
+    }
+}
+
+/// Renders an expression, parenthesizing compound operands.
+pub fn expr_to_sql(e: &Expr) -> String {
+    match e {
+        Expr::Column { qualifier, name } => match qualifier {
+            Some(q) => format!("{}.{}", ident(q), ident(name)),
+            None => ident(name),
+        },
+        Expr::Literal(v) => literal_to_sql(v),
+        Expr::Parameter(_) => "?".to_string(),
+        Expr::BinaryOp { left, op, right } => format!(
+            "{} {} {}",
+            wrap(left),
+            op.symbol(),
+            wrap(right)
+        ),
+        Expr::UnaryOp { op, expr } => match op {
+            UnaryOp::Not => format!("NOT {}", wrap(expr)),
+            UnaryOp::Neg => format!("-{}", wrap(expr)),
+            UnaryOp::Pos => format!("+{}", wrap(expr)),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
+            let d = if *distinct { "DISTINCT " } else { "" };
+            let args: Vec<String> = args.iter().map(expr_to_sql).collect();
+            format!("{name}({d}{})", args.join(", "))
+        }
+        Expr::Wildcard => "*".to_string(),
+        Expr::Cast { expr, to } => format!("CAST({} AS {to})", expr_to_sql(expr)),
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let mut s = String::from("CASE");
+            if let Some(o) = operand {
+                let _ = write!(s, " {}", wrap(o));
+            }
+            for (w, t) in branches {
+                let _ = write!(s, " WHEN {} THEN {}", expr_to_sql(w), expr_to_sql(t));
+            }
+            if let Some(el) = else_expr {
+                let _ = write!(s, " ELSE {}", expr_to_sql(el));
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => format!(
+            "{} {}BETWEEN {} AND {}",
+            wrap(expr),
+            if *negated { "NOT " } else { "" },
+            wrap(low),
+            wrap(high)
+        ),
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let items: Vec<String> = list.iter().map(expr_to_sql).collect();
+            format!(
+                "{} {}IN ({})",
+                wrap(expr),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::InSubquery {
+            expr,
+            negated,
+            query,
+        } => format!(
+            "{} {}IN ({})",
+            wrap(expr),
+            if *negated { "NOT " } else { "" },
+            query_to_sql(query)
+        ),
+        Expr::Like {
+            negated,
+            expr,
+            pattern,
+        } => format!(
+            "{} {}LIKE {}",
+            wrap(expr),
+            if *negated { "NOT " } else { "" },
+            wrap(pattern)
+        ),
+        Expr::IsNull { expr, negated } => format!(
+            "{} IS {}NULL",
+            wrap(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+    }
+}
+
+/// Parenthesizes compound sub-expressions; leaves atoms bare.
+fn wrap(e: &Expr) -> String {
+    match e {
+        Expr::Column { .. }
+        | Expr::Literal(_)
+        | Expr::Parameter(_)
+        | Expr::Function { .. }
+        | Expr::Cast { .. }
+        | Expr::Wildcard => expr_to_sql(e),
+        _ => format!("({})", expr_to_sql(e)),
+    }
+}
+
+fn literal_to_sql(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Boolean(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Utf8(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Date(d) => format!("DATE '{}'", gis_types::value::format_date(*d)),
+        Value::Timestamp(us) => format!("CAST({us} AS timestamp)"),
+        other => other.to_string(),
+    }
+}
+
+/// Quotes an identifier only when it needs quoting.
+fn ident(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if simple {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression, parse_sql};
+
+    /// parse → unparse → parse must be a fixed point.
+    fn roundtrip_stmt(sql: &str) {
+        let ast1 = parse_sql(sql).unwrap();
+        let rendered = statement_to_sql(&ast1);
+        let ast2 = parse_sql(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
+        assert_eq!(ast1, ast2, "roundtrip mismatch via '{rendered}'");
+    }
+
+    fn roundtrip_expr(sql: &str) {
+        let ast1 = parse_expression(sql).unwrap();
+        let rendered = expr_to_sql(&ast1);
+        let ast2 = parse_expression(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
+        assert_eq!(ast1, ast2, "roundtrip mismatch via '{rendered}'");
+    }
+
+    #[test]
+    fn statement_roundtrips() {
+        for sql in [
+            "SELECT 1",
+            "SELECT DISTINCT a, b AS bee FROM t WHERE a > 5 GROUP BY a, b HAVING count(*) > 1 ORDER BY a DESC NULLS LAST LIMIT 3 OFFSET 1",
+            "SELECT * FROM crm.customers AS c JOIN sales.orders o ON c.id = o.cust_id",
+            "SELECT a.* FROM a CROSS JOIN b",
+            "SELECT x FROM (SELECT x FROM t WHERE x < 3) AS sub",
+            "SELECT 1 UNION ALL SELECT 2 UNION SELECT 3",
+            "EXPLAIN SELECT * FROM t",
+            "SELECT * FROM a LEFT JOIN b USING (id, code)",
+            "SELECT * FROM a SEMI JOIN b ON a.x = b.x",
+        ] {
+            roundtrip_stmt(sql);
+        }
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for sql in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a AND b OR NOT c",
+            "x BETWEEN 1 AND 10",
+            "x NOT IN (1, 2, 3)",
+            "name LIKE 'a%'",
+            "v IS NOT NULL",
+            "CASE WHEN a > 1 THEN 'x' ELSE 'y' END",
+            "CASE g WHEN 1 THEN 'one' WHEN 2 THEN 'two' END",
+            "CAST(a AS float64)",
+            "coalesce(a, b, 0)",
+            "count(DISTINCT x)",
+            "-x + 3",
+            "'it''s'",
+            "DATE '2020-05-05'",
+            "a = ?",
+        ] {
+            roundtrip_expr(sql);
+        }
+    }
+
+    #[test]
+    fn quoting_weird_identifiers() {
+        assert_eq!(ident("normal_name"), "normal_name");
+        assert_eq!(ident("weird col"), "\"weird col\"");
+        assert_eq!(ident("3starts_with_digit"), "\"3starts_with_digit\"");
+        assert_eq!(ident("has\"quote"), "\"has\"\"quote\"");
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        assert_eq!(literal_to_sql(&Value::Utf8("a'b".into())), "'a''b'");
+    }
+}

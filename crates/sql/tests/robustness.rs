@@ -1,0 +1,65 @@
+//! Parser robustness: arbitrary input must never panic — either a
+//! parse tree or a clean `GisError::Parse` comes back. Valid queries
+//! must round-trip through the unparser.
+
+use gis_sql::unparse::statement_to_sql;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 512,
+        ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary bytes: no panics, ever.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".*") {
+        let _ = gis_sql::parse(&input);
+        let _ = gis_sql::parse_expression(&input);
+        let _ = gis_sql::lexer::tokenize(&input);
+    }
+
+    /// SQL-ish token soup: no panics and errors are Parse errors.
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+            Just("BY"), Just("ORDER"), Just("JOIN"), Just("ON"),
+            Just("UNION"), Just("ALL"), Just("AND"), Just("OR"),
+            Just("NOT"), Just("NULL"), Just("("), Just(")"), Just(","),
+            Just("*"), Just("="), Just("<"), Just("+"), Just("-"),
+            Just("t"), Just("x"), Just("1"), Just("'s'"), Just("."),
+            Just("CASE"), Just("WHEN"), Just("THEN"), Just("END"),
+            Just("BETWEEN"), Just("IN"), Just("LIKE"), Just("AS"),
+        ], 0..25)
+    ) {
+        let sql = tokens.join(" ");
+        if let Err(e) = gis_sql::parse(&sql) {
+            prop_assert_eq!(e.code(), "PARSE", "non-parse error for '{}': {}", sql, e);
+        }
+    }
+
+    /// Generated well-formed queries round-trip through the unparser.
+    #[test]
+    fn generated_queries_roundtrip(
+        cols in proptest::collection::vec("c_[a-z]{0,3}", 1..4),
+        table in "t_[a-z]{1,5}",
+        lim in proptest::option::of(0u64..100),
+        desc in any::<bool>(),
+        k in 0i64..100,
+    ) {
+        let projection = cols.join(", ");
+        let mut sql = format!(
+            "SELECT {projection} FROM {table} WHERE {} < {k}",
+            cols[0]
+        );
+        sql.push_str(&format!(" ORDER BY {} {}", cols[0], if desc { "DESC" } else { "ASC" }));
+        if let Some(l) = lim {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        let ast1 = gis_sql::parse(&sql).expect("generated SQL must parse");
+        let rendered = statement_to_sql(&ast1);
+        let ast2 = gis_sql::parse(&rendered).expect("rendered SQL must re-parse");
+        prop_assert_eq!(ast1, ast2, "via '{}'", rendered);
+    }
+}

@@ -1,0 +1,414 @@
+//! The key-value store: the least capable component engine.
+//!
+//! Models the flat-file / hierarchical systems a 1989 federation had
+//! to absorb: composite byte-comparable keys, opaque values, point
+//! `get`, prefix and range scans — and **no predicate evaluation at
+//! all**. The mediator must fetch and filter on its side, or exploit
+//! key structure. Keys are encoded order-preservingly so range scans
+//! over the B-tree match value ordering.
+
+use crate::stats::{StatsCollector, TableStats};
+use gis_types::{Batch, GisError, Result, SchemaRef, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Order-preserving key encoding.
+///
+/// Each component is tagged and padded such that byte-wise comparison
+/// of encoded keys equals [`Value::total_cmp`] on the originals
+/// (for the supported key types: integers, dates, strings).
+pub fn encode_key_component(out: &mut Vec<u8>, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Int32(x) => {
+            out.push(0x02);
+            // Flip the sign bit so byte order matches numeric order.
+            out.extend_from_slice(&((*x as i64) as u64 ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Int64(x) => {
+            out.push(0x02);
+            out.extend_from_slice(&((*x as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Date(x) => {
+            out.push(0x02);
+            out.extend_from_slice(&((*x as i64) as u64 ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Timestamp(x) => {
+            out.push(0x02);
+            out.extend_from_slice(&((*x as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Utf8(s) => {
+            out.push(0x03);
+            // 0x00 bytes escaped as 0x00 0xFF; terminator 0x00 0x00.
+            for &b in s.as_bytes() {
+                if b == 0x00 {
+                    out.extend_from_slice(&[0x00, 0xFF]);
+                } else {
+                    out.push(b);
+                }
+            }
+            out.extend_from_slice(&[0x00, 0x00]);
+        }
+        other => {
+            return Err(GisError::Storage(format!(
+                "unsupported key component type {}",
+                other.data_type()
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a composite key.
+pub fn encode_key(components: &[Value]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(components.len() * 9);
+    for c in components {
+        encode_key_component(&mut out, c)?;
+    }
+    Ok(out)
+}
+
+/// A key-value component store over an ordered map.
+#[derive(Debug)]
+pub struct KvStore {
+    name: String,
+    /// Schema of the *decoded rows* (key columns first, then payload).
+    schema: SchemaRef,
+    /// How many leading schema columns form the key.
+    key_width: usize,
+    map: BTreeMap<Vec<u8>, Vec<Value>>,
+}
+
+impl KvStore {
+    /// An empty store. The first `key_width` schema columns are the
+    /// composite key.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, key_width: usize) -> Result<Self> {
+        if key_width == 0 || key_width > schema.len() {
+            return Err(GisError::Storage(format!(
+                "key width {key_width} invalid for {}-column schema",
+                schema.len()
+            )));
+        }
+        Ok(KvStore {
+            name: name.into(),
+            schema,
+            key_width,
+            map: BTreeMap::new(),
+        })
+    }
+
+    /// Store name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Row schema (key columns first).
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of key columns.
+    pub fn key_width(&self) -> usize {
+        self.key_width
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Inserts or replaces the row keyed by its first `key_width`
+    /// columns. Returns true when an existing entry was replaced.
+    pub fn put(&mut self, row: Vec<Value>) -> Result<bool> {
+        if row.len() != self.schema.len() {
+            return Err(GisError::Storage(format!(
+                "row width {} does not match schema width {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        let key = encode_key(&row[..self.key_width])?;
+        Ok(self.map.insert(key, row).is_some())
+    }
+
+    /// Point lookup by full key.
+    pub fn get(&self, key: &[Value]) -> Result<Option<&[Value]>> {
+        if key.len() != self.key_width {
+            return Err(GisError::Storage(format!(
+                "key width {} does not match store key width {}",
+                key.len(),
+                self.key_width
+            )));
+        }
+        Ok(self.map.get(&encode_key(key)?).map(Vec::as_slice))
+    }
+
+    /// Deletes by full key; returns whether an entry existed.
+    pub fn delete(&mut self, key: &[Value]) -> Result<bool> {
+        Ok(self.map.remove(&encode_key(key)?).is_some())
+    }
+
+    /// Scans entries whose key starts with `prefix` (possibly fewer
+    /// components than the key width; empty = everything).
+    pub fn scan_prefix(&self, prefix: &[Value], limit: Option<usize>) -> Result<Batch> {
+        let encoded = encode_key(prefix)?;
+        let limit = limit.unwrap_or(usize::MAX);
+        let rows: Vec<Vec<Value>> = self
+            .map
+            .range((Bound::Included(encoded.clone()), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(&encoded))
+            .take(limit)
+            .map(|(_, v)| v.clone())
+            .collect();
+        Batch::from_rows(self.schema.clone(), &rows)
+    }
+
+    /// Scans the key range `[low, high)` on the first key component
+    /// (both bounds optional).
+    pub fn scan_range(
+        &self,
+        low: Option<&Value>,
+        high: Option<&Value>,
+        limit: Option<usize>,
+    ) -> Result<Batch> {
+        let lo = match low {
+            Some(v) => Bound::Included(encode_key(std::slice::from_ref(v))?),
+            None => Bound::Unbounded,
+        };
+        let hi = match high {
+            Some(v) => Bound::Excluded(encode_key(std::slice::from_ref(v))?),
+            None => Bound::Unbounded,
+        };
+        if let (Bound::Included(l), Bound::Excluded(h)) = (&lo, &hi) {
+            if l >= h {
+                return Ok(Batch::empty(self.schema.clone()));
+            }
+        }
+        let limit = limit.unwrap_or(usize::MAX);
+        let rows: Vec<Vec<Value>> = self
+            .map
+            .range((lo, hi))
+            .take(limit)
+            .map(|(_, v)| v.clone())
+            .collect();
+        Batch::from_rows(self.schema.clone(), &rows)
+    }
+
+    /// Full scan.
+    pub fn scan_all(&self, limit: Option<usize>) -> Result<Batch> {
+        self.scan_prefix(&[], limit)
+    }
+
+    /// Collects fresh statistics.
+    pub fn collect_stats(&self) -> TableStats {
+        let mut c = StatsCollector::new(self.schema.len());
+        for row in self.map.values() {
+            c.observe_row(row);
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{DataType, Field, Schema};
+    use proptest::prelude::*;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::required("sku", DataType::Utf8),
+            Field::required("warehouse", DataType::Int64),
+            Field::new("qty", DataType::Int64),
+        ])
+        .into_ref()
+    }
+
+    fn store() -> KvStore {
+        let mut s = KvStore::new("stock", schema(), 2).unwrap();
+        for sku in ["apple", "banana", "cherry"] {
+            for w in 0..3i64 {
+                s.put(vec![
+                    Value::Utf8(sku.into()),
+                    Value::Int64(w),
+                    Value::Int64(w * 10),
+                ])
+                .unwrap();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = store();
+        assert_eq!(s.len(), 9);
+        let row = s
+            .get(&[Value::Utf8("banana".into()), Value::Int64(2)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(row[2], Value::Int64(20));
+        // put replaces
+        assert!(s
+            .put(vec![
+                Value::Utf8("banana".into()),
+                Value::Int64(2),
+                Value::Int64(99)
+            ])
+            .unwrap());
+        assert_eq!(s.len(), 9);
+        assert!(s
+            .delete(&[Value::Utf8("banana".into()), Value::Int64(2)])
+            .unwrap());
+        assert_eq!(s.len(), 8);
+        assert!(s
+            .get(&[Value::Utf8("banana".into()), Value::Int64(2)])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn prefix_scan_selects_one_sku() {
+        let s = store();
+        let b = s
+            .scan_prefix(&[Value::Utf8("banana".into())], None)
+            .unwrap();
+        assert_eq!(b.num_rows(), 3);
+        assert!(b
+            .column(0)
+            .iter_values()
+            .all(|v| v == Value::Utf8("banana".into())));
+    }
+
+    #[test]
+    fn prefix_scan_does_not_leak_neighbors() {
+        let mut s = KvStore::new(
+            "t",
+            Schema::new(vec![
+                Field::required("k", DataType::Utf8),
+                Field::new("v", DataType::Int64),
+            ])
+            .into_ref(),
+            1,
+        )
+        .unwrap();
+        s.put(vec![Value::Utf8("ab".into()), Value::Int64(1)]).unwrap();
+        s.put(vec![Value::Utf8("abc".into()), Value::Int64(2)]).unwrap();
+        s.put(vec![Value::Utf8("abd".into()), Value::Int64(3)]).unwrap();
+        // Exact-key prefix "ab" must match only "ab": the terminator
+        // makes "ab" and "abc" non-prefix-related on the wire.
+        let b = s.scan_prefix(&[Value::Utf8("ab".into())], None).unwrap();
+        assert_eq!(b.num_rows(), 1);
+    }
+
+    #[test]
+    fn range_scan_on_first_component() {
+        let s = store();
+        let b = s
+            .scan_range(
+                Some(&Value::Utf8("banana".into())),
+                Some(&Value::Utf8("cherry".into())),
+                None,
+            )
+            .unwrap();
+        assert_eq!(b.num_rows(), 3);
+        // unbounded low
+        let b2 = s
+            .scan_range(None, Some(&Value::Utf8("banana".into())), None)
+            .unwrap();
+        assert_eq!(b2.num_rows(), 3); // apples only
+    }
+
+    #[test]
+    fn key_order_matches_value_order_for_ints() {
+        let mut s = KvStore::new(
+            "t",
+            Schema::new(vec![
+                Field::required("k", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ])
+            .into_ref(),
+            1,
+        )
+        .unwrap();
+        for k in [-5i64, 3, -1, 100, 0] {
+            s.put(vec![Value::Int64(k), Value::Int64(k)]).unwrap();
+        }
+        let b = s.scan_all(None).unwrap();
+        let keys: Vec<Value> = b.column(0).iter_values().collect();
+        assert_eq!(
+            keys,
+            vec![
+                Value::Int64(-5),
+                Value::Int64(-1),
+                Value::Int64(0),
+                Value::Int64(3),
+                Value::Int64(100)
+            ]
+        );
+    }
+
+    #[test]
+    fn limits_respected() {
+        let s = store();
+        assert_eq!(s.scan_all(Some(4)).unwrap().num_rows(), 4);
+        assert_eq!(
+            s.scan_prefix(&[Value::Utf8("apple".into())], Some(2))
+                .unwrap()
+                .num_rows(),
+            2
+        );
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(KvStore::new("t", schema(), 0).is_err());
+        assert!(KvStore::new("t", schema(), 4).is_err());
+        let mut s = store();
+        assert!(s.put(vec![Value::Int64(1)]).is_err());
+        assert!(s.get(&[Value::Int64(1)]).is_err()); // wrong key width
+    }
+
+    #[test]
+    fn stats() {
+        let s = store();
+        let stats = s.collect_stats();
+        assert_eq!(stats.row_count, 9);
+        assert_eq!(stats.columns[1].min, Some(Value::Int64(0)));
+        assert_eq!(stats.columns[1].max, Some(Value::Int64(2)));
+    }
+
+    proptest! {
+        /// Byte order of encoded single-component keys must equal
+        /// value order.
+        #[test]
+        fn prop_int_key_order(a in any::<i64>(), b in any::<i64>()) {
+            let ka = encode_key(&[Value::Int64(a)]).unwrap();
+            let kb = encode_key(&[Value::Int64(b)]).unwrap();
+            prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_string_key_order(a in ".*", b in ".*") {
+            let ka = encode_key(&[Value::Utf8(a.clone())]).unwrap();
+            let kb = encode_key(&[Value::Utf8(b.clone())]).unwrap();
+            prop_assert_eq!(ka.cmp(&kb), a.as_bytes().cmp(b.as_bytes()));
+        }
+
+        #[test]
+        fn prop_composite_key_order(
+            a1 in -1000i64..1000, a2 in "[a-c]{0,3}",
+            b1 in -1000i64..1000, b2 in "[a-c]{0,3}",
+        ) {
+            let ka = encode_key(&[Value::Int64(a1), Value::Utf8(a2.clone())]).unwrap();
+            let kb = encode_key(&[Value::Int64(b1), Value::Utf8(b2.clone())]).unwrap();
+            let expect = (a1, a2.as_bytes()).cmp(&(b1, b2.as_bytes()));
+            prop_assert_eq!(ka.cmp(&kb), expect);
+        }
+    }
+}

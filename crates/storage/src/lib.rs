@@ -1,0 +1,36 @@
+//! # gis-storage — the autonomous component information systems
+//!
+//! A Global Information System has no storage of its own: all data
+//! lives in *component* systems that predate the federation and keep
+//! full autonomy over their formats and access paths. This crate
+//! implements three deliberately different engines so the mediator
+//! must genuinely cope with heterogeneity:
+//!
+//! * [`row::RowStore`] — an OLTP-flavored row store: heap of tuples,
+//!   B-tree primary key, optional secondary indexes, point and range
+//!   access paths.
+//! * [`column::ColumnStore`] — an analytics-flavored column store:
+//!   segmented columns with per-segment zone maps and lightweight
+//!   compression (RLE, dictionary), scan-only access.
+//! * [`kv::KvStore`] — a key-value store: opaque composite keys,
+//!   point `get` and key-range scans, no predicate evaluation at all.
+//!
+//! All three speak the shared [`predicate::ScanPredicate`] vocabulary
+//! *to the extent their capability allows* — the adapter layer
+//! (`gis-adapters`) is responsible for never asking an engine for
+//! more than it can do.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod column;
+pub mod kv;
+pub mod predicate;
+pub mod row;
+pub mod stats;
+
+pub use column::ColumnStore;
+pub use kv::KvStore;
+pub use predicate::{CmpOp, ScanPredicate};
+pub use row::RowStore;
+pub use stats::{ColumnStats, TableStats};

@@ -1,0 +1,168 @@
+//! Storage-level scan predicates.
+//!
+//! Component engines do not understand the mediator's expression
+//! language; they understand simple `column op constant` comparisons
+//! (and conjunctions of them). This is the *native query interface*
+//! of the engines — the adapter layer compiles whatever subset of a
+//! WHERE clause fits this shape and leaves the rest to the mediator.
+
+use gis_types::{Batch, Value};
+
+/// Comparison operators a storage engine evaluates natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl CmpOp {
+    /// Evaluates `left op right` with SQL NULL semantics
+    /// (`None` when either side is NULL).
+    pub fn eval(self, left: &Value, right: &Value) -> Option<bool> {
+        if left.is_null() || right.is_null() {
+            return None;
+        }
+        let ord = left.total_cmp(right);
+        Some(match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::NotEq => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::LtEq => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::GtEq => ord.is_ge(),
+        })
+    }
+
+    /// Whether rows in a `[min, max]` range could satisfy
+    /// `column op value` — the zone-map pruning test. Conservative:
+    /// returns `true` when unsure.
+    pub fn range_may_match(self, min: &Value, max: &Value, value: &Value) -> bool {
+        if value.is_null() || min.is_null() || max.is_null() {
+            return true;
+        }
+        match self {
+            CmpOp::Eq => {
+                min.total_cmp(value).is_le() && max.total_cmp(value).is_ge()
+            }
+            CmpOp::NotEq => {
+                // Only prunable when the whole segment is one value.
+                !(min == value && max == value)
+            }
+            CmpOp::Lt => min.total_cmp(value).is_lt(),
+            CmpOp::LtEq => min.total_cmp(value).is_le(),
+            CmpOp::Gt => max.total_cmp(value).is_gt(),
+            CmpOp::GtEq => max.total_cmp(value).is_ge(),
+        }
+    }
+}
+
+/// One native predicate: `column <op> value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPredicate {
+    /// Ordinal of the column in the table's schema.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant operand.
+    pub value: Value,
+}
+
+impl ScanPredicate {
+    /// Builds a predicate.
+    pub fn new(column: usize, op: CmpOp, value: Value) -> Self {
+        ScanPredicate { column, op, value }
+    }
+
+    /// Evaluates against one materialized row. NULL comparisons are
+    /// `false` (rows with NULL in the column never match).
+    pub fn matches_row(&self, row: &[Value]) -> bool {
+        self.op
+            .eval(&row[self.column], &self.value)
+            .unwrap_or(false)
+    }
+
+    /// Evaluates against row `i` of a batch.
+    pub fn matches_batch_row(&self, batch: &Batch, i: usize) -> bool {
+        self.op
+            .eval(&batch.column(self.column).value_at(i), &self.value)
+            .unwrap_or(false)
+    }
+}
+
+/// Evaluates a conjunction of predicates on one row.
+pub fn all_match(preds: &[ScanPredicate], row: &[Value]) -> bool {
+    preds.iter().all(|p| p.matches_row(row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_three_valued() {
+        assert_eq!(
+            CmpOp::Eq.eval(&Value::Int64(1), &Value::Int64(1)),
+            Some(true)
+        );
+        assert_eq!(
+            CmpOp::Lt.eval(&Value::Int64(2), &Value::Int64(1)),
+            Some(false)
+        );
+        assert_eq!(CmpOp::Eq.eval(&Value::Null, &Value::Int64(1)), None);
+    }
+
+    #[test]
+    fn row_matching_treats_null_as_false() {
+        let p = ScanPredicate::new(0, CmpOp::Gt, Value::Int64(5));
+        assert!(p.matches_row(&[Value::Int64(6)]));
+        assert!(!p.matches_row(&[Value::Int64(5)]));
+        assert!(!p.matches_row(&[Value::Null]));
+    }
+
+    #[test]
+    fn zone_map_pruning() {
+        let min = Value::Int64(10);
+        let max = Value::Int64(20);
+        // Eq inside / outside range
+        assert!(CmpOp::Eq.range_may_match(&min, &max, &Value::Int64(15)));
+        assert!(!CmpOp::Eq.range_may_match(&min, &max, &Value::Int64(25)));
+        // Lt: possible only if min < v
+        assert!(!CmpOp::Lt.range_may_match(&min, &max, &Value::Int64(10)));
+        assert!(CmpOp::Lt.range_may_match(&min, &max, &Value::Int64(11)));
+        // Gt: possible only if max > v
+        assert!(!CmpOp::Gt.range_may_match(&min, &max, &Value::Int64(20)));
+        assert!(CmpOp::Gt.range_may_match(&min, &max, &Value::Int64(19)));
+        // NotEq on constant segment
+        let c = Value::Int64(7);
+        assert!(!CmpOp::NotEq.range_may_match(&c, &c, &c));
+        assert!(CmpOp::NotEq.range_may_match(&min, &max, &Value::Int64(15)));
+        // Unknown stats never prune
+        assert!(CmpOp::Eq.range_may_match(&Value::Null, &max, &Value::Int64(99)));
+    }
+
+    #[test]
+    fn conjunction() {
+        let preds = vec![
+            ScanPredicate::new(0, CmpOp::GtEq, Value::Int64(1)),
+            ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("x".into())),
+        ];
+        assert!(all_match(
+            &preds,
+            &[Value::Int64(1), Value::Utf8("x".into())]
+        ));
+        assert!(!all_match(
+            &preds,
+            &[Value::Int64(0), Value::Utf8("x".into())]
+        ));
+    }
+}

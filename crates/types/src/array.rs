@@ -1,0 +1,468 @@
+//! Columnar arrays: the vectorized execution representation.
+//!
+//! Each [`Array`] stores one column of a [`crate::Batch`]: a typed
+//! values buffer plus a validity [`Bitmap`]. Invalid slots hold an
+//! arbitrary (zeroed) value in the buffer; consumers must consult the
+//! bitmap. Operators work on whole arrays at a time, which keeps the
+//! mediator's per-row interpretive overhead off the hot path — the
+//! vectorization advice of the perf guide applied to a query engine.
+
+use crate::bitmap::Bitmap;
+use crate::datatype::DataType;
+use crate::error::{GisError, Result};
+use crate::value::Value;
+
+/// A typed column of values with a validity bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Array {
+    /// Boolean column: values + validity.
+    Boolean(Vec<bool>, Bitmap),
+    /// Int32 column.
+    Int32(Vec<i32>, Bitmap),
+    /// Int64 column.
+    Int64(Vec<i64>, Bitmap),
+    /// Float64 column.
+    Float64(Vec<f64>, Bitmap),
+    /// Utf8 column.
+    Utf8(Vec<String>, Bitmap),
+    /// Date column (days since epoch).
+    Date(Vec<i32>, Bitmap),
+    /// Timestamp column (microseconds since epoch).
+    Timestamp(Vec<i64>, Bitmap),
+}
+
+macro_rules! dispatch {
+    ($self:expr, ($vals:ident, $valid:ident) => $body:expr) => {
+        match $self {
+            Array::Boolean($vals, $valid) => $body,
+            Array::Int32($vals, $valid) => $body,
+            Array::Int64($vals, $valid) => $body,
+            Array::Float64($vals, $valid) => $body,
+            Array::Utf8($vals, $valid) => $body,
+            Array::Date($vals, $valid) => $body,
+            Array::Timestamp($vals, $valid) => $body,
+        }
+    };
+}
+
+impl Array {
+    /// The logical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Array::Boolean(..) => DataType::Boolean,
+            Array::Int32(..) => DataType::Int32,
+            Array::Int64(..) => DataType::Int64,
+            Array::Float64(..) => DataType::Float64,
+            Array::Utf8(..) => DataType::Utf8,
+            Array::Date(..) => DataType::Date,
+            Array::Timestamp(..) => DataType::Timestamp,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        dispatch!(self, (v, _m) => v.len())
+    }
+
+    /// True when the array has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        dispatch!(self, (_v, m) => m.len() - m.count_set())
+    }
+
+    /// True when slot `i` is valid (non-NULL).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        dispatch!(self, (_v, m) => m.get(i))
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        dispatch!(self, (_v, m) => m)
+    }
+
+    /// Materializes slot `i` as a [`Value`].
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Array::Boolean(v, m) => slot(m, i, || Value::Boolean(v[i])),
+            Array::Int32(v, m) => slot(m, i, || Value::Int32(v[i])),
+            Array::Int64(v, m) => slot(m, i, || Value::Int64(v[i])),
+            Array::Float64(v, m) => slot(m, i, || Value::Float64(v[i])),
+            Array::Utf8(v, m) => slot(m, i, || Value::Utf8(v[i].clone())),
+            Array::Date(v, m) => slot(m, i, || Value::Date(v[i])),
+            Array::Timestamp(v, m) => slot(m, i, || Value::Timestamp(v[i])),
+        }
+    }
+
+    /// An empty array of the given type. `Null`-typed requests
+    /// materialize as an all-null Int32 column.
+    pub fn empty(dt: DataType) -> Array {
+        Array::with_capacity(dt, 0)
+    }
+
+    /// An empty array with reserved capacity.
+    pub fn with_capacity(dt: DataType, cap: usize) -> Array {
+        let m = Bitmap::with_capacity(cap);
+        match dt {
+            DataType::Boolean => Array::Boolean(Vec::with_capacity(cap), m),
+            DataType::Int32 => Array::Int32(Vec::with_capacity(cap), m),
+            DataType::Int64 => Array::Int64(Vec::with_capacity(cap), m),
+            DataType::Float64 => Array::Float64(Vec::with_capacity(cap), m),
+            DataType::Utf8 => Array::Utf8(Vec::with_capacity(cap), m),
+            DataType::Date => Array::Date(Vec::with_capacity(cap), m),
+            DataType::Timestamp => Array::Timestamp(Vec::with_capacity(cap), m),
+            DataType::Null => Array::Int32(Vec::with_capacity(cap), m),
+        }
+    }
+
+    /// An array of `len` NULL slots of type `dt`.
+    pub fn nulls(dt: DataType, len: usize) -> Array {
+        let mut b = ArrayBuilder::new(dt);
+        for _ in 0..len {
+            b.push_null();
+        }
+        b.finish()
+    }
+
+    /// Builds an array from scalar values, coercing each to `dt`.
+    pub fn from_values(dt: DataType, values: &[Value]) -> Result<Array> {
+        let mut b = ArrayBuilder::new(dt);
+        for v in values {
+            b.push_value(&v.cast_to(dt)?)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// An array where every slot holds `value` (broadcast of a scalar).
+    pub fn from_scalar(value: &Value, len: usize, dt: DataType) -> Result<Array> {
+        let coerced = value.cast_to(dt)?;
+        let mut b = ArrayBuilder::new(dt);
+        for _ in 0..len {
+            b.push_value(&coerced)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Gather: new array containing `indices` slots in order.
+    pub fn take(&self, indices: &[usize]) -> Array {
+        macro_rules! take_impl {
+            ($variant:ident, $v:expr, $m:expr, $default:expr) => {{
+                let mut vals = Vec::with_capacity(indices.len());
+                for &i in indices {
+                    vals.push(if $m.get(i) { $v[i].clone() } else { $default });
+                }
+                Array::$variant(vals, $m.take(indices))
+            }};
+        }
+        match self {
+            Array::Boolean(v, m) => take_impl!(Boolean, v, m, false),
+            Array::Int32(v, m) => take_impl!(Int32, v, m, 0),
+            Array::Int64(v, m) => take_impl!(Int64, v, m, 0),
+            Array::Float64(v, m) => take_impl!(Float64, v, m, 0.0),
+            Array::Utf8(v, m) => take_impl!(Utf8, v, m, String::new()),
+            Array::Date(v, m) => take_impl!(Date, v, m, 0),
+            Array::Timestamp(v, m) => take_impl!(Timestamp, v, m, 0),
+        }
+    }
+
+    /// Filter: keep the slots where `keep` is true.
+    pub fn filter(&self, keep: &[bool]) -> Array {
+        assert_eq!(keep.len(), self.len(), "filter mask length mismatch");
+        let indices: Vec<usize> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// Zero-copy-ish slice (clones the value range).
+    pub fn slice(&self, offset: usize, len: usize) -> Array {
+        let indices: Vec<usize> = (offset..offset + len).collect();
+        self.take(&indices)
+    }
+
+    /// Concatenates arrays of identical type.
+    pub fn concat(arrays: &[Array]) -> Result<Array> {
+        let Some(first) = arrays.first() else {
+            return Err(GisError::Internal("concat of zero arrays".into()));
+        };
+        let dt = first.data_type();
+        let mut b = ArrayBuilder::new(dt);
+        for a in arrays {
+            if a.data_type() != dt {
+                return Err(GisError::Internal(format!(
+                    "concat type mismatch: {dt} vs {}",
+                    a.data_type()
+                )));
+            }
+            for i in 0..a.len() {
+                b.push_value(&a.value_at(i))?;
+            }
+        }
+        Ok(b.finish())
+    }
+
+    /// Casts every slot to `target`, following [`Value::cast_to`] rules.
+    pub fn cast_to(&self, target: DataType) -> Result<Array> {
+        if self.data_type() == target {
+            return Ok(self.clone());
+        }
+        // Fast paths for the common numeric widenings keep the mediator
+        // mapping layer cheap (exercised heavily by experiment T3).
+        match (self, target) {
+            (Array::Int32(v, m), DataType::Int64) => Ok(Array::Int64(
+                v.iter().map(|&x| x as i64).collect(),
+                m.clone(),
+            )),
+            (Array::Int32(v, m), DataType::Float64) => Ok(Array::Float64(
+                v.iter().map(|&x| x as f64).collect(),
+                m.clone(),
+            )),
+            (Array::Int64(v, m), DataType::Float64) => Ok(Array::Float64(
+                v.iter().map(|&x| x as f64).collect(),
+                m.clone(),
+            )),
+            _ => {
+                let mut b = ArrayBuilder::new(target);
+                for i in 0..self.len() {
+                    b.push_value(&self.value_at(i).cast_to(target)?)?;
+                }
+                Ok(b.finish())
+            }
+        }
+    }
+
+    /// Approximate bytes this array occupies on the simulated wire:
+    /// the packed validity bitmap plus the value payload of all slots
+    /// (invalid fixed-width slots still ship their zeroed payload,
+    /// matching the flat wire layout `gis-net` serializes).
+    pub fn wire_size(&self) -> usize {
+        let bitmap = self.validity().wire_size();
+        let payload = match self {
+            Array::Boolean(v, _) => v.len(),
+            Array::Int32(v, _) | Array::Date(v, _) => v.len() * 4,
+            Array::Int64(v, _) | Array::Timestamp(v, _) => v.len() * 8,
+            Array::Float64(v, _) => v.len() * 8,
+            Array::Utf8(v, _) => v.iter().map(|s| 4 + s.len()).sum(),
+        };
+        bitmap + payload
+    }
+
+    /// Iterates slots as [`Value`]s (materializing; test/debug use).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value_at(i))
+    }
+
+    /// Borrowed i64 values, widening Int32/Date/Timestamp; used by
+    /// vectorized kernels that only need integer payloads.
+    pub fn as_i64_lossy(&self, i: usize) -> Option<i64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match self {
+            Array::Int32(v, _) | Array::Date(v, _) => Some(v[i] as i64),
+            Array::Int64(v, _) | Array::Timestamp(v, _) => Some(v[i]),
+            Array::Boolean(v, _) => Some(i64::from(v[i])),
+            _ => None,
+        }
+    }
+}
+
+#[inline]
+fn slot(m: &Bitmap, i: usize, f: impl FnOnce() -> Value) -> Value {
+    if m.get(i) {
+        f()
+    } else {
+        Value::Null
+    }
+}
+
+/// Incremental builder for an [`Array`].
+#[derive(Debug)]
+pub struct ArrayBuilder {
+    inner: Array,
+}
+
+impl ArrayBuilder {
+    /// A builder producing arrays of type `dt`.
+    pub fn new(dt: DataType) -> Self {
+        ArrayBuilder {
+            inner: Array::empty(dt),
+        }
+    }
+
+    /// A builder with reserved capacity.
+    pub fn with_capacity(dt: DataType, cap: usize) -> Self {
+        ArrayBuilder {
+            inner: Array::with_capacity(dt, cap),
+        }
+    }
+
+    /// The type being built.
+    pub fn data_type(&self) -> DataType {
+        self.inner.data_type()
+    }
+
+    /// Slots appended so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends a NULL slot.
+    pub fn push_null(&mut self) {
+        dispatch!(&mut self.inner, (v, m) => {
+            v.push(Default::default());
+            m.push(false);
+        })
+    }
+
+    /// Appends a value, which must match the builder type exactly
+    /// (or be NULL). Use [`Value::cast_to`] first for coercion.
+    pub fn push_value(&mut self, value: &Value) -> Result<()> {
+        match (&mut self.inner, value) {
+            (_, Value::Null) => {
+                self.push_null();
+                Ok(())
+            }
+            (Array::Boolean(v, m), Value::Boolean(x)) => push(v, m, *x),
+            (Array::Int32(v, m), Value::Int32(x)) => push(v, m, *x),
+            (Array::Int64(v, m), Value::Int64(x)) => push(v, m, *x),
+            (Array::Float64(v, m), Value::Float64(x)) => push(v, m, *x),
+            (Array::Utf8(v, m), Value::Utf8(x)) => push(v, m, x.clone()),
+            (Array::Date(v, m), Value::Date(x)) => push(v, m, *x),
+            (Array::Timestamp(v, m), Value::Timestamp(x)) => push(v, m, *x),
+            (a, v) => Err(GisError::Internal(format!(
+                "builder type mismatch: array {} vs value {}",
+                a.data_type(),
+                v.data_type()
+            ))),
+        }
+    }
+
+    /// Appends a raw bool (convenience for kernel outputs).
+    pub fn push_bool(&mut self, x: bool) -> Result<()> {
+        self.push_value(&Value::Boolean(x))
+    }
+
+    /// Consumes the builder, yielding the array.
+    pub fn finish(self) -> Array {
+        self.inner
+    }
+}
+
+fn push<T>(v: &mut Vec<T>, m: &mut Bitmap, x: T) -> Result<()> {
+    v.push(x);
+    m.push(true);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_array(vals: &[Option<i64>]) -> Array {
+        let mut b = ArrayBuilder::new(DataType::Int64);
+        for v in vals {
+            match v {
+                Some(x) => b.push_value(&Value::Int64(*x)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let a = int_array(&[Some(1), None, Some(3)]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.null_count(), 1);
+        assert_eq!(a.value_at(0), Value::Int64(1));
+        assert_eq!(a.value_at(1), Value::Null);
+        assert_eq!(a.value_at(2), Value::Int64(3));
+    }
+
+    #[test]
+    fn builder_rejects_type_mismatch() {
+        let mut b = ArrayBuilder::new(DataType::Int64);
+        assert!(b.push_value(&Value::Utf8("x".into())).is_err());
+        assert!(b.push_value(&Value::Null).is_ok());
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let a = int_array(&[Some(10), None, Some(30), Some(40)]);
+        let t = a.take(&[3, 1, 0]);
+        assert_eq!(
+            t.iter_values().collect::<Vec<_>>(),
+            vec![Value::Int64(40), Value::Null, Value::Int64(10)]
+        );
+    }
+
+    #[test]
+    fn filter_keeps_marked_slots() {
+        let a = int_array(&[Some(1), Some(2), None, Some(4)]);
+        let f = a.filter(&[true, false, true, true]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.value_at(1), Value::Null);
+        assert_eq!(f.value_at(2), Value::Int64(4));
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = int_array(&[Some(1), None]);
+        let b = int_array(&[Some(3)]);
+        let c = Array::concat(&[a.clone(), b]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.slice(1, 2).value_at(1), Value::Int64(3));
+        assert!(Array::concat(&[]).is_err());
+        let s = Array::concat(&[a, Array::empty(DataType::Utf8)]);
+        assert!(s.is_err());
+    }
+
+    #[test]
+    fn cast_fast_paths_match_slow_path() {
+        let a = int_array(&[Some(1), None, Some(-5)]);
+        let fast = a.cast_to(DataType::Float64).unwrap();
+        assert_eq!(fast.value_at(0), Value::Float64(1.0));
+        assert_eq!(fast.value_at(1), Value::Null);
+        assert_eq!(fast.value_at(2), Value::Float64(-5.0));
+        // utf8 path goes through value casting
+        let s = a.cast_to(DataType::Utf8).unwrap();
+        assert_eq!(s.value_at(2), Value::Utf8("-5".into()));
+    }
+
+    #[test]
+    fn from_scalar_broadcasts() {
+        let a = Array::from_scalar(&Value::Int32(7), 4, DataType::Int64).unwrap();
+        assert_eq!(a.len(), 4);
+        assert!(a.iter_values().all(|v| v == Value::Int64(7)));
+    }
+
+    #[test]
+    fn wire_size_accounts_for_strings() {
+        let mut b = ArrayBuilder::new(DataType::Utf8);
+        b.push_value(&Value::Utf8("hello".into())).unwrap();
+        b.push_null();
+        let a = b.finish();
+        // bitmap: 1 byte; "hello": 4+5; null string: 4+0
+        assert_eq!(a.wire_size(), 1 + 9 + 4);
+    }
+
+    #[test]
+    fn nulls_constructor() {
+        let a = Array::nulls(DataType::Utf8, 3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.null_count(), 3);
+        assert_eq!(a.data_type(), DataType::Utf8);
+    }
+}

@@ -1,0 +1,225 @@
+//! The logical type system of the global schema.
+//!
+//! Component information systems expose heterogeneous native types
+//! (a 1989 IMS segment field, a DB2 DECIMAL, a flat-file string). The
+//! mediator reconciles them onto this small lattice; the catalog's
+//! mapping layer records how each component type is coerced into its
+//! global counterpart.
+
+use crate::error::{GisError, Result};
+use std::fmt;
+
+/// Logical data types understood by the global schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// The type of the SQL `NULL` literal before coercion.
+    Null,
+    /// Boolean true/false.
+    Boolean,
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 floating point.
+    Float64,
+    /// UTF-8 string of unbounded length.
+    Utf8,
+    /// Days since the Unix epoch (1970-01-01).
+    Date,
+    /// Microseconds since the Unix epoch, UTC.
+    Timestamp,
+}
+
+impl DataType {
+    /// All concrete (non-`Null`) types, useful for exhaustive tests.
+    pub const ALL_CONCRETE: [DataType; 7] = [
+        DataType::Boolean,
+        DataType::Int32,
+        DataType::Int64,
+        DataType::Float64,
+        DataType::Utf8,
+        DataType::Date,
+        DataType::Timestamp,
+    ];
+
+    /// True for types on the numeric promotion chain
+    /// `Int32 -> Int64 -> Float64`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int32 | DataType::Int64 | DataType::Float64)
+    }
+
+    /// True for integer types.
+    pub fn is_integer(self) -> bool {
+        matches!(self, DataType::Int32 | DataType::Int64)
+    }
+
+    /// True for temporal types (internally integer-backed).
+    pub fn is_temporal(self) -> bool {
+        matches!(self, DataType::Date | DataType::Timestamp)
+    }
+
+    /// Fixed wire width in bytes for a non-null element, or `None` for
+    /// variable-width types (`Utf8`). Used by the network cost model.
+    pub fn fixed_wire_width(self) -> Option<usize> {
+        match self {
+            DataType::Null => Some(0),
+            DataType::Boolean => Some(1),
+            DataType::Int32 | DataType::Date => Some(4),
+            DataType::Int64 | DataType::Float64 | DataType::Timestamp => Some(8),
+            DataType::Utf8 => None,
+        }
+    }
+
+    /// The common supertype two operand types coerce to for comparison
+    /// and arithmetic, or `None` when the pair is incompatible.
+    ///
+    /// The lattice is intentionally conservative: numerics promote
+    /// toward `Float64`, `Null` coerces to anything, temporal types only
+    /// unify with themselves, and nothing implicitly coerces to or from
+    /// `Utf8` (heterogeneity is handled *explicitly* by catalog
+    /// mappings, never by silent casts — a lesson the federated
+    /// literature repeats).
+    pub fn common_supertype(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        if self == other {
+            return Some(self);
+        }
+        match (self, other) {
+            (Null, t) | (t, Null) => Some(t),
+            (Int32, Int64) | (Int64, Int32) => Some(Int64),
+            (Int32, Float64) | (Float64, Int32) => Some(Float64),
+            (Int64, Float64) | (Float64, Int64) => Some(Float64),
+            _ => None,
+        }
+    }
+
+    /// Whether a value of `self` can be cast to `target` (possibly
+    /// lossily, e.g. `Float64 -> Int64` truncates; `Utf8` casts parse).
+    pub fn can_cast_to(self, target: DataType) -> bool {
+        use DataType::*;
+        if self == target || self == Null {
+            return true;
+        }
+        match (self, target) {
+            // Numeric <-> numeric is always castable.
+            (a, b) if a.is_numeric() && b.is_numeric() => true,
+            // Anything renders to a string.
+            (_, Utf8) => true,
+            // Strings parse to anything (runtime failure possible).
+            (Utf8, _) => true,
+            // Temporal widening/narrowing.
+            (Date, Timestamp) | (Timestamp, Date) => true,
+            // Integers can be reinterpreted as temporal payloads.
+            (a, b) if a.is_integer() && b.is_temporal() => true,
+            (a, b) if a.is_temporal() && b.is_integer() => true,
+            (Boolean, b) if b.is_numeric() => true,
+            _ => false,
+        }
+    }
+
+    /// Parses a type name as written in DDL / mapping files.
+    pub fn parse(name: &str) -> Result<DataType> {
+        match name.to_ascii_lowercase().as_str() {
+            "null" => Ok(DataType::Null),
+            "bool" | "boolean" => Ok(DataType::Boolean),
+            "int" | "int32" | "integer" => Ok(DataType::Int32),
+            "bigint" | "int64" | "long" => Ok(DataType::Int64),
+            "double" | "float64" | "float" | "real" => Ok(DataType::Float64),
+            "text" | "utf8" | "string" | "varchar" => Ok(DataType::Utf8),
+            "date" => Ok(DataType::Date),
+            "timestamp" | "datetime" => Ok(DataType::Timestamp),
+            other => Err(GisError::Catalog(format!("unknown type name '{other}'"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Null => "null",
+            DataType::Boolean => "boolean",
+            DataType::Int32 => "int32",
+            DataType::Int64 => "int64",
+            DataType::Float64 => "float64",
+            DataType::Utf8 => "utf8",
+            DataType::Date => "date",
+            DataType::Timestamp => "timestamp",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supertype_is_symmetric_and_reflexive() {
+        for &a in &DataType::ALL_CONCRETE {
+            assert_eq!(a.common_supertype(a), Some(a));
+            for &b in &DataType::ALL_CONCRETE {
+                assert_eq!(a.common_supertype(b), b.common_supertype(a));
+            }
+        }
+    }
+
+    #[test]
+    fn null_coerces_to_everything() {
+        for &t in &DataType::ALL_CONCRETE {
+            assert_eq!(DataType::Null.common_supertype(t), Some(t));
+        }
+    }
+
+    #[test]
+    fn numeric_promotion_chain() {
+        assert_eq!(
+            DataType::Int32.common_supertype(DataType::Int64),
+            Some(DataType::Int64)
+        );
+        assert_eq!(
+            DataType::Int64.common_supertype(DataType::Float64),
+            Some(DataType::Float64)
+        );
+        assert_eq!(
+            DataType::Int32.common_supertype(DataType::Float64),
+            Some(DataType::Float64)
+        );
+    }
+
+    #[test]
+    fn no_implicit_string_coercion() {
+        assert_eq!(DataType::Int64.common_supertype(DataType::Utf8), None);
+        assert_eq!(DataType::Date.common_supertype(DataType::Utf8), None);
+    }
+
+    #[test]
+    fn temporal_types_do_not_unify_with_numerics() {
+        assert_eq!(DataType::Date.common_supertype(DataType::Int32), None);
+        assert_eq!(DataType::Timestamp.common_supertype(DataType::Int64), None);
+        assert_eq!(DataType::Date.common_supertype(DataType::Timestamp), None);
+    }
+
+    #[test]
+    fn explicit_casts_are_more_permissive() {
+        assert!(DataType::Int64.can_cast_to(DataType::Utf8));
+        assert!(DataType::Utf8.can_cast_to(DataType::Int64));
+        assert!(DataType::Date.can_cast_to(DataType::Timestamp));
+        assert!(DataType::Int64.can_cast_to(DataType::Timestamp));
+        assert!(!DataType::Boolean.can_cast_to(DataType::Date));
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for &t in &DataType::ALL_CONCRETE {
+            assert_eq!(DataType::parse(&t.to_string()).unwrap(), t);
+        }
+        assert!(DataType::parse("blob").is_err());
+    }
+
+    #[test]
+    fn wire_widths() {
+        assert_eq!(DataType::Int32.fixed_wire_width(), Some(4));
+        assert_eq!(DataType::Timestamp.fixed_wire_width(), Some(8));
+        assert_eq!(DataType::Utf8.fixed_wire_width(), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Unified error type shared by every GIS crate.
+//!
+//! A federated engine has many failure domains — parsing, binding
+//! against the global catalog, planning, source/adapter execution, the
+//! (simulated) network, and the component storage engines. Each gets a
+//! variant so call sites can match on the domain, while the `Display`
+//! impl renders a single human-readable line for the CLI and tests.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = GisError> = std::result::Result<T, E>;
+
+/// The error type for all GIS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GisError {
+    /// The SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The query referenced names or used types inconsistently with the
+    /// global schema (binder / analyzer errors).
+    Analysis(String),
+    /// The planner or optimizer could not produce a plan.
+    Plan(String),
+    /// A runtime execution failure (bad cast, overflow, etc.).
+    Execution(String),
+    /// A component storage engine failed.
+    Storage(String),
+    /// The (simulated) network failed — timeouts, partitions.
+    Network(String),
+    /// A source adapter rejected a request it is not capable of.
+    Unsupported(String),
+    /// Catalog inconsistency: unknown source, table, or mapping.
+    Catalog(String),
+    /// An internal invariant was violated; indicates a bug in GIS.
+    Internal(String),
+}
+
+impl GisError {
+    /// Short machine-readable code for the failure domain.
+    pub fn code(&self) -> &'static str {
+        match self {
+            GisError::Parse(_) => "PARSE",
+            GisError::Analysis(_) => "ANALYSIS",
+            GisError::Plan(_) => "PLAN",
+            GisError::Execution(_) => "EXECUTION",
+            GisError::Storage(_) => "STORAGE",
+            GisError::Network(_) => "NETWORK",
+            GisError::Unsupported(_) => "UNSUPPORTED",
+            GisError::Catalog(_) => "CATALOG",
+            GisError::Internal(_) => "INTERNAL",
+        }
+    }
+
+    /// The human-readable message without the domain prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            GisError::Parse(m)
+            | GisError::Analysis(m)
+            | GisError::Plan(m)
+            | GisError::Execution(m)
+            | GisError::Storage(m)
+            | GisError::Network(m)
+            | GisError::Unsupported(m)
+            | GisError::Catalog(m)
+            | GisError::Internal(m) => m,
+        }
+    }
+
+    /// True when retrying the same request might succeed (transient
+    /// network conditions); used by the federation executor's retry
+    /// policy.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, GisError::Network(_))
+    }
+}
+
+impl fmt::Display for GisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code(), self.message())
+    }
+}
+
+impl std::error::Error for GisError {}
+
+/// Builds an [`GisError::Internal`] with `format!` semantics.
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        Err($crate::error::GisError::Internal(format!($($arg)*)))
+    };
+}
+
+/// Builds an [`GisError::Execution`] with `format!` semantics.
+#[macro_export]
+macro_rules! exec_err {
+    ($($arg:tt)*) => {
+        Err($crate::error::GisError::Execution(format!($($arg)*)))
+    };
+}
+
+/// Builds an [`GisError::Plan`] with `format!` semantics.
+#[macro_export]
+macro_rules! plan_err {
+    ($($arg:tt)*) => {
+        Err($crate::error::GisError::Plan(format!($($arg)*)))
+    };
+}
+
+/// Builds an [`GisError::Analysis`] with `format!` semantics.
+#[macro_export]
+macro_rules! analysis_err {
+    ($($arg:tt)*) => {
+        Err($crate::error::GisError::Analysis(format!($($arg)*)))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_message() {
+        let e = GisError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "PARSE: unexpected token");
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let errs = [
+            GisError::Parse(String::new()),
+            GisError::Analysis(String::new()),
+            GisError::Plan(String::new()),
+            GisError::Execution(String::new()),
+            GisError::Storage(String::new()),
+            GisError::Network(String::new()),
+            GisError::Unsupported(String::new()),
+            GisError::Catalog(String::new()),
+            GisError::Internal(String::new()),
+        ];
+        let mut codes: Vec<_> = errs.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
+    }
+
+    #[test]
+    fn only_network_errors_are_retryable() {
+        assert!(GisError::Network("timeout".into()).is_retryable());
+        assert!(!GisError::Storage("corrupt page".into()).is_retryable());
+        assert!(!GisError::Parse("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn macros_build_expected_variants() {
+        fn f() -> Result<()> {
+            internal_err!("bad {}", 1)
+        }
+        assert_eq!(f().unwrap_err(), GisError::Internal("bad 1".into()));
+        fn g() -> Result<()> {
+            exec_err!("overflow")
+        }
+        assert_eq!(g().unwrap_err(), GisError::Execution("overflow".into()));
+    }
+}

@@ -1,0 +1,171 @@
+//! Sort specifications shared by the planner, executor and adapters.
+//!
+//! A [`SortKey`] names a column ordinal plus direction and null
+//! placement. The mediator pushes sort keys to capable sources and
+//! merge-combines pre-sorted streams, so the spec must be a shared
+//! vocabulary rather than an executor-private detail.
+
+use crate::batch::Batch;
+use std::cmp::Ordering;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortOrder {
+    /// Ascending (default).
+    #[default]
+    Ascending,
+    /// Descending.
+    Descending,
+}
+
+impl SortOrder {
+    /// Applies the direction to a base ordering.
+    #[inline]
+    pub fn apply(self, ord: Ordering) -> Ordering {
+        match self {
+            SortOrder::Ascending => ord,
+            SortOrder::Descending => ord.reverse(),
+        }
+    }
+}
+
+/// One sort key: a column ordinal, direction, and null placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SortKey {
+    /// Column ordinal in the batch being sorted.
+    pub column: usize,
+    /// Direction.
+    pub order: SortOrder,
+    /// When true, NULLs sort before all values regardless of direction.
+    pub nulls_first: bool,
+}
+
+impl SortKey {
+    /// Ascending key with NULLs first (the engine default, matching
+    /// `Value::total_cmp`).
+    pub fn asc(column: usize) -> Self {
+        SortKey {
+            column,
+            order: SortOrder::Ascending,
+            nulls_first: true,
+        }
+    }
+
+    /// Descending key with NULLs first.
+    pub fn desc(column: usize) -> Self {
+        SortKey {
+            column,
+            order: SortOrder::Descending,
+            nulls_first: true,
+        }
+    }
+
+    /// Returns the key with the given null placement.
+    pub fn with_nulls_first(mut self, nulls_first: bool) -> Self {
+        self.nulls_first = nulls_first;
+        self
+    }
+
+    /// Compares rows `a` of `ba` and `b` of `bb` under this key.
+    pub fn compare(&self, ba: &Batch, a: usize, bb: &Batch, b: usize) -> Ordering {
+        let ca = ba.column(self.column);
+        let cb = bb.column(self.column);
+        match (ca.is_valid(a), cb.is_valid(b)) {
+            (false, false) => Ordering::Equal,
+            (false, true) => {
+                if self.nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (true, false) => {
+                if self.nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (true, true) => self.order.apply(ca.value_at(a).total_cmp(&cb.value_at(b))),
+        }
+    }
+}
+
+/// Compares two rows under a compound key (lexicographic).
+pub fn compare_rows(keys: &[SortKey], ba: &Batch, a: usize, bb: &Batch, b: usize) -> Ordering {
+    for k in keys {
+        let ord = k.compare(ba, a, bb, b);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sorts the row indices of `batch` under `keys` (stable).
+pub fn sorted_indices(batch: &Batch, keys: &[SortKey]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..batch.num_rows()).collect();
+    idx.sort_by(|&a, &b| compare_rows(keys, batch, a, batch, b));
+    idx
+}
+
+/// True when the rows of `batch` are already ordered under `keys`
+/// (used to validate pre-sorted adapter output before merging).
+pub fn is_sorted(batch: &Batch, keys: &[SortKey]) -> bool {
+    (1..batch.num_rows()).all(|i| compare_rows(keys, batch, i - 1, batch, i) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::{Field, Schema};
+    use crate::value::Value;
+
+    fn batch() -> Batch {
+        Batch::from_rows(
+            Schema::new(vec![
+                Field::new("g", DataType::Int64),
+                Field::new("v", DataType::Utf8),
+            ])
+            .into_ref(),
+            &[
+                vec![Value::Int64(2), Value::Utf8("b".into())],
+                vec![Value::Null, Value::Utf8("n".into())],
+                vec![Value::Int64(1), Value::Utf8("a".into())],
+                vec![Value::Int64(2), Value::Utf8("a".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ascending_nulls_first() {
+        let idx = sorted_indices(&batch(), &[SortKey::asc(0)]);
+        assert_eq!(idx, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn descending_nulls_last() {
+        let idx = sorted_indices(
+            &batch(),
+            &[SortKey::desc(0).with_nulls_first(false)],
+        );
+        // 2,2,1 then NULL last; stable within equal keys
+        assert_eq!(idx, vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn compound_keys_break_ties() {
+        let idx = sorted_indices(&batch(), &[SortKey::asc(0), SortKey::asc(1)]);
+        assert_eq!(idx, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        let b = batch();
+        let sorted = b.take(&sorted_indices(&b, &[SortKey::asc(0)]));
+        assert!(is_sorted(&sorted, &[SortKey::asc(0)]));
+        assert!(!is_sorted(&b, &[SortKey::asc(0)]));
+    }
+}

@@ -1,0 +1,123 @@
+//! Borrowed row views over a batch.
+//!
+//! Hash-join build sides, sort comparators and the bind-join parameter
+//! shipper all need row-wise access without materializing every value;
+//! [`Row`] provides that as a cheap `(batch, index)` pair.
+
+use crate::batch::Batch;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// A borrowed view of one row of a [`Batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    batch: &'a Batch,
+    index: usize,
+}
+
+impl<'a> Row<'a> {
+    /// A view of row `index` of `batch`.
+    pub fn new(batch: &'a Batch, index: usize) -> Self {
+        debug_assert!(index < batch.num_rows().max(1));
+        Row { batch, index }
+    }
+
+    /// The row's position within its batch.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.batch.num_columns()
+    }
+
+    /// True when the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes column `col` of this row.
+    pub fn value(&self, col: usize) -> Value {
+        self.batch.column(col).value_at(self.index)
+    }
+
+    /// True when column `col` is NULL in this row.
+    pub fn is_null(&self, col: usize) -> bool {
+        !self.batch.column(col).is_valid(self.index)
+    }
+
+    /// Materializes the whole row.
+    pub fn to_values(&self) -> Vec<Value> {
+        self.batch.row_values(self.index)
+    }
+
+    /// Compares two rows on the given column ordinals (same ordinals
+    /// applied to both sides), using total ordering.
+    pub fn cmp_on(&self, other: &Row<'_>, cols: &[usize]) -> Ordering {
+        for &c in cols {
+            let ord = self.value(c).total_cmp(&other.value(c));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Extracts the values of the given columns (join/group keys).
+    pub fn key(&self, cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| self.value(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::{Field, Schema};
+
+    fn batch() -> Batch {
+        Batch::from_rows(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Utf8),
+            ])
+            .into_ref(),
+            &[
+                vec![Value::Int64(1), Value::Utf8("x".into())],
+                vec![Value::Int64(2), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn value_access() {
+        let b = batch();
+        let r = b.row(1);
+        assert_eq!(r.value(0), Value::Int64(2));
+        assert!(r.is_null(1));
+        assert!(!b.row(0).is_null(1));
+        assert_eq!(r.to_values(), vec![Value::Int64(2), Value::Null]);
+    }
+
+    #[test]
+    fn comparison_on_key_columns() {
+        let b = batch();
+        let r0 = b.row(0);
+        let r1 = b.row(1);
+        assert_eq!(r0.cmp_on(&r1, &[0]), Ordering::Less);
+        assert_eq!(r0.cmp_on(&r0, &[0, 1]), Ordering::Equal);
+        // NULL sorts first: row1.b (NULL) < row0.b ("x")
+        assert_eq!(r1.cmp_on(&r0, &[1]), Ordering::Less);
+    }
+
+    #[test]
+    fn key_extraction() {
+        let b = batch();
+        assert_eq!(
+            b.row(0).key(&[1, 0]),
+            vec![Value::Utf8("x".into()), Value::Int64(1)]
+        );
+    }
+}

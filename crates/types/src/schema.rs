@@ -1,0 +1,312 @@
+//! Schema metadata: named, typed, nullable columns.
+//!
+//! In a federation there are *two* kinds of schema: the **global
+//! schema** users query against, and each component system's **export
+//! schema**. Both are represented by [`Schema`]; the catalog's mapping
+//! layer relates them. Field names may be qualified (`source.table.col`
+//! or `table.col`) during planning; qualification is handled here so
+//! every consumer resolves names identically.
+
+use crate::datatype::DataType;
+use crate::error::{GisError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, immutable schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+/// One column: name, type, nullability, and an optional relation
+/// qualifier (the table alias it came from).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name (unqualified).
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+    /// Relation qualifier (table or alias), if any.
+    pub qualifier: Option<String>,
+}
+
+impl Field {
+    /// A nullable field with no qualifier.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+            qualifier: None,
+        }
+    }
+
+    /// A non-nullable field.
+    pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            nullable: false,
+            ..Field::new(name, data_type)
+        }
+    }
+
+    /// Returns this field with the given qualifier.
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Self {
+        self.qualifier = Some(qualifier.into());
+        self
+    }
+
+    /// Returns this field with nullability forced to `nullable`.
+    pub fn with_nullable(mut self, nullable: bool) -> Self {
+        self.nullable = nullable;
+        self
+    }
+
+    /// `qualifier.name` when qualified, else just `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// True when `name` (and `qualifier`, if given) match.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.qualified_name(), self.data_type)?;
+        if !self.nullable {
+            write!(f, " not null")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The empty schema (zero columns).
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at ordinal `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Finds the ordinal of the unique field matching the (optionally
+    /// qualified) name. Errors on no match or ambiguity — ambiguity is
+    /// a real hazard when joining tables from different sources that
+    /// reuse column names.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if let Some(prev) = found {
+                    return Err(GisError::Analysis(format!(
+                        "ambiguous column '{}': matches both {} and {}",
+                        display_name(qualifier, name),
+                        self.fields[prev].qualified_name(),
+                        f.qualified_name()
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            GisError::Analysis(format!(
+                "column '{}' not found in schema [{}]",
+                display_name(qualifier, name),
+                self
+            ))
+        })
+    }
+
+    /// Like [`Schema::index_of`] but parses `a.b` / `b` syntax.
+    pub fn index_of_str(&self, name: &str) -> Result<usize> {
+        match name.split_once('.') {
+            Some((q, n)) => self.index_of(Some(q), n),
+            None => self.index_of(None, name),
+        }
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(right.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Projects the schema onto the given ordinals.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Returns the schema with every field re-qualified to `qualifier`
+    /// (applied when a subquery or table gets an alias).
+    pub fn requalify(&self, qualifier: &str) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| f.clone().with_qualifier(qualifier))
+                .collect(),
+        )
+    }
+
+    /// Returns the schema stripped of qualifiers (final output).
+    pub fn unqualified(&self) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| Field {
+                    qualifier: None,
+                    ..f.clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// True when `other` has the same types in the same order
+    /// (names may differ) — the compatibility check for UNION inputs.
+    pub fn type_compatible(&self, other: &Schema) -> bool {
+        self.len() == other.len()
+            && self
+                .fields
+                .iter()
+                .zip(other.fields.iter())
+                .all(|(a, b)| a.data_type == b.data_type)
+    }
+
+    /// Wraps in an [`Arc`].
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+}
+
+fn display_name(qualifier: Option<&str>, name: &str) -> String {
+    match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for field in &self.fields {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Field> for Schema {
+    fn from_iter<I: IntoIterator<Item = Field>>(iter: I) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::required("id", DataType::Int64).with_qualifier("orders"),
+            Field::new("total", DataType::Float64).with_qualifier("orders"),
+            Field::required("id", DataType::Int64).with_qualifier("customers"),
+            Field::new("name", DataType::Utf8).with_qualifier("customers"),
+        ])
+    }
+
+    #[test]
+    fn qualified_lookup_disambiguates() {
+        let s = sample();
+        assert_eq!(s.index_of(Some("orders"), "id").unwrap(), 0);
+        assert_eq!(s.index_of(Some("customers"), "id").unwrap(), 2);
+        assert!(s.index_of(None, "id").is_err()); // ambiguous
+        assert_eq!(s.index_of(None, "name").unwrap(), 3);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of(Some("ORDERS"), "ID").unwrap(), 0);
+        assert_eq!(s.index_of_str("Customers.Name").unwrap(), 3);
+    }
+
+    #[test]
+    fn missing_column_reports_schema() {
+        let err = sample().index_of(None, "missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+        assert!(err.to_string().contains("orders.id"));
+    }
+
+    #[test]
+    fn join_and_project() {
+        let left = Schema::new(vec![Field::new("a", DataType::Int64)]);
+        let right = Schema::new(vec![Field::new("b", DataType::Utf8)]);
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 2);
+        let proj = joined.project(&[1]);
+        assert_eq!(proj.field(0).name, "b");
+    }
+
+    #[test]
+    fn requalify_and_unqualify() {
+        let s = sample().requalify("t");
+        assert_eq!(s.index_of(Some("t"), "name").unwrap(), 3);
+        assert!(s.index_of(Some("orders"), "id").is_err());
+        let u = s.unqualified();
+        assert!(u.fields().iter().all(|f| f.qualifier.is_none()));
+    }
+
+    #[test]
+    fn union_type_compatibility() {
+        let a = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let b = Schema::new(vec![Field::new("y", DataType::Int64)]);
+        let c = Schema::new(vec![Field::new("x", DataType::Utf8)]);
+        assert!(a.type_compatible(&b));
+        assert!(!a.type_compatible(&c));
+    }
+}

@@ -1,0 +1,526 @@
+//! Dynamically-typed scalar values.
+//!
+//! `Value` is the plan-time and row-at-a-time representation: literals
+//! in expressions, keys shipped during bind-joins, aggregate
+//! accumulator state, and the payload of KV component stores.
+
+use crate::datatype::DataType;
+use crate::error::{GisError, Result};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single dynamically-typed scalar value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Boolean(bool),
+    /// 32-bit integer.
+    Int32(i32),
+    /// 64-bit integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// UTF-8 string.
+    Utf8(String),
+    /// Days since epoch.
+    Date(i32),
+    /// Microseconds since epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The logical type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Boolean(_) => DataType::Boolean,
+            Value::Int32(_) => DataType::Int32,
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Utf8(_) => DataType::Utf8,
+            Value::Date(_) => DataType::Date,
+            Value::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    /// True iff this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Approximate bytes this value occupies on the simulated wire.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Boolean(_) => 1,
+            Value::Int32(_) | Value::Date(_) => 4,
+            Value::Int64(_) | Value::Float64(_) | Value::Timestamp(_) => 8,
+            Value::Utf8(s) => 4 + s.len(),
+        }
+    }
+
+    /// Extracts a boolean, erroring on any other non-null type.
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Boolean(b) => Ok(Some(*b)),
+            other => Err(GisError::Execution(format!(
+                "expected boolean, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Numeric view as f64 (integers widen), `None` for NULL.
+    pub fn as_f64(&self) -> Result<Option<f64>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Int32(v) => Ok(Some(*v as f64)),
+            Value::Int64(v) => Ok(Some(*v as f64)),
+            Value::Float64(v) => Ok(Some(*v)),
+            other => Err(GisError::Execution(format!(
+                "expected numeric, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Integer view as i64 (Int32 widens), `None` for NULL.
+    pub fn as_i64(&self) -> Result<Option<i64>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Int32(v) => Ok(Some(*v as i64)),
+            Value::Int64(v) => Ok(Some(*v)),
+            Value::Date(v) => Ok(Some(*v as i64)),
+            Value::Timestamp(v) => Ok(Some(*v)),
+            other => Err(GisError::Execution(format!(
+                "expected integer, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// String view, `None` for NULL.
+    pub fn as_str(&self) -> Result<Option<&str>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Utf8(s) => Ok(Some(s)),
+            other => Err(GisError::Execution(format!(
+                "expected utf8, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Casts this value to `target`, following the permissive explicit
+    /// cast rules of [`DataType::can_cast_to`]. NULL casts to NULL.
+    pub fn cast_to(&self, target: DataType) -> Result<Value> {
+        use DataType as T;
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        if self.data_type() == target {
+            return Ok(self.clone());
+        }
+        let fail = || {
+            Err(GisError::Execution(format!(
+                "cannot cast {} value {self} to {target}",
+                self.data_type()
+            )))
+        };
+        match (self, target) {
+            (Value::Int32(v), T::Int64) => Ok(Value::Int64(*v as i64)),
+            (Value::Int32(v), T::Float64) => Ok(Value::Float64(*v as f64)),
+            (Value::Int64(v), T::Int32) => i32::try_from(*v)
+                .map(Value::Int32)
+                .map_err(|_| GisError::Execution(format!("int64 {v} overflows int32"))),
+            (Value::Int64(v), T::Float64) => Ok(Value::Float64(*v as f64)),
+            (Value::Float64(v), T::Int32) => {
+                if v.is_finite() && *v >= i32::MIN as f64 && *v <= i32::MAX as f64 {
+                    Ok(Value::Int32(*v as i32))
+                } else {
+                    Err(GisError::Execution(format!("float {v} overflows int32")))
+                }
+            }
+            (Value::Float64(v), T::Int64) => {
+                if v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
+                    Ok(Value::Int64(*v as i64))
+                } else {
+                    Err(GisError::Execution(format!("float {v} overflows int64")))
+                }
+            }
+            (Value::Boolean(b), t) if t.is_numeric() => {
+                Value::Int32(i32::from(*b)).cast_to(t)
+            }
+            (v, T::Utf8) => Ok(Value::Utf8(v.to_string())),
+            (Value::Utf8(s), t) => cast_str(s, t),
+            (Value::Date(d), T::Timestamp) => {
+                Ok(Value::Timestamp((*d as i64) * 86_400_000_000))
+            }
+            (Value::Timestamp(us), T::Date) => {
+                Ok(Value::Date(us.div_euclid(86_400_000_000) as i32))
+            }
+            (Value::Int32(v), T::Date) => Ok(Value::Date(*v)),
+            (Value::Int64(v), T::Date) => i32::try_from(*v)
+                .map(Value::Date)
+                .map_err(|_| GisError::Execution(format!("int64 {v} overflows date"))),
+            (Value::Int32(v), T::Timestamp) => Ok(Value::Timestamp(*v as i64)),
+            (Value::Int64(v), T::Timestamp) => Ok(Value::Timestamp(*v)),
+            (Value::Date(d), t) if t.is_integer() => Value::Int32(*d).cast_to(t),
+            (Value::Timestamp(us), t) if t.is_integer() => Value::Int64(*us).cast_to(t),
+            _ => fail(),
+        }
+    }
+
+    /// Total order used for sorting and merge operations.
+    ///
+    /// NULLs sort *first* (before any value); floats use IEEE total
+    /// ordering so the comparison is total even in the presence of NaN.
+    /// Cross-type comparisons between numerics widen to f64; any other
+    /// cross-type pair is ordered by type tag (stable, arbitrary), which
+    /// keeps sorting total without panicking on mixed inputs.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Int32(a), Int32(b)) => a.cmp(b),
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.total_cmp(b),
+            (Utf8(a), Utf8(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (a, b) if a.data_type().is_numeric() && b.data_type().is_numeric() => {
+                let fa = a.as_f64().unwrap_or(None).unwrap_or(f64::NAN);
+                let fb = b.as_f64().unwrap_or(None).unwrap_or(f64::NAN);
+                fa.total_cmp(&fb)
+            }
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// SQL equality (`=` semantics): NULL equals nothing, numerics
+    /// compare by value across widths. Returns `None` when either side
+    /// is NULL (three-valued logic).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Boolean(_) => 1,
+        Value::Int32(_) => 2,
+        Value::Int64(_) => 3,
+        Value::Float64(_) => 4,
+        Value::Utf8(_) => 5,
+        Value::Date(_) => 6,
+        Value::Timestamp(_) => 7,
+    }
+}
+
+fn cast_str(s: &str, target: DataType) -> Result<Value> {
+    let t = s.trim();
+    let err = |what: &str| {
+        Err(GisError::Execution(format!(
+            "cannot parse '{s}' as {what}"
+        )))
+    };
+    match target {
+        DataType::Boolean => match t.to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Ok(Value::Boolean(true)),
+            "false" | "f" | "0" => Ok(Value::Boolean(false)),
+            _ => err("boolean"),
+        },
+        DataType::Int32 => t.parse().map(Value::Int32).or_else(|_| err("int32")),
+        DataType::Int64 => t.parse().map(Value::Int64).or_else(|_| err("int64")),
+        DataType::Float64 => t.parse().map(Value::Float64).or_else(|_| err("float64")),
+        DataType::Date => parse_date(t).map(Value::Date).ok_or_else(|| {
+            GisError::Execution(format!("cannot parse '{s}' as date (want YYYY-MM-DD)"))
+        }),
+        DataType::Timestamp => {
+            // Accept either a raw integer (microseconds) or a date.
+            if let Ok(us) = t.parse::<i64>() {
+                Ok(Value::Timestamp(us))
+            } else if let Some(d) = parse_date(t) {
+                Ok(Value::Timestamp(d as i64 * 86_400_000_000))
+            } else {
+                err("timestamp")
+            }
+        }
+        DataType::Utf8 => Ok(Value::Utf8(s.to_string())),
+        DataType::Null => Ok(Value::Null),
+    }
+}
+
+/// Parses `YYYY-MM-DD` into days since the Unix epoch using the
+/// proleptic Gregorian calendar. Returns `None` on malformed input.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.splitn(3, '-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    if d > days_in_month(y, m) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+/// Formats days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(y) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+// Howard Hinnant's civil-days algorithms.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+fn civil_from_days(z: i32) -> (i64, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Utf8(s) => f.write_str(s),
+            Value::Date(d) => f.write_str(&format_date(*d)),
+            Value::Timestamp(us) => write!(f, "ts:{us}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash must agree with total_cmp equality: numerics that compare
+        // equal across widths must hash identically, so all numerics
+        // hash through a canonical f64 bit pattern (integers in the
+        // f64-exact range) or their exact i64 when out of range.
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Boolean(b) => {
+                state.write_u8(1);
+                state.write_u8(u8::from(*b));
+            }
+            Value::Int32(v) => hash_numeric(*v as f64, Some(*v as i64), state),
+            Value::Int64(v) => hash_numeric(*v as f64, Some(*v), state),
+            Value::Float64(v) => hash_numeric(*v, exact_i64(*v), state),
+            Value::Utf8(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(6);
+                state.write_i32(*d);
+            }
+            Value::Timestamp(us) => {
+                state.write_u8(7);
+                state.write_i64(*us);
+            }
+        }
+    }
+}
+
+fn exact_i64(v: f64) -> Option<i64> {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        Some(v as i64)
+    } else {
+        None
+    }
+}
+
+fn hash_numeric<H: Hasher>(f: f64, exact: Option<i64>, state: &mut H) {
+    state.write_u8(2);
+    match exact {
+        Some(i) => state.write_i64(i),
+        None => {
+            // Normalize -0.0 to 0.0 so they hash alike (they compare
+            // unequal under total_cmp, but equal hashing is still safe).
+            let f = if f == 0.0 { 0.0 } else { f };
+            state.write_u64(f.to_bits());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn cross_width_numeric_equality_and_hash() {
+        let a = Value::Int32(42);
+        let b = Value::Int64(42);
+        let c = Value::Float64(42.0);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(hash_of(&b), hash_of(&c));
+    }
+
+    #[test]
+    fn null_sorts_first_and_equals_nothing() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int64(i64::MIN)), Ordering::Less);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int64(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int64(1).sql_eq(&Value::Int64(1)), Some(true));
+    }
+
+    #[test]
+    fn casts_roundtrip_between_int_widths() {
+        assert_eq!(
+            Value::Int32(7).cast_to(DataType::Int64).unwrap(),
+            Value::Int64(7)
+        );
+        assert!(Value::Int64(i64::MAX).cast_to(DataType::Int32).is_err());
+        assert_eq!(
+            Value::Float64(3.9).cast_to(DataType::Int64).unwrap(),
+            Value::Int64(3)
+        );
+        assert!(Value::Float64(f64::NAN).cast_to(DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn string_casts_parse_and_render() {
+        assert_eq!(
+            Value::Utf8("123".into()).cast_to(DataType::Int64).unwrap(),
+            Value::Int64(123)
+        );
+        assert_eq!(
+            Value::Int64(5).cast_to(DataType::Utf8).unwrap(),
+            Value::Utf8("5".into())
+        );
+        assert!(Value::Utf8("abc".into()).cast_to(DataType::Int64).is_err());
+        assert_eq!(
+            Value::Utf8(" true ".into())
+                .cast_to(DataType::Boolean)
+                .unwrap(),
+            Value::Boolean(true)
+        );
+    }
+
+    #[test]
+    fn date_parsing_and_formatting() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("2000-02-29"), Some(11016));
+        assert_eq!(parse_date("1900-02-29"), None); // not a leap year
+        assert_eq!(parse_date("2024-13-01"), None);
+        for d in [-1000, -1, 0, 1, 10957, 20000] {
+            assert_eq!(parse_date(&format_date(d)), Some(d), "roundtrip {d}");
+        }
+    }
+
+    #[test]
+    fn date_timestamp_casts() {
+        let d = Value::Date(1); // 1970-01-02
+        let ts = d.cast_to(DataType::Timestamp).unwrap();
+        assert_eq!(ts, Value::Timestamp(86_400_000_000));
+        assert_eq!(ts.cast_to(DataType::Date).unwrap(), Value::Date(1));
+        // Negative timestamps floor toward earlier days.
+        assert_eq!(
+            Value::Timestamp(-1).cast_to(DataType::Date).unwrap(),
+            Value::Date(-1)
+        );
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Value::Int64(0).wire_size(), 8);
+        assert_eq!(Value::Utf8("abcd".into()).wire_size(), 8);
+        assert_eq!(Value::Null.wire_size(), 1);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let mut vs = vec![
+            Value::Float64(f64::NAN),
+            Value::Float64(1.0),
+            Value::Float64(f64::NEG_INFINITY),
+            Value::Null,
+        ];
+        vs.sort();
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Float64(f64::NEG_INFINITY));
+    }
+}

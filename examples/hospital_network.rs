@@ -1,0 +1,161 @@
+//! A hospital network federation — the classic GIS motivating
+//! scenario: patient registries at independent sites, a shared lab
+//! system, and a national drug catalog, each autonomous, queried
+//! through one global schema.
+//!
+//! Demonstrates: multi-site UNION views, schema mappings with value
+//! recodes (site-local sex codes → global strings), fault injection
+//! (a site drops off the network mid-session), and per-source
+//! traffic attribution.
+//!
+//! ```sh
+//! cargo run --example hospital_network
+//! ```
+
+use gis::prelude::*;
+use std::sync::Arc;
+
+fn patients_site(name: &str, id_base: i64, n: i64) -> Result<RelationalAdapter> {
+    let site = RelationalAdapter::new(name);
+    let schema = Schema::new(vec![
+        Field::required("pid", DataType::Int64),
+        Field::new("surname", DataType::Utf8),
+        Field::new("sex_code", DataType::Int32),
+        Field::new("birth", DataType::Date),
+    ])
+    .into_ref();
+    let mut store = RowStore::new("patients", schema, Some(0))?;
+    for i in 0..n {
+        store.insert(vec![
+            Value::Int64(id_base + i),
+            Value::Utf8(format!("{name}-fam{i}")),
+            Value::Int32((i % 2 + 1) as i32),
+            Value::Date(-(i * 137 % 20000) as i32),
+        ])?;
+    }
+    site.add_table(store);
+    Ok(site)
+}
+
+fn main() -> Result<()> {
+    let fed = Federation::new();
+
+    // Two patient registries at different hospitals (different
+    // latencies: one regional, one overseas).
+    for (name, base, n, conditions) in [
+        ("st_olav", 1000, 40, NetworkConditions::with_latency_ms(10)),
+        ("mercy_general", 2000, 60, NetworkConditions::with_latency_ms(120)),
+    ] {
+        let site = patients_site(name, base, n)?;
+        fed.add_source(Arc::new(site) as Arc<dyn SourceAdapter>, conditions)?;
+        // Map each site's registry to a global view with recoded sex.
+        let export = fed
+            .catalog()
+            .resolve(Some(name), "patients")?
+            .table
+            .export_schema
+            .clone();
+        let _ = &export;
+        fed.add_global_mapping(TableMapping {
+            global_name: format!("patients_{name}"),
+            source: name.into(),
+            source_table: "patients".into(),
+            columns: vec![
+                ColumnMapping {
+                    global: Field::required("patient_id", DataType::Int64),
+                    source_column: "pid".into(),
+                    transform: Transform::Identity,
+                },
+                ColumnMapping {
+                    global: Field::new("surname", DataType::Utf8),
+                    source_column: "surname".into(),
+                    transform: Transform::Identity,
+                },
+                ColumnMapping {
+                    global: Field::new("sex", DataType::Utf8),
+                    source_column: "sex_code".into(),
+                    transform: Transform::ValueMap(vec![
+                        (Value::Int32(1), Value::Utf8("F".into())),
+                        (Value::Int32(2), Value::Utf8("M".into())),
+                    ]),
+                },
+                ColumnMapping {
+                    global: Field::new("birth", DataType::Date),
+                    source_column: "birth".into(),
+                    transform: Transform::Identity,
+                },
+            ],
+        })?;
+    }
+
+    // A shared lab system (columnar, scan-only).
+    let lab = ColumnarAdapter::new("lab");
+    let lab_schema = Schema::new(vec![
+        Field::required("sample_id", DataType::Int64),
+        Field::new("patient_id", DataType::Int64),
+        Field::new("assay", DataType::Utf8),
+        Field::new("value", DataType::Float64),
+    ])
+    .into_ref();
+    let mut results = ColumnStore::new("results", lab_schema);
+    for s in 0..800i64 {
+        let pid = if s % 2 == 0 { 1000 + s % 40 } else { 2000 + s % 60 };
+        results.append(vec![
+            Value::Int64(s),
+            Value::Int64(pid),
+            Value::Utf8(["hba1c", "ldl", "crp"][(s % 3) as usize].into()),
+            Value::Float64((s % 90) as f64 / 10.0),
+        ])?;
+    }
+    lab.add_table(results);
+    fed.add_source(
+        Arc::new(lab) as Arc<dyn SourceAdapter>,
+        NetworkConditions::with_latency_ms(5),
+    )?;
+    fed.add_global_identity("lab_results", "lab", "results")?;
+
+    // The global patient view: a UNION over the sites.
+    let union_view = "SELECT * FROM patients_st_olav UNION ALL SELECT * FROM patients_mercy_general";
+
+    println!("== Patients per sex across all sites");
+    let r = fed.query(&format!(
+        "SELECT sex, count(*) AS n FROM ({union_view}) AS patients GROUP BY sex ORDER BY sex"
+    ))?;
+    println!("{}", r.batch.to_table());
+    println!("   per-source traffic:\n{}", r.metrics);
+
+    println!("== Elevated HbA1c by site (federated join, selective)");
+    let sql = format!(
+        "SELECT p.surname, l.value \
+         FROM ({union_view}) AS p JOIN lab_results l ON p.patient_id = l.patient_id \
+         WHERE l.assay = 'hba1c' AND l.value > 8.0 \
+         ORDER BY l.value DESC LIMIT 8"
+    );
+    let r = fed.query(&sql)?;
+    println!("{}", r.batch.to_table());
+    println!("   {}", r.metrics.summary());
+
+    // A site becomes unreachable: queries that need it fail loudly
+    // (after transparent retries); queries that don't, keep working.
+    println!("\n== Partitioning mercy_general…");
+    let link = fed
+        .source_link("mercy_general")
+        .expect("registered source");
+    link.faults().partition();
+    match fed.query("SELECT count(*) FROM patients_mercy_general") {
+        Ok(_) => println!("   unexpected success"),
+        Err(e) => println!("   query through the partition fails: {e}"),
+    }
+    let q_ok = fed.query("SELECT count(*) FROM patients_st_olav")?;
+    println!(
+        "   st_olav still answers: {} patients",
+        q_ok.batch.row_values(0)[0]
+    );
+    link.faults().heal();
+    let back = fed.query("SELECT count(*) FROM patients_mercy_general")?;
+    println!(
+        "   healed; mercy_general answers again: {} patients",
+        back.batch.row_values(0)[0]
+    );
+    Ok(())
+}

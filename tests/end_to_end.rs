@@ -1,0 +1,298 @@
+//! Workspace-level integration tests: the full stack through the
+//! umbrella crate's public API, on the FedMart workload.
+
+use gis::prelude::*;
+
+fn fed() -> FedMart {
+    build_fedmart(FedMartConfig::tiny()).expect("fedmart")
+}
+
+#[test]
+fn counts_match_generator_sizes() {
+    let fm = fed();
+    let f = &fm.federation;
+    let count = |sql: &str| -> i64 {
+        match f.query(sql).unwrap().batch.row_values(0)[0] {
+            Value::Int64(n) => n,
+            ref other => panic!("unexpected {other:?}"),
+        }
+    };
+    assert_eq!(count("SELECT count(*) FROM customers"), fm.sizes.customers as i64);
+    assert_eq!(count("SELECT count(*) FROM orders"), fm.sizes.orders as i64);
+    assert_eq!(count("SELECT count(*) FROM products"), fm.sizes.products as i64);
+    assert_eq!(
+        count("SELECT count(*) FROM stock"),
+        (fm.sizes.products * fm.sizes.warehouses) as i64
+    );
+    assert_eq!(count("SELECT count(*) FROM regions"), 8);
+}
+
+#[test]
+fn referential_integrity_via_anti_join() {
+    let fm = fed();
+    // Every order's customer exists: ANTI join must be empty.
+    let r = fm
+        .federation
+        .query(
+            "SELECT o.order_id FROM orders o ANTI JOIN customers c ON o.cust_id = c.id",
+        )
+        .unwrap();
+    assert_eq!(r.batch.num_rows(), 0);
+    // And every order's product exists.
+    let r2 = fm
+        .federation
+        .query(
+            "SELECT o.order_id FROM orders o ANTI JOIN products p ON o.product_id = p.product_id",
+        )
+        .unwrap();
+    assert_eq!(r2.batch.num_rows(), 0);
+}
+
+#[test]
+fn aggregate_decomposition_consistency() {
+    // sum over a join grouped one way must total the same as grouped
+    // another way and as the ungrouped sum.
+    let fm = fed();
+    let f = &fm.federation;
+    let total = match f
+        .query("SELECT sum(amount) FROM orders")
+        .unwrap()
+        .batch
+        .row_values(0)[0]
+    {
+        Value::Float64(v) => v,
+        ref other => panic!("unexpected {other:?}"),
+    };
+    for group_col in ["c.region", "c.tier"] {
+        let sql = format!(
+            "SELECT {group_col}, sum(o.amount) FROM customers c \
+             JOIN orders o ON c.id = o.cust_id GROUP BY {group_col}"
+        );
+        let r = f.query(&sql).unwrap();
+        let grouped: f64 = r
+            .batch
+            .to_rows()
+            .iter()
+            .map(|row| match &row[1] {
+                Value::Float64(v) => *v,
+                _ => 0.0,
+            })
+            .sum();
+        assert!(
+            (grouped - total).abs() < 1e-6 * total.abs().max(1.0),
+            "{group_col}: {grouped} != {total}"
+        );
+    }
+}
+
+#[test]
+fn subqueries_and_unions_compose() {
+    let fm = fed();
+    let r = fm
+        .federation
+        .query(
+            "SELECT region, n FROM \
+             (SELECT region, count(*) AS n FROM customers GROUP BY region) AS per_region \
+             WHERE n > 0 ORDER BY n DESC, region LIMIT 3",
+        )
+        .unwrap();
+    assert_eq!(r.batch.num_rows(), 3);
+    let union = fm
+        .federation
+        .query(
+            "SELECT id FROM customers WHERE id < 2 \
+             UNION ALL SELECT product_id FROM products WHERE product_id < 2 \
+             ORDER BY 1",
+        )
+        .unwrap();
+    assert_eq!(union.batch.num_rows(), 4);
+}
+
+#[test]
+fn scalar_functions_over_federated_data() {
+    let fm = fed();
+    let r = fm
+        .federation
+        .query(
+            "SELECT upper(substr(name, 1, 4)) AS prefix, length(name) AS len \
+             FROM customers WHERE id = 0",
+        )
+        .unwrap();
+    let row = r.batch.row_values(0);
+    assert_eq!(row[0], Value::Utf8("CUST".into()));
+    assert!(matches!(row[1], Value::Int64(n) if n > 4));
+    let r2 = fm
+        .federation
+        .query("SELECT year(since) AS y FROM customers WHERE id = 0")
+        .unwrap();
+    assert!(matches!(r2.batch.row_values(0)[0], Value::Int64(y) if (1989..=2022).contains(&y)));
+}
+
+#[test]
+fn case_and_distinct_aggregates() {
+    let fm = fed();
+    let r = fm
+        .federation
+        .query(
+            "SELECT count(DISTINCT cust_id) AS buyers, \
+                    sum(CASE WHEN amount > 500.0 THEN 1 ELSE 0 END) AS big \
+             FROM orders",
+        )
+        .unwrap();
+    let row = r.batch.row_values(0);
+    let buyers = match row[0] {
+        Value::Int64(n) => n,
+        ref o => panic!("{o:?}"),
+    };
+    assert!(buyers > 0 && buyers <= fm.sizes.customers as i64);
+    assert!(matches!(row[1], Value::Int64(b) if b > 0));
+}
+
+#[test]
+fn strategy_forcing_is_result_invariant_on_fedmart() {
+    let fm = fed();
+    let f = &fm.federation;
+    let sql = "SELECT c.tier, count(*) AS n FROM customers c \
+               JOIN orders o ON c.id = o.cust_id \
+               WHERE c.balance > 0.0 GROUP BY c.tier ORDER BY c.tier";
+    let mut reference = None;
+    for strategy in [
+        JoinStrategy::ShipWhole,
+        JoinStrategy::SemiJoin,
+        JoinStrategy::BindJoin,
+    ] {
+        f.set_exec_options(ExecOptions {
+            join_strategy: strategy,
+            bind_batch_size: 17, // deliberately odd chunking
+            ..ExecOptions::default()
+        });
+        let rows = f.query(sql).unwrap().batch.to_rows();
+        match &reference {
+            None => reference = Some(rows),
+            Some(want) => assert_eq!(&rows, want),
+        }
+    }
+}
+
+#[test]
+fn optimizer_ablations_are_result_invariant() {
+    let fm = fed();
+    let f = &fm.federation;
+    let sql = "SELECT c.region, sum(o.amount) AS rev FROM customers c \
+               JOIN orders o ON c.id = o.cust_id \
+               WHERE o.quantity >= 10 AND c.balance > -100.0 \
+               GROUP BY c.region ORDER BY rev DESC";
+    let reference = f.query(sql).unwrap().batch.to_rows();
+    for opts in [
+        OptimizerOptions::naive(),
+        OptimizerOptions {
+            predicate_pushdown: false,
+            ..OptimizerOptions::default()
+        },
+        OptimizerOptions {
+            projection_pruning: false,
+            ..OptimizerOptions::default()
+        },
+        OptimizerOptions {
+            join_reorder: false,
+            ..OptimizerOptions::default()
+        },
+        OptimizerOptions {
+            fold_constants: false,
+            ..OptimizerOptions::default()
+        },
+    ] {
+        f.set_optimizer_options(opts);
+        let rows = f.query(sql).unwrap().batch.to_rows();
+        assert_eq!(rows, reference, "ablation {opts:?} changed results");
+    }
+}
+
+#[test]
+fn parallel_fetch_is_result_invariant() {
+    let fm = build_fedmart(FedMartConfig {
+        sales_partitions: 4,
+        ..FedMartConfig::tiny()
+    })
+    .unwrap();
+    let f = &fm.federation;
+    let sql = format!(
+        "SELECT cust_id, count(*) AS n FROM {} \
+         GROUP BY cust_id ORDER BY n DESC, cust_id LIMIT 20",
+        fm.orders_from_clause()
+    );
+    f.set_exec_options(ExecOptions::default());
+    let sequential = f.query(&sql).unwrap();
+    f.set_exec_options(ExecOptions {
+        parallel_fetch: true,
+        ..ExecOptions::default()
+    });
+    let parallel = f.query(&sql).unwrap();
+    assert_eq!(sequential.batch.to_rows(), parallel.batch.to_rows());
+    assert_eq!(
+        sequential.metrics.bytes_shipped,
+        parallel.metrics.bytes_shipped
+    );
+    // The busiest-link bound is below the sequential total when work
+    // is spread over several sources.
+    assert!(
+        parallel.metrics.virtual_parallel_us() < parallel.metrics.virtual_network_us,
+        "parallel bound {} vs sequential {}",
+        parallel.metrics.virtual_parallel_us(),
+        parallel.metrics.virtual_network_us
+    );
+}
+
+#[test]
+fn metrics_are_consistent() {
+    let fm = fed();
+    let r = fm
+        .federation
+        .query("SELECT name FROM customers WHERE id < 5")
+        .unwrap();
+    let per_source_bytes: u64 = r.metrics.per_source.values().map(|t| t.bytes).sum();
+    assert_eq!(per_source_bytes, r.metrics.bytes_shipped);
+    let per_source_msgs: u64 = r.metrics.per_source.values().map(|t| t.messages).sum();
+    assert_eq!(per_source_msgs, r.metrics.messages);
+    assert_eq!(r.metrics.rows_returned, 5);
+    assert!(r.metrics.virtual_network_us > 0);
+}
+
+#[test]
+fn explain_mentions_every_source_used() {
+    let fm = fed();
+    let plan = fm
+        .federation
+        .explain(
+            "SELECT c.name, p.pname FROM customers c \
+             JOIN orders o ON c.id = o.cust_id \
+             JOIN products p ON o.product_id = p.product_id \
+             WHERE c.id = 1",
+        )
+        .unwrap();
+    assert!(plan.contains("crm"), "{plan}");
+    assert!(plan.contains("sales"), "{plan}");
+    assert!(plan.contains("inventory"), "{plan}");
+}
+
+#[test]
+fn order_by_with_nulls_and_offsets() {
+    let fm = fed();
+    let r = fm
+        .federation
+        .query("SELECT id, balance FROM customers ORDER BY balance DESC LIMIT 5 OFFSET 2")
+        .unwrap();
+    assert_eq!(r.batch.num_rows(), 5);
+    let balances: Vec<f64> = r
+        .batch
+        .to_rows()
+        .iter()
+        .map(|row| match row[1] {
+            Value::Float64(v) => v,
+            _ => f64::NAN,
+        })
+        .collect();
+    for w in balances.windows(2) {
+        assert!(w[0] >= w[1], "not descending: {balances:?}");
+    }
+}

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 pub struct ColumnarAdapter {
     name: String,
     tables: RwLock<BTreeMap<String, ColumnStore>>,
+    data_version: std::sync::atomic::AtomicU64,
 }
 
 impl ColumnarAdapter {
@@ -25,6 +26,7 @@ impl ColumnarAdapter {
         ColumnarAdapter {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
+            data_version: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -32,32 +34,38 @@ impl ColumnarAdapter {
     pub fn add_table(&self, store: ColumnStore) {
         let key = store.name().to_ascii_lowercase();
         self.tables.write().insert(key, store);
+        self.bump_data_version();
     }
 
     /// Appends rows to a table.
-    pub fn load(
-        &self,
-        table: &str,
-        rows: impl IntoIterator<Item = Vec<Value>>,
-    ) -> Result<usize> {
+    pub fn load(&self, table: &str, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<usize> {
         let mut tables = self.tables.write();
         let store = tables
             .get_mut(&table.to_ascii_lowercase())
             .ok_or_else(|| self.no_table(table))?;
-        store.append_many(rows)
+        let n = store.append_many(rows)?;
+        drop(tables);
+        self.bump_data_version();
+        Ok(n)
+    }
+
+    fn bump_data_version(&self) {
+        self.data_version
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     fn no_table(&self, table: &str) -> GisError {
-        GisError::Storage(format!(
-            "source '{}' has no table '{table}'",
-            self.name
-        ))
+        GisError::Storage(format!("source '{}' has no table '{table}'", self.name))
     }
 }
 
 impl SourceAdapter for ColumnarAdapter {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn data_version(&self) -> u64 {
+        self.data_version.load(std::sync::atomic::Ordering::Acquire)
     }
 
     fn kind(&self) -> &'static str {
@@ -90,9 +98,26 @@ impl SourceAdapter for ColumnarAdapter {
 
     fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>> {
         request.check_capabilities(&self.capabilities())?;
-        let mut tables = self.tables.write();
+        let key = request.table().to_ascii_lowercase();
+        // Seal any append buffer under a short exclusive lock, then
+        // scan under shared access — concurrent queries against one
+        // column store must not serialize on a write lock.
+        {
+            let tables = self.tables.read();
+            let store = tables
+                .get(&key)
+                .ok_or_else(|| self.no_table(request.table()))?;
+            if store.unsealed_rows() > 0 {
+                drop(tables);
+                let mut tables = self.tables.write();
+                if let Some(store) = tables.get_mut(&key) {
+                    store.seal()?;
+                }
+            }
+        }
+        let tables = self.tables.read();
         let store = tables
-            .get_mut(&request.table().to_ascii_lowercase())
+            .get(&key)
             .ok_or_else(|| self.no_table(request.table()))?;
         match request {
             SourceRequest::Scan {
@@ -102,7 +127,7 @@ impl SourceAdapter for ColumnarAdapter {
                 ..
             } => {
                 let (batch, _metrics) =
-                    store.scan(predicates, projection, limit.map(|l| l as usize))?;
+                    store.scan_sealed(predicates, projection, limit.map(|l| l as usize))?;
                 Ok(vec![batch])
             }
             SourceRequest::Aggregate { .. } => Err(GisError::Unsupported(format!(
@@ -123,9 +148,7 @@ impl SourceAdapter for ColumnarAdapter {
                 let mut seen = std::collections::HashSet::new();
                 for key in keys {
                     if key.len() != key_columns.len() {
-                        return Err(GisError::Internal(
-                            "lookup key width mismatch".into(),
-                        ));
+                        return Err(GisError::Internal("lookup key width mismatch".into()));
                     }
                     if !seen.insert(key.clone()) || key.iter().any(Value::is_null) {
                         continue;
@@ -135,7 +158,7 @@ impl SourceAdapter for ColumnarAdapter {
                         .zip(key)
                         .map(|(&c, v)| ScanPredicate::new(c, CmpOp::Eq, v.clone()))
                         .collect();
-                    let (batch, _) = store.scan(&preds, projection, None)?;
+                    let (batch, _) = store.scan_sealed(&preds, projection, None)?;
                     if batch.num_rows() > 0 {
                         parts.push(batch);
                     }

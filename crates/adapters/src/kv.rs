@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 pub struct KvAdapter {
     name: String,
     tables: RwLock<BTreeMap<String, KvStore>>,
+    data_version: std::sync::atomic::AtomicU64,
 }
 
 impl KvAdapter {
@@ -34,6 +35,7 @@ impl KvAdapter {
         KvAdapter {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
+            data_version: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -41,14 +43,11 @@ impl KvAdapter {
     pub fn add_table(&self, store: KvStore) {
         let key = store.name().to_ascii_lowercase();
         self.tables.write().insert(key, store);
+        self.bump_data_version();
     }
 
     /// Puts rows into a table.
-    pub fn load(
-        &self,
-        table: &str,
-        rows: impl IntoIterator<Item = Vec<Value>>,
-    ) -> Result<usize> {
+    pub fn load(&self, table: &str, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<usize> {
         let mut tables = self.tables.write();
         let store = tables
             .get_mut(&table.to_ascii_lowercase())
@@ -58,14 +57,18 @@ impl KvAdapter {
             store.put(row)?;
             n += 1;
         }
+        drop(tables);
+        self.bump_data_version();
         Ok(n)
     }
 
+    fn bump_data_version(&self) {
+        self.data_version
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
     fn no_table(&self, table: &str) -> GisError {
-        GisError::Storage(format!(
-            "source '{}' has no table '{table}'",
-            self.name
-        ))
+        GisError::Storage(format!("source '{}' has no table '{table}'", self.name))
     }
 
     /// Classifies predicates into the natively servable plan:
@@ -102,16 +105,14 @@ impl KvAdapter {
                     // exact; Gt/LtEq conservatively widen and the
                     // residual predicate (kept mediator-side because
                     // `accepted` stays false) re-filters.
-                    CmpOp::GtEq
-                        if lo.is_none() => {
-                            lo = Some(p.value.clone());
-                            accepted[i] = true;
-                        }
-                    CmpOp::Lt
-                        if hi.is_none() => {
-                            hi = Some(p.value.clone());
-                            accepted[i] = true;
-                        }
+                    CmpOp::GtEq if lo.is_none() => {
+                        lo = Some(p.value.clone());
+                        accepted[i] = true;
+                    }
+                    CmpOp::Lt if hi.is_none() => {
+                        hi = Some(p.value.clone());
+                        accepted[i] = true;
+                    }
                     _ => {}
                 }
             }
@@ -123,6 +124,10 @@ impl KvAdapter {
 impl SourceAdapter for KvAdapter {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn data_version(&self) -> u64 {
+        self.data_version.load(std::sync::atomic::Ordering::Acquire)
     }
 
     fn kind(&self) -> &'static str {
@@ -169,12 +174,9 @@ impl SourceAdapter for KvAdapter {
             .ok_or_else(|| self.no_table(request.table()))?;
         match request {
             SourceRequest::Scan {
-                predicates,
-                limit,
-                ..
+                predicates, limit, ..
             } => {
-                let (prefix, lo, hi, accepted) =
-                    Self::classify(store.key_width(), predicates);
+                let (prefix, lo, hi, accepted) = Self::classify(store.key_width(), predicates);
                 if accepted.iter().any(|a| !a) {
                     return Err(GisError::Unsupported(format!(
                         "kv source '{}' cannot evaluate non-key predicates",
@@ -200,9 +202,7 @@ impl SourceAdapter for KvAdapter {
                 self.name
             ))),
             SourceRequest::Lookup {
-                key_columns,
-                keys,
-                ..
+                key_columns, keys, ..
             } => {
                 // Keys must address a key prefix, in order.
                 let is_prefix = key_columns.iter().enumerate().all(|(i, &c)| c == i)
@@ -222,10 +222,7 @@ impl SourceAdapter for KvAdapter {
                     let batch = if key.len() == store.key_width() {
                         // Full-key point get.
                         match store.get(key)? {
-                            Some(row) => Batch::from_rows(
-                                store.schema().clone(),
-                                &[row.to_vec()],
-                            )?,
+                            Some(row) => Batch::from_rows(store.schema().clone(), &[row.to_vec()])?,
                             None => continue,
                         }
                     } else {
@@ -324,10 +321,7 @@ mod tests {
             ScanPredicate::new(0, CmpOp::Eq, Value::Int64(7)),
             ScanPredicate::new(2, CmpOp::Gt, Value::Int64(0)), // qty: not key
         ];
-        assert_eq!(
-            a.pushable_predicates("stock", &preds),
-            vec![true, false]
-        );
+        assert_eq!(a.pushable_predicates("stock", &preds), vec![true, false]);
         let req = SourceRequest::Scan {
             table: "stock".into(),
             predicates: preds,
@@ -341,11 +335,7 @@ mod tests {
     #[test]
     fn eq_on_second_key_without_first_not_pushable() {
         let a = adapter();
-        let preds = vec![ScanPredicate::new(
-            1,
-            CmpOp::Eq,
-            Value::Utf8("w".into()),
-        )];
+        let preds = vec![ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("w".into()))];
         assert_eq!(a.pushable_predicates("stock", &preds), vec![false]);
     }
 

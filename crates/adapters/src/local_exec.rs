@@ -7,9 +7,7 @@
 //! side of the federation is a different system.
 
 use crate::request::{AggFunc, AggSpec, SortSpec};
-use gis_types::{
-    Batch, GisError, Result, Row, SchemaRef, SortKey, SortOrder, Value,
-};
+use gis_types::{Batch, GisError, Result, Row, SchemaRef, SortKey, SortOrder, Value};
 use std::collections::HashMap;
 
 /// Sorts a batch under the given sort specs.
@@ -80,17 +78,17 @@ impl Accumulator {
             },
             Accumulator::SumInt(acc) => {
                 if let Some(x) = v.filter(|x| !x.is_null()) {
-                    let i = x.as_i64()?.ok_or_else(|| {
-                        GisError::Execution("sum over non-integer".into())
-                    })?;
+                    let i = x
+                        .as_i64()?
+                        .ok_or_else(|| GisError::Execution("sum over non-integer".into()))?;
                     *acc = Some(acc.unwrap_or(0).wrapping_add(i));
                 }
             }
             Accumulator::SumFloat(acc) => {
                 if let Some(x) = v.filter(|x| !x.is_null()) {
-                    let f = x.as_f64()?.ok_or_else(|| {
-                        GisError::Execution("sum over non-numeric".into())
-                    })?;
+                    let f = x
+                        .as_f64()?
+                        .ok_or_else(|| GisError::Execution("sum over non-numeric".into()))?;
                     *acc = Some(acc.unwrap_or(0.0) + f);
                 }
             }
@@ -112,9 +110,9 @@ impl Accumulator {
             }
             Accumulator::Avg(sum, n) => {
                 if let Some(x) = v.filter(|x| !x.is_null()) {
-                    let f = x.as_f64()?.ok_or_else(|| {
-                        GisError::Execution("avg over non-numeric".into())
-                    })?;
+                    let f = x
+                        .as_f64()?
+                        .ok_or_else(|| GisError::Execution("avg over non-numeric".into()))?;
                     *sum += f;
                     *n += 1;
                 }
@@ -130,9 +128,7 @@ impl Accumulator {
             Accumulator::Count(n) => Value::Int64(*n),
             Accumulator::SumInt(v) => v.map_or(Value::Null, Value::Int64),
             Accumulator::SumFloat(v) => v.map_or(Value::Null, Value::Float64),
-            Accumulator::Min(v) | Accumulator::Max(v) => {
-                v.clone().unwrap_or(Value::Null)
-            }
+            Accumulator::Min(v) | Accumulator::Max(v) => v.clone().unwrap_or(Value::Null),
             Accumulator::Avg(sum, n) => {
                 if *n == 0 {
                     Value::Null
@@ -257,8 +253,16 @@ mod tests {
             ])
             .into_ref(),
             &[
-                vec![Value::Utf8("a".into()), Value::Int64(1), Value::Float64(1.0)],
-                vec![Value::Utf8("b".into()), Value::Int64(2), Value::Float64(2.0)],
+                vec![
+                    Value::Utf8("a".into()),
+                    Value::Int64(1),
+                    Value::Float64(1.0),
+                ],
+                vec![
+                    Value::Utf8("b".into()),
+                    Value::Int64(2),
+                    Value::Float64(2.0),
+                ],
                 vec![Value::Utf8("a".into()), Value::Int64(3), Value::Null],
                 vec![Value::Utf8("a".into()), Value::Null, Value::Float64(5.0)],
             ],

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 pub struct RelationalAdapter {
     name: String,
     tables: RwLock<BTreeMap<String, RowStore>>,
+    data_version: std::sync::atomic::AtomicU64,
 }
 
 impl RelationalAdapter {
@@ -25,6 +26,7 @@ impl RelationalAdapter {
         RelationalAdapter {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
+            data_version: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -32,6 +34,7 @@ impl RelationalAdapter {
     pub fn add_table(&self, store: RowStore) {
         let key = store.name().to_ascii_lowercase();
         self.tables.write().insert(key, store);
+        self.bump_data_version();
     }
 
     /// Runs `f` with mutable access to a table (loading, index DDL).
@@ -44,29 +47,36 @@ impl RelationalAdapter {
         let store = tables
             .get_mut(&table.to_ascii_lowercase())
             .ok_or_else(|| self.no_table(table))?;
-        f(store)
+        let out = f(store);
+        drop(tables);
+        // Mutable access is assumed to have mutated: loads and index
+        // DDL both change what a cached result would return.
+        self.bump_data_version();
+        out
     }
 
     /// Inserts rows into a table.
-    pub fn load(
-        &self,
-        table: &str,
-        rows: impl IntoIterator<Item = Vec<Value>>,
-    ) -> Result<usize> {
+    pub fn load(&self, table: &str, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<usize> {
         self.with_table_mut(table, |t| t.insert_many(rows))
     }
 
+    fn bump_data_version(&self) {
+        self.data_version
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
     fn no_table(&self, table: &str) -> GisError {
-        GisError::Storage(format!(
-            "source '{}' has no table '{table}'",
-            self.name
-        ))
+        GisError::Storage(format!("source '{}' has no table '{table}'", self.name))
     }
 }
 
 impl SourceAdapter for RelationalAdapter {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn data_version(&self) -> u64 {
+        self.data_version.load(std::sync::atomic::Ordering::Acquire)
     }
 
     fn kind(&self) -> &'static str {
@@ -121,9 +131,7 @@ impl SourceAdapter for RelationalAdapter {
                 .ok_or_else(|| self.no_table(right_table))?;
             let left = left_store.scan(left_predicates, &[], None)?.batch;
             let right = right_store.scan(right_predicates, &[], None)?.batch;
-            let joined = crate::local_exec::inner_hash_join(
-                &left, &right, left_keys, right_keys,
-            )?;
+            let joined = crate::local_exec::inner_hash_join(&left, &right, left_keys, right_keys)?;
             // Project to the requested columns of each side.
             let left_width = left_store.schema().len();
             let mut ords: Vec<usize> = if left_projection.is_empty() {
@@ -138,8 +146,8 @@ impl SourceAdapter for RelationalAdapter {
             };
             ords.extend(right_ords.iter().map(|&o| left_width + o));
             let projected = joined.project(&ords)?;
-            let out_schema = request
-                .join_output_schema(left_store.schema(), right_store.schema())?;
+            let out_schema =
+                request.join_output_schema(left_store.schema(), right_store.schema())?;
             return Ok(vec![Batch::try_new(
                 out_schema,
                 projected.columns().to_vec(),
@@ -178,8 +186,7 @@ impl SourceAdapter for RelationalAdapter {
             } => {
                 let input = store.scan(predicates, &[], None)?.batch;
                 let out_schema = request.output_schema(store.schema())?;
-                let out =
-                    hash_aggregate(&[input], group_by, aggregates, out_schema)?;
+                let out = hash_aggregate(&[input], group_by, aggregates, out_schema)?;
                 Ok(vec![out])
             }
             SourceRequest::Join { .. } => unreachable!("handled above"),
@@ -193,9 +200,7 @@ impl SourceAdapter for RelationalAdapter {
                 let mut seen = std::collections::HashSet::new();
                 for key in keys {
                     if key.len() != key_columns.len() {
-                        return Err(GisError::Internal(
-                            "lookup key width mismatch".into(),
-                        ));
+                        return Err(GisError::Internal("lookup key width mismatch".into()));
                     }
                     if !seen.insert(key.clone()) {
                         continue; // duplicate key tuples fetched once
@@ -264,11 +269,7 @@ mod tests {
         let a = adapter();
         let req = SourceRequest::Scan {
             table: "customers".into(),
-            predicates: vec![ScanPredicate::new(
-                1,
-                CmpOp::Eq,
-                Value::Utf8("east".into()),
-            )],
+            predicates: vec![ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("east".into()))],
             projection: vec![0, 2],
             sort: vec![SortSpec {
                 column: 1, // post-projection ordinal: balance
@@ -311,7 +312,10 @@ mod tests {
             .find(|r| r[0] == Value::Utf8("east".into()))
             .unwrap();
         assert_eq!(east[1], Value::Int64(25));
-        assert_eq!(east[2], Value::Float64((0..50).step_by(2).sum::<i64>() as f64));
+        assert_eq!(
+            east[2],
+            Value::Float64((0..50).step_by(2).sum::<i64>() as f64)
+        );
     }
 
     #[test]
@@ -356,9 +360,6 @@ mod tests {
             ScanPredicate::new(0, CmpOp::Eq, Value::Int64(1)),
             ScanPredicate::new(2, CmpOp::Lt, Value::Float64(5.0)),
         ];
-        assert_eq!(
-            a.pushable_predicates("customers", &preds),
-            vec![true, true]
-        );
+        assert_eq!(a.pushable_predicates("customers", &preds), vec![true, true]);
     }
 }

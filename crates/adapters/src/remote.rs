@@ -168,8 +168,7 @@ mod tests {
             (0..100i64).map(|i| vec![Value::Int64(i), Value::Utf8(format!("c{i}"))]),
         )
         .unwrap();
-        RemoteSource::new(Arc::new(a), Link::new("crm", conditions, clock))
-            .with_chunk_rows(30)
+        RemoteSource::new(Arc::new(a), Link::new("crm", conditions, clock)).with_chunk_rows(30)
     }
 
     fn scan_all() -> SourceRequest {

@@ -157,8 +157,7 @@ impl SourceRequest {
     /// from this single function so they can never disagree.
     pub fn output_schema(&self, export: &Schema) -> Result<SchemaRef> {
         match self {
-            SourceRequest::Scan { projection, .. }
-            | SourceRequest::Lookup { projection, .. } => {
+            SourceRequest::Scan { projection, .. } | SourceRequest::Lookup { projection, .. } => {
                 if projection.is_empty() {
                     Ok(Schema::new(export.fields().to_vec()).into_ref())
                 } else {
@@ -175,10 +174,8 @@ impl SourceRequest {
                 ..
             } => {
                 check_ordinals(group_by, export.len())?;
-                let mut fields: Vec<Field> = group_by
-                    .iter()
-                    .map(|&g| export.field(g).clone())
-                    .collect();
+                let mut fields: Vec<Field> =
+                    group_by.iter().map(|&g| export.field(g).clone()).collect();
                 for (i, a) in aggregates.iter().enumerate() {
                     let in_type = match a.column {
                         Some(c) => {
@@ -200,8 +197,7 @@ impl SourceRequest {
     /// Validates this request against a capability profile,
     /// returning `Unsupported` on the first violation.
     pub fn check_capabilities(&self, caps: &CapabilityProfile) -> Result<()> {
-        let unsupported =
-            |what: &str| Err(GisError::Unsupported(format!("source cannot {what}")));
+        let unsupported = |what: &str| Err(GisError::Unsupported(format!("source cannot {what}")));
         match self {
             SourceRequest::Scan {
                 predicates,
@@ -213,11 +209,7 @@ impl SourceRequest {
                 if !predicates.is_empty() && !caps.filter {
                     return unsupported("filter");
                 }
-                if !caps.range_filter
-                    && predicates
-                        .iter()
-                        .any(|p| p.op != gis_storage::CmpOp::Eq)
-                {
+                if !caps.range_filter && predicates.iter().any(|p| p.op != gis_storage::CmpOp::Eq) {
                     return unsupported("evaluate non-equality filters");
                 }
                 if !projection.is_empty() && !caps.project {
@@ -343,6 +335,17 @@ pub trait SourceAdapter: Send + Sync {
     /// Executes a fragment request, returning result batches in
     /// [`SourceRequest::output_schema`] layout.
     fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>>;
+
+    /// A monotonically increasing counter the adapter bumps on every
+    /// data mutation (loads, table replacement, in-place edits).
+    /// Result caches pin the versions they read; a bumped version
+    /// invalidates the cached rows. Sources that cannot detect their
+    /// own mutations may keep the default `0`, which marks their data
+    /// uncacheable-but-consistent (version never changes, so stale
+    /// reads are indistinguishable from autonomy).
+    fn data_version(&self) -> u64 {
+        0
+    }
 
     /// Which of `predicates` this source would evaluate natively in a
     /// scan of `table`. The default derives from the capability

@@ -7,9 +7,7 @@
 
 use crate::request::{AggFunc, AggSpec, SortSpec, SourceRequest};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gis_net::wire::{
-    decode_value, encode_value, get_uvarint, put_uvarint,
-};
+use gis_net::wire::{decode_value, encode_value, get_uvarint, put_uvarint};
 use gis_storage::{CmpOp, ScanPredicate};
 use gis_types::{GisError, Result};
 
@@ -58,11 +56,7 @@ fn tag_cmp(tag: u8) -> Result<CmpOp> {
         3 => CmpOp::LtEq,
         4 => CmpOp::Gt,
         5 => CmpOp::GtEq,
-        other => {
-            return Err(GisError::Network(format!(
-                "unknown comparison tag {other}"
-            )))
-        }
+        other => return Err(GisError::Network(format!("unknown comparison tag {other}"))),
     })
 }
 
@@ -83,11 +77,7 @@ fn tag_agg(tag: u8) -> Result<AggFunc> {
         2 => AggFunc::Min,
         3 => AggFunc::Max,
         4 => AggFunc::Avg,
-        other => {
-            return Err(GisError::Network(format!(
-                "unknown aggregate tag {other}"
-            )))
-        }
+        other => return Err(GisError::Network(format!("unknown aggregate tag {other}"))),
     })
 }
 
@@ -314,11 +304,7 @@ pub fn decode_request(mut buf: Bytes) -> Result<SourceRequest> {
                 right_projection,
             }
         }
-        other => {
-            return Err(GisError::Network(format!(
-                "unknown request kind {other}"
-            )))
-        }
+        other => return Err(GisError::Network(format!("unknown request kind {other}"))),
     };
     if buf.has_remaining() {
         return Err(GisError::Network("trailing bytes after request".into()));
@@ -408,11 +394,7 @@ mod tests {
             right_table: "departments".into(),
             left_keys: vec![1],
             right_keys: vec![0],
-            left_predicates: vec![ScanPredicate::new(
-                3,
-                CmpOp::Gt,
-                Value::Int64(60_000),
-            )],
+            left_predicates: vec![ScanPredicate::new(3, CmpOp::Gt, Value::Int64(60_000))],
             right_predicates: vec![],
             left_projection: vec![2, 1],
             right_projection: vec![1],

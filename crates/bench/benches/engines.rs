@@ -129,22 +129,18 @@ fn bench_column_store(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("unclustered_eq", segment),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    let (batch, _) = store
-                        .scan(
-                            &[ScanPredicate::new(1, CmpOp::Eq, Value::Int64(7))],
-                            &[0],
-                            None,
-                        )
-                        .unwrap();
-                    black_box(batch.num_rows())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("unclustered_eq", segment), &(), |b, ()| {
+            b.iter(|| {
+                let (batch, _) = store
+                    .scan(
+                        &[ScanPredicate::new(1, CmpOp::Eq, Value::Int64(7))],
+                        &[0],
+                        None,
+                    )
+                    .unwrap();
+                black_box(batch.num_rows())
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,50 @@
+//! Serving-runtime hot paths: cold vs cached query service, and the
+//! session submit/reply round-trip through the scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_datagen::{build_fedmart, FedMartConfig};
+use gis_runtime::{Runtime, RuntimeConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SQL: &str = "SELECT c.region, sum(o.amount) AS rev \
+                   FROM customers c JOIN orders o ON c.id = o.cust_id \
+                   GROUP BY c.region ORDER BY rev DESC LIMIT 5";
+
+fn bench_runtime(c: &mut Criterion) {
+    let fm = build_fedmart(FedMartConfig::tiny()).expect("build");
+    let fed = Arc::new(fm.federation);
+    let runtime = Runtime::new(fed, RuntimeConfig::default().with_workers(2));
+    let mut group = c.benchmark_group("runtime");
+
+    let mut cold = runtime.session();
+    cold.set_caching(false);
+    group.bench_function("query_cold_no_caches", |b| {
+        b.iter(|| black_box(cold.query(SQL).unwrap().batch.num_rows()))
+    });
+
+    let mut plan_only = runtime.session();
+    plan_only.set_result_cache(false);
+    plan_only.query(SQL).expect("prime plan cache");
+    group.bench_function("query_plan_cached", |b| {
+        b.iter(|| black_box(plan_only.query(SQL).unwrap().batch.num_rows()))
+    });
+
+    let warm = runtime.session();
+    warm.query(SQL).expect("prime both caches");
+    group.bench_function("query_fully_cached", |b| {
+        b.iter(|| {
+            let r = warm.query(SQL).unwrap();
+            assert!(r.metrics.result_cache_hit);
+            black_box(r.batch.num_rows())
+        })
+    });
+
+    group.bench_function("submit_wait_roundtrip", |b| {
+        b.iter(|| black_box(warm.submit("SELECT 1 AS x").unwrap().wait().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

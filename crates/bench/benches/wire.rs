@@ -3,7 +3,7 @@
 //! its cost visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gis_adapters::{SourceRequest, wire_req};
+use gis_adapters::{wire_req, SourceRequest};
 use gis_net::wire::{decode_batch, encode_batch};
 use gis_storage::{CmpOp, ScanPredicate};
 use gis_types::{Batch, DataType, Field, Schema, Value};
@@ -48,9 +48,7 @@ fn bench_wire(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("decode_batch", rows),
             &encoded,
-            |b, encoded| {
-                b.iter(|| black_box(decode_batch(encoded.clone()).unwrap().num_rows()))
-            },
+            |b, encoded| b.iter(|| black_box(decode_batch(encoded.clone()).unwrap().num_rows())),
         );
     }
     let lookup = SourceRequest::Lookup {

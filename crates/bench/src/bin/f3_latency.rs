@@ -77,7 +77,9 @@ fn main() {
             &pick,
         ]);
     }
-    report.note("bind_batch_size=8 to make bind-join's chattiness visible; bandwidth fixed at 1 MB/s.");
+    report.note(
+        "bind_batch_size=8 to make bind-join's chattiness visible; bandwidth fixed at 1 MB/s.",
+    );
     report.note("Expected shape: bind-join degrades fastest with RTT; Auto stays within ~10% of the per-row winner.");
     report.print();
 }

@@ -50,8 +50,11 @@ fn fed() -> Federation {
         (0..DIMS).map(|d| vec![Value::Int64(d), Value::Utf8(format!("dim{d}"))]),
     )
     .unwrap();
-    fed.add_source(Arc::new(erp) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(erp) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     fed
 }
 

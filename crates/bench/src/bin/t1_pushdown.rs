@@ -33,16 +33,18 @@ fn main() {
     );
     for selectivity in [0.001, 0.01, 0.1, 0.5, 1.0] {
         let k = (total_orders * selectivity).round() as i64;
-        let sql = format!(
-            "SELECT order_id, amount FROM orders WHERE order_id < {k}"
-        );
+        let sql = format!("SELECT order_id, amount FROM orders WHERE order_id < {k}");
         fed.set_optimizer_options(OptimizerOptions::default());
         fed.set_exec_options(ExecOptions::default());
         let push = fed.query(&sql).expect("optimized query");
         fed.set_optimizer_options(OptimizerOptions::naive());
         fed.set_exec_options(ExecOptions::naive());
         let naive = fed.query(&sql).expect("naive query");
-        assert_eq!(push.batch.num_rows(), naive.batch.num_rows(), "results differ");
+        assert_eq!(
+            push.batch.num_rows(),
+            naive.batch.num_rows(),
+            "results differ"
+        );
         report.row(&[
             &format!("{selectivity:.3}"),
             &push.batch.num_rows(),
@@ -62,6 +64,8 @@ fn main() {
         "FedMart sf=1 ({} orders); WAN 40 ms / 1 MB/s; naive = no pushdown, no pruning, ship-whole.",
         fm.sizes.orders
     ));
-    report.note("Expected shape: push_bytes ∝ selectivity, naive_bytes flat, advantage ∝ 1/selectivity.");
+    report.note(
+        "Expected shape: push_bytes ∝ selectivity, naive_bytes flat, advantage ∝ 1/selectivity.",
+    );
     report.print();
 }

@@ -44,21 +44,33 @@ fn main() {
     let rel = RelationalAdapter::new("rel");
     rel.add_table(RowStore::new("events", schema(), Some(0)).unwrap());
     rel.load("events", rows()).unwrap();
-    fed.add_source(Arc::new(rel) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(rel) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     let col = ColumnarAdapter::new("col");
     col.add_table(ColumnStore::with_segment_rows("events", schema(), 1024));
     col.load("events", rows()).unwrap();
-    fed.add_source(Arc::new(col) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(col) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     let kv = KvAdapter::new("kv");
     kv.add_table(KvStore::new("events", schema(), 1).unwrap());
     kv.load("events", rows()).unwrap();
-    fed.add_source(Arc::new(kv) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(kv) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
 
     let shapes: &[(&str, &str)] = &[
-        ("point lookup (id = k)", "SELECT * FROM {S}.events WHERE id = 12345"),
+        (
+            "point lookup (id = k)",
+            "SELECT * FROM {S}.events WHERE id = 12345",
+        ),
         (
             "selective non-key filter",
             "SELECT id FROM {S}.events WHERE color = 'teal' AND score > 90.0",
@@ -70,7 +82,12 @@ fn main() {
     ];
     let mut report = Report::new(
         "T4: identical data behind different capability profiles (bytes shipped)",
-        &["query shape", "relational FRPJASLB", "columnar FRP---LB", "kv FR----LB*"],
+        &[
+            "query shape",
+            "relational FRPJASLB",
+            "columnar FRP---LB",
+            "kv FR----LB*",
+        ],
     );
     for (name, template) in shapes {
         let mut cells: Vec<String> = vec![name.to_string()];

@@ -18,10 +18,7 @@ fn main() {
     let queries: &[(&str, &str)] = &[
         ("full scan", "SELECT id FROM customers"),
         ("eq on indexed pk", "SELECT id FROM customers WHERE id = 42"),
-        (
-            "range 10%",
-            "SELECT id FROM customers WHERE id < 100",
-        ),
+        ("range 10%", "SELECT id FROM customers WHERE id < 100"),
         (
             "range 50%",
             "SELECT order_id FROM orders WHERE order_id < 5000",
@@ -46,10 +43,7 @@ fn main() {
             "group by",
             "SELECT region, count(*) FROM customers GROUP BY region",
         ),
-        (
-            "global agg",
-            "SELECT count(*) FROM orders",
-        ),
+        ("global agg", "SELECT count(*) FROM orders"),
     ];
     let mut report = Report::new(
         "T5: estimated vs measured rows (q-error)",

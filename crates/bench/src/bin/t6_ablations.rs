@@ -78,7 +78,11 @@ fn main() {
                 ..full_exec
             },
         ),
-        ("everything off", OptimizerOptions::naive(), ExecOptions::naive()),
+        (
+            "everything off",
+            OptimizerOptions::naive(),
+            ExecOptions::naive(),
+        ),
     ];
 
     let mut report = Report::new(

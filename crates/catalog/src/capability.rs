@@ -65,8 +65,8 @@ impl CapabilityProfile {
     /// mediator does all filtering beyond that.
     pub fn key_value() -> Self {
         CapabilityProfile {
-            filter: true,        // equality on key prefix only
-            range_filter: true,  // range on first key component
+            filter: true,       // equality on key prefix only
+            range_filter: true, // range on first key component
             project: false,
             join: false,
             aggregate: false,

@@ -63,12 +63,27 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct Catalog {
     inner: RwLock<Inner>,
+    /// Bumped on every metadata mutation (source/table registration,
+    /// mapping changes, stats refresh). Plan caches key on this:
+    /// a stale version means cached plans may bind against schemas or
+    /// statistics that no longer exist.
+    version: std::sync::atomic::AtomicU64,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> CatalogRef {
         Arc::new(Catalog::default())
+    }
+
+    /// The current metadata version (monotonically increasing).
+    pub fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     /// Registers (or replaces) a source.
@@ -87,6 +102,7 @@ impl Catalog {
                 capabilities,
             },
         );
+        self.bump_version();
     }
 
     /// Registers a table exported by `source`.
@@ -110,6 +126,8 @@ impl Catalog {
                 stats,
             },
         );
+        drop(inner);
+        self.bump_version();
         Ok(())
     }
 
@@ -119,10 +137,10 @@ impl Catalog {
         let meta = inner
             .tables
             .get_mut(&(source.to_ascii_lowercase(), table.to_ascii_lowercase()))
-            .ok_or_else(|| {
-                GisError::Catalog(format!("unknown table '{source}.{table}'"))
-            })?;
+            .ok_or_else(|| GisError::Catalog(format!("unknown table '{source}.{table}'")))?;
         meta.stats = Some(stats);
+        drop(inner);
+        self.bump_version();
         Ok(())
     }
 
@@ -146,25 +164,20 @@ impl Catalog {
         inner
             .globals
             .insert(mapping.global_name.to_ascii_lowercase(), mapping);
+        drop(inner);
+        self.bump_version();
         Ok(())
     }
 
     /// Registers `source.table` under global name `global` with an
     /// identity mapping.
-    pub fn register_global_identity(
-        &self,
-        global: &str,
-        source: &str,
-        table: &str,
-    ) -> Result<()> {
+    pub fn register_global_identity(&self, global: &str, source: &str, table: &str) -> Result<()> {
         let export = {
             let inner = self.inner.read();
             inner
                 .tables
                 .get(&(source.to_ascii_lowercase(), table.to_ascii_lowercase()))
-                .ok_or_else(|| {
-                    GisError::Catalog(format!("unknown table '{source}.{table}'"))
-                })?
+                .ok_or_else(|| GisError::Catalog(format!("unknown table '{source}.{table}'")))?
                 .export_schema
                 .clone()
         };
@@ -183,8 +196,7 @@ impl Catalog {
                     .get(&name.to_ascii_lowercase())
                     .cloned()
                     .ok_or_else(|| {
-                        let known: Vec<&str> =
-                            inner.globals.keys().map(String::as_str).collect();
+                        let known: Vec<&str> = inner.globals.keys().map(String::as_str).collect();
                         GisError::Catalog(format!(
                             "unknown global table '{name}' (known: {})",
                             known.join(", ")
@@ -195,9 +207,10 @@ impl Catalog {
             }
             Some(src) => {
                 let key = (src.to_ascii_lowercase(), name.to_ascii_lowercase());
-                let table = inner.tables.get(&key).ok_or_else(|| {
-                    GisError::Catalog(format!("unknown table '{src}.{name}'"))
-                })?;
+                let table = inner
+                    .tables
+                    .get(&key)
+                    .ok_or_else(|| GisError::Catalog(format!("unknown table '{src}.{name}'")))?;
                 (
                     TableMapping::identity(name, src, name, &table.export_schema),
                     key.0,
@@ -211,10 +224,7 @@ impl Catalog {
             .ok_or_else(|| GisError::Catalog(format!("unknown source '{src_key}'")))?;
         let table = inner
             .tables
-            .get(&(
-                src_key,
-                mapping.source_table.to_ascii_lowercase(),
-            ))
+            .get(&(src_key, mapping.source_table.to_ascii_lowercase()))
             .cloned()
             .ok_or_else(|| {
                 GisError::Catalog(format!(

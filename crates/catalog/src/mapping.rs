@@ -16,9 +16,7 @@
 //!   [`Transform::invert_literal`]. Non-invertible transforms simply
 //!   disable pushdown for that column — correctness first.
 
-use gis_types::{
-    Array, Batch, DataType, Field, GisError, Result, Schema, SchemaRef, Value,
-};
+use gis_types::{Array, Batch, DataType, Field, GisError, Result, Schema, SchemaRef, Value};
 use std::sync::Arc;
 
 /// A value-level transform between source and global representation.
@@ -67,9 +65,9 @@ impl Transform {
             Transform::Identity => Ok(v.clone()),
             Transform::Cast(t) => v.cast_to(*t),
             Transform::Linear { factor, offset, to } => {
-                let x = v.as_f64()?.ok_or_else(|| {
-                    GisError::Execution("linear transform on non-numeric".into())
-                })?;
+                let x = v
+                    .as_f64()?
+                    .ok_or_else(|| GisError::Execution("linear transform on non-numeric".into()))?;
                 Value::Float64(x * factor + offset).cast_to(*to)
             }
             Transform::ValueMap(pairs) => Ok(pairs
@@ -111,7 +109,11 @@ impl Transform {
                 let again = back.cast_to(global.data_type()).ok()?;
                 (again == *global).then_some(back)
             }
-            Transform::Linear { factor, offset, to: _ } => {
+            Transform::Linear {
+                factor,
+                offset,
+                to: _,
+            } => {
                 if *factor == 0.0 {
                     return None;
                 }
@@ -360,7 +362,12 @@ mod tests {
                     Value::Int64(2500),
                     Value::Int32(1),
                 ],
-                vec![Value::Int32(8), Value::Null, Value::Int64(-100), Value::Int32(9)],
+                vec![
+                    Value::Int32(8),
+                    Value::Null,
+                    Value::Int64(-100),
+                    Value::Int32(9),
+                ],
             ],
         )
         .unwrap();

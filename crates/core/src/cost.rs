@@ -246,14 +246,10 @@ pub fn column_stats(scan: &TableScanNode, g: usize) -> Option<&ColumnStats> {
 /// Selectivity of one pushed filter over the scan's global schema.
 fn scan_filter_selectivity(scan: &TableScanNode, f: &ScalarExpr) -> f64 {
     if let ScalarExpr::Binary { left, op, right } = f {
-        if let (ScalarExpr::Column(c), ScalarExpr::Literal(v)) =
-            (left.as_ref(), right.as_ref())
-        {
+        if let (ScalarExpr::Column(c), ScalarExpr::Literal(v)) = (left.as_ref(), right.as_ref()) {
             return column_predicate_selectivity(scan, *c, *op, v);
         }
-        if let (ScalarExpr::Literal(v), ScalarExpr::Column(c)) =
-            (left.as_ref(), right.as_ref())
-        {
+        if let (ScalarExpr::Literal(v), ScalarExpr::Column(c)) = (left.as_ref(), right.as_ref()) {
             if let Some(sw) = op.swap() {
                 return column_predicate_selectivity(scan, *c, sw, v);
             }
@@ -472,13 +468,8 @@ mod tests {
             inputs: vec![values.clone(), values.clone()],
         };
         assert_eq!(estimate(&unioned).rows, 200.0);
-        let grouped = LogicalPlan::aggregate(
-            values,
-            vec![ScalarExpr::col(1)],
-            vec![],
-        )
-        .unwrap();
+        let grouped = LogicalPlan::aggregate(values, vec![ScalarExpr::col(1)], vec![]).unwrap();
         let g = estimate(&grouped).rows;
-        assert!(g >= 1.0 && g <= 100.0, "group estimate {g}");
+        assert!((1.0..=100.0).contains(&g), "group estimate {g}");
     }
 }

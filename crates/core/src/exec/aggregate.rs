@@ -154,9 +154,10 @@ pub fn hash_aggregate(
             let v = acc.finish(a.func);
             // Coerce to the declared output type.
             let target = out_schema.field(row.len()).data_type;
-            row.push(v.cast_to(target).map_err(|e| {
-                GisError::Execution(format!("aggregate output coercion: {e}"))
-            })?);
+            row.push(
+                v.cast_to(target)
+                    .map_err(|e| GisError::Execution(format!("aggregate output coercion: {e}")))?,
+            );
         }
         rows.push(row);
     }
@@ -234,11 +235,17 @@ mod tests {
         let schema = out_schema(&aggs, 1);
         let out = hash_aggregate(&batch(), &[ScalarExpr::col(0)], &aggs, schema).unwrap();
         let rows = out.to_rows();
-        let a = rows.iter().find(|r| r[0] == Value::Utf8("a".into())).unwrap();
+        let a = rows
+            .iter()
+            .find(|r| r[0] == Value::Utf8("a".into()))
+            .unwrap();
         assert_eq!(a[1], Value::Int64(2)); // distinct {1,2}
         assert_eq!(a[2], Value::Int64(3)); // 1+2
         assert_eq!(a[3], Value::Int64(3)); // plain count
-        let b = rows.iter().find(|r| r[0] == Value::Utf8("b".into())).unwrap();
+        let b = rows
+            .iter()
+            .find(|r| r[0] == Value::Utf8("b".into()))
+            .unwrap();
         assert_eq!(b[1], Value::Int64(0));
         assert_eq!(b[2], Value::Null);
     }

@@ -72,9 +72,11 @@ impl FragmentExec {
         let mut columns = Vec::with_capacity(self.fetched_global.len());
         let mut fields = Vec::with_capacity(self.fetched_global.len());
         for &g in &self.fetched_global {
-            let cm = self.mapping.columns.get(g).ok_or_else(|| {
-                GisError::Internal(format!("mapping has no column {g}"))
-            })?;
+            let cm = self
+                .mapping
+                .columns
+                .get(g)
+                .ok_or_else(|| GisError::Internal(format!("mapping has no column {g}")))?;
             let pos = raw.schema().index_of(None, &cm.source_column)?;
             let transformed = cm.transform.apply_array(raw.column(pos))?;
             let cast = transformed.cast_to(cm.global.data_type)?;
@@ -141,9 +143,7 @@ pub fn build_fragment(scan: &TableScanNode, remote: &RemoteSource) -> Result<Fra
     let projection: Vec<usize> = if caps.project {
         let mut ords: Vec<usize> = fetched_global
             .iter()
-            .map(|&g| {
-                export.index_of(None, &mapping.columns[g].source_column)
-            })
+            .map(|&g| export.index_of(None, &mapping.columns[g].source_column))
             .collect::<Result<_>>()?;
         ords.sort_unstable();
         ords.dedup();
@@ -169,10 +169,7 @@ pub fn build_fragment(scan: &TableScanNode, remote: &RemoteSource) -> Result<Fra
             .map(|f| f.remap_columns(&global_to_fetched))
             .collect::<Result<Vec<_>>>()?,
     );
-    let output_positions: Vec<usize> = output_global
-        .iter()
-        .map(|g| global_to_fetched[g])
-        .collect();
+    let output_positions: Vec<usize> = output_global.iter().map(|g| global_to_fetched[g]).collect();
     let request = SourceRequest::Scan {
         table: mapping.source_table.clone(),
         predicates: pushed,
@@ -196,10 +193,7 @@ pub fn build_fragment(scan: &TableScanNode, remote: &RemoteSource) -> Result<Fra
 /// Builds the *bind-join* variant of a fragment: all filters stay
 /// residual (the Lookup protocol carries keys, not predicates) and
 /// the key columns are always fetched.
-pub fn build_lookup_fragment(
-    scan: &TableScanNode,
-    key_global: &[usize],
-) -> Result<FragmentExec> {
+pub fn build_lookup_fragment(scan: &TableScanNode, key_global: &[usize]) -> Result<FragmentExec> {
     let caps = scan.resolved.source.capabilities;
     let mapping = &scan.resolved.mapping;
     let export = &scan.resolved.table.export_schema;
@@ -234,10 +228,7 @@ pub fn build_lookup_fragment(
             .map(|f| f.remap_columns(&global_to_fetched))
             .collect::<Result<Vec<_>>>()?,
     );
-    let output_positions: Vec<usize> = output_global
-        .iter()
-        .map(|g| global_to_fetched[g])
-        .collect();
+    let output_positions: Vec<usize> = output_global.iter().map(|g| global_to_fetched[g]).collect();
     // Placeholder request; the bind-join operator swaps in Lookups
     // with actual key sets at run time.
     let request = SourceRequest::Lookup {

@@ -144,8 +144,7 @@ fn assemble(
             let matched_left: HashSet<usize> = pairs.iter().map(|p| p.0).collect();
             let matched_right: HashSet<usize> = pairs.iter().map(|p| p.1).collect();
             let mut li: Vec<usize> = pairs.iter().map(|p| p.0).collect();
-            let mut ri: Vec<Option<usize>> =
-                pairs.iter().map(|p| Some(p.1)).collect();
+            let mut ri: Vec<Option<usize>> = pairs.iter().map(|p| Some(p.1)).collect();
             if matches!(kind, JoinKind::Left | JoinKind::Full) {
                 for l in 0..left.num_rows() {
                     if !matched_left.contains(&l) {
@@ -171,10 +170,7 @@ fn assemble(
                 let null_left = null_batch(left, extra_right.len())?;
                 let right_rows = right.take(&extra_right);
                 let pad = null_left.hstack(&right_rows)?;
-                combined = Batch::concat(
-                    combined.schema().clone(),
-                    &[combined.clone(), pad],
-                )?;
+                combined = Batch::concat(combined.schema().clone(), &[combined.clone(), pad])?;
             }
             Batch::try_new(out_schema, combined.columns().to_vec())
         }
@@ -197,26 +193,21 @@ fn take_optional(batch: &Batch, indices: &[Option<usize>]) -> Result<Batch> {
         .iter()
         .map(|f| f.clone().with_nullable(true))
         .collect();
-    Batch::from_rows(
-        std::sync::Arc::new(gis_types::Schema::new(fields)),
-        &rows,
-    )
+    Batch::from_rows(std::sync::Arc::new(gis_types::Schema::new(fields)), &rows)
 }
 
 /// `len` all-NULL rows shaped like `batch`.
 fn null_batch(batch: &Batch, len: usize) -> Result<Batch> {
-    let rows: Vec<Vec<Value>> =
-        (0..len).map(|_| vec![Value::Null; batch.num_columns()]).collect();
+    let rows: Vec<Vec<Value>> = (0..len)
+        .map(|_| vec![Value::Null; batch.num_columns()])
+        .collect();
     let fields: Vec<gis_types::Field> = batch
         .schema()
         .fields()
         .iter()
         .map(|f| f.clone().with_nullable(true))
         .collect();
-    Batch::from_rows(
-        std::sync::Arc::new(gis_types::Schema::new(fields)),
-        &rows,
-    )
+    Batch::from_rows(std::sync::Arc::new(gis_types::Schema::new(fields)), &rows)
 }
 
 #[cfg(test)]
@@ -370,7 +361,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(inner.num_rows(), 2); // (1,11.0) and (3,30.0)
-        // LEFT: non-matching due to residual still padded
+                                         // LEFT: non-matching due to residual still padded
         let left_join = hash_join(
             &left(),
             &right(),
@@ -395,10 +386,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cross.num_rows(), 20);
-        let cond = ScalarExpr::col(0).binary(
-            gis_sql::ast::BinaryOp::Lt,
-            ScalarExpr::col(2),
-        );
+        let cond = ScalarExpr::col(0).binary(gis_sql::ast::BinaryOp::Lt, ScalarExpr::col(2));
         let ineq = nested_loop_join(
             &left(),
             &right(),

@@ -9,27 +9,24 @@ use crate::plan::logical::AggregateExpr;
 use gis_adapters::{RemoteSource, SourceRequest};
 use gis_catalog::TableMapping;
 use gis_sql::ast::JoinKind;
-use gis_types::{
-    Batch, GisError, Result, Row, Schema, SchemaRef, SortKey, SortOrder, Value,
-};
+use gis_types::{Batch, GisError, Result, Row, Schema, SchemaRef, SortKey, SortOrder, Value};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-/// Everything execution needs: the registry of metered sources and
-/// the execution options.
+/// Everything execution needs: the registry of metered sources, the
+/// execution options, and the runtime envelope (query id + deadline).
 pub struct ExecContext<'a> {
     sources: &'a HashMap<String, RemoteSource>,
     options: crate::exec::options::ExecOptions,
+    query_id: u64,
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'a> ExecContext<'a> {
     /// A context over a source registry with default options.
     pub fn new(sources: &'a HashMap<String, RemoteSource>) -> Self {
-        ExecContext {
-            sources,
-            options: crate::exec::options::ExecOptions::default(),
-        }
+        ExecContext::with_options(sources, crate::exec::options::ExecOptions::default())
     }
 
     /// A context with explicit options.
@@ -37,7 +34,44 @@ impl<'a> ExecContext<'a> {
         sources: &'a HashMap<String, RemoteSource>,
         options: crate::exec::options::ExecOptions,
     ) -> Self {
-        ExecContext { sources, options }
+        ExecContext {
+            sources,
+            options,
+            query_id: 0,
+            deadline: None,
+        }
+    }
+
+    /// Tags the context with a runtime-assigned query id (threaded
+    /// into [`crate::metrics::QueryMetrics`]).
+    pub fn with_query_id(mut self, query_id: u64) -> Self {
+        self.query_id = query_id;
+        self
+    }
+
+    /// Sets a host-time deadline. Operators poll it between fragment
+    /// fetches; an expired deadline cancels the query with
+    /// [`GisError::Deadline`] instead of letting it keep shipping
+    /// bytes from slow autonomous sources.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The runtime-assigned query id (0 when ad-hoc).
+    pub fn query_id(&self) -> u64 {
+        self.query_id
+    }
+
+    /// Errors with [`GisError::Deadline`] when past the deadline.
+    pub fn check_deadline(&self) -> Result<()> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => Err(GisError::Deadline(format!(
+                "query {} exceeded its deadline; fragment fetches cancelled",
+                self.query_id
+            ))),
+            _ => Ok(()),
+        }
     }
 
     /// The execution options.
@@ -47,9 +81,9 @@ impl<'a> ExecContext<'a> {
 
     /// Looks up a source by name.
     pub fn source(&self, name: &str) -> Result<&RemoteSource> {
-        self.sources.get(&name.to_ascii_lowercase()).ok_or_else(|| {
-            GisError::Internal(format!("no adapter registered for source '{name}'"))
-        })
+        self.sources
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| GisError::Internal(format!("no adapter registered for source '{name}'")))
     }
 }
 
@@ -108,10 +142,7 @@ impl RemoteJoinExec {
             cols.push(transformed.cast_to(cm.global.data_type)?);
             fields.push(cm.global.clone());
         }
-        let mapped = Batch::try_new(
-            Arc::new(Schema::new(fields)),
-            cols,
-        )?;
+        let mapped = Batch::try_new(Arc::new(Schema::new(fields)), cols)?;
         let filtered = match &self.residual {
             Some(pred) => {
                 let keep = evaluate_predicate(pred, &mapped)?;
@@ -295,7 +326,11 @@ impl PhysicalPlan {
             PhysicalPlan::BindJoin(_) => 1,
             _ => 0,
         };
-        own + self.children().iter().map(|c| c.fragment_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.fragment_count())
+            .sum::<usize>()
     }
 
     fn children(&self) -> Vec<&PhysicalPlan> {
@@ -319,6 +354,10 @@ impl PhysicalPlan {
 
     /// Executes the plan to a single batch.
     pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<Batch> {
+        // One choke point cancels the whole tree: every operator
+        // (including each fragment fetch and bind-join batch, which
+        // recurse through here) re-checks the deadline on entry.
+        ctx.check_deadline()?;
         match self {
             PhysicalPlan::Fragment(f) => f.execute(ctx.source(&f.source)?),
             PhysicalPlan::RemoteAggregate(r) => execute_remote_agg(r, ctx),
@@ -485,7 +524,9 @@ impl PhysicalPlan {
                 left.render(depth + 1, out);
                 right.render(depth + 1, out);
             }
-            PhysicalPlan::NestedLoop { left, right, kind, .. } => {
+            PhysicalPlan::NestedLoop {
+                left, right, kind, ..
+            } => {
                 let _ = writeln!(out, "{pad}NestedLoop[{kind}]");
                 left.render(depth + 1, out);
                 right.render(depth + 1, out);
@@ -513,8 +554,7 @@ impl PhysicalPlan {
                 ..
             } => {
                 let gs: Vec<String> = group_exprs.iter().map(|g| g.to_string()).collect();
-                let asx: Vec<String> =
-                    aggregates.iter().map(|a| a.display_name()).collect();
+                let asx: Vec<String> = aggregates.iter().map(|a| a.display_name()).collect();
                 let _ = writeln!(
                     out,
                     "{pad}HashAggregate: group=[{}] aggs=[{}]",
@@ -571,10 +611,7 @@ fn execute_pair(
 }
 
 /// Executes many subplans on one thread each.
-fn execute_all_parallel(
-    plans: &[PhysicalPlan],
-    ctx: &ExecContext<'_>,
-) -> Result<Vec<Batch>> {
+fn execute_all_parallel(plans: &[PhysicalPlan], ctx: &ExecContext<'_>) -> Result<Vec<Batch>> {
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = plans
             .iter()
@@ -641,10 +678,7 @@ fn sort_batch(batch: &Batch, keys: &[PhysicalSortKey]) -> Result<Batch> {
     let mut key_fields = Vec::with_capacity(keys.len());
     for (i, k) in keys.iter().enumerate() {
         let col = evaluate(&k.expr, batch)?;
-        key_fields.push(gis_types::Field::new(
-            format!("k{i}"),
-            col.data_type(),
-        ));
+        key_fields.push(gis_types::Field::new(format!("k{i}"), col.data_type()));
         key_cols.push(col);
     }
     let key_batch = Batch::try_new(Arc::new(Schema::new(key_fields)), key_cols)?;
@@ -715,7 +749,8 @@ fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
             // Find the mapping column feeding from this export col
             // among fetched key positions: use the global ordinal the
             // planner stored via inner_key_positions/fetched_global.
-            let g = b.inner.fetched_global[b.inner_key_positions
+            let g = b.inner.fetched_global[b
+                .inner_key_positions
                 .get(export_key.len())
                 .copied()
                 .unwrap_or(0)];
@@ -743,6 +778,9 @@ fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
         if keys_chunk.is_empty() {
             break;
         }
+        // A bind join is the longest-running fragment shape (one
+        // round trip per key batch) — poll the deadline per batch.
+        ctx.check_deadline()?;
         let request = SourceRequest::Lookup {
             table: table.clone(),
             key_columns: key_columns.clone(),

@@ -19,9 +19,7 @@ use crate::exec::fragment::{
     build_fragment, build_lookup_fragment, key_export_ordinals, FragmentExec,
 };
 use crate::exec::options::{ExecOptions, JoinStrategy};
-use crate::exec::physical::{
-    BindJoinExec, PhysicalPlan, PhysicalSortKey, RemoteAggExec,
-};
+use crate::exec::physical::{BindJoinExec, PhysicalPlan, PhysicalSortKey, RemoteAggExec};
 use crate::expr::ScalarExpr;
 use crate::plan::logical::{LogicalPlan, TableScanNode};
 use gis_adapters::{AggSpec, RemoteSource, SortSpec, SourceRequest};
@@ -51,9 +49,7 @@ impl Planner<'_> {
         self.sources
             .get(&source.to_ascii_lowercase())
             .ok_or_else(|| {
-                GisError::Internal(format!(
-                    "no adapter registered for source '{source}'"
-                ))
+                GisError::Internal(format!("no adapter registered for source '{source}'"))
             })
     }
 
@@ -125,8 +121,13 @@ impl Planner<'_> {
                 // Top-k pushdown: Limit(Sort(scan)) on a sort-capable
                 // source ships only skip+fetch rows, pre-sorted.
                 if self.options.sort_pushdown {
-                    if let (Some(f), LogicalPlan::Sort { input: sort_in, keys }) =
-                        (fetch, input.as_ref())
+                    if let (
+                        Some(f),
+                        LogicalPlan::Sort {
+                            input: sort_in,
+                            keys,
+                        },
+                    ) = (fetch, input.as_ref())
                     {
                         if let LogicalPlan::TableScan(t) = sort_in.as_ref() {
                             let bound = f.saturating_add(*skip);
@@ -174,9 +175,9 @@ impl Planner<'_> {
             if let (LogicalPlan::TableScan(l), LogicalPlan::TableScan(r)) =
                 (j.left.as_ref(), j.right.as_ref())
             {
-                if let Some(plan) = self.try_colocated_join(
-                    j, l, r, &left_keys, &right_keys, residual.as_ref(),
-                )? {
+                if let Some(plan) =
+                    self.try_colocated_join(j, l, r, &left_keys, &right_keys, residual.as_ref())?
+                {
                     return Ok(plan);
                 }
             }
@@ -190,9 +191,9 @@ impl Planner<'_> {
         );
         if !left_keys.is_empty() && bindable_kind {
             if let LogicalPlan::TableScan(t) = j.right.as_ref() {
-                if let Some(plan) = self.try_key_shipping(
-                    j, t, &left_keys, &right_keys, residual.as_ref(),
-                )? {
+                if let Some(plan) =
+                    self.try_key_shipping(j, t, &left_keys, &right_keys, residual.as_ref())?
+                {
                     return Ok(plan);
                 }
             }
@@ -262,8 +263,7 @@ impl Planner<'_> {
         let mut lk_export = Vec::with_capacity(left_keys.len());
         let mut rk_export = Vec::with_capacity(right_keys.len());
         for (&lo, &ro) in left_keys.iter().zip(right_keys) {
-            let (Some(lg), Some(rg)) = (passthrough(left, lo), passthrough(right, ro))
-            else {
+            let (Some(lg), Some(rg)) = (passthrough(left, lo), passthrough(right, ro)) else {
                 return Ok(None);
             };
             lk_export.push(
@@ -284,11 +284,14 @@ impl Planner<'_> {
         // sets; reuse the scan fragment builder.
         let lf = build_fragment(left, remote)?;
         let rf = build_fragment(right, remote)?;
-        let (SourceRequest::Scan {
-            predicates: lpreds, ..
-        }, SourceRequest::Scan {
-            predicates: rpreds, ..
-        }) = (&lf.request, &rf.request)
+        let (
+            SourceRequest::Scan {
+                predicates: lpreds, ..
+            },
+            SourceRequest::Scan {
+                predicates: rpreds, ..
+            },
+        ) = (&lf.request, &rf.request)
         else {
             return Ok(None);
         };
@@ -414,7 +417,7 @@ impl Planner<'_> {
         left_keys: &[usize],
         right_keys: &[usize],
         residual: Option<&ScalarExpr>,
-        ) -> Result<Option<PhysicalPlan>> {
+    ) -> Result<Option<PhysicalPlan>> {
         let remote = self.remote(&inner.resolved.source.name)?;
         let caps = inner.resolved.source.capabilities;
         if !caps.bind_lookup {
@@ -423,10 +426,7 @@ impl Planner<'_> {
         // The right-side key ordinals are over the scan's *output*;
         // convert to global ordinals of the table.
         let out_ords = inner.output_ordinals();
-        let key_global: Vec<usize> = right_keys
-            .iter()
-            .map(|&k| out_ords[k])
-            .collect();
+        let key_global: Vec<usize> = right_keys.iter().map(|&k| out_ords[k]).collect();
         // Key transforms must be invertible kinds.
         for &g in &key_global {
             match &inner.resolved.mapping.columns[g].transform {
@@ -441,10 +441,7 @@ impl Planner<'_> {
             &key_global,
         )?;
         if inner.resolved.source.kind == "kv" {
-            let is_prefix = key_export
-                .iter()
-                .enumerate()
-                .all(|(i, &c)| c == i);
+            let is_prefix = key_export.iter().enumerate().all(|(i, &c)| c == i);
             if !is_prefix || key_export.is_empty() {
                 return Ok(None);
             }
@@ -503,11 +500,7 @@ impl Planner<'_> {
         let key_bytes_per_row = 9.0 * key_width as f64;
         // Ship-whole: fetch the entire inner relation.
         let ship_msgs = 1.0 + (inner.rows / chunk).ceil();
-        let ship_cost = virtual_cost(
-            conditions,
-            ship_msgs,
-            inner.total_bytes(),
-        );
+        let ship_cost = virtual_cost(conditions, ship_msgs, inner.total_bytes());
         // Key shipping: distinct outer keys out, matching rows back.
         let keys = outer.rows;
         let matched = outer.rows.min(inner.rows);
@@ -516,7 +509,9 @@ impl Planner<'_> {
         let semi_msgs = 1.0 + (matched / chunk).ceil();
         let semi_cost = virtual_cost(conditions, semi_msgs, fetch_bytes);
         // Bind-join: one message pair per key batch.
-        let bind_batches = (keys / self.options.bind_batch_size.max(1) as f64).ceil().max(1.0);
+        let bind_batches = (keys / self.options.bind_batch_size.max(1) as f64)
+            .ceil()
+            .max(1.0);
         let bind_msgs = bind_batches + (matched / chunk).ceil().max(bind_batches);
         let bind_cost = virtual_cost(conditions, bind_msgs, fetch_bytes);
         let min = ship_cost.min(semi_cost).min(bind_cost);
@@ -648,7 +643,10 @@ impl Planner<'_> {
                 return Ok(None);
             };
             let global = out_ords[*c];
-            if !scan.resolved.mapping.columns[global].transform.is_monotonic() {
+            if !scan.resolved.mapping.columns[global]
+                .transform
+                .is_monotonic()
+            {
                 return Ok(None);
             }
             specs.push(SortSpec {
@@ -686,8 +684,7 @@ impl Planner<'_> {
         let mut remapped = Vec::with_capacity(specs.len());
         for s in &specs {
             let global = out_ords[s.column];
-            let export_ord =
-                export.index_of(None, &mapping.columns[global].source_column)?;
+            let export_ord = export.index_of(None, &mapping.columns[global].source_column)?;
             let resp_pos = if projection.is_empty() {
                 export_ord
             } else {
@@ -716,11 +713,7 @@ impl Planner<'_> {
             sort: remapped,
             limit: effective_limit,
         };
-        if fragment
-            .request
-            .check_capabilities(&caps)
-            .is_err()
-        {
+        if fragment.request.check_capabilities(&caps).is_err() {
             return Ok(None);
         }
         Ok(Some(fragment))
@@ -730,6 +723,10 @@ impl Planner<'_> {
 /// Virtual network time (µs) for `msgs` messages carrying `bytes`.
 fn virtual_cost(conditions: NetworkConditions, msgs: f64, bytes: f64) -> f64 {
     let bw = conditions.bandwidth_bytes_per_sec;
-    let transfer = if bw == 0 { 0.0 } else { bytes * 1e6 / bw as f64 };
+    let transfer = if bw == 0 {
+        0.0
+    } else {
+        bytes * 1e6 / bw as f64
+    };
     msgs * conditions.latency_us as f64 + transfer
 }

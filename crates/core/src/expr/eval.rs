@@ -8,9 +8,7 @@
 use crate::expr::like::like_match;
 use crate::expr::ScalarExpr;
 use gis_sql::ast::{BinaryOp, UnaryOp};
-use gis_types::{
-    Array, ArrayBuilder, Batch, DataType, GisError, Result, Value,
-};
+use gis_types::{Array, ArrayBuilder, Batch, DataType, GisError, Result, Value};
 
 /// Evaluates `expr` over every row of `batch`, producing a column.
 pub fn evaluate(expr: &ScalarExpr, batch: &Batch) -> Result<Array> {
@@ -18,7 +16,11 @@ pub fn evaluate(expr: &ScalarExpr, batch: &Batch) -> Result<Array> {
     match expr {
         ScalarExpr::Column(i) => Ok(batch.column(*i).clone()),
         ScalarExpr::Literal(v) => {
-            let dt = if v.is_null() { DataType::Int32 } else { out_type };
+            let dt = if v.is_null() {
+                DataType::Int32
+            } else {
+                out_type
+            };
             Array::from_scalar(v, batch.num_rows(), dt)
         }
         ScalarExpr::Binary { left, op, right } => {
@@ -62,10 +64,7 @@ pub fn evaluate(expr: &ScalarExpr, batch: &Batch) -> Result<Array> {
                 .iter()
                 .map(|(_, t)| evaluate(t, batch))
                 .collect::<Result<_>>()?;
-            let else_arr = else_expr
-                .as_ref()
-                .map(|e| evaluate(e, batch))
-                .transpose()?;
+            let else_arr = else_expr.as_ref().map(|e| evaluate(e, batch)).transpose()?;
             for i in 0..batch.num_rows() {
                 let mut out = Value::Null;
                 let mut matched = false;
@@ -206,9 +205,7 @@ fn eval_unary(op: UnaryOp, input: &Array) -> Result<Array> {
                 v.iter().map(|x| x.wrapping_neg()).collect(),
                 m.clone(),
             )),
-            Array::Float64(v, m) => {
-                Ok(Array::Float64(v.iter().map(|x| -x).collect(), m.clone()))
-            }
+            Array::Float64(v, m) => Ok(Array::Float64(v.iter().map(|x| -x).collect(), m.clone())),
             other => Err(GisError::Execution(format!(
                 "cannot negate {}",
                 other.data_type()
@@ -341,18 +338,14 @@ fn eval_arithmetic(l: &Array, op: BinaryOp, r: &Array, out_type: DataType) -> Re
                         BinaryOp::Multiply => a.checked_mul(c),
                         BinaryOp::Modulo => {
                             if c == 0 {
-                                return Err(GisError::Execution(
-                                    "integer modulo by zero".into(),
-                                ));
+                                return Err(GisError::Execution("integer modulo by zero".into()));
                             }
                             a.checked_rem(c)
                         }
                         _ => unreachable!(),
                     }
                     .ok_or_else(|| {
-                        GisError::Execution(format!(
-                            "integer overflow evaluating {a} {op} {c}"
-                        ))
+                        GisError::Execution(format!("integer overflow evaluating {a} {op} {c}"))
                     })?;
                     b.push_value(&Value::Int64(out))?;
                 }
@@ -418,7 +411,12 @@ mod tests {
                     Value::Utf8("apple".into()),
                     Value::Date(10),
                 ],
-                vec![Value::Int64(2), Value::Null, Value::Utf8("banana".into()), Value::Date(20)],
+                vec![
+                    Value::Int64(2),
+                    Value::Null,
+                    Value::Utf8("banana".into()),
+                    Value::Date(20),
+                ],
                 vec![Value::Null, Value::Float64(2.5), Value::Null, Value::Null],
             ],
         )
@@ -469,8 +467,7 @@ mod tests {
     #[test]
     fn integer_overflow_errors() {
         let b = batch();
-        let e = ScalarExpr::lit(Value::Int64(i64::MAX))
-            .binary(BinaryOp::Plus, ScalarExpr::col(0));
+        let e = ScalarExpr::lit(Value::Int64(i64::MAX)).binary(BinaryOp::Plus, ScalarExpr::col(0));
         assert!(evaluate(&e, &b).is_err());
         let m = ScalarExpr::col(0).binary(BinaryOp::Modulo, ScalarExpr::lit(Value::Int64(0)));
         assert!(evaluate(&m, &b).is_err());

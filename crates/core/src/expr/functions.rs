@@ -132,7 +132,9 @@ impl ScalarFunc {
                 let mut ty = DataType::Null;
                 for &a in args {
                     ty = ty.common_supertype(a).ok_or_else(|| {
-                        GisError::Analysis("coalesce() arguments have incompatible types".to_string())
+                        GisError::Analysis(
+                            "coalesce() arguments have incompatible types".to_string(),
+                        )
                     })?;
                 }
                 Ok(ty)
@@ -225,11 +227,7 @@ impl ScalarFunc {
                     return Ok(Value::Null);
                 }
                 let s: Vec<char> = req_str(&args[0], "substr")?.chars().collect();
-                let start = args[1]
-                    .as_i64()?
-                    .unwrap_or(1)
-                    .max(1) as usize
-                    - 1;
+                let start = args[1].as_i64()?.unwrap_or(1).max(1) as usize - 1;
                 let len = if args.len() == 3 {
                     args[2].as_i64()?.unwrap_or(0).max(0) as usize
                 } else {
@@ -328,15 +326,13 @@ impl ScalarFunc {
 }
 
 fn req_str<'a>(v: &'a Value, func: &str) -> Result<&'a str> {
-    v.as_str()?.ok_or_else(|| {
-        GisError::Execution(format!("{func}() received NULL unexpectedly"))
-    })
+    v.as_str()?
+        .ok_or_else(|| GisError::Execution(format!("{func}() received NULL unexpectedly")))
 }
 
 fn req_num(v: &Value, func: &str) -> Result<f64> {
-    v.as_f64()?.ok_or_else(|| {
-        GisError::Execution(format!("{func}() received NULL unexpectedly"))
-    })
+    v.as_f64()?
+        .ok_or_else(|| GisError::Execution(format!("{func}() received NULL unexpectedly")))
 }
 
 #[cfg(test)]
@@ -346,18 +342,25 @@ mod tests {
     #[test]
     fn resolve_and_names() {
         assert_eq!(ScalarFunc::resolve("upper"), Some(ScalarFunc::Upper));
-        assert_eq!(ScalarFunc::resolve("CEILING".to_lowercase().as_str()), Some(ScalarFunc::Ceil));
+        assert_eq!(
+            ScalarFunc::resolve("CEILING".to_lowercase().as_str()),
+            Some(ScalarFunc::Ceil)
+        );
         assert_eq!(ScalarFunc::resolve("nope"), None);
     }
 
     #[test]
     fn string_functions() {
         assert_eq!(
-            ScalarFunc::Upper.eval(&[Value::Utf8("abc".into())]).unwrap(),
+            ScalarFunc::Upper
+                .eval(&[Value::Utf8("abc".into())])
+                .unwrap(),
             Value::Utf8("ABC".into())
         );
         assert_eq!(
-            ScalarFunc::Length.eval(&[Value::Utf8("héllo".into())]).unwrap(),
+            ScalarFunc::Length
+                .eval(&[Value::Utf8("héllo".into())])
+                .unwrap(),
             Value::Int64(5)
         );
         assert_eq!(
@@ -377,7 +380,9 @@ mod tests {
             Value::Utf8("".into())
         );
         assert_eq!(
-            ScalarFunc::Trim.eval(&[Value::Utf8("  x ".into())]).unwrap(),
+            ScalarFunc::Trim
+                .eval(&[Value::Utf8("  x ".into())])
+                .unwrap(),
             Value::Utf8("x".into())
         );
     }
@@ -439,8 +444,14 @@ mod tests {
     fn date_parts() {
         // 2024-02-29
         let d = Value::Date(gis_types::value::parse_date("2024-02-29").unwrap());
-        assert_eq!(ScalarFunc::Year.eval(&[d.clone()]).unwrap(), Value::Int64(2024));
-        assert_eq!(ScalarFunc::Month.eval(&[d.clone()]).unwrap(), Value::Int64(2));
+        assert_eq!(
+            ScalarFunc::Year.eval(std::slice::from_ref(&d)).unwrap(),
+            Value::Int64(2024)
+        );
+        assert_eq!(
+            ScalarFunc::Month.eval(std::slice::from_ref(&d)).unwrap(),
+            Value::Int64(2)
+        );
         assert_eq!(ScalarFunc::Day.eval(&[d]).unwrap(), Value::Int64(29));
     }
 
@@ -448,11 +459,7 @@ mod tests {
     fn concat_skips_nulls() {
         assert_eq!(
             ScalarFunc::ConcatWs
-                .eval(&[
-                    Value::Utf8("a".into()),
-                    Value::Null,
-                    Value::Int64(7),
-                ])
+                .eval(&[Value::Utf8("a".into()), Value::Null, Value::Int64(7),])
                 .unwrap(),
             Value::Utf8("a7".into())
         );
@@ -470,8 +477,6 @@ mod tests {
             .return_type(&[DataType::Int64, DataType::Utf8])
             .is_err());
         assert!(ScalarFunc::Abs.return_type(&[]).is_err());
-        assert!(ScalarFunc::Substr
-            .return_type(&[DataType::Utf8])
-            .is_err());
+        assert!(ScalarFunc::Substr.return_type(&[DataType::Utf8]).is_err());
     }
 }

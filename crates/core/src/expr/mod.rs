@@ -170,9 +170,9 @@ impl ScalarExpr {
                 }
                 ty
             }
-            ScalarExpr::InList { .. }
-            | ScalarExpr::Like { .. }
-            | ScalarExpr::IsNull { .. } => DataType::Boolean,
+            ScalarExpr::InList { .. } | ScalarExpr::Like { .. } | ScalarExpr::IsNull { .. } => {
+                DataType::Boolean
+            }
         })
     }
 
@@ -182,9 +182,7 @@ impl ScalarExpr {
             ScalarExpr::Column(i) => input.field(*i).nullable,
             ScalarExpr::Literal(v) => v.is_null(),
             ScalarExpr::IsNull { .. } => false,
-            ScalarExpr::Binary { left, right, .. } => {
-                left.nullable(input) || right.nullable(input)
-            }
+            ScalarExpr::Binary { left, right, .. } => left.nullable(input) || right.nullable(input),
             ScalarExpr::Unary { expr, .. } => expr.nullable(input),
             ScalarExpr::Cast { expr, .. } => expr.nullable(input),
             // Conservative for the rest.
@@ -306,7 +304,10 @@ impl ScalarExpr {
 
     /// Rewrites column ordinals through `map` (old ordinal → new);
     /// errors if a referenced ordinal is missing from the map.
-    pub fn remap_columns(self, map: &std::collections::HashMap<usize, usize>) -> Result<ScalarExpr> {
+    pub fn remap_columns(
+        self,
+        map: &std::collections::HashMap<usize, usize>,
+    ) -> Result<ScalarExpr> {
         // Detect unmapped ordinals first (transform can't fail).
         for c in self.referenced_columns() {
             if !map.contains_key(&c) {
@@ -367,9 +368,8 @@ pub fn binary_result_type(lt: DataType, op: BinaryOp, rt: DataType) -> Result<Da
             Ok(DataType::Boolean)
         }
         Eq | NotEq | Lt | LtEq | Gt | GtEq => {
-            lt.common_supertype(rt).ok_or_else(|| {
-                GisError::Analysis(format!("cannot compare {lt} {op} {rt}"))
-            })?;
+            lt.common_supertype(rt)
+                .ok_or_else(|| GisError::Analysis(format!("cannot compare {lt} {op} {rt}")))?;
             Ok(DataType::Boolean)
         }
         Plus | Minus | Multiply | Divide | Modulo => {
@@ -377,9 +377,9 @@ pub fn binary_result_type(lt: DataType, op: BinaryOp, rt: DataType) -> Result<Da
             if lt == DataType::Date && rt.is_integer() && matches!(op, Plus | Minus) {
                 return Ok(DataType::Date);
             }
-            let common = lt.common_supertype(rt).ok_or_else(|| {
-                GisError::Analysis(format!("cannot apply {op} to {lt} and {rt}"))
-            })?;
+            let common = lt
+                .common_supertype(rt)
+                .ok_or_else(|| GisError::Analysis(format!("cannot apply {op} to {lt} and {rt}")))?;
             if !common.is_numeric() && common != DataType::Null {
                 return Err(GisError::Analysis(format!(
                     "arithmetic {op} requires numerics, got {common}"
@@ -490,8 +490,7 @@ mod tests {
         assert_eq!(cmp.data_type(&s).unwrap(), DataType::Boolean);
         let div = ScalarExpr::col(0).binary(BinaryOp::Divide, ScalarExpr::lit(Value::Int64(2)));
         assert_eq!(div.data_type(&s).unwrap(), DataType::Float64);
-        let date_add =
-            ScalarExpr::col(4).binary(BinaryOp::Plus, ScalarExpr::lit(Value::Int64(7)));
+        let date_add = ScalarExpr::col(4).binary(BinaryOp::Plus, ScalarExpr::lit(Value::Int64(7)));
         assert_eq!(date_add.data_type(&s).unwrap(), DataType::Date);
     }
 
@@ -584,10 +583,7 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = ScalarExpr::col(0).binary(
-            BinaryOp::Plus,
-            ScalarExpr::lit(Value::Int64(1)),
-        );
+        let e = ScalarExpr::col(0).binary(BinaryOp::Plus, ScalarExpr::lit(Value::Int64(1)));
         assert_eq!(e.to_string(), "(#0 + 1)");
     }
 
@@ -595,20 +591,14 @@ mod tests {
     fn case_type_unification() {
         let s = schema();
         let c = ScalarExpr::Case {
-            branches: vec![(
-                ScalarExpr::col(3),
-                ScalarExpr::lit(Value::Int32(1)),
-            )],
+            branches: vec![(ScalarExpr::col(3), ScalarExpr::lit(Value::Int32(1)))],
             else_expr: Some(Box::new(ScalarExpr::lit(Value::Float64(0.5)))),
         };
         assert_eq!(c.data_type(&s).unwrap(), DataType::Float64);
         let bad = ScalarExpr::Case {
             branches: vec![
                 (ScalarExpr::col(3), ScalarExpr::lit(Value::Int32(1))),
-                (
-                    ScalarExpr::col(3),
-                    ScalarExpr::lit(Value::Utf8("x".into())),
-                ),
+                (ScalarExpr::col(3), ScalarExpr::lit(Value::Utf8("x".into()))),
             ],
             else_expr: None,
         };

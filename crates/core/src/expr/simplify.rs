@@ -37,9 +37,7 @@ fn simplify_node(e: ScalarExpr) -> ScalarExpr {
                 op: UnaryOp::Not,
                 expr: inner,
             } => *inner,
-            ScalarExpr::Literal(Value::Boolean(b)) => {
-                ScalarExpr::Literal(Value::Boolean(!b))
-            }
+            ScalarExpr::Literal(Value::Boolean(b)) => ScalarExpr::Literal(Value::Boolean(!b)),
             other => ScalarExpr::Unary {
                 op: UnaryOp::Not,
                 expr: Box::new(other),

@@ -26,7 +26,8 @@ use gis_net::{Link, NetworkConditions, SimClock};
 use gis_sql::ast::Statement;
 use gis_types::{Batch, GisError, Result};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -46,6 +47,7 @@ pub struct Federation {
     clock: SimClock,
     optimizer_options: RwLock<OptimizerOptions>,
     exec_options: RwLock<ExecOptions>,
+    next_query_id: AtomicU64,
 }
 
 impl Default for Federation {
@@ -63,6 +65,7 @@ impl Federation {
             clock: SimClock::new(),
             optimizer_options: RwLock::new(OptimizerOptions::default()),
             exec_options: RwLock::new(ExecOptions::default()),
+            next_query_id: AtomicU64::new(1),
         }
     }
 
@@ -133,6 +136,38 @@ impl Federation {
             .map(|r| r.link().clone())
     }
 
+    /// Like [`Federation::source_link`], but errors on unknown names —
+    /// the form fault-injection tests want: `fed.link("crm")?` hands
+    /// back the metered link whose `faults()` handle scripts
+    /// partitions and transient failures.
+    pub fn link(&self, source: &str) -> Result<Link> {
+        self.source_link(source)
+            .ok_or_else(|| GisError::Catalog(format!("unknown source '{source}'")))
+    }
+
+    /// The catalog's metadata version. Plan caches key on this: any
+    /// registration or mapping change invalidates cached plans.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.version()
+    }
+
+    /// Per-source data versions, as reported by each adapter. Result
+    /// caches pin this map: a bump on any source a cached result read
+    /// from invalidates the entry.
+    pub fn data_versions(&self) -> BTreeMap<String, u64> {
+        self.sources
+            .read()
+            .values()
+            .map(|s| (s.name().to_string(), s.adapter().data_version()))
+            .collect()
+    }
+
+    /// Allocates a fresh query id (monotonic, starts at 1; id 0 is
+    /// reserved for ad-hoc queries outside the runtime).
+    pub fn next_query_id(&self) -> u64 {
+        self.next_query_id.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Names of all registered sources.
     pub fn source_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
@@ -178,15 +213,46 @@ impl Federation {
         let stmt = gis_sql::parse(sql)?;
         let plan = self.plan_statement(&stmt)?;
         let sources = self.sources.read();
-        let physical =
-            create_physical_plan(&plan, &sources, &self.exec_options.read())?;
+        let physical = create_physical_plan(&plan, &sources, &self.exec_options.read())?;
         Ok(format!(
             "== Logical plan ==\n{plan}== Physical plan ==\n{}",
             physical.display()
         ))
     }
 
-    fn plan_statement(&self, stmt: &Statement) -> Result<LogicalPlan> {
+    /// Like [`Federation::query`], but with explicit option sets
+    /// instead of the federation-wide defaults. This is the session
+    /// path: a runtime session carries its own overrides and must not
+    /// mutate shared state to apply them.
+    pub fn query_with(
+        &self,
+        sql: &str,
+        optimizer: &OptimizerOptions,
+        exec: &ExecOptions,
+    ) -> Result<QueryResult> {
+        let stmt = gis_sql::parse(sql)?;
+        match stmt {
+            Statement::Explain { analyze, statement } => {
+                self.explain_statement(*statement, analyze)
+            }
+            Statement::Query(_) => {
+                let started = Instant::now();
+                let plan = self.plan_statement_with(&stmt, optimizer)?;
+                let mut result = self.execute_logical(&plan, exec, 0, None)?;
+                result.metrics.wall_us = started.elapsed().as_micros();
+                Ok(result)
+            }
+        }
+    }
+
+    /// Binds and optimizes a parsed statement under explicit optimizer
+    /// options. The frontend half of the query path; the runtime's
+    /// plan cache wraps exactly this call.
+    pub fn plan_statement_with(
+        &self,
+        stmt: &Statement,
+        options: &OptimizerOptions,
+    ) -> Result<LogicalPlan> {
         if let Statement::Query(q) = stmt {
             if let gis_sql::ast::SetExpr::Select(s) = &q.body {
                 if let Some(from) = &s.from {
@@ -197,42 +263,60 @@ impl Federation {
         }
         let binder = Binder::new(self.catalog.clone());
         let bound = binder.bind(stmt)?;
-        optimize(bound, &self.optimizer_options.read())
+        optimize(bound, options)
+    }
+
+    /// Executes an already-optimized logical plan under explicit
+    /// execution options, attributing traffic to `query_id` and
+    /// cancelling (with [`GisError::Deadline`]) once `deadline`
+    /// passes. The backend half of the query path.
+    pub fn execute_logical(
+        &self,
+        plan: &LogicalPlan,
+        exec: &ExecOptions,
+        query_id: u64,
+        deadline: Option<Instant>,
+    ) -> Result<QueryResult> {
+        let started = Instant::now();
+        let sources = self.sources.read();
+        let physical = create_physical_plan(plan, &sources, exec)?;
+        let links: Vec<&Link> = sources.values().map(|s| s.link()).collect();
+        let snapshot = TrafficSnapshot::capture(links.iter().copied(), &self.clock);
+        let ctx = ExecContext::with_options(&sources, *exec)
+            .with_query_id(query_id)
+            .with_deadline(deadline);
+        let batch = physical.execute(&ctx)?;
+        let mut metrics = snapshot.diff_against(sources.values().map(|s| s.link()), &self.clock);
+        metrics.rows_returned = batch.num_rows();
+        metrics.fragments = physical.fragment_count();
+        metrics.query_id = query_id;
+        metrics.wall_us = started.elapsed().as_micros();
+        Ok(QueryResult { batch, metrics })
+    }
+
+    fn plan_statement(&self, stmt: &Statement) -> Result<LogicalPlan> {
+        let options = *self.optimizer_options.read();
+        self.plan_statement_with(stmt, &options)
     }
 
     fn run_statement(&self, stmt: &Statement) -> Result<QueryResult> {
         let started = Instant::now();
         let plan = self.plan_statement(stmt)?;
-        let sources = self.sources.read();
-        let physical =
-            create_physical_plan(&plan, &sources, &self.exec_options.read())?;
-        let links: Vec<&Link> = sources.values().map(|s| s.link()).collect();
-        let snapshot = TrafficSnapshot::capture(links.iter().copied(), &self.clock);
-        let ctx = ExecContext::with_options(&sources, self.exec_options());
-        let batch = physical.execute(&ctx)?;
-        let mut metrics = snapshot.diff_against(
-            sources.values().map(|s| s.link()),
-            &self.clock,
-        );
-        metrics.rows_returned = batch.num_rows();
-        metrics.fragments = physical.fragment_count();
-        metrics.wall_us = started.elapsed().as_micros();
-        Ok(QueryResult { batch, metrics })
+        let exec = self.exec_options();
+        let mut result = self.execute_logical(&plan, &exec, 0, None)?;
+        result.metrics.wall_us = started.elapsed().as_micros();
+        Ok(result)
     }
 
     fn explain_statement(&self, stmt: Statement, analyze: bool) -> Result<QueryResult> {
         let rendered = if analyze {
             let result = self.run_statement(&stmt)?;
             let plan = self.plan_statement(&stmt)?;
-            format!(
-                "{plan}-- executed: {}\n",
-                result.metrics.summary()
-            )
+            format!("{plan}-- executed: {}\n", result.metrics.summary())
         } else {
             let plan = self.plan_statement(&stmt)?;
             let sources = self.sources.read();
-            let physical =
-                create_physical_plan(&plan, &sources, &self.exec_options.read())?;
+            let physical = create_physical_plan(&plan, &sources, &self.exec_options.read())?;
             format!(
                 "== Logical plan ==\n{plan}== Physical plan ==\n{}",
                 physical.display()

@@ -44,6 +44,18 @@ pub struct QueryMetrics {
     pub per_source: BTreeMap<String, SourceTraffic>,
     /// Number of source fragments the plan shipped.
     pub fragments: usize,
+    /// Runtime-assigned query id (0 for ad-hoc `Federation::query`
+    /// calls outside a runtime session).
+    pub query_id: u64,
+    /// True when the frontend (parse→bind→optimize) was skipped
+    /// because the runtime's plan cache already held the plan.
+    pub plan_cache_hit: bool,
+    /// True when the whole result came from the runtime's result
+    /// cache (no planning, no execution, no traffic).
+    pub result_cache_hit: bool,
+    /// Host time the query spent waiting in the scheduler queue
+    /// before a worker picked it up, µs.
+    pub queue_wait_us: u64,
 }
 
 impl QueryMetrics {
@@ -57,7 +69,11 @@ impl QueryMetrics {
     /// (`ExecOptions::parallel_fetch`), elapsed network time
     /// approaches this instead of the sequential sum.
     pub fn virtual_parallel_us(&self) -> u64 {
-        self.per_source.values().map(|t| t.busy_us).max().unwrap_or(0)
+        self.per_source
+            .values()
+            .map(|t| t.busy_us)
+            .max()
+            .unwrap_or(0)
     }
 
     /// [`QueryMetrics::virtual_parallel_us`] in milliseconds.
@@ -65,16 +81,87 @@ impl QueryMetrics {
         self.virtual_parallel_us() as f64 / 1_000.0
     }
 
-    /// A compact single-line summary for reports.
+    /// A compact single-line summary for reports. Runtime-tier fields
+    /// (query id, cache hits, queue wait) appear only when set, so
+    /// ad-hoc queries keep the short classic form.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "rows={} bytes={} msgs={} net_ms={:.2} fragments={}",
             self.rows_returned,
             self.bytes_shipped,
             self.messages,
             self.virtual_network_ms(),
             self.fragments
-        )
+        );
+        if self.query_id != 0 {
+            s.push_str(&format!(" qid={}", self.query_id));
+        }
+        if self.plan_cache_hit {
+            s.push_str(" plan_cache=hit");
+        }
+        if self.result_cache_hit {
+            s.push_str(" result_cache=hit");
+        }
+        if self.queue_wait_us != 0 {
+            s.push_str(&format!(
+                " queue_wait_ms={:.2}",
+                self.queue_wait_us as f64 / 1_000.0
+            ));
+        }
+        s
+    }
+
+    /// A two-column table rendering of every counter — what report
+    /// binaries print when they want the full picture without
+    /// hand-rolled formatting.
+    pub fn to_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = vec![
+            ("rows_returned".into(), self.rows_returned.to_string()),
+            ("bytes_shipped".into(), self.bytes_shipped.to_string()),
+            ("messages".into(), self.messages.to_string()),
+            ("failures".into(), self.failures.to_string()),
+            ("fragments".into(), self.fragments.to_string()),
+            (
+                "virtual_network_ms".into(),
+                format!("{:.3}", self.virtual_network_ms()),
+            ),
+            (
+                "virtual_parallel_ms".into(),
+                format!("{:.3}", self.virtual_parallel_ms()),
+            ),
+            (
+                "wall_ms".into(),
+                format!("{:.3}", self.wall_us as f64 / 1_000.0),
+            ),
+            ("query_id".into(), self.query_id.to_string()),
+            (
+                "plan_cache".into(),
+                if self.plan_cache_hit { "hit" } else { "miss" }.into(),
+            ),
+            (
+                "result_cache".into(),
+                if self.result_cache_hit { "hit" } else { "miss" }.into(),
+            ),
+            (
+                "queue_wait_ms".into(),
+                format!("{:.3}", self.queue_wait_us as f64 / 1_000.0),
+            ),
+        ];
+        for (src, t) in &self.per_source {
+            rows.push((
+                format!("source[{src}]"),
+                format!(
+                    "bytes={} msgs={} busy_us={}",
+                    t.bytes, t.messages, t.busy_us
+                ),
+            ));
+        }
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in rows {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        out
     }
 }
 
@@ -196,9 +283,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let mut m = QueryMetrics::default();
-        m.rows_returned = 3;
-        m.bytes_shipped = 1024;
+        let mut m = QueryMetrics {
+            rows_returned: 3,
+            bytes_shipped: 1024,
+            ..QueryMetrics::default()
+        };
         m.per_source.insert(
             "crm".into(),
             SourceTraffic {

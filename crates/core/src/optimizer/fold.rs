@@ -115,8 +115,7 @@ mod tests {
     fn true_filter_removed() {
         let plan = LogicalPlan::Filter {
             input: Box::new(values_plan()),
-            predicate: ScalarExpr::lit(Value::Int64(1))
-                .eq(ScalarExpr::lit(Value::Int64(1))),
+            predicate: ScalarExpr::lit(Value::Int64(1)).eq(ScalarExpr::lit(Value::Int64(1))),
         };
         let folded = fold_constants(plan).unwrap();
         assert!(matches!(folded, LogicalPlan::Values { .. }));
@@ -126,8 +125,7 @@ mod tests {
     fn false_filter_empties_relation() {
         let plan = LogicalPlan::Filter {
             input: Box::new(values_plan()),
-            predicate: ScalarExpr::lit(Value::Int64(1))
-                .eq(ScalarExpr::lit(Value::Int64(2))),
+            predicate: ScalarExpr::lit(Value::Int64(1)).eq(ScalarExpr::lit(Value::Int64(2))),
         };
         let folded = fold_constants(plan).unwrap();
         match folded {

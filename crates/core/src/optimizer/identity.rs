@@ -36,9 +36,7 @@ fn walk(plan: LogicalPlan) -> Result<LogicalPlan> {
             schema,
         } => {
             let input = walk(*input)?;
-            if is_identity(&exprs, input.schema().len())
-                && types_match(&schema, input.schema())
-            {
+            if is_identity(&exprs, input.schema().len()) && types_match(&schema, input.schema()) {
                 input
             } else {
                 LogicalPlan::Projection {
@@ -123,14 +121,9 @@ mod tests {
     }
 
     fn identity_proj(input: LogicalPlan, names: &[&str]) -> LogicalPlan {
-        let exprs: Vec<ScalarExpr> =
-            (0..input.schema().len()).map(ScalarExpr::col).collect();
-        LogicalPlan::project_named(
-            input,
-            exprs,
-            names.iter().map(|s| s.to_string()).collect(),
-        )
-        .unwrap()
+        let exprs: Vec<ScalarExpr> = (0..input.schema().len()).map(ScalarExpr::col).collect();
+        LogicalPlan::project_named(input, exprs, names.iter().map(|s| s.to_string()).collect())
+            .unwrap()
     }
 
     #[test]

@@ -110,9 +110,7 @@ fn collect_region(
     predicates: &mut Vec<ScalarExpr>,
 ) -> Result<()> {
     match plan {
-        LogicalPlan::Join(j)
-            if matches!(j.kind, JoinKind::Inner | JoinKind::Cross) =>
-        {
+        LogicalPlan::Join(j) if matches!(j.kind, JoinKind::Inner | JoinKind::Cross) => {
             let left_len = j.left.schema().len();
             let offset_before_left = region_width(relations);
             collect_region(*j.left, relations, predicates)?;
@@ -132,9 +130,7 @@ fn collect_region(
                     }
                     other => other,
                 });
-                predicates.extend(
-                    shifted.split_conjunction().into_iter().cloned(),
-                );
+                predicates.extend(shifted.split_conjunction().into_iter().cloned());
             }
             Ok(())
         }
@@ -214,15 +210,8 @@ fn build_ordered(
         };
     }
     // Restore original region column order with a projection.
-    let pos: HashMap<usize, usize> = best
-        .cols
-        .iter()
-        .enumerate()
-        .map(|(p, &c)| (c, p))
-        .collect();
-    let exprs: Vec<ScalarExpr> = (0..total_cols)
-        .map(|c| ScalarExpr::col(pos[&c]))
-        .collect();
+    let pos: HashMap<usize, usize> = best.cols.iter().enumerate().map(|(p, &c)| (c, p)).collect();
+    let exprs: Vec<ScalarExpr> = (0..total_cols).map(|c| ScalarExpr::col(pos[&c])).collect();
     let fields: Vec<gis_types::Field> = (0..total_cols)
         .map(|c| best.plan.schema().field(pos[&c]).clone())
         .collect();
@@ -237,20 +226,12 @@ fn build_ordered(
 fn applied_mask(cand: &Candidate, predicates: &[ScalarExpr]) -> Vec<bool> {
     predicates
         .iter()
-        .map(|p| {
-            p.referenced_columns()
-                .iter()
-                .all(|c| cand.cols.contains(c))
-        })
+        .map(|p| p.referenced_columns().iter().all(|c| cand.cols.contains(c)))
         .collect()
 }
 
 /// Joins two candidates, attaching every newly-applicable predicate.
-fn join_candidates(
-    a: &Candidate,
-    b: &Candidate,
-    predicates: &[ScalarExpr],
-) -> Result<Candidate> {
+fn join_candidates(a: &Candidate, b: &Candidate, predicates: &[ScalarExpr]) -> Result<Candidate> {
     let mut cols = a.cols.clone();
     cols.extend(&b.cols);
     let applicable: Vec<&ScalarExpr> = predicates
@@ -292,11 +273,7 @@ fn join_candidates(
 }
 
 fn remap_region_expr(p: &ScalarExpr, cols: &[usize]) -> Result<ScalarExpr> {
-    let map: HashMap<usize, usize> = cols
-        .iter()
-        .enumerate()
-        .map(|(pos, &c)| (c, pos))
-        .collect();
+    let map: HashMap<usize, usize> = cols.iter().enumerate().map(|(pos, &c)| (c, pos)).collect();
     p.clone().remap_columns(&map)
 }
 
@@ -327,11 +304,7 @@ fn dp_order(base: &[Candidate], predicates: &[ScalarExpr]) -> Option<Candidate> 
                                 &cand.plan,
                                 LogicalPlan::Join(j) if j.kind == JoinKind::Cross
                             );
-                            let penalized = if is_cross {
-                                cand.cost * 1e6
-                            } else {
-                                cand.cost
-                            };
+                            let penalized = if is_cross { cand.cost * 1e6 } else { cand.cost };
                             let better = match &best {
                                 None => true,
                                 Some(b2) => {
@@ -359,10 +332,7 @@ fn dp_order(base: &[Candidate], predicates: &[ScalarExpr]) -> Option<Candidate> 
 
 /// Greedy fallback: repeatedly join the pair with the smallest
 /// estimated result.
-fn greedy_order(
-    mut pool: Vec<Candidate>,
-    predicates: &[ScalarExpr],
-) -> Option<Candidate> {
+fn greedy_order(mut pool: Vec<Candidate>, predicates: &[ScalarExpr]) -> Option<Candidate> {
     while pool.len() > 1 {
         let mut best: Option<(usize, usize, Candidate)> = None;
         for i in 0..pool.len() {
@@ -381,8 +351,7 @@ fn greedy_order(
                                     &b.plan,
                                     LogicalPlan::Join(j) if j.kind == JoinKind::Cross
                                 );
-                                let b_score =
-                                    if b_cross { b.cost * 1e6 } else { b.cost };
+                                let b_score = if b_cross { b.cost * 1e6 } else { b.cost };
                                 score < b_score
                             }
                         };

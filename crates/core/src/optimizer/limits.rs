@@ -121,9 +121,10 @@ mod tests {
     #[test]
     fn bound_combination() {
         let v = LogicalPlan::Values {
-            schema: std::sync::Arc::new(gis_types::Schema::new(vec![
-                gis_types::Field::new("x", gis_types::DataType::Int64),
-            ])),
+            schema: std::sync::Arc::new(gis_types::Schema::new(vec![gis_types::Field::new(
+                "x",
+                gis_types::DataType::Int64,
+            )])),
             rows: vec![],
         };
         let plan = LogicalPlan::Limit {

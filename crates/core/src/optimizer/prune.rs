@@ -82,8 +82,7 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
             schema,
         } => {
             let keep: Vec<usize> = required.iter().copied().collect();
-            let kept_exprs: Vec<ScalarExpr> =
-                keep.iter().map(|&i| exprs[i].clone()).collect();
+            let kept_exprs: Vec<ScalarExpr> = keep.iter().map(|&i| exprs[i].clone()).collect();
             let mut need = BTreeSet::new();
             for e in &kept_exprs {
                 need.extend(e.referenced_columns());
@@ -263,10 +262,7 @@ fn prune_join(j: JoinNode, required: &BTreeSet<usize>) -> Result<(LogicalPlan, V
     for (new_pos, &old) in right_prod.iter().enumerate() {
         combined_map.insert(left_len + old, new_left_len + new_pos);
     }
-    let on = j
-        .on
-        .map(|e| e.remap_columns(&combined_map))
-        .transpose()?;
+    let on = j.on.map(|e| e.remap_columns(&combined_map)).transpose()?;
     let kind = j.kind;
     let joined = LogicalPlan::join(left, right, kind, on);
     // What original combined ordinals does the new join produce?
@@ -282,11 +278,7 @@ fn prune_join(j: JoinNode, required: &BTreeSet<usize>) -> Result<(LogicalPlan, V
 
 /// `child` produces original ordinals `produced`; narrow it (with a
 /// projection if needed) to exactly `want` in order.
-fn narrow_to(
-    child: LogicalPlan,
-    produced: &[usize],
-    want: &[usize],
-) -> Result<LogicalPlan> {
+fn narrow_to(child: LogicalPlan, produced: &[usize], want: &[usize]) -> Result<LogicalPlan> {
     if produced == want {
         return Ok(child);
     }
@@ -294,13 +286,9 @@ fn narrow_to(
     let exprs: Vec<ScalarExpr> = want
         .iter()
         .map(|w| {
-            map.get(w)
-                .map(|&p| ScalarExpr::col(p))
-                .ok_or_else(|| {
-                    GisError::Internal(format!(
-                        "pruned child lost required ordinal {w}"
-                    ))
-                })
+            map.get(w).map(|&p| ScalarExpr::col(p)).ok_or_else(|| {
+                GisError::Internal(format!("pruned child lost required ordinal {w}"))
+            })
         })
         .collect::<Result<_>>()?;
     let fields: Vec<gis_types::Field> = want

@@ -119,11 +119,8 @@ fn push(plan: LogicalPlan, mut preds: Vec<ScalarExpr>) -> Result<LogicalPlan> {
         }
         LogicalPlan::TableScan(mut t) => {
             // Remap output ordinals to full-global-schema ordinals.
-            let out_to_global: HashMap<usize, usize> = t
-                .output_ordinals()
-                .into_iter()
-                .enumerate()
-                .collect();
+            let out_to_global: HashMap<usize, usize> =
+                t.output_ordinals().into_iter().enumerate().collect();
             for p in preds {
                 let remapped = p.remap_columns(&out_to_global)?;
                 t.filters.push(remapped);
@@ -162,9 +159,7 @@ fn push_join(j: JoinNode, preds: Vec<ScalarExpr>) -> Result<LogicalPlan> {
         if all_left && can_left {
             left_preds.push(p);
         } else if all_right && can_right {
-            let map: HashMap<usize, usize> = (0..right_len)
-                .map(|i| (left_len + i, i))
-                .collect();
+            let map: HashMap<usize, usize> = (0..right_len).map(|i| (left_len + i, i)).collect();
             right_preds.push(p.remap_columns(&map)?);
         } else {
             stay.push(p);
@@ -181,9 +176,8 @@ fn push_join(j: JoinNode, preds: Vec<ScalarExpr>) -> Result<LogicalPlan> {
             if j.kind == JoinKind::Inner && all_left {
                 left_preds.push(part.clone());
             } else if j.kind == JoinKind::Inner && all_right {
-                let map: HashMap<usize, usize> = (0..right_len)
-                    .map(|i| (left_len + i, i))
-                    .collect();
+                let map: HashMap<usize, usize> =
+                    (0..right_len).map(|i| (left_len + i, i)).collect();
                 right_preds.push(part.clone().remap_columns(&map)?);
             } else {
                 on_parts.push(part.clone());
@@ -192,12 +186,7 @@ fn push_join(j: JoinNode, preds: Vec<ScalarExpr>) -> Result<LogicalPlan> {
     }
     let left = push(*j.left, left_preds)?;
     let right = push(*j.right, right_preds)?;
-    let joined = LogicalPlan::join(
-        left,
-        right,
-        j.kind,
-        ScalarExpr::conjunction(on_parts),
-    );
+    let joined = LogicalPlan::join(left, right, j.kind, ScalarExpr::conjunction(on_parts));
     Ok(wrap(joined, stay))
 }
 

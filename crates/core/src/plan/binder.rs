@@ -266,8 +266,7 @@ impl Binder {
             .iter()
             .map(|a| self.bind_aggregate_call(a, &in_schema))
             .collect::<Result<_>>()?;
-        let agg_plan =
-            LogicalPlan::aggregate(input, group_exprs.clone(), aggregates)?;
+        let agg_plan = LogicalPlan::aggregate(input, group_exprs.clone(), aggregates)?;
         let agg_schema = agg_plan.schema().clone();
         // Rewriter: group AST -> ordinal, agg AST -> ordinal.
         let ctx = PostAggContext {
@@ -330,7 +329,11 @@ impl Binder {
         })?;
         let left_len = left_schema.len();
         let on = key.clone().eq(ScalarExpr::col(left_len));
-        let kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
+        let kind = if negated {
+            JoinKind::Anti
+        } else {
+            JoinKind::Semi
+        };
         let mut joined = LogicalPlan::join(plan, sub, kind, Some(on));
         if negated {
             // NULL tested values never satisfy NOT IN.
@@ -375,9 +378,7 @@ impl Binder {
                 AggFunc::Sum | AggFunc::Avg => t.is_numeric() || t == DataType::Null,
             };
             if !ok {
-                return Err(GisError::Analysis(format!(
-                    "{name}() cannot aggregate {t}"
-                )));
+                return Err(GisError::Analysis(format!("{name}() cannot aggregate {t}")));
             }
         }
         Ok(AggregateExpr {
@@ -397,9 +398,7 @@ impl Binder {
             match item {
                 SelectItem::Wildcard => {
                     if schema.is_empty() {
-                        return Err(GisError::Analysis(
-                            "SELECT * with no FROM clause".into(),
-                        ));
+                        return Err(GisError::Analysis("SELECT * with no FROM clause".into()));
                     }
                     for f in schema.fields() {
                         out.push((
@@ -414,7 +413,10 @@ impl Binder {
                 SelectItem::QualifiedWildcard(q) => {
                     let mut any = false;
                     for f in schema.fields() {
-                        if f.qualifier.as_deref().is_some_and(|fq| fq.eq_ignore_ascii_case(q)) {
+                        if f.qualifier
+                            .as_deref()
+                            .is_some_and(|fq| fq.eq_ignore_ascii_case(q))
+                        {
                             any = true;
                             out.push((
                                 Expr::Column {
@@ -458,8 +460,7 @@ impl Binder {
                 // Requalify the subquery's output under the alias.
                 let schema = Arc::new(inner.schema().requalify(alias));
                 // Identity projection to install the new schema.
-                let exprs: Vec<ScalarExpr> =
-                    (0..schema.len()).map(ScalarExpr::col).collect();
+                let exprs: Vec<ScalarExpr> = (0..schema.len()).map(ScalarExpr::col).collect();
                 Ok(LogicalPlan::Projection {
                     input: Box::new(inner),
                     exprs,
@@ -489,10 +490,7 @@ impl Binder {
                         for c in cols {
                             let li = l.schema().index_of(None, c)?;
                             let ri = r.schema().index_of(None, c)?;
-                            parts.push(
-                                ScalarExpr::col(li)
-                                    .eq(ScalarExpr::col(left_len + ri)),
-                            );
+                            parts.push(ScalarExpr::col(li).eq(ScalarExpr::col(left_len + ri)));
                         }
                         ScalarExpr::conjunction(parts)
                     }
@@ -513,11 +511,7 @@ impl Binder {
     /// dropped, or ordering by a non-projected column), the sort is
     /// planned **below** the projection, where the projection is a
     /// 1:1 row mapping so result order is preserved.
-    fn attach_order_by(
-        &self,
-        plan: LogicalPlan,
-        order_by: &[OrderByExpr],
-    ) -> Result<LogicalPlan> {
+    fn attach_order_by(&self, plan: LogicalPlan, order_by: &[OrderByExpr]) -> Result<LogicalPlan> {
         match self.bind_order_by(order_by, plan.schema()) {
             Ok(keys) => Ok(LogicalPlan::Sort {
                 input: Box::new(plan),
@@ -575,11 +569,7 @@ impl Binder {
         }
     }
 
-    fn bind_order_by(
-        &self,
-        order_by: &[OrderByExpr],
-        schema: &SchemaRef,
-    ) -> Result<Vec<SortExpr>> {
+    fn bind_order_by(&self, order_by: &[OrderByExpr], schema: &SchemaRef) -> Result<Vec<SortExpr>> {
         order_by
             .iter()
             .map(|o| {
@@ -649,9 +639,8 @@ impl Binder {
                         "aggregate {name}() is not allowed here"
                     )));
                 }
-                let func = ScalarFunc::resolve(name).ok_or_else(|| {
-                    GisError::Analysis(format!("unknown function '{name}'"))
-                })?;
+                let func = ScalarFunc::resolve(name)
+                    .ok_or_else(|| GisError::Analysis(format!("unknown function '{name}'")))?;
                 let bound: Vec<ScalarExpr> = args
                     .iter()
                     .map(|a| self.bind_expr(a, schema))
@@ -671,17 +660,14 @@ impl Binder {
             }
             Expr::InSubquery { .. } => {
                 return Err(GisError::Analysis(
-                    "IN (SELECT ...) is only supported as a top-level WHERE conjunct"
-                        .into(),
+                    "IN (SELECT ...) is only supported as a top-level WHERE conjunct".into(),
                 ))
             }
             Expr::Cast { expr, to } => {
                 let inner = self.bind_expr(expr, schema)?;
                 let from = inner.data_type(schema)?;
                 if !from.can_cast_to(*to) {
-                    return Err(GisError::Analysis(format!(
-                        "cannot CAST {from} to {to}"
-                    )));
+                    return Err(GisError::Analysis(format!("cannot CAST {from} to {to}")));
                 }
                 ScalarExpr::Cast {
                     expr: Box::new(inner),
@@ -821,9 +807,8 @@ impl PostAggContext<'_> {
                 expr: Box::new(self.rewrite(expr)?),
             }),
             Expr::Function { name, args, .. } => {
-                let func = ScalarFunc::resolve(name).ok_or_else(|| {
-                    GisError::Analysis(format!("unknown function '{name}'"))
-                })?;
+                let func = ScalarFunc::resolve(name)
+                    .ok_or_else(|| GisError::Analysis(format!("unknown function '{name}'")))?;
                 Ok(ScalarExpr::Func {
                     func,
                     args: args
@@ -910,11 +895,9 @@ impl PostAggContext<'_> {
                 expr: Box::new(self.rewrite(expr)?),
                 negated: *negated,
             }),
-            Expr::Parameter(_) | Expr::Wildcard | Expr::InSubquery { .. } => {
-                Err(GisError::Analysis(
-                    "invalid expression after aggregation".into(),
-                ))
-            }
+            Expr::Parameter(_) | Expr::Wildcard | Expr::InSubquery { .. } => Err(
+                GisError::Analysis("invalid expression after aggregation".into()),
+            ),
         }
         .and_then(|out| {
             // Sanity: the rewritten expression must type-check against
@@ -974,9 +957,9 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
             collect_aggregates(left, out);
             collect_aggregates(right, out);
         }
-        Expr::UnaryOp { expr, .. }
-        | Expr::Cast { expr, .. }
-        | Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        Expr::UnaryOp { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            collect_aggregates(expr, out)
+        }
         Expr::Function { args, .. } => {
             for a in args {
                 collect_aggregates(a, out);

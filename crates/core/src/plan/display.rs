@@ -41,7 +41,11 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}Filter: {predicate}");
             render(input, depth + 1, out);
         }
-        LogicalPlan::Projection { input, exprs, schema } => {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => {
             let items: Vec<String> = exprs
                 .iter()
                 .zip(schema.fields())

@@ -86,11 +86,7 @@ impl JoinNode {
     /// Output schema for `kind` over the given inputs: semi/anti
     /// joins output only the left side; outer joins relax
     /// nullability on the weak side(s).
-    pub fn compute_schema(
-        left: &Schema,
-        right: &Schema,
-        kind: JoinKind,
-    ) -> SchemaRef {
+    pub fn compute_schema(left: &Schema, right: &Schema, kind: JoinKind) -> SchemaRef {
         match kind {
             JoinKind::Semi | JoinKind::Anti => Arc::new(left.clone()),
             _ => {
@@ -359,10 +355,7 @@ impl LogicalPlan {
                 Some(e) => e.data_type(&in_schema)?,
                 None => gis_types::DataType::Int64,
             };
-            fields.push(Field::new(
-                a.display_name(),
-                a.func.output_type(input_type),
-            ));
+            fields.push(Field::new(a.display_name(), a.func.output_type(input_type)));
         }
         Ok(LogicalPlan::Aggregate {
             input: Box::new(input),
@@ -399,7 +392,11 @@ impl LogicalPlan {
 
     /// Number of nodes (testing/metrics).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// All TableScan nodes in the tree.

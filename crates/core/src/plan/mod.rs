@@ -5,6 +5,4 @@ pub mod display;
 pub mod logical;
 
 pub use binder::Binder;
-pub use logical::{
-    AggregateExpr, JoinNode, LogicalPlan, SortExpr, TableScanNode,
-};
+pub use logical::{AggregateExpr, JoinNode, LogicalPlan, SortExpr, TableScanNode};

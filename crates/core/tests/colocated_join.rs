@@ -50,8 +50,11 @@ fn fed() -> Federation {
         }),
     )
     .unwrap();
-    fed.add_source(Arc::new(erp) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(erp) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     // A scan-only source for the negative case.
     let lake = ColumnarAdapter::new("lake");
     let ev = Schema::new(vec![
@@ -71,8 +74,11 @@ fn fed() -> Federation {
         (0..100i64).map(|i| vec![Value::Int64(i), Value::Int64(i % 20)]),
     )
     .unwrap();
-    fed.add_source(Arc::new(lake) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(lake) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     fed
 }
 

@@ -13,6 +13,7 @@ use std::sync::Arc;
 /// * `crm` (relational): customers(id, name, region, balance_cents)
 /// * `sales` (columnar): orders(order_id, cust_id, day, amount)
 /// * `inventory` (kv): stock(sku, qty)
+///
 /// plus global mappings `customers` (with a cents→dollars transform),
 /// `orders`, `stock`.
 fn federation() -> Federation {
@@ -76,12 +77,21 @@ fn federation() -> Federation {
     )
     .unwrap();
 
-    fed.add_source(Arc::new(crm) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
-    fed.add_source(Arc::new(sales) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
-    fed.add_source(Arc::new(inv) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(crm) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
+    fed.add_source(
+        Arc::new(sales) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
+    fed.add_source(
+        Arc::new(inv) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
 
     // Global mappings.
     let cust_export = fed
@@ -124,8 +134,10 @@ fn federation() -> Federation {
     })
     .unwrap();
     let _ = cust_export;
-    fed.add_global_identity("orders", "sales", "orders").unwrap();
-    fed.add_global_identity("stock", "inventory", "stock").unwrap();
+    fed.add_global_identity("orders", "sales", "orders")
+        .unwrap();
+    fed.add_global_identity("stock", "inventory", "stock")
+        .unwrap();
     fed
 }
 
@@ -134,7 +146,10 @@ fn select_one() {
     let fed = Federation::new();
     let r = fed.query("SELECT 1 AS x, 'hi' AS s").unwrap();
     assert_eq!(r.batch.num_rows(), 1);
-    assert_eq!(r.batch.row_values(0), vec![Value::Int64(1), Value::Utf8("hi".into())]);
+    assert_eq!(
+        r.batch.row_values(0),
+        vec![Value::Int64(1), Value::Utf8("hi".into())]
+    );
     assert_eq!(r.metrics.bytes_shipped, 0);
 }
 
@@ -148,7 +163,11 @@ fn single_source_filter_and_projection() {
     assert_eq!(r.batch.num_rows(), 12);
     assert_eq!(r.batch.num_columns(), 2);
     // predicate + projection pushdown: far fewer bytes than the table
-    assert!(r.metrics.bytes_shipped < 2_000, "bytes={}", r.metrics.bytes_shipped);
+    assert!(
+        r.metrics.bytes_shipped < 2_000,
+        "bytes={}",
+        r.metrics.bytes_shipped
+    );
 }
 
 #[test]
@@ -178,14 +197,20 @@ fn cross_source_join() {
 fn aggregate_pushdown_to_relational() {
     let fed = federation();
     let r = fed
-        .query("SELECT region, count(*), avg(balance) FROM customers GROUP BY region ORDER BY region")
+        .query(
+            "SELECT region, count(*), avg(balance) FROM customers GROUP BY region ORDER BY region",
+        )
         .unwrap();
     assert_eq!(r.batch.num_rows(), 4);
     let row0 = r.batch.row_values(0);
     assert_eq!(row0[0], Value::Utf8("east".into()));
     assert_eq!(row0[1], Value::Int64(25));
     // With pushdown the response is 4 rows, tiny.
-    assert!(r.metrics.bytes_shipped < 1_500, "bytes={}", r.metrics.bytes_shipped);
+    assert!(
+        r.metrics.bytes_shipped < 1_500,
+        "bytes={}",
+        r.metrics.bytes_shipped
+    );
 }
 
 #[test]
@@ -207,9 +232,7 @@ fn kv_source_scan_with_key_range() {
         .unwrap();
     assert_eq!(r.batch.num_rows(), 5);
     // non-key predicate → mediator-side residual
-    let r2 = fed
-        .query("SELECT sku FROM stock WHERE qty > 50")
-        .unwrap();
+    let r2 = fed.query("SELECT sku FROM stock WHERE qty > 50").unwrap();
     assert_eq!(r2.batch.num_rows(), 24); // qty=2*sku>50 → sku>25 → 26..49
 }
 
@@ -322,9 +345,7 @@ fn explain_renders_fragments() {
         .unwrap();
     assert!(plan.contains("Fragment[crm]"), "{plan}");
     assert!(plan.contains("TableScan"), "{plan}");
-    let r = fed
-        .query("EXPLAIN SELECT name FROM customers")
-        .unwrap();
+    let r = fed.query("EXPLAIN SELECT name FROM customers").unwrap();
     assert!(r.batch.num_rows() > 0);
     // EXPLAIN ANALYZE executes and annotates with runtime metrics.
     let ra = fed
@@ -350,7 +371,10 @@ fn errors_are_analysis_quality() {
         ("SELECT name FROM customers WHERE region", "must be boolean"),
         ("SELECT sum(name) FROM customers", "cannot aggregate"),
         ("SELECT name FROM customers GROUP BY region", "GROUP BY"),
-        ("SELECT * FROM customers c JOIN orders c ON 1 = 1", "duplicate table alias"),
+        (
+            "SELECT * FROM customers c JOIN orders c ON 1 = 1",
+            "duplicate table alias",
+        ),
     ] {
         let err = fed.query(sql).unwrap_err().to_string();
         assert!(err.contains(needle), "sql={sql} err={err}");

@@ -30,8 +30,11 @@ fn fed() -> Federation {
         }),
     )
     .unwrap();
-    fed.add_source(Arc::new(crm) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(crm) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     // Mapped global view: widened ids, dollars.
     fed.add_global_mapping(TableMapping {
         global_name: "items".into(),
@@ -72,14 +75,17 @@ fn fed() -> Federation {
     kv.load(
         "stock",
         (0..200i64).flat_map(|i| {
-            ["a", "b"].into_iter().map(move |s| {
-                vec![Value::Int64(i), Value::Utf8(s.into()), Value::Int64(i % 7)]
-            })
+            ["a", "b"]
+                .into_iter()
+                .map(move |s| vec![Value::Int64(i), Value::Utf8(s.into()), Value::Int64(i % 7)])
         }),
     )
     .unwrap();
-    fed.add_source(Arc::new(kv) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(kv) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     fed.add_global_identity("stock", "inv", "stock").unwrap();
     fed
 }
@@ -90,14 +96,21 @@ fn sort_pushes_into_capable_source() {
     let plan = f
         .explain("SELECT id, price FROM items ORDER BY price DESC LIMIT 4")
         .unwrap();
-    assert!(plan.contains("sort=1"), "sort should ride the fragment:\n{plan}");
+    assert!(
+        plan.contains("sort=1"),
+        "sort should ride the fragment:\n{plan}"
+    );
     let r = f
         .query("SELECT id, price FROM items ORDER BY price DESC LIMIT 4")
         .unwrap();
     assert_eq!(r.batch.num_rows(), 4);
     assert_eq!(r.batch.row_values(0)[1], Value::Float64(199.0));
     // The limit rides too: tiny transfer.
-    assert!(r.metrics.bytes_shipped < 400, "bytes={}", r.metrics.bytes_shipped);
+    assert!(
+        r.metrics.bytes_shipped < 400,
+        "bytes={}",
+        r.metrics.bytes_shipped
+    );
 }
 
 #[test]
@@ -121,11 +134,13 @@ fn sort_does_not_push_to_incapable_source() {
 fn predicates_invert_through_cast_and_linear() {
     let f = fed();
     // price is cents*0.01; an exact-dollar predicate inverts.
-    let r = f
-        .query("SELECT id FROM items WHERE price = 42.0")
-        .unwrap();
+    let r = f.query("SELECT id FROM items WHERE price = 42.0").unwrap();
     assert_eq!(r.batch.num_rows(), 1);
-    assert!(r.metrics.bytes_shipped < 250, "pushed: {}", r.metrics.bytes_shipped);
+    assert!(
+        r.metrics.bytes_shipped < 250,
+        "pushed: {}",
+        r.metrics.bytes_shipped
+    );
     // A price that is not a whole cent cannot exist: predicate stays
     // mediator-side (full column ships) but the answer is right.
     let r2 = f
@@ -138,7 +153,11 @@ fn predicates_invert_through_cast_and_linear() {
         .query("SELECT id FROM items WHERE price >= 198.0")
         .unwrap();
     assert_eq!(r3.batch.num_rows(), 2);
-    assert!(r3.metrics.bytes_shipped < 300, "pushed: {}", r3.metrics.bytes_shipped);
+    assert!(
+        r3.metrics.bytes_shipped < 300,
+        "pushed: {}",
+        r3.metrics.bytes_shipped
+    );
 }
 
 #[test]
@@ -190,10 +209,12 @@ fn bind_join_inverts_keys_through_cast() {
 #[test]
 fn kv_scan_with_limit_rides_the_request() {
     let f = fed();
-    let r = f
-        .query("SELECT item_id FROM stock LIMIT 3")
-        .unwrap();
+    let r = f.query("SELECT item_id FROM stock LIMIT 3").unwrap();
     assert_eq!(r.batch.num_rows(), 3);
     // KV honors limits natively: far less than the 400-row table.
-    assert!(r.metrics.bytes_shipped < 500, "bytes={}", r.metrics.bytes_shipped);
+    assert!(
+        r.metrics.bytes_shipped < 500,
+        "bytes={}",
+        r.metrics.bytes_shipped
+    );
 }

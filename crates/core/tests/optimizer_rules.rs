@@ -42,8 +42,11 @@ fn fed() -> Federation {
         (0..5000i64).map(|i| vec![Value::Int64(i), Value::Int64(i % 1000)]),
     )
     .unwrap();
-    fed.add_source(Arc::new(crm) as Arc<dyn SourceAdapter>, NetworkConditions::wan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(crm) as Arc<dyn SourceAdapter>,
+        NetworkConditions::wan(),
+    )
+    .unwrap();
     fed
 }
 
@@ -130,9 +133,7 @@ fn constant_folding_eliminates_contradictions() {
     // Nothing should cross the wire for a contradiction.
     assert_eq!(r.metrics.bytes_shipped, 0, "{:?}", r.metrics);
     // Tautologies vanish, leaving a plain scan.
-    let plan = f
-        .logical_plan("SELECT id FROM crm.t1 WHERE 1 = 1")
-        .unwrap();
+    let plan = f.logical_plan("SELECT id FROM crm.t1 WHERE 1 = 1").unwrap();
     assert_eq!(scan_shapes(&plan)[0].0, 0, "{plan}");
 }
 

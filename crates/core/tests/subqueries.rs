@@ -45,16 +45,14 @@ fn fed() -> Federation {
         "winners",
         [(100i64, Some(1i64)), (101, Some(4)), (102, None)]
             .into_iter()
-            .map(|(w, p)| {
-                vec![
-                    Value::Int64(w),
-                    p.map_or(Value::Null, Value::Int64),
-                ]
-            }),
+            .map(|(w, p)| vec![Value::Int64(w), p.map_or(Value::Null, Value::Int64)]),
     )
     .unwrap();
-    fed.add_source(Arc::new(a) as Arc<dyn SourceAdapter>, NetworkConditions::lan())
-        .unwrap();
+    fed.add_source(
+        Arc::new(a) as Arc<dyn SourceAdapter>,
+        NetworkConditions::lan(),
+    )
+    .unwrap();
     fed
 }
 
@@ -62,9 +60,7 @@ fn fed() -> Federation {
 fn in_subquery_is_semi_join() {
     let f = fed();
     let r = f
-        .query(
-            "SELECT id FROM a.people WHERE id IN (SELECT person FROM a.winners) ORDER BY id",
-        )
+        .query("SELECT id FROM a.people WHERE id IN (SELECT person FROM a.winners) ORDER BY id")
         .unwrap();
     let ids: Vec<Value> = r.batch.column(0).iter_values().collect();
     assert_eq!(ids, vec![Value::Int64(1), Value::Int64(4)]);
@@ -82,9 +78,7 @@ fn not_in_subquery_is_anti_join_null_stripped() {
     // person... id column has no NULLs; winners.person has a NULL
     // which we strip. Expect 2, 3, 5.
     let r = f
-        .query(
-            "SELECT id FROM a.people WHERE id NOT IN (SELECT person FROM a.winners) ORDER BY id",
-        )
+        .query("SELECT id FROM a.people WHERE id NOT IN (SELECT person FROM a.winners) ORDER BY id")
         .unwrap();
     let ids: Vec<Value> = r.batch.column(0).iter_values().collect();
     assert_eq!(ids, vec![Value::Int64(2), Value::Int64(3), Value::Int64(5)]);

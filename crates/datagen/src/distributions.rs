@@ -75,7 +75,12 @@ mod tests {
             counts[s] += 1;
         }
         // Head must dominate tail.
-        assert!(counts[0] > counts[50] * 5, "head {} tail {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "head {} tail {}",
+            counts[0],
+            counts[50]
+        );
         // Everything reachable-ish: at least half the domain seen.
         assert!(counts.iter().filter(|&&c| c > 0).count() > 50);
     }

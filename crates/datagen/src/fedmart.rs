@@ -13,7 +13,14 @@ use std::sync::Arc;
 
 /// Eight sales regions.
 pub const REGIONS: [&str; 8] = [
-    "north", "south", "east", "west", "центр", "altiplano", "levant", "outback",
+    "north",
+    "south",
+    "east",
+    "west",
+    "центр",
+    "altiplano",
+    "levant",
+    "outback",
 ];
 
 /// Product categories.
@@ -180,11 +187,7 @@ pub fn build_fedmart(config: FedMartConfig) -> Result<FedMart> {
     .into_ref();
     let mut stores: Vec<ColumnStore> = (0..parts)
         .map(|_| {
-            ColumnStore::with_segment_rows(
-                "orders",
-                orders_schema.clone(),
-                config.segment_rows,
-            )
+            ColumnStore::with_segment_rows("orders", orders_schema.clone(), config.segment_rows)
         })
         .collect();
     for oid in 0..sizes.orders {
@@ -211,7 +214,10 @@ pub fn build_fedmart(config: FedMartConfig) -> Result<FedMart> {
         };
         let adapter = ColumnarAdapter::new(&source_name);
         adapter.add_table(store);
-        fed.add_source(Arc::new(adapter) as Arc<dyn SourceAdapter>, config.conditions)?;
+        fed.add_source(
+            Arc::new(adapter) as Arc<dyn SourceAdapter>,
+            config.conditions,
+        )?;
         let global = if parts == 1 {
             "orders".to_string()
         } else {
@@ -361,7 +367,10 @@ mod tests {
             Value::Int64(fm.sizes.customers as i64)
         );
         let r2 = fed.query("SELECT count(*) FROM orders").unwrap();
-        assert_eq!(r2.batch.row_values(0)[0], Value::Int64(fm.sizes.orders as i64));
+        assert_eq!(
+            r2.batch.row_values(0)[0],
+            Value::Int64(fm.sizes.orders as i64)
+        );
         let r3 = fed.query("SELECT count(*) FROM stock").unwrap();
         assert_eq!(
             r3.batch.row_values(0)[0],
@@ -392,12 +401,12 @@ mod tests {
         })
         .unwrap();
         assert_eq!(fm.orders_tables.len(), 3);
-        let sql = format!(
-            "SELECT count(*) FROM {}",
-            fm.orders_from_clause()
-        );
+        let sql = format!("SELECT count(*) FROM {}", fm.orders_from_clause());
         let r = fm.federation.query(&sql).unwrap();
-        assert_eq!(r.batch.row_values(0)[0], Value::Int64(fm.sizes.orders as i64));
+        assert_eq!(
+            r.batch.row_values(0)[0],
+            Value::Int64(fm.sizes.orders as i64)
+        );
     }
 
     #[test]

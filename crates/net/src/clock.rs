@@ -5,6 +5,15 @@
 //! accumulate sequentially exactly as a single-client query would
 //! experience them. Experiments read virtual elapsed time instead of
 //! wall time, so results are independent of host speed.
+//!
+//! For *concurrency* experiments the purely-virtual model is not
+//! enough: a simulated 40 ms WAN wait costs zero host time, so
+//! overlapping many in-flight queries shows no wall-clock benefit.
+//! [`SimClock::set_pace_permille`] turns on **pacing**: advancing the
+//! clock also sleeps for a configured fraction of the virtual delta,
+//! making network waits occupy real time that concurrent workers can
+//! overlap. Pacing is off by default and never affects virtual
+//! timekeeping or traffic accounting.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,6 +24,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
     micros: Arc<AtomicU64>,
+    pace_permille: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -33,9 +43,32 @@ impl SimClock {
         self.now_us() as f64 / 1_000.0
     }
 
+    /// Sets the pacing factor in permille of virtual time: `0` (the
+    /// default) disables pacing, `1000` makes every virtual
+    /// microsecond cost one host microsecond, `100` costs 10%.
+    /// Shared by all clones of this clock.
+    pub fn set_pace_permille(&self, permille: u64) {
+        self.pace_permille.store(permille, Ordering::Relaxed);
+    }
+
+    /// The current pacing factor in permille (0 = pacing off).
+    pub fn pace_permille(&self) -> u64 {
+        self.pace_permille.load(Ordering::Relaxed)
+    }
+
     /// Advances the clock by `delta_us` and returns the new time.
+    /// When pacing is enabled, also sleeps for the paced fraction of
+    /// `delta_us` so virtual waits occupy host time.
     pub fn advance(&self, delta_us: u64) -> u64 {
-        self.micros.fetch_add(delta_us, Ordering::Relaxed) + delta_us
+        let now = self.micros.fetch_add(delta_us, Ordering::Relaxed) + delta_us;
+        let pace = self.pace_permille.load(Ordering::Relaxed);
+        if pace > 0 && delta_us > 0 {
+            let host_us = delta_us.saturating_mul(pace) / 1_000;
+            if host_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(host_us));
+            }
+        }
+        now
     }
 
     /// Resets to zero (used between experiment trials).
@@ -101,6 +134,23 @@ mod tests {
         c.advance(10);
         c.reset();
         assert_eq!(c.now_us(), 0);
+    }
+
+    #[test]
+    fn pacing_occupies_host_time_without_touching_virtual_time() {
+        let c = SimClock::new();
+        let handle = c.clone();
+        assert_eq!(c.pace_permille(), 0);
+        c.set_pace_permille(100);
+        assert_eq!(handle.pace_permille(), 100, "clones share the pace");
+        let started = std::time::Instant::now();
+        c.advance(50_000); // 50 ms virtual → ≥5 ms host at 10%
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(c.now_us(), 50_000, "pacing never skews virtual time");
+        c.set_pace_permille(0);
+        let started = std::time::Instant::now();
+        c.advance(1_000_000);
+        assert!(started.elapsed() < std::time::Duration::from_millis(100));
     }
 
     #[test]

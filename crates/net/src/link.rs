@@ -170,15 +170,14 @@ impl Link {
             self.metrics
                 .busy_us
                 .fetch_add(self.conditions.latency_us, Ordering::Relaxed);
-            return Err(GisError::Network(format!(
-                "link '{}': {reason}",
-                self.name
-            )));
+            return Err(GisError::Network(format!("link '{}': {reason}", self.name)));
         }
         let cost = self.conditions.message_cost_us(bytes);
         self.clock.advance(cost);
         self.metrics.messages.fetch_add(1, Ordering::Relaxed);
-        self.metrics.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.metrics
+            .bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.metrics.busy_us.fetch_add(cost, Ordering::Relaxed);
         Ok(())
     }

@@ -75,8 +75,7 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
         return Err(truncated());
     }
     let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| GisError::Network("invalid UTF-8 on wire".into()))
+    String::from_utf8(bytes.to_vec()).map_err(|_| GisError::Network("invalid UTF-8 on wire".into()))
 }
 
 fn truncated() -> GisError {
@@ -295,9 +294,7 @@ fn decode_array(buf: &mut Bytes) -> Result<Array> {
             }
             Array::Utf8(v, validity)
         }
-        DataType::Null => {
-            return Err(GisError::Network("null-typed array on wire".into()))
-        }
+        DataType::Null => return Err(GisError::Network("null-typed array on wire".into())),
     })
 }
 
@@ -400,9 +397,7 @@ mod tests {
 
     #[test]
     fn empty_batch_roundtrip() {
-        let b = Batch::empty(
-            Schema::new(vec![Field::new("x", DataType::Boolean)]).into_ref(),
-        );
+        let b = Batch::empty(Schema::new(vec![Field::new("x", DataType::Boolean)]).into_ref());
         assert_eq!(decode_batch(encode_batch(&b)).unwrap(), b);
     }
 

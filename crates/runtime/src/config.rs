@@ -1,0 +1,73 @@
+//! Runtime tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for a [`crate::Runtime`].
+///
+/// The defaults suit tests and small experiments; report binaries
+/// override `workers` and the cache sizes to match the scenario under
+/// measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads executing queries. Each worker runs one query
+    /// at a time, so this is also the execution concurrency bound.
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet executing) queries.
+    /// Submissions beyond this fast-fail with
+    /// [`gis_types::GisError::Overloaded`] instead of blocking —
+    /// clients own the backoff policy.
+    pub queue_depth: usize,
+    /// Deadline applied to queries whose session does not set one.
+    /// `None` means queries run to completion.
+    pub default_deadline: Option<Duration>,
+    /// Entries held by the plan cache (parse→bind→optimize results).
+    /// Zero disables the cache.
+    pub plan_cache_capacity: usize,
+    /// Byte budget for the result cache, measured in result wire
+    /// size. Zero disables the cache.
+    pub result_cache_bytes: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: None,
+            plan_cache_capacity: 256,
+            result_cache_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the default per-query deadline.
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Sets the plan cache capacity (entries).
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the result cache byte budget.
+    pub fn with_result_cache_bytes(mut self, bytes: u64) -> Self {
+        self.result_cache_bytes = bytes;
+        self
+    }
+}

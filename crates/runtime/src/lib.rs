@@ -1,0 +1,163 @@
+//! # gis-runtime — the serving layer over a [`Federation`]
+//!
+//! The core crates answer *how* to run one federated query well; this
+//! crate answers what a mediator actually deploys: many concurrent
+//! clients, repeated query shapes, and sources whose data moves under
+//! it. It wraps a [`Federation`] in four cooperating pieces:
+//!
+//! * **Sessions** ([`Session`]) — per-client handles carrying scoped
+//!   [`OptimizerOptions`]/[`ExecOptions`] overrides, deadlines, an
+//!   admission priority, and cache-ablation switches. Options travel
+//!   with each job, so sessions never mutate shared federation state.
+//! * **Scheduler** — a fixed worker pool fed by a bounded two-lane
+//!   queue. Admission control fails fast: a full queue returns
+//!   [`gis_types::GisError::Overloaded`] instead of blocking, and
+//!   queries whose deadline passes are cancelled — in the queue or
+//!   mid-execution via the engine's deadline checks.
+//! * **Plan cache** — memoized parse→bind→optimize keyed on
+//!   normalized SQL + catalog version + optimizer options. Skips the
+//!   frontend entirely on repeated query shapes.
+//! * **Result cache** — whole results for read-only queries, keyed on
+//!   plan fingerprint + execution options, pinned to per-source data
+//!   versions. A hit ships zero bytes over any link; any source load
+//!   or mapping change invalidates affected entries.
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use gis_core::Federation;
+//! # use gis_runtime::{Runtime, RuntimeConfig};
+//! let fed = Arc::new(Federation::new());
+//! let runtime = Runtime::new(fed, RuntimeConfig::default());
+//! let session = runtime.session();
+//! let result = session.query("SELECT 1 AS x")?;
+//! assert_eq!(result.metrics.query_id, 1);
+//! # Ok::<(), gis_types::GisError>(())
+//! ```
+
+mod config;
+mod plan_cache;
+mod result_cache;
+mod scheduler;
+mod session;
+mod stats;
+
+pub use config::RuntimeConfig;
+pub use scheduler::Priority;
+pub use session::{PendingQuery, Session};
+pub use stats::StatsSnapshot;
+
+use gis_core::{ExecOptions, Federation, OptimizerOptions};
+use plan_cache::PlanCache;
+use result_cache::ResultCache;
+use scheduler::{worker_loop, JobQueue, Shared};
+use stats::RuntimeStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The serving runtime: a worker pool plus caches over a federation.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    next_session: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts a runtime with `config.workers` worker threads.
+    pub fn new(federation: Arc<Federation>, config: RuntimeConfig) -> Runtime {
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_depth),
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            result_cache: ResultCache::new(config.result_cache_bytes),
+            stats: RuntimeStats::default(),
+            federation,
+            config,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("gis-runtime-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Runtime {
+            shared,
+            next_session: AtomicU64::new(1),
+            workers,
+        }
+    }
+
+    /// The federation this runtime serves.
+    pub fn federation(&self) -> &Arc<Federation> {
+        &self.shared.federation
+    }
+
+    /// The configuration the runtime was started with.
+    pub fn config(&self) -> RuntimeConfig {
+        self.shared.config
+    }
+
+    /// Opens a new session with the federation's current options.
+    pub fn session(&self) -> Session {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        Session::new(self.shared.clone(), id)
+    }
+
+    /// Opens a session with explicit option overrides.
+    pub fn session_with(&self, optimizer: OptimizerOptions, exec: ExecOptions) -> Session {
+        let mut session = self.session();
+        session.set_optimizer_options(optimizer);
+        session.set_exec_options(exec);
+        session
+    }
+
+    /// Queries currently waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// A snapshot of every runtime counter.
+    pub fn stats(&self) -> StatsSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            submitted: s.submitted.load(Relaxed),
+            completed: s.completed.load(Relaxed),
+            failed: s.failed.load(Relaxed),
+            rejected: s.rejected.load(Relaxed),
+            deadline_expired: s.deadline_expired.load(Relaxed),
+            plan_cache_hits: self.shared.plan_cache.hits(),
+            plan_cache_misses: self.shared.plan_cache.misses(),
+            plan_cache_entries: self.shared.plan_cache.len() as u64,
+            result_cache_hits: self.shared.result_cache.hits(),
+            result_cache_misses: self.shared.result_cache.misses(),
+            result_cache_bytes: self.shared.result_cache.bytes(),
+        }
+    }
+
+    /// Stops accepting work, fails queued queries with
+    /// [`gis_types::GisError::Overloaded`], and joins the workers.
+    /// In-flight queries run to completion first.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for job in self.shared.queue.close() {
+            let _ = job.reply.send(Err(gis_types::GisError::Overloaded(
+                "runtime is shutting down".into(),
+            )));
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,241 @@
+//! The plan cache: memoized parse→bind→optimize results.
+//!
+//! Frontend work is pure CPU, but for the short parameter-free
+//! queries a federation serves interactively it dominates host
+//! latency — the experiment in `f6_concurrency` measures the
+//! collapse when it is skipped. Entries key on the *normalized* SQL
+//! text, the catalog's metadata version, and a fingerprint of the
+//! optimizer options, so any schema change or ablation toggle
+//! naturally misses instead of serving a stale plan.
+
+use gis_core::{LogicalPlan, OptimizerOptions};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Collapses runs of whitespace so formatting differences share one
+/// cache entry. SQL string literals are preserved verbatim.
+pub(crate) fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_string = false;
+    let mut pending_space = false;
+    for ch in sql.trim().chars() {
+        if in_string {
+            out.push(ch);
+            if ch == '\'' {
+                in_string = false;
+            }
+            continue;
+        }
+        match ch {
+            '\'' => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                in_string = true;
+                out.push(ch);
+            }
+            c if c.is_whitespace() => pending_space = true,
+            c => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Hash of a `Debug`-rendered value; both option structs are plain
+/// field bags, so their debug form is a faithful fingerprint.
+pub(crate) fn debug_fingerprint(value: &impl std::fmt::Debug) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{value:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Cache key: what must match for a cached plan to be valid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    pub sql: String,
+    pub catalog_version: u64,
+    pub optimizer_fp: u64,
+}
+
+impl PlanKey {
+    pub fn new(sql: &str, catalog_version: u64, optimizer: &OptimizerOptions) -> Self {
+        PlanKey {
+            sql: normalize_sql(sql),
+            catalog_version,
+            optimizer_fp: debug_fingerprint(optimizer),
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<LogicalPlan>,
+    /// Stable fingerprint of the plan itself — the result cache keys
+    /// on this, so equivalent SQL texts share result entries.
+    fingerprint: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+}
+
+/// An LRU cache of optimized logical plans.
+pub(crate) struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a plan, bumping its recency. Counts a hit or miss.
+    pub fn get(&self, key: &PlanKey) -> Option<(Arc<LogicalPlan>, u64)> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((entry.plan.clone(), entry.fingerprint))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a miss without a lookup (cache disabled for the call).
+    pub fn count_bypass(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts a plan, evicting the least-recently-used entry when
+    /// over capacity. A zero capacity disables the cache entirely.
+    pub fn put(&self, key: PlanKey, plan: Arc<LogicalPlan>, fingerprint: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                plan,
+                fingerprint,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => inner.map.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace_not_literals() {
+        assert_eq!(
+            normalize_sql("SELECT  x\n FROM t\tWHERE y = 'a  b'"),
+            "SELECT x FROM t WHERE y = 'a  b'"
+        );
+        assert_eq!(normalize_sql("  SELECT 1  "), "SELECT 1");
+    }
+
+    #[test]
+    fn keys_distinguish_catalog_versions_and_options() {
+        let opts = OptimizerOptions::default();
+        let a = PlanKey::new("SELECT 1", 1, &opts);
+        let b = PlanKey::new("SELECT  1", 1, &opts);
+        let c = PlanKey::new("SELECT 1", 2, &opts);
+        let d = PlanKey::new("SELECT 1", 1, &OptimizerOptions::naive());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = PlanCache::new(2);
+        let opts = OptimizerOptions::default();
+        let plan = |sql: &str| -> Arc<LogicalPlan> {
+            // Values-only plans avoid needing a catalog here.
+            let fed = gis_core::Federation::new();
+            Arc::new(fed.logical_plan(sql).unwrap())
+        };
+        let k1 = PlanKey::new("SELECT 1", 0, &opts);
+        let k2 = PlanKey::new("SELECT 2", 0, &opts);
+        let k3 = PlanKey::new("SELECT 3", 0, &opts);
+        cache.put(k1.clone(), plan("SELECT 1"), 1);
+        cache.put(k2.clone(), plan("SELECT 2"), 2);
+        assert!(cache.get(&k1).is_some()); // k1 now most recent
+        cache.put(k3.clone(), plan("SELECT 3"), 3);
+        assert!(cache.get(&k2).is_none(), "k2 was LRU and evicted");
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = PlanCache::new(0);
+        let opts = OptimizerOptions::default();
+        let k = PlanKey::new("SELECT 1", 0, &opts);
+        let fed = gis_core::Federation::new();
+        cache.put(
+            k.clone(),
+            Arc::new(fed.logical_plan("SELECT 1").unwrap()),
+            1,
+        );
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The result cache: whole result sets for read-only queries.
+//!
+//! A hit skips planning *and* execution — zero bytes cross any link.
+//! Because the federation's sources are autonomous, correctness
+//! hinges on invalidation: every entry pins the per-source data
+//! versions observed before execution, and a lookup only hits when
+//! every source still reports the same version. Loads and mapping
+//! changes bump versions, so stale entries die on their next probe
+//! (and are removed eagerly then, freeing budget).
+
+use gis_types::Batch;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache key: the fingerprint of the optimized plan (which already
+/// encodes SQL text, catalog version, and optimizer options) plus a
+/// fingerprint of the execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ResultKey {
+    pub plan_fp: u64,
+    pub exec_fp: u64,
+}
+
+struct Entry {
+    batch: Batch,
+    bytes: u64,
+    /// Per-source data versions at execution time.
+    versions: BTreeMap<String, u64>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<ResultKey, Entry>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// A byte-budgeted LRU cache of query results.
+pub(crate) struct ResultCache {
+    inner: Mutex<Inner>,
+    budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    pub fn new(budget: u64) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a result. Hits only when the entry's pinned source
+    /// versions match `current` exactly; stale entries are dropped.
+    pub fn get(&self, key: &ResultKey, current: &BTreeMap<String, u64>) -> Option<Batch> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let stale = match inner.map.get_mut(key) {
+            Some(entry) if entry.versions == *current => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.batch.clone());
+            }
+            Some(_) => true,
+            None => false,
+        };
+        if stale {
+            if let Some(entry) = inner.map.remove(key) {
+                inner.bytes -= entry.bytes;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Records a miss without a lookup (cache disabled for the call).
+    pub fn count_bypass(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts a result, evicting LRU entries until it fits. Results
+    /// larger than the whole budget are not cached.
+    pub fn put(&self, key: ResultKey, batch: Batch, versions: BTreeMap<String, u64>) {
+        let bytes = batch.wire_size() as u64;
+        if bytes > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + bytes > self.budget {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match oldest {
+                Some(k) => {
+                    if let Some(evicted) = inner.map.remove(&k) {
+                        inner.bytes -= evicted.bytes;
+                    }
+                }
+                None => break,
+            }
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                batch,
+                bytes,
+                versions,
+                last_used: tick,
+            },
+        );
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{DataType, Field, Schema, Value};
+
+    fn batch(n: i64) -> Batch {
+        let schema = Schema::new(vec![Field::required("x", DataType::Int64)]).into_ref();
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Int64(i)]).collect();
+        Batch::from_rows(schema, &rows).unwrap()
+    }
+
+    fn versions(v: u64) -> BTreeMap<String, u64> {
+        BTreeMap::from([("s".to_string(), v)])
+    }
+
+    #[test]
+    fn hit_requires_matching_versions() {
+        let cache = ResultCache::new(1 << 20);
+        let key = ResultKey {
+            plan_fp: 1,
+            exec_fp: 2,
+        };
+        cache.put(key, batch(3), versions(1));
+        assert!(cache.get(&key, &versions(1)).is_some());
+        // Source moved on: entry invalidated and removed.
+        assert!(cache.get(&key, &versions(2)).is_none());
+        assert_eq!(cache.bytes(), 0);
+        // Even going back to the old version misses now.
+        assert!(cache.get(&key, &versions(1)).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let one = batch(1).wire_size() as u64;
+        let cache = ResultCache::new(2 * one);
+        let k = |i| ResultKey {
+            plan_fp: i,
+            exec_fp: 0,
+        };
+        cache.put(k(1), batch(1), versions(1));
+        cache.put(k(2), batch(1), versions(1));
+        assert!(cache.get(&k(1), &versions(1)).is_some()); // k1 recent
+        cache.put(k(3), batch(1), versions(1));
+        assert!(cache.get(&k(2), &versions(1)).is_none(), "k2 evicted");
+        assert!(cache.get(&k(1), &versions(1)).is_some());
+        assert!(cache.get(&k(3), &versions(1)).is_some());
+        assert!(cache.bytes() <= 2 * one);
+    }
+
+    #[test]
+    fn oversized_results_skip_the_cache() {
+        let cache = ResultCache::new(8);
+        let key = ResultKey {
+            plan_fp: 1,
+            exec_fp: 1,
+        };
+        cache.put(key, batch(1000), versions(1));
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.get(&key, &versions(1)).is_none());
+    }
+}

@@ -461,9 +461,9 @@ impl Expr {
                 left.walk(f);
                 right.walk(f);
             }
-            Expr::UnaryOp { expr, .. }
-            | Expr::Cast { expr, .. }
-            | Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::UnaryOp { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.walk(f)
+            }
             Expr::Function { args, .. } => {
                 for a in args {
                     a.walk(f);
@@ -505,10 +505,7 @@ impl Expr {
                 expr.walk(f);
                 pattern.walk(f);
             }
-            Expr::Column { .. }
-            | Expr::Literal(_)
-            | Expr::Parameter(_)
-            | Expr::Wildcard => {}
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Parameter(_) | Expr::Wildcard => {}
         }
     }
 
@@ -530,10 +527,7 @@ impl Expr {
         self.walk(&mut |e| {
             if matches!(
                 e,
-                Expr::Column { .. }
-                    | Expr::Parameter(_)
-                    | Expr::Wildcard
-                    | Expr::InSubquery { .. }
+                Expr::Column { .. } | Expr::Parameter(_) | Expr::Wildcard | Expr::InSubquery { .. }
             ) {
                 constant = false;
             }

@@ -95,11 +95,57 @@ impl fmt::Display for Token {
 /// Reserved words recognized as keywords. Anything else lexes as an
 /// identifier; the parser decides contextually.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "ON",
-    "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "UNION", "ALL", "DISTINCT", "AND",
-    "OR", "NOT", "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "BETWEEN",
-    "IN", "LIKE", "IS", "ASC", "DESC", "NULLS", "FIRST", "LAST", "EXPLAIN", "ANALYZE", "EXISTS",
-    "SEMI", "ANTI", "USING", "DATE", "TIMESTAMP", "INTERVAL",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "ON",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "OUTER",
+    "CROSS",
+    "UNION",
+    "ALL",
+    "DISTINCT",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "CAST",
+    "BETWEEN",
+    "IN",
+    "LIKE",
+    "IS",
+    "ASC",
+    "DESC",
+    "NULLS",
+    "FIRST",
+    "LAST",
+    "EXPLAIN",
+    "ANALYZE",
+    "EXISTS",
+    "SEMI",
+    "ANTI",
+    "USING",
+    "DATE",
+    "TIMESTAMP",
+    "INTERVAL",
 ];
 
 /// A token plus its byte offset in the source.

@@ -64,7 +64,9 @@ impl Parser {
     }
 
     fn advance(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .token
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -134,9 +136,7 @@ impl Parser {
         match self.advance() {
             Token::Ident(s) => Ok(s),
             // Non-reserved-in-context keywords usable as identifiers.
-            Token::Keyword(k)
-                if matches!(k.as_str(), "DATE" | "TIMESTAMP" | "FIRST" | "LAST") =>
-            {
+            Token::Keyword(k) if matches!(k.as_str(), "DATE" | "TIMESTAMP" | "FIRST" | "LAST") => {
                 Ok(k.to_ascii_lowercase())
             }
             other => Err(GisError::Parse(format!(
@@ -377,9 +377,9 @@ impl Parser {
                 let query = self.parse_query()?;
                 self.expect(&Token::RParen)?;
                 self.consume_keyword("AS");
-                let alias = self.expect_ident().map_err(|_| {
-                    GisError::Parse("subquery in FROM requires an alias".into())
-                })?;
+                let alias = self
+                    .expect_ident()
+                    .map_err(|_| GisError::Parse("subquery in FROM requires an alias".into()))?;
                 return Ok(TableRef::Subquery {
                     query: Box::new(query),
                     alias,
@@ -743,7 +743,11 @@ impl Parser {
         let ty_name = match self.advance() {
             Token::Ident(s) => s,
             Token::Keyword(k) => k.to_ascii_lowercase(),
-            other => return Err(GisError::Parse(format!("expected type name, found {other}"))),
+            other => {
+                return Err(GisError::Parse(format!(
+                    "expected type name, found {other}"
+                )))
+            }
         };
         let to = DataType::parse(&ty_name).map_err(|e| GisError::Parse(e.to_string()))?;
         self.expect(&Token::RParen)?;
@@ -838,7 +842,9 @@ mod tests {
 
     #[test]
     fn between_in_like_isnull() {
-        let e = parse_expression("x BETWEEN 1 AND 10 AND y IN (1,2) AND z LIKE 'a%' AND w IS NOT NULL").unwrap();
+        let e =
+            parse_expression("x BETWEEN 1 AND 10 AND y IN (1,2) AND z LIKE 'a%' AND w IS NOT NULL")
+                .unwrap();
         let parts = e.split_conjunction();
         assert_eq!(parts.len(), 4);
         assert!(matches!(parts[0], Expr::Between { negated: false, .. }));
@@ -868,9 +874,7 @@ mod tests {
 
     #[test]
     fn joins() {
-        let s = sel(
-            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c USING (id) CROSS JOIN d",
-        );
+        let s = sel("SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c USING (id) CROSS JOIN d");
         let mut join_count = 0;
         fn count(t: &TableRef, n: &mut usize) {
             if let TableRef::Join { left, right, .. } = t {
@@ -923,13 +927,14 @@ mod tests {
 
     #[test]
     fn case_expressions() {
-        let e = parse_expression(
-            "CASE WHEN a > 1 THEN 'big' WHEN a > 0 THEN 'small' ELSE 'neg' END",
-        )
-        .unwrap();
+        let e =
+            parse_expression("CASE WHEN a > 1 THEN 'big' WHEN a > 0 THEN 'small' ELSE 'neg' END")
+                .unwrap();
         match e {
             Expr::Case {
-                operand, branches, else_expr,
+                operand,
+                branches,
+                else_expr,
             } => {
                 assert!(operand.is_none());
                 assert_eq!(branches.len(), 2);
@@ -938,14 +943,26 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let e2 = parse_expression("CASE x WHEN 1 THEN 'one' END").unwrap();
-        assert!(matches!(e2, Expr::Case { operand: Some(_), .. }));
+        assert!(matches!(
+            e2,
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
+        ));
         assert!(parse_expression("CASE END").is_err());
     }
 
     #[test]
     fn cast_and_functions() {
         let e = parse_expression("CAST(a AS bigint)").unwrap();
-        assert!(matches!(e, Expr::Cast { to: DataType::Int64, .. }));
+        assert!(matches!(
+            e,
+            Expr::Cast {
+                to: DataType::Int64,
+                ..
+            }
+        ));
         let e2 = parse_expression("count(DISTINCT x)").unwrap();
         assert!(matches!(e2, Expr::Function { distinct: true, .. }));
         let e3 = parse_expression("count(*)").unwrap();

@@ -54,11 +54,7 @@ fn set_expr_to_sql(se: &SetExpr) -> String {
         SetExpr::Select(s) => select_to_sql(s),
         SetExpr::Union { left, right, all } => {
             let kw = if *all { "UNION ALL" } else { "UNION" };
-            format!(
-                "{} {kw} {}",
-                set_expr_to_sql(left),
-                set_expr_to_sql(right)
-            )
+            format!("{} {kw} {}", set_expr_to_sql(left), set_expr_to_sql(right))
         }
     }
 }
@@ -153,12 +149,9 @@ pub fn expr_to_sql(e: &Expr) -> String {
         },
         Expr::Literal(v) => literal_to_sql(v),
         Expr::Parameter(_) => "?".to_string(),
-        Expr::BinaryOp { left, op, right } => format!(
-            "{} {} {}",
-            wrap(left),
-            op.symbol(),
-            wrap(right)
-        ),
+        Expr::BinaryOp { left, op, right } => {
+            format!("{} {} {}", wrap(left), op.symbol(), wrap(right))
+        }
         Expr::UnaryOp { op, expr } => match op {
             UnaryOp::Not => format!("NOT {}", wrap(expr)),
             UnaryOp::Neg => format!("-{}", wrap(expr)),
@@ -273,10 +266,11 @@ fn literal_to_sql(v: &Value) -> String {
 /// Quotes an identifier only when it needs quoting.
 fn ident(name: &str) -> String {
     let simple = !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && name
             .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
     if simple {
         name.to_string()
     } else {
@@ -293,8 +287,8 @@ mod tests {
     fn roundtrip_stmt(sql: &str) {
         let ast1 = parse_sql(sql).unwrap();
         let rendered = statement_to_sql(&ast1);
-        let ast2 = parse_sql(&rendered)
-            .unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
+        let ast2 =
+            parse_sql(&rendered).unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
         assert_eq!(ast1, ast2, "roundtrip mismatch via '{rendered}'");
     }
 

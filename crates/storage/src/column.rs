@@ -16,9 +16,7 @@
 
 use crate::predicate::ScanPredicate;
 use crate::stats::{StatsCollector, TableStats};
-use gis_types::{
-    Array, ArrayBuilder, Batch, DataType, GisError, Result, SchemaRef, Value,
-};
+use gis_types::{Array, ArrayBuilder, Batch, DataType, GisError, Result, SchemaRef, Value};
 
 /// Default rows per segment.
 pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
@@ -83,9 +81,7 @@ impl ColumnChunk {
     fn size_score(&self) -> usize {
         match self {
             ColumnChunk::Plain(a) => a.wire_size(),
-            ColumnChunk::Rle { runs, .. } => {
-                runs.iter().map(|(v, _)| v.wire_size() + 4).sum()
-            }
+            ColumnChunk::Rle { runs, .. } => runs.iter().map(|(v, _)| v.wire_size() + 4).sum(),
             ColumnChunk::Dict { dict, codes, .. } => {
                 dict.iter().map(Value::wire_size).sum::<usize>() + codes.len() * 4
             }
@@ -313,6 +309,13 @@ impl ColumnStore {
             .collect()
     }
 
+    /// Rows appended but not yet sealed into a segment. A scan only
+    /// sees sealed segments, so callers holding shared access seal
+    /// first when this is non-zero.
+    pub fn unsealed_rows(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Scans with native predicates and projection; seals the buffer
     /// first so results are complete. Returns matching rows and scan
     /// metrics (pruning effectiveness).
@@ -323,6 +326,20 @@ impl ColumnStore {
         limit: Option<usize>,
     ) -> Result<(Batch, ColumnScanMetrics)> {
         self.seal()?;
+        self.scan_sealed(predicates, projection, limit)
+    }
+
+    /// The read-only scan over sealed segments. Rows still in the
+    /// append buffer are invisible — use [`ColumnStore::scan`] or
+    /// seal explicitly when [`ColumnStore::unsealed_rows`] is
+    /// non-zero. Shared access means concurrent scans over one store
+    /// run in parallel.
+    pub fn scan_sealed(
+        &self,
+        predicates: &[ScanPredicate],
+        projection: &[usize],
+        limit: Option<usize>,
+    ) -> Result<(Batch, ColumnScanMetrics)> {
         let cols: Vec<usize> = if projection.is_empty() {
             (0..self.schema.len()).collect()
         } else {
@@ -382,10 +399,7 @@ impl ColumnStore {
                 let arr = decoded[p.column].as_ref().expect("decoded");
                 for (i, k) in keep.iter_mut().enumerate() {
                     if *k {
-                        *k = p
-                            .op
-                            .eval(&arr.value_at(i), &p.value)
-                            .unwrap_or(false);
+                        *k = p.op.eval(&arr.value_at(i), &p.value).unwrap_or(false);
                     }
                 }
             }

@@ -297,9 +297,12 @@ mod tests {
             1,
         )
         .unwrap();
-        s.put(vec![Value::Utf8("ab".into()), Value::Int64(1)]).unwrap();
-        s.put(vec![Value::Utf8("abc".into()), Value::Int64(2)]).unwrap();
-        s.put(vec![Value::Utf8("abd".into()), Value::Int64(3)]).unwrap();
+        s.put(vec![Value::Utf8("ab".into()), Value::Int64(1)])
+            .unwrap();
+        s.put(vec![Value::Utf8("abc".into()), Value::Int64(2)])
+            .unwrap();
+        s.put(vec![Value::Utf8("abd".into()), Value::Int64(3)])
+            .unwrap();
         // Exact-key prefix "ab" must match only "ab": the terminator
         // makes "ab" and "abc" non-prefix-related on the wire.
         let b = s.scan_prefix(&[Value::Utf8("ab".into())], None).unwrap();

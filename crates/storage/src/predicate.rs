@@ -51,9 +51,7 @@ impl CmpOp {
             return true;
         }
         match self {
-            CmpOp::Eq => {
-                min.total_cmp(value).is_le() && max.total_cmp(value).is_ge()
-            }
+            CmpOp::Eq => min.total_cmp(value).is_le() && max.total_cmp(value).is_ge(),
             CmpOp::NotEq => {
                 // Only prunable when the whole segment is one value.
                 !(min == value && max == value)

@@ -505,11 +505,7 @@ mod tests {
         s.create_index(1).unwrap();
         let r = s
             .scan(
-                &[ScanPredicate::new(
-                    1,
-                    CmpOp::Eq,
-                    Value::Utf8("oslo".into()),
-                )],
+                &[ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("oslo".into()))],
                 &[],
                 None,
             )
@@ -524,11 +520,7 @@ mod tests {
         let s = store();
         let r = s
             .scan(
-                &[ScanPredicate::new(
-                    1,
-                    CmpOp::Eq,
-                    Value::Utf8("oslo".into()),
-                )],
+                &[ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("oslo".into()))],
                 &[],
                 None,
             )
@@ -563,18 +555,17 @@ mod tests {
             .unwrap());
         let r = s
             .scan(
-                &[ScanPredicate::new(
-                    1,
-                    CmpOp::Eq,
-                    Value::Utf8("oslo".into()),
-                )],
+                &[ScanPredicate::new(1, CmpOp::Eq, Value::Utf8("oslo".into()))],
                 &[],
                 None,
             )
             .unwrap();
         assert_eq!(r.batch.num_rows(), 11);
         assert!(!s
-            .update(&Value::Int64(999), vec![Value::Int64(999), Value::Null, Value::Null])
+            .update(
+                &Value::Int64(999),
+                vec![Value::Int64(999), Value::Null, Value::Null]
+            )
             .unwrap());
     }
 

@@ -180,11 +180,7 @@ impl Batch {
     /// Rows `[offset, offset+len)` as a new batch.
     pub fn slice(&self, offset: usize, len: usize) -> Batch {
         let len = len.min(self.rows.saturating_sub(offset));
-        let columns: Vec<Array> = self
-            .columns
-            .iter()
-            .map(|c| c.slice(offset, len))
-            .collect();
+        let columns: Vec<Array> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
         Batch {
             schema: self.schema.clone(),
             columns,
@@ -361,11 +357,8 @@ mod tests {
 
     #[test]
     fn from_rows_coerces_values() {
-        let b = Batch::from_rows(
-            schema(),
-            &[vec![Value::Int32(7), Value::Utf8("x".into())]],
-        )
-        .unwrap();
+        let b =
+            Batch::from_rows(schema(), &[vec![Value::Int32(7), Value::Utf8("x".into())]]).unwrap();
         assert_eq!(b.row_values(0)[0], Value::Int64(7));
     }
 

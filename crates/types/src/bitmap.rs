@@ -73,13 +73,21 @@ impl Bitmap {
     /// Reads slot `i`. Panics when out of bounds.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bitmap index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bitmap index {i} out of bounds (len {})",
+            self.len
+        );
         self.bits[i / 8] & (1 << (i % 8)) != 0
     }
 
     /// Sets slot `i` to `value`. Panics when out of bounds.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bitmap index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bitmap index {i} out of bounds (len {})",
+            self.len
+        );
         if value {
             self.bits[i / 8] |= 1 << (i % 8);
         } else {

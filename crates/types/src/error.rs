@@ -33,6 +33,11 @@ pub enum GisError {
     Catalog(String),
     /// An internal invariant was violated; indicates a bug in GIS.
     Internal(String),
+    /// The serving runtime refused admission: its queue is full.
+    /// Clients should back off and retry.
+    Overloaded(String),
+    /// The query exceeded its deadline and was cancelled.
+    Deadline(String),
 }
 
 impl GisError {
@@ -48,6 +53,8 @@ impl GisError {
             GisError::Unsupported(_) => "UNSUPPORTED",
             GisError::Catalog(_) => "CATALOG",
             GisError::Internal(_) => "INTERNAL",
+            GisError::Overloaded(_) => "OVERLOADED",
+            GisError::Deadline(_) => "DEADLINE",
         }
     }
 
@@ -62,7 +69,9 @@ impl GisError {
             | GisError::Network(m)
             | GisError::Unsupported(m)
             | GisError::Catalog(m)
-            | GisError::Internal(m) => m,
+            | GisError::Internal(m)
+            | GisError::Overloaded(m)
+            | GisError::Deadline(m) => m,
         }
     }
 

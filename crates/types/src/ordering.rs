@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn descending_nulls_last() {
-        let idx = sorted_indices(
-            &batch(),
-            &[SortKey::desc(0).with_nulls_first(false)],
-        );
+        let idx = sorted_indices(&batch(), &[SortKey::desc(0).with_nulls_first(false)]);
         // 2,2,1 then NULL last; stable within equal keys
         assert_eq!(idx, vec![0, 3, 2, 1]);
     }

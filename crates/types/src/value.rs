@@ -152,14 +152,10 @@ impl Value {
                     Err(GisError::Execution(format!("float {v} overflows int64")))
                 }
             }
-            (Value::Boolean(b), t) if t.is_numeric() => {
-                Value::Int32(i32::from(*b)).cast_to(t)
-            }
+            (Value::Boolean(b), t) if t.is_numeric() => Value::Int32(i32::from(*b)).cast_to(t),
             (v, T::Utf8) => Ok(Value::Utf8(v.to_string())),
             (Value::Utf8(s), t) => cast_str(s, t),
-            (Value::Date(d), T::Timestamp) => {
-                Ok(Value::Timestamp((*d as i64) * 86_400_000_000))
-            }
+            (Value::Date(d), T::Timestamp) => Ok(Value::Timestamp((*d as i64) * 86_400_000_000)),
             (Value::Timestamp(us), T::Date) => {
                 Ok(Value::Date(us.div_euclid(86_400_000_000) as i32))
             }
@@ -230,11 +226,7 @@ fn type_rank(v: &Value) -> u8 {
 
 fn cast_str(s: &str, target: DataType) -> Result<Value> {
     let t = s.trim();
-    let err = |what: &str| {
-        Err(GisError::Execution(format!(
-            "cannot parse '{s}' as {what}"
-        )))
-    };
+    let err = |what: &str| Err(GisError::Execution(format!("cannot parse '{s}' as {what}")));
     match target {
         DataType::Boolean => match t.to_ascii_lowercase().as_str() {
             "true" | "t" | "1" => Ok(Value::Boolean(true)),
@@ -439,7 +431,10 @@ mod tests {
 
     #[test]
     fn null_sorts_first_and_equals_nothing() {
-        assert_eq!(Value::Null.total_cmp(&Value::Int64(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            Value::Null.total_cmp(&Value::Int64(i64::MIN)),
+            Ordering::Less
+        );
         assert_eq!(Value::Null.sql_eq(&Value::Null), None);
         assert_eq!(Value::Int64(1).sql_eq(&Value::Null), None);
         assert_eq!(Value::Int64(1).sql_eq(&Value::Int64(1)), Some(true));
@@ -513,7 +508,7 @@ mod tests {
 
     #[test]
     fn float_total_order_handles_nan() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Float64(f64::NAN),
             Value::Float64(1.0),
             Value::Float64(f64::NEG_INFINITY),

@@ -44,7 +44,12 @@ fn main() -> Result<()> {
     // latencies: one regional, one overseas).
     for (name, base, n, conditions) in [
         ("st_olav", 1000, 40, NetworkConditions::with_latency_ms(10)),
-        ("mercy_general", 2000, 60, NetworkConditions::with_latency_ms(120)),
+        (
+            "mercy_general",
+            2000,
+            60,
+            NetworkConditions::with_latency_ms(120),
+        ),
     ] {
         let site = patients_site(name, base, n)?;
         fed.add_source(Arc::new(site) as Arc<dyn SourceAdapter>, conditions)?;
@@ -99,7 +104,11 @@ fn main() -> Result<()> {
     .into_ref();
     let mut results = ColumnStore::new("results", lab_schema);
     for s in 0..800i64 {
-        let pid = if s % 2 == 0 { 1000 + s % 40 } else { 2000 + s % 60 };
+        let pid = if s % 2 == 0 {
+            1000 + s % 40
+        } else {
+            2000 + s % 60
+        };
         results.append(vec![
             Value::Int64(s),
             Value::Int64(pid),
@@ -115,7 +124,8 @@ fn main() -> Result<()> {
     fed.add_global_identity("lab_results", "lab", "results")?;
 
     // The global patient view: a UNION over the sites.
-    let union_view = "SELECT * FROM patients_st_olav UNION ALL SELECT * FROM patients_mercy_general";
+    let union_view =
+        "SELECT * FROM patients_st_olav UNION ALL SELECT * FROM patients_mercy_general";
 
     println!("== Patients per sex across all sites");
     let r = fed.query(&format!(
@@ -138,9 +148,7 @@ fn main() -> Result<()> {
     // A site becomes unreachable: queries that need it fail loudly
     // (after transparent retries); queries that don't, keep working.
     println!("\n== Partitioning mercy_general…");
-    let link = fed
-        .source_link("mercy_general")
-        .expect("registered source");
+    let link = fed.source_link("mercy_general").expect("registered source");
     link.faults().partition();
     match fed.query("SELECT count(*) FROM patients_mercy_general") {
         Ok(_) => println!("   unexpected success"),

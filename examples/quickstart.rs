@@ -24,10 +24,10 @@ fn main() -> Result<()> {
     .into_ref();
     let mut store = RowStore::new("customers", customers, Some(0))?;
     for (i, (name, cents)) in [
-        ("ada", 120_00),
-        ("grace", 87_50),
-        ("edsger", -3_25),
-        ("barbara", 990_00),
+        ("ada", 12000),
+        ("grace", 8750),
+        ("edsger", -325),
+        ("barbara", 99000),
     ]
     .iter()
     .enumerate()

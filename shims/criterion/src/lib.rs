@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the group/bench API surface the workspace's benches use
+//! — `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`
+//! — over a deliberately simple measurement loop: warm up briefly,
+//! time `sample_size` samples of an adaptively sized batch, and print
+//! median / min / mean per iteration (plus throughput when declared).
+//! No statistics machinery, no HTML reports; the point is that
+//! `cargo bench` runs and prints comparable numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark, scaling the printed rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark id, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id distinguished by `parameter` alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration times of the collected samples.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for ~2ms per sample so fast
+        // bodies are timed over many iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000_000 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / f64::from(warm_iters.max(1));
+        let batch = ((0.002 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000) as u32;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.results.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b.results);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.results);
+        self
+    }
+
+    fn report(&self, id: &str, results: &[Duration]) {
+        if results.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let mut sorted = results.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let rate = self.throughput.map(|t| {
+            let per_sec = match t {
+                Throughput::Bytes(n) => (n as f64 / median.as_secs_f64(), "B/s"),
+                Throughput::Elements(n) => (n as f64 / median.as_secs_f64(), "elem/s"),
+            };
+            match per_sec {
+                (r, u) if r >= 1e9 => format!("  ({:.2} G{u})", r / 1e9),
+                (r, u) if r >= 1e6 => format!("  ({:.2} M{u})", r / 1e6),
+                (r, u) if r >= 1e3 => format!("  ({:.2} K{u})", r / 1e3),
+                (r, u) => format!("  ({r:.1} {u})"),
+            }
+        });
+        println!(
+            "{}/{id}: median {} /iter (min {}){}",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            rate.unwrap_or_default(),
+        );
+    }
+
+    /// Ends the group (printing is per-bench; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        self.benchmark_group(label.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benches_run_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! two pieces the workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam's scoped-thread API, implemented
+//!   over `std::thread::scope` (stable since 1.63).
+//! * [`channel`] — a multi-producer **multi-consumer** channel
+//!   (bounded or unbounded), implemented with a mutex-guarded deque
+//!   and condvars. `std::sync::mpsc` is single-consumer, which is not
+//!   enough for a worker pool, hence the hand-rolled queue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,89 @@
+//! Scoped threads with the `crossbeam::thread` calling convention.
+//!
+//! `crossbeam::thread::scope(|s| ...)` returns
+//! `Result<R, Box<dyn Any + Send>>` and hands the closure a scope
+//! whose `spawn` passes the scope back into the thread closure. Both
+//! quirks are preserved so call sites written against real crossbeam
+//! compile unchanged; the implementation rides on `std::thread::scope`.
+
+use std::any::Any;
+use std::thread as stdthread;
+
+/// Error type carried out of a panicked scope (matches crossbeam's).
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, 'env, T> {
+    inner: stdthread::ScopedJoinHandle<'scope, T>,
+    _marker: std::marker::PhantomData<&'env ()>,
+}
+
+impl<'scope, 'env, T> ScopedJoinHandle<'scope, 'env, T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// panic payload.
+    pub fn join(self) -> Result<T, ScopeError> {
+        self.inner.join()
+    }
+}
+
+/// The spawning surface handed to the `scope` closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope stdthread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. As in crossbeam, the closure
+    /// receives the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, 'env, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be
+/// spawned; all spawned threads are joined before `scope` returns.
+///
+/// Unlike `std::thread::scope`, unjoined panicking children do not
+/// abort the process here: `std` re-raises the first child panic,
+/// which this wrapper converts into the `Err` crossbeam reports.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stdthread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|_| data.len() as i32);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let r = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,144 @@
+//! `any::<T>()` — whole-domain strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use rand::{Rng, RngExt};
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng().random()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                // Bias toward small magnitudes and boundary values:
+                // uniform 64-bit draws almost never produce the
+                // off-by-one cases integer code tends to break on.
+                let rng = runner.rng();
+                match rng.random_range(0..8u32) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 | 4 => (rng.next_u64() % 256) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        let rng = runner.rng();
+        match rng.random_range(0..8u32) {
+            0 => 0.0,
+            1 => f64::NAN,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => -0.0,
+            // Any bit pattern at all.
+            5 => f64::from_bits(rng.next_u64()),
+            _ => (rng.random::<f64>() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(runner: &mut TestRunner) -> f32 {
+        f64::arbitrary(runner) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(runner: &mut TestRunner) -> char {
+        crate::string::arbitrary_char(runner)
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(runner: &mut TestRunner) -> String {
+        crate::string::generate_matching(".*", runner)
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(runner: &mut TestRunner) -> Option<T> {
+        if runner.rng().random_bool(0.25) {
+            None
+        } else {
+            Some(T::arbitrary(runner))
+        }
+    }
+}
+
+impl<T: Arbitrary, U: Arbitrary> Arbitrary for (T, U) {
+    fn arbitrary(runner: &mut TestRunner) -> (T, U) {
+        (T::arbitrary(runner), U::arbitrary(runner))
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(runner: &mut TestRunner) -> Vec<T> {
+        let n = runner.rng().random_range(0..9usize);
+        (0..n).map(|_| T::arbitrary(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_show_up() {
+        let mut r = TestRunner::new("arbitrary-boundaries");
+        let s = any::<i64>();
+        let mut saw_min = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            match s.generate(&mut r) {
+                i64::MIN => saw_min = true,
+                i64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_min && saw_max);
+    }
+
+    #[test]
+    fn options_mix_none_and_some() {
+        let mut r = TestRunner::new("arbitrary-options");
+        let s = any::<Option<bool>>();
+        let nones = (0..200).filter(|_| s.generate(&mut r).is_none()).count();
+        assert!(nones > 10 && nones < 190);
+    }
+}

@@ -1,0 +1,28 @@
+//! Option strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use rand::RngExt;
+
+/// Produces `None` about a quarter of the time, otherwise
+/// `Some(inner)` — mirroring proptest's default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.rng().random_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(runner))
+        }
+    }
+}

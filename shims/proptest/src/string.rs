@@ -1,0 +1,173 @@
+//! A tiny generator-regex interpreter for string strategies.
+//!
+//! `"c_[a-z]{0,3}"` as a strategy produces strings matching that
+//! pattern. Supported syntax — the subset the workspace's tests use,
+//! plus the obvious neighbors: literal characters, `.` (any char),
+//! `[a-z0-9_]` classes (ranges and singletons), and the repeaters
+//! `*`, `+`, `?`, `{n}`, `{m,n}`, `{m,}` (unbounded tops are capped
+//! at +8). Anything else is treated as a literal character.
+
+use crate::test_runner::TestRunner;
+use rand::RngExt;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or(chars.len());
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().unwrap_or(0);
+                        let hi = hi.trim().parse().unwrap_or(lo + 8);
+                        (lo, hi.max(lo))
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// An arbitrary Unicode scalar, biased toward printable ASCII (15%
+/// of draws roam the whole scalar space to keep multi-byte encodings
+/// and ordering edge cases in play).
+pub fn arbitrary_char(runner: &mut TestRunner) -> char {
+    let rng = runner.rng();
+    if rng.random_bool(0.85) {
+        char::from_u32(rng.random_range(0x20..0x7Fu32)).unwrap()
+    } else {
+        loop {
+            if let Some(c) = char::from_u32(rng.random_range(0..0x11_0000u32)) {
+                return c;
+            }
+        }
+    }
+}
+
+fn gen_atom(atom: &Atom, runner: &mut TestRunner) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => arbitrary_char(runner),
+        Atom::Class(ranges) => {
+            let i = runner.rng().random_range(0..ranges.len());
+            let (lo, hi) = ranges[i];
+            char::from_u32(runner.rng().random_range(lo as u32..=hi as u32)).unwrap_or(lo)
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, runner: &mut TestRunner) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = runner.rng().random_range(piece.min..=piece.max);
+        for _ in 0..count {
+            out.push(gen_atom(&piece.atom, runner));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_prefix_and_class_repeat() {
+        let mut r = TestRunner::new("regex-strings");
+        for _ in 0..200 {
+            let s = generate_matching("c_[a-z]{0,3}", &mut r);
+            assert!(s.starts_with("c_"), "{s:?}");
+            let tail = &s[2..];
+            assert!(tail.len() <= 3 && tail.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn dot_star_varies() {
+        let mut r = TestRunner::new("regex-dotstar");
+        let distinct: std::collections::HashSet<String> =
+            (0..100).map(|_| generate_matching(".*", &mut r)).collect();
+        assert!(distinct.len() > 20);
+    }
+
+    #[test]
+    fn bounded_repeat_range() {
+        let mut r = TestRunner::new("regex-bounds");
+        for _ in 0..100 {
+            let s = generate_matching("t_[a-z]{1,5}", &mut r);
+            assert!((3..=7).contains(&s.len()), "{s:?}");
+        }
+    }
+}

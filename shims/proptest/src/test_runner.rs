@@ -1,0 +1,77 @@
+//! The per-test runner: config, RNG, and case failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Knobs for one `proptest!` block (only the subset we honor).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not
+    /// implemented, so this is ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 128,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property (non-panicking path used by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Holds the RNG strategies draw from.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner seeded deterministically from the test name, or from
+    /// `PROPTEST_SEED` when set (for reproducing a CI failure).
+    pub fn new(test_name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or(0),
+            Err(_) => {
+                let mut h = DefaultHasher::new();
+                test_name.hash(&mut h);
+                h.finish()
+            }
+        };
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The case RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Convenience: next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`net`] | `gis-net` | simulated WAN, wire format, fault injection |
 //! | [`adapters`] | `gis-adapters` | source wrappers + fragment protocol |
 //! | [`core`] | `gis-core` | binder, optimizer, executor, federation façade |
+//! | [`runtime`] | `gis-runtime` | sessions, scheduling, plan/result caches |
 //! | [`datagen`] | `gis-datagen` | deterministic FedMart workloads |
 //!
 //! ## Quickstart
@@ -48,21 +49,21 @@ pub use gis_catalog as catalog;
 pub use gis_core as core;
 pub use gis_datagen as datagen;
 pub use gis_net as net;
+pub use gis_runtime as runtime;
 pub use gis_sql as sql;
 pub use gis_storage as storage;
 pub use gis_types as types;
 
 /// The most common imports for downstream users.
 pub mod prelude {
-    pub use gis_adapters::{
-        ColumnarAdapter, KvAdapter, RelationalAdapter, SourceAdapter,
-    };
+    pub use gis_adapters::{ColumnarAdapter, KvAdapter, RelationalAdapter, SourceAdapter};
     pub use gis_catalog::{CapabilityProfile, ColumnMapping, TableMapping, Transform};
     pub use gis_core::{
         ExecOptions, Federation, JoinStrategy, OptimizerOptions, QueryMetrics, QueryResult,
     };
     pub use gis_datagen::{build_fedmart, FedMart, FedMartConfig};
     pub use gis_net::NetworkConditions;
+    pub use gis_runtime::{Priority, Runtime, RuntimeConfig, Session};
     pub use gis_storage::{ColumnStore, KvStore, RowStore};
     pub use gis_types::{Batch, DataType, Field, GisError, Result, Schema, Value};
 }

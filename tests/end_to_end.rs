@@ -17,9 +17,15 @@ fn counts_match_generator_sizes() {
             ref other => panic!("unexpected {other:?}"),
         }
     };
-    assert_eq!(count("SELECT count(*) FROM customers"), fm.sizes.customers as i64);
+    assert_eq!(
+        count("SELECT count(*) FROM customers"),
+        fm.sizes.customers as i64
+    );
     assert_eq!(count("SELECT count(*) FROM orders"), fm.sizes.orders as i64);
-    assert_eq!(count("SELECT count(*) FROM products"), fm.sizes.products as i64);
+    assert_eq!(
+        count("SELECT count(*) FROM products"),
+        fm.sizes.products as i64
+    );
     assert_eq!(
         count("SELECT count(*) FROM stock"),
         (fm.sizes.products * fm.sizes.warehouses) as i64
@@ -33,9 +39,7 @@ fn referential_integrity_via_anti_join() {
     // Every order's customer exists: ANTI join must be empty.
     let r = fm
         .federation
-        .query(
-            "SELECT o.order_id FROM orders o ANTI JOIN customers c ON o.cust_id = c.id",
-        )
+        .query("SELECT o.order_id FROM orders o ANTI JOIN customers c ON o.cust_id = c.id")
         .unwrap();
     assert_eq!(r.batch.num_rows(), 0);
     // And every order's product exists.

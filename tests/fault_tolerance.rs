@@ -2,10 +2,10 @@
 //! partitions, and the retry policy — exercised through the public
 //! API with the fault hooks the simulated network exposes.
 
-use gis::prelude::*;
 use gis::adapters::RemoteSource;
 use gis::net::Link;
 use gis::net::SimClock;
+use gis::prelude::*;
 use gis::storage::RowStore;
 use std::sync::Arc;
 
@@ -19,7 +19,10 @@ fn one_source_fed() -> (Federation, String) {
     .into_ref();
     adapter.add_table(RowStore::new("t", schema, Some(0)).unwrap());
     adapter
-        .load("t", (0..100i64).map(|i| vec![Value::Int64(i), Value::Int64(i * i)]))
+        .load(
+            "t",
+            (0..100i64).map(|i| vec![Value::Int64(i), Value::Int64(i * i)]),
+        )
         .unwrap();
     fed.add_source(
         Arc::new(adapter) as Arc<dyn SourceAdapter>,
@@ -29,9 +32,9 @@ fn one_source_fed() -> (Federation, String) {
     (fed, "crm".into())
 }
 
-/// Builds a standalone remote source for direct fault scripting
-/// (the federation does not expose its links mutably; adapter-level
-/// tests do).
+/// Builds a standalone remote source for adapter-level fault
+/// scripting. Federation-level tests script the same faults through
+/// [`Federation::link`] instead.
 fn standalone_remote() -> RemoteSource {
     let adapter = RelationalAdapter::new("crm");
     let schema = Schema::new(vec![Field::required("id", DataType::Int64)]).into_ref();
@@ -96,6 +99,26 @@ fn periodic_faults_slow_but_do_not_break() {
         assert_eq!(batches.iter().map(|b| b.num_rows()).sum::<usize>(), 10);
     }
     assert!(remote.link().metrics().failures() > 0);
+}
+
+#[test]
+fn federation_link_scripts_faults_through_public_api() {
+    let (fed, src) = one_source_fed();
+    let link = fed.link(&src).unwrap();
+    // Transient loss: the retry policy absorbs it, the counters see it.
+    link.faults().fail_next(2);
+    let r = fed.query("SELECT count(*) FROM crm.t").unwrap();
+    assert_eq!(r.batch.row_values(0)[0], Value::Int64(100));
+    assert_eq!(link.metrics().failures(), 2);
+    assert_eq!(r.metrics.failures, 2);
+    // Partition: retries exhaust, the error is retryable, healing fixes it.
+    link.faults().partition();
+    let err = fed.query("SELECT count(*) FROM crm.t").unwrap_err();
+    assert!(err.is_retryable());
+    link.faults().heal();
+    assert!(fed.query("SELECT count(*) FROM crm.t").is_ok());
+    // Unknown sources error instead of returning a dead link.
+    assert!(fed.link("ghost").is_err());
 }
 
 #[test]

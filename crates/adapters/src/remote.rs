@@ -15,10 +15,12 @@
 
 use crate::request::{SourceAdapter, SourceRequest};
 use crate::wire_req::{decode_request, encode_request};
-use gis_net::wire::{decode_batch, encode_batch};
+use gis_net::wire::{decode_batch, decode_span, encode_batch, encode_span};
 use gis_net::Link;
+use gis_observe::Span;
 use gis_types::{Batch, GisError, Result, SchemaRef};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default rows per response message.
 pub const DEFAULT_CHUNK_ROWS: usize = 1024;
@@ -74,9 +76,29 @@ impl RemoteSource {
     /// Ships `request`, executes it at the source, and returns the
     /// response batches, accounting all traffic on the link.
     pub fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>> {
+        Ok(self.execute_inner(request, false)?.0)
+    }
+
+    /// Like [`RemoteSource::execute`], but also returns a `recv` span
+    /// for the exchange: bytes and messages on the wire, rows
+    /// received, host-side wall time, and — as a child — the span the
+    /// *source* reported for its own work. The source span travels
+    /// back as one extra wire frame, so tracing's network cost is
+    /// metered honestly rather than conjured for free.
+    pub fn execute_traced(&self, request: &SourceRequest) -> Result<(Vec<Batch>, Span)> {
+        let (batches, span) = self.execute_inner(request, true)?;
+        // `execute_inner(_, true)` always produces a span.
+        Ok((batches, span.unwrap_or_default()))
+    }
+
+    fn execute_inner(
+        &self,
+        request: &SourceRequest,
+        traced: bool,
+    ) -> Result<(Vec<Batch>, Option<Span>)> {
         let mut attempt = 0;
         loop {
-            match self.try_execute(request) {
+            match self.try_execute(request, traced) {
                 Err(e) if e.is_retryable() && attempt < self.max_retries => {
                     attempt += 1;
                 }
@@ -85,19 +107,32 @@ impl RemoteSource {
         }
     }
 
-    fn try_execute(&self, request: &SourceRequest) -> Result<Vec<Batch>> {
+    fn try_execute(
+        &self,
+        request: &SourceRequest,
+        traced: bool,
+    ) -> Result<(Vec<Batch>, Option<Span>)> {
+        let started = traced.then(Instant::now);
+        let mut wire_bytes = 0u64;
         // Ship the request.
         let frame = encode_request(request);
+        wire_bytes += frame.len() as u64;
         self.link.transfer(frame.len())?;
         // The source decodes it (full wire path).
         let decoded = decode_request(frame)?;
-        let results = self.adapter.execute(&decoded)?;
+        let (results, source_span) = if traced {
+            let (results, span) = self.adapter.execute_traced(&decoded)?;
+            (results, Some(span))
+        } else {
+            (self.adapter.execute(&decoded)?, None)
+        };
         // Ship results back in chunks.
         let mut out = Vec::new();
         for batch in results {
             if batch.num_rows() == 0 {
                 // Even an empty result is one (small) response message.
                 let frame = encode_batch(&batch);
+                wire_bytes += frame.len() as u64;
                 self.link.transfer(frame.len())?;
                 out.push(decode_batch(frame)?);
                 continue;
@@ -107,17 +142,46 @@ impl RemoteSource {
                 let chunk = batch.slice(offset, self.chunk_rows);
                 offset += chunk.num_rows();
                 let frame = encode_batch(&chunk);
+                wire_bytes += frame.len() as u64;
                 self.link.transfer(frame.len())?;
                 out.push(decode_batch(frame)?);
             }
         }
-        Ok(out)
+        let span = match source_span {
+            Some(source_span) => {
+                // The source's own span rides back as one more frame.
+                let frame = encode_span(&source_span);
+                wire_bytes += frame.len() as u64;
+                self.link.transfer(frame.len())?;
+                let source_span = decode_span(frame)?;
+                let rows: u64 = out.iter().map(|b| b.num_rows() as u64).sum();
+                Some(
+                    Span::leaf(format!("recv[{}]", self.name()))
+                        .with_rows_out(rows)
+                        .with_bytes(wire_bytes)
+                        .with_wall_us(started.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0))
+                        .with_child(source_span),
+                )
+            }
+            None => None,
+        };
+        Ok((out, span))
     }
 
     /// Convenience: execute and concatenate all chunks.
     pub fn execute_all(&self, request: &SourceRequest, schema: SchemaRef) -> Result<Batch> {
         let batches = self.execute(request)?;
         Batch::concat(schema, &batches)
+    }
+
+    /// Traced variant of [`RemoteSource::execute_all`].
+    pub fn execute_all_traced(
+        &self,
+        request: &SourceRequest,
+        schema: SchemaRef,
+    ) -> Result<(Batch, Span)> {
+        let (batches, span) = self.execute_traced(request)?;
+        Ok((Batch::concat(schema, &batches)?, span))
     }
 
     /// Fetches a table's export schema *across the link* (used at
@@ -247,6 +311,23 @@ mod tests {
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].num_rows(), 0);
         assert_eq!(r.link().metrics().messages(), 2);
+    }
+
+    #[test]
+    fn traced_execute_meters_the_span_frame_and_reports_source_work() {
+        let clock = SimClock::new();
+        let r = remote(NetworkConditions::instant(), clock);
+        let (batches, span) = r.execute_traced(&scan_all()).unwrap();
+        assert_eq!(batches.iter().map(Batch::num_rows).sum::<usize>(), 100);
+        // 1 request + 4 responses + 1 span frame
+        assert_eq!(r.link().metrics().messages(), 6);
+        assert_eq!(span.label, "recv[crm]");
+        assert_eq!(span.rows_out, 100);
+        assert_eq!(span.bytes, r.link().metrics().bytes());
+        // The source reported its own operator subtree.
+        assert_eq!(span.children.len(), 1);
+        assert_eq!(span.children[0].label, "remote:scan[customers]");
+        assert_eq!(span.children[0].rows_out, 100);
     }
 
     #[test]

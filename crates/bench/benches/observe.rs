@@ -1,0 +1,45 @@
+//! Tracing overhead: the same federated join with span collection
+//! off and on. The traced run pays for span construction at every
+//! operator plus one extra wire frame per fragment exchange; the
+//! budget is ≤5% on wall time (the span frames also add virtual
+//! network time, which is the *point* — tracing is metered, not
+//! free — so the comparison here is host CPU).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_core::ExecOptions;
+use gis_datagen::{build_fedmart, FedMart, FedMartConfig};
+use std::hint::black_box;
+
+const JOIN: &str = "SELECT c.region, sum(o.amount) AS revenue \
+     FROM customers c JOIN orders o ON c.id = o.cust_id \
+     GROUP BY c.region ORDER BY revenue DESC";
+
+fn fedmart() -> FedMart {
+    build_fedmart(FedMartConfig {
+        conditions: gis_net::NetworkConditions::instant(),
+        ..FedMartConfig::tiny()
+    })
+    .expect("fedmart")
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let fm = fedmart();
+    let mut group = c.benchmark_group("tracing");
+    for (name, tracing) in [("off", false), ("on", true)] {
+        let exec = ExecOptions {
+            tracing,
+            ..ExecOptions::default()
+        };
+        fm.federation.set_exec_options(exec);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = fm.federation.query(black_box(JOIN)).unwrap();
+                black_box(r.batch.num_rows())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

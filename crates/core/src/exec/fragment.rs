@@ -13,6 +13,7 @@ use crate::expr::{eval::evaluate_predicate, ScalarExpr};
 use crate::plan::logical::TableScanNode;
 use gis_adapters::{RemoteSource, SourceRequest};
 use gis_catalog::TableMapping;
+use gis_observe::Span;
 use gis_sql::ast::BinaryOp;
 use gis_storage::{CmpOp, ScanPredicate};
 use gis_types::{Batch, Field, GisError, Result, Schema, SchemaRef, Value};
@@ -47,8 +48,27 @@ impl FragmentExec {
     /// Ships the fragment, maps the response to global form, applies
     /// residual filters, and projects the output.
     pub fn execute(&self, remote: &RemoteSource) -> Result<Batch> {
+        Ok(self.execute_traced(remote, false)?.0)
+    }
+
+    /// Like [`FragmentExec::execute`], but when `trace` is set also
+    /// builds the fragment's span: rows received vs. rows surviving
+    /// the residual filter, with the wire exchange (and the source's
+    /// own reported span) as a child.
+    pub fn execute_traced(
+        &self,
+        remote: &RemoteSource,
+        trace: bool,
+    ) -> Result<(Batch, Option<Span>)> {
+        let started = trace.then(std::time::Instant::now);
         let resp_schema = self.request.output_schema(&self.export_schema)?;
-        let raw = remote.execute_all(&self.request, resp_schema)?;
+        let (raw, recv) = if trace {
+            let (b, s) = remote.execute_all_traced(&self.request, resp_schema)?;
+            (b, Some(s))
+        } else {
+            (remote.execute_all(&self.request, resp_schema)?, None)
+        };
+        let rows_in = raw.num_rows() as u64;
         let mapped = self.map_response(&raw)?;
         let filtered = match &self.residual {
             Some(pred) => {
@@ -63,7 +83,16 @@ impl FragmentExec {
             _ => projected,
         };
         // Install the alias-qualified output schema.
-        Batch::try_new(self.schema.clone(), limited.columns().to_vec())
+        let batch = Batch::try_new(self.schema.clone(), limited.columns().to_vec())?;
+        let span = started.map(|t| {
+            let mut s = Span::leaf(format!("Fragment[{}]", self.source))
+                .with_rows_in(rows_in)
+                .with_rows_out(batch.num_rows() as u64)
+                .with_wall_us(t.elapsed().as_micros() as u64);
+            s.children.extend(recv);
+            s
+        });
+        Ok((batch, span))
     }
 
     /// Converts a response batch (export layout) into the

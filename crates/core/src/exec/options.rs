@@ -53,6 +53,12 @@ pub struct ExecOptions {
     /// *parallel* virtual-time metric improve, while the sequential
     /// virtual clock still accumulates total work.
     pub parallel_fetch: bool,
+    /// Collect a per-operator span tree (rows, bytes, wall time)
+    /// during execution. Remote sources report their own spans back
+    /// over the wire — the extra frame is metered like any other
+    /// message. Off by default: `EXPLAIN ANALYZE` and the slow-query
+    /// log turn it on.
+    pub tracing: bool,
 }
 
 impl Default for ExecOptions {
@@ -65,6 +71,7 @@ impl Default for ExecOptions {
             chunk_rows: 1024,
             colocated_join: true,
             parallel_fetch: false,
+            tracing: false,
         }
     }
 }

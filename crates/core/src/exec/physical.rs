@@ -8,6 +8,7 @@ use crate::expr::ScalarExpr;
 use crate::plan::logical::AggregateExpr;
 use gis_adapters::{RemoteSource, SourceRequest};
 use gis_catalog::TableMapping;
+use gis_observe::Span;
 use gis_sql::ast::JoinKind;
 use gis_types::{Batch, GisError, Result, Row, Schema, SchemaRef, SortKey, SortOrder, Value};
 use std::collections::HashMap;
@@ -128,12 +129,19 @@ pub struct RemoteJoinExec {
 }
 
 impl RemoteJoinExec {
-    fn execute(&self, ctx: &ExecContext<'_>) -> Result<Batch> {
+    fn execute(&self, ctx: &ExecContext<'_>, trace: bool) -> Result<(Batch, Option<Span>)> {
+        let started = trace.then(std::time::Instant::now);
         let remote = ctx.source(&self.source)?;
         let resp_schema = self
             .request
             .join_output_schema(&self.left_export, &self.right_export)?;
-        let raw = remote.execute_all(&self.request, resp_schema)?;
+        let (raw, recv) = if trace {
+            let (b, s) = remote.execute_all_traced(&self.request, resp_schema)?;
+            (b, Some(s))
+        } else {
+            (remote.execute_all(&self.request, resp_schema)?, None)
+        };
+        let rows_in = raw.num_rows() as u64;
         // Apply per-column transforms positionally.
         let mut cols = Vec::with_capacity(self.columns.len());
         let mut fields = Vec::with_capacity(self.columns.len());
@@ -151,7 +159,16 @@ impl RemoteJoinExec {
             None => mapped,
         };
         let projected = filtered.project(&self.output_positions)?;
-        Batch::try_new(self.schema.clone(), projected.columns().to_vec())
+        let batch = Batch::try_new(self.schema.clone(), projected.columns().to_vec())?;
+        let span = started.map(|t| {
+            let mut s = Span::leaf(format!("RemoteJoin[{}]", self.source))
+                .with_rows_in(rows_in)
+                .with_rows_out(batch.num_rows() as u64)
+                .with_wall_us(t.elapsed().as_micros() as u64);
+            s.children.extend(recv);
+            s
+        });
+        Ok((batch, span))
     }
 }
 
@@ -354,31 +371,59 @@ impl PhysicalPlan {
 
     /// Executes the plan to a single batch.
     pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<Batch> {
+        Ok(self.execute_traced(ctx)?.0)
+    }
+
+    /// Executes the plan, additionally producing a per-operator
+    /// [`Span`] tree when `ctx.options().tracing` is on. Every node
+    /// records rows in/out and wall time; remote exchanges add bytes
+    /// and messages plus the span the *source itself* reported over
+    /// the wire — the mediator stitches, it never guesses.
+    pub fn execute_traced(&self, ctx: &ExecContext<'_>) -> Result<(Batch, Option<Span>)> {
         // One choke point cancels the whole tree: every operator
         // (including each fragment fetch and bind-join batch, which
         // recurse through here) re-checks the deadline on entry.
         ctx.check_deadline()?;
+        let trace = ctx.options.tracing;
+        // Remote operators build their own spans: they know the wire
+        // bytes and carry the source-reported subtree.
         match self {
-            PhysicalPlan::Fragment(f) => f.execute(ctx.source(&f.source)?),
-            PhysicalPlan::RemoteAggregate(r) => execute_remote_agg(r, ctx),
-            PhysicalPlan::RemoteJoin(r) => r.execute(ctx),
+            PhysicalPlan::Fragment(f) => {
+                return f.execute_traced(ctx.source(&f.source)?, trace);
+            }
+            PhysicalPlan::RemoteAggregate(r) => return execute_remote_agg(r, ctx, trace),
+            PhysicalPlan::RemoteJoin(r) => return r.execute(ctx, trace),
+            PhysicalPlan::BindJoin(b) => return execute_bind_join(b, ctx, trace),
+            _ => {}
+        }
+        // Mediator operators share the generic wrap-up below: run the
+        // children (collecting their spans and row counts), produce
+        // the output, then stamp one span for this node.
+        let started = trace.then(std::time::Instant::now);
+        let mut children: Vec<Span> = Vec::new();
+        let mut rows_in: u64 = 0;
+        let batch = match self {
+            PhysicalPlan::Fragment(_)
+            | PhysicalPlan::RemoteAggregate(_)
+            | PhysicalPlan::RemoteJoin(_)
+            | PhysicalPlan::BindJoin(_) => unreachable!("remote operators returned above"),
             PhysicalPlan::Filter { input, predicate } => {
-                let batch = input.execute(ctx)?;
+                let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
                 let keep = evaluate_predicate(predicate, &batch)?;
-                batch.filter(&keep)
+                batch.filter(&keep)?
             }
             PhysicalPlan::Project {
                 input,
                 exprs,
                 schema,
             } => {
-                let batch = input.execute(ctx)?;
+                let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
                 let mut columns = Vec::with_capacity(exprs.len());
                 for (e, f) in exprs.iter().zip(schema.fields()) {
                     let col = evaluate(e, &batch)?;
                     columns.push(col.cast_to(f.data_type)?);
                 }
-                Batch::try_new(schema.clone(), columns)
+                Batch::try_new(schema.clone(), columns)?
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -389,7 +434,10 @@ impl PhysicalPlan {
                 residual,
                 schema,
             } => {
-                let (l, r) = execute_pair(left, right, ctx)?;
+                let ((l, ls), (r, rs)) = execute_pair(left, right, ctx)?;
+                rows_in += (l.num_rows() + r.num_rows()) as u64;
+                children.extend(ls);
+                children.extend(rs);
                 hash_join(
                     &l,
                     &r,
@@ -398,7 +446,7 @@ impl PhysicalPlan {
                     *kind,
                     residual.as_ref(),
                     schema.clone(),
-                )
+                )?
             }
             PhysicalPlan::NestedLoop {
                 left,
@@ -407,36 +455,45 @@ impl PhysicalPlan {
                 condition,
                 schema,
             } => {
-                let (l, r) = execute_pair(left, right, ctx)?;
-                nested_loop_join(&l, &r, *kind, condition.as_ref(), schema.clone())
+                let ((l, ls), (r, rs)) = execute_pair(left, right, ctx)?;
+                rows_in += (l.num_rows() + r.num_rows()) as u64;
+                children.extend(ls);
+                children.extend(rs);
+                nested_loop_join(&l, &r, *kind, condition.as_ref(), schema.clone())?
             }
-            PhysicalPlan::BindJoin(b) => execute_bind_join(b, ctx),
             PhysicalPlan::HashAggregate {
                 input,
                 group_exprs,
                 aggregates,
                 schema,
             } => {
-                let batch = input.execute(ctx)?;
-                hash_aggregate(&batch, group_exprs, aggregates, schema.clone())
+                let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
+                hash_aggregate(&batch, group_exprs, aggregates, schema.clone())?
             }
             PhysicalPlan::Sort { input, keys } => {
-                let batch = input.execute(ctx)?;
-                sort_batch(&batch, keys)
+                let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
+                sort_batch(&batch, keys)?
             }
             PhysicalPlan::Limit { input, skip, fetch } => {
-                let batch = input.execute(ctx)?;
+                let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
                 let start = (*skip).min(batch.num_rows());
                 let len = fetch.unwrap_or(usize::MAX);
-                Ok(batch.slice(start, len))
+                batch.slice(start, len)
             }
             PhysicalPlan::Union { inputs, schema } => {
                 let raw: Vec<Batch> = if ctx.options.parallel_fetch && inputs.len() > 1 {
-                    execute_all_parallel(inputs, ctx)?
+                    let parts = execute_all_parallel(inputs, ctx)?;
+                    let mut raw = Vec::with_capacity(parts.len());
+                    for (b, s) in parts {
+                        rows_in += b.num_rows() as u64;
+                        children.extend(s);
+                        raw.push(b);
+                    }
+                    raw
                 } else {
                     inputs
                         .iter()
-                        .map(|i| i.execute(ctx))
+                        .map(|i| run_child(i, ctx, &mut children, &mut rows_in))
                         .collect::<Result<_>>()?
                 };
                 // Re-install the union schema (names may differ).
@@ -444,21 +501,81 @@ impl PhysicalPlan {
                     .into_iter()
                     .map(|b| Batch::try_new(schema.clone(), b.columns().to_vec()))
                     .collect::<Result<_>>()?;
-                Batch::concat(schema.clone(), &parts)
+                Batch::concat(schema.clone(), &parts)?
             }
             PhysicalPlan::Distinct { input } => {
-                let batch = input.execute(ctx)?;
-                Ok(distinct(&batch))
+                let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
+                distinct(&batch)
             }
             PhysicalPlan::Values { schema, rows } => {
                 if schema.is_empty() {
                     // Zero-column relations still carry a row count
                     // (`SELECT 1` evaluates over one empty row).
-                    Ok(Batch::placeholder(rows.len()))
+                    Batch::placeholder(rows.len())
                 } else {
-                    Batch::from_rows(schema.clone(), rows)
+                    Batch::from_rows(schema.clone(), rows)?
                 }
             }
+        };
+        let span = started.map(|t| {
+            let mut s = Span::leaf(self.span_label())
+                .with_rows_in(rows_in)
+                .with_rows_out(batch.num_rows() as u64)
+                .with_wall_us(t.elapsed().as_micros() as u64);
+            s.children = children;
+            s
+        });
+        Ok((batch, span))
+    }
+
+    /// One-line operator label used for span trees; matches the
+    /// head line `EXPLAIN` renders for the same node.
+    fn span_label(&self) -> String {
+        match self {
+            PhysicalPlan::Fragment(f) => format!("Fragment[{}]", f.source),
+            PhysicalPlan::RemoteAggregate(r) => format!("RemoteAggregate[{}]", r.source),
+            PhysicalPlan::RemoteJoin(r) => format!("RemoteJoin[{}]", r.source),
+            PhysicalPlan::BindJoin(b) => {
+                format!("BindJoin[{}→{} {}]", b.label, b.inner.source, b.kind)
+            }
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            PhysicalPlan::Project { exprs, .. } => {
+                let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Project: {}", items.join(", "))
+            }
+            PhysicalPlan::HashJoin {
+                left_keys,
+                right_keys,
+                kind,
+                ..
+            } => format!("HashJoin[{kind}]: left{left_keys:?} = right{right_keys:?}"),
+            PhysicalPlan::NestedLoop { kind, .. } => format!("NestedLoop[{kind}]"),
+            PhysicalPlan::HashAggregate {
+                group_exprs,
+                aggregates,
+                ..
+            } => {
+                let gs: Vec<String> = group_exprs.iter().map(|g| g.to_string()).collect();
+                let asx: Vec<String> = aggregates.iter().map(|a| a.display_name()).collect();
+                format!(
+                    "HashAggregate: group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    asx.join(", ")
+                )
+            }
+            PhysicalPlan::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{} {}", k.expr, if k.asc { "ASC" } else { "DESC" }))
+                    .collect();
+                format!("Sort: {}", ks.join(", "))
+            }
+            PhysicalPlan::Limit { skip, fetch, .. } => {
+                format!("Limit: skip={skip} fetch={fetch:?}")
+            }
+            PhysicalPlan::Union { .. } => "UnionAll".into(),
+            PhysicalPlan::Distinct { .. } => "Distinct".into(),
+            PhysicalPlan::Values { rows, .. } => format!("Values: {} row(s)", rows.len()),
         }
     }
 
@@ -592,18 +709,34 @@ impl PhysicalPlan {
     }
 }
 
+/// Executes one child, folding its span and row count into the
+/// parent's accumulators.
+fn run_child(
+    child: &PhysicalPlan,
+    ctx: &ExecContext<'_>,
+    children: &mut Vec<Span>,
+    rows_in: &mut u64,
+) -> Result<Batch> {
+    let (batch, span) = child.execute_traced(ctx)?;
+    *rows_in += batch.num_rows() as u64;
+    children.extend(span);
+    Ok(batch)
+}
+
 /// Executes two subplans, concurrently when `parallel_fetch` is on.
+type TracedBatch = (Batch, Option<Span>);
+
 fn execute_pair(
     left: &PhysicalPlan,
     right: &PhysicalPlan,
     ctx: &ExecContext<'_>,
-) -> Result<(Batch, Batch)> {
+) -> Result<(TracedBatch, TracedBatch)> {
     if !ctx.options.parallel_fetch {
-        return Ok((left.execute(ctx)?, right.execute(ctx)?));
+        return Ok((left.execute_traced(ctx)?, right.execute_traced(ctx)?));
     }
     crossbeam::thread::scope(|s| {
-        let lh = s.spawn(|_| left.execute(ctx));
-        let r = right.execute(ctx);
+        let lh = s.spawn(|_| left.execute_traced(ctx));
+        let r = right.execute_traced(ctx);
         let l = lh.join().expect("left executor thread panicked");
         Ok((l?, r?))
     })
@@ -611,11 +744,11 @@ fn execute_pair(
 }
 
 /// Executes many subplans on one thread each.
-fn execute_all_parallel(plans: &[PhysicalPlan], ctx: &ExecContext<'_>) -> Result<Vec<Batch>> {
+fn execute_all_parallel(plans: &[PhysicalPlan], ctx: &ExecContext<'_>) -> Result<Vec<TracedBatch>> {
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = plans
             .iter()
-            .map(|p| s.spawn(move |_| p.execute(ctx)))
+            .map(|p| s.spawn(move |_| p.execute_traced(ctx)))
             .collect();
         handles
             .into_iter()
@@ -699,10 +832,20 @@ fn sort_batch(batch: &Batch, keys: &[PhysicalSortKey]) -> Result<Batch> {
     Ok(batch.take(&idx))
 }
 
-fn execute_remote_agg(r: &RemoteAggExec, ctx: &ExecContext<'_>) -> Result<Batch> {
+fn execute_remote_agg(
+    r: &RemoteAggExec,
+    ctx: &ExecContext<'_>,
+    trace: bool,
+) -> Result<(Batch, Option<Span>)> {
+    let started = trace.then(std::time::Instant::now);
     let remote = ctx.source(&r.source)?;
     let resp_schema = r.request.output_schema(&r.export_schema)?;
-    let raw = remote.execute_all(&r.request, resp_schema)?;
+    let (raw, recv) = if trace {
+        let (b, s) = remote.execute_all_traced(&r.request, resp_schema)?;
+        (b, Some(s))
+    } else {
+        (remote.execute_all(&r.request, resp_schema)?, None)
+    };
     // Group columns go through their mapping transforms; aggregate
     // outputs are cast to the declared output types.
     let mut columns = Vec::with_capacity(r.schema.len());
@@ -715,11 +858,27 @@ fn execute_remote_agg(r: &RemoteAggExec, ctx: &ExecContext<'_>) -> Result<Batch>
         };
         columns.push(col.cast_to(field.data_type)?);
     }
-    Batch::try_new(r.schema.clone(), columns)
+    let batch = Batch::try_new(r.schema.clone(), columns)?;
+    let span = started.map(|t| {
+        let mut s = Span::leaf(format!("RemoteAggregate[{}]", r.source))
+            .with_rows_in(raw.num_rows() as u64)
+            .with_rows_out(batch.num_rows() as u64)
+            .with_wall_us(t.elapsed().as_micros() as u64);
+        s.children.extend(recv);
+        s
+    });
+    Ok((batch, span))
 }
 
-fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
-    let outer = b.outer.execute(ctx)?;
+fn execute_bind_join(
+    b: &BindJoinExec,
+    ctx: &ExecContext<'_>,
+    trace: bool,
+) -> Result<(Batch, Option<Span>)> {
+    let started = trace.then(std::time::Instant::now);
+    let mut children: Vec<Span> = Vec::new();
+    let (outer, outer_span) = b.outer.execute_traced(ctx)?;
+    children.extend(outer_span);
     let remote = ctx.source(&b.inner.source)?;
     // Distinct non-null outer key tuples, inverted to export values.
     let SourceRequest::Lookup {
@@ -769,6 +928,7 @@ fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
     }
     // Ship keys in batches, collect matching inner rows.
     let resp_schema = b.inner.request.output_schema(&b.inner.export_schema)?;
+    let mut inner_rows: u64 = 0;
     let mut inner_parts: Vec<Batch> = Vec::new();
     let chunk = b.batch_size.max(1);
     let mut idx = 0;
@@ -787,7 +947,14 @@ fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
             keys: keys_chunk,
             projection: projection.clone(),
         };
-        let raw = remote.execute_all(&request, resp_schema.clone())?;
+        let raw = if trace {
+            let (raw, recv) = remote.execute_all_traced(&request, resp_schema.clone())?;
+            children.push(recv);
+            raw
+        } else {
+            remote.execute_all(&request, resp_schema.clone())?
+        };
+        inner_rows += raw.num_rows() as u64;
         let mapped = b.inner.map_response(&raw)?;
         let filtered = match &b.inner.residual {
             Some(pred) => {
@@ -806,7 +973,7 @@ fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
         let joined = Batch::concat(s, &inner_parts)?;
         Batch::try_new(b.inner.schema.clone(), joined.columns().to_vec())?
     };
-    hash_join(
+    let batch = hash_join(
         &outer,
         &inner_all,
         &b.outer_keys,
@@ -814,7 +981,19 @@ fn execute_bind_join(b: &BindJoinExec, ctx: &ExecContext<'_>) -> Result<Batch> {
         b.kind,
         b.residual.as_ref(),
         b.schema.clone(),
-    )
+    )?;
+    let span = started.map(|t| {
+        let mut s = Span::leaf(format!(
+            "BindJoin[{}→{} {}]",
+            b.label, b.inner.source, b.kind
+        ))
+        .with_rows_in(outer.num_rows() as u64 + inner_rows)
+        .with_rows_out(batch.num_rows() as u64)
+        .with_wall_us(t.elapsed().as_micros() as u64);
+        s.children = children;
+        s
+    });
+    Ok((batch, span))
 }
 
 impl BindJoinExec {

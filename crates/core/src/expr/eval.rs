@@ -362,6 +362,9 @@ fn eval_arithmetic(l: &Array, op: BinaryOp, r: &Array, out_type: DataType) -> Re
             b.push_null();
             continue;
         }
+        // Vetted: both sides were null-checked two lines up, so
+        // `as_f64` can only return `Some` here (or error on type).
+        #[allow(clippy::unwrap_used)]
         let (x, y) = (a.as_f64()?.unwrap(), c.as_f64()?.unwrap());
         let out = match op {
             BinaryOp::Plus => x + y,
@@ -392,6 +395,8 @@ fn eval_arithmetic(l: &Array, op: BinaryOp, r: &Array, out_type: DataType) -> Re
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use gis_types::{Field, Schema};
 

@@ -32,8 +32,13 @@ pub enum ScalarFunc {
     NullIf,
     /// `trim(s)` — strip ASCII whitespace.
     Trim,
-    /// `concat(a, b, ...)` — string concatenation, NULL-safe (skips
-    /// NULLs, matching common engine behaviour).
+    /// `concat(a, b, ...)` — string concatenation. NULL dialect: NULL
+    /// arguments are *skipped* rather than poisoning the result
+    /// (MySQL/Postgres `CONCAT` behaviour, not SQL-standard `||`).
+    Concat,
+    /// `concat_ws(sep, a, b, ...)` — join the non-NULL arguments with
+    /// the separator; NULL arguments are skipped; a NULL separator
+    /// yields NULL.
     ConcatWs,
     /// `year(d)` / `month(d)` / `day(d)` — date parts.
     Year,
@@ -60,7 +65,8 @@ impl ScalarFunc {
             "ceil" | "ceiling" => ScalarFunc::Ceil,
             "nullif" => ScalarFunc::NullIf,
             "trim" => ScalarFunc::Trim,
-            "concat" => ScalarFunc::ConcatWs,
+            "concat" => ScalarFunc::Concat,
+            "concat_ws" => ScalarFunc::ConcatWs,
             "year" => ScalarFunc::Year,
             "month" => ScalarFunc::Month,
             "day" => ScalarFunc::Day,
@@ -83,7 +89,8 @@ impl ScalarFunc {
             ScalarFunc::Ceil => "ceil",
             ScalarFunc::NullIf => "nullif",
             ScalarFunc::Trim => "trim",
-            ScalarFunc::ConcatWs => "concat",
+            ScalarFunc::Concat => "concat",
+            ScalarFunc::ConcatWs => "concat_ws",
             ScalarFunc::Year => "year",
             ScalarFunc::Month => "month",
             ScalarFunc::Day => "day",
@@ -155,11 +162,26 @@ impl ScalarFunc {
                 if args.len() != 2 {
                     return arity_err("2");
                 }
+                // The two sides are compared for equality at eval
+                // time, so reject incomparable pairs here instead of
+                // deferring a confusing row-at-a-time failure.
+                args[0].common_supertype(args[1]).ok_or_else(|| {
+                    GisError::Analysis(format!(
+                        "nullif() arguments are not comparable: {} vs {}",
+                        args[0], args[1]
+                    ))
+                })?;
                 Ok(args[0])
             }
-            ScalarFunc::ConcatWs => {
+            ScalarFunc::Concat => {
                 if args.is_empty() {
                     return arity_err("at least 1");
+                }
+                Ok(DataType::Utf8)
+            }
+            ScalarFunc::ConcatWs => {
+                if args.len() < 2 {
+                    return arity_err("at least 2 (separator + values)");
                 }
                 Ok(DataType::Utf8)
             }
@@ -280,7 +302,7 @@ impl ScalarFunc {
                     args[0].clone()
                 }
             }
-            ScalarFunc::ConcatWs => {
+            ScalarFunc::Concat => {
                 let mut s = String::new();
                 for a in args {
                     if !a.is_null() {
@@ -288,6 +310,18 @@ impl ScalarFunc {
                     }
                 }
                 Value::Utf8(s)
+            }
+            ScalarFunc::ConcatWs => {
+                if args[0].is_null() {
+                    return Ok(Value::Null);
+                }
+                let sep = args[0].to_string();
+                let joined: Vec<String> = args[1..]
+                    .iter()
+                    .filter(|a| !a.is_null())
+                    .map(Value::to_string)
+                    .collect();
+                Value::Utf8(joined.join(&sep))
             }
             ScalarFunc::Year | ScalarFunc::Month | ScalarFunc::Day => {
                 if null_in(1) {
@@ -304,15 +338,11 @@ impl ScalarFunc {
                         )))
                     }
                 };
-                let formatted = gis_types::value::format_date(days);
-                let mut parts = formatted.split('-');
-                let y: i64 = parts.next().unwrap().parse().unwrap();
-                let m: i64 = parts.next().unwrap().parse().unwrap();
-                let d: i64 = parts.next().unwrap().parse().unwrap();
+                let (y, m, d) = gis_types::value::date_parts(days);
                 Value::Int64(match self {
                     ScalarFunc::Year => y,
-                    ScalarFunc::Month => m,
-                    _ => d,
+                    ScalarFunc::Month => m as i64,
+                    _ => d as i64,
                 })
             }
             ScalarFunc::Sqrt => {
@@ -337,6 +367,8 @@ fn req_num(v: &Value, func: &str) -> Result<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -456,12 +488,100 @@ mod tests {
     }
 
     #[test]
-    fn concat_skips_nulls() {
+    fn date_parts_pre_epoch_and_negative_years_do_not_panic() {
+        // 1969-12-31, the day before the epoch.
+        let d = Value::Date(-1);
         assert_eq!(
-            ScalarFunc::ConcatWs
+            ScalarFunc::Year.eval(std::slice::from_ref(&d)).unwrap(),
+            Value::Int64(1969)
+        );
+        assert_eq!(ScalarFunc::Day.eval(&[d]).unwrap(), Value::Int64(31));
+
+        // Year -1 (formatted "-0001-03-01"): the old split('-')
+        // reimplementation panicked on the leading '-'.
+        let neg = Value::Date(-719_468 - 366);
+        assert_eq!(
+            ScalarFunc::Year.eval(std::slice::from_ref(&neg)).unwrap(),
+            Value::Int64(-1)
+        );
+        assert_eq!(
+            ScalarFunc::Month.eval(std::slice::from_ref(&neg)).unwrap(),
+            Value::Int64(3)
+        );
+        assert_eq!(ScalarFunc::Day.eval(&[neg]).unwrap(), Value::Int64(1));
+
+        // Negative-year timestamps take the same path.
+        let ts = Value::Timestamp((-719_834i64) * 86_400_000_000);
+        assert_eq!(ScalarFunc::Year.eval(&[ts]).unwrap(), Value::Int64(-1));
+    }
+
+    #[test]
+    fn concat_skips_nulls() {
+        assert_eq!(ScalarFunc::resolve("concat"), Some(ScalarFunc::Concat));
+        assert_eq!(
+            ScalarFunc::Concat
                 .eval(&[Value::Utf8("a".into()), Value::Null, Value::Int64(7),])
                 .unwrap(),
             Value::Utf8("a7".into())
+        );
+        assert_eq!(
+            ScalarFunc::Concat
+                .eval(&[Value::Null, Value::Null])
+                .unwrap(),
+            Value::Utf8("".into())
+        );
+    }
+
+    #[test]
+    fn concat_ws_joins_with_separator() {
+        assert_eq!(ScalarFunc::resolve("concat_ws"), Some(ScalarFunc::ConcatWs));
+        assert_eq!(
+            ScalarFunc::ConcatWs
+                .eval(&[
+                    Value::Utf8(",".into()),
+                    Value::Utf8("a".into()),
+                    Value::Null,
+                    Value::Int64(7),
+                ])
+                .unwrap(),
+            Value::Utf8("a,7".into())
+        );
+        // NULL separator yields NULL even with non-NULL values.
+        assert_eq!(
+            ScalarFunc::ConcatWs
+                .eval(&[Value::Null, Value::Utf8("a".into())])
+                .unwrap(),
+            Value::Null
+        );
+        // Arity: a lone separator is rejected at bind time.
+        assert!(ScalarFunc::ConcatWs.return_type(&[DataType::Utf8]).is_err());
+        assert_eq!(
+            ScalarFunc::ConcatWs
+                .return_type(&[DataType::Utf8, DataType::Int64])
+                .unwrap(),
+            DataType::Utf8
+        );
+    }
+
+    #[test]
+    fn nullif_rejects_incomparable_types_at_bind_time() {
+        assert!(ScalarFunc::NullIf
+            .return_type(&[DataType::Int64, DataType::Utf8])
+            .is_err());
+        assert!(ScalarFunc::NullIf
+            .return_type(&[DataType::Date, DataType::Boolean])
+            .is_err());
+        assert_eq!(
+            ScalarFunc::NullIf
+                .return_type(&[DataType::Int32, DataType::Int64])
+                .unwrap(),
+            DataType::Int32
+        );
+        assert_eq!(
+            ScalarFunc::NullIf
+                .return_type(&[DataType::Utf8, DataType::Null])
+                .unwrap(),
+            DataType::Utf8
         );
     }
 

@@ -64,6 +64,8 @@ fn matches(t: &[char], p: &[char]) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

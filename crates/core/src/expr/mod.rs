@@ -468,6 +468,8 @@ impl fmt::Display for ScalarExpr {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use gis_types::Field;
 

@@ -95,6 +95,8 @@ pub fn is_false(e: &ScalarExpr) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn lit_i(v: i64) -> ScalarExpr {

@@ -196,7 +196,9 @@ impl Federation {
         let stmt = gis_sql::parse(sql)?;
         match stmt {
             Statement::Explain { analyze, statement } => {
-                self.explain_statement(*statement, analyze)
+                let optimizer = self.optimizer_options();
+                let exec = self.exec_options();
+                self.explain_statement(*statement, analyze, &optimizer, &exec)
             }
             Statement::Query(_) => self.run_statement(&stmt),
         }
@@ -233,7 +235,7 @@ impl Federation {
         let stmt = gis_sql::parse(sql)?;
         match stmt {
             Statement::Explain { analyze, statement } => {
-                self.explain_statement(*statement, analyze)
+                self.explain_statement(*statement, analyze, optimizer, exec)
             }
             Statement::Query(_) => {
                 let started = Instant::now();
@@ -285,12 +287,13 @@ impl Federation {
         let ctx = ExecContext::with_options(&sources, *exec)
             .with_query_id(query_id)
             .with_deadline(deadline);
-        let batch = physical.execute(&ctx)?;
+        let (batch, trace) = physical.execute_traced(&ctx)?;
         let mut metrics = snapshot.diff_against(sources.values().map(|s| s.link()), &self.clock);
         metrics.rows_returned = batch.num_rows();
         metrics.fragments = physical.fragment_count();
         metrics.query_id = query_id;
         metrics.wall_us = started.elapsed().as_micros();
+        metrics.trace = trace;
         Ok(QueryResult { batch, metrics })
     }
 
@@ -308,15 +311,31 @@ impl Federation {
         Ok(result)
     }
 
-    fn explain_statement(&self, stmt: Statement, analyze: bool) -> Result<QueryResult> {
+    fn explain_statement(
+        &self,
+        stmt: Statement,
+        analyze: bool,
+        optimizer: &OptimizerOptions,
+        exec: &ExecOptions,
+    ) -> Result<QueryResult> {
         let rendered = if analyze {
-            let result = self.run_statement(&stmt)?;
-            let plan = self.plan_statement(&stmt)?;
-            format!("{plan}-- executed: {}\n", result.metrics.summary())
+            // Execute with tracing forced on: the annotated tree is
+            // the point, whatever the session's normal settings are.
+            let mut exec = *exec;
+            exec.tracing = true;
+            let started = Instant::now();
+            let plan = self.plan_statement_with(&stmt, optimizer)?;
+            let mut result = self.execute_logical(&plan, &exec, 0, None)?;
+            result.metrics.wall_us = started.elapsed().as_micros();
+            let tree = match &result.metrics.trace {
+                Some(span) => span.render(),
+                None => plan.to_string(),
+            };
+            format!("{tree}-- executed: {}\n", result.metrics.summary())
         } else {
-            let plan = self.plan_statement(&stmt)?;
+            let plan = self.plan_statement_with(&stmt, optimizer)?;
             let sources = self.sources.read();
-            let physical = create_physical_plan(&plan, &sources, &self.exec_options.read())?;
+            let physical = create_physical_plan(&plan, &sources, exec)?;
             format!(
                 "== Logical plan ==\n{plan}== Physical plan ==\n{}",
                 physical.display()

@@ -30,6 +30,11 @@
 
 pub mod cost;
 pub mod exec;
+// Expression evaluation runs row-at-a-time over untrusted remote data,
+// so a stray `unwrap` is a mediator panic: lint it (tests and the few
+// vetted null-checked sites carry explicit allows). CI runs clippy
+// with `-D warnings`, which makes this a hard gate.
+#[warn(clippy::unwrap_used)]
 pub mod expr;
 pub mod federation;
 pub mod metrics;

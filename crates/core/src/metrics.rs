@@ -8,6 +8,7 @@
 //! through every operator.
 
 use gis_net::Link;
+use gis_observe::Span;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -56,6 +57,11 @@ pub struct QueryMetrics {
     /// Host time the query spent waiting in the scheduler queue
     /// before a worker picked it up, µs.
     pub queue_wait_us: u64,
+    /// Per-operator span tree, present when the query ran with
+    /// [`crate::ExecOptions::tracing`] on (`EXPLAIN ANALYZE`, the
+    /// slow-query log). Remote-fragment subtrees were reported by the
+    /// sources themselves over the wire.
+    pub trace: Option<Span>,
 }
 
 impl QueryMetrics {

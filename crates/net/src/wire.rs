@@ -15,6 +15,7 @@
 //! Everything round-trips; proptest hammers the encoders below.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gis_observe::Span;
 use gis_types::{Array, Batch, Bitmap, DataType, Field, GisError, Result, Schema, Value};
 use std::sync::Arc;
 
@@ -70,16 +71,25 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 }
 
 fn get_str(buf: &mut Bytes) -> Result<String> {
-    let len = get_uvarint(buf)? as usize;
-    if buf.remaining() < len {
-        return Err(truncated());
-    }
+    let len = get_count(buf, 1)?;
     let bytes = buf.copy_to_bytes(len);
     String::from_utf8(bytes.to_vec()).map_err(|_| GisError::Network("invalid UTF-8 on wire".into()))
 }
 
 fn truncated() -> GisError {
     GisError::Network("truncated message".into())
+}
+
+/// Reads a count prefix and bounds it by the bytes remaining: every
+/// counted item occupies at least `min_item_bytes` on the wire, so a
+/// count that cannot possibly fit in the rest of the frame is a
+/// corrupt frame — reject it *before* it sizes an allocation.
+fn get_count(buf: &mut Bytes, min_item_bytes: usize) -> Result<usize> {
+    let n = usize::try_from(get_uvarint(buf)?).map_err(|_| truncated())?;
+    match n.checked_mul(min_item_bytes) {
+        Some(need) if need <= buf.remaining() => Ok(n),
+        _ => Err(truncated()),
+    }
 }
 
 // ---- type tags ------------------------------------------------------------
@@ -181,7 +191,9 @@ pub fn encode_schema(buf: &mut BytesMut, schema: &Schema) {
 
 /// Decodes a schema.
 pub fn decode_schema(buf: &mut Bytes) -> Result<Schema> {
-    let n = get_uvarint(buf)? as usize;
+    // Each field costs at least 4 bytes: empty-name varint, type tag,
+    // nullable flag, qualifier flag.
+    let n = get_count(buf, 4)?;
     let mut fields = Vec::with_capacity(n);
     for _ in 0..n {
         let name = get_str(buf)?;
@@ -252,7 +264,15 @@ fn decode_array(buf: &mut Bytes) -> Result<Array> {
         return Err(truncated());
     }
     let dt = tag_type(buf.get_u8())?;
-    let len = get_uvarint(buf)? as usize;
+    // Bound the claimed length by the cheapest possible payload for
+    // this type (the validity bitmap only adds to the true cost), so
+    // a corrupt length cannot size a huge allocation.
+    let min_width = match dt {
+        DataType::Int32 | DataType::Date => 4,
+        DataType::Int64 | DataType::Timestamp | DataType::Float64 => 8,
+        _ => 1,
+    };
+    let len = get_count(buf, min_width)?;
     let bitmap_bytes = len.div_ceil(8);
     if buf.remaining() < bitmap_bytes {
         return Err(truncated());
@@ -260,7 +280,8 @@ fn decode_array(buf: &mut Bytes) -> Result<Array> {
     let validity = Bitmap::from_bytes(buf.copy_to_bytes(bitmap_bytes).to_vec(), len);
     macro_rules! fixed {
         ($variant:ident, $width:expr, $read:expr) => {{
-            if buf.remaining() < len * $width {
+            let need = len.checked_mul($width).ok_or_else(truncated)?;
+            if buf.remaining() < need {
                 return Err(truncated());
             }
             let mut v = Vec::with_capacity(len);
@@ -314,7 +335,7 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
 /// Decodes a batch produced by [`encode_batch`].
 pub fn decode_batch(mut buf: Bytes) -> Result<Batch> {
     let schema = decode_schema(&mut buf)?;
-    let rows = get_uvarint(&mut buf)? as usize;
+    let rows = usize::try_from(get_uvarint(&mut buf)?).map_err(|_| truncated())?;
     let mut columns = Vec::with_capacity(schema.len());
     for _ in 0..schema.len() {
         let a = decode_array(&mut buf)?;
@@ -345,12 +366,75 @@ pub fn encode_values(values: &[Value]) -> Bytes {
 
 /// Decodes a list of scalar values.
 pub fn decode_values(mut buf: Bytes) -> Result<Vec<Value>> {
-    let n = get_uvarint(&mut buf)? as usize;
-    let mut out = Vec::with_capacity(n.min(1 << 20));
+    // Every encoded value is at least a one-byte type tag.
+    let n = get_count(&mut buf, 1)?;
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(decode_value(&mut buf)?);
     }
     Ok(out)
+}
+
+// ---- operator spans ---------------------------------------------------------
+
+/// Span trees deeper than this are rejected as corrupt: no physical
+/// plan a source executes comes close, and the bound keeps a hostile
+/// frame from recursing the decoder off the stack.
+const MAX_SPAN_DEPTH: usize = 64;
+
+/// Encodes an operator span tree (remote `EXPLAIN ANALYZE` stats) and
+/// returns the frame.
+pub fn encode_span(span: &Span) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_span_into(&mut buf, span);
+    buf.freeze()
+}
+
+fn encode_span_into(buf: &mut BytesMut, span: &Span) {
+    put_str(buf, &span.label);
+    put_uvarint(buf, span.rows_in);
+    put_uvarint(buf, span.rows_out);
+    put_uvarint(buf, span.bytes);
+    put_uvarint(buf, span.wall_us);
+    put_uvarint(buf, span.children.len() as u64);
+    for c in &span.children {
+        encode_span_into(buf, c);
+    }
+}
+
+/// Decodes a span tree produced by [`encode_span`].
+pub fn decode_span(mut buf: Bytes) -> Result<Span> {
+    let span = decode_span_at(&mut buf, 0)?;
+    if buf.has_remaining() {
+        return Err(GisError::Network("trailing bytes after span".into()));
+    }
+    Ok(span)
+}
+
+fn decode_span_at(buf: &mut Bytes, depth: usize) -> Result<Span> {
+    if depth > MAX_SPAN_DEPTH {
+        return Err(GisError::Network("span tree too deep on wire".into()));
+    }
+    let label = get_str(buf)?;
+    let rows_in = get_uvarint(buf)?;
+    let rows_out = get_uvarint(buf)?;
+    let bytes = get_uvarint(buf)?;
+    let wall_us = get_uvarint(buf)?;
+    // Each child span costs at least 6 bytes (empty label + five
+    // varints).
+    let n_children = get_count(buf, 6)?;
+    let mut children = Vec::with_capacity(n_children);
+    for _ in 0..n_children {
+        children.push(decode_span_at(buf, depth + 1)?);
+    }
+    Ok(Span {
+        label,
+        rows_in,
+        rows_out,
+        bytes,
+        wall_us,
+        children,
+    })
 }
 
 #[cfg(test)]
@@ -408,6 +492,85 @@ mod tests {
             let sliced = bytes.slice(0..cut);
             assert!(decode_batch(sliced).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_error_without_allocating() {
+        // Each frame claims an absurd element count backed by almost
+        // no bytes. Pre-hardening, these sized `Vec::with_capacity`
+        // straight from the wire (capacity-overflow panic or OOM);
+        // now every count is bounded by the remaining frame bytes.
+        let huge = u64::MAX / 2;
+
+        // Schema with a huge field count.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, huge);
+        assert!(decode_schema(&mut buf.freeze()).is_err());
+
+        // Array with a huge length.
+        let mut buf = BytesMut::new();
+        buf.put_u8(type_tag(DataType::Int64));
+        put_uvarint(&mut buf, huge);
+        buf.put_u8(0xFF); // one stray bitmap byte
+        assert!(decode_array(&mut buf.freeze()).is_err());
+
+        // Utf8 array whose length passes the bitmap check but not the
+        // one-byte-per-slot payload bound.
+        let mut buf = BytesMut::new();
+        buf.put_u8(type_tag(DataType::Utf8));
+        put_uvarint(&mut buf, 64); // needs 8 bitmap bytes + 64 payload bytes
+        buf.put_slice(&[0xFF; 8]);
+        assert!(decode_array(&mut buf.freeze()).is_err());
+
+        // Value list with a huge count.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, huge);
+        assert!(decode_values(buf.freeze()).is_err());
+
+        // String with a huge byte length.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, huge);
+        buf.put_slice(b"abc");
+        assert!(get_str(&mut buf.freeze()).is_err());
+
+        // Batch whose row count overflows usize arithmetic.
+        let b = sample_batch();
+        let mut buf = BytesMut::new();
+        encode_schema(&mut buf, b.schema());
+        put_uvarint(&mut buf, u64::MAX);
+        assert!(decode_batch(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn span_roundtrip_and_corrupt_frames() {
+        let span = Span::leaf("HashJoin[inner]")
+            .with_rows_in(10)
+            .with_rows_out(4)
+            .with_wall_us(123)
+            .with_child(Span::leaf("scan[t]").with_rows_out(10).with_bytes(2048));
+        assert_eq!(decode_span(encode_span(&span)).unwrap(), span);
+
+        // Truncation at every cut point errors instead of panicking.
+        let bytes = encode_span(&span);
+        for cut in 0..bytes.len() {
+            assert!(decode_span(bytes.slice(0..cut)).is_err(), "cut at {cut}");
+        }
+
+        // A frame claiming a huge child count is rejected.
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "x");
+        for _ in 0..4 {
+            put_uvarint(&mut buf, 0);
+        }
+        put_uvarint(&mut buf, u64::MAX / 4);
+        assert!(decode_span(buf.freeze()).is_err());
+
+        // A pathologically deep chain is rejected, not recursed.
+        let mut deep = Span::leaf("leaf");
+        for _ in 0..200 {
+            deep = Span::leaf("n").with_child(deep);
+        }
+        assert!(decode_span(encode_span(&deep)).is_err());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Prometheus-style text exposition builder.
+//!
+//! The runtime exports its counters (scheduler, caches, links,
+//! adapters) in the Prometheus text format so the serving tier can be
+//! scraped without pulling in an HTTP client library. This module is
+//! a tiny builder for that format: `# HELP` / `# TYPE` headers and
+//! labeled samples, in insertion order.
+
+use std::fmt::Write as _;
+
+/// Builder for the Prometheus text exposition format.
+///
+/// ```
+/// use gis_observe::TextExposition;
+/// let mut expo = TextExposition::new();
+/// expo.header("gis_queries_total", "counter", "Queries submitted.");
+/// expo.sample("gis_queries_total", &[("lane", "interactive")], 42);
+/// let text = expo.render();
+/// assert!(text.contains("gis_queries_total{lane=\"interactive\"} 42"));
+/// ```
+#[derive(Debug, Default)]
+pub struct TextExposition {
+    out: String,
+}
+
+impl TextExposition {
+    /// An empty exposition.
+    pub fn new() -> TextExposition {
+        TextExposition::default()
+    }
+
+    /// Emits `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is a Prometheus type: `counter` or `gauge`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line. Labels render as
+    /// `name{k1="v1",k2="v2"} value`; pass `&[]` for an unlabeled
+    /// sample. Label values are escaped per the exposition format
+    /// (backslash, double quote, newline).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Finishes the exposition and returns the text.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            other => s.push(other),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_samples() {
+        let mut expo = TextExposition::new();
+        expo.header("gis_queries_total", "counter", "Queries submitted.");
+        expo.sample("gis_queries_total", &[], 7);
+        expo.sample(
+            "gis_link_bytes_total",
+            &[("source", "crm"), ("dir", "rx")],
+            4096,
+        );
+        let text = expo.render();
+        assert!(text.contains("# HELP gis_queries_total Queries submitted.\n"));
+        assert!(text.contains("# TYPE gis_queries_total counter\n"));
+        assert!(text.contains("\ngis_queries_total 7\n"));
+        assert!(text.contains("gis_link_bytes_total{source=\"crm\",dir=\"rx\"} 4096\n"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let mut expo = TextExposition::new();
+        expo.sample("m", &[("q", "a\"b\\c\nd")], 1);
+        assert_eq!(expo.render(), "m{q=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

@@ -1,0 +1,27 @@
+//! # gis-observe — per-query structured tracing
+//!
+//! A federated mediator answers queries over sources it does not
+//! control; when an answer is slow or wrong, the only recourse is
+//! visibility into where time and bytes went, per fragment and per
+//! link. This crate holds the shared observability vocabulary:
+//!
+//! * [`Span`] — one node of an annotated operator tree: label,
+//!   rows in/out, bytes shipped, wall time, children. The executor
+//!   builds one per physical operator; remote fragments report their
+//!   own spans back over the wire and the mediator stitches them into
+//!   a single tree (`EXPLAIN ANALYZE` renders it).
+//! * [`TextExposition`] — a minimal Prometheus-style text format
+//!   builder the runtime uses to export counters from the scheduler,
+//!   caches, links and adapters.
+//!
+//! The crate deliberately depends only on `gis-types` so every layer
+//! (net, adapters, core, runtime) can use it without cycles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod expo;
+pub mod span;
+
+pub use expo::TextExposition;
+pub use span::Span;

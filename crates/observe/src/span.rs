@@ -1,0 +1,182 @@
+//! Operator spans: the nodes of an `EXPLAIN ANALYZE` tree.
+
+use std::fmt;
+
+/// One instrumented operator in an executed plan.
+///
+/// Spans form a tree mirroring the physical plan, except that remote
+/// fragments carry extra children: the operator stats the *source*
+/// reported back over the wire (prefixed `remote:`) and the exchange
+/// accounting (`recv[...]`). Wall time is inclusive of children.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Operator label, e.g. `HashJoin[inner]` or `Fragment[crm]`.
+    pub label: String,
+    /// Rows entering the operator (sum over inputs; 0 for leaves).
+    pub rows_in: u64,
+    /// Rows the operator produced.
+    pub rows_out: u64,
+    /// Bytes shipped over a link by this operator (0 for pure
+    /// mediator-side operators).
+    pub bytes: u64,
+    /// Inclusive host wall time, microseconds. For spans reported by
+    /// a remote source this is the time spent *at the source*.
+    pub wall_us: u64,
+    /// Child spans (operator inputs, remote-reported stats).
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A leaf span with the given label.
+    pub fn leaf(label: impl Into<String>) -> Span {
+        Span {
+            label: label.into(),
+            ..Span::default()
+        }
+    }
+
+    /// Builder: sets rows in.
+    pub fn with_rows_in(mut self, rows: u64) -> Span {
+        self.rows_in = rows;
+        self
+    }
+
+    /// Builder: sets rows out.
+    pub fn with_rows_out(mut self, rows: u64) -> Span {
+        self.rows_out = rows;
+        self
+    }
+
+    /// Builder: sets bytes shipped.
+    pub fn with_bytes(mut self, bytes: u64) -> Span {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Builder: sets wall time.
+    pub fn with_wall_us(mut self, us: u64) -> Span {
+        self.wall_us = us;
+        self
+    }
+
+    /// Builder: appends a child.
+    pub fn with_child(mut self, child: Span) -> Span {
+        self.children.push(child);
+        self
+    }
+
+    /// Total bytes shipped in this subtree. Because mediator operators
+    /// record 0 and each fragment records its own link traffic, this
+    /// is the query's total shipped volume at the root.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes + self.children.iter().map(Span::total_bytes).sum::<u64>()
+    }
+
+    /// Number of spans in this subtree (including self).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(Span::node_count).sum::<usize>()
+    }
+
+    /// Depth-first search for the first span whose label contains
+    /// `needle` (diagnostics and tests).
+    pub fn find(&self, needle: &str) -> Option<&Span> {
+        if self.label.contains(needle) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(needle))
+    }
+
+    /// Renders the annotated tree, two-space indented, one span per
+    /// line: `label (rows=… bytes=… time=…)`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.label);
+        out.push_str(&format!(
+            " (rows_in={} rows={} bytes={} time={})",
+            self.rows_in,
+            self.rows_out,
+            self.bytes,
+            format_us(self.wall_us)
+        ));
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Human-scaled microsecond rendering: `17us`, `4.20ms`, `1.50s`.
+pub fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Span {
+        Span::leaf("HashJoin[inner]")
+            .with_rows_in(150)
+            .with_rows_out(40)
+            .with_wall_us(2_500)
+            .with_child(
+                Span::leaf("Fragment[crm]")
+                    .with_rows_out(100)
+                    .with_bytes(4_096)
+                    .with_child(Span::leaf("remote:scan[customers]").with_rows_out(100)),
+            )
+            .with_child(
+                Span::leaf("Fragment[wms]")
+                    .with_rows_out(50)
+                    .with_bytes(2_048),
+            )
+    }
+
+    #[test]
+    fn render_is_indented_and_annotated() {
+        let s = tree().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("HashJoin[inner] (rows_in=150 rows=40"));
+        assert!(lines[1].starts_with("  Fragment[crm]"));
+        assert!(lines[2].starts_with("    remote:scan[customers]"));
+        assert!(lines[1].contains("bytes=4096"));
+        assert!(lines[0].contains("time=2.50ms"));
+    }
+
+    #[test]
+    fn totals_and_search() {
+        let t = tree();
+        assert_eq!(t.total_bytes(), 6_144);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.find("remote:").unwrap().rows_out, 100);
+        assert!(t.find("nope").is_none());
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(format_us(17), "17us");
+        assert_eq!(format_us(4_200), "4.20ms");
+        assert_eq!(format_us(1_500_000), "1.50s");
+    }
+}

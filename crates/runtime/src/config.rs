@@ -26,6 +26,14 @@ pub struct RuntimeConfig {
     /// Byte budget for the result cache, measured in result wire
     /// size. Zero disables the cache.
     pub result_cache_bytes: u64,
+    /// Wall-time threshold above which a completed query is recorded
+    /// in the slow-query log, with its operator span tree. Queries in
+    /// a runtime with this set execute with tracing on (the trace
+    /// must exist *before* the query turns out slow). `None` disables
+    /// the log and the tracing overhead.
+    pub slow_query_us: Option<u64>,
+    /// Entries the slow-query ring buffer retains (oldest evicted).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -36,6 +44,8 @@ impl Default for RuntimeConfig {
             default_deadline: None,
             plan_cache_capacity: 256,
             result_cache_bytes: 8 * 1024 * 1024,
+            slow_query_us: None,
+            slow_log_capacity: 64,
         }
     }
 }
@@ -68,6 +78,18 @@ impl RuntimeConfig {
     /// Sets the result cache byte budget.
     pub fn with_result_cache_bytes(mut self, bytes: u64) -> Self {
         self.result_cache_bytes = bytes;
+        self
+    }
+
+    /// Enables the slow-query log for queries slower than `us` µs.
+    pub fn with_slow_query_us(mut self, us: Option<u64>) -> Self {
+        self.slow_query_us = us;
+        self
+    }
+
+    /// Sets the slow-query ring-buffer capacity.
+    pub fn with_slow_log_capacity(mut self, capacity: usize) -> Self {
+        self.slow_log_capacity = capacity.max(1);
         self
     }
 }

@@ -39,17 +39,21 @@ mod plan_cache;
 mod result_cache;
 mod scheduler;
 mod session;
+mod slow_log;
 mod stats;
 
 pub use config::RuntimeConfig;
 pub use scheduler::Priority;
 pub use session::{PendingQuery, Session};
+pub use slow_log::SlowQueryEntry;
 pub use stats::StatsSnapshot;
 
 use gis_core::{ExecOptions, Federation, OptimizerOptions};
+use gis_observe::TextExposition;
 use plan_cache::PlanCache;
 use result_cache::ResultCache;
 use scheduler::{worker_loop, JobQueue, Shared};
+use slow_log::SlowLog;
 use stats::RuntimeStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,6 +74,7 @@ impl Runtime {
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             result_cache: ResultCache::new(config.result_cache_bytes),
             stats: RuntimeStats::default(),
+            slow_log: SlowLog::new(config.slow_log_capacity),
             federation,
             config,
         });
@@ -133,8 +138,128 @@ impl Runtime {
             plan_cache_entries: self.shared.plan_cache.len() as u64,
             result_cache_hits: self.shared.result_cache.hits(),
             result_cache_misses: self.shared.result_cache.misses(),
+            result_cache_collisions: self.shared.result_cache.collisions(),
             result_cache_bytes: self.shared.result_cache.bytes(),
+            slow_queries: self.shared.slow_log.recorded(),
         }
+    }
+
+    /// Resident slow-query log entries, oldest first. Empty unless
+    /// [`RuntimeConfig::slow_query_us`] is set.
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.shared.slow_log.entries()
+    }
+
+    /// Renders every runtime, cache, per-link, and per-source counter
+    /// in the Prometheus text exposition format — the scrape surface a
+    /// deployment wires to its monitoring.
+    pub fn render_text(&self) -> String {
+        let stats = self.stats();
+        let mut expo = TextExposition::new();
+        expo.header("gis_queries_total", "counter", "Queries by final state");
+        for (state, value) in [
+            ("submitted", stats.submitted),
+            ("completed", stats.completed),
+            ("failed", stats.failed),
+            ("rejected", stats.rejected),
+            ("deadline_expired", stats.deadline_expired),
+        ] {
+            expo.sample("gis_queries_total", &[("state", state)], value);
+        }
+        expo.header("gis_queue_depth", "gauge", "Queries waiting for a worker");
+        expo.sample("gis_queue_depth", &[], self.queued() as u64);
+        expo.header("gis_plan_cache_total", "counter", "Plan cache outcomes");
+        expo.sample(
+            "gis_plan_cache_total",
+            &[("event", "hit")],
+            stats.plan_cache_hits,
+        );
+        expo.sample(
+            "gis_plan_cache_total",
+            &[("event", "miss")],
+            stats.plan_cache_misses,
+        );
+        expo.header("gis_plan_cache_entries", "gauge", "Resident cached plans");
+        expo.sample("gis_plan_cache_entries", &[], stats.plan_cache_entries);
+        expo.header("gis_result_cache_total", "counter", "Result cache outcomes");
+        expo.sample(
+            "gis_result_cache_total",
+            &[("event", "hit")],
+            stats.result_cache_hits,
+        );
+        expo.sample(
+            "gis_result_cache_total",
+            &[("event", "miss")],
+            stats.result_cache_misses,
+        );
+        expo.sample(
+            "gis_result_cache_total",
+            &[("event", "collision")],
+            stats.result_cache_collisions,
+        );
+        expo.header("gis_result_cache_bytes", "gauge", "Resident result bytes");
+        expo.sample("gis_result_cache_bytes", &[], stats.result_cache_bytes);
+        expo.header(
+            "gis_slow_queries_total",
+            "counter",
+            "Queries recorded in the slow-query log",
+        );
+        expo.sample("gis_slow_queries_total", &[], stats.slow_queries);
+        expo.header("gis_link_bytes_total", "counter", "Bytes shipped per link");
+        let fed = &self.shared.federation;
+        let names = fed.source_names();
+        let links: Vec<_> = names
+            .iter()
+            .filter_map(|n| fed.source_link(n).map(|l| (n.clone(), l)))
+            .collect();
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_bytes_total",
+                &[("source", name)],
+                link.metrics().bytes(),
+            );
+        }
+        expo.header("gis_link_messages_total", "counter", "Messages per link");
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_messages_total",
+                &[("source", name)],
+                link.metrics().messages(),
+            );
+        }
+        expo.header(
+            "gis_link_failures_total",
+            "counter",
+            "Transient link failures (including retried)",
+        );
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_failures_total",
+                &[("source", name)],
+                link.metrics().failures(),
+            );
+        }
+        expo.header(
+            "gis_link_busy_us_total",
+            "counter",
+            "Virtual microseconds each link was busy",
+        );
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_busy_us_total",
+                &[("source", name)],
+                link.metrics().busy_us(),
+            );
+        }
+        expo.header(
+            "gis_source_data_version",
+            "gauge",
+            "Per-source data version (bumps invalidate cached results)",
+        );
+        for (name, version) in fed.data_versions() {
+            expo.sample("gis_source_data_version", &[("source", &name)], version);
+        }
+        expo.render()
     }
 
     /// Stops accepting work, fails queued queries with

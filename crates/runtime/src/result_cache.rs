@@ -25,6 +25,11 @@ pub(crate) struct ResultKey {
 struct Entry {
     batch: Batch,
     bytes: u64,
+    /// The normalized SQL the entry was built from. The key is only a
+    /// pair of 64-bit fingerprints, so a hit must verify the text
+    /// before serving — a fingerprint collision must never let one
+    /// query serve another query's result.
+    sql: String,
     /// Per-source data versions at execution time.
     versions: BTreeMap<String, u64>,
     last_used: u64,
@@ -42,6 +47,7 @@ pub(crate) struct ResultCache {
     budget: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl ResultCache {
@@ -55,16 +61,30 @@ impl ResultCache {
             budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a result. Hits only when the entry's pinned source
-    /// versions match `current` exactly; stale entries are dropped.
-    pub fn get(&self, key: &ResultKey, current: &BTreeMap<String, u64>) -> Option<Batch> {
+    /// Looks up a result. Hits only when the entry's normalized SQL
+    /// matches `sql` (fingerprints can collide) *and* its pinned
+    /// source versions match `current` exactly; stale entries are
+    /// dropped. A verified SQL mismatch counts as a miss (and a
+    /// collision) and leaves the resident entry alone — it is still
+    /// valid for its own query.
+    pub fn get(
+        &self,
+        key: &ResultKey,
+        sql: &str,
+        current: &BTreeMap<String, u64>,
+    ) -> Option<Batch> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         let stale = match inner.map.get_mut(key) {
+            Some(entry) if entry.sql != sql => {
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                false
+            }
             Some(entry) if entry.versions == *current => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -89,7 +109,7 @@ impl ResultCache {
 
     /// Inserts a result, evicting LRU entries until it fits. Results
     /// larger than the whole budget are not cached.
-    pub fn put(&self, key: ResultKey, batch: Batch, versions: BTreeMap<String, u64>) {
+    pub fn put(&self, key: ResultKey, sql: String, batch: Batch, versions: BTreeMap<String, u64>) {
         let bytes = batch.wire_size() as u64;
         if bytes > self.budget {
             return;
@@ -121,6 +141,7 @@ impl ResultCache {
             Entry {
                 batch,
                 bytes,
+                sql,
                 versions,
                 last_used: tick,
             },
@@ -137,6 +158,12 @@ impl ResultCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups whose fingerprints matched a resident entry but whose
+    /// SQL did not — each one a wrong result served before the fix.
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
     }
 }
 
@@ -155,6 +182,8 @@ mod tests {
         BTreeMap::from([("s".to_string(), v)])
     }
 
+    const SQL: &str = "select x from t";
+
     #[test]
     fn hit_requires_matching_versions() {
         let cache = ResultCache::new(1 << 20);
@@ -162,13 +191,13 @@ mod tests {
             plan_fp: 1,
             exec_fp: 2,
         };
-        cache.put(key, batch(3), versions(1));
-        assert!(cache.get(&key, &versions(1)).is_some());
+        cache.put(key, SQL.into(), batch(3), versions(1));
+        assert!(cache.get(&key, SQL, &versions(1)).is_some());
         // Source moved on: entry invalidated and removed.
-        assert!(cache.get(&key, &versions(2)).is_none());
+        assert!(cache.get(&key, SQL, &versions(2)).is_none());
         assert_eq!(cache.bytes(), 0);
         // Even going back to the old version misses now.
-        assert!(cache.get(&key, &versions(1)).is_none());
+        assert!(cache.get(&key, SQL, &versions(1)).is_none());
     }
 
     #[test]
@@ -179,13 +208,13 @@ mod tests {
             plan_fp: i,
             exec_fp: 0,
         };
-        cache.put(k(1), batch(1), versions(1));
-        cache.put(k(2), batch(1), versions(1));
-        assert!(cache.get(&k(1), &versions(1)).is_some()); // k1 recent
-        cache.put(k(3), batch(1), versions(1));
-        assert!(cache.get(&k(2), &versions(1)).is_none(), "k2 evicted");
-        assert!(cache.get(&k(1), &versions(1)).is_some());
-        assert!(cache.get(&k(3), &versions(1)).is_some());
+        cache.put(k(1), SQL.into(), batch(1), versions(1));
+        cache.put(k(2), SQL.into(), batch(1), versions(1));
+        assert!(cache.get(&k(1), SQL, &versions(1)).is_some()); // k1 recent
+        cache.put(k(3), SQL.into(), batch(1), versions(1));
+        assert!(cache.get(&k(2), SQL, &versions(1)).is_none(), "k2 evicted");
+        assert!(cache.get(&k(1), SQL, &versions(1)).is_some());
+        assert!(cache.get(&k(3), SQL, &versions(1)).is_some());
         assert!(cache.bytes() <= 2 * one);
     }
 
@@ -196,8 +225,33 @@ mod tests {
             plan_fp: 1,
             exec_fp: 1,
         };
-        cache.put(key, batch(1000), versions(1));
+        cache.put(key, SQL.into(), batch(1000), versions(1));
         assert_eq!(cache.bytes(), 0);
-        assert!(cache.get(&key, &versions(1)).is_none());
+        assert!(cache.get(&key, SQL, &versions(1)).is_none());
+    }
+
+    #[test]
+    fn fingerprint_collision_is_a_verified_miss_not_a_false_hit() {
+        // Two *different* queries forced onto the same fingerprint
+        // pair — exactly what a u64 collision looks like. Before the
+        // fix, the second query was served the first query's rows.
+        let cache = ResultCache::new(1 << 20);
+        let key = ResultKey {
+            plan_fp: 42,
+            exec_fp: 7,
+        };
+        cache.put(key, "select x from t".into(), batch(3), versions(1));
+
+        let colliding = cache.get(&key, "select y from u", &versions(1));
+        assert!(
+            colliding.is_none(),
+            "collision must not serve another query's result"
+        );
+        assert_eq!(cache.collisions(), 1);
+
+        // The rightful owner still hits, untouched by the collision.
+        assert!(cache.get(&key, "select x from t", &versions(1)).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
     }
 }

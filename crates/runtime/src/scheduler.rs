@@ -9,6 +9,7 @@
 
 use crate::plan_cache::{debug_fingerprint, PlanCache, PlanKey};
 use crate::result_cache::{ResultCache, ResultKey};
+use crate::slow_log::{SlowLog, SlowQueryEntry};
 use crate::stats::RuntimeStats;
 use crate::RuntimeConfig;
 use crossbeam::channel;
@@ -142,6 +143,7 @@ pub(crate) struct Shared {
     pub plan_cache: PlanCache,
     pub result_cache: ResultCache,
     pub stats: RuntimeStats,
+    pub slow_log: SlowLog,
 }
 
 /// The worker loop: pop, account queue wait, execute, reply.
@@ -153,6 +155,19 @@ pub(crate) fn worker_loop(shared: &Shared) {
             Ok(_) => RuntimeStats::bump(&shared.stats.completed),
             Err(GisError::Deadline(_)) => RuntimeStats::bump(&shared.stats.deadline_expired),
             Err(_) => RuntimeStats::bump(&shared.stats.failed),
+        }
+        if let (Some(threshold), Ok(r)) = (shared.config.slow_query_us, &result) {
+            let wall_us = r.metrics.wall_us as u64;
+            if wall_us >= threshold {
+                shared.slow_log.record(SlowQueryEntry {
+                    query_id: job.query_id,
+                    sql: job.sql.clone(),
+                    wall_us,
+                    queue_wait_us,
+                    summary: r.metrics.summary(),
+                    trace: r.metrics.trace.clone(),
+                });
+            }
         }
         // A dropped receiver just means the client stopped waiting.
         let _ = job.reply.send(result);
@@ -172,13 +187,21 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
         }
     }
     let started = Instant::now();
+    // With the slow log armed, every query traces: the span tree must
+    // already exist by the time a query turns out to be slow. Applied
+    // before the exec fingerprint, so traced and untraced runs never
+    // share a result-cache slot.
+    let mut exec = job.exec;
+    if shared.config.slow_query_us.is_some() {
+        exec.tracing = true;
+    }
     let stmt = gis_sql::parse(&job.sql)?;
     if !matches!(stmt, Statement::Query(_)) {
         // EXPLAIN and friends bypass both caches: they are about the
         // *current* plan, and their output is cheap.
         let mut result = shared
             .federation
-            .query_with(&job.sql, &job.optimizer, &job.exec)?;
+            .query_with(&job.sql, &job.optimizer, &exec)?;
         result.metrics.query_id = job.query_id;
         result.metrics.queue_wait_us = queue_wait_us;
         return Ok(result);
@@ -187,6 +210,10 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
     // Frontend: plan cache, or parse→bind→optimize on miss.
     let catalog_version = shared.federation.catalog_version();
     let key = PlanKey::new(&job.sql, catalog_version, &job.optimizer);
+    // Kept past the plan-cache insert (which consumes `key`): the
+    // result cache verifies it on every hit, since its fingerprints
+    // alone can collide.
+    let normalized_sql = key.sql.clone();
     let (plan, plan_fp, plan_cache_hit) = if job.use_plan_cache {
         match shared.plan_cache.get(&key) {
             Some((plan, fp)) => (plan, fp, true),
@@ -215,11 +242,14 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
     // every source still reports the versions pinned at execution.
     let result_key = ResultKey {
         plan_fp,
-        exec_fp: debug_fingerprint(&job.exec),
+        exec_fp: debug_fingerprint(&exec),
     };
     let versions = shared.federation.data_versions();
     if job.use_result_cache {
-        if let Some(batch) = shared.result_cache.get(&result_key, &versions) {
+        if let Some(batch) = shared
+            .result_cache
+            .get(&result_key, &normalized_sql, &versions)
+        {
             let metrics = QueryMetrics {
                 rows_returned: batch.num_rows(),
                 query_id: job.query_id,
@@ -236,17 +266,16 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
     }
 
     // Backend: execute under the job's deadline and query id.
-    let mut result =
-        shared
-            .federation
-            .execute_logical(&plan, &job.exec, job.query_id, job.deadline)?;
+    let mut result = shared
+        .federation
+        .execute_logical(&plan, &exec, job.query_id, job.deadline)?;
     result.metrics.plan_cache_hit = plan_cache_hit;
     result.metrics.queue_wait_us = queue_wait_us;
     result.metrics.wall_us = started.elapsed().as_micros();
     if job.use_result_cache {
         shared
             .result_cache
-            .put(result_key, result.batch.clone(), versions);
+            .put(result_key, normalized_sql, result.batch.clone(), versions);
     }
     Ok(result)
 }

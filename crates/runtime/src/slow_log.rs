@@ -1,0 +1,126 @@
+//! The slow-query log: a bounded ring of recent offenders.
+//!
+//! A federation's tail latency is dominated by a few bad queries —
+//! a bind join that degenerated to thousands of round trips, a
+//! residual filter that shipped a whole table to discard it. The
+//! slow log captures exactly those: any query whose wall time
+//! crosses the configured threshold is recorded with its metrics
+//! summary *and* its operator span tree, so the diagnosis (which
+//! operator, which source, how many bytes) is in the entry — no
+//! need to reproduce the query later under `EXPLAIN ANALYZE`.
+
+use gis_observe::Span;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One recorded slow query.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    /// Runtime-assigned query id.
+    pub query_id: u64,
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// Host wall time, µs.
+    pub wall_us: u64,
+    /// Host time spent waiting in the admission queue, µs.
+    pub queue_wait_us: u64,
+    /// The metrics summary line (rows, bytes, messages, net time).
+    pub summary: String,
+    /// The stitched operator span tree, when tracing produced one.
+    pub trace: Option<Span>,
+}
+
+impl SlowQueryEntry {
+    /// Renders the entry: a header line plus the span tree.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "slow query id={} wall_ms={:.2} queue_ms={:.2}: {}\n  {}\n",
+            self.query_id,
+            self.wall_us as f64 / 1_000.0,
+            self.queue_wait_us as f64 / 1_000.0,
+            self.sql,
+            self.summary
+        );
+        if let Some(trace) = &self.trace {
+            for line in trace.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// A fixed-capacity ring buffer of [`SlowQueryEntry`]s.
+pub(crate) struct SlowLog {
+    entries: Mutex<VecDeque<SlowQueryEntry>>,
+    capacity: usize,
+    /// Total recorded since startup (not capped by `capacity`).
+    recorded: AtomicU64,
+}
+
+impl SlowLog {
+    pub fn new(capacity: usize) -> Self {
+        SlowLog {
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, entry: SlowQueryEntry) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Resident entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.entries.lock().iter().cloned().collect()
+    }
+
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn entry(id: u64) -> SlowQueryEntry {
+        SlowQueryEntry {
+            query_id: id,
+            sql: format!("SELECT {id}"),
+            wall_us: 10_000,
+            queue_wait_us: 500,
+            summary: "rows=1 bytes=0".into(),
+            trace: Some(Span::leaf("Values: 1 row(s)").with_rows_out(1)),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_total_count() {
+        let log = SlowLog::new(2);
+        for id in 1..=3 {
+            log.record(entry(id));
+        }
+        let ids: Vec<u64> = log.entries().iter().map(|e| e.query_id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(log.recorded(), 3);
+    }
+
+    #[test]
+    fn render_includes_sql_and_trace() {
+        let text = entry(7).render();
+        assert!(text.contains("id=7"), "{text}");
+        assert!(text.contains("SELECT 7"), "{text}");
+        assert!(text.contains("Values: 1 row(s)"), "{text}");
+    }
+}

@@ -43,8 +43,13 @@ pub struct StatsSnapshot {
     pub result_cache_hits: u64,
     /// Result cache misses (includes bypasses and invalidations).
     pub result_cache_misses: u64,
+    /// Result cache lookups whose fingerprints matched an entry built
+    /// from different SQL — verified and counted as misses.
+    pub result_cache_collisions: u64,
     /// Result cache bytes currently resident.
     pub result_cache_bytes: u64,
+    /// Queries recorded in the slow-query log so far.
+    pub slow_queries: u64,
 }
 
 impl StatsSnapshot {
@@ -62,7 +67,9 @@ impl StatsSnapshot {
             ("plan_cache_entries", self.plan_cache_entries),
             ("result_cache_hits", self.result_cache_hits),
             ("result_cache_misses", self.result_cache_misses),
+            ("result_cache_collisions", self.result_cache_collisions),
             ("result_cache_bytes", self.result_cache_bytes),
+            ("slow_queries", self.slow_queries),
         ];
         let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
         let mut out = String::new();

@@ -148,7 +148,17 @@ impl Parser {
     /// Parses one statement.
     pub fn parse_statement(&mut self) -> Result<Statement> {
         if self.consume_keyword("EXPLAIN") {
-            let analyze = self.consume_keyword("ANALYZE");
+            // Both the bare form and the parenthesized option list:
+            // `EXPLAIN ANALYZE q` and `EXPLAIN (ANALYZE) q`.
+            let analyze = if self.consume_if(&Token::LParen) {
+                if !self.consume_keyword("ANALYZE") {
+                    return Err(self.error("expected ANALYZE in EXPLAIN option list"));
+                }
+                self.expect(&Token::RParen)?;
+                true
+            } else {
+                self.consume_keyword("ANALYZE")
+            };
             let inner = self.parse_statement()?;
             return Ok(Statement::Explain {
                 analyze,
@@ -998,6 +1008,14 @@ mod tests {
     fn explain_wraps_statement() {
         let s = parse_sql("EXPLAIN ANALYZE SELECT 1").unwrap();
         assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+    }
+
+    #[test]
+    fn explain_accepts_parenthesized_options() {
+        let s = parse_sql("EXPLAIN (ANALYZE) SELECT 1").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        let err = parse_sql("EXPLAIN (VERBOSE) SELECT 1").unwrap_err();
+        assert!(err.to_string().contains("ANALYZE"), "{err}");
     }
 
     #[test]

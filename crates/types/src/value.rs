@@ -276,6 +276,14 @@ pub fn format_date(days: i32) -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Decomposes days-since-epoch into civil `(year, month, day)` using
+/// the proleptic Gregorian calendar. Years before 1 CE are negative;
+/// unlike re-parsing [`format_date`] output, this is total over the
+/// whole `i32` day range.
+pub fn date_parts(days: i32) -> (i64, u32, u32) {
+    civil_from_days(days)
+}
+
 fn is_leap(y: i64) -> bool {
     (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
 }
@@ -483,6 +491,22 @@ mod tests {
         assert_eq!(parse_date("2024-13-01"), None);
         for d in [-1000, -1, 0, 1, 10957, 20000] {
             assert_eq!(parse_date(&format_date(d)), Some(d), "roundtrip {d}");
+        }
+    }
+
+    #[test]
+    fn date_parts_decomposes_pre_epoch_and_negative_years() {
+        assert_eq!(date_parts(0), (1970, 1, 1));
+        assert_eq!(date_parts(-1), (1969, 12, 31));
+        // 0000-03-01 is exactly 719_468 days before the epoch in
+        // Hinnant's civil calendar.
+        assert_eq!(date_parts(-719_468), (0, 3, 1));
+        let (y, m, d) = date_parts(-719_468 - 366);
+        assert_eq!((y, m, d), (-1, 3, 1));
+        // Consistent with the string formatter wherever both work.
+        for days in [-800_000, -719_469, -1, 0, 365, 20_000] {
+            let (y, m, d) = date_parts(days);
+            assert_eq!(format_date(days), format!("{y:04}-{m:02}-{d:02}"));
         }
     }
 

@@ -16,6 +16,7 @@
 //! | [`catalog`] | `gis-catalog` | global schema, mappings, capabilities |
 //! | [`storage`] | `gis-storage` | row store, column store, KV store |
 //! | [`net`] | `gis-net` | simulated WAN, wire format, fault injection |
+//! | [`observe`] | `gis-observe` | operator spans, EXPLAIN ANALYZE trees, metrics text |
 //! | [`adapters`] | `gis-adapters` | source wrappers + fragment protocol |
 //! | [`core`] | `gis-core` | binder, optimizer, executor, federation façade |
 //! | [`runtime`] | `gis-runtime` | sessions, scheduling, plan/result caches |
@@ -49,6 +50,7 @@ pub use gis_catalog as catalog;
 pub use gis_core as core;
 pub use gis_datagen as datagen;
 pub use gis_net as net;
+pub use gis_observe as observe;
 pub use gis_runtime as runtime;
 pub use gis_sql as sql;
 pub use gis_storage as storage;
@@ -63,6 +65,7 @@ pub mod prelude {
     };
     pub use gis_datagen::{build_fedmart, FedMart, FedMartConfig};
     pub use gis_net::NetworkConditions;
+    pub use gis_observe::Span;
     pub use gis_runtime::{Priority, Runtime, RuntimeConfig, Session};
     pub use gis_storage::{ColumnStore, KvStore, RowStore};
     pub use gis_types::{Batch, DataType, Field, GisError, Result, Schema, Value};

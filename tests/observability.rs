@@ -1,0 +1,170 @@
+//! Observability end to end: EXPLAIN ANALYZE span stitching across
+//! remote sources, the slow-query log, and the metrics exposition.
+
+use gis::prelude::*;
+use std::sync::Arc;
+
+fn fedmart() -> FedMart {
+    build_fedmart(FedMartConfig::tiny()).expect("fedmart")
+}
+
+/// The acceptance query: a join spanning all three FedMart sources
+/// (customers on `crm`, orders on `sales`, products on `inventory`).
+const THREE_SOURCE_JOIN: &str = "SELECT c.region, p.category, sum(o.amount) AS revenue \
+     FROM customers c \
+     JOIN orders o ON c.id = o.cust_id \
+     JOIN products p ON o.product_id = p.product_id \
+     GROUP BY c.region, p.category \
+     ORDER BY revenue DESC";
+
+#[test]
+fn explain_analyze_stitches_remote_operator_spans() {
+    let fm = fedmart();
+    let r = fm
+        .federation
+        .query(&format!("EXPLAIN ANALYZE {THREE_SOURCE_JOIN}"))
+        .unwrap();
+    let text: String = r
+        .batch
+        .to_rows()
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    // Mediator operators, annotated.
+    assert!(text.contains("HashAggregate"), "{text}");
+    assert!(
+        text.contains("HashJoin") || text.contains("BindJoin"),
+        "{text}"
+    );
+    assert!(text.contains("rows="), "{text}");
+    assert!(text.contains("time="), "{text}");
+    // Every source's fragment appears, each with the operator span
+    // the source itself reported over the wire, and the wire
+    // exchange that carried it (with its byte count).
+    for source in ["crm", "sales", "inventory"] {
+        assert!(
+            text.contains(&format!("recv[{source}]")),
+            "missing recv[{source}]:\n{text}"
+        );
+    }
+    assert!(text.contains("remote:scan["), "{text}");
+    assert!(text.contains("bytes="), "{text}");
+    // The executed-summary trailer survives from the classic form.
+    assert!(text.contains("executed:"), "{text}");
+}
+
+#[test]
+fn tracing_preserves_results_and_meters_its_own_traffic() {
+    let fm = fedmart();
+    let plain = fm.federation.query(THREE_SOURCE_JOIN).unwrap();
+    assert!(plain.metrics.trace.is_none());
+
+    let mut exec = fm.federation.exec_options();
+    exec.tracing = true;
+    fm.federation.set_exec_options(exec);
+    let traced = fm.federation.query(THREE_SOURCE_JOIN).unwrap();
+
+    assert_eq!(
+        plain.batch.to_rows(),
+        traced.batch.to_rows(),
+        "tracing must not change results"
+    );
+    let trace = traced
+        .metrics
+        .trace
+        .expect("traced run produces a span tree");
+    assert!(trace.node_count() >= 5, "{}", trace.render());
+    // Remote fragments reported rows; the recv spans carried bytes.
+    assert!(trace.find("recv[crm]").is_some(), "{}", trace.render());
+    assert!(trace.total_bytes() > 0, "{}", trace.render());
+    // The span frames crossed the metered links: the traced run
+    // ships strictly more bytes and messages than the plain one.
+    assert!(traced.metrics.bytes_shipped > plain.metrics.bytes_shipped);
+    assert!(traced.metrics.messages > plain.metrics.messages);
+}
+
+#[test]
+fn slow_query_log_captures_plan_and_spans() {
+    let fm = fedmart();
+    let runtime = Runtime::new(
+        Arc::new(fm.federation),
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_slow_query_us(Some(0)) // every query is "slow"
+            .with_slow_log_capacity(4),
+    );
+    let mut session = runtime.session();
+    // Cache hits return in microseconds with no trace; disable them
+    // so every run executes (and traces) for real.
+    session.set_caching(false);
+    for _ in 0..6 {
+        session.query(THREE_SOURCE_JOIN).unwrap();
+    }
+    let entries = runtime.slow_queries();
+    assert_eq!(entries.len(), 4, "ring buffer caps residency");
+    assert_eq!(runtime.stats().slow_queries, 6, "but counts every offender");
+    let last = entries.last().unwrap();
+    assert_eq!(last.sql, THREE_SOURCE_JOIN);
+    let trace = last.trace.as_ref().expect("slow entries carry span trees");
+    assert!(trace.find("recv[sales]").is_some(), "{}", trace.render());
+    let rendered = last.render();
+    assert!(rendered.contains("slow query id="), "{rendered}");
+    assert!(rendered.contains("rows="), "{rendered}");
+    runtime.shutdown();
+}
+
+#[test]
+fn result_cache_serves_traced_queries_without_rerunning() {
+    let fm = fedmart();
+    let runtime = Runtime::new(
+        Arc::new(fm.federation),
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_slow_query_us(Some(u64::MAX)), // tracing on, log empty
+    );
+    let session = runtime.session();
+    session.query(THREE_SOURCE_JOIN).unwrap();
+    let second = session.query(THREE_SOURCE_JOIN).unwrap();
+    assert!(second.metrics.result_cache_hit);
+    assert_eq!(runtime.stats().slow_queries, 0);
+    runtime.shutdown();
+}
+
+#[test]
+fn render_text_exposes_runtime_cache_and_link_counters() {
+    let fm = fedmart();
+    let runtime = Runtime::new(Arc::new(fm.federation), RuntimeConfig::default());
+    let session = runtime.session();
+    session.query(THREE_SOURCE_JOIN).unwrap();
+    session.query(THREE_SOURCE_JOIN).unwrap();
+    let text = runtime.render_text();
+    assert!(text.contains("# TYPE gis_queries_total counter"), "{text}");
+    assert!(
+        text.contains("gis_queries_total{state=\"completed\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("gis_result_cache_total{event=\"hit\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("gis_result_cache_total{event=\"collision\"} 0"),
+        "{text}"
+    );
+    // Per-link counters for each registered source, with real traffic.
+    for source in ["crm", "sales", "inventory"] {
+        let needle = format!("gis_link_bytes_total{{source=\"{source}\"}}");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(&needle))
+            .unwrap_or_else(|| panic!("missing {needle} in:\n{text}"));
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value > 0, "{line}");
+    }
+    assert!(
+        text.contains("gis_source_data_version{source=\"crm\"}"),
+        "{text}"
+    );
+    runtime.shutdown();
+}

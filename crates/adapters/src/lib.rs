@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod columnar;
+pub mod group;
 pub mod kv;
 pub mod local_exec;
 pub mod register;
@@ -29,6 +30,7 @@ pub mod request;
 pub mod wire_req;
 
 pub use columnar::ColumnarAdapter;
+pub use group::{is_availability_error, SourceGroup};
 pub use kv::KvAdapter;
 pub use register::register_adapter;
 pub use relational::RelationalAdapter;

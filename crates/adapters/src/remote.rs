@@ -7,8 +7,11 @@
 //! 2. runs the adapter *at the source*,
 //! 3. chunks the result into batches of `chunk_rows` and ships each
 //!    chunk as one message (counted as response bytes),
-//! 4. retries transient network failures up to `max_retries` times —
-//!    re-paying the request cost each time, as a real mediator would.
+//! 4. retries transient network failures under a [`RetryPolicy`] —
+//!    re-paying the request cost each time, as a real mediator would,
+//!    charging exponential backoff to the virtual clock, and giving up
+//!    early when the query deadline or the policy's virtual-time
+//!    budget is exhausted.
 //!
 //! Decode-after-encode is performed on both directions so tests
 //! exercise the full wire path, not a shortcut.
@@ -16,7 +19,7 @@
 use crate::request::{SourceAdapter, SourceRequest};
 use crate::wire_req::{decode_request, encode_request};
 use gis_net::wire::{decode_batch, decode_span, encode_batch, encode_span};
-use gis_net::Link;
+use gis_net::{Link, RetryPolicy};
 use gis_observe::Span;
 use gis_types::{Batch, GisError, Result, SchemaRef};
 use std::sync::Arc;
@@ -31,7 +34,7 @@ pub struct RemoteSource {
     adapter: Arc<dyn SourceAdapter>,
     link: Link,
     chunk_rows: usize,
-    max_retries: u32,
+    retry: RetryPolicy,
 }
 
 impl RemoteSource {
@@ -41,7 +44,7 @@ impl RemoteSource {
             adapter,
             link,
             chunk_rows: DEFAULT_CHUNK_ROWS,
-            max_retries: 2,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -51,10 +54,28 @@ impl RemoteSource {
         self
     }
 
-    /// Sets how many times transient failures are retried.
+    /// Sets how many times transient failures are retried (keeps the
+    /// rest of the retry policy). `retries` excludes the first
+    /// attempt.
     pub fn with_max_retries(mut self, retries: u32) -> Self {
-        self.max_retries = retries;
+        self.retry.max_attempts = retries.saturating_add(1);
         self
+    }
+
+    /// Replaces the whole retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Replaces the retry policy in place.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The source name.
@@ -76,7 +97,7 @@ impl RemoteSource {
     /// Ships `request`, executes it at the source, and returns the
     /// response batches, accounting all traffic on the link.
     pub fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>> {
-        Ok(self.execute_inner(request, false)?.0)
+        Ok(self.execute_inner(request, false, None)?.0)
     }
 
     /// Like [`RemoteSource::execute`], but also returns a `recv` span
@@ -86,20 +107,69 @@ impl RemoteSource {
     /// back as one extra wire frame, so tracing's network cost is
     /// metered honestly rather than conjured for free.
     pub fn execute_traced(&self, request: &SourceRequest) -> Result<(Vec<Batch>, Span)> {
-        let (batches, span) = self.execute_inner(request, true)?;
-        // `execute_inner(_, true)` always produces a span.
+        let (batches, span) = self.execute_inner(request, true, None)?;
+        // `execute_inner(_, true, _)` always produces a span.
         Ok((batches, span.unwrap_or_default()))
+    }
+
+    /// Full-control entry point used by the executor: `traced` asks
+    /// for a `recv` span, `deadline` bounds retrying — once it passes,
+    /// no further attempt is made and the last error is returned.
+    pub fn execute_with_deadline(
+        &self,
+        request: &SourceRequest,
+        traced: bool,
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<Batch>, Option<Span>)> {
+        self.execute_inner(request, traced, deadline)
     }
 
     fn execute_inner(
         &self,
         request: &SourceRequest,
         traced: bool,
+        deadline: Option<Instant>,
     ) -> Result<(Vec<Batch>, Option<Span>)> {
-        let mut attempt = 0;
+        let clock = self.link.clock();
+        let started_us = clock.now_us();
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut retry_events: Vec<Span> = Vec::new();
+        let mut attempt = 1u32;
         loop {
             match self.try_execute(request, traced) {
-                Err(e) if e.is_retryable() && attempt < self.max_retries => {
+                Ok((batches, span)) => {
+                    // Retry events ride on the recv span so EXPLAIN
+                    // ANALYZE shows what the exchange survived.
+                    let span = span.map(|mut s| {
+                        s.children.append(&mut retry_events);
+                        s
+                    });
+                    return Ok((batches, span));
+                }
+                Err(e) if e.is_retryable() => {
+                    if attempt >= max_attempts {
+                        return Err(e);
+                    }
+                    // A query past its deadline must not burn more
+                    // round trips; the executor surfaces the deadline
+                    // at its next check.
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(e);
+                    }
+                    let backoff = self.retry.backoff_us(attempt);
+                    let spent = clock.now_us().saturating_sub(started_us);
+                    if spent.saturating_add(backoff) > self.retry.budget_us {
+                        return Err(e);
+                    }
+                    clock.advance(backoff);
+                    self.link.metrics().add_retry();
+                    if traced {
+                        retry_events.push(Span::leaf(format!(
+                            "event:retry[{} attempt={} backoff={backoff}us]",
+                            self.name(),
+                            attempt + 1,
+                        )));
+                    }
                     attempt += 1;
                 }
                 other => return other,
@@ -328,6 +398,72 @@ mod tests {
         assert_eq!(span.children.len(), 1);
         assert_eq!(span.children[0].label, "remote:scan[customers]");
         assert_eq!(span.children[0].rows_out, 100);
+    }
+
+    #[test]
+    fn backoff_is_charged_to_the_virtual_clock() {
+        let clock = SimClock::new();
+        let r =
+            remote(NetworkConditions::instant(), clock.clone()).with_retry_policy(RetryPolicy {
+                jitter_permille: 0,
+                ..RetryPolicy::default()
+            });
+        r.link().faults().fail_next(2);
+        r.execute(&scan_all()).unwrap();
+        // Two backoffs on an otherwise-free network: 1 ms + 2 ms.
+        assert_eq!(clock.now_us(), 3_000);
+        assert_eq!(r.link().metrics().retries(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_stops_retries_with_last_error() {
+        let clock = SimClock::new();
+        let r = remote(NetworkConditions::instant(), clock);
+        r.link().faults().partition();
+        let deadline = Instant::now() - std::time::Duration::from_millis(1);
+        let err = r
+            .execute_with_deadline(&scan_all(), false, Some(deadline))
+            .unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(
+            r.link().metrics().failures(),
+            1,
+            "no retries once the deadline has passed"
+        );
+        assert_eq!(r.link().metrics().retries(), 0);
+    }
+
+    #[test]
+    fn virtual_budget_bounds_retrying() {
+        let clock = SimClock::new();
+        let conditions = NetworkConditions {
+            latency_us: 1_000,
+            bandwidth_bytes_per_sec: 0,
+        };
+        let r = remote(conditions, clock).with_retry_policy(RetryPolicy {
+            max_attempts: 10,
+            jitter_permille: 0,
+            budget_us: 2_500,
+            ..RetryPolicy::default()
+        });
+        r.link().faults().partition();
+        let err = r.execute(&scan_all()).unwrap_err();
+        assert!(err.is_retryable());
+        // Attempt 1 burns 1 ms latency, backs off 1 ms (2 ms spent);
+        // attempt 2 burns another 1 ms, and the next 2 ms backoff
+        // would blow the 2.5 ms budget — stop at two attempts, not 10.
+        assert_eq!(r.link().metrics().failures(), 2);
+        assert_eq!(r.link().metrics().retries(), 1);
+    }
+
+    #[test]
+    fn traced_retries_annotate_the_recv_span() {
+        let clock = SimClock::new();
+        let r = remote(NetworkConditions::instant(), clock);
+        r.link().faults().fail_next(1);
+        let (batches, span) = r.execute_traced(&scan_all()).unwrap();
+        assert_eq!(batches.iter().map(Batch::num_rows).sum::<usize>(), 100);
+        assert!(span.find("event:retry[crm attempt=2").is_some());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::expr::{eval::evaluate_predicate, ScalarExpr};
 use crate::plan::logical::TableScanNode;
-use gis_adapters::{RemoteSource, SourceRequest};
+use gis_adapters::{SourceGroup, SourceRequest};
 use gis_catalog::TableMapping;
 use gis_observe::Span;
 use gis_sql::ast::BinaryOp;
@@ -47,26 +47,31 @@ pub struct FragmentExec {
 impl FragmentExec {
     /// Ships the fragment, maps the response to global form, applies
     /// residual filters, and projects the output.
-    pub fn execute(&self, remote: &RemoteSource) -> Result<Batch> {
-        Ok(self.execute_traced(remote, false)?.0)
+    pub fn execute(&self, remote: &SourceGroup) -> Result<Batch> {
+        Ok(self.execute_traced(remote, false, None)?.0)
     }
 
     /// Like [`FragmentExec::execute`], but when `trace` is set also
     /// builds the fragment's span: rows received vs. rows surviving
     /// the residual filter, with the wire exchange (and the source's
-    /// own reported span) as a child.
+    /// own reported span) as a child. The deadline bounds retries and
+    /// replica failover inside the group.
     pub fn execute_traced(
         &self,
-        remote: &RemoteSource,
+        remote: &SourceGroup,
         trace: bool,
+        deadline: Option<std::time::Instant>,
     ) -> Result<(Batch, Option<Span>)> {
         let started = trace.then(std::time::Instant::now);
         let resp_schema = self.request.output_schema(&self.export_schema)?;
         let (raw, recv) = if trace {
-            let (b, s) = remote.execute_all_traced(&self.request, resp_schema)?;
+            let (b, s) = remote.execute_all_traced(&self.request, resp_schema, deadline)?;
             (b, Some(s))
         } else {
-            (remote.execute_all(&self.request, resp_schema)?, None)
+            (
+                remote.execute_all(&self.request, resp_schema, deadline)?,
+                None,
+            )
         };
         let rows_in = raw.num_rows() as u64;
         let mapped = self.map_response(&raw)?;
@@ -118,7 +123,7 @@ impl FragmentExec {
 
 /// Builds a fragment from an optimized `TableScan`, consulting the
 /// adapter's capability profile and structural pushability.
-pub fn build_fragment(scan: &TableScanNode, remote: &RemoteSource) -> Result<FragmentExec> {
+pub fn build_fragment(scan: &TableScanNode, remote: &SourceGroup) -> Result<FragmentExec> {
     let caps = scan.resolved.source.capabilities;
     let mapping = &scan.resolved.mapping;
     let export = &scan.resolved.table.export_schema;

@@ -59,6 +59,13 @@ pub struct ExecOptions {
     /// message. Off by default: `EXPLAIN ANALYZE` and the slow-query
     /// log turn it on.
     pub tracing: bool,
+    /// Graceful degradation: when a source (and every replica of it)
+    /// is unreachable, substitute zero rows for its fragments and
+    /// succeed with a [`crate::metrics::DegradedReport`] naming the
+    /// missing sources, instead of failing the whole query. Off by
+    /// default — partial answers are opt-in, flagged on
+    /// [`crate::QueryResult::degraded`], and never cached.
+    pub partial_results: bool,
 }
 
 impl Default for ExecOptions {
@@ -72,6 +79,7 @@ impl Default for ExecOptions {
             colocated_join: true,
             parallel_fetch: false,
             tracing: false,
+            partial_results: false,
         }
     }
 }

@@ -5,34 +5,39 @@ use crate::exec::fragment::FragmentExec;
 use crate::exec::join::{hash_join, nested_loop_join};
 use crate::expr::eval::{evaluate, evaluate_predicate};
 use crate::expr::ScalarExpr;
+use crate::metrics::{DegradedReport, DegradedSource};
 use crate::plan::logical::AggregateExpr;
-use gis_adapters::{RemoteSource, SourceRequest};
+use gis_adapters::{is_availability_error, SourceGroup, SourceRequest};
 use gis_catalog::TableMapping;
 use gis_observe::Span;
 use gis_sql::ast::JoinKind;
 use gis_types::{Batch, GisError, Result, Row, Schema, SchemaRef, SortKey, SortOrder, Value};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-/// Everything execution needs: the registry of metered sources, the
-/// execution options, and the runtime envelope (query id + deadline).
+/// Everything execution needs: the registry of metered source groups,
+/// the execution options, and the runtime envelope (query id +
+/// deadline), plus the collector for degraded-source reports when
+/// `partial_results` is on.
 pub struct ExecContext<'a> {
-    sources: &'a HashMap<String, RemoteSource>,
+    sources: &'a HashMap<String, SourceGroup>,
     options: crate::exec::options::ExecOptions,
     query_id: u64,
     deadline: Option<std::time::Instant>,
+    degraded: Mutex<Vec<DegradedSource>>,
 }
 
 impl<'a> ExecContext<'a> {
     /// A context over a source registry with default options.
-    pub fn new(sources: &'a HashMap<String, RemoteSource>) -> Self {
+    pub fn new(sources: &'a HashMap<String, SourceGroup>) -> Self {
         ExecContext::with_options(sources, crate::exec::options::ExecOptions::default())
     }
 
     /// A context with explicit options.
     pub fn with_options(
-        sources: &'a HashMap<String, RemoteSource>,
+        sources: &'a HashMap<String, SourceGroup>,
         options: crate::exec::options::ExecOptions,
     ) -> Self {
         ExecContext {
@@ -40,6 +45,7 @@ impl<'a> ExecContext<'a> {
             options,
             query_id: 0,
             deadline: None,
+            degraded: Mutex::new(Vec::new()),
         }
     }
 
@@ -80,11 +86,63 @@ impl<'a> ExecContext<'a> {
         &self.options
     }
 
-    /// Looks up a source by name.
-    pub fn source(&self, name: &str) -> Result<&RemoteSource> {
+    /// The query deadline, if any (threaded into fragment retries so
+    /// an expired query stops burning round trips).
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+
+    /// Looks up a source group by name.
+    pub fn source(&self, name: &str) -> Result<&SourceGroup> {
         self.sources
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| GisError::Internal(format!("no adapter registered for source '{name}'")))
+    }
+
+    /// Records that `source` could not be reached and its fragments
+    /// were answered with zero rows (partial-results mode). One entry
+    /// per source, whichever fragment hit it first.
+    pub fn record_degraded(&self, source: &str, error: &GisError) {
+        let mut degraded = self.degraded.lock();
+        if degraded.iter().all(|d| d.source != source) {
+            degraded.push(DegradedSource {
+                source: source.to_string(),
+                error: error.to_string(),
+            });
+        }
+    }
+
+    /// The degraded-source report accumulated during execution, if
+    /// any — sorted by source name for stable output.
+    pub fn take_degraded(&self) -> Option<DegradedReport> {
+        let mut missing = std::mem::take(&mut *self.degraded.lock());
+        if missing.is_empty() {
+            return None;
+        }
+        missing.sort_by(|a, b| a.source.cmp(&b.source));
+        Some(DegradedReport { missing })
+    }
+}
+
+/// Applies partial-results degradation to a remote operator's
+/// outcome: an availability failure (every replica unreachable, or
+/// fail-fast from an open breaker) becomes an empty batch plus a
+/// degraded-source record — but only when the session opted in; any
+/// other error propagates untouched.
+fn degrade_on_unavailable(
+    result: Result<(Batch, Option<Span>)>,
+    ctx: &ExecContext<'_>,
+    source: &str,
+    schema: &SchemaRef,
+    trace: bool,
+) -> Result<(Batch, Option<Span>)> {
+    match result {
+        Err(e) if ctx.options().partial_results && is_availability_error(&e) => {
+            ctx.record_degraded(source, &e);
+            let span = trace.then(|| Span::leaf(format!("degraded[{source}]: {}", e.code())));
+            Ok((Batch::empty(schema.clone()), span))
+        }
+        other => other,
     }
 }
 
@@ -136,10 +194,13 @@ impl RemoteJoinExec {
             .request
             .join_output_schema(&self.left_export, &self.right_export)?;
         let (raw, recv) = if trace {
-            let (b, s) = remote.execute_all_traced(&self.request, resp_schema)?;
+            let (b, s) = remote.execute_all_traced(&self.request, resp_schema, ctx.deadline())?;
             (b, Some(s))
         } else {
-            (remote.execute_all(&self.request, resp_schema)?, None)
+            (
+                remote.execute_all(&self.request, resp_schema, ctx.deadline())?,
+                None,
+            )
         };
         let rows_in = raw.num_rows() as u64;
         // Apply per-column transforms positionally.
@@ -389,10 +450,19 @@ impl PhysicalPlan {
         // bytes and carry the source-reported subtree.
         match self {
             PhysicalPlan::Fragment(f) => {
-                return f.execute_traced(ctx.source(&f.source)?, trace);
+                let result = f.execute_traced(ctx.source(&f.source)?, trace, ctx.deadline());
+                return degrade_on_unavailable(result, ctx, &f.source, &f.schema, trace);
             }
-            PhysicalPlan::RemoteAggregate(r) => return execute_remote_agg(r, ctx, trace),
-            PhysicalPlan::RemoteJoin(r) => return r.execute(ctx, trace),
+            PhysicalPlan::RemoteAggregate(r) => {
+                let result = execute_remote_agg(r, ctx, trace);
+                return degrade_on_unavailable(result, ctx, &r.source, &r.schema, trace);
+            }
+            PhysicalPlan::RemoteJoin(r) => {
+                let result = r.execute(ctx, trace);
+                return degrade_on_unavailable(result, ctx, &r.source, &r.schema, trace);
+            }
+            // Bind joins degrade *inside* the operator (at the lookup
+            // loop) so a left join keeps its reachable outer rows.
             PhysicalPlan::BindJoin(b) => return execute_bind_join(b, ctx, trace),
             _ => {}
         }
@@ -841,10 +911,13 @@ fn execute_remote_agg(
     let remote = ctx.source(&r.source)?;
     let resp_schema = r.request.output_schema(&r.export_schema)?;
     let (raw, recv) = if trace {
-        let (b, s) = remote.execute_all_traced(&r.request, resp_schema)?;
+        let (b, s) = remote.execute_all_traced(&r.request, resp_schema, ctx.deadline())?;
         (b, Some(s))
     } else {
-        (remote.execute_all(&r.request, resp_schema)?, None)
+        (
+            remote.execute_all(&r.request, resp_schema, ctx.deadline())?,
+            None,
+        )
     };
     // Group columns go through their mapping transforms; aggregate
     // outputs are cast to the declared output types.
@@ -947,12 +1020,34 @@ fn execute_bind_join(
             keys: keys_chunk,
             projection: projection.clone(),
         };
-        let raw = if trace {
-            let (raw, recv) = remote.execute_all_traced(&request, resp_schema.clone())?;
-            children.push(recv);
-            raw
+        let fetched = if trace {
+            remote
+                .execute_all_traced(&request, resp_schema.clone(), ctx.deadline())
+                .map(|(raw, recv)| {
+                    children.push(recv);
+                    raw
+                })
         } else {
-            remote.execute_all(&request, resp_schema.clone())?
+            remote.execute_all(&request, resp_schema.clone(), ctx.deadline())
+        };
+        let raw = match fetched {
+            Ok(raw) => raw,
+            // Partial results: the inner source (every replica) is
+            // unreachable — stop looking up, join against what we
+            // have, and report the source as missing. Left joins keep
+            // their outer rows this way.
+            Err(e) if ctx.options().partial_results && is_availability_error(&e) => {
+                ctx.record_degraded(&b.inner.source, &e);
+                if trace {
+                    children.push(Span::leaf(format!(
+                        "degraded[{}]: {}",
+                        b.inner.source,
+                        e.code()
+                    )));
+                }
+                break;
+            }
+            Err(e) => return Err(e),
         };
         inner_rows += raw.num_rows() as u64;
         let mapped = b.inner.map_response(&raw)?;

@@ -22,7 +22,7 @@ use crate::exec::options::{ExecOptions, JoinStrategy};
 use crate::exec::physical::{BindJoinExec, PhysicalPlan, PhysicalSortKey, RemoteAggExec};
 use crate::expr::ScalarExpr;
 use crate::plan::logical::{LogicalPlan, TableScanNode};
-use gis_adapters::{AggSpec, RemoteSource, SortSpec, SourceRequest};
+use gis_adapters::{AggSpec, SortSpec, SourceGroup, SourceRequest};
 use gis_catalog::Transform;
 use gis_net::NetworkConditions;
 use gis_sql::ast::JoinKind;
@@ -32,7 +32,7 @@ use std::collections::HashMap;
 /// Compiles an optimized logical plan into a physical plan.
 pub fn create_physical_plan(
     plan: &LogicalPlan,
-    sources: &HashMap<String, RemoteSource>,
+    sources: &HashMap<String, SourceGroup>,
     options: &ExecOptions,
 ) -> Result<PhysicalPlan> {
     let planner = Planner { sources, options };
@@ -40,12 +40,12 @@ pub fn create_physical_plan(
 }
 
 struct Planner<'a> {
-    sources: &'a HashMap<String, RemoteSource>,
+    sources: &'a HashMap<String, SourceGroup>,
     options: &'a ExecOptions,
 }
 
 impl Planner<'_> {
-    fn remote(&self, source: &str) -> Result<&RemoteSource> {
+    fn remote(&self, source: &str) -> Result<&SourceGroup> {
         self.sources
             .get(&source.to_ascii_lowercase())
             .ok_or_else(|| {
@@ -449,7 +449,7 @@ impl Planner<'_> {
         // Cost the strategies on the actual link conditions.
         let outer_est = estimate(&j.left);
         let inner_est = estimate(&j.right);
-        let conditions = remote.link().conditions();
+        let conditions = remote.best_conditions();
         let chosen = self.choose_strategy(&outer_est, &inner_est, left_keys.len(), conditions);
         let (batch_size, label) = match chosen {
             JoinStrategy::ShipWhole => return Ok(None),

@@ -16,13 +16,13 @@
 //! ```
 
 use crate::exec::{create_physical_plan, ExecContext, ExecOptions};
-use crate::metrics::{QueryMetrics, TrafficSnapshot};
+use crate::metrics::{DegradedReport, QueryMetrics, TrafficSnapshot};
 use crate::optimizer::{optimize, OptimizerOptions};
 use crate::plan::binder::{check_duplicate_aliases, Binder};
 use crate::plan::logical::LogicalPlan;
-use gis_adapters::{register_adapter, RemoteSource, SourceAdapter};
+use gis_adapters::{register_adapter, RemoteSource, SourceAdapter, SourceGroup};
 use gis_catalog::{Catalog, CatalogRef, TableMapping};
-use gis_net::{Link, NetworkConditions, SimClock};
+use gis_net::{BreakerConfig, Link, NetworkConditions, RetryPolicy, SimClock};
 use gis_sql::ast::Statement;
 use gis_types::{Batch, GisError, Result};
 use parking_lot::RwLock;
@@ -38,12 +38,25 @@ pub struct QueryResult {
     pub batch: Batch,
     /// Traffic and timing.
     pub metrics: QueryMetrics,
+    /// Present when the query ran under
+    /// [`ExecOptions::partial_results`] and one or more sources were
+    /// unreachable: the rows above are a lower bound on the true
+    /// answer, and this report names what is missing. `None` means
+    /// the result is complete. Degraded results are never cached.
+    pub degraded: Option<DegradedReport>,
+}
+
+impl QueryResult {
+    /// True when the result is partial (some sources unreachable).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
 }
 
 /// A Global Information System instance.
 pub struct Federation {
     catalog: CatalogRef,
-    sources: RwLock<HashMap<String, RemoteSource>>,
+    sources: RwLock<HashMap<String, SourceGroup>>,
     clock: SimClock,
     optimizer_options: RwLock<OptimizerOptions>,
     exec_options: RwLock<ExecOptions>,
@@ -112,8 +125,52 @@ impl Federation {
         let link = Link::new(adapter.name(), conditions, self.clock.clone());
         let chunk = self.exec_options.read().chunk_rows;
         let remote = RemoteSource::new(adapter, link).with_chunk_rows(chunk);
-        self.sources.write().insert(name, remote);
+        self.sources.write().insert(name, SourceGroup::new(remote));
         Ok(())
+    }
+
+    /// Registers an additional replica of an already-registered
+    /// source, behind its own [`Link`] (own conditions, fault script,
+    /// breaker). The replica serves the same adapter — same tables,
+    /// same data, same capabilities — so the catalog is untouched;
+    /// only routing changes. Returns the replica's link so tests and
+    /// chaos experiments can script its faults directly.
+    ///
+    /// Fragments route to the cheapest healthy replica and fail over
+    /// to the next one when every retry against the current choice is
+    /// exhausted.
+    pub fn add_source_replica(&self, source: &str, conditions: NetworkConditions) -> Result<Link> {
+        let mut sources = self.sources.write();
+        let group = sources
+            .get_mut(&source.to_ascii_lowercase())
+            .ok_or_else(|| GisError::Catalog(format!("unknown source '{source}'")))?;
+        let link = Link::new(
+            format!("{}@r{}", group.name(), group.replica_count()),
+            conditions,
+            self.clock.clone(),
+        );
+        let chunk = self.exec_options.read().chunk_rows;
+        let replica = RemoteSource::new(group.adapter().clone(), link.clone())
+            .with_chunk_rows(chunk)
+            .with_retry_policy(group.primary().retry_policy());
+        group.push_replica(replica);
+        Ok(link)
+    }
+
+    /// Applies one retry policy to every replica of every source.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        for group in self.sources.write().values_mut() {
+            group.set_retry_policy(policy);
+        }
+    }
+
+    /// Applies one circuit-breaker configuration to every link.
+    pub fn configure_breaker(&self, config: BreakerConfig) {
+        for group in self.sources.read().values() {
+            for replica in group.replicas() {
+                replica.link().breaker().set_config(config);
+            }
+        }
     }
 
     /// Declares a global table over a registered source table.
@@ -134,6 +191,29 @@ impl Federation {
             .read()
             .get(&source.to_ascii_lowercase())
             .map(|r| r.link().clone())
+    }
+
+    /// Every replica link of one source, primary first.
+    pub fn replica_links(&self, source: &str) -> Vec<Link> {
+        self.sources
+            .read()
+            .get(&source.to_ascii_lowercase())
+            .map(|g| g.replicas().iter().map(|r| r.link().clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every link in the federation — one per replica, across all
+    /// sources, sorted by link name. The observability tier iterates
+    /// this for per-link metric series.
+    pub fn all_links(&self) -> Vec<Link> {
+        let mut links: Vec<Link> = self
+            .sources
+            .read()
+            .values()
+            .flat_map(|g| g.replicas().iter().map(|r| r.link().clone()))
+            .collect();
+        links.sort_by(|a, b| a.name().cmp(b.name()));
+        links
     }
 
     /// Like [`Federation::source_link`], but errors on unknown names —
@@ -282,19 +362,30 @@ impl Federation {
         let started = Instant::now();
         let sources = self.sources.read();
         let physical = create_physical_plan(plan, &sources, exec)?;
-        let links: Vec<&Link> = sources.values().map(|s| s.link()).collect();
+        // Traffic is accounted over *every* replica link: a failover
+        // charges the replica that actually carried (or dropped) the
+        // messages, not the logical source's primary.
+        let links: Vec<&Link> = sources
+            .values()
+            .flat_map(|g| g.replicas().iter().map(|r| r.link()))
+            .collect();
         let snapshot = TrafficSnapshot::capture(links.iter().copied(), &self.clock);
         let ctx = ExecContext::with_options(&sources, *exec)
             .with_query_id(query_id)
             .with_deadline(deadline);
         let (batch, trace) = physical.execute_traced(&ctx)?;
-        let mut metrics = snapshot.diff_against(sources.values().map(|s| s.link()), &self.clock);
+        let mut metrics = snapshot.diff_against(links.iter().copied(), &self.clock);
         metrics.rows_returned = batch.num_rows();
         metrics.fragments = physical.fragment_count();
         metrics.query_id = query_id;
         metrics.wall_us = started.elapsed().as_micros();
         metrics.trace = trace;
-        Ok(QueryResult { batch, metrics })
+        let degraded = ctx.take_degraded();
+        Ok(QueryResult {
+            batch,
+            metrics,
+            degraded,
+        })
     }
 
     fn plan_statement(&self, stmt: &Statement) -> Result<LogicalPlan> {
@@ -318,6 +409,7 @@ impl Federation {
         optimizer: &OptimizerOptions,
         exec: &ExecOptions,
     ) -> Result<QueryResult> {
+        let mut degraded = None;
         let rendered = if analyze {
             // Execute with tracing forced on: the annotated tree is
             // the point, whatever the session's normal settings are.
@@ -331,7 +423,12 @@ impl Federation {
                 Some(span) => span.render(),
                 None => plan.to_string(),
             };
-            format!("{tree}-- executed: {}\n", result.metrics.summary())
+            let mut rendered = format!("{tree}-- executed: {}\n", result.metrics.summary());
+            if let Some(report) = &result.degraded {
+                rendered.push_str(&format!("-- degraded: {}\n", report.summary()));
+            }
+            degraded = result.degraded;
+            rendered
         } else {
             let plan = self.plan_statement_with(&stmt, optimizer)?;
             let sources = self.sources.read();
@@ -353,6 +450,7 @@ impl Federation {
         Ok(QueryResult {
             batch: Batch::from_rows(schema, &rows)?,
             metrics: QueryMetrics::default(),
+            degraded,
         })
     }
 }

@@ -43,6 +43,6 @@ pub mod plan;
 
 pub use exec::options::{ExecOptions, JoinStrategy};
 pub use federation::{Federation, QueryResult};
-pub use metrics::QueryMetrics;
+pub use metrics::{DegradedReport, DegradedSource, QueryMetrics};
 pub use optimizer::OptimizerOptions;
 pub use plan::logical::LogicalPlan;

@@ -21,6 +21,8 @@ pub struct SourceTraffic {
     pub messages: u64,
     /// Transient failures observed (including retried ones).
     pub failures: u64,
+    /// Retry attempts the adapter made against the link.
+    pub retries: u64,
     /// Virtual time the link was busy, microseconds.
     pub busy_us: u64,
 }
@@ -34,6 +36,8 @@ pub struct QueryMetrics {
     pub messages: u64,
     /// Total transient failures (retried or fatal).
     pub failures: u64,
+    /// Total retry attempts across all links.
+    pub retries: u64,
     /// Virtual network time elapsed on the shared clock, µs.
     pub virtual_network_us: u64,
     /// Rows in the final result.
@@ -126,6 +130,7 @@ impl QueryMetrics {
             ("bytes_shipped".into(), self.bytes_shipped.to_string()),
             ("messages".into(), self.messages.to_string()),
             ("failures".into(), self.failures.to_string()),
+            ("retries".into(), self.retries.to_string()),
             ("fragments".into(), self.fragments.to_string()),
             (
                 "virtual_network_ms".into(),
@@ -181,14 +186,50 @@ impl fmt::Display for QueryMetrics {
                 t.bytes,
                 t.messages,
                 t.busy_us as f64 / 1_000.0,
-                if t.failures > 0 {
-                    format!(" failures={}", t.failures)
+                if t.failures > 0 || t.retries > 0 {
+                    format!(" failures={} retries={}", t.failures, t.retries)
                 } else {
                     String::new()
                 }
             )?;
         }
         Ok(())
+    }
+}
+
+/// One source a degraded query could not reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedSource {
+    /// The logical source name.
+    pub source: String,
+    /// The availability error that exhausted every replica,
+    /// rendered (`CODE: message`).
+    pub error: String,
+}
+
+/// What a partial result is missing.
+///
+/// Produced only under [`crate::ExecOptions::partial_results`]: when a
+/// source (and every replica of it) is unreachable, its fragments
+/// contribute zero rows and the query *succeeds* with this report
+/// attached to [`crate::QueryResult::degraded`]. A degraded result is
+/// an explicit lower bound on the true answer — callers must treat it
+/// as incomplete, and caches must never store it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// The unreachable sources, sorted by name, one entry per source.
+    pub missing: Vec<DegradedSource>,
+}
+
+impl DegradedReport {
+    /// Names of the missing sources, in report order.
+    pub fn sources(&self) -> Vec<&str> {
+        self.missing.iter().map(|d| d.source.as_str()).collect()
+    }
+
+    /// One-line rendering: `missing=[a, b]`.
+    pub fn summary(&self) -> String {
+        format!("missing=[{}]", self.sources().join(", "))
     }
 }
 
@@ -215,6 +256,7 @@ impl TrafficSnapshot {
                         bytes: m.bytes(),
                         messages: m.messages(),
                         failures: m.failures(),
+                        retries: m.retries(),
                         busy_us: m.busy_us(),
                     },
                 )
@@ -243,12 +285,14 @@ impl TrafficSnapshot {
                 bytes: after.bytes - before.bytes,
                 messages: after.messages - before.messages,
                 failures: after.failures - before.failures,
+                retries: after.retries - before.retries,
                 busy_us: after.busy_us - before.busy_us,
             };
             m.bytes_shipped += d.bytes;
             m.messages += d.messages;
             m.failures += d.failures;
-            if d.messages > 0 || d.bytes > 0 {
+            m.retries += d.retries;
+            if d.messages > 0 || d.bytes > 0 || d.failures > 0 {
                 m.per_source.insert(name.clone(), d);
             }
         }
@@ -301,6 +345,7 @@ mod tests {
                 messages: 2,
                 failures: 1,
                 busy_us: 1500,
+                ..SourceTraffic::default()
             },
         );
         let s = m.to_string();

@@ -1,0 +1,296 @@
+//! Per-link circuit breakers.
+//!
+//! Retries protect a query from *transient* loss; they are exactly
+//! wrong against a dead source, where every later query burns its
+//! full retry schedule against a link that is known-broken. The
+//! breaker turns repeated failure into fast failure: after N
+//! consecutive failures the link opens and refuses messages without
+//! paying any wire latency, then lets a single probe through after a
+//! virtual-time cooldown (half-open). A probe success closes the
+//! breaker; a probe failure re-opens it for another cooldown.
+//!
+//! Time is the shared [`crate::SimClock`]'s virtual time, so breaker
+//! behaviour is as deterministic as everything else on the simulated
+//! WAN.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Breaker position. Ordered by "how broken": `Closed` < `HalfOpen` <
+/// `Open`, which is also the gauge encoding (0/1/2) in the Prometheus
+/// exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BreakerState {
+    /// Normal operation; messages flow.
+    Closed,
+    /// Cooldown elapsed; the next request is a probe.
+    HalfOpen,
+    /// Failing fast; no messages reach the wire.
+    Open,
+}
+
+impl BreakerState {
+    /// Gauge encoding for metrics: closed=0, half-open=1, open=2.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+
+    /// Lower-case label for expositions and span annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::HalfOpen => "half_open",
+            BreakerState::Open => "open",
+        }
+    }
+}
+
+/// Tuning knobs for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker. `0` disables the
+    /// breaker entirely (it never opens).
+    pub failure_threshold: u32,
+    /// Virtual microseconds the breaker stays open before allowing a
+    /// half-open probe.
+    pub cooldown_us: u64,
+}
+
+impl Default for BreakerConfig {
+    /// Open after 5 consecutive failures — above the default retry
+    /// policy's 3 attempts, so a single retry-exhausted request never
+    /// trips the breaker on its own — with a 250 ms virtual cooldown.
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_us: 250_000,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A breaker that never opens.
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            failure_threshold: 0,
+            ..BreakerConfig::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_us: u64,
+}
+
+/// A per-link circuit breaker over virtual time.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<BreakerInner>,
+    opens: AtomicU64,
+    fast_failures: AtomicU64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given configuration.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            inner: Mutex::new(BreakerInner {
+                config,
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at_us: 0,
+            }),
+            opens: AtomicU64::new(0),
+            fast_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the configuration (state and counters are kept).
+    pub fn set_config(&self, config: BreakerConfig) {
+        self.inner.lock().config = config;
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> BreakerConfig {
+        self.inner.lock().config
+    }
+
+    /// The current state, given the clock reading `now_us` (an open
+    /// breaker whose cooldown elapsed reports — and becomes —
+    /// half-open).
+    pub fn state(&self, now_us: u64) -> BreakerState {
+        let mut inner = self.inner.lock();
+        if inner.state == BreakerState::Open
+            && now_us.saturating_sub(inner.opened_at_us) >= inner.config.cooldown_us
+        {
+            inner.state = BreakerState::HalfOpen;
+        }
+        inner.state
+    }
+
+    /// Rules on one message at virtual time `now_us`: `Ok(())` lets it
+    /// reach the wire; `Err(remaining_us)` fails it fast with the
+    /// cooldown time left. Open→half-open promotion happens here when
+    /// the cooldown has elapsed, making the message the probe.
+    pub fn admit(&self, now_us: u64) -> Result<(), u64> {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open => {
+                let elapsed = now_us.saturating_sub(inner.opened_at_us);
+                if elapsed >= inner.config.cooldown_us {
+                    inner.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    drop(inner);
+                    self.fast_failures.fetch_add(1, Ordering::Relaxed);
+                    Err(self.inner.lock().config.cooldown_us - elapsed)
+                }
+            }
+        }
+    }
+
+    /// Records a delivered message: closes the breaker and clears the
+    /// failure streak.
+    pub fn on_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = 0;
+        inner.state = BreakerState::Closed;
+    }
+
+    /// Records a failed message at virtual time `now_us`. A half-open
+    /// probe failure re-opens immediately; a closed breaker opens once
+    /// the streak reaches the threshold.
+    pub fn on_failure(&self, now_us: u64) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let threshold = inner.config.failure_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let should_open = match inner.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => inner.consecutive_failures >= threshold,
+            BreakerState::Open => false,
+        };
+        if should_open {
+            inner.state = BreakerState::Open;
+            inner.opened_at_us = now_us;
+            drop(inner);
+            self.opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Times the breaker transitioned closed/half-open → open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Messages failed fast while open (no wire latency paid).
+    pub fn fast_failures(&self) -> u64 {
+        self.fast_failures.load(Ordering::Relaxed)
+    }
+
+    /// Force-closes the breaker and zeroes counters (between trials).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at_us = 0;
+        drop(inner);
+        self.opens.store(0, Ordering::Relaxed);
+        self.fast_failures.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_us: cooldown,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let b = breaker(3, 1_000);
+        b.on_failure(0);
+        b.on_failure(0);
+        b.on_success(); // streak broken
+        b.on_failure(0);
+        b.on_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        b.on_failure(0);
+        assert_eq!(b.state(0), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn open_fails_fast_then_probes_after_cooldown() {
+        let b = breaker(1, 1_000);
+        b.on_failure(100);
+        assert_eq!(b.admit(200), Err(900));
+        assert_eq!(b.admit(1_099), Err(1));
+        assert_eq!(b.fast_failures(), 2);
+        // Cooldown elapsed: the next message is the probe.
+        assert_eq!(b.admit(1_100), Ok(()));
+        assert_eq!(b.state(1_100), BreakerState::HalfOpen);
+        // Probe failure re-opens for a fresh cooldown.
+        b.on_failure(1_100);
+        assert_eq!(b.opens(), 2);
+        assert!(b.admit(1_500).is_err());
+        // Probe success closes.
+        assert_eq!(b.admit(2_200), Ok(()));
+        b.on_success();
+        assert_eq!(b.state(2_200), BreakerState::Closed);
+        assert_eq!(b.admit(2_200), Ok(()));
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let b = breaker(0, 1_000);
+        for _ in 0..100 {
+            b.on_failure(0);
+        }
+        assert_eq!(b.state(0), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn reset_closes_and_zeroes() {
+        let b = breaker(1, 1_000);
+        b.on_failure(0);
+        let _ = b.admit(1);
+        assert_eq!(b.opens(), 1);
+        assert_eq!(b.fast_failures(), 1);
+        b.reset();
+        assert_eq!(b.state(1), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+        assert_eq!(b.fast_failures(), 0);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 1);
+        assert_eq!(BreakerState::Open.as_gauge(), 2);
+        assert_eq!(BreakerState::Open.label(), "open");
+    }
+}

@@ -5,8 +5,25 @@
 //! message loss (retryable) from partitions (fail the fragment,
 //! possibly answer from other sources). `FaultPlan` scripts both,
 //! deterministically, so tests can assert exact retry behaviour.
+//! Beyond counted loss and hard partitions, a plan can script seeded
+//! probabilistic loss ([`FaultPlan::flaky`]) and latency brownouts
+//! ([`FaultPlan::slow_next`]) — both reproducible message-for-message
+//! from the seed, never from host entropy.
 
 use parking_lot::Mutex;
+
+/// Per-message ruling from a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver the message.
+    Deliver {
+        /// Wire-cost multiplier: 1 = nominal, >1 = scripted latency
+        /// spike.
+        cost_factor: u32,
+    },
+    /// Drop the message with the given reason.
+    Drop(&'static str),
+}
 
 /// Deterministic fault script attached to a [`crate::Link`].
 #[derive(Debug, Default)]
@@ -24,6 +41,32 @@ struct FaultState {
     seen: u64,
     /// Hard partition: every message fails until healed.
     partitioned: bool,
+    /// Seeded probabilistic loss: drop each message with probability
+    /// `p` drawn from a splitmix64 stream. `None` = disabled.
+    flaky: Option<FlakyState>,
+    /// Multiply the wire cost of the next N messages by `factor`.
+    slow_next: u32,
+    slow_factor: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlakyState {
+    rng: u64,
+    /// Drop threshold over the full u32 range: drop when the next
+    /// draw is below it. `p = threshold / 2^32`.
+    threshold: u64,
+}
+
+/// One step of the splitmix64 generator: updates the state in place
+/// and returns the next 64-bit output. Small, fast, and fully
+/// determined by the seed — exactly what reproducible fault storms
+/// need.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl FaultPlan {
@@ -58,22 +101,73 @@ impl FaultPlan {
         self.state.lock().partitioned
     }
 
-    /// Called once per message; returns `Some(reason)` when this
-    /// message should fail.
-    pub fn check(&self) -> Option<&'static str> {
+    /// Drops each message with probability `p` (clamped to `[0, 1]`),
+    /// decided by a splitmix64 stream seeded with `seed`: the same
+    /// seed always yields the same drop sequence regardless of host,
+    /// thread timing, or prior wall-clock state. `p = 0` disables.
+    pub fn flaky(&self, seed: u64, p: f64) {
+        let p = p.clamp(0.0, 1.0);
+        let mut s = self.state.lock();
+        s.flaky = if p == 0.0 {
+            None
+        } else {
+            Some(FlakyState {
+                rng: seed,
+                threshold: (p * (1u64 << 32) as f64) as u64,
+            })
+        };
+    }
+
+    /// Multiplies the wire cost of the next `n` delivered messages by
+    /// `factor` — a scripted latency spike (brownout) rather than an
+    /// outage. `factor = 1` or `n = 0` is a no-op.
+    pub fn slow_next(&self, n: u32, factor: u32) {
+        let mut s = self.state.lock();
+        s.slow_next = n;
+        s.slow_factor = factor.max(1);
+    }
+
+    /// Called once per message; rules whether it is delivered (and at
+    /// what cost multiple) or dropped. Scripted rules are consulted in
+    /// a fixed order: partition, `fail_next`, `fail_every`, `flaky`,
+    /// then `slow_next` — the flaky PRNG only advances when the
+    /// message survives the scripted drops, keeping sequences pinned.
+    pub fn verdict(&self) -> FaultVerdict {
         let mut s = self.state.lock();
         s.seen += 1;
         if s.partitioned {
-            return Some("link partitioned");
+            return FaultVerdict::Drop("link partitioned");
         }
         if s.fail_next > 0 {
             s.fail_next -= 1;
-            return Some("injected transient failure");
+            return FaultVerdict::Drop("injected transient failure");
         }
         if s.fail_every > 0 && s.seen.is_multiple_of(s.fail_every as u64) {
-            return Some("injected periodic failure");
+            return FaultVerdict::Drop("injected periodic failure");
         }
-        None
+        if let Some(flaky) = s.flaky.as_mut() {
+            let draw = splitmix64(&mut flaky.rng) >> 32;
+            if draw < flaky.threshold {
+                return FaultVerdict::Drop("injected probabilistic loss");
+            }
+        }
+        let cost_factor = if s.slow_next > 0 {
+            s.slow_next -= 1;
+            s.slow_factor
+        } else {
+            1
+        };
+        FaultVerdict::Deliver { cost_factor }
+    }
+
+    /// Called once per message; returns `Some(reason)` when this
+    /// message should fail. Convenience over [`FaultPlan::verdict`]
+    /// for callers that only care about loss.
+    pub fn check(&self) -> Option<&'static str> {
+        match self.verdict() {
+            FaultVerdict::Drop(reason) => Some(reason),
+            FaultVerdict::Deliver { .. } => None,
+        }
     }
 }
 
@@ -118,5 +212,68 @@ mod tests {
             outcomes,
             vec![false, false, true, false, false, true, false, false, true]
         );
+    }
+
+    #[test]
+    fn flaky_sequence_is_pinned_by_seed() {
+        // The exact drop pattern for (seed=7, p=0.3) over 20 messages.
+        // If this test ever fails, the PRNG or draw order changed and
+        // every recorded fault-storm experiment silently shifted.
+        let f = FaultPlan::none();
+        f.flaky(7, 0.3);
+        let drops: Vec<bool> = (0..20).map(|_| f.check().is_some()).collect();
+        let expected = vec![
+            false, true, false, false, false, true, false, false, true, false, true, false, false,
+            false, false, false, false, false, false, false,
+        ];
+        assert_eq!(drops, expected);
+
+        // Same seed, fresh plan: identical sequence.
+        let g = FaultPlan::none();
+        g.flaky(7, 0.3);
+        let again: Vec<bool> = (0..20).map(|_| g.check().is_some()).collect();
+        assert_eq!(again, expected);
+    }
+
+    #[test]
+    fn flaky_extremes_and_disable() {
+        let always = FaultPlan::none();
+        always.flaky(1, 1.0);
+        assert!((0..10).all(|_| always.check().is_some()));
+
+        let never = FaultPlan::none();
+        never.flaky(1, 0.0);
+        assert!((0..10).all(|_| never.check().is_none()));
+
+        let toggled = FaultPlan::none();
+        toggled.flaky(1, 1.0);
+        assert!(toggled.check().is_some());
+        toggled.flaky(1, 0.0);
+        assert!(toggled.check().is_none());
+    }
+
+    #[test]
+    fn slow_next_multiplies_exactly_n_messages() {
+        let f = FaultPlan::none();
+        f.slow_next(2, 10);
+        let factors: Vec<u32> = (0..4)
+            .map(|_| match f.verdict() {
+                FaultVerdict::Deliver { cost_factor } => cost_factor,
+                FaultVerdict::Drop(_) => panic!("slow_next must not drop"),
+            })
+            .collect();
+        assert_eq!(factors, vec![10, 10, 1, 1]);
+    }
+
+    #[test]
+    fn drops_do_not_consume_slow_slots() {
+        // A dropped message never reaches the wire, so a scripted
+        // spike applies to the next *delivered* messages.
+        let f = FaultPlan::none();
+        f.fail_next(1);
+        f.slow_next(1, 5);
+        assert!(matches!(f.verdict(), FaultVerdict::Drop(_)));
+        assert_eq!(f.verdict(), FaultVerdict::Deliver { cost_factor: 5 });
+        assert_eq!(f.verdict(), FaultVerdict::Deliver { cost_factor: 1 });
     }
 }

@@ -19,11 +19,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod breaker;
 pub mod clock;
 pub mod fault;
 pub mod link;
+pub mod retry;
 pub mod wire;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use clock::SimClock;
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, FaultVerdict};
 pub use link::{Link, LinkMetrics, NetworkConditions};
+pub use retry::RetryPolicy;

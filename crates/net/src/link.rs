@@ -6,8 +6,9 @@
 //! link's [`FaultPlan`]. The executor treats `transfer` failures as
 //! retryable network errors.
 
+use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::clock::SimClock;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, FaultVerdict};
 use gis_types::{GisError, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -74,6 +75,7 @@ pub struct LinkMetrics {
     bytes: AtomicU64,
     busy_us: AtomicU64,
     failures: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl LinkMetrics {
@@ -97,12 +99,24 @@ impl LinkMetrics {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Retry attempts made against this link (recorded by the
+    /// adapter's retry policy, one per backed-off re-attempt).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Records one retry attempt.
+    pub fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Zeroes all counters (between experiment trials).
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
         self.busy_us.store(0, Ordering::Relaxed);
         self.failures.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -114,6 +128,7 @@ pub struct Link {
     clock: SimClock,
     metrics: Arc<LinkMetrics>,
     faults: Arc<FaultPlan>,
+    breaker: Arc<CircuitBreaker>,
 }
 
 impl Link {
@@ -125,6 +140,7 @@ impl Link {
             clock,
             metrics: Arc::new(LinkMetrics::default()),
             faults: Arc::new(FaultPlan::none()),
+            breaker: Arc::new(CircuitBreaker::default()),
         }
     }
 
@@ -153,6 +169,17 @@ impl Link {
         &self.faults
     }
 
+    /// The link's circuit breaker (configure or inspect through this
+    /// handle; shared by all clones).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The breaker's current state at the clock's current time.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state(self.clock.now_us())
+    }
+
     /// The clock this link advances.
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -161,25 +188,42 @@ impl Link {
     /// Transfers one message of `bytes` bytes across the link,
     /// advancing the virtual clock and counters. Fails (without
     /// advancing time past the latency already spent) when the fault
-    /// plan injects a failure.
+    /// plan injects a failure. While the circuit breaker is open the
+    /// message fails fast — [`GisError::Unavailable`], zero clock
+    /// advance, zero wire latency.
     pub fn transfer(&self, bytes: usize) -> Result<()> {
-        if let Some(reason) = self.faults.check() {
-            self.metrics.failures.fetch_add(1, Ordering::Relaxed);
-            // A failed message still wastes its latency.
-            self.clock.advance(self.conditions.latency_us);
-            self.metrics
-                .busy_us
-                .fetch_add(self.conditions.latency_us, Ordering::Relaxed);
-            return Err(GisError::Network(format!("link '{}': {reason}", self.name)));
+        if let Err(remaining_us) = self.breaker.admit(self.clock.now_us()) {
+            return Err(GisError::Unavailable(format!(
+                "link '{}': circuit open, probe in {remaining_us}us",
+                self.name
+            )));
         }
-        let cost = self.conditions.message_cost_us(bytes);
-        self.clock.advance(cost);
-        self.metrics.messages.fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        self.metrics.busy_us.fetch_add(cost, Ordering::Relaxed);
-        Ok(())
+        match self.faults.verdict() {
+            FaultVerdict::Drop(reason) => {
+                self.metrics.failures.fetch_add(1, Ordering::Relaxed);
+                // A failed message still wastes its latency.
+                self.clock.advance(self.conditions.latency_us);
+                self.metrics
+                    .busy_us
+                    .fetch_add(self.conditions.latency_us, Ordering::Relaxed);
+                self.breaker.on_failure(self.clock.now_us());
+                Err(GisError::Network(format!("link '{}': {reason}", self.name)))
+            }
+            FaultVerdict::Deliver { cost_factor } => {
+                let cost = self
+                    .conditions
+                    .message_cost_us(bytes)
+                    .saturating_mul(u64::from(cost_factor));
+                self.clock.advance(cost);
+                self.metrics.messages.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .bytes
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                self.metrics.busy_us.fetch_add(cost, Ordering::Relaxed);
+                self.breaker.on_success();
+                Ok(())
+            }
+        }
     }
 
     /// Accounts a request/response exchange: `req` bytes out, `resp`
@@ -252,5 +296,65 @@ mod tests {
         let clone = link.clone();
         clone.transfer(5).unwrap();
         assert_eq!(link.metrics().messages(), 1);
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_with_zero_wire_latency() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let clock = SimClock::new();
+        let link = Link::new(
+            "dead",
+            NetworkConditions {
+                latency_us: 1_000,
+                bandwidth_bytes_per_sec: 0,
+            },
+            clock.clone(),
+        );
+        link.breaker().set_config(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_us: 10_000,
+        });
+        link.faults().partition();
+        assert!(link.transfer(10).unwrap_err().is_retryable());
+        assert!(link.transfer(10).unwrap_err().is_retryable());
+        assert_eq!(link.breaker_state(), BreakerState::Open);
+        assert_eq!(clock.now_us(), 2_000, "two failures paid latency");
+
+        // Open: fail fast, no latency, distinct error domain.
+        let err = link.transfer(10).unwrap_err();
+        assert_eq!(err.code(), "UNAVAILABLE");
+        assert!(!err.is_retryable());
+        assert_eq!(clock.now_us(), 2_000, "fail-fast pays no wire latency");
+        assert_eq!(link.breaker().fast_failures(), 1);
+        assert_eq!(
+            link.metrics().failures(),
+            2,
+            "fast failures are not wire failures"
+        );
+
+        // After the cooldown a probe goes through; success closes.
+        link.faults().heal();
+        clock.advance(10_000);
+        assert!(link.transfer(10).is_ok());
+        assert_eq!(link.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn slow_next_charges_multiplied_cost() {
+        let clock = SimClock::new();
+        let link = Link::new(
+            "brownout",
+            NetworkConditions {
+                latency_us: 100,
+                bandwidth_bytes_per_sec: 0,
+            },
+            clock.clone(),
+        );
+        link.faults().slow_next(1, 7);
+        link.transfer(10).unwrap();
+        assert_eq!(clock.now_us(), 700, "spike multiplies the message cost");
+        link.transfer(10).unwrap();
+        assert_eq!(clock.now_us(), 800, "then costs return to nominal");
+        assert_eq!(link.metrics().busy_us(), 800);
     }
 }

@@ -1,0 +1,176 @@
+//! Retry policy for transient link failures.
+//!
+//! Wide-area links lose messages; the adapter layer retries retryable
+//! failures before giving up on a fragment. A [`RetryPolicy`] bounds
+//! that persistence three ways — attempt count, a total virtual-time
+//! budget, and (at the call site) the query deadline — and spaces the
+//! attempts with exponential backoff plus *deterministic* jitter:
+//! the wait before retry `k` is a pure function of `(seed, k)`, so
+//! experiments replay to the microsecond while distinct sources still
+//! decorrelate their retry bursts.
+
+/// When (and how long) to retry a retryable link failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, virtual microseconds. Doubles
+    /// per retry up to [`RetryPolicy::max_backoff_us`]. `0` disables
+    /// backoff entirely.
+    pub base_backoff_us: u64,
+    /// Upper bound on a single backoff wait.
+    pub max_backoff_us: u64,
+    /// Fraction of each backoff randomized away, in permille: `0` is
+    /// full deterministic exponential, `500` draws the wait uniformly
+    /// from `[backoff/2, backoff]`, `1000` from `(0, backoff]`.
+    pub jitter_permille: u32,
+    /// Seed for the jitter stream; attempts hash `(seed, attempt)` so
+    /// the schedule is reproducible.
+    pub seed: u64,
+    /// Total virtual-time budget across all attempts of one request,
+    /// including wire time already burned by failures. Once spending
+    /// the next backoff would exceed it, the caller stops retrying and
+    /// returns the last error. `u64::MAX` = unbounded.
+    pub budget_us: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts with 1 ms → 2 ms backoff, half-range jitter, and
+    /// a 30 s virtual budget — the historical fixed-count behaviour
+    /// plus bounded waiting.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 1_000,
+            max_backoff_us: 100_000,
+            jitter_permille: 500,
+            seed: 0x6715_a2fe_3b90_c4d1,
+            budget_us: 30_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy with `max_attempts` total attempts and the default
+    /// backoff schedule.
+    pub fn with_max_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Builder: caps the total virtual time spent on one request.
+    pub fn with_budget_us(mut self, budget_us: u64) -> Self {
+        self.budget_us = budget_us;
+        self
+    }
+
+    /// Builder: sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The virtual-time wait before retry number `retry` (1-based:
+    /// `1` is the wait between the first failure and the second
+    /// attempt). Deterministic in `(self, retry)`.
+    pub fn backoff_us(&self, retry: u32) -> u64 {
+        if self.base_backoff_us == 0 || retry == 0 {
+            return 0;
+        }
+        let exp = retry.saturating_sub(1).min(63);
+        let raw = self
+            .base_backoff_us
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_us.max(self.base_backoff_us));
+        if self.jitter_permille == 0 {
+            return raw;
+        }
+        // Hash (seed, retry) through one splitmix64 step for the
+        // jitter draw; subtracting keeps the wait <= raw so budgets
+        // and deadlines stay conservative.
+        let mut state = self.seed ^ (u64::from(retry)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let draw = state ^ (state >> 31);
+        let span = raw.saturating_mul(u64::from(self.jitter_permille.min(1_000))) / 1_000;
+        raw - if span == 0 { 0 } else { draw % (span + 1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_keeps_three_attempts() {
+        assert_eq!(RetryPolicy::default().max_attempts, 3);
+        assert_eq!(RetryPolicy::no_retries().max_attempts, 1);
+        assert_eq!(RetryPolicy::with_max_attempts(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = RetryPolicy {
+            jitter_permille: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_us(1), 1_000);
+        assert_eq!(p.backoff_us(2), 2_000);
+        assert_eq!(p.backoff_us(3), 4_000);
+        assert_eq!(p.backoff_us(20), 100_000, "capped at max_backoff_us");
+        // Same policy, same retry index → same wait, every time.
+        let q = RetryPolicy::default();
+        assert_eq!(q.backoff_us(2), q.backoff_us(2));
+    }
+
+    #[test]
+    fn jitter_stays_within_the_configured_fraction() {
+        let p = RetryPolicy {
+            jitter_permille: 500,
+            ..RetryPolicy::default()
+        };
+        for retry in 1..10 {
+            let raw = RetryPolicy {
+                jitter_permille: 0,
+                ..p
+            }
+            .backoff_us(retry);
+            let jittered = p.backoff_us(retry);
+            assert!(jittered <= raw);
+            assert!(
+                jittered >= raw / 2,
+                "retry {retry}: {jittered} < {}",
+                raw / 2
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate_schedules() {
+        let a = RetryPolicy::default().with_seed(1);
+        let b = RetryPolicy::default().with_seed(2);
+        let sa: Vec<u64> = (1..8).map(|r| a.backoff_us(r)).collect();
+        let sb: Vec<u64> = (1..8).map(|r| b.backoff_us(r)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn zero_base_means_no_backoff() {
+        let p = RetryPolicy {
+            base_backoff_us: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_us(1), 0);
+        assert_eq!(p.backoff_us(5), 0);
+    }
+}

@@ -86,6 +86,17 @@ impl Span {
         self.children.iter().find_map(|c| c.find(needle))
     }
 
+    /// Number of spans in this subtree whose label contains `needle` —
+    /// how tests count retry/failover/degraded event annotations.
+    pub fn count_matching(&self, needle: &str) -> usize {
+        usize::from(self.label.contains(needle))
+            + self
+                .children
+                .iter()
+                .map(|c| c.count_matching(needle))
+                .sum::<usize>()
+    }
+
     /// Renders the annotated tree, two-space indented, one span per
     /// line: `label (rows=… bytes=… time=…)`.
     pub fn render(&self) -> String {

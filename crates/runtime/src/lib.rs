@@ -207,10 +207,12 @@ impl Runtime {
         expo.sample("gis_slow_queries_total", &[], stats.slow_queries);
         expo.header("gis_link_bytes_total", "counter", "Bytes shipped per link");
         let fed = &self.shared.federation;
-        let names = fed.source_names();
-        let links: Vec<_> = names
-            .iter()
-            .filter_map(|n| fed.source_link(n).map(|l| (n.clone(), l)))
+        // One series per *link*, not per logical source: every replica
+        // reports under its own link name (`crm`, `crm@r1`, …).
+        let links: Vec<_> = fed
+            .all_links()
+            .into_iter()
+            .map(|l| (l.name().to_string(), l))
             .collect();
         for (name, link) in &links {
             expo.sample(
@@ -249,6 +251,54 @@ impl Runtime {
                 "gis_link_busy_us_total",
                 &[("source", name)],
                 link.metrics().busy_us(),
+            );
+        }
+        expo.header(
+            "gis_link_retries_total",
+            "counter",
+            "Retry attempts per link",
+        );
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_retries_total",
+                &[("source", name)],
+                link.metrics().retries(),
+            );
+        }
+        expo.header(
+            "gis_link_breaker_state",
+            "gauge",
+            "Circuit-breaker state per link (0=closed, 1=half-open, 2=open)",
+        );
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_breaker_state",
+                &[("source", name)],
+                link.breaker_state().as_gauge(),
+            );
+        }
+        expo.header(
+            "gis_link_breaker_opens_total",
+            "counter",
+            "Closed-to-open breaker transitions per link",
+        );
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_breaker_opens_total",
+                &[("source", name)],
+                link.breaker().opens(),
+            );
+        }
+        expo.header(
+            "gis_link_fast_failures_total",
+            "counter",
+            "Requests failed fast by an open breaker (no wire latency paid)",
+        );
+        for (name, link) in &links {
+            expo.sample(
+                "gis_link_fast_failures_total",
+                &[("source", name)],
+                link.breaker().fast_failures(),
             );
         }
         expo.header(

@@ -259,7 +259,13 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
                 wall_us: started.elapsed().as_micros(),
                 ..QueryMetrics::default()
             };
-            return Ok(QueryResult { batch, metrics });
+            // Only complete results are ever cached, so a hit is by
+            // construction not degraded.
+            return Ok(QueryResult {
+                batch,
+                metrics,
+                degraded: None,
+            });
         }
     } else {
         shared.result_cache.count_bypass();
@@ -272,7 +278,10 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
     result.metrics.plan_cache_hit = plan_cache_hit;
     result.metrics.queue_wait_us = queue_wait_us;
     result.metrics.wall_us = started.elapsed().as_micros();
-    if job.use_result_cache {
+    // A degraded (partial) result must never enter the result cache:
+    // it is a lower bound on the true answer, and serving it after the
+    // missing source heals would silently return wrong rows.
+    if job.use_result_cache && result.degraded.is_none() {
         shared
             .result_cache
             .put(result_key, normalized_sql, result.batch.clone(), versions);

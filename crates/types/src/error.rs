@@ -38,6 +38,11 @@ pub enum GisError {
     Overloaded(String),
     /// The query exceeded its deadline and was cancelled.
     Deadline(String),
+    /// A source (or every replica of it) is known-unreachable — e.g.
+    /// its circuit breaker is open — and the request was failed fast
+    /// without touching the wire. Not retryable: retrying immediately
+    /// would hit the same open breaker.
+    Unavailable(String),
 }
 
 impl GisError {
@@ -55,6 +60,7 @@ impl GisError {
             GisError::Internal(_) => "INTERNAL",
             GisError::Overloaded(_) => "OVERLOADED",
             GisError::Deadline(_) => "DEADLINE",
+            GisError::Unavailable(_) => "UNAVAILABLE",
         }
     }
 
@@ -71,7 +77,8 @@ impl GisError {
             | GisError::Catalog(m)
             | GisError::Internal(m)
             | GisError::Overloaded(m)
-            | GisError::Deadline(m) => m,
+            | GisError::Deadline(m)
+            | GisError::Unavailable(m) => m,
         }
     }
 
@@ -145,6 +152,9 @@ mod tests {
             GisError::Unsupported(String::new()),
             GisError::Catalog(String::new()),
             GisError::Internal(String::new()),
+            GisError::Overloaded(String::new()),
+            GisError::Deadline(String::new()),
+            GisError::Unavailable(String::new()),
         ];
         let mut codes: Vec<_> = errs.iter().map(|e| e.code()).collect();
         codes.sort_unstable();
@@ -157,6 +167,8 @@ mod tests {
         assert!(GisError::Network("timeout".into()).is_retryable());
         assert!(!GisError::Storage("corrupt page".into()).is_retryable());
         assert!(!GisError::Parse("x".into()).is_retryable());
+        // Fail-fast from an open breaker must not be retried in place.
+        assert!(!GisError::Unavailable("circuit open".into()).is_retryable());
     }
 
     #[test]

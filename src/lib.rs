@@ -58,13 +58,16 @@ pub use gis_types as types;
 
 /// The most common imports for downstream users.
 pub mod prelude {
-    pub use gis_adapters::{ColumnarAdapter, KvAdapter, RelationalAdapter, SourceAdapter};
+    pub use gis_adapters::{
+        ColumnarAdapter, KvAdapter, RelationalAdapter, SourceAdapter, SourceGroup,
+    };
     pub use gis_catalog::{CapabilityProfile, ColumnMapping, TableMapping, Transform};
     pub use gis_core::{
-        ExecOptions, Federation, JoinStrategy, OptimizerOptions, QueryMetrics, QueryResult,
+        DegradedReport, ExecOptions, Federation, JoinStrategy, OptimizerOptions, QueryMetrics,
+        QueryResult,
     };
     pub use gis_datagen::{build_fedmart, FedMart, FedMartConfig};
-    pub use gis_net::NetworkConditions;
+    pub use gis_net::{BreakerConfig, BreakerState, NetworkConditions, RetryPolicy};
     pub use gis_observe::Span;
     pub use gis_runtime::{Priority, Runtime, RuntimeConfig, Session};
     pub use gis_storage::{ColumnStore, KvStore, RowStore};

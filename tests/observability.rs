@@ -168,3 +168,79 @@ fn render_text_exposes_runtime_cache_and_link_counters() {
     );
     runtime.shutdown();
 }
+
+#[test]
+fn render_text_exposes_resilience_counters_per_replica() {
+    let fm = fedmart();
+    let fed = Arc::new(fm.federation);
+    let replica = fed
+        .add_source_replica("crm", gis::net::NetworkConditions::wan())
+        .unwrap();
+    fed.configure_breaker(gis::net::BreakerConfig {
+        failure_threshold: 3,
+        cooldown_us: 60_000_000,
+    });
+    // Transient loss on the replica that routing prefers (the replica
+    // shares the primary's WAN conditions; the primary wins the
+    // registration-order tiebreak) — retries absorb it.
+    fed.link("crm").unwrap().faults().fail_next(2);
+    let runtime = Runtime::new(fed.clone(), RuntimeConfig::default());
+    let mut session = runtime.session();
+    // Cache hits would skip the network entirely; every query here
+    // must actually exercise the faulted links.
+    session.set_caching(false);
+    session.query("SELECT count(*) FROM customers").unwrap();
+    // Now partition the primary and trip its breaker; the replica
+    // picks the query up.
+    fed.link("crm").unwrap().faults().partition();
+    session.query("SELECT count(*) FROM customers").unwrap();
+
+    let text = runtime.render_text();
+    // Retry attempts surfaced per link.
+    assert!(
+        text.contains("# TYPE gis_link_retries_total counter"),
+        "{text}"
+    );
+    let retries_line = text
+        .lines()
+        .find(|l| l.starts_with("gis_link_retries_total{source=\"crm\"}"))
+        .unwrap_or_else(|| panic!("missing crm retries in:\n{text}"));
+    let retries: u64 = retries_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(retries >= 2, "{retries_line}");
+    // Breaker state gauge: the partitioned primary is open (2), the
+    // healthy replica closed (0).
+    assert!(
+        text.contains("gis_link_breaker_state{source=\"crm\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("gis_link_breaker_state{source=\"crm@r1\"} 0"),
+        "{text}"
+    );
+    assert!(
+        text.contains("gis_link_breaker_opens_total{source=\"crm\"} 1"),
+        "{text}"
+    );
+    // Every replica link reports its own traffic series.
+    assert!(
+        text.contains("gis_link_bytes_total{source=\"crm@r1\"}"),
+        "{text}"
+    );
+    // The replica actually served the partitioned-primary query.
+    assert!(replica.metrics().messages() > 0);
+
+    // Take the replica down as well: the next query exhausts it, then
+    // hits the primary's open breaker — which fails fast without
+    // touching the wire, and the counter proves it.
+    replica.faults().partition();
+    let err = session.query("SELECT count(*) FROM customers").unwrap_err();
+    assert_eq!(err.code(), "UNAVAILABLE");
+    let text = runtime.render_text();
+    let ff_line = text
+        .lines()
+        .find(|l| l.starts_with("gis_link_fast_failures_total{source=\"crm\"}"))
+        .unwrap_or_else(|| panic!("missing fast failures in:\n{text}"));
+    let fast: u64 = ff_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(fast >= 1, "{ff_line}");
+    runtime.shutdown();
+}

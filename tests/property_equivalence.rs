@@ -14,6 +14,37 @@ fn fedmart() -> &'static FedMart {
     FM.get_or_init(|| build_fedmart(FedMartConfig::tiny()).expect("fedmart"))
 }
 
+/// A second federation reserved for the fault-equivalence test: it
+/// scripts faults on the links, which would poison the other tests
+/// (they run on parallel threads against the shared instance above).
+/// Its breakers are disabled so failures can't accumulate across
+/// proptest cases and flip error codes mid-run.
+fn faulted_fedmart() -> &'static FedMart {
+    static FM: OnceLock<FedMart> = OnceLock::new();
+    FM.get_or_init(|| {
+        let fm = build_fedmart(FedMartConfig::tiny()).expect("fedmart");
+        fm.federation
+            .configure_breaker(gis::net::BreakerConfig::disabled());
+        fm
+    })
+}
+
+/// A fault script the retry layer is guaranteed to absorb, encoded as
+/// (fail_next, fail_every, slow_next). Exactly one kind per case:
+/// combinations can stack into three consecutive drops (the periodic
+/// counter persists across cases, so it may fire right after the
+/// counted losses) and exhaust the attempt budget.
+fn absorbable_fault() -> impl Strategy<Value = (u32, u32, u32)> {
+    prop_oneof![
+        // Counted transient loss strictly below the 3-attempt budget.
+        (1u32..=2).prop_map(|n| (n, 0, 0)),
+        // Periodic loss: a retried message shifts off the period.
+        (4u32..=6).prop_map(|k| (0, k, 0)),
+        // Latency brownout: everything delivered, just slower.
+        (1u32..=10).prop_map(|n| (0, 0, n)),
+    ]
+}
+
 /// A random conjunct over the `orders` global table.
 fn order_predicate() -> impl Strategy<Value = String> {
     prop_oneof![
@@ -132,6 +163,42 @@ proptest! {
             _ => unreachable!(),
         };
         prop_assert_eq!(smart.len(), total.min(limit as usize), "sql: {}", sql);
+    }
+
+    #[test]
+    fn faults_change_metrics_but_never_rows(
+        p in order_predicate(),
+        fault in absorbable_fault(),
+        target in 0usize..3,
+    ) {
+        let (fail_next, fail_every, slow_n) = fault;
+        // Same query, faultless vs. under scripted absorbable faults:
+        // retries and brownouts may change traffic and timing, but the
+        // rows must be identical. This is the resilience layer's core
+        // contract — faults the engine survives are invisible in data.
+        let fed = &faulted_fedmart().federation;
+        let sql = format!(
+            "SELECT c.id, o.order_id, o.amount FROM customers c \
+             JOIN orders o ON c.id = o.cust_id WHERE {p}"
+        );
+        let mut clean = fed.query(&sql).expect("faultless run").batch.to_rows();
+
+        let source = ["crm", "sales", "inventory"][target];
+        let link = fed.link(source).expect("link");
+        link.faults().fail_next(fail_next);
+        link.faults().fail_every(fail_every);
+        link.faults().slow_next(slow_n, 7);
+        let faulted = fed.query(&sql).expect("faulted run");
+        // Clear the script so the next case starts clean.
+        link.faults().fail_next(0);
+        link.faults().fail_every(0);
+        link.faults().slow_next(0, 1);
+
+        let mut rows = faulted.batch.to_rows();
+        clean.sort();
+        rows.sort();
+        prop_assert_eq!(rows, clean, "sql: {} faults on {}", sql, source);
+        prop_assert!(faulted.degraded.is_none(), "absorbed faults are not degradation");
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Outage resilience through the public API: replica failover, circuit
+//! breakers, partial results, and the interaction of all three with
+//! the serving runtime's caches. Every fault is scripted on the
+//! simulated network, so outcomes (including virtual-time costs) are
+//! exact and deterministic.
+
+use gis::net::BreakerState;
+use gis::prelude::*;
+use std::sync::Arc;
+
+/// A federation with one relational source (`crm.t`, 100 rows).
+fn one_source_fed(conditions: NetworkConditions) -> Federation {
+    let fed = Federation::new();
+    let adapter = RelationalAdapter::new("crm");
+    let schema = Schema::new(vec![
+        Field::required("id", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ])
+    .into_ref();
+    adapter.add_table(RowStore::new("t", schema, Some(0)).unwrap());
+    adapter
+        .load(
+            "t",
+            (0..100i64).map(|i| vec![Value::Int64(i), Value::Int64(i * i)]),
+        )
+        .unwrap();
+    fed.add_source(Arc::new(adapter) as Arc<dyn SourceAdapter>, conditions)
+        .unwrap();
+    fed
+}
+
+/// A two-source federation: `crm.t` (ids 0..50) and `mkt.t`
+/// (ids 50..80), both one-table relational sources.
+fn two_source_fed() -> Federation {
+    let fed = Federation::new();
+    for (name, lo, hi) in [("crm", 0i64, 50i64), ("mkt", 50, 80)] {
+        let adapter = RelationalAdapter::new(name);
+        let schema = Schema::new(vec![Field::required("id", DataType::Int64)]).into_ref();
+        adapter.add_table(RowStore::new("t", schema, Some(0)).unwrap());
+        adapter
+            .load("t", (lo..hi).map(|i| vec![Value::Int64(i)]))
+            .unwrap();
+        fed.add_source(
+            Arc::new(adapter) as Arc<dyn SourceAdapter>,
+            NetworkConditions::wan(),
+        )
+        .unwrap();
+    }
+    fed
+}
+
+const UNION_SQL: &str = "SELECT id FROM crm.t UNION ALL SELECT id FROM mkt.t";
+
+#[test]
+fn replica_failover_survives_a_primary_partition() {
+    let fed = one_source_fed(NetworkConditions::lan());
+    let replica = fed
+        .add_source_replica("crm", NetworkConditions::wan())
+        .unwrap();
+    // This test scripts a long-lived partition and runs several
+    // queries into it; disable the breaker so every attempt really
+    // reaches the wire and error codes stay NETWORK throughout.
+    fed.configure_breaker(gis::net::BreakerConfig::disabled());
+    // Partition the (cheaper, therefore preferred) primary.
+    fed.link("crm").unwrap().faults().partition();
+    let r = fed.query("SELECT count(*) FROM crm.t").unwrap();
+    assert_eq!(r.batch.row_values(0)[0], Value::Int64(100));
+    assert!(r.degraded.is_none(), "failover is not degradation");
+    // The replica carried the query; the primary only failed.
+    assert!(replica.metrics().messages() > 0);
+    assert_eq!(fed.link("crm").unwrap().metrics().messages(), 0);
+    // Metrics attribute the failed attempts to the partitioned link.
+    assert_eq!(r.metrics.per_source["crm"].failures, 3);
+    assert!(r.metrics.per_source["crm@r1"].failures == 0);
+
+    // EXPLAIN ANALYZE names the replica that was skipped over.
+    let plan = fed
+        .query("EXPLAIN ANALYZE SELECT count(*) FROM crm.t")
+        .unwrap();
+    let rendered = plan.batch.to_table();
+    assert!(
+        rendered.contains("event:failover[crm NETWORK]"),
+        "missing failover annotation in:\n{rendered}"
+    );
+}
+
+#[test]
+fn retry_events_annotate_explain_analyze() {
+    let fed = one_source_fed(NetworkConditions::wan());
+    fed.link("crm").unwrap().faults().fail_next(2);
+    let plan = fed
+        .query("EXPLAIN ANALYZE SELECT count(*) FROM crm.t")
+        .unwrap();
+    let rendered = plan.batch.to_table();
+    assert!(
+        rendered.contains("event:retry[crm attempt=2"),
+        "missing retry annotation in:\n{rendered}"
+    );
+    assert!(rendered.contains("event:retry[crm attempt=3"));
+}
+
+#[test]
+fn routing_prefers_the_cheapest_healthy_replica() {
+    // Primary on a WAN, replica on a LAN: the group should route to
+    // the replica even with zero faults anywhere.
+    let fed = one_source_fed(NetworkConditions::wan());
+    let replica = fed
+        .add_source_replica("crm", NetworkConditions::lan())
+        .unwrap();
+    let r = fed.query("SELECT count(*) FROM crm.t").unwrap();
+    assert_eq!(r.batch.row_values(0)[0], Value::Int64(100));
+    assert!(replica.metrics().messages() > 0);
+    assert_eq!(fed.link("crm").unwrap().metrics().messages(), 0);
+}
+
+#[test]
+fn open_breaker_fails_fast_and_pays_no_wire_latency() {
+    let fed = one_source_fed(NetworkConditions::wan());
+    fed.configure_breaker(gis::net::BreakerConfig {
+        failure_threshold: 3,
+        cooldown_us: 60_000_000,
+    });
+    let link = fed.link("crm").unwrap();
+    link.faults().partition();
+
+    // Retry exhaustion: three real attempts, each paying latency.
+    let err = fed.query("SELECT count(*) FROM crm.t").unwrap_err();
+    assert_eq!(err.code(), "NETWORK");
+    assert_eq!(link.metrics().failures(), 3);
+    assert_eq!(link.breaker_state(), BreakerState::Open);
+    let clock_after_storm = fed.clock().now_us();
+    assert!(clock_after_storm > 0, "retry exhaustion pays wire latency");
+
+    // Fail-fast: the open breaker answers instantly — the virtual
+    // clock must not move at all.
+    let err = fed.query("SELECT count(*) FROM crm.t").unwrap_err();
+    assert_eq!(err.code(), "UNAVAILABLE");
+    assert_eq!(
+        fed.clock().now_us(),
+        clock_after_storm,
+        "fail-fast must pay zero wire latency"
+    );
+    assert_eq!(link.metrics().failures(), 3, "no new wire attempts");
+    assert_eq!(link.breaker().fast_failures(), 1);
+    assert_eq!(link.breaker().opens(), 1);
+}
+
+#[test]
+fn partial_results_return_reachable_rows_and_name_the_missing() {
+    let fed = two_source_fed();
+    fed.configure_breaker(gis::net::BreakerConfig::disabled());
+    fed.link("mkt").unwrap().faults().partition();
+
+    // Without opting in, the outage fails the whole query.
+    let err = fed.query(UNION_SQL).unwrap_err();
+    assert_eq!(err.code(), "NETWORK");
+
+    // Opted in: rows from the reachable source, plus a report.
+    let mut exec = fed.exec_options();
+    exec.partial_results = true;
+    fed.set_exec_options(exec);
+    let r = fed.query(UNION_SQL).unwrap();
+    assert_eq!(r.batch.num_rows(), 50, "crm's rows still arrive");
+    assert!(r.is_degraded());
+    let report = r.degraded.as_ref().unwrap();
+    assert_eq!(report.sources(), vec!["mkt"]);
+    assert_eq!(report.summary(), "missing=[mkt]");
+
+    // EXPLAIN ANALYZE flags the substituted fragment and the report.
+    let plan = fed.query(&format!("EXPLAIN ANALYZE {UNION_SQL}")).unwrap();
+    let rendered = plan.batch.to_table();
+    assert!(
+        rendered.contains("degraded[mkt]: NETWORK"),
+        "missing degraded span in:\n{rendered}"
+    );
+    assert!(rendered.contains("-- degraded: missing=[mkt]"));
+
+    // Healing restores complete answers with no flag.
+    fed.link("mkt").unwrap().faults().heal();
+    let r = fed.query(UNION_SQL).unwrap();
+    assert_eq!(r.batch.num_rows(), 80);
+    assert!(!r.is_degraded());
+}
+
+#[test]
+fn degraded_results_never_enter_the_result_cache() {
+    let fed = Arc::new(two_source_fed());
+    fed.configure_breaker(gis::net::BreakerConfig::disabled());
+    let runtime = Runtime::new(fed.clone(), RuntimeConfig::default());
+    let mut session = runtime.session();
+    session.set_exec_options(ExecOptions {
+        partial_results: true,
+        ..ExecOptions::default()
+    });
+
+    fed.link("mkt").unwrap().faults().partition();
+    let degraded = session.query(UNION_SQL).unwrap();
+    assert!(degraded.is_degraded());
+    assert_eq!(degraded.batch.num_rows(), 50);
+
+    // The partial answer must not have been cached: the repeat query
+    // re-executes (and is itself degraded again).
+    let repeat = session.query(UNION_SQL).unwrap();
+    assert!(!repeat.metrics.result_cache_hit);
+    assert!(repeat.is_degraded());
+
+    // After healing, the complete answer flows — and only *that* one
+    // is cached.
+    fed.link("mkt").unwrap().faults().heal();
+    let healed = session.query(UNION_SQL).unwrap();
+    assert!(!healed.metrics.result_cache_hit);
+    assert!(!healed.is_degraded());
+    assert_eq!(healed.batch.num_rows(), 80);
+    let warm = session.query(UNION_SQL).unwrap();
+    assert!(warm.metrics.result_cache_hit);
+    assert_eq!(warm.batch.num_rows(), 80);
+}
+
+#[test]
+fn expired_deadlines_cancel_before_any_retry_storm() {
+    let fed = Arc::new(one_source_fed(NetworkConditions::wan()));
+    fed.set_retry_policy(RetryPolicy::with_max_attempts(10));
+    fed.link("crm").unwrap().faults().partition();
+    let runtime = Runtime::new(fed.clone(), RuntimeConfig::default());
+    let mut session = runtime.session();
+    session.set_deadline(Some(std::time::Duration::ZERO));
+    let err = session.query("SELECT count(*) FROM crm.t").unwrap_err();
+    assert_eq!(err.code(), "DEADLINE");
+    assert_eq!(
+        fed.link("crm").unwrap().metrics().failures(),
+        0,
+        "an expired query must not burn round trips against a dead link"
+    );
+}
+
+#[test]
+fn breaker_recovers_through_a_half_open_probe() {
+    let fed = one_source_fed(NetworkConditions::wan());
+    fed.configure_breaker(gis::net::BreakerConfig {
+        failure_threshold: 2,
+        cooldown_us: 5_000,
+    });
+    let link = fed.link("crm").unwrap();
+    link.faults().partition();
+    fed.query("SELECT count(*) FROM crm.t").unwrap_err();
+    assert_eq!(link.breaker_state(), BreakerState::Open);
+
+    // Heal the link and let virtual time pass the cooldown: the next
+    // request is a half-open probe, and its success closes the
+    // breaker again.
+    link.faults().heal();
+    fed.clock().advance(10_000);
+    let r = fed.query("SELECT count(*) FROM crm.t").unwrap();
+    assert_eq!(r.batch.row_values(0)[0], Value::Int64(100));
+    assert_eq!(link.breaker_state(), BreakerState::Closed);
+}

@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks for the vectorized mediator kernels:
+//! hash join, GROUP BY, and DISTINCT on synthetic key/value batches,
+//! comparing the retained `Vec<Value>` reference path against the
+//! vectorized serial and partitioned-parallel pipelines. Int64 keys
+//! take the fixed-width u128 path; long Utf8 keys force the
+//! hashed+verified path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gis_adapters::AggFunc;
+use gis_bench::synth::kv_batch;
+use gis_core::exec::aggregate::{
+    distinct_kernel, distinct_ref, hash_aggregate_kernel, hash_aggregate_ref,
+};
+use gis_core::exec::join::{hash_join_kernel, hash_join_ref};
+use gis_core::exec::keys::KernelOptions;
+use gis_core::expr::ScalarExpr;
+use gis_core::plan::logical::{AggregateExpr, JoinNode};
+use gis_sql::ast::JoinKind;
+use gis_types::{DataType, Field, Schema};
+
+const ROWS: usize = 100_000;
+const CARDINALITY: u64 = 1_000;
+
+fn parallel_opts() -> KernelOptions {
+    KernelOptions {
+        parallel_rows: 0,
+        ..KernelOptions::from_exec(&gis_core::ExecOptions::default())
+    }
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let aggs = vec![
+        AggregateExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        },
+        AggregateExpr {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::col(1)),
+            distinct: false,
+        },
+    ];
+    let groups = [ScalarExpr::col(0)];
+    let mut g = c.benchmark_group("group_by_100k");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for (key, long) in [("int64", false), ("utf8_long", true)] {
+        let input = kv_batch(ROWS, CARDINALITY, long, 11);
+        let mut fields = vec![Field::new("k", input.column(0).data_type())];
+        for a in &aggs {
+            fields.push(Field::new(a.display_name(), DataType::Int64));
+        }
+        let schema = Schema::new(fields).into_ref();
+        g.bench_function(BenchmarkId::new("reference", key), |b| {
+            b.iter(|| {
+                hash_aggregate_ref(&input, &groups, &aggs, schema.clone())
+                    .expect("ref agg")
+                    .num_rows()
+            })
+        });
+        g.bench_function(BenchmarkId::new("serial", key), |b| {
+            b.iter(|| {
+                hash_aggregate_kernel(
+                    &input,
+                    &groups,
+                    &aggs,
+                    schema.clone(),
+                    &KernelOptions::serial(),
+                )
+                .expect("kernel agg")
+                .0
+                .num_rows()
+            })
+        });
+        g.bench_function(BenchmarkId::new("partition", key), |b| {
+            b.iter(|| {
+                hash_aggregate_kernel(&input, &groups, &aggs, schema.clone(), &parallel_opts())
+                    .expect("kernel agg")
+                    .0
+                    .num_rows()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let side = ROWS / 2;
+    let card = (side as u64 / 4).max(8);
+    let mut g = c.benchmark_group("hash_join_100k");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for (key, long) in [("int64", false), ("utf8_long", true)] {
+        let left = kv_batch(side, card, long, 21);
+        let right = kv_batch(side, card, long, 22);
+        let schema = JoinNode::compute_schema(left.schema(), right.schema(), JoinKind::Inner);
+        g.bench_function(BenchmarkId::new("reference", key), |b| {
+            b.iter(|| {
+                hash_join_ref(
+                    &left,
+                    &right,
+                    &[0],
+                    &[0],
+                    JoinKind::Inner,
+                    None,
+                    schema.clone(),
+                )
+                .expect("ref join")
+                .num_rows()
+            })
+        });
+        g.bench_function(BenchmarkId::new("serial", key), |b| {
+            b.iter(|| {
+                hash_join_kernel(
+                    &left,
+                    &right,
+                    &[0],
+                    &[0],
+                    JoinKind::Inner,
+                    None,
+                    schema.clone(),
+                    &KernelOptions::serial(),
+                )
+                .expect("kernel join")
+                .0
+                .num_rows()
+            })
+        });
+        g.bench_function(BenchmarkId::new("partition", key), |b| {
+            b.iter(|| {
+                hash_join_kernel(
+                    &left,
+                    &right,
+                    &[0],
+                    &[0],
+                    JoinKind::Inner,
+                    None,
+                    schema.clone(),
+                    &parallel_opts(),
+                )
+                .expect("kernel join")
+                .0
+                .num_rows()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_distinct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distinct_100k");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for (key, long) in [("int64", false), ("utf8_long", true)] {
+        let input = kv_batch(ROWS, CARDINALITY, long, 31);
+        g.bench_function(BenchmarkId::new("reference", key), |b| {
+            b.iter(|| distinct_ref(&input).num_rows())
+        });
+        g.bench_function(BenchmarkId::new("serial", key), |b| {
+            b.iter(|| {
+                distinct_kernel(&input, &KernelOptions::serial())
+                    .0
+                    .num_rows()
+            })
+        });
+        g.bench_function(BenchmarkId::new("partition", key), |b| {
+            b.iter(|| distinct_kernel(&input, &parallel_opts()).0.num_rows())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_by, bench_join, bench_distinct);
+criterion_main!(benches);

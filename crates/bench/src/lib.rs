@@ -17,9 +17,12 @@
 //! | `t4_capabilities` | T4 — source capability asymmetry |
 //! | `f4_semijoin` | F4 — semijoin byte reduction |
 //! | `t5_cost_model` | T5 — estimate vs measured |
+//! | `f8_mediator_throughput` | F8 — vectorized kernel rows/sec |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod synth;
 
 use std::fmt::Display;
 

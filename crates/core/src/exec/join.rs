@@ -5,19 +5,143 @@
 //! rest. Both operate on materialized batches — the federation's
 //! costs are on the wire, not here.
 
+use crate::exec::keys::{equi_join_pairs, KernelOptions, KernelStats};
 use crate::expr::eval::evaluate_predicate;
 use crate::expr::ScalarExpr;
 use gis_sql::ast::JoinKind;
-use gis_types::{Batch, GisError, Result, Row, SchemaRef, Value};
+use gis_types::{Array, Batch, DataType, GisError, Result, Row, SchemaRef, Value};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 
-/// Hash join on equi-keys.
+/// Hash join on equi-keys (serial vectorized kernel).
 ///
 /// `residual` (if any) is evaluated over the combined
 /// `left ++ right` layout and participates in *match* semantics
 /// (i.e. it is part of the ON condition, which matters for outer
 /// kinds).
 pub fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    residual: Option<&ScalarExpr>,
+    out_schema: SchemaRef,
+) -> Result<Batch> {
+    hash_join_kernel(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        kind,
+        residual,
+        out_schema,
+        &KernelOptions::serial(),
+    )
+    .map(|(batch, _)| batch)
+}
+
+/// Key columns of both sides cast to a common type per position so
+/// the vectorized hash/equality kernels see identical layouts. Only
+/// numeric mismatches are reconcilable (matching the `Value` total
+/// order, which widens cross-width numerics to f64 and never equates
+/// any other cross-type pair); `None` means no key pair can ever
+/// match.
+#[allow(clippy::type_complexity)]
+fn common_key_columns<'a>(
+    left: &'a Batch,
+    right: &'a Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Result<Option<(Vec<Cow<'a, Array>>, Vec<Cow<'a, Array>>)>> {
+    let mut lcols = Vec::with_capacity(left_keys.len());
+    let mut rcols = Vec::with_capacity(right_keys.len());
+    for (&lk, &rk) in left_keys.iter().zip(right_keys) {
+        let lc = left.column(lk);
+        let rc = right.column(rk);
+        let (lt, rt) = (lc.data_type(), rc.data_type());
+        if lt == rt {
+            lcols.push(Cow::Borrowed(lc));
+            rcols.push(Cow::Borrowed(rc));
+        } else if lt.is_numeric() && rt.is_numeric() {
+            let common = if lt == DataType::Float64 || rt == DataType::Float64 {
+                DataType::Float64
+            } else {
+                DataType::Int64
+            };
+            lcols.push(Cow::Owned(lc.cast_to(common)?));
+            rcols.push(Cow::Owned(rc.cast_to(common)?));
+        } else {
+            // Distinct non-numeric types are never equal under the
+            // engine's total order: the join produces no matches.
+            return Ok(None);
+        }
+    }
+    Ok(Some((lcols, rcols)))
+}
+
+/// [`hash_join`] with explicit kernel knobs, reporting what the key
+/// kernel did (mode, partitions, build/probe time) for EXPLAIN
+/// ANALYZE.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_kernel(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    residual: Option<&ScalarExpr>,
+    out_schema: SchemaRef,
+    opts: &KernelOptions,
+) -> Result<(Batch, KernelStats)> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(GisError::Internal(
+            "hash join requires at least one key pair".into(),
+        ));
+    }
+    let (pairs, stats) = match common_key_columns(left, right, left_keys, right_keys)? {
+        Some((lcols, rcols)) => {
+            let lrefs: Vec<&Array> = lcols.iter().map(Cow::as_ref).collect();
+            let rrefs: Vec<&Array> = rcols.iter().map(Cow::as_ref).collect();
+            equi_join_pairs(&lrefs, &rrefs, opts)
+        }
+        None => (
+            Vec::new(),
+            KernelStats {
+                mode: "type-mismatch",
+                partitions: 1,
+                build_us: 0,
+                probe_us: 0,
+            },
+        ),
+    };
+    let pairs: Vec<(usize, usize)> = pairs
+        .into_iter()
+        .map(|(l, r)| (l as usize, r as usize))
+        .collect();
+    // Residual condition filters candidate pairs.
+    let pairs = match residual {
+        Some(cond) if !pairs.is_empty() => {
+            let li: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let ri: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let combined = left.take(&li).hstack(&right.take(&ri))?;
+            let keep = evaluate_predicate(cond, &combined)?;
+            pairs
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(p, k)| k.then_some(p))
+                .collect()
+        }
+        _ => pairs,
+    };
+    let batch = assemble(left, right, pairs, kind, out_schema)?;
+    Ok((batch, stats))
+}
+
+/// The retained `Vec<Value>`-per-row hash join, kept as the oracle
+/// for the differential suite and the baseline the F8 experiment
+/// measures speedups against.
+pub fn hash_join_ref(
     left: &Batch,
     right: &Batch,
     left_keys: &[usize],
@@ -71,6 +195,14 @@ pub fn hash_join(
     assemble(left, right, pairs, kind, out_schema)
 }
 
+/// Checked, capped preallocation for a cross-product pair vector:
+/// `l * r` when it is small, else a fixed cap the vector grows past
+/// on demand. Never overflows and never overcommits on huge inputs.
+fn cross_capacity(l: usize, r: usize) -> usize {
+    const CAP: usize = 1 << 20;
+    l.checked_mul(r).map_or(CAP, |n| n.min(CAP))
+}
+
 /// Nested-loop join for joins without usable equi-keys (cross joins,
 /// pure inequality conditions).
 pub fn nested_loop_join(
@@ -81,7 +213,7 @@ pub fn nested_loop_join(
     out_schema: SchemaRef,
 ) -> Result<Batch> {
     let mut pairs: Vec<(usize, usize)> =
-        Vec::with_capacity(left.num_rows() * right.num_rows().min(16));
+        Vec::with_capacity(cross_capacity(left.num_rows(), right.num_rows()));
     for l in 0..left.num_rows() {
         for r in 0..right.num_rows() {
             pairs.push((l, r));
@@ -397,6 +529,81 @@ mod tests {
         .unwrap();
         // id < rid pairs: 1<3, 1<9, 2<3, 2<9, 3<9 (x multiplicities: rid1 twice but 1<1 false)
         assert_eq!(ineq.num_rows(), 5);
+    }
+
+    #[test]
+    fn cross_capacity_is_checked_and_capped() {
+        assert_eq!(cross_capacity(3, 4), 12);
+        assert_eq!(cross_capacity(0, usize::MAX), 0);
+        // Overflowing product: fall back to the cap, don't panic.
+        assert_eq!(cross_capacity(usize::MAX, usize::MAX), 1 << 20);
+        assert_eq!(cross_capacity(usize::MAX, 2), 1 << 20);
+        // Large but representable product: capped, not overcommitted.
+        assert_eq!(cross_capacity(1 << 30, 1 << 30), 1 << 20);
+    }
+
+    #[test]
+    fn large_cross_product_regression() {
+        // 1500 x 1500 = 2.25M pairs: big enough that the old
+        // uncapped `l * r.min(16)` preallocation was the only thing
+        // standing between this test and an overcommit, small enough
+        // to run in CI. Row count must be exact.
+        let n = 1500;
+        let mk = |name: &str| {
+            let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Int64(i as i64)]).collect();
+            Batch::from_rows(
+                Schema::new(vec![Field::new(name, DataType::Int64)]).into_ref(),
+                &rows,
+            )
+            .unwrap()
+        };
+        let l = mk("a");
+        let r = mk("b");
+        let schema = JoinNode::compute_schema(l.schema(), r.schema(), JoinKind::Cross);
+        let out = nested_loop_join(&l, &r, JoinKind::Cross, None, schema).unwrap();
+        assert_eq!(out.num_rows(), n * n);
+    }
+
+    #[test]
+    fn nan_join_keys_match_like_sql_groups() {
+        // Pinned semantics: NaN == NaN for key matching (consistent
+        // with GROUP BY), NULL never matches.
+        let mk = |vals: &[Value]| {
+            let rows: Vec<Vec<Value>> = vals.iter().map(|v| vec![v.clone()]).collect();
+            Batch::from_rows(
+                Schema::new(vec![Field::new("k", DataType::Float64)]).into_ref(),
+                &rows,
+            )
+            .unwrap()
+        };
+        let l = mk(&[Value::Float64(f64::NAN), Value::Float64(1.0), Value::Null]);
+        let r = mk(&[Value::Float64(-f64::NAN), Value::Null, Value::Float64(1.0)]);
+        let schema = JoinNode::compute_schema(l.schema(), r.schema(), JoinKind::Inner);
+        let out = hash_join(&l, &r, &[0], &[0], JoinKind::Inner, None, schema).unwrap();
+        // NaN matches (either payload/sign), 1.0 matches, NULLs don't.
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn kernel_matches_reference_with_mixed_key_types() {
+        // Int64 probe keys against Float64 build keys: the kernel
+        // casts to a common type; the reference widens via the Value
+        // total order. Same rows either way.
+        let l = left(); // Int64 ids
+        let rows: Vec<Vec<Value>> = [1.0, 1.0, 3.0, 9.5]
+            .iter()
+            .map(|&f| vec![Value::Float64(f)])
+            .collect();
+        let r = Batch::from_rows(
+            Schema::new(vec![Field::new("fk", DataType::Float64)]).into_ref(),
+            &rows,
+        )
+        .unwrap();
+        let schema = JoinNode::compute_schema(l.schema(), r.schema(), JoinKind::Inner);
+        let fast = hash_join(&l, &r, &[0], &[0], JoinKind::Inner, None, schema.clone()).unwrap();
+        let slow = hash_join_ref(&l, &r, &[0], &[0], JoinKind::Inner, None, schema).unwrap();
+        assert_eq!(fast.to_rows(), slow.to_rows());
+        assert_eq!(fast.num_rows(), 3); // id 1 twice, id 3 once
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! The shared vectorized key pipeline driving the mediator kernels.
+//!
+//! Hash join, GROUP BY and DISTINCT all need the same thing: "which
+//! rows share a key tuple?". The old kernels answered it by building
+//! a boxed `Vec<Value>` per row — one heap allocation plus enum
+//! dispatch on the hot path. This module answers it columnar:
+//!
+//! * [`group_rows`] assigns every row a dense group id (first
+//!   occurrence defines the group, ids numbered in first-occurrence
+//!   order), which is GROUP BY and DISTINCT in one primitive.
+//! * [`equi_join_pairs`] produces the matched `(left, right)` row
+//!   pairs of an equi-join, NULL keys excluded, in the exact
+//!   lexicographic order the serial reference emits.
+//!
+//! Both pick one of two representations per call. When
+//! [`gis_types::keys::FixedKeyLayout`] covers the key tuple, rows
+//! encode to exact `u128`s and the table needs no collision
+//! verification at all. Otherwise rows get a 64-bit vectorized hash
+//! ([`gis_types::keys::hash_rows`]) and bucket candidates are
+//! verified with the columnar equality kernel
+//! ([`gis_types::keys::rows_eq`]) — never by materializing `Value`s.
+//!
+//! Above [`KernelOptions::parallel_rows`] rows, both primitives
+//! radix-partition by key hash and run one scoped thread per
+//! partition (the same crossbeam pattern `physical.rs` uses for
+//! parallel fetch). Identical keys share a hash, so they land in the
+//! same partition and the per-partition results merge exactly — the
+//! output is bit-identical to the serial path, which keeps
+//! result-cache fingerprints and EXPLAIN ANALYZE row counts stable.
+
+use crate::exec::options::ExecOptions;
+use gis_observe::span::format_us;
+use gis_observe::Span;
+use gis_types::keys::{
+    encode_fixed, hash_rows, hash_u128, rows_eq, BuildPrehashed, FixedKeyLayout,
+};
+use gis_types::Array;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Chain-list terminator for the intrusive hash-table chains below.
+const NONE: u32 = u32::MAX;
+
+/// A `HashMap` keyed by pre-mixed hashes/encodings: no SipHash pass.
+type PrehashedMap<K, V> = HashMap<K, V, BuildPrehashed>;
+
+fn prehashed_map<K, V>(cap: usize) -> PrehashedMap<K, V> {
+    HashMap::with_capacity_and_hasher(cap, BuildPrehashed)
+}
+
+/// Tuning knobs for the key kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelOptions {
+    /// Input rows (build+probe for joins) at or above which the
+    /// kernels radix-partition and run one thread per partition.
+    /// `usize::MAX` keeps everything serial.
+    pub parallel_rows: usize,
+    /// Partition count for the parallel path (rounded down to a power
+    /// of two, minimum 1).
+    pub partitions: usize,
+    /// Mask AND-ed onto every row hash. `u64::MAX` in production; a
+    /// narrow mask (e.g. `0xF`) forces bucket collisions so tests can
+    /// exercise the columnar verification path (it also disables the
+    /// fixed-key fast path, which never collides).
+    pub hash_mask: u64,
+}
+
+impl KernelOptions {
+    /// Fully serial execution with production hashing.
+    pub fn serial() -> KernelOptions {
+        KernelOptions {
+            parallel_rows: usize::MAX,
+            partitions: 1,
+            hash_mask: u64::MAX,
+        }
+    }
+
+    /// Kernel knobs derived from the session's [`ExecOptions`]:
+    /// the parallelism threshold comes from
+    /// [`ExecOptions::parallel_kernel_rows`], the partition count from
+    /// the host's available parallelism (capped at 8).
+    pub fn from_exec(options: &ExecOptions) -> KernelOptions {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        KernelOptions {
+            parallel_rows: options.parallel_kernel_rows,
+            partitions: cores.min(8),
+            hash_mask: u64::MAX,
+        }
+    }
+
+    /// Effective partition count: the largest power of two ≤
+    /// `partitions` (and ≥ 1).
+    fn effective_partitions(&self) -> usize {
+        let p = self.partitions.max(1);
+        1 << (usize::BITS - 1 - p.leading_zeros())
+    }
+
+    /// True when `n` input rows should take the partitioned path.
+    fn go_parallel(&self, n: usize) -> bool {
+        n >= self.parallel_rows && self.effective_partitions() > 1
+    }
+}
+
+/// What a kernel invocation did, for EXPLAIN ANALYZE.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelStats {
+    /// `fixed` / `hashed`, with a `-par` suffix on the partitioned
+    /// path.
+    pub mode: &'static str,
+    /// Partitions used (1 = serial).
+    pub partitions: usize,
+    /// Time spent hashing/encoding keys and building tables.
+    pub build_us: u64,
+    /// Time spent probing / assigning group ids (including the
+    /// parallel merge).
+    pub probe_us: u64,
+}
+
+impl KernelStats {
+    /// Renders the stats as a child span for the owning operator.
+    pub fn to_span(&self) -> Span {
+        Span::leaf(format!(
+            "kernel[{}]: partitions={} build={} probe={}",
+            self.mode,
+            self.partitions,
+            format_us(self.build_us),
+            format_us(self.probe_us)
+        ))
+    }
+}
+
+/// The result of [`group_rows`]: a dense group id per row plus each
+/// group's first-occurrence row (ids are numbered in first-occurrence
+/// order, so `representatives` is strictly ascending).
+#[derive(Debug, Clone)]
+pub struct Grouping {
+    /// `group_of_row[r]` is the group id of row `r`.
+    pub group_of_row: Vec<u32>,
+    /// `representatives[g]` is the first row of group `g`.
+    pub representatives: Vec<u32>,
+}
+
+impl Grouping {
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.representatives.len()
+    }
+}
+
+/// Per-row key tags: either exact fixed-width encodings or masked
+/// 64-bit hashes that need verification.
+enum KeyTags {
+    Fixed(Vec<u128>),
+    Hashed(Vec<u64>),
+}
+
+impl KeyTags {
+    fn compute(cols: &[&Array], n: usize, opts: &KernelOptions) -> KeyTags {
+        if opts.hash_mask == u64::MAX {
+            if let Some(layout) = FixedKeyLayout::plan(&[cols]) {
+                return KeyTags::Fixed(encode_fixed(cols, n, &layout));
+            }
+        }
+        let mut hashes = hash_rows(cols, n);
+        if opts.hash_mask != u64::MAX {
+            for h in &mut hashes {
+                *h &= opts.hash_mask;
+            }
+        }
+        KeyTags::Hashed(hashes)
+    }
+
+    /// The partition-routing hash of row `i`.
+    fn route(&self, i: usize) -> u64 {
+        match self {
+            KeyTags::Fixed(k) => hash_u128(k[i]),
+            KeyTags::Hashed(h) => h[i],
+        }
+    }
+
+    fn mode(&self, parallel: bool) -> &'static str {
+        match (self, parallel) {
+            (KeyTags::Fixed(_), false) => "fixed",
+            (KeyTags::Fixed(_), true) => "fixed-par",
+            (KeyTags::Hashed(_), false) => "hashed",
+            (KeyTags::Hashed(_), true) => "hashed-par",
+        }
+    }
+}
+
+/// The groups of one row subset: first-occurrence rows plus each
+/// position's local group id (parallel to the input `rows` slice).
+/// No per-group member vectors — the merge only needs these two.
+struct SubsetGroups {
+    reps: Vec<u32>,
+    gid_of_pos: Vec<u32>,
+}
+
+/// Groups the `rows` subset (groups numbered in first-occurrence
+/// order within the subset).
+fn group_subset(cols: &[&Array], tags: &KeyTags, rows: &[u32]) -> SubsetGroups {
+    let mut reps: Vec<u32> = Vec::new();
+    let mut gid_of_pos: Vec<u32> = Vec::with_capacity(rows.len());
+    match tags {
+        KeyTags::Fixed(keys) => {
+            // Exact encodings: the u128 *is* the key, no verification.
+            let mut table: PrehashedMap<u128, u32> = prehashed_map(rows.len());
+            for &row in rows {
+                let g = match table.entry(keys[row as usize]) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let g = reps.len() as u32;
+                        e.insert(g);
+                        reps.push(row);
+                        g
+                    }
+                };
+                gid_of_pos.push(g);
+            }
+        }
+        KeyTags::Hashed(hashes) => {
+            // hash → first group id; colliding groups chain through
+            // `sibling` (gid → next gid with the same hash). Each
+            // candidate is verified with the columnar equality kernel
+            // against the group's representative row.
+            let mut table: PrehashedMap<u64, u32> = prehashed_map(rows.len());
+            let mut sibling: Vec<u32> = Vec::new();
+            for &row in rows {
+                let g = match table.entry(hashes[row as usize]) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let g = reps.len() as u32;
+                        e.insert(g);
+                        reps.push(row);
+                        sibling.push(NONE);
+                        g
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let mut g = *e.get();
+                        loop {
+                            if rows_eq(cols, row as usize, cols, reps[g as usize] as usize) {
+                                break g;
+                            }
+                            if sibling[g as usize] == NONE {
+                                let fresh = reps.len() as u32;
+                                reps.push(row);
+                                sibling.push(NONE);
+                                sibling[g as usize] = fresh;
+                                break fresh;
+                            }
+                            g = sibling[g as usize];
+                        }
+                    }
+                };
+                gid_of_pos.push(g);
+            }
+        }
+    }
+    SubsetGroups { reps, gid_of_pos }
+}
+
+/// Splits `0..n` into per-partition row lists by routing hash.
+fn partition_rows(tags: &KeyTags, n: usize, parts: usize) -> Vec<Vec<u32>> {
+    let mask = (parts - 1) as u64;
+    let mut out: Vec<Vec<u32>> = vec![Vec::with_capacity(n / parts + 1); parts];
+    for i in 0..n {
+        out[(tags.route(i) & mask) as usize].push(i as u32);
+    }
+    out
+}
+
+/// Assigns every row of the `cols` key tuple a dense group id.
+///
+/// Zero key columns mean one global group (the GROUP-BY-nothing
+/// shape); zero rows mean zero groups. NULL keys group together and
+/// NaN groups with NaN, per the pinned semantics in
+/// [`gis_types::keys`]. Group ids are numbered in first-occurrence
+/// order — identical to what the `Vec<Value>` reference produced —
+/// on the serial *and* the partitioned path.
+pub fn group_rows(cols: &[&Array], n: usize, opts: &KernelOptions) -> (Grouping, KernelStats) {
+    let serial_stats = |tags: &KeyTags, build_us: u64, probe_us: u64| KernelStats {
+        mode: tags.mode(false),
+        partitions: 1,
+        build_us,
+        probe_us,
+    };
+    if cols.is_empty() || n == 0 {
+        let grouping = Grouping {
+            group_of_row: vec![0; n],
+            representatives: if n == 0 { vec![] } else { vec![0] },
+        };
+        return (
+            grouping,
+            KernelStats {
+                mode: "trivial",
+                partitions: 1,
+                build_us: 0,
+                probe_us: 0,
+            },
+        );
+    }
+    let t0 = Instant::now();
+    let tags = KeyTags::compute(cols, n, opts);
+    let build_us = t0.elapsed().as_micros() as u64;
+    let t1 = Instant::now();
+    if !opts.go_parallel(n) {
+        let all: Vec<u32> = (0..n as u32).collect();
+        let sub = group_subset(cols, &tags, &all);
+        let probe_us = t1.elapsed().as_micros() as u64;
+        let grouping = Grouping {
+            group_of_row: sub.gid_of_pos,
+            representatives: sub.reps,
+        };
+        return (grouping, serial_stats(&tags, build_us, probe_us));
+    }
+    let parts = opts.effective_partitions();
+    let partitions = partition_rows(&tags, n, parts);
+    let per_part: Vec<SubsetGroups> = crossbeam::thread::scope(|s| {
+        let tags = &tags;
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|rows| s.spawn(move |_| group_subset(cols, tags, rows)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel partition thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    // Identical keys share a routing hash, so no group spans two
+    // partitions: sorting by first-occurrence row recovers the exact
+    // serial group numbering, then local ids remap to global ones.
+    let mut order: Vec<(u32, u32, u32)> = Vec::new();
+    for (p, sub) in per_part.iter().enumerate() {
+        for (local, &rep) in sub.reps.iter().enumerate() {
+            order.push((rep, p as u32, local as u32));
+        }
+    }
+    order.sort_unstable_by_key(|&(rep, _, _)| rep);
+    let mut remap: Vec<Vec<u32>> = per_part.iter().map(|s| vec![0; s.reps.len()]).collect();
+    let mut representatives = Vec::with_capacity(order.len());
+    for (g, &(rep, p, local)) in order.iter().enumerate() {
+        remap[p as usize][local as usize] = g as u32;
+        representatives.push(rep);
+    }
+    let mut group_of_row = vec![0u32; n];
+    for (p, (rows, sub)) in partitions.iter().zip(&per_part).enumerate() {
+        for (pos, &row) in rows.iter().enumerate() {
+            group_of_row[row as usize] = remap[p][sub.gid_of_pos[pos] as usize];
+        }
+    }
+    let probe_us = t1.elapsed().as_micros() as u64;
+    let stats = KernelStats {
+        mode: tags.mode(true),
+        partitions: parts,
+        build_us,
+        probe_us,
+    };
+    (
+        Grouping {
+            group_of_row,
+            representatives,
+        },
+        stats,
+    )
+}
+
+/// True when any key column is NULL at `row` (such rows never join).
+fn any_null(cols: &[&Array], row: usize) -> bool {
+    cols.iter().any(|c| !c.is_valid(row))
+}
+
+/// Build+probe over one (left, right) row subset. `pairs` receives
+/// `(l, r)` in lexicographic order given ascending inputs.
+fn join_subset(
+    left: &[&Array],
+    right: &[&Array],
+    ltags: &KeyTags,
+    rtags: &KeyTags,
+    lrows: &[u32],
+    rrows: &[u32],
+    pairs: &mut Vec<(u32, u32)>,
+) {
+    // Build: key → (first, last) positions into `rrows`, entries of
+    // one bucket chained in insertion order through `next` — O(1)
+    // insert with no per-key vector, traversal yields ascending `r`.
+    macro_rules! build {
+        ($keys:expr, $K:ty) => {{
+            let mut head: PrehashedMap<$K, (u32, u32)> = prehashed_map(rrows.len());
+            let mut next: Vec<u32> = vec![NONE; rrows.len()];
+            for (pos, &r) in rrows.iter().enumerate() {
+                if any_null(right, r as usize) {
+                    continue;
+                }
+                match head.entry($keys[r as usize]) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let (_, last) = e.get_mut();
+                        next[*last as usize] = pos as u32;
+                        *last = pos as u32;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((pos as u32, pos as u32));
+                    }
+                }
+            }
+            (head, next)
+        }};
+    }
+    match (ltags, rtags) {
+        (KeyTags::Fixed(lk), KeyTags::Fixed(rk)) => {
+            // Exact encodings: every chain entry is a true match.
+            let (head, next) = build!(rk, u128);
+            for &l in lrows {
+                if any_null(left, l as usize) {
+                    continue;
+                }
+                if let Some(&(first, _)) = head.get(&lk[l as usize]) {
+                    let mut p = first;
+                    loop {
+                        pairs.push((l, rrows[p as usize]));
+                        p = next[p as usize];
+                        if p == NONE {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        (KeyTags::Hashed(lh), KeyTags::Hashed(rh)) => {
+            // Chains may mix keys that collide on the hash: verify
+            // each candidate columnar before emitting the pair.
+            let (head, next) = build!(rh, u64);
+            for &l in lrows {
+                if any_null(left, l as usize) {
+                    continue;
+                }
+                if let Some(&(first, _)) = head.get(&lh[l as usize]) {
+                    let mut p = first;
+                    loop {
+                        let r = rrows[p as usize];
+                        if rows_eq(left, l as usize, right, r as usize) {
+                            pairs.push((l, r));
+                        }
+                        p = next[p as usize];
+                        if p == NONE {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("both sides share one layout decision"),
+    }
+}
+
+/// Matched `(left_row, right_row)` pairs of the equi-join
+/// `left == right`, NULL keys on either side excluded, in
+/// lexicographic `(l, r)` order — exactly the order (and content) of
+/// the serial `Vec<Value>` reference, on every path.
+///
+/// The caller must pass key columns of identical data types per
+/// position (cast beforehand); mismatched positions still compare
+/// correctly via the `Value` fallback but won't hash-match.
+pub fn equi_join_pairs(
+    left: &[&Array],
+    right: &[&Array],
+    opts: &KernelOptions,
+) -> (Vec<(u32, u32)>, KernelStats) {
+    let ln = left.first().map_or(0, |c| c.len());
+    let rn = right.first().map_or(0, |c| c.len());
+    let t0 = Instant::now();
+    // One layout decision covers both sides so tags are comparable.
+    let (ltags, rtags) = {
+        let fixed = opts.hash_mask == u64::MAX && FixedKeyLayout::plan(&[left, right]).is_some();
+        if fixed {
+            let layout = FixedKeyLayout::plan(&[left, right]).expect("planned above");
+            (
+                KeyTags::Fixed(encode_fixed(left, ln, &layout)),
+                KeyTags::Fixed(encode_fixed(right, rn, &layout)),
+            )
+        } else {
+            let mask = opts.hash_mask;
+            let mut lh = hash_rows(left, ln);
+            let mut rh = hash_rows(right, rn);
+            if mask != u64::MAX {
+                lh.iter_mut().for_each(|h| *h &= mask);
+                rh.iter_mut().for_each(|h| *h &= mask);
+            }
+            (KeyTags::Hashed(lh), KeyTags::Hashed(rh))
+        }
+    };
+    let build_us = t0.elapsed().as_micros() as u64;
+    let t1 = Instant::now();
+    if !opts.go_parallel(ln + rn) {
+        let lrows: Vec<u32> = (0..ln as u32).collect();
+        let rrows: Vec<u32> = (0..rn as u32).collect();
+        let mut pairs = Vec::new();
+        join_subset(left, right, &ltags, &rtags, &lrows, &rrows, &mut pairs);
+        let stats = KernelStats {
+            mode: ltags.mode(false),
+            partitions: 1,
+            build_us,
+            probe_us: t1.elapsed().as_micros() as u64,
+        };
+        return (pairs, stats);
+    }
+    let parts = opts.effective_partitions();
+    let lparts = partition_rows(&ltags, ln, parts);
+    let rparts = partition_rows(&rtags, rn, parts);
+    let per_part: Vec<Vec<(u32, u32)>> = crossbeam::thread::scope(|s| {
+        let (ltags, rtags) = (&ltags, &rtags);
+        let handles: Vec<_> = lparts
+            .iter()
+            .zip(&rparts)
+            .map(|(lrows, rrows)| {
+                s.spawn(move |_| {
+                    let mut pairs = Vec::new();
+                    join_subset(left, right, ltags, rtags, lrows, rrows, &mut pairs);
+                    pairs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel partition thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    // Equal keys share a routing hash, so every match was found in
+    // exactly one partition; sorting restores the serial order.
+    let mut pairs: Vec<(u32, u32)> = per_part.into_iter().flatten().collect();
+    pairs.sort_unstable();
+    let stats = KernelStats {
+        mode: ltags.mode(true),
+        partitions: parts,
+        build_us,
+        probe_us: t1.elapsed().as_micros() as u64,
+    };
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{ArrayBuilder, DataType, Value};
+
+    fn int_col(vals: &[Option<i64>]) -> Array {
+        let mut b = ArrayBuilder::new(DataType::Int64);
+        for v in vals {
+            match v {
+                Some(x) => b.push_value(&Value::Int64(*x)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    }
+
+    fn str_col(vals: &[&str]) -> Array {
+        let mut b = ArrayBuilder::new(DataType::Utf8);
+        for v in vals {
+            b.push_value(&Value::Utf8((*v).to_string())).unwrap();
+        }
+        b.finish()
+    }
+
+    /// A long string column defeats the fixed-width layout, forcing
+    /// the hashed+verified path.
+    fn wide_col(n: usize) -> Array {
+        let mut b = ArrayBuilder::new(DataType::Utf8);
+        for i in 0..n {
+            b.push_value(&Value::Utf8(format!("row-{:060}", i % 7)))
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn forced_parallel() -> KernelOptions {
+        KernelOptions {
+            parallel_rows: 0,
+            partitions: 4,
+            hash_mask: u64::MAX,
+        }
+    }
+
+    fn collide_all() -> KernelOptions {
+        KernelOptions {
+            parallel_rows: usize::MAX,
+            partitions: 1,
+            hash_mask: 0x3,
+        }
+    }
+
+    #[test]
+    fn grouping_matches_first_occurrence_order() {
+        let c = int_col(&[Some(5), Some(1), Some(5), None, Some(1), None]);
+        let (g, stats) = group_rows(&[&c], 6, &KernelOptions::serial());
+        assert_eq!(stats.mode, "fixed");
+        assert_eq!(g.representatives, vec![0, 1, 3]);
+        assert_eq!(g.group_of_row, vec![0, 1, 0, 2, 1, 2]);
+    }
+
+    #[test]
+    fn grouping_identical_across_all_paths() {
+        let a = int_col(
+            &(0..500)
+                .map(|i| if i % 11 == 0 { None } else { Some(i % 13) })
+                .collect::<Vec<_>>(),
+        );
+        let w = wide_col(500);
+        let cols: Vec<&Array> = vec![&a, &w];
+        let (serial, s1) = group_rows(&cols, 500, &KernelOptions::serial());
+        assert_eq!(s1.mode, "hashed");
+        let (par, s2) = group_rows(&cols, 500, &forced_parallel());
+        assert_eq!(s2.mode, "hashed-par");
+        assert_eq!(s2.partitions, 4);
+        let (collided, s3) = group_rows(&cols, 500, &collide_all());
+        assert_eq!(s3.mode, "hashed");
+        assert_eq!(serial.group_of_row, par.group_of_row);
+        assert_eq!(serial.representatives, par.representatives);
+        assert_eq!(serial.group_of_row, collided.group_of_row);
+        assert_eq!(serial.representatives, collided.representatives);
+    }
+
+    #[test]
+    fn empty_key_and_empty_input_shapes() {
+        let (g, _) = group_rows(&[], 4, &KernelOptions::serial());
+        assert_eq!(g.num_groups(), 1);
+        assert_eq!(g.group_of_row, vec![0, 0, 0, 0]);
+        let (g, _) = group_rows(&[], 0, &KernelOptions::serial());
+        assert_eq!(g.num_groups(), 0);
+        let c = int_col(&[]);
+        let (g, _) = group_rows(&[&c], 0, &KernelOptions::serial());
+        assert_eq!(g.num_groups(), 0);
+    }
+
+    #[test]
+    fn join_pairs_lexicographic_and_null_free() {
+        let l = int_col(&[Some(1), Some(3), None, Some(1)]);
+        let r = int_col(&[Some(3), Some(1), Some(1), None]);
+        let (pairs, stats) = equi_join_pairs(&[&l], &[&r], &KernelOptions::serial());
+        assert_eq!(stats.mode, "fixed");
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 0), (3, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn join_identical_across_all_paths() {
+        let lk = int_col(&(0..400).map(|i| Some(i % 17)).collect::<Vec<_>>());
+        let lw = wide_col(400);
+        let rk = int_col(&(0..300).map(|i| Some(i % 23)).collect::<Vec<_>>());
+        let rw = wide_col(300);
+        let left: Vec<&Array> = vec![&lk, &lw];
+        let right: Vec<&Array> = vec![&rk, &rw];
+        let (serial, s1) = equi_join_pairs(&left, &right, &KernelOptions::serial());
+        assert_eq!(s1.mode, "hashed");
+        let (par, s2) = equi_join_pairs(&left, &right, &forced_parallel());
+        assert_eq!(s2.mode, "hashed-par");
+        let (collided, _) = equi_join_pairs(&left, &right, &collide_all());
+        assert_eq!(serial, par);
+        assert_eq!(serial, collided);
+        assert!(!serial.is_empty());
+        assert!(serial.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+    }
+
+    #[test]
+    fn effective_partitions_rounds_down_to_power_of_two() {
+        let mk = |p| KernelOptions {
+            parallel_rows: 0,
+            partitions: p,
+            hash_mask: u64::MAX,
+        };
+        assert_eq!(mk(0).effective_partitions(), 1);
+        assert_eq!(mk(1).effective_partitions(), 1);
+        assert_eq!(mk(3).effective_partitions(), 2);
+        assert_eq!(mk(6).effective_partitions(), 4);
+        assert_eq!(mk(8).effective_partitions(), 8);
+    }
+
+    #[test]
+    fn stats_render_as_span() {
+        let c = str_col(&["a", "b", "a"]);
+        let (_, stats) = group_rows(&[&c], 3, &KernelOptions::serial());
+        let span = stats.to_span();
+        assert!(span.label.starts_with("kernel[fixed]"), "{}", span.label);
+    }
+}

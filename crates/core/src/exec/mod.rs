@@ -10,6 +10,7 @@
 pub mod aggregate;
 pub mod fragment;
 pub mod join;
+pub mod keys;
 pub mod options;
 pub mod physical;
 pub mod planner;

@@ -66,6 +66,12 @@ pub struct ExecOptions {
     /// default — partial answers are opt-in, flagged on
     /// [`crate::QueryResult::degraded`], and never cached.
     pub partial_results: bool,
+    /// Input rows (build + probe combined for joins) at or above
+    /// which the mediator's hash kernels (join / group-by / distinct)
+    /// radix-partition by key hash and run one scoped thread per
+    /// partition. Results are bit-identical to serial execution —
+    /// only wall time changes. `usize::MAX` disables partitioning.
+    pub parallel_kernel_rows: usize,
 }
 
 impl Default for ExecOptions {
@@ -80,6 +86,7 @@ impl Default for ExecOptions {
             parallel_fetch: false,
             tracing: false,
             partial_results: false,
+            parallel_kernel_rows: 100_000,
         }
     }
 }

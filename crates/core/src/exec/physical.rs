@@ -1,8 +1,9 @@
 //! The physical operator tree.
 
-use crate::exec::aggregate::{distinct, hash_aggregate};
+use crate::exec::aggregate::{distinct_kernel, hash_aggregate_kernel};
 use crate::exec::fragment::FragmentExec;
-use crate::exec::join::{hash_join, nested_loop_join};
+use crate::exec::join::{hash_join_kernel, nested_loop_join};
+use crate::exec::keys::KernelOptions;
 use crate::expr::eval::{evaluate, evaluate_predicate};
 use crate::expr::ScalarExpr;
 use crate::metrics::{DegradedReport, DegradedSource};
@@ -508,7 +509,7 @@ impl PhysicalPlan {
                 rows_in += (l.num_rows() + r.num_rows()) as u64;
                 children.extend(ls);
                 children.extend(rs);
-                hash_join(
+                let (batch, kstats) = hash_join_kernel(
                     &l,
                     &r,
                     left_keys,
@@ -516,7 +517,12 @@ impl PhysicalPlan {
                     *kind,
                     residual.as_ref(),
                     schema.clone(),
-                )?
+                    &KernelOptions::from_exec(&ctx.options),
+                )?;
+                if trace {
+                    children.push(kstats.to_span());
+                }
+                batch
             }
             PhysicalPlan::NestedLoop {
                 left,
@@ -538,7 +544,17 @@ impl PhysicalPlan {
                 schema,
             } => {
                 let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
-                hash_aggregate(&batch, group_exprs, aggregates, schema.clone())?
+                let (out, kstats) = hash_aggregate_kernel(
+                    &batch,
+                    group_exprs,
+                    aggregates,
+                    schema.clone(),
+                    &KernelOptions::from_exec(&ctx.options),
+                )?;
+                if trace {
+                    children.push(kstats.to_span());
+                }
+                out
             }
             PhysicalPlan::Sort { input, keys } => {
                 let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
@@ -575,7 +591,12 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Distinct { input } => {
                 let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
-                distinct(&batch)
+                let (out, kstats) =
+                    distinct_kernel(&batch, &KernelOptions::from_exec(&ctx.options));
+                if trace {
+                    children.push(kstats.to_span());
+                }
+                out
             }
             PhysicalPlan::Values { schema, rows } => {
                 if schema.is_empty() {
@@ -1068,7 +1089,7 @@ fn execute_bind_join(
         let joined = Batch::concat(s, &inner_parts)?;
         Batch::try_new(b.inner.schema.clone(), joined.columns().to_vec())?
     };
-    let batch = hash_join(
+    let (batch, kstats) = hash_join_kernel(
         &outer,
         &inner_all,
         &b.outer_keys,
@@ -1076,7 +1097,11 @@ fn execute_bind_join(
         b.kind,
         b.residual.as_ref(),
         b.schema.clone(),
+        &KernelOptions::from_exec(ctx.options()),
     )?;
+    if trace {
+        children.push(kstats.to_span());
+    }
     let span = started.map(|t| {
         let mut s = Span::leaf(format!(
             "BindJoin[{}→{} {}]",

@@ -1,0 +1,360 @@
+//! Differential property suite for the vectorized key kernels.
+//!
+//! Randomized batches — every key type, NULLs, heavy duplicates, and
+//! collision-prone configurations — must produce **row-identical**
+//! results (content *and* order) from the new hashed/fixed kernels
+//! and the retained `Vec<Value>` reference implementations, for every
+//! `JoinKind`, GROUP BY, and DISTINCT. Each comparison runs three
+//! kernel configurations: serial, forced partitioned parallelism, and
+//! a 3-bit hash mask that crams every row into 8 buckets so the
+//! columnar collision-verification path does real work.
+//!
+//! Float keys only ever generate the positive quiet NaN: the pinned
+//! kernel semantics ("any NaN equals any NaN") and the reference's
+//! total-order equality agree on that payload, so the oracle stays
+//! valid while NaN grouping is still exercised.
+
+use gis_adapters::AggFunc;
+use gis_core::exec::aggregate::{
+    distinct_kernel, distinct_ref, hash_aggregate_kernel, hash_aggregate_ref,
+};
+use gis_core::exec::join::{hash_join_kernel, hash_join_ref};
+use gis_core::exec::keys::KernelOptions;
+use gis_core::expr::ScalarExpr;
+use gis_core::plan::logical::{AggregateExpr, JoinNode};
+use gis_sql::ast::JoinKind;
+use gis_types::{Batch, DataType, Field, Schema, SchemaRef, Value};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Key-column flavors. Small value domains force duplicates (the
+/// interesting case for grouping and joins).
+#[derive(Debug, Clone, Copy)]
+enum KeyKind {
+    Int64,
+    Int32,
+    Float64,
+    Utf8Short,
+    Utf8Long,
+    Date,
+    Boolean,
+    Timestamp,
+}
+
+const KINDS: [KeyKind; 8] = [
+    KeyKind::Int64,
+    KeyKind::Int32,
+    KeyKind::Float64,
+    KeyKind::Utf8Short,
+    KeyKind::Utf8Long,
+    KeyKind::Date,
+    KeyKind::Boolean,
+    KeyKind::Timestamp,
+];
+
+impl KeyKind {
+    fn data_type(self) -> DataType {
+        match self {
+            KeyKind::Int64 => DataType::Int64,
+            KeyKind::Int32 => DataType::Int32,
+            KeyKind::Float64 => DataType::Float64,
+            KeyKind::Utf8Short | KeyKind::Utf8Long => DataType::Utf8,
+            KeyKind::Date => DataType::Date,
+            KeyKind::Boolean => DataType::Boolean,
+            KeyKind::Timestamp => DataType::Timestamp,
+        }
+    }
+
+    /// Materializes raw draw `v` (a small non-negative domain value)
+    /// as a key of this kind.
+    fn value(self, v: i64) -> Value {
+        match self {
+            KeyKind::Int64 => Value::Int64(v),
+            KeyKind::Int32 => Value::Int32(v as i32),
+            KeyKind::Float64 => match v % 5 {
+                // One NaN payload only: see module docs.
+                0 => Value::Float64(f64::NAN),
+                1 => Value::Float64(0.0),
+                2 => Value::Float64(-0.0),
+                _ => Value::Float64(v as f64 / 2.0),
+            },
+            KeyKind::Utf8Short => Value::Utf8(format!("k{v}")),
+            // Long enough to defeat the u128 fixed-key layout.
+            KeyKind::Utf8Long => Value::Utf8(format!("key-{v:+060}")),
+            KeyKind::Date => Value::Date(v as i32 - 3),
+            KeyKind::Boolean => Value::Boolean(v % 2 == 0),
+            KeyKind::Timestamp => Value::Timestamp(v * 1_000_003),
+        }
+    }
+}
+
+/// A raw column draw: `(null, domain_value)` per row.
+type RawCol = Vec<(bool, i64)>;
+
+/// The three kernel configurations every comparison sweeps.
+fn kernel_modes() -> [(&'static str, KernelOptions); 3] {
+    [
+        ("serial", KernelOptions::serial()),
+        (
+            "parallel",
+            KernelOptions {
+                parallel_rows: 0,
+                partitions: 4,
+                hash_mask: u64::MAX,
+            },
+        ),
+        (
+            "collide",
+            KernelOptions {
+                parallel_rows: usize::MAX,
+                partitions: 1,
+                hash_mask: 0x7,
+            },
+        ),
+    ]
+}
+
+/// Builds a batch with `raw` key columns of `kinds` plus one Int64
+/// payload column drawn from a small domain (so full-row duplicates
+/// occur for DISTINCT).
+fn build_batch(kinds: &[KeyKind], raw: &[RawCol], payload: &RawCol) -> Batch {
+    let n = payload.len();
+    let mut fields: Vec<Field> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, k)| Field::new(format!("k{i}"), k.data_type()).with_nullable(true))
+        .collect();
+    fields.push(Field::new("payload", DataType::Int64).with_nullable(true));
+    let schema = Schema::new(fields).into_ref();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|r| {
+            let mut row: Vec<Value> = kinds
+                .iter()
+                .zip(raw)
+                .map(|(k, col)| {
+                    let (null, v) = col[r];
+                    if null {
+                        Value::Null
+                    } else {
+                        k.value(v)
+                    }
+                })
+                .collect();
+            let (null, v) = payload[r];
+            row.push(if null { Value::Null } else { Value::Int64(v) });
+            row
+        })
+        .collect();
+    Batch::from_rows(schema, &rows).expect("batch")
+}
+
+/// Raw rows for one side: every key column plus the payload share the
+/// row count, values in `0..domain`, ~1 in 8 NULL.
+fn side(
+    columns: usize,
+    domain: i64,
+    rows: impl Into<proptest::collection::SizeRange>,
+) -> impl Strategy<Value = Vec<RawCol>> {
+    pvec(
+        pvec((proptest::arbitrary::any::<u8>(), 0..domain), rows),
+        columns + 1,
+    )
+    .prop_map(|cols| {
+        // Equalize lengths (vec-of-vec draws may differ): truncate to
+        // the shortest, then split nulls off the u8 draw.
+        let n = cols.iter().map(Vec::len).min().unwrap_or(0);
+        cols.into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .take(n)
+                    .map(|(b, v)| (b % 8 == 0, v))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn all_join_kinds() -> [JoinKind; 6] {
+    [
+        JoinKind::Inner,
+        JoinKind::Left,
+        JoinKind::Right,
+        JoinKind::Full,
+        JoinKind::Semi,
+        JoinKind::Anti,
+    ]
+}
+
+fn join_schema(l: &Batch, r: &Batch, kind: JoinKind) -> SchemaRef {
+    JoinNode::compute_schema(l.schema(), r.schema(), kind)
+}
+
+fn check_join(kinds: &[KeyKind], left: &Batch, right: &Batch) -> Result<(), TestCaseError> {
+    let key_cols: Vec<usize> = (0..kinds.len()).collect();
+    for jk in all_join_kinds() {
+        let schema = join_schema(left, right, jk);
+        let want = hash_join_ref(left, right, &key_cols, &key_cols, jk, None, schema.clone())
+            .expect("reference join")
+            .to_rows();
+        for (mode, opts) in kernel_modes() {
+            let (got, _) = hash_join_kernel(
+                left,
+                right,
+                &key_cols,
+                &key_cols,
+                jk,
+                None,
+                schema.clone(),
+                &opts,
+            )
+            .expect("kernel join");
+            prop_assert_eq!(
+                got.to_rows(),
+                want.clone(),
+                "join kind {:?}, kernel mode {}, kinds {:?}",
+                jk,
+                mode,
+                kinds
+            );
+        }
+    }
+    Ok(())
+}
+
+fn agg_exprs() -> Vec<AggregateExpr> {
+    let arg = || Some(ScalarExpr::col(1));
+    vec![
+        AggregateExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        },
+        AggregateExpr {
+            func: AggFunc::Count,
+            arg: arg(),
+            distinct: true,
+        },
+        AggregateExpr {
+            func: AggFunc::Sum,
+            arg: arg(),
+            distinct: false,
+        },
+        AggregateExpr {
+            func: AggFunc::Min,
+            arg: arg(),
+            distinct: false,
+        },
+        AggregateExpr {
+            func: AggFunc::Max,
+            arg: arg(),
+            distinct: false,
+        },
+        AggregateExpr {
+            func: AggFunc::Avg,
+            arg: arg(),
+            distinct: false,
+        },
+        AggregateExpr {
+            func: AggFunc::Sum,
+            arg: arg(),
+            distinct: true,
+        },
+    ]
+}
+
+fn agg_schema(key: KeyKind, aggs: &[AggregateExpr]) -> SchemaRef {
+    let mut fields = vec![Field::new("k0", key.data_type()).with_nullable(true)];
+    for a in aggs {
+        let t = match a.func {
+            AggFunc::Avg => DataType::Float64,
+            _ => DataType::Int64,
+        };
+        fields.push(Field::new(a.display_name(), t).with_nullable(true));
+    }
+    Schema::new(fields).into_ref()
+}
+
+fn check_group_by(kind: KeyKind, input: &Batch) -> Result<(), TestCaseError> {
+    // The key column doubles as payload column 1's neighbor: group by
+    // column 0, aggregate column 1 (the Int64 payload).
+    let aggs = agg_exprs();
+    let schema = agg_schema(kind, &aggs);
+    let groups = [ScalarExpr::col(0)];
+    let want = hash_aggregate_ref(input, &groups, &aggs, schema.clone())
+        .expect("reference aggregate")
+        .to_rows();
+    for (mode, opts) in kernel_modes() {
+        let (got, _) = hash_aggregate_kernel(input, &groups, &aggs, schema.clone(), &opts)
+            .expect("kernel aggregate");
+        prop_assert_eq!(
+            got.to_rows(),
+            want.clone(),
+            "group-by kernel mode {}, key kind {:?}",
+            mode,
+            kind
+        );
+    }
+    Ok(())
+}
+
+fn check_distinct(input: &Batch) -> Result<(), TestCaseError> {
+    let want = distinct_ref(input).to_rows();
+    for (mode, opts) in kernel_modes() {
+        let (got, _) = distinct_kernel(input, &opts);
+        prop_assert_eq!(got.to_rows(), want.clone(), "distinct kernel mode {}", mode);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn single_key_joins_match_reference(
+        kind_ix in 0usize..8,
+        lraw in side(1, 6, 0..60usize),
+        rraw in side(1, 6, 0..60usize),
+    ) {
+        let kinds = [KINDS[kind_ix]];
+        let left = build_batch(&kinds, &lraw[..1], &lraw[1]);
+        let right = build_batch(&kinds, &rraw[..1], &rraw[1]);
+        check_join(&kinds, &left, &right)?;
+    }
+
+    #[test]
+    fn two_key_joins_match_reference(
+        ka in 0usize..8,
+        kb in 0usize..8,
+        lraw in side(2, 4, 0..50usize),
+        rraw in side(2, 4, 0..50usize),
+    ) {
+        let kinds = [KINDS[ka], KINDS[kb]];
+        let left = build_batch(&kinds, &lraw[..2], &lraw[2]);
+        let right = build_batch(&kinds, &rraw[..2], &rraw[2]);
+        check_join(&kinds, &left, &right)?;
+    }
+
+    #[test]
+    fn group_by_matches_reference(
+        kind_ix in 0usize..8,
+        raw in side(1, 5, 0..80usize),
+    ) {
+        let kind = KINDS[kind_ix];
+        let input = build_batch(&[kind], &raw[..1], &raw[1]);
+        check_group_by(kind, &input)?;
+    }
+
+    #[test]
+    fn distinct_matches_reference(
+        ka in 0usize..8,
+        kb in 0usize..8,
+        raw in side(2, 3, 0..80usize),
+    ) {
+        let kinds = [KINDS[ka], KINDS[kb]];
+        let input = build_batch(&kinds, &raw[..2], &raw[2]);
+        check_distinct(&input)?;
+    }
+}

@@ -25,6 +25,7 @@ pub mod batch;
 pub mod bitmap;
 pub mod datatype;
 pub mod error;
+pub mod keys;
 pub mod ordering;
 pub mod row;
 pub mod schema;

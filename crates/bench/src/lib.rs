@@ -18,6 +18,7 @@
 //! | `f4_semijoin` | F4 — semijoin byte reduction |
 //! | `t5_cost_model` | T5 — estimate vs measured |
 //! | `f8_mediator_throughput` | F8 — vectorized kernel rows/sec |
+//! | `f9_materialized_views` | F9 — views vs re-shipping a repeated workload |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

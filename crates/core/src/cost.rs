@@ -156,6 +156,16 @@ pub fn estimate(plan: &LogicalPlan) -> Estimate {
             rows: rows.len() as f64,
             row_bytes: (schema.len() as f64 * 8.0).max(1.0),
         },
+        // Already materialized at the mediator: exact row count, and
+        // serving it ships zero bytes over the simulated WAN.
+        LogicalPlan::ViewScan { batch, .. } => Estimate {
+            rows: batch.num_rows() as f64,
+            row_bytes: if batch.num_rows() == 0 {
+                1.0
+            } else {
+                batch.wire_size() as f64 / batch.num_rows() as f64
+            },
+        },
     }
 }
 

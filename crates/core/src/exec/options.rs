@@ -72,6 +72,10 @@ pub struct ExecOptions {
     /// partition. Results are bit-identical to serial execution —
     /// only wall time changes. `usize::MAX` disables partitioning.
     pub parallel_kernel_rows: usize,
+    /// Answer queries (or their fragments) from fresh materialized
+    /// views when a registered view subsumes the plan. Disable to
+    /// force shipping from sources (baselines, differential tests).
+    pub view_matching: bool,
 }
 
 impl Default for ExecOptions {
@@ -87,6 +91,7 @@ impl Default for ExecOptions {
             tracing: false,
             partial_results: false,
             parallel_kernel_rows: 100_000,
+            view_matching: true,
         }
     }
 }

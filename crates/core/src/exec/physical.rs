@@ -373,6 +373,16 @@ pub enum PhysicalPlan {
         /// Rows.
         rows: Vec<Vec<Value>>,
     },
+    /// Rows served from a mediator-side materialized view: zero wire
+    /// traffic, zero source work.
+    ViewScan {
+        /// The view's name (shown as `view[name]` in span trees).
+        name: String,
+        /// Output schema (from the replaced logical subtree).
+        schema: SchemaRef,
+        /// The materialized rows.
+        batch: Batch,
+    },
 }
 
 impl PhysicalPlan {
@@ -393,6 +403,7 @@ impl PhysicalPlan {
             PhysicalPlan::Union { schema, .. } => schema,
             PhysicalPlan::Distinct { input } => input.schema(),
             PhysicalPlan::Values { schema, .. } => schema,
+            PhysicalPlan::ViewScan { schema, .. } => schema,
         }
     }
 
@@ -417,7 +428,8 @@ impl PhysicalPlan {
             PhysicalPlan::Fragment(_)
             | PhysicalPlan::RemoteAggregate(_)
             | PhysicalPlan::RemoteJoin(_)
-            | PhysicalPlan::Values { .. } => vec![],
+            | PhysicalPlan::Values { .. }
+            | PhysicalPlan::ViewScan { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::HashAggregate { input, .. }
@@ -607,6 +619,11 @@ impl PhysicalPlan {
                     Batch::from_rows(schema.clone(), rows)?
                 }
             }
+            // The rows live at the mediator; re-stamp them with the
+            // consumer-side schema (names positionally match).
+            PhysicalPlan::ViewScan { schema, batch, .. } => {
+                Batch::try_new(schema.clone(), batch.columns().to_vec())?
+            }
         };
         let span = started.map(|t| {
             let mut s = Span::leaf(self.span_label())
@@ -667,6 +684,7 @@ impl PhysicalPlan {
             PhysicalPlan::Union { .. } => "UnionAll".into(),
             PhysicalPlan::Distinct { .. } => "Distinct".into(),
             PhysicalPlan::Values { rows, .. } => format!("Values: {} row(s)", rows.len()),
+            PhysicalPlan::ViewScan { name, .. } => format!("view[{name}]"),
         }
     }
 
@@ -795,6 +813,13 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Values { rows, .. } => {
                 let _ = writeln!(out, "{pad}Values: {} row(s)", rows.len());
+            }
+            PhysicalPlan::ViewScan { name, batch, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}view[{name}]: {} materialized row(s)",
+                    batch.num_rows()
+                );
             }
         }
     }

@@ -163,6 +163,15 @@ impl Planner<'_> {
                 schema: schema.clone(),
                 rows: rows.clone(),
             }),
+            LogicalPlan::ViewScan {
+                name,
+                schema,
+                batch,
+            } => Ok(PhysicalPlan::ViewScan {
+                name: name.clone(),
+                schema: schema.clone(),
+                batch: batch.clone(),
+            }),
         }
     }
 

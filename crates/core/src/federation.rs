@@ -17,6 +17,7 @@
 
 use crate::exec::{create_physical_plan, ExecContext, ExecOptions};
 use crate::metrics::{DegradedReport, QueryMetrics, TrafficSnapshot};
+use crate::optimizer::view_match::{rewrite_with_views, would_match, ViewCandidate};
 use crate::optimizer::{optimize, OptimizerOptions};
 use crate::plan::binder::{check_duplicate_aliases, Binder};
 use crate::plan::logical::LogicalPlan;
@@ -25,6 +26,7 @@ use gis_catalog::{Catalog, CatalogRef, TableMapping};
 use gis_net::{BreakerConfig, Link, NetworkConditions, RetryPolicy, SimClock};
 use gis_sql::ast::Statement;
 use gis_types::{Batch, GisError, Result};
+use gis_views::{CompiledView, MaterializedView, RefreshPolicy, ViewGauges, ViewRegistry};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +55,22 @@ impl QueryResult {
     }
 }
 
+/// A one-row `status` batch carrying `metrics` — the result shape of
+/// materialized-view DDL statements.
+fn status_result(text: String, metrics: QueryMetrics) -> Result<QueryResult> {
+    let schema = gis_types::Schema::new(vec![gis_types::Field::required(
+        "status",
+        gis_types::DataType::Utf8,
+    )])
+    .into_ref();
+    let rows = vec![vec![gis_types::Value::Utf8(text)]];
+    Ok(QueryResult {
+        batch: Batch::from_rows(schema, &rows)?,
+        metrics,
+        degraded: None,
+    })
+}
+
 /// A Global Information System instance.
 pub struct Federation {
     catalog: CatalogRef,
@@ -61,6 +79,7 @@ pub struct Federation {
     optimizer_options: RwLock<OptimizerOptions>,
     exec_options: RwLock<ExecOptions>,
     next_query_id: AtomicU64,
+    views: ViewRegistry<LogicalPlan>,
 }
 
 impl Default for Federation {
@@ -79,6 +98,7 @@ impl Federation {
             optimizer_options: RwLock::new(OptimizerOptions::default()),
             exec_options: RwLock::new(ExecOptions::default()),
             next_query_id: AtomicU64::new(1),
+            views: ViewRegistry::new(),
         }
     }
 
@@ -242,6 +262,21 @@ impl Federation {
             .collect()
     }
 
+    /// Per-source data versions restricted to the given (lowercase)
+    /// source names — the pin set for anything built from a plan that
+    /// reads only those sources. Unknown names are silently absent.
+    pub fn data_versions_for(&self, names: &[String]) -> BTreeMap<String, u64> {
+        let sources = self.sources.read();
+        names
+            .iter()
+            .filter_map(|n| {
+                sources
+                    .get(n)
+                    .map(|s| (n.clone(), s.adapter().data_version()))
+            })
+            .collect()
+    }
+
     /// Allocates a fresh query id (monotonic, starts at 1; id 0 is
     /// reserved for ad-hoc queries outside the runtime).
     pub fn next_query_id(&self) -> u64 {
@@ -270,8 +305,234 @@ impl Federation {
         self.catalog.update_stats(source, table, stats)
     }
 
+    /// The materialized-view registry (inspection, tests, gauges).
+    pub fn views(&self) -> &ViewRegistry<LogicalPlan> {
+        &self.views
+    }
+
+    /// Observability snapshot of every view, judged against current
+    /// source versions. The runtime renders these as `gis_view_*`
+    /// series.
+    pub fn view_gauges(&self) -> Vec<ViewGauges> {
+        self.views.gauges(&self.data_versions())
+    }
+
+    /// Creates a materialized view named `name` defined by the SELECT
+    /// text `sql`, materializes it immediately, and registers it for
+    /// [`RefreshPolicy::Manual`] refreshes.
+    pub fn create_materialized_view(&self, name: &str, sql: &str) -> Result<QueryResult> {
+        self.create_materialized_view_with(name, sql, RefreshPolicy::Manual)
+    }
+
+    /// Like [`Federation::create_materialized_view`], with an explicit
+    /// refresh policy.
+    pub fn create_materialized_view_with(
+        &self,
+        name: &str,
+        sql: &str,
+        policy: RefreshPolicy,
+    ) -> Result<QueryResult> {
+        if name.is_empty() {
+            return Err(GisError::Analysis("materialized view name is empty".into()));
+        }
+        // A view shadowing a global table would make `FROM name`
+        // ambiguous between catalog resolution and view matching.
+        if self
+            .catalog
+            .global_tables()
+            .iter()
+            .any(|t| t.eq_ignore_ascii_case(name))
+        {
+            return Err(GisError::Catalog(format!(
+                "cannot create materialized view '{name}': a global table with that name exists"
+            )));
+        }
+        let stmt = gis_sql::parse(sql)?;
+        if !matches!(stmt, Statement::Query(_)) {
+            return Err(GisError::Analysis(
+                "materialized view definition must be a SELECT query".into(),
+            ));
+        }
+        let compiled = self.compile_view(&stmt)?;
+        let view = self.views.insert(MaterializedView::new(
+            name.to_ascii_lowercase(),
+            sql,
+            policy,
+            compiled,
+        ))?;
+        let metrics = match self.run_refresh(&view) {
+            Ok(m) => m,
+            Err(e) => {
+                // Creation is atomic: a failed initial materialization
+                // leaves no half-registered view behind.
+                let _ = self.views.remove(name);
+                return Err(e);
+            }
+        };
+        let rows = view.data().map(|d| d.batch.num_rows()).unwrap_or(0);
+        status_result(
+            format!(
+                "created materialized view {} ({} rows, {} bytes shipped, policy {})",
+                view.name(),
+                rows,
+                metrics.bytes_shipped,
+                policy.label()
+            ),
+            metrics,
+        )
+    }
+
+    /// Re-runs a view's plan and replaces its materialized rows.
+    pub fn refresh_materialized_view(&self, name: &str) -> Result<QueryResult> {
+        let view = self
+            .views
+            .get(name)
+            .ok_or_else(|| GisError::Catalog(format!("unknown materialized view '{name}'")))?;
+        let metrics = self.run_refresh(&view)?;
+        let rows = view.data().map(|d| d.batch.num_rows()).unwrap_or(0);
+        status_result(
+            format!(
+                "refreshed materialized view {} ({} rows, {} bytes shipped)",
+                view.name(),
+                rows,
+                metrics.bytes_shipped
+            ),
+            metrics,
+        )
+    }
+
+    /// Drops a view (definition and materialized rows).
+    pub fn drop_materialized_view(&self, name: &str) -> Result<QueryResult> {
+        let view = self.views.remove(name)?;
+        status_result(
+            format!("dropped materialized view {}", view.name()),
+            QueryMetrics::default(),
+        )
+    }
+
+    /// Runs every due [`RefreshPolicy::Interval`] refresh against the
+    /// virtual clock. The runtime's workers call this between jobs (a
+    /// wall-clock thread cannot pace a virtual clock). When an
+    /// interval elapses but no pinned source version moved, the timer
+    /// is re-armed without shipping anything — refresh cost tracks
+    /// actual change, not time. Returns the number of refreshes run.
+    pub fn maintain_views(&self) -> usize {
+        let mut refreshed = 0;
+        for view in self.views.all() {
+            if !view.interval_due(self.clock.now_us()) {
+                continue;
+            }
+            let compiled = view.compiled();
+            let plan_current = compiled.catalog_version == self.catalog.version();
+            let current = self.data_versions_for(&compiled.sources);
+            if plan_current && view.staleness(&current).is_fresh() {
+                view.touch(self.clock.now_us());
+            } else if self.run_refresh(&view).is_ok() {
+                refreshed += 1;
+            }
+        }
+        refreshed
+    }
+
+    /// Binds and optimizes a view definition, recording what it reads.
+    fn compile_view(&self, stmt: &Statement) -> Result<CompiledView<LogicalPlan>> {
+        // Capture the catalog version *before* binding: a concurrent
+        // catalog change then marks the plan stale, never fresh.
+        let catalog_version = self.catalog.version();
+        let plan = self.plan_statement(stmt)?;
+        let schema = plan.schema().clone();
+        let sources = plan.source_names();
+        Ok(CompiledView {
+            plan: Arc::new(plan),
+            schema,
+            sources,
+            catalog_version,
+        })
+    }
+
+    /// Re-materializes one view: re-binds if the catalog moved, pins
+    /// source versions, executes the stored plan (with view matching
+    /// off — a view must never be refreshed from itself), installs
+    /// the result.
+    fn run_refresh(&self, view: &MaterializedView<LogicalPlan>) -> Result<QueryMetrics> {
+        let mut compiled = view.compiled();
+        if compiled.catalog_version != self.catalog.version() {
+            let stmt = gis_sql::parse(view.sql())?;
+            compiled = self.compile_view(&stmt)?;
+            view.recompile(compiled.clone());
+        }
+        // Pin versions BEFORE executing: a write racing the refresh
+        // leaves the view stale, never falsely fresh.
+        let versions = self.data_versions_for(&compiled.sources);
+        let mut exec = self.exec_options();
+        exec.view_matching = false;
+        let result = self.execute_logical(&compiled.plan, &exec, 0, None)?;
+        if result.degraded.is_some() {
+            return Err(GisError::Unavailable(format!(
+                "refresh of materialized view '{}' degraded; refusing to materialize a partial result",
+                view.name()
+            )));
+        }
+        view.install(result.batch, versions, self.clock.now_us());
+        Ok(result.metrics)
+    }
+
+    /// Offers every usable view to the matcher and rewrites `plan`
+    /// where one subsumes a subtree. A stale on-query-if-stale view
+    /// that *would* match is refreshed first (synchronously); stale
+    /// views under other policies are skipped and counted.
+    fn apply_view_matching(&self, plan: &LogicalPlan) -> Option<(LogicalPlan, Vec<String>)> {
+        let catalog_version = self.catalog.version();
+        let mut candidates = Vec::new();
+        for view in self.views.all() {
+            let compiled = view.compiled();
+            let plan_current = compiled.catalog_version == catalog_version;
+            let fresh = plan_current
+                && view
+                    .staleness(&self.data_versions_for(&compiled.sources))
+                    .is_fresh();
+            if fresh {
+                if let Some(d) = view.data() {
+                    candidates.push(ViewCandidate {
+                        name: view.name().to_string(),
+                        plan: compiled.plan.clone(),
+                        batch: d.batch,
+                    });
+                }
+                continue;
+            }
+            // Stale rows (or a stale plan). Only worth acting on when
+            // the view could answer part of *this* query.
+            if !would_match(plan, &compiled.plan) {
+                continue;
+            }
+            if view.policy() == RefreshPolicy::OnQueryIfStale && self.run_refresh(&view).is_ok() {
+                let compiled = view.compiled();
+                if let Some(d) = view.data() {
+                    candidates.push(ViewCandidate {
+                        name: view.name().to_string(),
+                        plan: compiled.plan.clone(),
+                        batch: d.batch,
+                    });
+                }
+            } else {
+                view.record_stale_skip();
+            }
+        }
+        let outcome = rewrite_with_views(plan, &candidates);
+        if let Some((_, used)) = &outcome {
+            for name in used {
+                if let Some(v) = self.views.get(name) {
+                    v.record_hit();
+                }
+            }
+        }
+        outcome
+    }
+
     /// Runs `sql` and returns rows plus metrics. `EXPLAIN` statements
-    /// return the plan rendering as a one-column batch.
+    /// return the plan rendering as a one-column batch;
+    /// materialized-view DDL returns a one-row status batch.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         let stmt = gis_sql::parse(sql)?;
         match stmt {
@@ -281,6 +542,11 @@ impl Federation {
                 self.explain_statement(*statement, analyze, &optimizer, &exec)
             }
             Statement::Query(_) => self.run_statement(&stmt),
+            Statement::CreateMaterializedView { name, query } => {
+                self.create_materialized_view(&name, &gis_sql::unparse::query_to_sql(&query))
+            }
+            Statement::RefreshMaterializedView { name } => self.refresh_materialized_view(&name),
+            Statement::DropMaterializedView { name } => self.drop_materialized_view(&name),
         }
     }
 
@@ -324,6 +590,13 @@ impl Federation {
                 result.metrics.wall_us = started.elapsed().as_micros();
                 Ok(result)
             }
+            // View DDL mutates federation-wide state; session option
+            // overrides don't apply, so route to the shared APIs.
+            Statement::CreateMaterializedView { name, query } => {
+                self.create_materialized_view(&name, &gis_sql::unparse::query_to_sql(&query))
+            }
+            Statement::RefreshMaterializedView { name } => self.refresh_materialized_view(&name),
+            Statement::DropMaterializedView { name } => self.drop_materialized_view(&name),
         }
     }
 
@@ -360,6 +633,19 @@ impl Federation {
         deadline: Option<Instant>,
     ) -> Result<QueryResult> {
         let started = Instant::now();
+        // View matching runs here — after optimization, at execution
+        // time — because freshness is only knowable now, and because
+        // the runtime's plan cache must never store a view decision
+        // that could outlive the view's freshness.
+        let rewritten = if exec.view_matching && !self.views.is_empty() {
+            self.apply_view_matching(plan)
+        } else {
+            None
+        };
+        let (plan, views_used) = match &rewritten {
+            Some((p, used)) => (p, used.clone()),
+            None => (plan, Vec::new()),
+        };
         let sources = self.sources.read();
         let physical = create_physical_plan(plan, &sources, exec)?;
         // Traffic is accounted over *every* replica link: a failover
@@ -380,6 +666,7 @@ impl Federation {
         metrics.query_id = query_id;
         metrics.wall_us = started.elapsed().as_micros();
         metrics.trace = trace;
+        metrics.views_used = views_used;
         let degraded = ctx.take_degraded();
         Ok(QueryResult {
             batch,

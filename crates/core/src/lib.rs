@@ -43,6 +43,7 @@ pub mod plan;
 
 pub use exec::options::{ExecOptions, JoinStrategy};
 pub use federation::{Federation, QueryResult};
+pub use gis_views::{RefreshPolicy, Staleness, ViewGauges};
 pub use metrics::{DegradedReport, DegradedSource, QueryMetrics};
 pub use optimizer::OptimizerOptions;
 pub use plan::logical::LogicalPlan;

@@ -66,6 +66,10 @@ pub struct QueryMetrics {
     /// slow-query log). Remote-fragment subtrees were reported by the
     /// sources themselves over the wire.
     pub trace: Option<Span>,
+    /// Names of the materialized views that answered (parts of) this
+    /// query, in match order; a view appears once per subtree it
+    /// replaced. Empty when the plan ran entirely from sources.
+    pub views_used: Vec<String>,
 }
 
 impl QueryMetrics {
@@ -117,6 +121,9 @@ impl QueryMetrics {
                 " queue_wait_ms={:.2}",
                 self.queue_wait_us as f64 / 1_000.0
             ));
+        }
+        if !self.views_used.is_empty() {
+            s.push_str(&format!(" views=[{}]", self.views_used.join(", ")));
         }
         s
     }

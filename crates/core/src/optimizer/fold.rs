@@ -93,7 +93,7 @@ pub fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
             t.filters.retain(|f| !is_true(f));
             LogicalPlan::TableScan(t)
         }
-        leaf @ LogicalPlan::Values { .. } => leaf,
+        leaf @ (LogicalPlan::Values { .. } | LogicalPlan::ViewScan { .. }) => leaf,
     })
 }
 

@@ -102,7 +102,7 @@ fn walk(plan: LogicalPlan, bound: Option<usize>) -> Result<LogicalPlan> {
         LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
             input: Box::new(walk(*input, None)?),
         },
-        leaf @ LogicalPlan::Values { .. } => leaf,
+        leaf @ (LogicalPlan::Values { .. } | LogicalPlan::ViewScan { .. }) => leaf,
     })
 }
 

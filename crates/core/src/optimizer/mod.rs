@@ -19,6 +19,7 @@ pub mod join_order;
 pub mod limits;
 pub mod prune;
 pub mod pushdown;
+pub mod view_match;
 
 use crate::plan::logical::LogicalPlan;
 use gis_types::Result;

@@ -62,6 +62,12 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
                 keep,
             ))
         }
+        // Materialized rows are already local; narrowing them saves
+        // no traffic, so pass the node through unpruned.
+        leaf @ LogicalPlan::ViewScan { .. } => {
+            let n = leaf.schema().len();
+            Ok((leaf, (0..n).collect()))
+        }
         LogicalPlan::Filter { input, predicate } => {
             let mut need: BTreeSet<usize> = required.clone();
             need.extend(predicate.referenced_columns());

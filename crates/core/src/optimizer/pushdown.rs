@@ -132,7 +132,7 @@ fn push(plan: LogicalPlan, mut preds: Vec<ScalarExpr>) -> Result<LogicalPlan> {
             }
             Ok(LogicalPlan::TableScan(t))
         }
-        leaf @ LogicalPlan::Values { .. } => Ok(wrap(leaf, preds)),
+        leaf @ (LogicalPlan::Values { .. } | LogicalPlan::ViewScan { .. }) => Ok(wrap(leaf, preds)),
     }
 }
 

@@ -1,0 +1,414 @@
+//! Cost-gated materialized-view matching.
+//!
+//! Runs at *execution* time (not inside the optimizer pipeline): the
+//! federation rewrites an already-optimized plan, replacing any
+//! subtree a fresh view subsumes with a [`LogicalPlan::ViewScan`].
+//! Matching after optimization keeps it cheap and canonical — both
+//! the query and the view definition went through the same rule
+//! pipeline, so equivalent queries meet as structurally equal plans —
+//! and keeps view decisions out of the runtime's plan cache, where a
+//! cached choice could outlive the view's freshness.
+//!
+//! Two matching levels:
+//!
+//! 1. **Subtree equality** — any subtree structurally equal to the
+//!    view's plan (ignoring alias/qualifier names; expressions are
+//!    ordinal-based) is replaced wholesale.
+//! 2. **Scan subsumption** — a query `TableScan` is answered from a
+//!    view that scans the same source table with *weaker* filters and
+//!    a *wider* projection: the view's filters must be a subset of the
+//!    query's conjuncts, every column the query needs (output and
+//!    residual filters) must survive the view's projection, and the
+//!    view must not be truncated by a pushed fetch. Compensating
+//!    Filter/Projection/Limit operators are stacked on top.
+//!
+//! Every replacement passes a cost gate comparing the estimated bytes
+//! the subtree would ship over the WAN against the (heavily
+//! discounted) cost of scanning the view's rows in mediator memory.
+
+use crate::cost;
+use crate::plan::logical::{LogicalPlan, TableScanNode};
+use gis_types::Batch;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How much cheaper a mediator-local byte is than a WAN-shipped byte
+/// in the gate's single-currency comparison. A view only loses when
+/// its materialized size exceeds the subtree's estimated shipped
+/// bytes by this factor — e.g. a huge view versus a `LIMIT 3` probe.
+const WAN_TO_LOCAL_BYTE_RATIO: f64 = 64.0;
+
+/// A fresh (or just-refreshed) view offered to the matcher.
+#[derive(Debug, Clone)]
+pub struct ViewCandidate {
+    /// View name (for spans and metrics).
+    pub name: String,
+    /// The view's optimized plan.
+    pub plan: Arc<LogicalPlan>,
+    /// The materialized rows.
+    pub batch: Batch,
+}
+
+/// Rewrites `plan`, answering subtrees from `candidates` where a view
+/// subsumes them and wins the cost gate. Returns `None` when nothing
+/// matched; otherwise the rewritten plan plus the names of the views
+/// used (a view can be used more than once — self-joins).
+pub fn rewrite_with_views(
+    plan: &LogicalPlan,
+    candidates: &[ViewCandidate],
+) -> Option<(LogicalPlan, Vec<String>)> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut used = Vec::new();
+    let rewritten = rewrite(plan, candidates, &mut used);
+    if used.is_empty() {
+        None
+    } else {
+        Some((rewritten, used))
+    }
+}
+
+/// Dry-run: would any subtree of `plan` be answerable from a view
+/// with this plan, ignoring freshness and the cost gate? Used to
+/// decide whether an on-query-if-stale view is worth refreshing
+/// *before* paying for the refresh.
+pub fn would_match(plan: &LogicalPlan, view_plan: &LogicalPlan) -> bool {
+    if plans_equivalent(plan, view_plan) {
+        return true;
+    }
+    if let (LogicalPlan::TableScan(q), Some((v, v_ords))) = (plan, view_as_scan(view_plan)) {
+        if scan_subsumes(q, v, &v_ords) {
+            return true;
+        }
+    }
+    plan.children().iter().any(|c| would_match(c, view_plan))
+}
+
+fn rewrite(
+    plan: &LogicalPlan,
+    candidates: &[ViewCandidate],
+    used: &mut Vec<String>,
+) -> LogicalPlan {
+    for cand in candidates {
+        if let Some(replacement) = match_at(plan, cand) {
+            used.push(cand.name.clone());
+            return replacement;
+        }
+    }
+    rebuild_with_children(plan, candidates, used)
+}
+
+/// Tries to answer exactly this subtree from one candidate.
+fn match_at(plan: &LogicalPlan, cand: &ViewCandidate) -> Option<LogicalPlan> {
+    if plans_equivalent(plan, cand.plan.as_ref()) {
+        if !passes_cost_gate(plan, &cand.batch) {
+            return None;
+        }
+        // Adopt the query side's schema: columns match positionally,
+        // only alias/qualifier names may differ.
+        return Some(LogicalPlan::ViewScan {
+            name: cand.name.clone(),
+            schema: plan.schema().clone(),
+            batch: cand.batch.clone(),
+        });
+    }
+    if let (LogicalPlan::TableScan(q), Some((v, v_ords))) = (plan, view_as_scan(cand.plan.as_ref()))
+    {
+        if scan_subsumes(q, v, &v_ords) && passes_cost_gate(plan, &cand.batch) {
+            return Some(compensated_scan(q, v, &v_ords, cand));
+        }
+    }
+    None
+}
+
+/// A view plan seen as one source-table scan: the scan node plus the
+/// *global* ordinals of the view's output columns, in materialized
+/// column order. Looks through a top projection of bare column refs —
+/// the binder keeps one purely for output naming, and the optimizer's
+/// identity rule preserves it when the rename is observable.
+fn view_as_scan(plan: &LogicalPlan) -> Option<(&TableScanNode, Vec<usize>)> {
+    match plan {
+        LogicalPlan::TableScan(v) => Some((v, v.output_ordinals())),
+        LogicalPlan::Projection { input, exprs, .. } => {
+            if let LogicalPlan::TableScan(v) = input.as_ref() {
+                let scan_ords = v.output_ordinals();
+                let mut ords = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    match e {
+                        crate::expr::ScalarExpr::Column(i) => ords.push(*scan_ords.get(*i)?),
+                        _ => return None,
+                    }
+                }
+                Some((v, ords))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn rebuild_with_children(
+    plan: &LogicalPlan,
+    candidates: &[ViewCandidate],
+    used: &mut Vec<String>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::TableScan(_) | LogicalPlan::Values { .. } | LogicalPlan::ViewScan { .. } => {
+            plan.clone()
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite(input, candidates, used)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
+            input: Box::new(rewrite(input, candidates, used)),
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Join(j) => {
+            let mut j = j.clone();
+            j.left = Box::new(rewrite(&j.left, candidates, used));
+            j.right = Box::new(rewrite(&j.right, candidates, used));
+            LogicalPlan::Join(j)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite(input, candidates, used)),
+            group_exprs: group_exprs.clone(),
+            aggregates: aggregates.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite(input, candidates, used)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, skip, fetch } => LogicalPlan::Limit {
+            input: Box::new(rewrite(input, candidates, used)),
+            skip: *skip,
+            fetch: *fetch,
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .iter()
+                .map(|i| rewrite(i, candidates, used))
+                .collect(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(rewrite(input, candidates, used)),
+        },
+    }
+}
+
+/// The gate: estimated WAN bytes the subtree would ship versus the
+/// discounted cost of scanning the view's materialized bytes locally.
+fn passes_cost_gate(subtree: &LogicalPlan, batch: &Batch) -> bool {
+    let shipped = cost::estimate(subtree).total_bytes();
+    let local = batch.wire_size() as f64 / WAN_TO_LOCAL_BYTE_RATIO;
+    local <= shipped.max(1.0)
+}
+
+/// Structural plan equality modulo alias/qualifier names. Sound
+/// because every expression is ordinal-resolved and both plans went
+/// through the same optimizer pipeline.
+pub fn plans_equivalent(a: &LogicalPlan, b: &LogicalPlan) -> bool {
+    use LogicalPlan as L;
+    match (a, b) {
+        (L::TableScan(x), L::TableScan(y)) => {
+            x.resolved.mapping == y.resolved.mapping
+                && x.projection == y.projection
+                && x.filters == y.filters
+                && x.fetch == y.fetch
+        }
+        (
+            L::Filter {
+                input: ia,
+                predicate: pa,
+            },
+            L::Filter {
+                input: ib,
+                predicate: pb,
+            },
+        ) => pa == pb && plans_equivalent(ia, ib),
+        (
+            L::Projection {
+                input: ia,
+                exprs: ea,
+                ..
+            },
+            L::Projection {
+                input: ib,
+                exprs: eb,
+                ..
+            },
+        ) => ea == eb && plans_equivalent(ia, ib),
+        (L::Join(x), L::Join(y)) => {
+            x.kind == y.kind
+                && x.on == y.on
+                && plans_equivalent(&x.left, &y.left)
+                && plans_equivalent(&x.right, &y.right)
+        }
+        (
+            L::Aggregate {
+                input: ia,
+                group_exprs: ga,
+                aggregates: aa,
+                ..
+            },
+            L::Aggregate {
+                input: ib,
+                group_exprs: gb,
+                aggregates: ab,
+                ..
+            },
+        ) => ga == gb && aa == ab && plans_equivalent(ia, ib),
+        (
+            L::Sort {
+                input: ia,
+                keys: ka,
+            },
+            L::Sort {
+                input: ib,
+                keys: kb,
+            },
+        ) => ka == kb && plans_equivalent(ia, ib),
+        (
+            L::Limit {
+                input: ia,
+                skip: sa,
+                fetch: fa,
+            },
+            L::Limit {
+                input: ib,
+                skip: sb,
+                fetch: fb,
+            },
+        ) => sa == sb && fa == fb && plans_equivalent(ia, ib),
+        (L::Union { inputs: xa, .. }, L::Union { inputs: xb, .. }) => {
+            xa.len() == xb.len() && xa.iter().zip(xb).all(|(p, q)| plans_equivalent(p, q))
+        }
+        (L::Distinct { input: ia }, L::Distinct { input: ib }) => plans_equivalent(ia, ib),
+        (
+            L::Values {
+                schema: sa,
+                rows: ra,
+            },
+            L::Values {
+                schema: sb,
+                rows: rb,
+            },
+        ) => {
+            ra == rb
+                && sa.len() == sb.len()
+                && sa
+                    .fields()
+                    .iter()
+                    .zip(sb.fields())
+                    .all(|(f, g)| f.data_type == g.data_type)
+        }
+        // A ViewScan only appears in already-rewritten plans, which
+        // are never offered as candidates.
+        _ => false,
+    }
+}
+
+/// True when view scan `v` subsumes query scan `q`: same source
+/// table/mapping, the view untruncated, its filters a subset of the
+/// query's, and its projection wide enough for everything the query
+/// still needs.
+fn scan_subsumes(q: &TableScanNode, v: &TableScanNode, v_ords: &[usize]) -> bool {
+    if q.resolved.mapping != v.resolved.mapping || v.fetch.is_some() {
+        return false;
+    }
+    let residual = match residual_filters(q, v) {
+        Some(r) => r,
+        None => return false,
+    };
+    let covered = |g: usize| v_ords.contains(&g);
+    q.output_ordinals().iter().all(|g| covered(*g))
+        && residual
+            .iter()
+            .flat_map(|f| f.referenced_columns())
+            .all(covered)
+}
+
+/// The query conjuncts not already enforced by the view, or `None`
+/// when some view filter is *not* among the query's (the view rows
+/// would be missing data the query needs). Multiset semantics: each
+/// view conjunct consumes one matching query conjunct.
+fn residual_filters(q: &TableScanNode, v: &TableScanNode) -> Option<Vec<crate::expr::ScalarExpr>> {
+    let mut residual = q.filters.clone();
+    for vf in &v.filters {
+        let pos = residual.iter().position(|qf| qf == vf)?;
+        residual.remove(pos);
+    }
+    Some(residual)
+}
+
+/// Builds ViewScan + compensating Filter/Projection/Limit replacing
+/// query scan `q` answered from view scan `v`'s materialization.
+fn compensated_scan(
+    q: &TableScanNode,
+    v: &TableScanNode,
+    v_ords: &[usize],
+    cand: &ViewCandidate,
+) -> LogicalPlan {
+    // Position of each global ordinal within the view's output.
+    let pos: HashMap<usize, usize> = v_ords.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+
+    // The view's columns, presented under the query's alias so the
+    // compensating operators (and the final schema) keep the names
+    // the query expects.
+    let base = q.resolved.global_schema.requalify(&q.alias);
+    let view_schema = Arc::new(base.project(v_ords));
+    let mut plan = LogicalPlan::ViewScan {
+        name: cand.name.clone(),
+        schema: view_schema,
+        batch: cand.batch.clone(),
+    };
+
+    let residual = residual_filters(q, v).expect("checked by scan_subsumes");
+    if !residual.is_empty() {
+        let remapped: Vec<crate::expr::ScalarExpr> = residual
+            .into_iter()
+            .map(|f| f.remap_columns(&pos).expect("coverage checked"))
+            .collect();
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: crate::expr::ScalarExpr::conjunction(remapped)
+                .expect("residual is non-empty"),
+        };
+    }
+
+    let q_ords = q.output_ordinals();
+    if q_ords != v_ords {
+        let exprs: Vec<crate::expr::ScalarExpr> = q_ords
+            .iter()
+            .map(|g| crate::expr::ScalarExpr::col(pos[g]))
+            .collect();
+        plan = LogicalPlan::Projection {
+            input: Box::new(plan),
+            exprs,
+            schema: q.schema.clone(),
+        };
+    }
+
+    if let Some(n) = q.fetch {
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            skip: 0,
+            fetch: Some(n),
+        };
+    }
+    plan
+}

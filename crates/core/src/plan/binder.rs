@@ -38,6 +38,12 @@ impl Binder {
         match stmt {
             Statement::Query(q) => self.bind_query(q),
             Statement::Explain { statement, .. } => self.bind(statement),
+            Statement::CreateMaterializedView { .. }
+            | Statement::RefreshMaterializedView { .. }
+            | Statement::DropMaterializedView { .. } => Err(GisError::Analysis(
+                "materialized-view DDL has no logical plan; route it through Federation::query"
+                    .into(),
+            )),
         }
     }
 

@@ -116,6 +116,13 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
                 schema.len()
             );
         }
+        LogicalPlan::ViewScan { name, batch, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}ViewScan: {name} ({} materialized row(s))",
+                batch.num_rows()
+            );
+        }
     }
 }
 

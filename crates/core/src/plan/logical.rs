@@ -263,6 +263,19 @@ pub enum LogicalPlan {
         /// Row values.
         rows: Vec<Vec<Value>>,
     },
+    /// A scan of a mediator-side materialized view. Injected by the
+    /// view-matching rewrite at execution time — the binder never
+    /// produces it and the runtime plan cache never stores it, so a
+    /// cached plan cannot embed a possibly-stale view decision.
+    ViewScan {
+        /// The view's name.
+        name: String,
+        /// Output schema — taken from the replaced subtree, whose
+        /// columns positionally match the view's.
+        schema: SchemaRef,
+        /// The materialized rows, already at the mediator.
+        batch: gis_types::Batch,
+    },
 }
 
 impl LogicalPlan {
@@ -279,13 +292,16 @@ impl LogicalPlan {
             LogicalPlan::Union { schema, .. } => schema,
             LogicalPlan::Distinct { input } => input.schema(),
             LogicalPlan::Values { schema, .. } => schema,
+            LogicalPlan::ViewScan { schema, .. } => schema,
         }
     }
 
     /// Children of this node.
     pub fn children(&self) -> Vec<&LogicalPlan> {
         match self {
-            LogicalPlan::TableScan(_) | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::TableScan(_)
+            | LogicalPlan::Values { .. }
+            | LogicalPlan::ViewScan { .. } => vec![],
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Projection { input, .. }
             | LogicalPlan::Aggregate { input, .. }
@@ -397,6 +413,20 @@ impl LogicalPlan {
             .iter()
             .map(|c| c.node_count())
             .sum::<usize>()
+    }
+
+    /// Sorted, deduplicated lowercase names of the sources this plan
+    /// reads — the staleness/invalidation domain for caches and
+    /// materialized views built from it.
+    pub fn source_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .scans()
+            .iter()
+            .map(|t| t.resolved.source.name.to_ascii_lowercase())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
     }
 
     /// All TableScan nodes in the tree.

@@ -309,6 +309,89 @@ impl Runtime {
         for (name, version) in fed.data_versions() {
             expo.sample("gis_source_data_version", &[("source", &name)], version);
         }
+        let views = fed.view_gauges();
+        if !views.is_empty() {
+            expo.header(
+                "gis_view_fresh",
+                "gauge",
+                "1 when the materialized view is fresh, 0 when stale or empty",
+            );
+            for v in &views {
+                expo.sample(
+                    "gis_view_fresh",
+                    &[("view", &v.name), ("policy", &v.policy)],
+                    v.fresh,
+                );
+            }
+            expo.header(
+                "gis_view_lagging_sources",
+                "gauge",
+                "Sources whose data_version moved past the view's pinned snapshot",
+            );
+            for v in &views {
+                expo.sample(
+                    "gis_view_lagging_sources",
+                    &[("view", &v.name)],
+                    v.lagging_sources,
+                );
+            }
+            expo.header("gis_view_rows", "gauge", "Materialized rows per view");
+            for v in &views {
+                expo.sample("gis_view_rows", &[("view", &v.name)], v.rows);
+            }
+            expo.header(
+                "gis_view_bytes",
+                "gauge",
+                "Materialized wire bytes per view",
+            );
+            for v in &views {
+                expo.sample("gis_view_bytes", &[("view", &v.name)], v.bytes);
+            }
+            expo.header(
+                "gis_view_hits_total",
+                "counter",
+                "Queries answered (in part) from this view",
+            );
+            for v in &views {
+                expo.sample("gis_view_hits_total", &[("view", &v.name)], v.hits);
+            }
+            expo.header(
+                "gis_view_stale_skips_total",
+                "counter",
+                "Matches the rewriter declined because the view was stale",
+            );
+            for v in &views {
+                expo.sample(
+                    "gis_view_stale_skips_total",
+                    &[("view", &v.name)],
+                    v.stale_skips,
+                );
+            }
+            expo.header(
+                "gis_view_refreshes_total",
+                "counter",
+                "Completed (re-)materializations per view",
+            );
+            for v in &views {
+                expo.sample(
+                    "gis_view_refreshes_total",
+                    &[("view", &v.name)],
+                    v.refreshes,
+                );
+            }
+            expo.header(
+                "gis_view_refresh_rows_total",
+                "counter",
+                "Cumulative rows shipped by refreshes (the refresh cost)",
+            );
+            for v in &views {
+                expo.sample(
+                    "gis_view_refresh_rows_total",
+                    &[("view", &v.name)],
+                    v.refresh_rows,
+                );
+            }
+        }
         expo.render()
     }
 

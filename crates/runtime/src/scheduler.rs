@@ -149,6 +149,10 @@ pub(crate) struct Shared {
 /// The worker loop: pop, account queue wait, execute, reply.
 pub(crate) fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        // Interval view refreshes ride the worker loop: the virtual
+        // clock only advances with query activity, so a wall-clock
+        // timer thread could never pace it. Cheap when nothing is due.
+        shared.federation.maintain_views();
         let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
         let result = run_job(shared, &job, queue_wait_us);
         match &result {
@@ -244,7 +248,11 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
         plan_fp,
         exec_fp: debug_fingerprint(&exec),
     };
-    let versions = shared.federation.data_versions();
+    // Pin only the sources this plan actually reads: a write to an
+    // unrelated source must not evict (or block reuse of) the entry.
+    // Get and put use the same plan-derived set, so the map compares
+    // exactly.
+    let versions = shared.federation.data_versions_for(&plan.source_names());
     if job.use_result_cache {
         if let Some(batch) = shared
             .result_cache

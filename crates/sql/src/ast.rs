@@ -22,6 +22,25 @@ pub enum Statement {
         /// The statement being explained.
         statement: Box<Statement>,
     },
+    /// `CREATE MATERIALIZED VIEW <name> AS <query>` — materialize the
+    /// query result at the mediator under a reusable name.
+    CreateMaterializedView {
+        /// View name (unqualified; views live at the mediator).
+        name: String,
+        /// The defining query.
+        query: Box<Query>,
+    },
+    /// `REFRESH MATERIALIZED VIEW <name>` — re-run the view's plan and
+    /// replace its materialized rows.
+    RefreshMaterializedView {
+        /// View name.
+        name: String,
+    },
+    /// `DROP MATERIALIZED VIEW <name>` — forget the view.
+    DropMaterializedView {
+        /// View name.
+        name: String,
+    },
 }
 
 /// A query expression: set-op body plus ordering and limits.

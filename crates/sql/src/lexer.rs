@@ -146,6 +146,11 @@ const KEYWORDS: &[&str] = &[
     "DATE",
     "TIMESTAMP",
     "INTERVAL",
+    "CREATE",
+    "MATERIALIZED",
+    "VIEW",
+    "REFRESH",
+    "DROP",
 ];
 
 /// A token plus its byte offset in the source.

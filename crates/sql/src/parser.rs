@@ -165,7 +165,62 @@ impl Parser {
                 statement: Box::new(inner),
             });
         }
+        if self.peek_keyword("CREATE") {
+            return self.parse_create_materialized_view();
+        }
+        if self.peek_keyword("REFRESH") {
+            return self.parse_refresh_materialized_view();
+        }
+        if self.peek_keyword("DROP") {
+            return self.parse_drop_materialized_view();
+        }
         Ok(Statement::Query(self.parse_query()?))
+    }
+
+    /// Parses `CREATE MATERIALIZED VIEW name AS query`.
+    fn parse_create_materialized_view(&mut self) -> Result<Statement> {
+        self.expect_keyword("CREATE")?;
+        if !self.consume_keyword("MATERIALIZED") {
+            return Err(self.error("expected MATERIALIZED after CREATE"));
+        }
+        self.expect_keyword("VIEW")?;
+        let name = self
+            .expect_ident()
+            .map_err(|_| self.error("expected view name after CREATE MATERIALIZED VIEW"))?;
+        if !self.consume_keyword("AS") {
+            return Err(self.error("expected AS after view name"));
+        }
+        let query = self.parse_query()?;
+        Ok(Statement::CreateMaterializedView {
+            name,
+            query: Box::new(query),
+        })
+    }
+
+    /// Parses `REFRESH MATERIALIZED VIEW name`.
+    fn parse_refresh_materialized_view(&mut self) -> Result<Statement> {
+        self.expect_keyword("REFRESH")?;
+        if !self.consume_keyword("MATERIALIZED") {
+            return Err(self.error("expected MATERIALIZED after REFRESH"));
+        }
+        self.expect_keyword("VIEW")?;
+        let name = self
+            .expect_ident()
+            .map_err(|_| self.error("expected view name after REFRESH MATERIALIZED VIEW"))?;
+        Ok(Statement::RefreshMaterializedView { name })
+    }
+
+    /// Parses `DROP MATERIALIZED VIEW name`.
+    fn parse_drop_materialized_view(&mut self) -> Result<Statement> {
+        self.expect_keyword("DROP")?;
+        if !self.consume_keyword("MATERIALIZED") {
+            return Err(self.error("expected MATERIALIZED after DROP"));
+        }
+        self.expect_keyword("VIEW")?;
+        let name = self
+            .expect_ident()
+            .map_err(|_| self.error("expected view name after DROP MATERIALIZED VIEW"))?;
+        Ok(Statement::DropMaterializedView { name })
     }
 
     /// Parses a query expression.

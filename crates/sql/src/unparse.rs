@@ -18,6 +18,15 @@ pub fn statement_to_sql(stmt: &Statement) -> String {
             let a = if *analyze { "ANALYZE " } else { "" };
             format!("EXPLAIN {a}{}", statement_to_sql(statement))
         }
+        Statement::CreateMaterializedView { name, query } => {
+            format!("CREATE MATERIALIZED VIEW {name} AS {}", query_to_sql(query))
+        }
+        Statement::RefreshMaterializedView { name } => {
+            format!("REFRESH MATERIALIZED VIEW {name}")
+        }
+        Statement::DropMaterializedView { name } => {
+            format!("DROP MATERIALIZED VIEW {name}")
+        }
     }
 }
 

@@ -1,0 +1,531 @@
+//! # gis-views — mediator-side materialized views
+//!
+//! A federated mediator sits between a global schema and slow,
+//! autonomous sources; the single biggest lever against WAN cost is
+//! keeping query results *at the mediator* and answering later queries
+//! from them. This crate provides that layer: named materialized
+//! views, each defined by a global SQL query, holding a columnar
+//! [`Batch`] plus the per-source `data_version`s that were current
+//! when it was built.
+//!
+//! Staleness is tracked against **exactly the sources the view's plan
+//! reads** — a write to an unrelated source never invalidates a view.
+//! A stale view is not discarded: its definition (SQL + optimized
+//! plan) stays registered and a refresh simply re-runs the plan, so
+//! the cost of surviving a source write is proportional to the view's
+//! own fragment, not to the whole workload.
+//!
+//! The crate is deliberately plan-agnostic: [`ViewRegistry<P>`] is
+//! generic over the engine's plan type so it can live below `gis-core`
+//! in the dependency graph. `gis-core` instantiates it with its
+//! `LogicalPlan` and implements matching/rewriting; `gis-runtime`
+//! drives interval refreshes and exports the gauges.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use gis_types::{Batch, GisError, Result, SchemaRef};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// When a view's materialized rows are brought up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPolicy {
+    /// Only an explicit `REFRESH MATERIALIZED VIEW` re-materializes.
+    /// A stale view is skipped by the matcher until then.
+    Manual,
+    /// A query that would be answered from this view refreshes it
+    /// first if it is stale, then uses it.
+    OnQueryIfStale,
+    /// The runtime re-materializes the view every `every_us`
+    /// microseconds of *virtual* (simulated-WAN clock) time, but only
+    /// when the pinned source versions actually moved.
+    Interval {
+        /// Refresh period in virtual microseconds.
+        every_us: u64,
+    },
+}
+
+impl RefreshPolicy {
+    /// Short label used in gauges and status rows.
+    pub fn label(&self) -> String {
+        match self {
+            RefreshPolicy::Manual => "manual".into(),
+            RefreshPolicy::OnQueryIfStale => "on-query".into(),
+            RefreshPolicy::Interval { every_us } => format!("interval({every_us}us)"),
+        }
+    }
+}
+
+/// Freshness of a view's materialized rows relative to the current
+/// per-source `data_version`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Staleness {
+    /// Every source the view reads is still at the pinned version.
+    Fresh,
+    /// At least one source moved past the pinned version.
+    Stale {
+        /// Sources whose `data_version` no longer matches the pin.
+        lagging: Vec<String>,
+    },
+    /// The view has never been materialized (or was explicitly
+    /// invalidated) — there are no rows to serve.
+    Empty,
+}
+
+impl Staleness {
+    /// True only for [`Staleness::Fresh`].
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, Staleness::Fresh)
+    }
+}
+
+/// The materialized rows plus the provenance needed to judge them.
+#[derive(Debug, Clone)]
+pub struct MaterializedData {
+    /// The view's rows, in the schema of its defining query.
+    pub batch: Batch,
+    /// `data_version` of each source the plan read, captured *before*
+    /// the refresh executed — a write racing the refresh therefore
+    /// leaves the view stale rather than falsely fresh.
+    pub versions: BTreeMap<String, u64>,
+    /// Virtual-clock timestamp when the refresh completed.
+    pub built_at_us: u64,
+    /// Monotonic refresh counter (1 = initial materialization).
+    pub refresh_seq: u64,
+}
+
+/// The compiled side of a view: its optimized plan and what the plan
+/// reads. Replaced wholesale when the catalog version moves and the
+/// definition is re-bound.
+#[derive(Debug)]
+pub struct CompiledView<P> {
+    /// The engine's optimized plan for the defining query.
+    pub plan: Arc<P>,
+    /// Output schema of the defining query.
+    pub schema: SchemaRef,
+    /// Sorted, deduplicated lowercase names of the sources the plan
+    /// scans — the staleness domain.
+    pub sources: Vec<String>,
+    /// Catalog version the plan was bound against; a mismatch means
+    /// the plan (not just the rows) is out of date.
+    pub catalog_version: u64,
+}
+
+// Manual impl: the plan is behind an `Arc`, so cloning never needs
+// `P: Clone` (derive would demand it anyway).
+impl<P> Clone for CompiledView<P> {
+    fn clone(&self) -> Self {
+        CompiledView {
+            plan: self.plan.clone(),
+            schema: self.schema.clone(),
+            sources: self.sources.clone(),
+            catalog_version: self.catalog_version,
+        }
+    }
+}
+
+/// One named materialized view.
+///
+/// Generic over the engine's plan type `P`; this crate never inspects
+/// the plan, it only stores it alongside the rows and the staleness
+/// bookkeeping.
+#[derive(Debug)]
+pub struct MaterializedView<P> {
+    name: String,
+    sql: String,
+    policy: RefreshPolicy,
+    compiled: RwLock<CompiledView<P>>,
+    data: RwLock<Option<MaterializedData>>,
+    hits: AtomicU64,
+    stale_skips: AtomicU64,
+    refreshes: AtomicU64,
+    refresh_rows: AtomicU64,
+}
+
+impl<P> MaterializedView<P> {
+    /// A new, not-yet-materialized view.
+    pub fn new(
+        name: impl Into<String>,
+        sql: impl Into<String>,
+        policy: RefreshPolicy,
+        compiled: CompiledView<P>,
+    ) -> Self {
+        MaterializedView {
+            name: name.into(),
+            sql: sql.into(),
+            policy,
+            compiled: RwLock::new(compiled),
+            data: RwLock::new(None),
+            hits: AtomicU64::new(0),
+            stale_skips: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+            refresh_rows: AtomicU64::new(0),
+        }
+    }
+
+    /// The view's name (lowercase, mediator-scoped).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The defining SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The refresh policy.
+    pub fn policy(&self) -> RefreshPolicy {
+        self.policy
+    }
+
+    /// Snapshot of the compiled plan side.
+    pub fn compiled(&self) -> CompiledView<P> {
+        self.compiled.read().clone()
+    }
+
+    /// Replaces the compiled plan (after a catalog change re-bind).
+    pub fn recompile(&self, compiled: CompiledView<P>) {
+        *self.compiled.write() = compiled;
+    }
+
+    /// Snapshot of the materialized rows, if any.
+    pub fn data(&self) -> Option<MaterializedData> {
+        self.data.read().clone()
+    }
+
+    /// Judges the materialized rows against the sources' *current*
+    /// `data_version`s. A source missing from `current` (dropped from
+    /// the federation) counts as lagging.
+    pub fn staleness(&self, current: &BTreeMap<String, u64>) -> Staleness {
+        let guard = self.data.read();
+        let Some(data) = guard.as_ref() else {
+            return Staleness::Empty;
+        };
+        let lagging: Vec<String> = data
+            .versions
+            .iter()
+            .filter(|(src, pinned)| current.get(*src) != Some(pinned))
+            .map(|(src, _)| src.clone())
+            .collect();
+        if lagging.is_empty() {
+            Staleness::Fresh
+        } else {
+            Staleness::Stale { lagging }
+        }
+    }
+
+    /// Installs freshly materialized rows. `versions` must have been
+    /// captured before the refresh ran (see [`MaterializedData`]).
+    pub fn install(&self, batch: Batch, versions: BTreeMap<String, u64>, built_at_us: u64) {
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.refresh_rows
+            .fetch_add(batch.num_rows() as u64, Ordering::Relaxed);
+        let mut guard = self.data.write();
+        let seq = guard.as_ref().map(|d| d.refresh_seq).unwrap_or(0) + 1;
+        *guard = Some(MaterializedData {
+            batch,
+            versions,
+            built_at_us,
+            refresh_seq: seq,
+        });
+    }
+
+    /// Re-arms the interval timer without re-materializing — used when
+    /// an interval fires but no pinned source version moved.
+    pub fn touch(&self, now_us: u64) {
+        if let Some(data) = self.data.write().as_mut() {
+            data.built_at_us = now_us;
+        }
+    }
+
+    /// True when an [`RefreshPolicy::Interval`] view's period has
+    /// elapsed (or it was never materialized).
+    pub fn interval_due(&self, now_us: u64) -> bool {
+        let RefreshPolicy::Interval { every_us } = self.policy else {
+            return false;
+        };
+        match self.data.read().as_ref() {
+            None => true,
+            Some(d) => now_us >= d.built_at_us.saturating_add(every_us),
+        }
+    }
+
+    /// Records that the matcher answered a query from this view.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that the matcher would have used this view but skipped
+    /// it because it was stale (and the policy forbade refreshing).
+    pub fn record_stale_skip(&self) {
+        self.stale_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot: (hits, stale skips, refreshes, rows refreshed).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.stale_skips.load(Ordering::Relaxed),
+            self.refreshes.load(Ordering::Relaxed),
+            self.refresh_rows.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One row of the registry's observability export, rendered by the
+/// runtime as `gis_view_*` gauges.
+#[derive(Debug, Clone)]
+pub struct ViewGauges {
+    /// View name.
+    pub name: String,
+    /// Refresh policy label.
+    pub policy: String,
+    /// 1 when fresh, 0 when stale or empty.
+    pub fresh: u64,
+    /// Number of sources whose `data_version` moved past the pin.
+    pub lagging_sources: u64,
+    /// Materialized row count (0 when empty).
+    pub rows: u64,
+    /// Materialized wire size in bytes (0 when empty).
+    pub bytes: u64,
+    /// Queries answered from this view.
+    pub hits: u64,
+    /// Times the matcher skipped this view because it was stale.
+    pub stale_skips: u64,
+    /// Completed (re-)materializations.
+    pub refreshes: u64,
+    /// Cumulative rows shipped by refreshes — the refresh cost.
+    pub refresh_rows: u64,
+}
+
+/// The named-view registry a `Federation` owns.
+#[derive(Debug, Default)]
+pub struct ViewRegistry<P> {
+    views: RwLock<BTreeMap<String, Arc<MaterializedView<P>>>>,
+}
+
+impl<P> ViewRegistry<P> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ViewRegistry {
+            views: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers `view` under its (lowercased) name. Errors if the
+    /// name is taken.
+    pub fn insert(&self, view: MaterializedView<P>) -> Result<Arc<MaterializedView<P>>> {
+        let key = view.name().to_ascii_lowercase();
+        let mut guard = self.views.write();
+        if guard.contains_key(&key) {
+            return Err(GisError::Catalog(format!(
+                "materialized view '{key}' already exists"
+            )));
+        }
+        let arc = Arc::new(view);
+        guard.insert(key, arc.clone());
+        Ok(arc)
+    }
+
+    /// Looks up a view by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<Arc<MaterializedView<P>>> {
+        self.views.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Drops a view. Errors if it does not exist.
+    pub fn remove(&self, name: &str) -> Result<Arc<MaterializedView<P>>> {
+        self.views
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| GisError::Catalog(format!("unknown materialized view '{name}'")))
+    }
+
+    /// All views, in name order.
+    pub fn all(&self) -> Vec<Arc<MaterializedView<P>>> {
+        self.views.read().values().cloned().collect()
+    }
+
+    /// Registered view names, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.views.read().keys().cloned().collect()
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.read().len()
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.read().is_empty()
+    }
+
+    /// Observability snapshot judged against `current` source
+    /// versions.
+    pub fn gauges(&self, current: &BTreeMap<String, u64>) -> Vec<ViewGauges> {
+        self.all()
+            .iter()
+            .map(|v| {
+                let (hits, stale_skips, refreshes, refresh_rows) = v.counters();
+                let staleness = v.staleness(current);
+                let (rows, bytes) = v
+                    .data()
+                    .map(|d| (d.batch.num_rows() as u64, d.batch.wire_size() as u64))
+                    .unwrap_or((0, 0));
+                ViewGauges {
+                    name: v.name().to_string(),
+                    policy: v.policy().label(),
+                    fresh: u64::from(staleness.is_fresh()),
+                    lagging_sources: match &staleness {
+                        Staleness::Stale { lagging } => lagging.len() as u64,
+                        _ => 0,
+                    },
+                    rows,
+                    bytes,
+                    hits,
+                    stale_skips,
+                    refreshes,
+                    refresh_rows,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_types::{Array, DataType, Field, Schema, Value};
+
+    fn batch(n: usize) -> Batch {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let values: Vec<Value> = (0..n as i64).map(Value::Int64).collect();
+        let col = Array::from_values(DataType::Int64, &values).unwrap();
+        Batch::try_new(schema, vec![col]).unwrap()
+    }
+
+    fn compiled(sources: &[&str]) -> CompiledView<()> {
+        CompiledView {
+            plan: Arc::new(()),
+            schema: Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)])),
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+            catalog_version: 1,
+        }
+    }
+
+    fn versions(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(s, v)| (s.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn staleness_tracks_only_pinned_sources() {
+        let v = MaterializedView::new("v", "SELECT x", RefreshPolicy::Manual, compiled(&["crm"]));
+        assert_eq!(v.staleness(&versions(&[("crm", 1)])), Staleness::Empty);
+        v.install(batch(3), versions(&[("crm", 1)]), 10);
+        // Fresh while crm stays put — even if an unrelated source moves.
+        assert!(v
+            .staleness(&versions(&[("crm", 1), ("sales", 99)]))
+            .is_fresh());
+        // A crm write makes it stale and names the lagging source.
+        assert_eq!(
+            v.staleness(&versions(&[("crm", 2), ("sales", 99)])),
+            Staleness::Stale {
+                lagging: vec!["crm".into()]
+            }
+        );
+        // A dropped source also counts as lagging.
+        assert_eq!(
+            v.staleness(&versions(&[("sales", 99)])),
+            Staleness::Stale {
+                lagging: vec!["crm".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn install_bumps_refresh_seq_and_counters() {
+        let v = MaterializedView::new("v", "SELECT x", RefreshPolicy::Manual, compiled(&["crm"]));
+        v.install(batch(3), versions(&[("crm", 1)]), 10);
+        v.install(batch(5), versions(&[("crm", 2)]), 20);
+        let d = v.data().unwrap();
+        assert_eq!(d.refresh_seq, 2);
+        assert_eq!(d.batch.num_rows(), 5);
+        let (hits, skips, refreshes, rows) = v.counters();
+        assert_eq!((hits, skips, refreshes, rows), (0, 0, 2, 8));
+    }
+
+    #[test]
+    fn interval_due_respects_virtual_clock() {
+        let v = MaterializedView::new(
+            "v",
+            "SELECT x",
+            RefreshPolicy::Interval { every_us: 100 },
+            compiled(&["crm"]),
+        );
+        assert!(v.interval_due(0), "never materialized => due");
+        v.install(batch(1), versions(&[("crm", 1)]), 50);
+        assert!(!v.interval_due(149));
+        assert!(v.interval_due(150));
+        // touch() re-arms without a refresh.
+        v.touch(200);
+        assert!(!v.interval_due(299));
+        assert!(v.interval_due(300));
+        // Non-interval policies are never "due".
+        let m = MaterializedView::new("m", "SELECT x", RefreshPolicy::Manual, compiled(&["crm"]));
+        assert!(!m.interval_due(1_000_000));
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let reg: ViewRegistry<()> = ViewRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert(MaterializedView::new(
+            "Sales_By_Region",
+            "SELECT x",
+            RefreshPolicy::Manual,
+            compiled(&["sales"]),
+        ))
+        .unwrap();
+        // Case-insensitive: duplicate under any casing is rejected.
+        let dup = reg.insert(MaterializedView::new(
+            "sales_by_region",
+            "SELECT x",
+            RefreshPolicy::Manual,
+            compiled(&["sales"]),
+        ));
+        assert!(dup.is_err());
+        assert_eq!(reg.names(), vec!["sales_by_region".to_string()]);
+        assert!(reg.get("SALES_BY_REGION").is_some());
+        reg.remove("sales_by_region").unwrap();
+        assert!(reg.remove("sales_by_region").is_err());
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn gauges_reflect_state() {
+        let reg: ViewRegistry<()> = ViewRegistry::new();
+        let v = reg
+            .insert(MaterializedView::new(
+                "v",
+                "SELECT x",
+                RefreshPolicy::OnQueryIfStale,
+                compiled(&["crm"]),
+            ))
+            .unwrap();
+        v.install(batch(4), versions(&[("crm", 1)]), 10);
+        v.record_hit();
+        v.record_hit();
+        v.record_stale_skip();
+        let g = &reg.gauges(&versions(&[("crm", 2)]))[0];
+        assert_eq!(g.name, "v");
+        assert_eq!(g.fresh, 0);
+        assert_eq!(g.lagging_sources, 1);
+        assert_eq!(g.rows, 4);
+        assert!(g.bytes > 0);
+        assert_eq!((g.hits, g.stale_skips, g.refreshes), (2, 1, 1));
+        assert_eq!(g.policy, "on-query");
+    }
+}

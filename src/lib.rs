@@ -19,6 +19,7 @@
 //! | [`observe`] | `gis-observe` | operator spans, EXPLAIN ANALYZE trees, metrics text |
 //! | [`adapters`] | `gis-adapters` | source wrappers + fragment protocol |
 //! | [`core`] | `gis-core` | binder, optimizer, executor, federation façade |
+//! | [`views`] | `gis-views` | materialized views, staleness tracking, refresh policies |
 //! | [`runtime`] | `gis-runtime` | sessions, scheduling, plan/result caches |
 //! | [`datagen`] | `gis-datagen` | deterministic FedMart workloads |
 //!
@@ -55,6 +56,7 @@ pub use gis_runtime as runtime;
 pub use gis_sql as sql;
 pub use gis_storage as storage;
 pub use gis_types as types;
+pub use gis_views as views;
 
 /// The most common imports for downstream users.
 pub mod prelude {
@@ -72,4 +74,5 @@ pub mod prelude {
     pub use gis_runtime::{Priority, Runtime, RuntimeConfig, Session};
     pub use gis_storage::{ColumnStore, KvStore, RowStore};
     pub use gis_types::{Batch, DataType, Field, GisError, Result, Schema, Value};
+    pub use gis_views::{RefreshPolicy, Staleness, ViewGauges};
 }

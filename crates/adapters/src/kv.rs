@@ -71,6 +71,22 @@ impl KvAdapter {
         GisError::Storage(format!("source '{}' has no table '{table}'", self.name))
     }
 
+    /// True when `v` can be an order-preserving encoded key component.
+    /// Float64 (e.g. a folded `x < 831 / 7` bound) is not: the byte
+    /// encoding has no float form, and a fractional bound on an
+    /// integer key would not be order-exact — such predicates stay
+    /// mediator-side residuals over a wider scan.
+    fn key_encodable(v: &Value) -> bool {
+        matches!(
+            v,
+            Value::Int32(_)
+                | Value::Int64(_)
+                | Value::Date(_)
+                | Value::Timestamp(_)
+                | Value::Utf8(_)
+        )
+    }
+
     /// Classifies predicates into the natively servable plan:
     /// `(eq_prefix_len, range_low, range_high, accepted_mask)`.
     fn classify(
@@ -81,9 +97,9 @@ impl KvAdapter {
         // Longest all-equality key prefix.
         let mut prefix: Vec<Value> = Vec::new();
         for key_col in 0..key_width {
-            let found = predicates
-                .iter()
-                .position(|p| p.column == key_col && p.op == CmpOp::Eq);
+            let found = predicates.iter().position(|p| {
+                p.column == key_col && p.op == CmpOp::Eq && Self::key_encodable(&p.value)
+            });
             match found {
                 Some(i) => {
                     accepted[i] = true;
@@ -97,7 +113,7 @@ impl KvAdapter {
         let mut hi = None;
         if prefix.is_empty() {
             for (i, p) in predicates.iter().enumerate() {
-                if p.column != 0 {
+                if p.column != 0 || !Self::key_encodable(&p.value) {
                     continue;
                 }
                 match p.op {

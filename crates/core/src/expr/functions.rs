@@ -249,15 +249,21 @@ impl ScalarFunc {
                     return Ok(Value::Null);
                 }
                 let s: Vec<char> = req_str(&args[0], "substr")?.chars().collect();
-                let start = args[1].as_i64()?.unwrap_or(1).max(1) as usize - 1;
-                let len = if args.len() == 3 {
-                    args[2].as_i64()?.unwrap_or(0).max(0) as usize
+                // SQL (Postgres) semantics: `start` is 1-based and may
+                // be zero or negative, in which case the window
+                // [start, start+len) still begins there — positions
+                // before the string consume length budget without
+                // producing characters: substr('hello', -1, 3) = 'h'.
+                let from = args[1].as_i64()?.unwrap_or(1).saturating_sub(1);
+                let until = if args.len() == 3 {
+                    let len = args[2].as_i64()?.unwrap_or(0).max(0);
+                    from.saturating_add(len)
                 } else {
-                    usize::MAX
+                    i64::MAX
                 };
-                let end = start.saturating_add(len).min(s.len());
-                let start = start.min(s.len());
-                Value::Utf8(s[start..end].iter().collect())
+                let lo = from.clamp(0, s.len() as i64) as usize;
+                let hi = until.clamp(0, s.len() as i64) as usize;
+                Value::Utf8(s[lo..hi].iter().collect())
             }
             ScalarFunc::Coalesce => args
                 .iter()
@@ -277,20 +283,51 @@ impl ScalarFunc {
                 } else {
                     0
                 };
-                let scale = 10f64.powi(digits as i32);
-                Value::Float64((x * scale).round() / scale)
+                // The scale 10^digits must stay a finite f64: past
+                // ±308 it overflows/underflows and the old
+                // `x·∞/∞` path produced NaN (and `digits as i32`
+                // wrapped for |digits| > i32::MAX). Digits beyond that
+                // range decide the rounding directly: finer than f64
+                // precision is an identity, coarser than any
+                // representable magnitude is zero.
+                let rounded = if !x.is_finite() || digits > 308 {
+                    x
+                } else if digits < -308 {
+                    // Every finite f64 is below 10^309.
+                    0.0 * x.signum()
+                } else {
+                    let scale = 10f64.powi(digits as i32);
+                    let scaled = x * scale;
+                    if !scaled.is_finite() {
+                        // Overflow requires digits ≥ 1 and |x| ≫ 2^53:
+                        // x has no fractional part, so rounding at a
+                        // positive digit position is an identity.
+                        x
+                    } else {
+                        let r = scaled.round() / scale;
+                        if r.is_finite() {
+                            r
+                        } else {
+                            // digits < 0 rounded |x| up past f64::MAX.
+                            return Err(GisError::Execution(format!(
+                                "round({x}, {digits}) overflows double precision"
+                            )));
+                        }
+                    }
+                };
+                Value::Float64(rounded)
             }
             ScalarFunc::Floor => {
                 if null_in(1) {
                     return Ok(Value::Null);
                 }
-                Value::Int64(req_num(&args[0], "floor")?.floor() as i64)
+                Value::Int64(float_to_i64(req_num(&args[0], "floor")?.floor(), "floor")?)
             }
             ScalarFunc::Ceil => {
                 if null_in(1) {
                     return Ok(Value::Null);
                 }
-                Value::Int64(req_num(&args[0], "ceil")?.ceil() as i64)
+                Value::Int64(float_to_i64(req_num(&args[0], "ceil")?.ceil(), "ceil")?)
             }
             ScalarFunc::NullIf => {
                 if args[0].is_null() {
@@ -352,6 +389,22 @@ impl ScalarFunc {
                 Value::Float64(req_num(&args[0], "sqrt")?.sqrt())
             }
         })
+    }
+}
+
+/// Converts an already-rounded float to `i64`, erroring when the value
+/// falls outside the representable range. A bare `as` cast would
+/// silently saturate — a wrong result, where an error is honest.
+fn float_to_i64(v: f64, func: &str) -> Result<i64> {
+    // 2^63 is exactly representable as f64; i64::MAX is not (it
+    // rounds up to 2^63), so the in-range test is a half-open
+    // interval. NaN fails both comparisons and errors too.
+    if (-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0).contains(&v) {
+        Ok(v as i64)
+    } else {
+        Err(GisError::Execution(format!(
+            "{func}() result {v} is outside the bigint range"
+        )))
     }
 }
 
@@ -443,6 +496,81 @@ mod tests {
             ScalarFunc::Sqrt.eval(&[Value::Int64(9)]).unwrap(),
             Value::Float64(3.0)
         );
+    }
+
+    #[test]
+    fn substr_negative_and_zero_starts() {
+        let substr = |s: &str, args: &[i64]| {
+            let mut v = vec![Value::Utf8(s.into())];
+            v.extend(args.iter().map(|&a| Value::Int64(a)));
+            ScalarFunc::Substr.eval(&v).unwrap()
+        };
+        // The window starts before the string; its length budget is
+        // consumed by the virtual positions (Postgres semantics).
+        assert_eq!(substr("hello", &[-1, 3]), Value::Utf8("h".into()));
+        assert_eq!(substr("hello", &[0, 3]), Value::Utf8("he".into()));
+        assert_eq!(substr("hello", &[-2, 2]), Value::Utf8("".into()));
+        // Without a length the whole string survives.
+        assert_eq!(substr("hello", &[-10]), Value::Utf8("hello".into()));
+        assert_eq!(substr("hello", &[0]), Value::Utf8("hello".into()));
+        // Character (not byte) positions for multibyte text.
+        assert_eq!(substr("héllo", &[-1, 3]), Value::Utf8("h".into()));
+        // Extremes must not panic or wrap.
+        assert_eq!(substr("hi", &[i64::MIN, 3]), Value::Utf8("".into()));
+        assert_eq!(substr("hi", &[i64::MIN]), Value::Utf8("hi".into()));
+        assert_eq!(substr("hi", &[2, i64::MAX]), Value::Utf8("i".into()));
+        assert_eq!(substr("hi", &[1, -5]), Value::Utf8("".into()));
+    }
+
+    #[test]
+    fn floor_ceil_error_outside_i64_range() {
+        for f in [ScalarFunc::Floor, ScalarFunc::Ceil] {
+            assert!(f.eval(&[Value::Float64(1e300)]).is_err());
+            assert!(f.eval(&[Value::Float64(-1e300)]).is_err());
+            assert!(f.eval(&[Value::Float64(f64::INFINITY)]).is_err());
+            assert!(f.eval(&[Value::Float64(f64::NAN)]).is_err());
+            // i64::MAX as f64 rounds up to 2^63, which is out of range.
+            assert!(f.eval(&[Value::Float64(i64::MAX as f64)]).is_err());
+            // 2^63 - 1024 is representable and in range.
+            assert_eq!(
+                f.eval(&[Value::Float64(9_223_372_036_854_774_784.0)])
+                    .unwrap(),
+                Value::Int64(9_223_372_036_854_774_784)
+            );
+            assert_eq!(
+                f.eval(&[Value::Float64(i64::MIN as f64)]).unwrap(),
+                Value::Int64(i64::MIN)
+            );
+        }
+        assert_eq!(
+            ScalarFunc::Floor.eval(&[Value::Float64(2.9)]).unwrap(),
+            Value::Int64(2)
+        );
+    }
+
+    #[test]
+    fn round_extreme_digits() {
+        let round = |x: f64, d: i64| {
+            ScalarFunc::Round
+                .eval(&[Value::Float64(x), Value::Int64(d)])
+                .unwrap()
+        };
+        // Pre-fix: `digits as i32` wrapped 4·10^9 to a negative scale
+        // and produced NaN via 0/0; 10^12 digits overflowed to ∞/∞.
+        assert_eq!(round(2.345, 4_000_000_000), Value::Float64(2.345));
+        assert_eq!(round(2.345, 1_000_000_000_000), Value::Float64(2.345));
+        assert_eq!(round(2.345, 400), Value::Float64(2.345));
+        // Coarser than any representable magnitude rounds to zero.
+        assert_eq!(round(5.0, -1_000), Value::Float64(0.0));
+        assert_eq!(round(5.0, -4_000_000_000), Value::Float64(0.0));
+        // Ordinary negative digits still work.
+        assert_eq!(round(123.456, -2), Value::Float64(100.0));
+        // Non-finite inputs pass through.
+        assert_eq!(round(f64::INFINITY, 2), Value::Float64(f64::INFINITY));
+        // Rounding up past f64::MAX is an error, not ∞.
+        assert!(ScalarFunc::Round
+            .eval(&[Value::Float64(1.7e308), Value::Int64(-308)])
+            .is_err());
     }
 
     #[test]

@@ -9,17 +9,26 @@
 /// Returns whether `text` matches the SQL LIKE `pattern`.
 pub fn like_match(text: &str, pattern: &str) -> bool {
     let t: Vec<char> = text.chars().collect();
-    let p: Vec<char> = parse_pattern(pattern);
+    let p = parse_pattern(pattern);
     matches(&t, &p)
 }
 
-/// Pattern tokens after escape processing: we encode literals as the
-/// char itself, `%` as '\u{0}' and `_` as '\u{1}' (neither can appear
-/// as a raw literal because escapes substitute them earlier).
-const ANY_RUN: char = '\u{0}';
-const ANY_ONE: char = '\u{1}';
+/// One pattern token after escape processing. A dedicated enum rather
+/// than in-band sentinel characters: an earlier encoding reused
+/// `'\u{0}'`/`'\u{1}'` for the wildcards, so raw NUL/SOH characters in
+/// a pattern silently *became* wildcards. With the enum, every literal
+/// code point — including NUL — matches only itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    /// Matches exactly this character.
+    Lit(char),
+    /// `%` — any run of characters, including the empty run.
+    AnyRun,
+    /// `_` — exactly one character.
+    AnyOne,
+}
 
-fn parse_pattern(pattern: &str) -> Vec<char> {
+fn parse_pattern(pattern: &str) -> Vec<Tok> {
     let mut out = Vec::with_capacity(pattern.len());
     let mut chars = pattern.chars();
     while let Some(c) = chars.next() {
@@ -27,24 +36,25 @@ fn parse_pattern(pattern: &str) -> Vec<char> {
             '\\' => {
                 // Escaped char is a literal; a trailing backslash is
                 // itself a literal backslash.
-                out.push(chars.next().unwrap_or('\\'));
+                out.push(Tok::Lit(chars.next().unwrap_or('\\')));
             }
-            '%' => out.push(ANY_RUN),
-            '_' => out.push(ANY_ONE),
-            other => out.push(other),
+            '%' => out.push(Tok::AnyRun),
+            '_' => out.push(Tok::AnyOne),
+            other => out.push(Tok::Lit(other)),
         }
     }
     out
 }
 
-fn matches(t: &[char], p: &[char]) -> bool {
+fn matches(t: &[char], p: &[Tok]) -> bool {
     let (mut ti, mut pi) = (0usize, 0usize);
     let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
     while ti < t.len() {
-        if pi < p.len() && (p[pi] == ANY_ONE || p[pi] == t[ti]) {
+        let tok = p.get(pi);
+        if matches!(tok, Some(Tok::AnyOne)) || tok == Some(&Tok::Lit(t[ti])) {
             ti += 1;
             pi += 1;
-        } else if pi < p.len() && p[pi] == ANY_RUN {
+        } else if matches!(tok, Some(Tok::AnyRun)) {
             star = Some((pi + 1, ti));
             pi += 1;
         } else if let Some((sp, st)) = star {
@@ -56,7 +66,7 @@ fn matches(t: &[char], p: &[char]) -> bool {
             return false;
         }
     }
-    while pi < p.len() && p[pi] == ANY_RUN {
+    while matches!(p.get(pi), Some(Tok::AnyRun)) {
         pi += 1;
     }
     pi == p.len()
@@ -111,5 +121,20 @@ mod tests {
     #[test]
     fn case_sensitive() {
         assert!(!like_match("Hello", "hello"));
+    }
+
+    #[test]
+    fn nul_and_control_chars_are_literals() {
+        // The old char-sentinel encoding turned a raw NUL in the
+        // pattern into `%` and a raw SOH into `_`.
+        assert!(!like_match("ab", "a\u{0}"));
+        assert!(like_match("a\u{0}", "a\u{0}"));
+        assert!(!like_match("ax", "a\u{1}"));
+        assert!(like_match("a\u{1}", "a\u{1}"));
+        assert!(!like_match("a", "a\u{0}"));
+        // Real wildcards still cross NUL-containing data.
+        assert!(like_match("a\u{0}b", "a%b"));
+        assert!(like_match("a\u{0}", "a_"));
+        assert!(like_match("\u{0}\u{1}", "__"));
     }
 }

@@ -38,6 +38,20 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
             let mut keep_sorted = keep.clone();
             keep_sorted.sort_unstable();
             keep_sorted.dedup();
+            if keep_sorted.is_empty() {
+                // A constant-only projection (`SELECT 1 FROM t`)
+                // needs no columns — but a zero-column batch cannot
+                // carry a row count, so pruning to nothing would
+                // drop every row. Ship the narrowest available
+                // column as a cardinality carrier.
+                let fields = t.resolved.global_schema.fields();
+                let narrowest = current
+                    .iter()
+                    .copied()
+                    .min_by_key(|&g| type_width(&fields[g].data_type))
+                    .unwrap_or(0);
+                keep_sorted.push(narrowest);
+            }
             t.projection = Some(keep_sorted.clone());
             t.recompute_schema();
             // Which original output ordinals do we now produce?
@@ -48,7 +62,12 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
             Ok((LogicalPlan::TableScan(t), produced))
         }
         LogicalPlan::Values { schema, rows } => {
-            let keep: Vec<usize> = required.iter().copied().collect();
+            let mut keep: Vec<usize> = required.iter().copied().collect();
+            // Zero-column batches cannot carry a row count; keep one
+            // column as the cardinality carrier (see TableScan arm).
+            if keep.is_empty() && !schema.is_empty() {
+                keep.push(0);
+            }
             let new_schema = Arc::new(schema.project(&keep));
             let new_rows = rows
                 .into_iter()
@@ -87,7 +106,14 @@ fn prune(plan: LogicalPlan, required: &BTreeSet<usize>) -> Result<(LogicalPlan, 
             exprs,
             schema,
         } => {
-            let keep: Vec<usize> = required.iter().copied().collect();
+            let mut keep: Vec<usize> = required.iter().copied().collect();
+            // A projection pruned to zero columns would lose the
+            // relation's row count (constant-only parents still
+            // observe cardinality through DISTINCT, COUNT, etc.);
+            // keep one expression as the cardinality carrier.
+            if keep.is_empty() && !exprs.is_empty() {
+                keep.push(0);
+            }
             let kept_exprs: Vec<ScalarExpr> = keep.iter().map(|&i| exprs[i].clone()).collect();
             let mut need = BTreeSet::new();
             for e in &kept_exprs {
@@ -315,4 +341,18 @@ fn position_map(produced: &[usize]) -> HashMap<usize, usize> {
         .enumerate()
         .map(|(new, &old)| (old, new))
         .collect()
+}
+
+/// Relative wire width of a column type, for picking the cheapest
+/// cardinality-carrier column when a scan would otherwise be pruned
+/// to zero columns.
+fn type_width(dt: &gis_types::DataType) -> u8 {
+    match dt {
+        gis_types::DataType::Null | gis_types::DataType::Boolean => 1,
+        gis_types::DataType::Int32 | gis_types::DataType::Date => 4,
+        gis_types::DataType::Int64
+        | gis_types::DataType::Float64
+        | gis_types::DataType::Timestamp => 8,
+        gis_types::DataType::Utf8 => 16,
+    }
 }

@@ -1,0 +1,81 @@
+//! Property test: the engine's two-pointer `like_match` must agree
+//! with a naive O(n·m) recursive oracle on arbitrary Unicode text and
+//! patterns — including raw NUL/SOH characters (which an earlier
+//! sentinel encoding silently turned into wildcards) and trailing
+//! backslashes.
+
+use gis_core::expr::like::like_match;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Straight-off-the-spec recursive LIKE matcher: `%` tries every
+/// split, `_` consumes one char, `\` escapes the next char (a
+/// trailing backslash is a literal backslash). Exponential in the
+/// worst case, which is fine at the sizes the strategy generates.
+fn naive_match(text: &[char], pat: &[char]) -> bool {
+    match pat.first() {
+        None => text.is_empty(),
+        Some('\\') => {
+            let lit = pat.get(1).copied().unwrap_or('\\');
+            let rest = if pat.len() >= 2 { &pat[2..] } else { &pat[1..] };
+            text.first() == Some(&lit) && naive_match(&text[1..], rest)
+        }
+        Some('%') => (0..=text.len()).any(|k| naive_match(&text[k..], &pat[1..])),
+        Some('_') => !text.is_empty() && naive_match(&text[1..], &pat[1..]),
+        Some(&c) => text.first() == Some(&c) && naive_match(&text[1..], &pat[1..]),
+    }
+}
+
+/// A small adversarial alphabet: wildcards, the escape char, the two
+/// code points the old encoding used as sentinels, ASCII, and
+/// multibyte Unicode.
+fn alphabet() -> impl Strategy<Value = char> {
+    prop_oneof![
+        Just('a'),
+        Just('b'),
+        Just('%'),
+        Just('_'),
+        Just('\\'),
+        Just('\u{0}'),
+        Just('\u{1}'),
+        Just('é'),
+        Just('語'),
+    ]
+}
+
+fn chars(max: usize) -> impl Strategy<Value = Vec<char>> {
+    vec(alphabet(), 0..=max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 512,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn like_match_agrees_with_naive_oracle(t in chars(10), p in chars(7)) {
+        let text: String = t.iter().collect();
+        let pattern: String = p.iter().collect();
+        let fast = like_match(&text, &pattern);
+        let slow = naive_match(&t, &p);
+        prop_assert_eq!(
+            fast,
+            slow,
+            "text={:?} pattern={:?}",
+            text,
+            pattern
+        );
+    }
+}
+
+#[test]
+fn pinned_regressions() {
+    // The exact divergences the pre-fix sentinel encoding produced.
+    assert!(!like_match("ab", "a\u{0}"));
+    assert!(!like_match("ax", "a\u{1}"));
+    assert!(like_match("a\u{0}", "a\u{0}"));
+    // Trailing backslash matches a literal backslash.
+    assert!(like_match("a\\", "a\\"));
+    assert!(!like_match("ab", "a\\"));
+}

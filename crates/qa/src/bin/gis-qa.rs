@@ -1,0 +1,123 @@
+//! CI entry point: replay the regression corpus, then fuzz a seed
+//! range, and exit non-zero on any divergence.
+//!
+//! ```text
+//! gis-qa [--seeds N] [--start N] [--corpus DIR] [--no-shrink] [--write-corpus DIR]
+//! ```
+
+use gis_qa::{corpus, Harness};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    corpus: Option<PathBuf>,
+    shrink: bool,
+    write_corpus: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 500,
+        start: 0,
+        corpus: None,
+        shrink: true,
+        write_corpus: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--start" => {
+                args.start = value("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--write-corpus" => args.write_corpus = Some(PathBuf::from(value("--write-corpus")?)),
+            "--no-shrink" => args.shrink = false,
+            "--help" | "-h" => {
+                println!(
+                    "gis-qa: differential query fuzzer\n\n\
+                     USAGE: gis-qa [--seeds N] [--start N] [--corpus DIR] [--no-shrink] [--write-corpus DIR]\n\n\
+                     --seeds N          generator seeds to run (default 500)\n\
+                     --start N          first seed (default 0)\n\
+                     --corpus DIR       replay the regression corpus in DIR first\n\
+                     --no-shrink        report divergences without minimizing them\n\
+                     --write-corpus DIR append shrunk divergences to DIR as .sql files"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gis-qa: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let harness = match Harness::new() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gis-qa: failed to build harness: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+
+    if let Some(dir) = &args.corpus {
+        match corpus::load_dir(dir) {
+            Ok(cases) => {
+                let mut bad = 0usize;
+                for case in &cases {
+                    if let Err(e) = corpus::replay(&harness, case) {
+                        eprintln!("corpus FAIL {e}");
+                        bad += 1;
+                    }
+                }
+                println!(
+                    "corpus: {}/{} cases pass ({})",
+                    cases.len() - bad,
+                    cases.len(),
+                    dir.display()
+                );
+                failed |= bad > 0;
+            }
+            Err(e) => {
+                eprintln!("gis-qa: corpus: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = harness.run_seeds(args.start, args.seeds, args.shrink);
+    print!("{}", report.render());
+    if let Some(dir) = &args.write_corpus {
+        for d in &report.divergences {
+            match corpus::write_case(dir, d.seed, d.config, &d.shrunk_sql, &d.detail) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("gis-qa: writing corpus entry: {e}"),
+            }
+        }
+    }
+    failed |= report.total_divergences() > 0;
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

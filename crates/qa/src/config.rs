@@ -1,0 +1,148 @@
+//! The engine-configuration matrix the differential runner sweeps.
+
+use gis_core::{ExecOptions, JoinStrategy, OptimizerOptions};
+
+/// How a configuration is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One `Federation::query_with` call over a clean network.
+    Direct,
+    /// Through a runtime session with plan + result caching on; the
+    /// query runs twice so both the cache-miss and cache-hit paths
+    /// are checked.
+    Cached,
+    /// One call with every network link made flaky (`partial_results`
+    /// stays off, so retries either absorb the faults — and the
+    /// answer must still be exact — or the query fails cleanly).
+    Faulted,
+}
+
+/// One engine configuration under test.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Short name used in reports and corpus annotations.
+    pub name: &'static str,
+    /// Optimizer rewrites for this configuration.
+    pub optimizer: OptimizerOptions,
+    /// Execution knobs for this configuration.
+    pub exec: ExecOptions,
+    /// Drive mode.
+    pub mode: Mode,
+}
+
+/// The reference oracle: every optimization off, ship-whole joins,
+/// serial kernels, no caches, no view matching.
+pub fn oracle() -> (OptimizerOptions, ExecOptions) {
+    let exec = ExecOptions {
+        parallel_kernel_rows: usize::MAX,
+        parallel_fetch: false,
+        view_matching: false,
+        ..ExecOptions::naive()
+    };
+    (OptimizerOptions::naive(), exec)
+}
+
+/// The full differential matrix: each configuration turns on a
+/// different slice of the stack, so a divergence's config name points
+/// at the guilty subsystem.
+pub fn matrix() -> Vec<EngineConfig> {
+    let base = ExecOptions {
+        view_matching: false,
+        parallel_kernel_rows: usize::MAX,
+        ..ExecOptions::default()
+    };
+    vec![
+        // All logical rewrites + source pushdown, simplest join path.
+        EngineConfig {
+            name: "pushdown",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                join_strategy: JoinStrategy::ShipWhole,
+                ..base
+            },
+            mode: Mode::Direct,
+        },
+        // SDD-1-style semijoin reduction.
+        EngineConfig {
+            name: "semijoin",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                join_strategy: JoinStrategy::SemiJoin,
+                ..base
+            },
+            mode: Mode::Direct,
+        },
+        // R*-style bind join with a deliberately awkward batch size.
+        EngineConfig {
+            name: "bindjoin",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                join_strategy: JoinStrategy::BindJoin,
+                bind_batch_size: 7,
+                ..base
+            },
+            mode: Mode::Direct,
+        },
+        // Partitioned parallel kernels + threaded fetch; tiny
+        // partition threshold so even 100-row inputs exercise them.
+        EngineConfig {
+            name: "parallel",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                parallel_kernel_rows: 2,
+                parallel_fetch: true,
+                ..base
+            },
+            mode: Mode::Direct,
+        },
+        // Runtime result cache: miss then hit must both be exact.
+        EngineConfig {
+            name: "cache",
+            optimizer: OptimizerOptions::default(),
+            exec: base,
+            mode: Mode::Cached,
+        },
+        // Materialized-view matching against full-table views.
+        EngineConfig {
+            name: "views",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                view_matching: true,
+                ..base
+            },
+            mode: Mode::Direct,
+        },
+        // Full default stack under a flaky network.
+        EngineConfig {
+            name: "flaky",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                partial_results: false,
+                ..base
+            },
+            mode: Mode::Faulted,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_required_configs() {
+        let m = matrix();
+        assert!(m.len() >= 6, "issue requires >= 6 engine configs");
+        assert!(m.iter().any(|c| c.mode == Mode::Faulted));
+        assert!(m.iter().any(|c| c.mode == Mode::Cached));
+        assert!(m.iter().any(|c| c.exec.view_matching));
+    }
+
+    #[test]
+    fn oracle_is_fully_naive() {
+        let (opt, exec) = oracle();
+        assert!(!opt.predicate_pushdown);
+        assert!(!exec.view_matching);
+        assert_eq!(exec.parallel_kernel_rows, usize::MAX);
+    }
+}

@@ -1,0 +1,217 @@
+//! The checked-in regression corpus: every bug the fuzzer (or a
+//! human) ever finds becomes a shrunk `.sql` file that replays in
+//! tier-1 forever.
+//!
+//! File format — plain SQL with directive comments:
+//!
+//! ```sql
+//! -- free-form comment lines explain the bug
+//! -- expect: [Utf8("h")]
+//! -- expect: [Utf8("x")]
+//! SELECT ...
+//! ```
+//!
+//! * `-- expect: <row>` pins one expected result row, rendered with
+//!   `Value`'s `Debug` (rows are compared order-normalized, so list
+//!   expected rows in sorted order). Pinning rows catches bugs that
+//!   are *identical across every config* — a scalar-function bug
+//!   gives the same wrong answer everywhere, which cross-config
+//!   differencing alone can never see.
+//! * `-- expect-error` asserts the query fails (in the oracle and in
+//!   every non-fault config).
+//! * With no directive, the case only asserts zero cross-config
+//!   divergence.
+
+use crate::runner::Harness;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What a corpus case pins beyond cross-config agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expectation {
+    /// Only cross-config agreement.
+    Agreement,
+    /// The query must error everywhere (except fault-injected runs).
+    Error,
+    /// The oracle must return exactly these rows (Debug-rendered,
+    /// sorted).
+    Rows(Vec<String>),
+}
+
+/// One parsed corpus file.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// File stem, used as the case name.
+    pub name: String,
+    /// Source path.
+    pub path: PathBuf,
+    /// The SQL to run.
+    pub sql: String,
+    /// Pinned expectation.
+    pub expect: Expectation,
+}
+
+/// Parses one corpus file.
+pub fn parse_case(path: &Path) -> Result<CorpusCase, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut expect_rows = Vec::new();
+    let mut expect_error = false;
+    let mut sql_lines = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("--") {
+            let rest = rest.trim_start();
+            if rest.starts_with("expect-error") {
+                expect_error = true;
+            } else if let Some(row) = rest.strip_prefix("expect:") {
+                expect_rows.push(row.trim().to_string());
+            }
+            // other comment lines are documentation
+        } else if !trimmed.is_empty() {
+            sql_lines.push(line);
+        }
+    }
+    if expect_error && !expect_rows.is_empty() {
+        return Err(format!(
+            "{}: expect-error and expect: are mutually exclusive",
+            path.display()
+        ));
+    }
+    let sql = sql_lines.join("\n");
+    if sql.trim().is_empty() {
+        return Err(format!("{}: no SQL found", path.display()));
+    }
+    let expect = if expect_error {
+        Expectation::Error
+    } else if expect_rows.is_empty() {
+        Expectation::Agreement
+    } else {
+        let mut rows = expect_rows;
+        rows.sort();
+        Expectation::Rows(rows)
+    };
+    Ok(CorpusCase {
+        name: path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+        path: path.to_path_buf(),
+        sql,
+        expect,
+    })
+}
+
+/// Loads every `*.sql` file in `dir`, sorted by name.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusCase>, String> {
+    let mut cases = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().is_some_and(|e| e == "sql") {
+            cases.push(parse_case(&path)?);
+        }
+    }
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(cases)
+}
+
+/// Replays one case through the full matrix; `Err` describes the
+/// first violation.
+pub fn replay(harness: &Harness, case: &CorpusCase) -> Result<(), String> {
+    // Derive the fault seed from the name so replays are stable.
+    let fault_seed = case
+        .name
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    let report = harness.run_matrix(&case.sql, fault_seed);
+    match &case.expect {
+        Expectation::Error => {
+            if report.oracle.is_ok() {
+                return Err(format!(
+                    "{}: expected an error, oracle succeeded",
+                    case.name
+                ));
+            }
+            for run in &report.runs {
+                if !run.faulted && run.outcome.is_ok() {
+                    return Err(format!(
+                        "{}: expected an error, config {} succeeded",
+                        case.name, run.config
+                    ));
+                }
+            }
+            Ok(())
+        }
+        expect => {
+            let rows = report
+                .oracle
+                .as_ref()
+                .map_err(|e| format!("{}: oracle errored: {e}", case.name))?;
+            if let Expectation::Rows(expected) = expect {
+                let mut got: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+                got.sort();
+                if &got != expected {
+                    return Err(format!(
+                        "{}: pinned rows differ\n  expected: {expected:#?}\n  got:      {got:#?}",
+                        case.name
+                    ));
+                }
+            }
+            if let Some(d) = Harness::divergences(&report).first() {
+                return Err(format!(
+                    "{}: config {} diverged: {}",
+                    case.name, d.config, d.detail
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Writes a shrunk divergence as a new corpus file and returns its
+/// path. Used by `gis-qa --write-corpus`.
+pub fn write_case(
+    dir: &Path,
+    seed: u64,
+    config: &str,
+    shrunk_sql: &str,
+    detail: &str,
+) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let path = dir.join(format!("fuzz_seed_{seed}.sql"));
+    let content = format!(
+        "-- Found by gis-qa seed {seed}: config `{config}` diverged from the oracle.\n\
+         -- {detail}\n\
+         {shrunk_sql}\n"
+    );
+    fs::write(&path, content).map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_directives() {
+        let dir = std::env::temp_dir().join("gis_qa_corpus_test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("case.sql");
+        fs::write(
+            &p,
+            "-- a bug\n-- expect: [Int64(1)]\n-- expect: [Int64(2)]\nSELECT 1\n",
+        )
+        .unwrap();
+        let case = parse_case(&p).unwrap();
+        assert_eq!(case.sql, "SELECT 1");
+        assert_eq!(
+            case.expect,
+            Expectation::Rows(vec!["[Int64(1)]".into(), "[Int64(2)]".into()])
+        );
+        fs::write(&p, "-- expect-error\nSELECT boom\n").unwrap();
+        assert_eq!(parse_case(&p).unwrap().expect, Expectation::Error);
+        fs::write(&p, "SELECT 1\n").unwrap();
+        assert_eq!(parse_case(&p).unwrap().expect, Expectation::Agreement);
+        fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,409 @@
+//! The differential runner: one query, every configuration, one
+//! verdict.
+//!
+//! The reference answer comes from the fully-naive oracle (no
+//! rewrites, ship-whole joins, serial kernels, no caches or views).
+//! Each matrix configuration must reproduce it bit-for-bit after
+//! order normalization (rows sorted by [`Value`]'s total order).
+//! Float aggregates are the one sanctioned exception: parallel
+//! partitioning and join-strategy changes reorder additions, so two
+//! floats compare equal within one part in 10⁹ — everything else,
+//! including NaN and string bytes, must match exactly.
+
+use crate::config::{matrix, oracle, EngineConfig, Mode};
+use crate::generator::QueryGen;
+use crate::shrink;
+use gis_core::Federation;
+use gis_datagen::{build_fedmart, FedMart, FedMartConfig};
+use gis_net::BreakerConfig;
+use gis_runtime::{Runtime, RuntimeConfig, Session};
+use gis_sql::ast::Query;
+use gis_sql::unparse::query_to_sql;
+use gis_types::Value;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Per-message drop probability used by the `flaky` configuration.
+/// With the default 3-attempt retry policy almost every query still
+/// succeeds — and then must be exact — while a handful per thousand
+/// exhaust retries and must fail cleanly instead of degrading.
+const FLAKY_DROP_P: f64 = 0.1;
+
+/// Outcome of running one query under one configuration: sorted rows
+/// or an error string.
+pub type RunRows = Result<Vec<Vec<Value>>, String>;
+
+/// One configuration's result for one query.
+#[derive(Debug)]
+pub struct ConfigRun {
+    /// Configuration name.
+    pub config: &'static str,
+    /// Whether the run was fault-injected.
+    pub faulted: bool,
+    /// Sorted rows, or the error.
+    pub outcome: RunRows,
+}
+
+/// Everything observed for one query across the matrix.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The SQL that was executed.
+    pub sql: String,
+    /// The oracle's sorted rows (or its error).
+    pub oracle: RunRows,
+    /// One entry per matrix configuration.
+    pub runs: Vec<ConfigRun>,
+}
+
+/// A confirmed divergence between the oracle and one configuration.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The diverging configuration.
+    pub config: &'static str,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+/// A divergence found during a fuzz run, with its shrunk reproducer.
+#[derive(Debug)]
+pub struct FoundDivergence {
+    /// Generator seed that produced the query.
+    pub seed: u64,
+    /// First diverging configuration.
+    pub config: &'static str,
+    /// The original generated SQL.
+    pub sql: String,
+    /// The auto-shrunk SQL (equal to `sql` when shrinking is off).
+    pub shrunk_sql: String,
+    /// Mismatch description from the shrunk query.
+    pub detail: String,
+}
+
+/// Aggregated results of a seed-range fuzz run.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Queries generated and executed.
+    pub queries_run: u64,
+    /// Queries skipped because the oracle itself errored.
+    pub oracle_errors: u64,
+    /// Fault-injected runs that failed cleanly (not divergences).
+    pub fault_errors: u64,
+    /// `(config name, runs, divergences)` per configuration.
+    pub per_config: Vec<(&'static str, u64, u64)>,
+    /// Every divergence found, shrunk.
+    pub divergences: Vec<FoundDivergence>,
+}
+
+impl DiffReport {
+    /// Total divergences across all configurations.
+    pub fn total_divergences(&self) -> u64 {
+        self.per_config.iter().map(|(_, _, d)| d).sum()
+    }
+
+    /// Multi-line textual report for CI logs.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "gis-qa: {} queries, {} oracle errors (skipped), {} fault-absorbed failures",
+            self.queries_run, self.oracle_errors, self.fault_errors
+        );
+        let _ = writeln!(s, "{:<12} {:>8} {:>12}", "config", "runs", "divergences");
+        for (name, runs, div) in &self.per_config {
+            let _ = writeln!(s, "{name:<12} {runs:>8} {div:>12}");
+        }
+        for d in self.divergences.iter().take(10) {
+            let _ = writeln!(
+                s,
+                "\ndivergence seed={} config={}\n  sql:    {}\n  shrunk: {}\n  detail: {}",
+                d.seed, d.config, d.sql, d.shrunk_sql, d.detail
+            );
+        }
+        if self.divergences.len() > 10 {
+            let _ = writeln!(s, "... and {} more", self.divergences.len() - 10);
+        }
+        s
+    }
+}
+
+/// Relative tolerance for float compares (reassociated aggregation).
+const FLOAT_REL_EPS: f64 = 1e-9;
+
+fn value_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float64(x), Value::Float64(y)) => {
+            (x.is_nan() && y.is_nan())
+                || x == y
+                || (x - y).abs() <= FLOAT_REL_EPS * x.abs().max(y.abs())
+        }
+        // Value's PartialEq is a total order (NaN == NaN), fine here.
+        _ => a == b,
+    }
+}
+
+fn rows_diff(oracle: &[Vec<Value>], got: &[Vec<Value>]) -> Option<String> {
+    if oracle.len() != got.len() {
+        return Some(format!(
+            "row count: oracle {} vs {} rows",
+            oracle.len(),
+            got.len()
+        ));
+    }
+    for (i, (a, b)) in oracle.iter().zip(got.iter()).enumerate() {
+        let same = a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| value_equal(x, y));
+        if !same {
+            return Some(format!("row {i}: oracle {a:?} vs {b:?}"));
+        }
+    }
+    None
+}
+
+/// The differential harness: a seeded FedMart federation, a runtime
+/// for the cached configuration, and the configuration matrix.
+pub struct Harness {
+    fed: Arc<Federation>,
+    cached_session: Session,
+    configs: Vec<EngineConfig>,
+    // Keep the runtime alive for the session's lifetime.
+    _runtime: Runtime,
+}
+
+impl Harness {
+    /// Builds the harness on a `FedMartConfig::tiny()` federation:
+    /// breakers disabled (fault state must not leak across runs) and
+    /// three full-table materialized views registered for the `views`
+    /// configuration.
+    pub fn new() -> Result<Harness, String> {
+        let FedMart { federation, .. } =
+            build_fedmart(FedMartConfig::tiny()).map_err(|e| e.to_string())?;
+        // A breaker opened by the flaky configuration would make the
+        // *next* query fail for reasons unrelated to its plan.
+        federation.configure_breaker(BreakerConfig::disabled());
+        for (view, sql) in [
+            ("mv_customers", "SELECT * FROM customers"),
+            ("mv_orders", "SELECT * FROM orders"),
+            ("mv_products", "SELECT * FROM products"),
+        ] {
+            federation
+                .create_materialized_view(view, sql)
+                .map_err(|e| format!("creating {view}: {e}"))?;
+        }
+        let fed = Arc::new(federation);
+        let runtime = Runtime::new(fed.clone(), RuntimeConfig::default().with_workers(2));
+        let cached = matrix()
+            .into_iter()
+            .find(|c| c.mode == Mode::Cached)
+            .expect("matrix always has a cached config");
+        let mut cached_session = runtime.session_with(cached.optimizer, cached.exec);
+        cached_session.set_caching(true);
+        Ok(Harness {
+            fed,
+            cached_session,
+            configs: matrix(),
+            _runtime: runtime,
+        })
+    }
+
+    /// The configuration matrix this harness sweeps.
+    pub fn configs(&self) -> &[EngineConfig] {
+        &self.configs
+    }
+
+    /// The underlying federation (corpus tests use it directly).
+    pub fn federation(&self) -> &Arc<Federation> {
+        &self.fed
+    }
+
+    fn run_direct(&self, sql: &str, cfg: &EngineConfig) -> RunRows {
+        self.fed
+            .query_with(sql, &cfg.optimizer, &cfg.exec)
+            .map(|r| sorted_rows(r.batch.to_rows()))
+            .map_err(|e| e.to_string())
+    }
+
+    fn run_cached(&self, sql: &str) -> RunRows {
+        // Miss, then hit: both paths must return the same rows.
+        let miss = self
+            .cached_session
+            .query(sql)
+            .map(|r| sorted_rows(r.batch.to_rows()))
+            .map_err(|e| e.to_string())?;
+        let hit = self
+            .cached_session
+            .query(sql)
+            .map(|r| sorted_rows(r.batch.to_rows()))
+            .map_err(|e| e.to_string())?;
+        if let Some(d) = rows_diff(&miss, &hit) {
+            return Err(format!("cache hit disagrees with miss: {d}"));
+        }
+        Ok(hit)
+    }
+
+    fn run_faulted(&self, sql: &str, cfg: &EngineConfig, seed: u64) -> RunRows {
+        for (i, link) in self.fed.all_links().iter().enumerate() {
+            link.faults()
+                .flaky(seed.wrapping_mul(31).wrapping_add(i as u64), FLAKY_DROP_P);
+        }
+        let out = self.run_direct(sql, cfg);
+        for link in self.fed.all_links() {
+            link.faults().flaky(0, 0.0);
+        }
+        out
+    }
+
+    /// Runs `sql` through the oracle and every configuration.
+    /// `fault_seed` deterministically seeds the flaky run.
+    pub fn run_matrix(&self, sql: &str, fault_seed: u64) -> RunReport {
+        let (opt, exec) = oracle();
+        let oracle_rows = self
+            .fed
+            .query_with(sql, &opt, &exec)
+            .map(|r| sorted_rows(r.batch.to_rows()))
+            .map_err(|e| e.to_string());
+        let runs = self
+            .configs
+            .iter()
+            .map(|cfg| ConfigRun {
+                config: cfg.name,
+                faulted: cfg.mode == Mode::Faulted,
+                outcome: match cfg.mode {
+                    Mode::Direct => self.run_direct(sql, cfg),
+                    Mode::Cached => self.run_cached(sql),
+                    Mode::Faulted => self.run_faulted(sql, cfg, fault_seed),
+                },
+            })
+            .collect();
+        RunReport {
+            sql: sql.to_string(),
+            oracle: oracle_rows,
+            runs,
+        }
+    }
+
+    /// Divergence policy over a matrix report:
+    /// * oracle error → the query is skipped (nothing to compare);
+    /// * fault-injected error → clean failure, not a divergence;
+    /// * any other error, or any row mismatch → divergence.
+    pub fn divergences(report: &RunReport) -> Vec<Divergence> {
+        let Ok(expected) = &report.oracle else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for run in &report.runs {
+            match &run.outcome {
+                Err(_) if run.faulted => {}
+                Err(e) => out.push(Divergence {
+                    config: run.config,
+                    detail: format!("errored where oracle succeeded: {e}"),
+                }),
+                Ok(rows) => {
+                    if let Some(d) = rows_diff(expected, rows) {
+                        out.push(Divergence {
+                            config: run.config,
+                            detail: d,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True when `q` still diverges somewhere — the shrinker's
+    /// "still failing" predicate.
+    fn query_diverges(&self, q: &Query, fault_seed: u64) -> bool {
+        let report = self.run_matrix(&query_to_sql(q), fault_seed);
+        !Self::divergences(&report).is_empty()
+    }
+
+    /// Fuzzes seeds `start..start + count`, shrinking any divergence
+    /// when `do_shrink` is set.
+    pub fn run_seeds(&self, start: u64, count: u64, do_shrink: bool) -> DiffReport {
+        let mut report = DiffReport {
+            per_config: self.configs.iter().map(|c| (c.name, 0, 0)).collect(),
+            ..DiffReport::default()
+        };
+        for seed in start..start.saturating_add(count) {
+            let q = QueryGen::generate(seed);
+            let sql = query_to_sql(&q);
+            let run = self.run_matrix(&sql, seed);
+            report.queries_run += 1;
+            if run.oracle.is_err() {
+                report.oracle_errors += 1;
+                continue;
+            }
+            report.fault_errors += run
+                .runs
+                .iter()
+                .filter(|r| r.faulted && r.outcome.is_err())
+                .count() as u64;
+            let divs = Self::divergences(&run);
+            for (name, runs, d) in report.per_config.iter_mut() {
+                *runs += 1;
+                if divs.iter().any(|dv| dv.config == *name) {
+                    *d += 1;
+                }
+            }
+            if let Some(first) = divs.first() {
+                let shrunk = if do_shrink {
+                    shrink::shrink_query(&q, &mut |cand| self.query_diverges(cand, seed))
+                } else {
+                    q.clone()
+                };
+                let shrunk_sql = query_to_sql(&shrunk);
+                let detail = Self::divergences(&self.run_matrix(&shrunk_sql, seed))
+                    .first()
+                    .map(|d| d.detail.clone())
+                    .unwrap_or_else(|| first.detail.clone());
+                report.divergences.push(FoundDivergence {
+                    seed,
+                    config: first.config,
+                    sql,
+                    shrunk_sql,
+                    detail,
+                });
+            }
+        }
+        report
+    }
+}
+
+fn sorted_rows(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    // Value implements a total order (NaN sorts deterministically),
+    // so sorting gives a canonical form for multiset comparison.
+    rows.sort();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_tolerance_is_tight() {
+        assert!(value_equal(
+            &Value::Float64(1.0),
+            &Value::Float64(1.0 + 1e-13)
+        ));
+        assert!(!value_equal(&Value::Float64(1.0), &Value::Float64(1.0001)));
+        assert!(value_equal(
+            &Value::Float64(f64::NAN),
+            &Value::Float64(f64::NAN)
+        ));
+        assert!(value_equal(&Value::Float64(0.0), &Value::Float64(-0.0)));
+        assert!(!value_equal(
+            &Value::Utf8("a".into()),
+            &Value::Utf8("b".into())
+        ));
+    }
+
+    #[test]
+    fn rows_diff_reports_first_mismatch() {
+        let a = vec![vec![Value::Int64(1)], vec![Value::Int64(2)]];
+        let b = vec![vec![Value::Int64(1)], vec![Value::Int64(3)]];
+        assert!(rows_diff(&a, &a.clone()).is_none());
+        let d = rows_diff(&a, &b).unwrap();
+        assert!(d.contains("row 1"), "{d}");
+        assert!(rows_diff(&a, &a[..1]).unwrap().contains("row count"));
+    }
+}

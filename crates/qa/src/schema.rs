@@ -1,0 +1,136 @@
+//! The FedMart global schema as seen by the query generator.
+//!
+//! A static mirror of what `gis-datagen` registers: table and column
+//! names, coarse column types (enough to generate well-typed
+//! expressions), and the equi-join edges that connect the tables. The
+//! generator only ever emits joins along these edges so every
+//! generated multi-table query has a real key relationship — random
+//! theta-joins on a 1 000-row fact table would otherwise dominate run
+//! time without adding coverage.
+
+/// Coarse column type used for expression generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit integer columns.
+    Int,
+    /// 64-bit float columns.
+    Float,
+    /// UTF-8 string columns.
+    Str,
+    /// Date columns (days since epoch).
+    Date,
+}
+
+/// One table of the FedMart global schema.
+#[derive(Debug, Clone, Copy)]
+pub struct TableDef {
+    /// Global table name.
+    pub name: &'static str,
+    /// `(column name, type)` pairs in declaration order.
+    pub cols: &'static [(&'static str, Ty)],
+}
+
+/// The five FedMart global tables.
+pub const TABLES: &[TableDef] = &[
+    TableDef {
+        name: "customers",
+        cols: &[
+            ("id", Ty::Int),
+            ("name", Ty::Str),
+            ("region", Ty::Str),
+            ("tier", Ty::Str),
+            ("balance", Ty::Float),
+            ("since", Ty::Date),
+        ],
+    },
+    TableDef {
+        name: "orders",
+        cols: &[
+            ("order_id", Ty::Int),
+            ("cust_id", Ty::Int),
+            ("product_id", Ty::Int),
+            ("order_day", Ty::Date),
+            ("quantity", Ty::Int),
+            ("amount", Ty::Float),
+        ],
+    },
+    TableDef {
+        name: "products",
+        cols: &[
+            ("product_id", Ty::Int),
+            ("pname", Ty::Str),
+            ("category", Ty::Str),
+            ("price", Ty::Float),
+        ],
+    },
+    TableDef {
+        name: "stock",
+        cols: &[
+            ("product_id", Ty::Int),
+            ("warehouse", Ty::Int),
+            ("qty", Ty::Int),
+        ],
+    },
+    TableDef {
+        name: "regions",
+        cols: &[("region", Ty::Str), ("country", Ty::Str)],
+    },
+];
+
+/// An equi-join edge between two tables (indices into [`TABLES`]).
+#[derive(Debug, Clone, Copy)]
+pub struct JoinEdge {
+    /// Left table index.
+    pub lt: usize,
+    /// Left join column.
+    pub lc: &'static str,
+    /// Right table index.
+    pub rt: usize,
+    /// Right join column.
+    pub rc: &'static str,
+}
+
+/// Key relationships of the FedMart schema.
+pub const JOIN_EDGES: &[JoinEdge] = &[
+    JoinEdge {
+        lt: 0,
+        lc: "id",
+        rt: 1,
+        rc: "cust_id",
+    },
+    JoinEdge {
+        lt: 1,
+        lc: "product_id",
+        rt: 2,
+        rc: "product_id",
+    },
+    JoinEdge {
+        lt: 2,
+        lc: "product_id",
+        rt: 3,
+        rc: "product_id",
+    },
+    JoinEdge {
+        lt: 1,
+        lc: "product_id",
+        rt: 3,
+        rc: "product_id",
+    },
+    JoinEdge {
+        lt: 0,
+        lc: "region",
+        rt: 4,
+        rc: "region",
+    },
+];
+
+/// A column visible in some generator scope: `alias.name` plus type.
+#[derive(Debug, Clone)]
+pub struct Col {
+    /// Relation alias the column is reached through.
+    pub qualifier: String,
+    /// Column name.
+    pub name: String,
+    /// Coarse type.
+    pub ty: Ty,
+}

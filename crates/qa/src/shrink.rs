@@ -1,0 +1,278 @@
+//! Greedy divergence shrinker.
+//!
+//! Given a diverging query and a "does it still diverge?" predicate,
+//! repeatedly tries structurally smaller variants — dropping WHERE
+//! conjuncts, projection columns, group keys, join sides, UNION
+//! branches, ORDER/LIMIT clauses, and halving IN-lists and LIMIT
+//! values — keeping any variant that still diverges, until no
+//! candidate helps. Candidates that no longer bind (e.g. a dropped
+//! join side takes referenced columns with it) simply fail the
+//! predicate's oracle run and are rejected, so the shrinker never
+//! needs its own validity check.
+
+use gis_sql::ast::{Expr, Query, Select, SelectItem, SetExpr, TableRef};
+
+/// Rough AST size — the quantity the shrinker minimizes (ties broken
+/// by SQL text length via the caller keeping only strict improvements).
+fn query_size(q: &Query) -> usize {
+    gis_sql::unparse::query_to_sql(q).len()
+}
+
+/// Shrinks `q` while `still_fails` keeps returning `true` for the
+/// candidate, up to a fixed evaluation budget.
+pub fn shrink_query(q: &Query, still_fails: &mut impl FnMut(&Query) -> bool) -> Query {
+    let mut best = q.clone();
+    let mut evals = 0usize;
+    const BUDGET: usize = 250;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if evals >= BUDGET {
+                return best;
+            }
+            if query_size(&cand) >= query_size(&best) {
+                continue;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break; // restart candidate enumeration from the smaller query
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// All one-step smaller variants of `q`.
+fn candidates(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    // Clause-level drops on the query wrapper.
+    if q.offset.is_some() {
+        let mut c = q.clone();
+        c.offset = None;
+        out.push(c);
+    }
+    if q.limit.is_some() {
+        let mut c = q.clone();
+        c.limit = None;
+        c.offset = None;
+        out.push(c);
+    }
+    if let Some(n) = q.limit {
+        if n > 1 {
+            let mut c = q.clone();
+            c.limit = Some(n / 2);
+            out.push(c);
+        }
+    }
+    if !q.order_by.is_empty() {
+        let mut c = q.clone();
+        c.order_by.clear();
+        c.limit = None;
+        c.offset = None;
+        out.push(c);
+    }
+    // Body-level shrinks.
+    for body in body_candidates(&q.body) {
+        out.push(Query {
+            body,
+            // A changed body can invalidate ordinal sort keys; drop
+            // ordering with the body change.
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        });
+    }
+    out
+}
+
+fn body_candidates(body: &SetExpr) -> Vec<SetExpr> {
+    match body {
+        SetExpr::Union { left, right, .. } => {
+            let mut out = vec![(**left).clone(), (**right).clone()];
+            for l in body_candidates(left) {
+                out.push(SetExpr::Union {
+                    left: Box::new(l),
+                    right: right.clone(),
+                    all: matches!(body, SetExpr::Union { all: true, .. }),
+                });
+            }
+            out
+        }
+        SetExpr::Select(sel) => select_candidates(sel)
+            .into_iter()
+            .map(|s| SetExpr::Select(Box::new(s)))
+            .collect(),
+    }
+}
+
+fn select_candidates(sel: &Select) -> Vec<Select> {
+    let mut out = Vec::new();
+    if sel.distinct {
+        let mut c = sel.clone();
+        c.distinct = false;
+        out.push(c);
+    }
+    if sel.having.is_some() {
+        let mut c = sel.clone();
+        c.having = None;
+        out.push(c);
+    }
+    // WHERE: drop entirely, then drop one conjunct at a time.
+    if let Some(pred) = &sel.selection {
+        let mut c = sel.clone();
+        c.selection = None;
+        out.push(c);
+        let parts = pred.split_conjunction();
+        if parts.len() > 1 {
+            for i in 0..parts.len() {
+                let kept: Vec<Expr> = parts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, e)| (*e).clone())
+                    .collect();
+                let mut c = sel.clone();
+                c.selection = Expr::conjunction(kept);
+                out.push(c);
+            }
+        }
+        // Halve oversized IN-lists inside single-conjunct predicates.
+        for (i, part) in parts.iter().enumerate() {
+            if let Expr::InList {
+                expr,
+                negated,
+                list,
+            } = part
+            {
+                if list.len() > 1 {
+                    let mut kept: Vec<Expr> = parts.iter().map(|e| (*e).clone()).collect();
+                    kept[i] = Expr::InList {
+                        expr: expr.clone(),
+                        negated: *negated,
+                        list: list[..list.len() / 2].to_vec(),
+                    };
+                    let mut c = sel.clone();
+                    c.selection = Expr::conjunction(kept);
+                    out.push(c);
+                }
+            }
+        }
+    }
+    // GROUP BY: drop one key plus its projection of the same expr.
+    for i in 0..sel.group_by.len() {
+        let key = &sel.group_by[i];
+        let mut c = sel.clone();
+        c.group_by.remove(i);
+        c.projection
+            .retain(|item| !matches!(item, SelectItem::Expr { expr, .. } if expr == key));
+        if !c.projection.is_empty() {
+            out.push(c);
+        }
+    }
+    // Projection: drop one item (keep at least one).
+    if sel.projection.len() > 1 {
+        for i in 0..sel.projection.len() {
+            let mut c = sel.clone();
+            c.projection.remove(i);
+            out.push(c);
+        }
+    }
+    // FROM: collapse a join to either side, or unwrap a subquery's
+    // own FROM-less shell.
+    if let Some(from) = &sel.from {
+        for f in from_candidates(from) {
+            let mut c = sel.clone();
+            c.from = Some(f);
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn from_candidates(from: &TableRef) -> Vec<TableRef> {
+    match from {
+        TableRef::Join { left, right, .. } => {
+            let mut out = vec![(**left).clone(), (**right).clone()];
+            for l in from_candidates(left) {
+                if let TableRef::Join {
+                    right: r,
+                    kind,
+                    constraint,
+                    ..
+                } = from
+                {
+                    out.push(TableRef::Join {
+                        left: Box::new(l),
+                        right: r.clone(),
+                        kind: *kind,
+                        constraint: constraint.clone(),
+                    });
+                }
+            }
+            out
+        }
+        TableRef::Subquery { query, alias } => {
+            // Simplify the inner query while keeping the wrapper.
+            let mut out = Vec::new();
+            if let SetExpr::Select(inner) = &query.body {
+                for s in select_candidates(inner) {
+                    out.push(TableRef::Subquery {
+                        query: Box::new(Query {
+                            body: SetExpr::Select(Box::new(s)),
+                            order_by: vec![],
+                            limit: None,
+                            offset: None,
+                        }),
+                        alias: alias.clone(),
+                    });
+                }
+            }
+            out
+        }
+        TableRef::Table { .. } => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_sql::parse;
+    use gis_sql::unparse::query_to_sql;
+
+    fn q(sql: &str) -> Query {
+        match parse(sql).unwrap() {
+            gis_sql::ast::Statement::Query(q) => q,
+            _ => panic!("not a query"),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_smallest_still_failing() {
+        let full = q("SELECT a, b, c FROM t WHERE x = 1 AND y = 2 AND z = 3 ORDER BY 1 LIMIT 10");
+        // Pretend the divergence only needs `y = 2` somewhere in the query.
+        let shrunk = shrink_query(&full, &mut |cand| query_to_sql(cand).contains("y = 2"));
+        let sql = query_to_sql(&shrunk);
+        assert!(sql.contains("y = 2"), "{sql}");
+        assert!(!sql.contains("x = 1"), "{sql}");
+        assert!(!sql.contains("LIMIT"), "{sql}");
+        assert!(sql.len() < query_to_sql(&full).len());
+    }
+
+    #[test]
+    fn join_collapses_to_one_side() {
+        let full = q("SELECT t0.a FROM t0 JOIN t1 ON t0.k = t1.k WHERE t0.a > 0");
+        let shrunk = shrink_query(&full, &mut |cand| query_to_sql(cand).contains("t0"));
+        assert!(!query_to_sql(&shrunk).contains("JOIN"));
+    }
+
+    #[test]
+    fn never_returns_larger_query() {
+        let full = q("SELECT a FROM t");
+        let shrunk = shrink_query(&full, &mut |_| true);
+        assert!(query_to_sql(&shrunk).len() <= query_to_sql(&full).len());
+    }
+}

@@ -1,0 +1,5 @@
+-- FLOOR/CEIL narrowed to Int64 with `as`, which silently saturates:
+-- floor(1e30) returned 9223372036854775807 instead of failing. Values
+-- outside the Int64 range now raise an execution error.
+-- expect-error
+SELECT floor(999999999999999999999999999999.0) AS a

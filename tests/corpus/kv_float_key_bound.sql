@@ -1,0 +1,10 @@
+-- Found by gis-qa seed 1066: integer division folds to a Float64
+-- literal (831 / 7 = 118.714...), and the kv adapter accepted it as a
+-- key-range bound — but the order-preserving key encoding has no
+-- float form, so the pushed-down scan errored while the oracle
+-- (pushdown off) succeeded. Float bounds now stay mediator-side
+-- residuals over a wider scan.
+SELECT (t1.quantity + t0.qty) % 3 AS c3
+FROM stock AS t0
+INNER JOIN orders AS t1 ON t0.product_id = t1.product_id
+WHERE t0.product_id < (831 / 7)

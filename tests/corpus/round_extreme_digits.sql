@@ -1,0 +1,8 @@
+-- ROUND computed 10^digits as a float scale factor; extreme digit
+-- counts overflowed it to inf (or 0), turning the result into NaN.
+-- Huge positive digits now leave the value unchanged, huge negative
+-- digits round to 0.
+-- expect: [Float64(2.345), Float64(0.0), Float64(100.0)]
+SELECT round(2.345, 4000000000) AS a,
+       round(5.0, -1000) AS b,
+       round(123.456, -2) AS c

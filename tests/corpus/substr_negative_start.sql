@@ -1,0 +1,8 @@
+-- SUBSTR treated a negative or zero start as "clamp to 1", returning
+-- too many characters. Postgres semantics: the start index is where
+-- the window begins on the number line, so substr('hello', -1, 3)
+-- covers positions -1..1 and yields just 'h'.
+-- expect: [Utf8("h"), Utf8("he"), Utf8("hello")]
+SELECT substr('hello', -1, 3) AS a,
+       substr('hello', 0, 3) AS b,
+       substr('hello', -10) AS c

@@ -1,0 +1,23 @@
+//! Tier-1 smoke run of the differential fuzzer: a bounded seed range
+//! through the full config matrix must produce zero divergences.
+//!
+//! CI additionally runs the `gis-qa` binary over a much larger range;
+//! this keeps a fast always-on slice in `cargo test`.
+
+use gis_qa::Harness;
+
+#[test]
+fn bounded_seed_range_has_no_divergences() {
+    let harness = Harness::new().expect("harness");
+    let report = harness.run_seeds(0, 48, false);
+    assert_eq!(report.queries_run, 48);
+    // Every generated query must at least be executable by the
+    // reference configuration.
+    assert_eq!(report.oracle_errors, 0, "oracle rejected generated SQL");
+    assert_eq!(
+        report.total_divergences(),
+        0,
+        "divergences:\n{}",
+        report.render()
+    );
+}

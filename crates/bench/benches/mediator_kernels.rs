@@ -12,7 +12,7 @@ use gis_core::exec::aggregate::{
     distinct_kernel, distinct_ref, hash_aggregate_kernel, hash_aggregate_ref,
 };
 use gis_core::exec::join::{hash_join_kernel, hash_join_ref};
-use gis_core::exec::keys::KernelOptions;
+use gis_core::exec::keys::{KernelGov, KernelOptions};
 use gis_core::expr::ScalarExpr;
 use gis_core::plan::logical::{AggregateExpr, JoinNode};
 use gis_sql::ast::JoinKind;
@@ -66,6 +66,7 @@ fn bench_group_by(c: &mut Criterion) {
                     &aggs,
                     schema.clone(),
                     &KernelOptions::serial(),
+                    &KernelGov::unbounded(),
                 )
                 .expect("kernel agg")
                 .0
@@ -74,10 +75,17 @@ fn bench_group_by(c: &mut Criterion) {
         });
         g.bench_function(BenchmarkId::new("partition", key), |b| {
             b.iter(|| {
-                hash_aggregate_kernel(&input, &groups, &aggs, schema.clone(), &parallel_opts())
-                    .expect("kernel agg")
-                    .0
-                    .num_rows()
+                hash_aggregate_kernel(
+                    &input,
+                    &groups,
+                    &aggs,
+                    schema.clone(),
+                    &parallel_opts(),
+                    &KernelGov::unbounded(),
+                )
+                .expect("kernel agg")
+                .0
+                .num_rows()
             })
         });
     }
@@ -119,6 +127,7 @@ fn bench_join(c: &mut Criterion) {
                     None,
                     schema.clone(),
                     &KernelOptions::serial(),
+                    &KernelGov::unbounded(),
                 )
                 .expect("kernel join")
                 .0
@@ -136,6 +145,7 @@ fn bench_join(c: &mut Criterion) {
                     None,
                     schema.clone(),
                     &parallel_opts(),
+                    &KernelGov::unbounded(),
                 )
                 .expect("kernel join")
                 .0
@@ -156,13 +166,19 @@ fn bench_distinct(c: &mut Criterion) {
         });
         g.bench_function(BenchmarkId::new("serial", key), |b| {
             b.iter(|| {
-                distinct_kernel(&input, &KernelOptions::serial())
+                distinct_kernel(&input, &KernelOptions::serial(), &KernelGov::unbounded())
+                    .expect("kernel distinct")
                     .0
                     .num_rows()
             })
         });
         g.bench_function(BenchmarkId::new("partition", key), |b| {
-            b.iter(|| distinct_kernel(&input, &parallel_opts()).0.num_rows())
+            b.iter(|| {
+                distinct_kernel(&input, &parallel_opts(), &KernelGov::unbounded())
+                    .expect("kernel distinct")
+                    .0
+                    .num_rows()
+            })
         });
     }
     g.finish();

@@ -23,7 +23,7 @@ use gis_core::exec::aggregate::{
     distinct_kernel, distinct_ref, hash_aggregate_kernel, hash_aggregate_ref,
 };
 use gis_core::exec::join::{hash_join_kernel, hash_join_ref};
-use gis_core::exec::keys::KernelOptions;
+use gis_core::exec::keys::{KernelGov, KernelOptions};
 use gis_core::expr::ScalarExpr;
 use gis_core::plan::logical::{AggregateExpr, JoinNode};
 use gis_sql::ast::JoinKind;
@@ -113,6 +113,7 @@ fn bench_group_by(n: usize, samples: &mut Vec<Sample>) {
                     &aggs,
                     schema.clone(),
                     &KernelOptions::serial(),
+                    &KernelGov::unbounded(),
                 )
                 .expect("kernel agg")
                 .0
@@ -122,10 +123,17 @@ fn bench_group_by(n: usize, samples: &mut Vec<Sample>) {
         (
             "partition",
             Box::new(|| {
-                hash_aggregate_kernel(&input, &groups, &aggs, schema.clone(), &parallel_opts())
-                    .expect("kernel agg")
-                    .0
-                    .num_rows()
+                hash_aggregate_kernel(
+                    &input,
+                    &groups,
+                    &aggs,
+                    schema.clone(),
+                    &parallel_opts(),
+                    &KernelGov::unbounded(),
+                )
+                .expect("kernel agg")
+                .0
+                .num_rows()
             }),
         ),
     ];
@@ -178,6 +186,7 @@ fn bench_join(n: usize, samples: &mut Vec<Sample>) {
                     None,
                     schema.clone(),
                     &KernelOptions::serial(),
+                    &KernelGov::unbounded(),
                 )
                 .expect("kernel join")
                 .0
@@ -196,6 +205,7 @@ fn bench_join(n: usize, samples: &mut Vec<Sample>) {
                     None,
                     schema.clone(),
                     &parallel_opts(),
+                    &KernelGov::unbounded(),
                 )
                 .expect("kernel join")
                 .0
@@ -220,14 +230,20 @@ fn bench_distinct(n: usize, samples: &mut Vec<Sample>) {
         (
             "serial",
             Box::new(|| {
-                distinct_kernel(&input, &KernelOptions::serial())
+                distinct_kernel(&input, &KernelOptions::serial(), &KernelGov::unbounded())
+                    .expect("kernel distinct")
                     .0
                     .num_rows()
             }),
         ),
         (
             "partition",
-            Box::new(|| distinct_kernel(&input, &parallel_opts()).0.num_rows()),
+            Box::new(|| {
+                distinct_kernel(&input, &parallel_opts(), &KernelGov::unbounded())
+                    .expect("kernel distinct")
+                    .0
+                    .num_rows()
+            }),
         ),
     ];
     for (path, mut f) in runs {

@@ -5,7 +5,7 @@
 //! what the sources never see: `DISTINCT` aggregates and arbitrary
 //! expressions as arguments and group keys.
 
-use crate::exec::keys::{group_rows, KernelOptions, KernelStats};
+use crate::exec::keys::{group_rows_gov, KernelGov, KernelOptions, KernelStats};
 use crate::expr::eval::evaluate;
 use crate::expr::ScalarExpr;
 use crate::plan::logical::AggregateExpr;
@@ -134,6 +134,7 @@ pub fn hash_aggregate(
         aggregates,
         out_schema,
         &KernelOptions::serial(),
+        &KernelGov::unbounded(),
     )
     .map(|(batch, _)| batch)
 }
@@ -147,11 +148,12 @@ pub fn hash_aggregate_kernel(
     aggregates: &[AggregateExpr],
     out_schema: SchemaRef,
     opts: &KernelOptions,
+    gov: &KernelGov<'_>,
 ) -> Result<(Batch, KernelStats)> {
     let (group_arrays, arg_arrays, int_inputs) = evaluate_inputs(input, group_exprs, aggregates)?;
     let n = input.num_rows();
     let group_refs: Vec<&Array> = group_arrays.iter().collect();
-    let (grouping, stats) = group_rows(&group_refs, n, opts);
+    let (grouping, stats) = group_rows_gov(&group_refs, n, opts, gov)?;
     let mut num_groups = grouping.num_groups();
     // A global aggregate over zero rows still yields one output row.
     let empty_global = group_exprs.is_empty() && num_groups == 0;
@@ -461,20 +463,26 @@ pub fn hash_aggregate_ref(
 /// vectorized kernel). Keeps each row group's first occurrence, in
 /// input order.
 pub fn distinct(input: &Batch) -> Batch {
-    distinct_kernel(input, &KernelOptions::serial()).0
+    distinct_kernel(input, &KernelOptions::serial(), &KernelGov::unbounded())
+        .expect("unbounded kernel cannot fail")
+        .0
 }
 
 /// [`distinct`] with explicit kernel knobs: the key pipeline's group
 /// representatives *are* the distinct rows.
-pub fn distinct_kernel(input: &Batch, opts: &KernelOptions) -> (Batch, KernelStats) {
+pub fn distinct_kernel(
+    input: &Batch,
+    opts: &KernelOptions,
+    gov: &KernelGov<'_>,
+) -> Result<(Batch, KernelStats)> {
     let cols: Vec<&Array> = input.columns().iter().collect();
-    let (grouping, stats) = group_rows(&cols, input.num_rows(), opts);
+    let (grouping, stats) = group_rows_gov(&cols, input.num_rows(), opts, gov)?;
     let keep: Vec<usize> = grouping
         .representatives
         .iter()
         .map(|&r| r as usize)
         .collect();
-    (input.take(&keep), stats)
+    Ok((input.take(&keep), stats))
 }
 
 /// The retained `Vec<Value>`-keyed DISTINCT, kept as the oracle for

@@ -5,7 +5,7 @@
 //! rest. Both operate on materialized batches — the federation's
 //! costs are on the wire, not here.
 
-use crate::exec::keys::{equi_join_pairs, KernelOptions, KernelStats};
+use crate::exec::keys::{equi_join_pairs_gov, KernelGov, KernelOptions, KernelStats};
 use crate::expr::eval::evaluate_predicate;
 use crate::expr::ScalarExpr;
 use gis_sql::ast::JoinKind;
@@ -37,6 +37,7 @@ pub fn hash_join(
         residual,
         out_schema,
         &KernelOptions::serial(),
+        &KernelGov::unbounded(),
     )
     .map(|(batch, _)| batch)
 }
@@ -80,9 +81,9 @@ fn common_key_columns<'a>(
     Ok(Some((lcols, rcols)))
 }
 
-/// [`hash_join`] with explicit kernel knobs, reporting what the key
-/// kernel did (mode, partitions, build/probe time) for EXPLAIN
-/// ANALYZE.
+/// [`hash_join`] with explicit kernel knobs and a memory governor,
+/// reporting what the key kernel did (mode, partitions, build/probe
+/// time, spill) for EXPLAIN ANALYZE.
 #[allow(clippy::too_many_arguments)]
 pub fn hash_join_kernel(
     left: &Batch,
@@ -93,6 +94,7 @@ pub fn hash_join_kernel(
     residual: Option<&ScalarExpr>,
     out_schema: SchemaRef,
     opts: &KernelOptions,
+    gov: &KernelGov<'_>,
 ) -> Result<(Batch, KernelStats)> {
     if left_keys.len() != right_keys.len() || left_keys.is_empty() {
         return Err(GisError::Internal(
@@ -103,7 +105,7 @@ pub fn hash_join_kernel(
         Some((lcols, rcols)) => {
             let lrefs: Vec<&Array> = lcols.iter().map(Cow::as_ref).collect();
             let rrefs: Vec<&Array> = rcols.iter().map(Cow::as_ref).collect();
-            equi_join_pairs(&lrefs, &rrefs, opts)
+            equi_join_pairs_gov(&lrefs, &rrefs, opts, gov)?
         }
         None => (
             Vec::new(),
@@ -112,6 +114,9 @@ pub fn hash_join_kernel(
                 partitions: 1,
                 build_us: 0,
                 probe_us: 0,
+                mem_bytes: 0,
+                spill_bytes: 0,
+                spill_parts: 0,
             },
         ),
     };

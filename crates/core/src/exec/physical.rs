@@ -3,7 +3,7 @@
 use crate::exec::aggregate::{distinct_kernel, hash_aggregate_kernel};
 use crate::exec::fragment::FragmentExec;
 use crate::exec::join::{hash_join_kernel, nested_loop_join};
-use crate::exec::keys::KernelOptions;
+use crate::exec::keys::{KernelGov, KernelOptions, MemScope};
 use crate::expr::eval::{evaluate, evaluate_predicate};
 use crate::expr::ScalarExpr;
 use crate::metrics::{DegradedReport, DegradedSource};
@@ -12,6 +12,7 @@ use gis_adapters::{is_availability_error, SourceGroup, SourceRequest};
 use gis_catalog::TableMapping;
 use gis_observe::Span;
 use gis_sql::ast::JoinKind;
+use gis_types::mem::{MemBudget, UNLIMITED};
 use gis_types::{Batch, GisError, Result, Row, Schema, SchemaRef, SortKey, SortOrder, Value};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -27,6 +28,7 @@ pub struct ExecContext<'a> {
     options: crate::exec::options::ExecOptions,
     query_id: u64,
     deadline: Option<std::time::Instant>,
+    budget: &'a MemBudget,
     degraded: Mutex<Vec<DegradedSource>>,
 }
 
@@ -46,6 +48,7 @@ impl<'a> ExecContext<'a> {
             options,
             query_id: 0,
             deadline: None,
+            budget: &UNLIMITED,
             degraded: Mutex::new(Vec::new()),
         }
     }
@@ -64,6 +67,28 @@ impl<'a> ExecContext<'a> {
     pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
         self.deadline = deadline;
         self
+    }
+
+    /// Attaches the query's memory budget. Hash kernels and sort
+    /// buffers account their allocations against it, degrade to
+    /// spilled execution when the soft limit is hit, and cancel the
+    /// query with [`GisError::ResourceExhausted`] past the hard
+    /// limit. Defaults to the process-wide unlimited budget.
+    pub fn with_budget(mut self, budget: &'a MemBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The query's memory budget.
+    pub fn budget(&self) -> &'a MemBudget {
+        self.budget
+    }
+
+    /// The kernel governor for this query: budget + deadline +
+    /// query id, handed to every hash kernel so cancellation checks
+    /// fire *inside* partitioned loops, not only between operators.
+    pub fn kernel_gov(&self) -> KernelGov<'a> {
+        KernelGov::new(self.budget, self.deadline, self.query_id)
     }
 
     /// The runtime-assigned query id (0 when ad-hoc).
@@ -530,9 +555,11 @@ impl PhysicalPlan {
                     residual.as_ref(),
                     schema.clone(),
                     &KernelOptions::from_exec(&ctx.options),
+                    &ctx.kernel_gov(),
                 )?;
                 if trace {
                     children.push(kstats.to_span());
+                    children.extend(kstats.governor_spans());
                 }
                 batch
             }
@@ -562,15 +589,17 @@ impl PhysicalPlan {
                     aggregates,
                     schema.clone(),
                     &KernelOptions::from_exec(&ctx.options),
+                    &ctx.kernel_gov(),
                 )?;
                 if trace {
                     children.push(kstats.to_span());
+                    children.extend(kstats.governor_spans());
                 }
                 out
             }
             PhysicalPlan::Sort { input, keys } => {
                 let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
-                sort_batch(&batch, keys)?
+                sort_batch(&batch, keys, &ctx.kernel_gov())?
             }
             PhysicalPlan::Limit { input, skip, fetch } => {
                 let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
@@ -603,10 +632,14 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Distinct { input } => {
                 let batch = run_child(input, ctx, &mut children, &mut rows_in)?;
-                let (out, kstats) =
-                    distinct_kernel(&batch, &KernelOptions::from_exec(&ctx.options));
+                let (out, kstats) = distinct_kernel(
+                    &batch,
+                    &KernelOptions::from_exec(&ctx.options),
+                    &ctx.kernel_gov(),
+                )?;
                 if trace {
                     children.push(kstats.to_span());
+                    children.extend(kstats.governor_spans());
                 }
                 out
             }
@@ -920,7 +953,21 @@ fn request_summary(req: &SourceRequest) -> String {
     }
 }
 
-fn sort_batch(batch: &Batch, keys: &[PhysicalSortKey]) -> Result<Batch> {
+/// Estimated ORDER BY working set: one evaluated key cell per
+/// (row, key) plus the 8-byte index vector the sort permutes.
+const SORT_KEY_COST: u64 = 16;
+
+fn sort_batch(batch: &Batch, keys: &[PhysicalSortKey], gov: &KernelGov<'_>) -> Result<Batch> {
+    // The sort buffer (key batch + index vector) is a required
+    // allocation: sorts don't spill, so a budget past its hard limit
+    // cancels the query here rather than between operators.
+    gov.checkpoint()?;
+    let mem = MemScope::new(*gov);
+    let n = batch.num_rows() as u64;
+    mem.reserve_required(
+        n * (keys.len() as u64 * SORT_KEY_COST + 8),
+        "order-by sort buffer",
+    )?;
     // Evaluate key expressions into a key-only batch, sort its row
     // indices, and gather.
     let mut key_cols = Vec::with_capacity(keys.len());
@@ -1011,6 +1058,13 @@ fn execute_bind_join(
             "bind join inner request must be a Lookup".into(),
         ));
     };
+    // Bind joins push one receive span per key batch; a pathological
+    // outer (millions of distinct keys at batch_size=1) must not turn
+    // the trace itself into a memory hog. Spans past the cap are
+    // dropped and summarized in one overflow leaf.
+    const BIND_RECV_SPAN_CAP: usize = 64;
+    let mut recv_spans: usize = 0;
+    let mut recv_dropped: u64 = 0;
     let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
     let mut export_keys: Vec<Vec<Value>> = Vec::new();
     for row in 0..outer.num_rows() {
@@ -1070,7 +1124,12 @@ fn execute_bind_join(
             remote
                 .execute_all_traced(&request, resp_schema.clone(), ctx.deadline())
                 .map(|(raw, recv)| {
-                    children.push(recv);
+                    if recv_spans < BIND_RECV_SPAN_CAP {
+                        recv_spans += 1;
+                        children.push(recv);
+                    } else {
+                        recv_dropped += 1;
+                    }
                     raw
                 })
         } else {
@@ -1107,6 +1166,11 @@ fn execute_bind_join(
         inner_parts.push(filtered.project(&b.inner.output_positions)?);
         idx = end;
     }
+    if recv_dropped > 0 {
+        children.push(Span::leaf(format!(
+            "recv-overflow: capacity={BIND_RECV_SPAN_CAP} dropped={recv_dropped}"
+        )));
+    }
     let inner_all = if inner_parts.is_empty() {
         Batch::empty(b.inner.schema.clone())
     } else {
@@ -1123,9 +1187,11 @@ fn execute_bind_join(
         b.residual.as_ref(),
         b.schema.clone(),
         &KernelOptions::from_exec(ctx.options()),
+        &ctx.kernel_gov(),
     )?;
     if trace {
         children.push(kstats.to_span());
+        children.extend(kstats.governor_spans());
     }
     let span = started.map(|t| {
         let mut s = Span::leaf(format!(

@@ -25,7 +25,7 @@ use gis_adapters::{register_adapter, RemoteSource, SourceAdapter, SourceGroup};
 use gis_catalog::{Catalog, CatalogRef, TableMapping};
 use gis_net::{BreakerConfig, Link, NetworkConditions, RetryPolicy, SimClock};
 use gis_sql::ast::Statement;
-use gis_types::{Batch, GisError, Result};
+use gis_types::{Batch, GisError, MemBudget, Result};
 use gis_views::{CompiledView, MaterializedView, RefreshPolicy, ViewGauges, ViewRegistry};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
@@ -539,7 +539,13 @@ impl Federation {
             Statement::Explain { analyze, statement } => {
                 let optimizer = self.optimizer_options();
                 let exec = self.exec_options();
-                self.explain_statement(*statement, analyze, &optimizer, &exec)
+                self.explain_statement(
+                    *statement,
+                    analyze,
+                    &optimizer,
+                    &exec,
+                    &gis_types::mem::UNLIMITED,
+                )
             }
             Statement::Query(_) => self.run_statement(&stmt),
             Statement::CreateMaterializedView { name, query } => {
@@ -578,15 +584,29 @@ impl Federation {
         optimizer: &OptimizerOptions,
         exec: &ExecOptions,
     ) -> Result<QueryResult> {
+        self.query_with_budget(sql, optimizer, exec, &gis_types::mem::UNLIMITED)
+    }
+
+    /// [`Federation::query_with`] under an explicit per-query memory
+    /// budget: hash kernels and sort buffers account against it,
+    /// spill when the soft limit is hit, and cancel the query with
+    /// [`GisError::ResourceExhausted`] past the hard limit.
+    pub fn query_with_budget(
+        &self,
+        sql: &str,
+        optimizer: &OptimizerOptions,
+        exec: &ExecOptions,
+        budget: &MemBudget,
+    ) -> Result<QueryResult> {
         let stmt = gis_sql::parse(sql)?;
         match stmt {
             Statement::Explain { analyze, statement } => {
-                self.explain_statement(*statement, analyze, optimizer, exec)
+                self.explain_statement(*statement, analyze, optimizer, exec, budget)
             }
             Statement::Query(_) => {
                 let started = Instant::now();
                 let plan = self.plan_statement_with(&stmt, optimizer)?;
-                let mut result = self.execute_logical(&plan, exec, 0, None)?;
+                let mut result = self.execute_logical_governed(&plan, exec, 0, None, budget)?;
                 result.metrics.wall_us = started.elapsed().as_micros();
                 Ok(result)
             }
@@ -632,6 +652,22 @@ impl Federation {
         query_id: u64,
         deadline: Option<Instant>,
     ) -> Result<QueryResult> {
+        self.execute_logical_governed(plan, exec, query_id, deadline, &gis_types::mem::UNLIMITED)
+    }
+
+    /// [`Federation::execute_logical`] under an explicit memory
+    /// budget. The runtime scheduler builds one budget per admitted
+    /// query (charged against the process pool) and threads it here;
+    /// the unbudgeted entry points pass the process-wide unlimited
+    /// budget.
+    pub fn execute_logical_governed(
+        &self,
+        plan: &LogicalPlan,
+        exec: &ExecOptions,
+        query_id: u64,
+        deadline: Option<Instant>,
+        budget: &MemBudget,
+    ) -> Result<QueryResult> {
         let started = Instant::now();
         // View matching runs here — after optimization, at execution
         // time — because freshness is only knowable now, and because
@@ -658,7 +694,8 @@ impl Federation {
         let snapshot = TrafficSnapshot::capture(links.iter().copied(), &self.clock);
         let ctx = ExecContext::with_options(&sources, *exec)
             .with_query_id(query_id)
-            .with_deadline(deadline);
+            .with_deadline(deadline)
+            .with_budget(budget);
         let (batch, trace) = physical.execute_traced(&ctx)?;
         let mut metrics = snapshot.diff_against(links.iter().copied(), &self.clock);
         metrics.rows_returned = batch.num_rows();
@@ -695,6 +732,7 @@ impl Federation {
         analyze: bool,
         optimizer: &OptimizerOptions,
         exec: &ExecOptions,
+        budget: &MemBudget,
     ) -> Result<QueryResult> {
         let mut degraded = None;
         let rendered = if analyze {
@@ -704,7 +742,7 @@ impl Federation {
             exec.tracing = true;
             let started = Instant::now();
             let plan = self.plan_statement_with(&stmt, optimizer)?;
-            let mut result = self.execute_logical(&plan, &exec, 0, None)?;
+            let mut result = self.execute_logical_governed(&plan, &exec, 0, None, budget)?;
             result.metrics.wall_us = started.elapsed().as_micros();
             let tree = match &result.metrics.trace {
                 Some(span) => span.render(),

@@ -19,11 +19,11 @@ use gis_core::exec::aggregate::{
     distinct_kernel, distinct_ref, hash_aggregate_kernel, hash_aggregate_ref,
 };
 use gis_core::exec::join::{hash_join_kernel, hash_join_ref};
-use gis_core::exec::keys::KernelOptions;
+use gis_core::exec::keys::{KernelGov, KernelOptions};
 use gis_core::expr::ScalarExpr;
 use gis_core::plan::logical::{AggregateExpr, JoinNode};
 use gis_sql::ast::JoinKind;
-use gis_types::{Batch, DataType, Field, Schema, SchemaRef, Value};
+use gis_types::{Batch, DataType, Field, MemBudget, Schema, SchemaRef, Value};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
@@ -114,6 +114,17 @@ fn kernel_modes() -> [(&'static str, KernelOptions); 3] {
     ]
 }
 
+/// Governor flavors: unbounded (the pre-governor behavior) and a
+/// one-byte soft limit with a large spill cap, which forces every
+/// hash table through the radix spill path. Spilled execution must
+/// stay row-identical to the reference too.
+fn budgets() -> [(&'static str, Option<MemBudget>); 2] {
+    [
+        ("unbounded", None),
+        ("spill", Some(MemBudget::standalone(1, 1 << 30))),
+    ]
+}
+
 /// Builds a batch with `raw` key columns of `kinds` plus one Int64
 /// payload column drawn from a small domain (so full-row duplicates
 /// occur for DISTINCT).
@@ -197,25 +208,33 @@ fn check_join(kinds: &[KeyKind], left: &Batch, right: &Batch) -> Result<(), Test
             .expect("reference join")
             .to_rows();
         for (mode, opts) in kernel_modes() {
-            let (got, _) = hash_join_kernel(
-                left,
-                right,
-                &key_cols,
-                &key_cols,
-                jk,
-                None,
-                schema.clone(),
-                &opts,
-            )
-            .expect("kernel join");
-            prop_assert_eq!(
-                got.to_rows(),
-                want.clone(),
-                "join kind {:?}, kernel mode {}, kinds {:?}",
-                jk,
-                mode,
-                kinds
-            );
+            for (bmode, budget) in budgets() {
+                let gov = match &budget {
+                    Some(b) => KernelGov::new(b, None, 0),
+                    None => KernelGov::unbounded(),
+                };
+                let (got, _) = hash_join_kernel(
+                    left,
+                    right,
+                    &key_cols,
+                    &key_cols,
+                    jk,
+                    None,
+                    schema.clone(),
+                    &opts,
+                    &gov,
+                )
+                .expect("kernel join");
+                prop_assert_eq!(
+                    got.to_rows(),
+                    want.clone(),
+                    "join kind {:?}, kernel mode {}, budget {}, kinds {:?}",
+                    jk,
+                    mode,
+                    bmode,
+                    kinds
+                );
+            }
         }
     }
     Ok(())
@@ -284,15 +303,23 @@ fn check_group_by(kind: KeyKind, input: &Batch) -> Result<(), TestCaseError> {
         .expect("reference aggregate")
         .to_rows();
     for (mode, opts) in kernel_modes() {
-        let (got, _) = hash_aggregate_kernel(input, &groups, &aggs, schema.clone(), &opts)
-            .expect("kernel aggregate");
-        prop_assert_eq!(
-            got.to_rows(),
-            want.clone(),
-            "group-by kernel mode {}, key kind {:?}",
-            mode,
-            kind
-        );
+        for (bmode, budget) in budgets() {
+            let gov = match &budget {
+                Some(b) => KernelGov::new(b, None, 0),
+                None => KernelGov::unbounded(),
+            };
+            let (got, _) =
+                hash_aggregate_kernel(input, &groups, &aggs, schema.clone(), &opts, &gov)
+                    .expect("kernel aggregate");
+            prop_assert_eq!(
+                got.to_rows(),
+                want.clone(),
+                "group-by kernel mode {}, budget {}, key kind {:?}",
+                mode,
+                bmode,
+                kind
+            );
+        }
     }
     Ok(())
 }
@@ -300,8 +327,20 @@ fn check_group_by(kind: KeyKind, input: &Batch) -> Result<(), TestCaseError> {
 fn check_distinct(input: &Batch) -> Result<(), TestCaseError> {
     let want = distinct_ref(input).to_rows();
     for (mode, opts) in kernel_modes() {
-        let (got, _) = distinct_kernel(input, &opts);
-        prop_assert_eq!(got.to_rows(), want.clone(), "distinct kernel mode {}", mode);
+        for (bmode, budget) in budgets() {
+            let gov = match &budget {
+                Some(b) => KernelGov::new(b, None, 0),
+                None => KernelGov::unbounded(),
+            };
+            let (got, _) = distinct_kernel(input, &opts, &gov).expect("kernel distinct");
+            prop_assert_eq!(
+                got.to_rows(),
+                want.clone(),
+                "distinct kernel mode {}, budget {}",
+                mode,
+                bmode
+            );
+        }
     }
     Ok(())
 }

@@ -21,7 +21,9 @@
 #![forbid(unsafe_code)]
 
 pub mod expo;
+pub mod ring;
 pub mod span;
 
 pub use expo::TextExposition;
+pub use ring::BoundedRing;
 pub use span::Span;

@@ -1,0 +1,127 @@
+//! A bounded ring buffer with an overflow counter.
+//!
+//! Observability state must never become the memory problem it
+//! exists to diagnose: every retained-history structure (the
+//! slow-query log, span buffers) is bounded by an explicit capacity,
+//! and anything pushed past capacity evicts the oldest entry while
+//! the `overflow_dropped` counter records the loss — a monitoring
+//! consumer can always tell "the buffer is the whole history" from
+//! "the buffer is the tail of a longer history".
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A thread-safe bounded ring: push evicts the oldest entry once the
+/// explicit capacity is reached and counts the eviction.
+#[derive(Debug)]
+pub struct BoundedRing<T> {
+    entries: Mutex<VecDeque<T>>,
+    capacity: usize,
+    pushed: AtomicU64,
+    overflow_dropped: AtomicU64,
+}
+
+impl<T> BoundedRing<T> {
+    /// A ring holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> BoundedRing<T> {
+        let capacity = capacity.max(1);
+        BoundedRing {
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            pushed: AtomicU64::new(0),
+            overflow_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an entry, evicting (and counting) the oldest when the
+    /// ring is full.
+    pub fn push(&self, entry: T) {
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+            self.overflow_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(entry);
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently resident (at most `capacity`).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Total entries ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because the ring was full — the gap between
+    /// history and what [`BoundedRing::snapshot`] can still show.
+    pub fn overflow_dropped(&self) -> u64 {
+        self.overflow_dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> BoundedRing<T> {
+    /// The resident entries, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_within_capacity_drops_nothing() {
+        let ring = BoundedRing::new(4);
+        for i in 0..4 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![0, 1, 2, 3]);
+        assert_eq!(ring.overflow_dropped(), 0);
+        assert_eq!(ring.pushed(), 4);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts() {
+        let ring = BoundedRing::new(3);
+        for i in 0..10 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![7, 8, 9]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.overflow_dropped(), 7);
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = BoundedRing::new(0);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.snapshot(), vec!["b"]);
+        assert_eq!(ring.overflow_dropped(), 1);
+    }
+}

@@ -15,6 +15,16 @@ pub enum Mode {
     /// stays off, so retries either absorb the faults — and the
     /// answer must still be exact — or the query fails cleanly).
     Faulted,
+    /// One call under a deliberately tiny per-query memory budget
+    /// with a generous spill cap: every hash kernel degrades to its
+    /// spilled path, and the answer must still be bit-identical to
+    /// the in-memory oracle.
+    MemTight,
+    /// Tiny budget with spilling disabled (`spill_cap` 0): queries
+    /// the governor kills fail cleanly with a `MEM` error (absorbed
+    /// like fault-injected failures); any query that survives must
+    /// still be exact.
+    MemStarved,
 }
 
 /// One engine configuration under test.
@@ -122,6 +132,28 @@ pub fn matrix() -> Vec<EngineConfig> {
             },
             mode: Mode::Faulted,
         },
+        // Spill-everything: a 1-byte budget forces every hash kernel
+        // through the grace-hash disk path, combined with partitioned
+        // parallel kernels so spill routing and partition bits are
+        // exercised together. Divergence policy is the strict one.
+        EngineConfig {
+            name: "mem_tight",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                parallel_kernel_rows: 2,
+                ..base
+            },
+            mode: Mode::MemTight,
+        },
+        // Starvation: same 1-byte budget, spilling disabled, so the
+        // governor kills anything that needs real memory. Kills are
+        // expected; survivors must be exact.
+        EngineConfig {
+            name: "mem_starved",
+            optimizer: OptimizerOptions::default(),
+            exec: base,
+            mode: Mode::MemStarved,
+        },
     ]
 }
 
@@ -136,6 +168,8 @@ mod tests {
         assert!(m.iter().any(|c| c.mode == Mode::Faulted));
         assert!(m.iter().any(|c| c.mode == Mode::Cached));
         assert!(m.iter().any(|c| c.exec.view_matching));
+        assert!(m.iter().any(|c| c.mode == Mode::MemTight));
+        assert!(m.iter().any(|c| c.mode == Mode::MemStarved));
     }
 
     #[test]

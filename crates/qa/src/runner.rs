@@ -19,6 +19,7 @@ use gis_net::BreakerConfig;
 use gis_runtime::{Runtime, RuntimeConfig, Session};
 use gis_sql::ast::Query;
 use gis_sql::unparse::query_to_sql;
+use gis_types::mem::MemBudget;
 use gis_types::Value;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -28,6 +29,16 @@ use std::sync::Arc;
 /// succeeds — and then must be exact — while a handful per thousand
 /// exhaust retries and must fail cleanly instead of degrading.
 const FLAKY_DROP_P: f64 = 0.1;
+
+/// The per-query soft limit used by the memory-pressure
+/// configurations: one byte, so every tracked reservation exceeds it
+/// immediately — `mem_tight` then spills everything, `mem_starved`
+/// (spill cap 0) kills everything that needs real memory.
+const TIGHT_BUDGET: u64 = 1;
+
+/// `mem_tight`'s spill headroom — generous, so the only degradation
+/// in play is memory→disk, never disk exhaustion.
+const TIGHT_SPILL_CAP: u64 = 1 << 30;
 
 /// Outcome of running one query under one configuration: sorted rows
 /// or an error string.
@@ -40,6 +51,9 @@ pub struct ConfigRun {
     pub config: &'static str,
     /// Whether the run was fault-injected.
     pub faulted: bool,
+    /// Whether the run executed under a kill-on-excess memory budget,
+    /// making `MEM` errors expected rather than divergences.
+    pub starved: bool,
     /// Sorted rows, or the error.
     pub outcome: RunRows,
 }
@@ -88,6 +102,9 @@ pub struct DiffReport {
     pub oracle_errors: u64,
     /// Fault-injected runs that failed cleanly (not divergences).
     pub fault_errors: u64,
+    /// Memory-starved runs the governor killed with a `MEM` error
+    /// (expected under `mem_starved`, not divergences).
+    pub mem_kills: u64,
     /// `(config name, runs, divergences)` per configuration.
     pub per_config: Vec<(&'static str, u64, u64)>,
     /// Every divergence found, shrunk.
@@ -105,8 +122,8 @@ impl DiffReport {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "gis-qa: {} queries, {} oracle errors (skipped), {} fault-absorbed failures",
-            self.queries_run, self.oracle_errors, self.fault_errors
+            "gis-qa: {} queries, {} oracle errors (skipped), {} fault-absorbed failures, {} governor kills",
+            self.queries_run, self.oracle_errors, self.fault_errors, self.mem_kills
         );
         let _ = writeln!(s, "{:<12} {:>8} {:>12}", "config", "runs", "divergences");
         for (name, runs, div) in &self.per_config {
@@ -239,6 +256,14 @@ impl Harness {
         Ok(hit)
     }
 
+    fn run_budgeted(&self, sql: &str, cfg: &EngineConfig, spill_cap: u64) -> RunRows {
+        let budget = MemBudget::standalone(TIGHT_BUDGET, spill_cap);
+        self.fed
+            .query_with_budget(sql, &cfg.optimizer, &cfg.exec, &budget)
+            .map(|r| sorted_rows(r.batch.to_rows()))
+            .map_err(|e| e.to_string())
+    }
+
     fn run_faulted(&self, sql: &str, cfg: &EngineConfig, seed: u64) -> RunRows {
         for (i, link) in self.fed.all_links().iter().enumerate() {
             link.faults()
@@ -266,10 +291,13 @@ impl Harness {
             .map(|cfg| ConfigRun {
                 config: cfg.name,
                 faulted: cfg.mode == Mode::Faulted,
+                starved: cfg.mode == Mode::MemStarved,
                 outcome: match cfg.mode {
                     Mode::Direct => self.run_direct(sql, cfg),
                     Mode::Cached => self.run_cached(sql),
                     Mode::Faulted => self.run_faulted(sql, cfg, fault_seed),
+                    Mode::MemTight => self.run_budgeted(sql, cfg, TIGHT_SPILL_CAP),
+                    Mode::MemStarved => self.run_budgeted(sql, cfg, 0),
                 },
             })
             .collect();
@@ -283,6 +311,7 @@ impl Harness {
     /// Divergence policy over a matrix report:
     /// * oracle error → the query is skipped (nothing to compare);
     /// * fault-injected error → clean failure, not a divergence;
+    /// * `MEM` error in a starved run → expected governor kill;
     /// * any other error, or any row mismatch → divergence.
     pub fn divergences(report: &RunReport) -> Vec<Divergence> {
         let Ok(expected) = &report.oracle else {
@@ -292,6 +321,7 @@ impl Harness {
         for run in &report.runs {
             match &run.outcome {
                 Err(_) if run.faulted => {}
+                Err(e) if run.starved && e.starts_with("MEM:") => {}
                 Err(e) => out.push(Divergence {
                     config: run.config,
                     detail: format!("errored where oracle succeeded: {e}"),
@@ -336,6 +366,11 @@ impl Harness {
                 .runs
                 .iter()
                 .filter(|r| r.faulted && r.outcome.is_err())
+                .count() as u64;
+            report.mem_kills += run
+                .runs
+                .iter()
+                .filter(|r| r.starved && matches!(&r.outcome, Err(e) if e.starts_with("MEM:")))
                 .count() as u64;
             let divs = Self::divergences(&run);
             for (name, runs, d) in report.per_config.iter_mut() {

@@ -1,5 +1,6 @@
 //! Runtime tuning knobs.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration for a [`crate::Runtime`].
@@ -7,7 +8,7 @@ use std::time::Duration;
 /// The defaults suit tests and small experiments; report binaries
 /// override `workers` and the cache sizes to match the scenario under
 /// measurement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Worker threads executing queries. Each worker runs one query
     /// at a time, so this is also the execution concurrency bound.
@@ -34,6 +35,23 @@ pub struct RuntimeConfig {
     pub slow_query_us: Option<u64>,
     /// Entries the slow-query ring buffer retains (oldest evicted).
     pub slow_log_capacity: usize,
+    /// Per-query memory budget (soft limit) in bytes. A hash kernel
+    /// that would exceed it degrades to spilled execution; with
+    /// spilling disabled (`spill_cap` 0) the query is cancelled with
+    /// [`gis_types::GisError::ResourceExhausted`]. `u64::MAX`
+    /// disables governance entirely.
+    pub query_mem_limit: u64,
+    /// Process-wide memory pool capacity in bytes, shared by every
+    /// concurrent query plus the resident caches and views. A query
+    /// whose reservation would overflow the pool is cancelled, and
+    /// new submissions are refused at admission while the pool is
+    /// exhausted. `u64::MAX` disables the pool bound.
+    pub total_mem_pool: u64,
+    /// Directory for spill files; `None` uses the OS temp directory.
+    pub spill_dir: Option<PathBuf>,
+    /// Max bytes one query may spill to disk; 0 disables spilling
+    /// (budget excess then kills instead of degrading).
+    pub spill_cap: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +64,10 @@ impl Default for RuntimeConfig {
             result_cache_bytes: 8 * 1024 * 1024,
             slow_query_us: None,
             slow_log_capacity: 64,
+            query_mem_limit: u64::MAX,
+            total_mem_pool: u64::MAX,
+            spill_dir: None,
+            spill_cap: 256 * 1024 * 1024,
         }
     }
 }
@@ -90,6 +112,31 @@ impl RuntimeConfig {
     /// Sets the slow-query ring-buffer capacity.
     pub fn with_slow_log_capacity(mut self, capacity: usize) -> Self {
         self.slow_log_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-query memory budget (soft limit) in bytes.
+    pub fn with_query_mem_limit(mut self, bytes: u64) -> Self {
+        self.query_mem_limit = bytes;
+        self
+    }
+
+    /// Sets the process-wide memory pool capacity in bytes.
+    pub fn with_total_mem_pool(mut self, bytes: u64) -> Self {
+        self.total_mem_pool = bytes;
+        self
+    }
+
+    /// Sets the spill directory (`None` = the OS temp directory).
+    pub fn with_spill_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.spill_dir = dir;
+        self
+    }
+
+    /// Sets the per-query spill disk cap in bytes (0 disables
+    /// spilling).
+    pub fn with_spill_cap(mut self, bytes: u64) -> Self {
+        self.spill_cap = bytes;
         self
     }
 }

@@ -50,6 +50,7 @@ pub use stats::StatsSnapshot;
 
 use gis_core::{ExecOptions, Federation, OptimizerOptions};
 use gis_observe::TextExposition;
+use gis_types::mem::MemPool;
 use plan_cache::PlanCache;
 use result_cache::ResultCache;
 use scheduler::{worker_loop, JobQueue, Shared};
@@ -69,16 +70,22 @@ pub struct Runtime {
 impl Runtime {
     /// Starts a runtime with `config.workers` worker threads.
     pub fn new(federation: Arc<Federation>, config: RuntimeConfig) -> Runtime {
+        let worker_count = config.workers.max(1);
+        // One process-wide pool: per-query budgets, the result cache,
+        // and resident views all draw from (or overcommit against) it.
+        let mem_pool = Arc::new(MemPool::new(config.total_mem_pool));
+        federation.views().set_mem_pool(mem_pool.clone());
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_depth),
-            plan_cache: PlanCache::new(config.plan_cache_capacity),
-            result_cache: ResultCache::new(config.result_cache_bytes),
+            plan_cache: PlanCache::new(config.plan_cache_capacity, mem_pool.clone()),
+            result_cache: ResultCache::new(config.result_cache_bytes, mem_pool.clone()),
             stats: RuntimeStats::default(),
             slow_log: SlowLog::new(config.slow_log_capacity),
             federation,
             config,
+            mem_pool,
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -101,7 +108,7 @@ impl Runtime {
 
     /// The configuration the runtime was started with.
     pub fn config(&self) -> RuntimeConfig {
-        self.shared.config
+        self.shared.config.clone()
     }
 
     /// Opens a new session with the federation's current options.
@@ -141,6 +148,14 @@ impl Runtime {
             result_cache_collisions: self.shared.result_cache.collisions(),
             result_cache_bytes: self.shared.result_cache.bytes(),
             slow_queries: self.shared.slow_log.recorded(),
+            slow_log_dropped: self.shared.slow_log.dropped(),
+            mem_rejected: s.mem_rejected.load(Relaxed),
+            mem_killed: s.mem_killed.load(Relaxed),
+            spilled_bytes: s.spilled_bytes.load(Relaxed),
+            spill_events: s.spill_events.load(Relaxed),
+            mem_pool_used: self.shared.mem_pool.used(),
+            mem_pool_peak: self.shared.mem_pool.peak(),
+            mem_pool_capacity: self.shared.mem_pool.capacity(),
         }
     }
 
@@ -163,9 +178,35 @@ impl Runtime {
             ("failed", stats.failed),
             ("rejected", stats.rejected),
             ("deadline_expired", stats.deadline_expired),
+            ("mem_rejected", stats.mem_rejected),
+            ("mem_killed", stats.mem_killed),
         ] {
             expo.sample("gis_queries_total", &[("state", state)], value);
         }
+        expo.header(
+            "gis_mem_pool_bytes",
+            "gauge",
+            "Process memory pool (used may overcommit capacity via resident views)",
+        );
+        for (state, value) in [
+            ("used", stats.mem_pool_used),
+            ("peak", stats.mem_pool_peak),
+            ("capacity", stats.mem_pool_capacity),
+        ] {
+            expo.sample("gis_mem_pool_bytes", &[("state", state)], value);
+        }
+        expo.header(
+            "gis_spill_bytes_total",
+            "counter",
+            "Bytes hash kernels spilled to disk under memory pressure",
+        );
+        expo.sample("gis_spill_bytes_total", &[], stats.spilled_bytes);
+        expo.header(
+            "gis_spill_events_total",
+            "counter",
+            "Kernel degradations to spilled execution",
+        );
+        expo.sample("gis_spill_events_total", &[], stats.spill_events);
         expo.header("gis_queue_depth", "gauge", "Queries waiting for a worker");
         expo.sample("gis_queue_depth", &[], self.queued() as u64);
         expo.header("gis_plan_cache_total", "counter", "Plan cache outcomes");
@@ -205,6 +246,12 @@ impl Runtime {
             "Queries recorded in the slow-query log",
         );
         expo.sample("gis_slow_queries_total", &[], stats.slow_queries);
+        expo.header(
+            "gis_slow_log_dropped_total",
+            "counter",
+            "Slow-log entries evicted because the ring was full",
+        );
+        expo.sample("gis_slow_log_dropped_total", &[], stats.slow_log_dropped);
         expo.header("gis_link_bytes_total", "counter", "Bytes shipped per link");
         let fed = &self.shared.federation;
         // One series per *link*, not per logical source: every replica

@@ -9,6 +9,7 @@
 //! naturally misses instead of serving a stale plan.
 
 use gis_core::{LogicalPlan, OptimizerOptions};
+use gis_types::mem::MemPool;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -90,22 +91,33 @@ struct Inner {
     tick: u64,
 }
 
-/// An LRU cache of optimized logical plans.
+/// The pool charge per resident plan. Plans are irregular linked
+/// structures whose true footprint is not cheaply measurable, so the
+/// governor books a fixed conservative estimate per entry — enough
+/// that a large plan cache visibly occupies the pool without
+/// per-node accounting.
+const PLAN_ENTRY_COST: u64 = 64 * 1024;
+
+/// An LRU cache of optimized logical plans. Each resident entry
+/// charges a fixed estimate against the process memory pool; under
+/// pool pressure the cache evicts rather than crowding out queries.
 pub(crate) struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    pool: Arc<MemPool>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl PlanCache {
-    pub fn new(capacity: usize) -> Self {
+    pub fn new(capacity: usize, pool: Arc<MemPool>) -> Self {
         PlanCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
             }),
             capacity,
+            pool,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -143,6 +155,26 @@ impl PlanCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        let replacing = inner.map.contains_key(&key);
+        if !replacing {
+            // Evict for pool pressure before charging the new entry;
+            // if the pool stays full even with the cache drained,
+            // decline the insert — queries outrank memoized plans.
+            while !self.pool.try_reserve(PLAN_ENTRY_COST) {
+                let oldest = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match oldest {
+                    Some(k) => {
+                        inner.map.remove(&k);
+                        self.pool.release(PLAN_ENTRY_COST);
+                    }
+                    None => return,
+                }
+            }
+        }
         inner.map.insert(
             key,
             Entry {
@@ -158,7 +190,10 @@ impl PlanCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone());
             match oldest {
-                Some(k) => inner.map.remove(&k),
+                Some(k) => {
+                    inner.map.remove(&k);
+                    self.pool.release(PLAN_ENTRY_COST);
+                }
                 None => break,
             };
         }
@@ -202,9 +237,13 @@ mod tests {
         assert_ne!(a, d);
     }
 
+    fn test_cache(capacity: usize) -> PlanCache {
+        PlanCache::new(capacity, Arc::new(MemPool::new(u64::MAX)))
+    }
+
     #[test]
     fn lru_evicts_oldest() {
-        let cache = PlanCache::new(2);
+        let cache = test_cache(2);
         let opts = OptimizerOptions::default();
         let plan = |sql: &str| -> Arc<LogicalPlan> {
             // Values-only plans avoid needing a catalog here.
@@ -226,7 +265,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables() {
-        let cache = PlanCache::new(0);
+        let cache = test_cache(0);
         let opts = OptimizerOptions::default();
         let k = PlanKey::new("SELECT 1", 0, &opts);
         let fed = gis_core::Federation::new();

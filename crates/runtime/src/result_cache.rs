@@ -8,10 +8,12 @@
 //! changes bump versions, so stale entries die on their next probe
 //! (and are removed eagerly then, freeing budget).
 
+use gis_types::mem::MemPool;
 use gis_types::Batch;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cache key: the fingerprint of the optimized plan (which already
 /// encodes SQL text, catalog version, and optimizer options) plus a
@@ -41,17 +43,22 @@ struct Inner {
     tick: u64,
 }
 
-/// A byte-budgeted LRU cache of query results.
+/// A byte-budgeted LRU cache of query results. Resident bytes are
+/// also charged against the process memory pool, so cached results
+/// compete with running queries for the same headroom; under pool
+/// pressure the cache evicts (or declines inserts) rather than
+/// squeezing queries out.
 pub(crate) struct ResultCache {
     inner: Mutex<Inner>,
     budget: u64,
+    pool: Arc<MemPool>,
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
 }
 
 impl ResultCache {
-    pub fn new(budget: u64) -> Self {
+    pub fn new(budget: u64, pool: Arc<MemPool>) -> Self {
         ResultCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
@@ -59,6 +66,7 @@ impl ResultCache {
                 tick: 0,
             }),
             budget,
+            pool,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
@@ -96,6 +104,7 @@ impl ResultCache {
         if stale {
             if let Some(entry) = inner.map.remove(key) {
                 inner.bytes -= entry.bytes;
+                self.pool.release(entry.bytes);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -119,8 +128,14 @@ impl ResultCache {
         let tick = inner.tick;
         if let Some(old) = inner.map.remove(&key) {
             inner.bytes -= old.bytes;
+            self.pool.release(old.bytes);
         }
-        while inner.bytes + bytes > self.budget {
+        // Evict for the cache's own byte budget first, then keep
+        // evicting for *pool* pressure: a cache entry is always the
+        // right thing to sacrifice for query headroom.
+        while inner.bytes + bytes > self.budget
+            || (self.pool.available() < bytes && !inner.map.is_empty())
+        {
             let oldest = inner
                 .map
                 .iter()
@@ -130,10 +145,16 @@ impl ResultCache {
                 Some(k) => {
                     if let Some(evicted) = inner.map.remove(&k) {
                         inner.bytes -= evicted.bytes;
+                        self.pool.release(evicted.bytes);
                     }
                 }
                 None => break,
             }
+        }
+        if !self.pool.try_reserve(bytes) {
+            // Even a fully drained cache cannot make room — queries
+            // and views own the pool right now; skip the insert.
+            return;
         }
         inner.bytes += bytes;
         inner.map.insert(
@@ -182,11 +203,15 @@ mod tests {
         BTreeMap::from([("s".to_string(), v)])
     }
 
+    fn cache(budget: u64) -> ResultCache {
+        ResultCache::new(budget, Arc::new(MemPool::new(u64::MAX)))
+    }
+
     const SQL: &str = "select x from t";
 
     #[test]
     fn hit_requires_matching_versions() {
-        let cache = ResultCache::new(1 << 20);
+        let cache = cache(1 << 20);
         let key = ResultKey {
             plan_fp: 1,
             exec_fp: 2,
@@ -203,7 +228,7 @@ mod tests {
     #[test]
     fn byte_budget_evicts_lru() {
         let one = batch(1).wire_size() as u64;
-        let cache = ResultCache::new(2 * one);
+        let cache = cache(2 * one);
         let k = |i| ResultKey {
             plan_fp: i,
             exec_fp: 0,
@@ -220,7 +245,7 @@ mod tests {
 
     #[test]
     fn oversized_results_skip_the_cache() {
-        let cache = ResultCache::new(8);
+        let cache = cache(8);
         let key = ResultKey {
             plan_fp: 1,
             exec_fp: 1,
@@ -231,11 +256,40 @@ mod tests {
     }
 
     #[test]
+    fn pool_pressure_evicts_entries_and_declines_inserts() {
+        let one = batch(1).wire_size() as u64;
+        // Pool fits exactly one cached result; the cache's own budget
+        // would happily hold two.
+        let pool = Arc::new(MemPool::new(one));
+        let cache = ResultCache::new(4 * one, pool.clone());
+        let k = |i| ResultKey {
+            plan_fp: i,
+            exec_fp: 0,
+        };
+        cache.put(k(1), SQL.into(), batch(1), versions(1));
+        assert_eq!(pool.used(), one);
+        // A second insert evicts the first for pool headroom.
+        cache.put(k(2), SQL.into(), batch(1), versions(1));
+        assert!(cache.get(&k(1), SQL, &versions(1)).is_none());
+        assert!(cache.get(&k(2), SQL, &versions(1)).is_some());
+        assert_eq!(pool.used(), one);
+        // With the pool held by someone else entirely, inserts are
+        // declined once the cache has nothing left to evict.
+        assert!(pool.try_reserve(0)); // sanity: pool API reachable
+        let outside = pool.available();
+        if outside > 0 {
+            assert!(pool.try_reserve(outside));
+        }
+        cache.put(k(3), "other".into(), batch(2), versions(1));
+        assert!(cache.get(&k(3), "other", &versions(1)).is_none());
+    }
+
+    #[test]
     fn fingerprint_collision_is_a_verified_miss_not_a_false_hit() {
         // Two *different* queries forced onto the same fingerprint
         // pair — exactly what a u64 collision looks like. Before the
         // fix, the second query was served the first query's rows.
-        let cache = ResultCache::new(1 << 20);
+        let cache = cache(1 << 20);
         let key = ResultKey {
             plan_fp: 42,
             exec_fp: 7,

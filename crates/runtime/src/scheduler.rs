@@ -15,8 +15,10 @@ use crate::RuntimeConfig;
 use crossbeam::channel;
 use gis_core::{ExecOptions, Federation, OptimizerOptions, QueryMetrics, QueryResult};
 use gis_sql::ast::Statement;
+use gis_types::mem::{MemBudget, MemPool};
 use gis_types::{GisError, Result};
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -144,6 +146,8 @@ pub(crate) struct Shared {
     pub result_cache: ResultCache,
     pub stats: RuntimeStats,
     pub slow_log: SlowLog,
+    /// The process-wide memory pool every per-query budget draws from.
+    pub mem_pool: Arc<MemPool>,
 }
 
 /// The worker loop: pop, account queue wait, execute, reply.
@@ -158,6 +162,7 @@ pub(crate) fn worker_loop(shared: &Shared) {
         match &result {
             Ok(_) => RuntimeStats::bump(&shared.stats.completed),
             Err(GisError::Deadline(_)) => RuntimeStats::bump(&shared.stats.deadline_expired),
+            Err(GisError::ResourceExhausted(_)) => RuntimeStats::bump(&shared.stats.mem_killed),
             Err(_) => RuntimeStats::bump(&shared.stats.failed),
         }
         if let (Some(threshold), Ok(r)) = (shared.config.slow_query_us, &result) {
@@ -199,13 +204,24 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
     if shared.config.slow_query_us.is_some() {
         exec.tracing = true;
     }
+    // Every job executes under its own memory budget drawing on the
+    // shared pool; dropping the budget (any exit path) releases the
+    // pool bytes it charged.
+    let budget = MemBudget::new(
+        shared.config.query_mem_limit,
+        Some(shared.mem_pool.clone()),
+        shared.config.spill_dir.clone(),
+        shared.config.spill_cap,
+    );
     let stmt = gis_sql::parse(&job.sql)?;
     if !matches!(stmt, Statement::Query(_)) {
         // EXPLAIN and friends bypass both caches: they are about the
         // *current* plan, and their output is cheap.
-        let mut result = shared
+        let outcome = shared
             .federation
-            .query_with(&job.sql, &job.optimizer, &exec)?;
+            .query_with_budget(&job.sql, &job.optimizer, &exec, &budget);
+        note_spills(shared, &budget);
+        let mut result = outcome?;
         result.metrics.query_id = job.query_id;
         result.metrics.queue_wait_us = queue_wait_us;
         return Ok(result);
@@ -279,10 +295,16 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
         shared.result_cache.count_bypass();
     }
 
-    // Backend: execute under the job's deadline and query id.
-    let mut result = shared
-        .federation
-        .execute_logical(&plan, &exec, job.query_id, job.deadline)?;
+    // Backend: execute under the job's deadline, query id and budget.
+    let outcome = shared.federation.execute_logical_governed(
+        &plan,
+        &exec,
+        job.query_id,
+        job.deadline,
+        &budget,
+    );
+    note_spills(shared, &budget);
+    let mut result = outcome?;
     result.metrics.plan_cache_hit = plan_cache_hit;
     result.metrics.queue_wait_us = queue_wait_us;
     result.metrics.wall_us = started.elapsed().as_micros();
@@ -295,6 +317,26 @@ fn run_job(shared: &Shared, job: &Job, queue_wait_us: u64) -> Result<QueryResult
             .put(result_key, normalized_sql, result.batch.clone(), versions);
     }
     Ok(result)
+}
+
+/// Folds a finished (or killed) query's spill accounting into the
+/// runtime counters — charged on success *and* failure, since a query
+/// can spill plenty before its budget finally kills it.
+fn note_spills(shared: &Shared, budget: &MemBudget) {
+    let bytes = budget.spilled();
+    let events = budget.spill_events();
+    if bytes > 0 {
+        shared
+            .stats
+            .spilled_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+    if events > 0 {
+        shared
+            .stats
+            .spill_events
+            .fetch_add(events, Ordering::Relaxed);
+    }
 }
 
 /// The plan fingerprint used as the result-cache key component. The

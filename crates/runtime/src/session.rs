@@ -107,8 +107,19 @@ impl Session {
     }
 
     /// Submits `sql` without waiting. Fails fast with
-    /// [`GisError::Overloaded`] when the admission queue is full.
+    /// [`GisError::Overloaded`] when the admission queue is full, or
+    /// [`GisError::ResourceExhausted`] when the process memory pool
+    /// has no headroom for another query.
     pub fn submit(&self, sql: &str) -> Result<PendingQuery> {
+        // Admission control for memory, distinct from queue pressure:
+        // dispatching into an exhausted pool would just burn a worker
+        // until the budget kills the query anyway.
+        if self.shared.mem_pool.available() == 0 {
+            RuntimeStats::bump(&self.shared.stats.mem_rejected);
+            return Err(GisError::ResourceExhausted(
+                "process memory pool exhausted; admission refused".into(),
+            ));
+        }
         let query_id = self.shared.federation.next_query_id();
         let (reply, rx) = channel::bounded(1);
         let job = Job {

@@ -9,10 +9,7 @@
 //! operator, which source, how many bytes) is in the entry — no
 //! need to reproduce the query later under `EXPLAIN ANALYZE`.
 
-use gis_observe::Span;
-use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use gis_observe::{BoundedRing, Span};
 
 /// One recorded slow query.
 #[derive(Debug, Clone)]
@@ -53,39 +50,36 @@ impl SlowQueryEntry {
     }
 }
 
-/// A fixed-capacity ring buffer of [`SlowQueryEntry`]s.
+/// A fixed-capacity ring buffer of [`SlowQueryEntry`]s, built on the
+/// shared bounded-history primitive so eviction is always counted.
 pub(crate) struct SlowLog {
-    entries: Mutex<VecDeque<SlowQueryEntry>>,
-    capacity: usize,
-    /// Total recorded since startup (not capped by `capacity`).
-    recorded: AtomicU64,
+    ring: BoundedRing<SlowQueryEntry>,
 }
 
 impl SlowLog {
     pub fn new(capacity: usize) -> Self {
         SlowLog {
-            entries: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
-            capacity: capacity.max(1),
-            recorded: AtomicU64::new(0),
+            ring: BoundedRing::new(capacity),
         }
     }
 
     pub fn record(&self, entry: SlowQueryEntry) {
-        self.recorded.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock();
-        if entries.len() == self.capacity {
-            entries.pop_front();
-        }
-        entries.push_back(entry);
+        self.ring.push(entry);
     }
 
     /// Resident entries, oldest first.
     pub fn entries(&self) -> Vec<SlowQueryEntry> {
-        self.entries.lock().iter().cloned().collect()
+        self.ring.snapshot()
     }
 
+    /// Total recorded since startup (not capped by capacity).
     pub fn recorded(&self) -> u64 {
-        self.recorded.load(Ordering::Relaxed)
+        self.ring.pushed()
+    }
+
+    /// Entries evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.overflow_dropped()
     }
 }
 
@@ -114,6 +108,7 @@ mod tests {
         let ids: Vec<u64> = log.entries().iter().map(|e| e.query_id).collect();
         assert_eq!(ids, vec![2, 3]);
         assert_eq!(log.recorded(), 3);
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

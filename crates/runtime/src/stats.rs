@@ -10,6 +10,10 @@ pub(crate) struct RuntimeStats {
     pub failed: AtomicU64,
     pub rejected: AtomicU64,
     pub deadline_expired: AtomicU64,
+    pub mem_rejected: AtomicU64,
+    pub mem_killed: AtomicU64,
+    pub spilled_bytes: AtomicU64,
+    pub spill_events: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -50,6 +54,23 @@ pub struct StatsSnapshot {
     pub result_cache_bytes: u64,
     /// Queries recorded in the slow-query log so far.
     pub slow_queries: u64,
+    /// Slow-query log entries evicted because the ring was full.
+    pub slow_log_dropped: u64,
+    /// Submissions refused at admission because the memory pool was
+    /// exhausted (distinct from queue-full rejections).
+    pub mem_rejected: u64,
+    /// Queries cancelled mid-execution with `ResourceExhausted`.
+    pub mem_killed: u64,
+    /// Cumulative bytes hash kernels spilled to disk.
+    pub spilled_bytes: u64,
+    /// Spill degradations (kernels that fell back to disk).
+    pub spill_events: u64,
+    /// Memory pool bytes currently reserved.
+    pub mem_pool_used: u64,
+    /// Memory pool high-water mark since startup.
+    pub mem_pool_peak: u64,
+    /// Memory pool configured capacity.
+    pub mem_pool_capacity: u64,
 }
 
 impl StatsSnapshot {
@@ -70,6 +91,13 @@ impl StatsSnapshot {
             ("result_cache_collisions", self.result_cache_collisions),
             ("result_cache_bytes", self.result_cache_bytes),
             ("slow_queries", self.slow_queries),
+            ("slow_log_dropped", self.slow_log_dropped),
+            ("mem_rejected", self.mem_rejected),
+            ("mem_killed", self.mem_killed),
+            ("spilled_bytes", self.spilled_bytes),
+            ("spill_events", self.spill_events),
+            ("mem_pool_used", self.mem_pool_used),
+            ("mem_pool_peak", self.mem_pool_peak),
         ];
         let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
         let mut out = String::new();

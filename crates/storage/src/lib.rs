@@ -27,10 +27,12 @@ pub mod column;
 pub mod kv;
 pub mod predicate;
 pub mod row;
+pub mod spill;
 pub mod stats;
 
 pub use column::ColumnStore;
 pub use kv::KvStore;
 pub use predicate::{CmpOp, ScanPredicate};
 pub use row::RowStore;
+pub use spill::{SpillFile, SpillRecord, SpillWriter};
 pub use stats::{ColumnStats, TableStats};

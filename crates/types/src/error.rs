@@ -43,6 +43,12 @@ pub enum GisError {
     /// without touching the wire. Not retryable: retrying immediately
     /// would hit the same open breaker.
     Unavailable(String),
+    /// The query exceeded its memory budget and could not degrade
+    /// further (spill disabled, disk cap hit, or the process-wide
+    /// pool is exhausted). The query was cancelled cooperatively at
+    /// the same checkpoints as deadlines; the rest of the runtime
+    /// keeps serving.
+    ResourceExhausted(String),
 }
 
 impl GisError {
@@ -61,6 +67,7 @@ impl GisError {
             GisError::Overloaded(_) => "OVERLOADED",
             GisError::Deadline(_) => "DEADLINE",
             GisError::Unavailable(_) => "UNAVAILABLE",
+            GisError::ResourceExhausted(_) => "MEM",
         }
     }
 
@@ -78,7 +85,8 @@ impl GisError {
             | GisError::Internal(m)
             | GisError::Overloaded(m)
             | GisError::Deadline(m)
-            | GisError::Unavailable(m) => m,
+            | GisError::Unavailable(m)
+            | GisError::ResourceExhausted(m) => m,
         }
     }
 
@@ -155,6 +163,7 @@ mod tests {
             GisError::Overloaded(String::new()),
             GisError::Deadline(String::new()),
             GisError::Unavailable(String::new()),
+            GisError::ResourceExhausted(String::new()),
         ];
         let mut codes: Vec<_> = errs.iter().map(|e| e.code()).collect();
         codes.sort_unstable();

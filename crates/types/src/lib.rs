@@ -26,6 +26,7 @@ pub mod bitmap;
 pub mod datatype;
 pub mod error;
 pub mod keys;
+pub mod mem;
 pub mod ordering;
 pub mod row;
 pub mod schema;
@@ -36,6 +37,7 @@ pub use batch::Batch;
 pub use bitmap::Bitmap;
 pub use datatype::DataType;
 pub use error::{GisError, Result};
+pub use mem::{MemBudget, MemPool, MemPressure};
 pub use ordering::{SortKey, SortOrder};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};

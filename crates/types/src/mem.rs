@@ -1,0 +1,421 @@
+//! Memory accounting: per-query budgets drawing on a process pool.
+//!
+//! A mediator federates sources it does not control, so a single
+//! pathological global query (a cross-product join, a huge GROUP BY)
+//! must not take the serving tier down. The governor gives every
+//! query a [`MemBudget`]: a cheap atomic reservation tracker with a
+//! *soft* per-query limit and a shared hard [`MemPool`] behind it.
+//! Execution kernels reserve before they allocate; on soft-limit
+//! pressure they degrade (spill build partitions to disk), and only
+//! when no degradation is left — spill disabled, disk cap hit, or
+//! the process pool itself exhausted — is the query killed with
+//! `GisError::ResourceExhausted`, cooperatively, at the same
+//! checkpoints as deadlines.
+//!
+//! The module lives in `gis-types` so core, storage, runtime, and qa
+//! can all share it without dependency cycles. Everything is
+//! const-constructible, so [`UNLIMITED`] gives callers that predate
+//! the governor a zero-cost "no budget" handle.
+
+use crate::error::GisError;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which limit a failed reservation tripped. Callers use this to
+/// pick a degradation: `Budget` can be absorbed by spilling,
+/// `Pool` and `Disk` cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPressure {
+    /// The query's own soft limit — spillable work should spill.
+    Budget,
+    /// The process-wide pool — hard; the query must be killed so the
+    /// rest of the runtime keeps its memory.
+    Pool,
+    /// The spill disk cap — the last degradation is gone; kill.
+    Disk,
+}
+
+impl MemPressure {
+    /// Renders the pressure as a `ResourceExhausted` error with
+    /// enough context to diagnose which limit was hit.
+    pub fn into_error(self, context: &str) -> GisError {
+        let what = match self {
+            MemPressure::Budget => "query memory budget exceeded and spill is unavailable",
+            MemPressure::Pool => "process memory pool exhausted",
+            MemPressure::Disk => "spill disk cap exhausted",
+        };
+        GisError::ResourceExhausted(format!("{what} ({context})"))
+    }
+}
+
+/// The process-wide memory pool every query budget draws from.
+///
+/// Reservations are a compare-and-swap loop over one counter; there
+/// is no waiting and no fairness — a query that cannot get its bytes
+/// fails immediately so admission control can refuse new work while
+/// resident queries release theirs.
+#[derive(Debug)]
+pub struct MemPool {
+    capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemPool {
+    /// A pool with the given byte capacity. `u64::MAX` is effectively
+    /// unlimited.
+    pub fn new(capacity: u64) -> MemPool {
+        MemPool {
+            capacity,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves `bytes`, failing (without side effects) when the pool
+    /// would exceed capacity.
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = match cur.checked_add(bytes) {
+                Some(n) if n <= self.capacity => n,
+                _ => return false,
+            };
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reserves `bytes` unconditionally, allowing `used` to exceed
+    /// capacity. For *resident* structures (materialized views) that
+    /// cannot be refused or evicted at charge time: the overcommit is
+    /// visible (`available` saturates to zero), so admission control
+    /// refuses new queries until the residents shrink — the pool
+    /// squeezes the workload instead of lying about usage.
+    pub fn reserve_forced(&self, bytes: u64) {
+        let next = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// Returns `bytes` to the pool.
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Currently reserved bytes.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes since creation.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+}
+
+/// A per-query memory budget.
+///
+/// Lifecycle: the runtime builds one per admitted query (soft limit
+/// plus a handle on the shared pool and the spill configuration),
+/// threads it through execution, and reads the spill counters back
+/// into its stats when the query finishes. Dropping the budget
+/// returns every outstanding pool byte, so a killed query can never
+/// leak pool capacity.
+#[derive(Debug)]
+pub struct MemBudget {
+    /// Per-query soft limit in bytes; `u64::MAX` = unlimited.
+    soft_limit: u64,
+    /// The shared pool, when the budget is pool-backed.
+    pool: Option<Arc<MemPool>>,
+    used: AtomicU64,
+    peak: AtomicU64,
+    /// Bytes currently charged against the pool (what Drop returns).
+    pool_charged: AtomicU64,
+    /// Directory for spill files; `None` = the OS temp dir.
+    spill_dir: Option<PathBuf>,
+    /// Max bytes the query may spill; 0 disables spilling entirely.
+    spill_cap: u64,
+    spilled: AtomicU64,
+    spill_events: AtomicU64,
+    killed: AtomicBool,
+}
+
+/// A budget with no limits, no pool, and spilling disabled — the
+/// pre-governor behavior, free to check.
+pub static UNLIMITED: MemBudget = MemBudget {
+    soft_limit: u64::MAX,
+    pool: None,
+    used: AtomicU64::new(0),
+    peak: AtomicU64::new(0),
+    pool_charged: AtomicU64::new(0),
+    spill_dir: None,
+    spill_cap: 0,
+    spilled: AtomicU64::new(0),
+    spill_events: AtomicU64::new(0),
+    killed: AtomicBool::new(false),
+};
+
+impl MemBudget {
+    /// A pool-backed budget for one query.
+    pub fn new(
+        soft_limit: u64,
+        pool: Option<Arc<MemPool>>,
+        spill_dir: Option<PathBuf>,
+        spill_cap: u64,
+    ) -> MemBudget {
+        MemBudget {
+            soft_limit,
+            pool,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            pool_charged: AtomicU64::new(0),
+            spill_dir,
+            spill_cap,
+            spilled: AtomicU64::new(0),
+            spill_events: AtomicU64::new(0),
+            killed: AtomicBool::new(false),
+        }
+    }
+
+    /// A standalone budget with the given soft limit and spill cap,
+    /// not backed by a pool (tests and the qa harness).
+    pub fn standalone(soft_limit: u64, spill_cap: u64) -> MemBudget {
+        MemBudget::new(soft_limit, None, None, spill_cap)
+    }
+
+    /// Reserves `bytes` against the soft limit and the pool. On
+    /// failure nothing is charged: `Budget` means the soft limit
+    /// would be exceeded (the caller may spill, or escalate with
+    /// [`MemBudget::force_reserve`]), `Pool` means the process pool
+    /// is out — the budget is marked killed so concurrent workers
+    /// stop at their next checkpoint.
+    pub fn try_reserve(&self, bytes: u64) -> Result<(), MemPressure> {
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        let next = prev.saturating_add(bytes);
+        if next > self.soft_limit {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(MemPressure::Budget);
+        }
+        if !self.charge_pool(bytes) {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            self.kill();
+            return Err(MemPressure::Pool);
+        }
+        self.peak.fetch_max(next, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reserves past the soft limit — used for allocations that
+    /// cannot spill (output buffers, the final merge) once the
+    /// kernel has already degraded as far as it can. Still hard-fails
+    /// on pool exhaustion.
+    pub fn force_reserve(&self, bytes: u64) -> Result<(), MemPressure> {
+        if !self.charge_pool(bytes) {
+            self.kill();
+            return Err(MemPressure::Pool);
+        }
+        let next = self
+            .used
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        self.peak.fetch_max(next, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn charge_pool(&self, bytes: u64) -> bool {
+        match &self.pool {
+            Some(pool) => {
+                if pool.try_reserve(bytes) {
+                    self.pool_charged.fetch_add(bytes, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => true,
+        }
+    }
+
+    /// Returns `bytes` to the budget (and the pool).
+    pub fn release(&self, bytes: u64) {
+        self.used
+            .fetch_sub(bytes.min(self.used()), Ordering::Relaxed);
+        if let Some(pool) = &self.pool {
+            let give_back = bytes.min(self.pool_charged.load(Ordering::Relaxed));
+            self.pool_charged.fetch_sub(give_back, Ordering::Relaxed);
+            pool.release(give_back);
+        }
+    }
+
+    /// True when the configuration allows spilling at all.
+    pub fn can_spill(&self) -> bool {
+        self.spill_cap > 0
+    }
+
+    /// Records `bytes` written to a spill file, failing with `Disk`
+    /// (and killing the budget) when the cap is exceeded.
+    pub fn charge_spill(&self, bytes: u64) -> Result<(), MemPressure> {
+        let next = self
+            .spilled
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        if next > self.spill_cap {
+            self.kill();
+            return Err(MemPressure::Disk);
+        }
+        Ok(())
+    }
+
+    /// Counts one kernel deciding to spill.
+    pub fn note_spill_event(&self) {
+        self.spill_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Directory spill files should be created in (`None`: OS temp).
+    pub fn spill_dir(&self) -> Option<&PathBuf> {
+        self.spill_dir.as_ref()
+    }
+
+    /// Marks the query killed; parallel workers observe this at
+    /// their cancellation checkpoints and stop early.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the query has been killed (pool/disk exhaustion).
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
+    }
+
+    /// Currently reserved bytes.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured soft limit.
+    pub fn soft_limit(&self) -> u64 {
+        self.soft_limit
+    }
+
+    /// Total bytes written to spill files.
+    pub fn spilled(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
+    }
+
+    /// Number of kernel spill decisions.
+    pub fn spill_events(&self) -> u64 {
+        self.spill_events.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for MemBudget {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            let residual = self.pool_charged.swap(0, Ordering::Relaxed);
+            pool.release(residual);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reserve_release_and_peak() {
+        let pool = MemPool::new(100);
+        assert!(pool.try_reserve(60));
+        assert!(!pool.try_reserve(50), "would exceed capacity");
+        assert!(pool.try_reserve(40));
+        assert_eq!(pool.used(), 100);
+        assert_eq!(pool.available(), 0);
+        pool.release(70);
+        assert_eq!(pool.used(), 30);
+        assert_eq!(pool.peak(), 100);
+    }
+
+    #[test]
+    fn budget_soft_limit_fails_without_charging() {
+        let b = MemBudget::standalone(100, 0);
+        assert!(b.try_reserve(80).is_ok());
+        assert_eq!(b.try_reserve(30), Err(MemPressure::Budget));
+        assert_eq!(b.used(), 80, "failed reserve left no trace");
+        assert!(!b.is_killed(), "soft-limit pressure does not kill");
+        assert!(b.force_reserve(30).is_ok());
+        assert_eq!(b.used(), 110);
+        assert_eq!(b.peak(), 110);
+    }
+
+    #[test]
+    fn pool_exhaustion_kills_and_drop_reclaims() {
+        let pool = Arc::new(MemPool::new(100));
+        {
+            let b = MemBudget::new(u64::MAX, Some(pool.clone()), None, 0);
+            assert!(b.try_reserve(90).is_ok());
+            assert_eq!(b.try_reserve(20), Err(MemPressure::Pool));
+            assert!(b.is_killed(), "pool exhaustion is a hard kill");
+            assert_eq!(pool.used(), 90);
+            // Budget dropped with 90 bytes still outstanding.
+        }
+        assert_eq!(pool.used(), 0, "drop returned every pool byte");
+    }
+
+    #[test]
+    fn spill_cap_enforced() {
+        let b = MemBudget::standalone(u64::MAX, 100);
+        assert!(b.can_spill());
+        assert!(b.charge_spill(80).is_ok());
+        assert_eq!(b.charge_spill(30), Err(MemPressure::Disk));
+        assert!(b.is_killed());
+        let none = MemBudget::standalone(u64::MAX, 0);
+        assert!(!none.can_spill());
+    }
+
+    #[test]
+    fn unlimited_budget_never_fails() {
+        assert!(UNLIMITED.try_reserve(u64::MAX / 2).is_ok());
+        UNLIMITED.release(u64::MAX / 2);
+        assert!(!UNLIMITED.can_spill());
+    }
+
+    #[test]
+    fn pressure_errors_carry_code_mem() {
+        let e = MemPressure::Pool.into_error("hash join build");
+        assert_eq!(e.code(), "MEM");
+        assert!(e.message().contains("hash join build"));
+    }
+}

@@ -24,7 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use gis_types::{Batch, GisError, Result, SchemaRef};
+use gis_types::{Batch, GisError, MemPool, Result, SchemaRef};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -143,6 +143,11 @@ pub struct MaterializedView<P> {
     stale_skips: AtomicU64,
     refreshes: AtomicU64,
     refresh_rows: AtomicU64,
+    /// The process memory pool resident rows are charged against
+    /// (set by the registry when one is configured).
+    pool: RwLock<Option<Arc<MemPool>>>,
+    /// Bytes currently charged to the pool for this view's rows.
+    pool_charged: AtomicU64,
 }
 
 impl<P> MaterializedView<P> {
@@ -163,7 +168,37 @@ impl<P> MaterializedView<P> {
             stale_skips: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             refresh_rows: AtomicU64::new(0),
+            pool: RwLock::new(None),
+            pool_charged: AtomicU64::new(0),
         }
+    }
+
+    /// Points the view at the process memory pool. Already-resident
+    /// rows are charged immediately; later installs re-charge.
+    fn attach_pool(&self, pool: Arc<MemPool>) {
+        *self.pool.write() = Some(pool);
+        let bytes = self
+            .data
+            .read()
+            .as_ref()
+            .map(|d| d.batch.wire_size() as u64)
+            .unwrap_or(0);
+        self.recharge(bytes);
+    }
+
+    /// Swaps the pool charge to `bytes` (releasing the old charge).
+    /// Resident view rows cannot be refused or evicted at charge
+    /// time, so the reservation is forced: under pressure the pool
+    /// shows the overcommit and admission control squeezes new
+    /// queries instead.
+    fn recharge(&self, bytes: u64) {
+        let guard = self.pool.read();
+        let Some(pool) = guard.as_ref() else {
+            return;
+        };
+        let old = self.pool_charged.swap(bytes, Ordering::Relaxed);
+        pool.release(old);
+        pool.reserve_forced(bytes);
     }
 
     /// The view's name (lowercase, mediator-scoped).
@@ -223,6 +258,7 @@ impl<P> MaterializedView<P> {
         self.refreshes.fetch_add(1, Ordering::Relaxed);
         self.refresh_rows
             .fetch_add(batch.num_rows() as u64, Ordering::Relaxed);
+        self.recharge(batch.wire_size() as u64);
         let mut guard = self.data.write();
         let seq = guard.as_ref().map(|d| d.refresh_seq).unwrap_or(0) + 1;
         *guard = Some(MaterializedData {
@@ -275,6 +311,14 @@ impl<P> MaterializedView<P> {
     }
 }
 
+impl<P> Drop for MaterializedView<P> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.read().as_ref() {
+            pool.release(self.pool_charged.load(Ordering::Relaxed));
+        }
+    }
+}
+
 /// One row of the registry's observability export, rendered by the
 /// runtime as `gis_view_*` gauges.
 #[derive(Debug, Clone)]
@@ -305,6 +349,7 @@ pub struct ViewGauges {
 #[derive(Debug, Default)]
 pub struct ViewRegistry<P> {
     views: RwLock<BTreeMap<String, Arc<MaterializedView<P>>>>,
+    mem_pool: RwLock<Option<Arc<MemPool>>>,
 }
 
 impl<P> ViewRegistry<P> {
@@ -312,6 +357,17 @@ impl<P> ViewRegistry<P> {
     pub fn new() -> Self {
         ViewRegistry {
             views: RwLock::new(BTreeMap::new()),
+            mem_pool: RwLock::new(None),
+        }
+    }
+
+    /// Charges every view's resident rows against `pool` from now on
+    /// (the runtime calls this once at startup). Views registered or
+    /// refreshed later are charged on install.
+    pub fn set_mem_pool(&self, pool: Arc<MemPool>) {
+        *self.mem_pool.write() = Some(pool.clone());
+        for view in self.all() {
+            view.attach_pool(pool.clone());
         }
     }
 
@@ -326,6 +382,9 @@ impl<P> ViewRegistry<P> {
             )));
         }
         let arc = Arc::new(view);
+        if let Some(pool) = self.mem_pool.read().as_ref() {
+            arc.attach_pool(pool.clone());
+        }
         guard.insert(key, arc.clone());
         Ok(arc)
     }

@@ -166,6 +166,17 @@ impl SourceAdapter for ColumnarAdapter {
                 let out_schema = request.output_schema(store.schema())?;
                 Ok(vec![Batch::concat(out_schema, &parts)?])
             }
+            SourceRequest::LookupFilter {
+                key_columns,
+                bloom,
+                projection,
+                ..
+            } => {
+                let (all, _) = store.scan_sealed(&[], &[], None)?;
+                crate::relational::filter_by_bloom(&all, key_columns, bloom, projection, || {
+                    request.output_schema(store.schema())
+                })
+            }
         }
     }
 }

@@ -250,6 +250,12 @@ impl SourceAdapter for KvAdapter {
                 }
                 Ok(vec![Batch::concat(store.schema().clone(), &parts)?])
             }
+            // check_capabilities rejects these first (key_value
+            // profiles never advertise filter_lookup).
+            SourceRequest::LookupFilter { .. } => Err(GisError::Unsupported(format!(
+                "kv source '{}' cannot probe semijoin filters",
+                self.name
+            ))),
         }
     }
 }

@@ -221,8 +221,63 @@ impl SourceAdapter for RelationalAdapter {
                 let out_schema = request.output_schema(store.schema())?;
                 Ok(vec![Batch::concat(out_schema, &parts)?])
             }
+            SourceRequest::LookupFilter {
+                key_columns,
+                bloom,
+                projection,
+                ..
+            } => {
+                let all = store.scan(&[], &[], None)?.batch;
+                filter_by_bloom(&all, key_columns, bloom, projection, || {
+                    request.output_schema(store.schema())
+                })
+            }
         }
     }
+}
+
+/// Shared semijoin-filter evaluation: keep rows whose key tuple may
+/// be in the Bloom filter (NULL keys match nothing, like `Lookup`),
+/// then project. Used by every adapter whose profile advertises
+/// `filter_lookup`.
+pub(crate) fn filter_by_bloom(
+    all: &Batch,
+    key_columns: &[usize],
+    bloom: &gis_net::KeyBloom,
+    projection: &[usize],
+    out_schema: impl FnOnce() -> Result<SchemaRef>,
+) -> Result<Vec<Batch>> {
+    use gis_net::KeyBloom;
+    let width = all.schema().len();
+    for &c in key_columns {
+        if c >= width {
+            return Err(GisError::Internal(format!(
+                "filter key ordinal {c} out of range for {width}-column table"
+            )));
+        }
+    }
+    let ords: Vec<usize> = if projection.is_empty() {
+        (0..width).collect()
+    } else {
+        projection.to_vec()
+    };
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut key = Vec::with_capacity(key_columns.len());
+    'rows: for r in 0..all.num_rows() {
+        key.clear();
+        for &c in key_columns {
+            let v = all.column(c).value_at(r);
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v);
+        }
+        if bloom.contains(KeyBloom::hash_key(&key)) {
+            rows.push(ords.iter().map(|&c| all.column(c).value_at(r)).collect());
+        }
+    }
+    let schema = out_schema()?;
+    Ok(vec![Batch::from_rows(schema, &rows)?])
 }
 
 #[cfg(test)]

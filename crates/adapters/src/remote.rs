@@ -18,10 +18,13 @@
 
 use crate::request::{SourceAdapter, SourceRequest};
 use crate::wire_req::{decode_request, encode_request};
-use gis_net::wire::{decode_batch, decode_span, encode_batch, encode_span};
-use gis_net::{Link, RetryPolicy};
+use bytes::BytesMut;
+use gis_net::codec::{decode_frame, encode_frame_into, encode_legacy_into, FrameStats};
+use gis_net::wire::{decode_span, encode_span};
+use gis_net::{Link, RetryPolicy, WireStats};
 use gis_observe::Span;
 use gis_types::{Batch, GisError, Result, SchemaRef};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -35,16 +38,21 @@ pub struct RemoteSource {
     link: Link,
     chunk_rows: usize,
     retry: RetryPolicy,
+    compress: Arc<AtomicBool>,
+    wire_stats: Arc<WireStats>,
 }
 
 impl RemoteSource {
-    /// Wraps `adapter` behind `link`.
+    /// Wraps `adapter` behind `link`. Response frames ship compressed
+    /// by default; see [`RemoteSource::with_compression_flag`].
     pub fn new(adapter: Arc<dyn SourceAdapter>, link: Link) -> Self {
         RemoteSource {
             adapter,
             link,
             chunk_rows: DEFAULT_CHUNK_ROWS,
             retry: RetryPolicy::default(),
+            compress: Arc::new(AtomicBool::new(true)),
+            wire_stats: WireStats::shared(),
         }
     }
 
@@ -66,6 +74,32 @@ impl RemoteSource {
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
         self
+    }
+
+    /// Shares a compression toggle with the federation: when the flag
+    /// is false, response frames take the legacy raw layout (and any
+    /// peer that never learned the codecs still decodes them).
+    pub fn with_compression_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.compress = flag;
+        self
+    }
+
+    /// Shares a federation-wide [`WireStats`] accumulator, so
+    /// `Runtime::render_text()` can report raw-vs-wire bytes and
+    /// per-codec column counts across all sources.
+    pub fn with_wire_stats(mut self, stats: Arc<WireStats>) -> Self {
+        self.wire_stats = stats;
+        self
+    }
+
+    /// The wire-compression statistics this source records into.
+    pub fn wire_stats(&self) -> &Arc<WireStats> {
+        &self.wire_stats
+    }
+
+    /// Whether response frames currently ship compressed.
+    pub fn compression_enabled(&self) -> bool {
+        self.compress.load(Ordering::Relaxed)
     }
 
     /// Replaces the retry policy in place.
@@ -183,7 +217,9 @@ impl RemoteSource {
         traced: bool,
     ) -> Result<(Vec<Batch>, Option<Span>)> {
         let started = traced.then(Instant::now);
+        let compress = self.compress.load(Ordering::Relaxed);
         let mut wire_bytes = 0u64;
+        let mut exchange = FrameStats::default();
         // Ship the request.
         let frame = encode_request(request);
         wire_bytes += frame.len() as u64;
@@ -196,27 +232,35 @@ impl RemoteSource {
         } else {
             (self.adapter.execute(&decoded)?, None)
         };
-        // Ship results back in chunks.
+        // Ship results back in chunks, one scratch buffer for the
+        // whole stream (split().freeze() hands each frame off without
+        // reallocating the encoder's working space). The link is
+        // charged the frame as it actually crossed the wire, with the
+        // raw (legacy-layout) size recorded alongside.
         let mut out = Vec::new();
+        let mut scratch = BytesMut::new();
         for batch in results {
-            if batch.num_rows() == 0 {
-                // Even an empty result is one (small) response message.
-                let frame = encode_batch(&batch);
-                wire_bytes += frame.len() as u64;
-                self.link.transfer(frame.len())?;
-                out.push(decode_batch(frame)?);
-                continue;
-            }
             let mut offset = 0;
-            while offset < batch.num_rows() {
+            loop {
+                // An empty result still ships one (small) message.
                 let chunk = batch.slice(offset, self.chunk_rows);
                 offset += chunk.num_rows();
-                let frame = encode_batch(&chunk);
+                let stats = if compress {
+                    encode_frame_into(&mut scratch, &chunk)
+                } else {
+                    encode_legacy_into(&mut scratch, &chunk)
+                };
+                let frame = scratch.split().freeze();
                 wire_bytes += frame.len() as u64;
-                self.link.transfer(frame.len())?;
-                out.push(decode_batch(frame)?);
+                exchange.absorb(&stats);
+                self.link.transfer_sized(frame.len(), stats.raw)?;
+                out.push(decode_frame(frame)?);
+                if offset >= batch.num_rows() {
+                    break;
+                }
             }
         }
+        self.wire_stats.record(&exchange);
         let span = match source_span {
             Some(source_span) => {
                 // The source's own span rides back as one more frame.
@@ -230,7 +274,13 @@ impl RemoteSource {
                         .with_rows_out(rows)
                         .with_bytes(wire_bytes)
                         .with_wall_us(started.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0))
-                        .with_child(source_span),
+                        .with_child(source_span)
+                        .with_child(Span::leaf(format!(
+                            "wire[codec={} raw={} sent={}]",
+                            exchange.codec_summary(),
+                            exchange.raw,
+                            exchange.wire,
+                        ))),
                 )
             }
             None => None,
@@ -326,7 +376,10 @@ mod tests {
         assert_eq!(total, 100);
         // 1 request + 4 responses
         assert_eq!(r.link().metrics().messages(), 5);
-        assert!(r.link().metrics().bytes() > 100 * 8);
+        // The pre-compression ledger still reflects the full payload;
+        // what crossed the wire is smaller.
+        assert!(r.link().metrics().raw_bytes() > 100 * 8);
+        assert!(r.link().metrics().bytes() < r.link().metrics().raw_bytes());
     }
 
     #[test]
@@ -394,10 +447,67 @@ mod tests {
         assert_eq!(span.label, "recv[crm]");
         assert_eq!(span.rows_out, 100);
         assert_eq!(span.bytes, r.link().metrics().bytes());
-        // The source reported its own operator subtree.
-        assert_eq!(span.children.len(), 1);
+        // The source reported its own operator subtree, and the wire
+        // span reports what compression did to the exchange.
+        assert_eq!(span.children.len(), 2);
         assert_eq!(span.children[0].label, "remote:scan[customers]");
         assert_eq!(span.children[0].rows_out, 100);
+        let wire = &span.children[1].label;
+        assert!(wire.starts_with("wire[codec="), "unexpected {wire}");
+        assert!(wire.contains("raw=") && wire.contains("sent="));
+    }
+
+    #[test]
+    fn compressed_shipping_cuts_bytes_and_keeps_rows_identical() {
+        let off = Arc::new(AtomicBool::new(false));
+        let clock = SimClock::new();
+        let raw =
+            remote(NetworkConditions::instant(), clock.clone()).with_compression_flag(off.clone());
+        let raw_batches = raw.execute(&scan_all()).unwrap();
+        let raw_bytes = raw.link().metrics().bytes();
+        assert_eq!(
+            raw.link().metrics().raw_bytes(),
+            raw_bytes,
+            "legacy mode ships raw == wire"
+        );
+
+        let compressed = remote(NetworkConditions::instant(), clock);
+        assert!(
+            compressed.compression_enabled(),
+            "compression is the default"
+        );
+        let comp_batches = compressed.execute(&scan_all()).unwrap();
+        let comp_bytes = compressed.link().metrics().bytes();
+
+        // Bit-identical rows, strictly fewer wire bytes.
+        let rows = |bs: &[Batch]| {
+            bs.iter()
+                .flat_map(|b| (0..b.num_rows()).map(move |r| format!("{:?}", b.row(r))))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&raw_batches), rows(&comp_batches));
+        assert!(
+            comp_bytes < raw_bytes,
+            "compressed {comp_bytes} >= raw {raw_bytes}"
+        );
+        // The honest ledger: raw_bytes preserves the uncompressed size.
+        assert!(compressed.link().metrics().raw_bytes() > comp_bytes);
+        let ws = compressed.wire_stats();
+        assert_eq!(
+            ws.wire_bytes(),
+            comp_bytes - encode_request(&scan_all()).len() as u64
+        );
+        assert!(ws.raw_bytes() > ws.wire_bytes());
+
+        // Flipping the shared flag switches an existing source to the
+        // legacy layout mid-flight (the negotiation path).
+        let toggled = remote(NetworkConditions::instant(), SimClock::new())
+            .with_compression_flag(off.clone());
+        off.store(true, Ordering::Relaxed);
+        assert!(toggled.compression_enabled());
+        off.store(false, Ordering::Relaxed);
+        let legacy_batches = toggled.execute(&scan_all()).unwrap();
+        assert_eq!(rows(&legacy_batches), rows(&raw_batches));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! generating one.
 
 use gis_catalog::CapabilityProfile;
+use gis_net::KeyBloom;
 use gis_storage::{ScanPredicate, TableStats};
 use gis_types::{Batch, DataType, Field, GisError, Result, Schema, SchemaRef, Value};
 
@@ -118,6 +119,23 @@ pub enum SourceRequest {
         /// Export ordinals to return (empty = all).
         projection: Vec<usize>,
     },
+    /// Bloom-filtered semijoin lookup: return rows whose
+    /// `key_columns` tuple *may* be in the shipped filter. The source
+    /// probes the filter instead of receiving explicit keys, so the
+    /// request stays small no matter how many distinct keys the
+    /// mediator holds; false positives ship extra rows that the
+    /// mediator's residual join discards.
+    LookupFilter {
+        /// Table name within the source.
+        table: String,
+        /// Export ordinals forming the lookup key.
+        key_columns: Vec<usize>,
+        /// Bloom filter over key-tuple hashes
+        /// ([`KeyBloom::hash_key`]).
+        bloom: KeyBloom,
+        /// Export ordinals to return (empty = all).
+        projection: Vec<usize>,
+    },
     /// An inner equi-join of two **co-located** tables, evaluated
     /// entirely at the source; only the joined result ships.
     Join {
@@ -150,6 +168,9 @@ impl SourceRequest {
             SourceRequest::Lookup { table, keys, .. } => {
                 format!("lookup[{table} keys={}]", keys.len())
             }
+            SourceRequest::LookupFilter { table, bloom, .. } => {
+                format!("filter[{table} bloom={}B]", bloom.size_bytes())
+            }
             SourceRequest::Join {
                 left_table,
                 right_table,
@@ -164,7 +185,8 @@ impl SourceRequest {
         match self {
             SourceRequest::Scan { table, .. }
             | SourceRequest::Aggregate { table, .. }
-            | SourceRequest::Lookup { table, .. } => table,
+            | SourceRequest::Lookup { table, .. }
+            | SourceRequest::LookupFilter { table, .. } => table,
             SourceRequest::Join { left_table, .. } => left_table,
         }
     }
@@ -174,7 +196,9 @@ impl SourceRequest {
     /// from this single function so they can never disagree.
     pub fn output_schema(&self, export: &Schema) -> Result<SchemaRef> {
         match self {
-            SourceRequest::Scan { projection, .. } | SourceRequest::Lookup { projection, .. } => {
+            SourceRequest::Scan { projection, .. }
+            | SourceRequest::Lookup { projection, .. }
+            | SourceRequest::LookupFilter { projection, .. } => {
                 if projection.is_empty() {
                     Ok(Schema::new(export.fields().to_vec()).into_ref())
                 } else {
@@ -250,6 +274,15 @@ impl SourceRequest {
             SourceRequest::Lookup { projection, .. } => {
                 if !caps.bind_lookup {
                     return unsupported("serve parameterized lookups");
+                }
+                if !projection.is_empty() && !caps.project {
+                    return unsupported("project");
+                }
+                Ok(())
+            }
+            SourceRequest::LookupFilter { projection, .. } => {
+                if !caps.filter_lookup {
+                    return unsupported("probe semijoin filters");
                 }
                 if !projection.is_empty() && !caps.project {
                     return unsupported("project");

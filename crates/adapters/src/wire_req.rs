@@ -7,9 +7,12 @@
 
 use crate::request::{AggFunc, AggSpec, SortSpec, SourceRequest};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gis_net::wire::{decode_value, encode_value, get_uvarint, put_uvarint};
+use gis_net::wire::{
+    decode_value, encode_value, get_ivarint, get_uvarint, put_ivarint, put_uvarint,
+};
+use gis_net::KeyBloom;
 use gis_storage::{CmpOp, ScanPredicate};
-use gis_types::{GisError, Result};
+use gis_types::{GisError, Result, Value};
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     put_uvarint(buf, s.len() as u64);
@@ -181,20 +184,100 @@ pub fn encode_request(req: &SourceRequest) -> Bytes {
             keys,
             projection,
         } => {
-            buf.put_u8(2);
+            if let Some((tag, vals)) = sorted_int_keys(key_columns, keys) {
+                // Sorted single-integer key lists (the semijoin path
+                // sorts and dedups before shipping) get the compact
+                // delta layout: first key absolute, then the gaps.
+                buf.put_u8(5);
+                put_string(&mut buf, table);
+                put_uvarint(&mut buf, key_columns[0] as u64);
+                buf.put_u8(tag);
+                put_uvarint(&mut buf, vals.len() as u64);
+                put_ivarint(&mut buf, vals[0]);
+                for w in vals.windows(2) {
+                    put_uvarint(&mut buf, w[1].wrapping_sub(w[0]) as u64);
+                }
+                put_ordinals(&mut buf, projection);
+            } else {
+                buf.put_u8(2);
+                put_string(&mut buf, table);
+                put_ordinals(&mut buf, key_columns);
+                put_uvarint(&mut buf, keys.len() as u64);
+                for key in keys {
+                    put_uvarint(&mut buf, key.len() as u64);
+                    for v in key {
+                        encode_value(&mut buf, v);
+                    }
+                }
+                put_ordinals(&mut buf, projection);
+            }
+        }
+        SourceRequest::LookupFilter {
+            table,
+            key_columns,
+            bloom,
+            projection,
+        } => {
+            buf.put_u8(4);
             put_string(&mut buf, table);
             put_ordinals(&mut buf, key_columns);
-            put_uvarint(&mut buf, keys.len() as u64);
-            for key in keys {
-                put_uvarint(&mut buf, key.len() as u64);
-                for v in key {
-                    encode_value(&mut buf, v);
-                }
-            }
+            buf.put_slice(&bloom.encode());
             put_ordinals(&mut buf, projection);
         }
     }
     buf.freeze()
+}
+
+/// Recognizes key lists eligible for the tag-5 delta layout: one
+/// integer key column, ≥2 keys, sorted ascending, no NULLs. Returns
+/// the type tag and the widened values.
+fn sorted_int_keys(key_columns: &[usize], keys: &[Vec<Value>]) -> Option<(u8, Vec<i64>)> {
+    if key_columns.len() != 1 || keys.len() < 2 {
+        return None;
+    }
+    let tag = match keys[0].first()? {
+        Value::Int32(_) => 0u8,
+        Value::Int64(_) => 1,
+        Value::Date(_) => 2,
+        Value::Timestamp(_) => 3,
+        _ => return None,
+    };
+    let mut vals: Vec<i64> = Vec::with_capacity(keys.len());
+    for key in keys {
+        if key.len() != 1 {
+            return None;
+        }
+        let v = match (tag, &key[0]) {
+            (0, Value::Int32(v)) => i64::from(*v),
+            (1, Value::Int64(v)) => *v,
+            (2, Value::Date(v)) => i64::from(*v),
+            (3, Value::Timestamp(v)) => *v,
+            _ => return None,
+        };
+        if vals.last().is_some_and(|&prev| v < prev) {
+            return None;
+        }
+        vals.push(v);
+    }
+    Some((tag, vals))
+}
+
+fn delta_key_value(tag: u8, v: i64) -> Result<Value> {
+    Ok(match tag {
+        0 => Value::Int32(
+            i32::try_from(v).map_err(|_| GisError::Network("32-bit lookup key overflow".into()))?,
+        ),
+        1 => Value::Int64(v),
+        2 => Value::Date(
+            i32::try_from(v).map_err(|_| GisError::Network("32-bit lookup key overflow".into()))?,
+        ),
+        3 => Value::Timestamp(v),
+        other => {
+            return Err(GisError::Network(format!(
+                "unknown lookup key type tag {other}"
+            )))
+        }
+    })
 }
 
 /// Decodes a request frame.
@@ -280,6 +363,51 @@ pub fn decode_request(mut buf: Bytes) -> Result<SourceRequest> {
             SourceRequest::Lookup {
                 table,
                 key_columns,
+                keys,
+                projection,
+            }
+        }
+        4 => {
+            let table = get_string(&mut buf)?;
+            let key_columns = get_ordinals(&mut buf)?;
+            let bloom = KeyBloom::decode(&mut buf)?;
+            let projection = get_ordinals(&mut buf)?;
+            SourceRequest::LookupFilter {
+                table,
+                key_columns,
+                bloom,
+                projection,
+            }
+        }
+        5 => {
+            let table = get_string(&mut buf)?;
+            let key_column = get_uvarint(&mut buf)? as usize;
+            if !buf.has_remaining() {
+                return Err(GisError::Network("truncated request".into()));
+            }
+            let tag = buf.get_u8();
+            let n_keys = get_uvarint(&mut buf)? as usize;
+            if n_keys < 2 {
+                return Err(GisError::Network(
+                    "delta key list needs at least two keys".into(),
+                ));
+            }
+            // Each delta costs ≥1 byte on the wire, so the claimed
+            // count is bounded by what's actually in the frame.
+            if n_keys > buf.remaining().saturating_add(1) {
+                return Err(GisError::Network("truncated request".into()));
+            }
+            let mut prev = get_ivarint(&mut buf)?;
+            let mut keys = Vec::with_capacity(n_keys);
+            keys.push(vec![delta_key_value(tag, prev)?]);
+            for _ in 1..n_keys {
+                prev = prev.wrapping_add(get_uvarint(&mut buf)? as i64);
+                keys.push(vec![delta_key_value(tag, prev)?]);
+            }
+            let projection = get_ordinals(&mut buf)?;
+            SourceRequest::Lookup {
+                table,
+                key_columns: vec![key_column],
                 keys,
                 projection,
             }
@@ -399,6 +527,100 @@ mod tests {
             left_projection: vec![2, 1],
             right_projection: vec![1],
         });
+    }
+
+    #[test]
+    fn lookup_filter_roundtrip() {
+        let mut bloom = KeyBloom::sized_for(100, 0.01);
+        for i in 0..100i64 {
+            bloom.insert(KeyBloom::hash_key(&[Value::Int64(i)]));
+        }
+        let req = SourceRequest::LookupFilter {
+            table: "stock".into(),
+            key_columns: vec![0],
+            bloom,
+            projection: vec![1, 2],
+        };
+        roundtrip(req.clone());
+        // Hostile: every truncation errors, never panics.
+        let bytes = encode_request(&req);
+        for cut in 0..bytes.len() {
+            assert!(decode_request(bytes.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn sorted_int_keys_ship_as_deltas() {
+        // Sorted single-int keys round-trip through the delta layout.
+        let sorted = SourceRequest::Lookup {
+            table: "t".into(),
+            key_columns: vec![3],
+            keys: (0..1000i64)
+                .map(|i| vec![Value::Int64(i * 7 + 1_000_000)])
+                .collect(),
+            projection: vec![0, 2],
+        };
+        let frame = encode_request(&sorted);
+        assert_eq!(frame[0], 5, "sorted int keys take the delta layout");
+        assert_eq!(decode_request(frame.clone()).unwrap(), sorted);
+
+        // And cost far fewer bytes than the generic layout the same
+        // keys take when shipped unsorted.
+        let mut shuffled_keys: Vec<Vec<Value>> = (0..1000i64)
+            .map(|i| vec![Value::Int64(i * 7 + 1_000_000)])
+            .collect();
+        shuffled_keys.reverse();
+        let unsorted = SourceRequest::Lookup {
+            table: "t".into(),
+            key_columns: vec![3],
+            keys: shuffled_keys,
+            projection: vec![0, 2],
+        };
+        let generic = encode_request(&unsorted);
+        assert_eq!(
+            generic[0], 2,
+            "unsorted keys fall back to the generic layout"
+        );
+        assert!(
+            frame.len() * 2 < generic.len(),
+            "delta layout {} vs generic {}",
+            frame.len(),
+            generic.len()
+        );
+
+        // Truncations of the delta layout error, never panic.
+        for cut in 0..frame.len().min(64) {
+            assert!(decode_request(frame.slice(0..cut)).is_err(), "cut {cut}");
+        }
+
+        // Other key shapes keep the generic layout.
+        for keys in [
+            vec![vec![Value::Utf8("a".into())], vec![Value::Utf8("b".into())]],
+            vec![vec![Value::Int64(1), Value::Int64(2)]],
+            vec![vec![Value::Null], vec![Value::Int64(1)]],
+        ] {
+            let req = SourceRequest::Lookup {
+                table: "t".into(),
+                key_columns: vec![0; keys[0].len()],
+                keys,
+                projection: vec![],
+            };
+            assert_eq!(encode_request(&req)[0], 2);
+            roundtrip(req);
+        }
+
+        // Extremes survive the wrapping delta arithmetic.
+        let extreme = SourceRequest::Lookup {
+            table: "t".into(),
+            key_columns: vec![0],
+            keys: vec![
+                vec![Value::Int64(i64::MIN)],
+                vec![Value::Int64(0)],
+                vec![Value::Int64(i64::MAX)],
+            ],
+            projection: vec![],
+        };
+        roundtrip(extreme);
     }
 
     #[test]

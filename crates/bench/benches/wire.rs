@@ -2,9 +2,12 @@
 //! The wire is on every fragment's critical path; these benches keep
 //! its cost visible.
 
+use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gis_adapters::{wire_req, SourceRequest};
+use gis_net::codec::{decode_frame, encode_frame_into};
 use gis_net::wire::{decode_batch, encode_batch};
+use gis_net::ColumnCodec;
 use gis_storage::{CmpOp, ScanPredicate};
 use gis_types::{Batch, DataType, Field, Schema, Value};
 use std::hint::black_box;
@@ -32,6 +35,87 @@ fn sample_batch(rows: usize) -> Batch {
         })
         .collect();
     Batch::from_rows(schema, &data).unwrap()
+}
+
+/// A single-column batch whose data reliably selects `codec` under
+/// the exact size-based selection rule (asserted at bench setup).
+fn codec_batch(codec: ColumnCodec, rows: usize) -> Batch {
+    let (field, gen): (Field, Box<dyn Fn(usize) -> Value>) = match codec {
+        // High-entropy wide integers: ~10-byte zigzag varints lose
+        // to the flat layout and nothing repeats or deltas.
+        ColumnCodec::Raw => (
+            Field::new("v", DataType::Int64),
+            Box::new(|i| Value::Int64((i as i64).wrapping_mul(-0x61c8_8646_80b5_83eb))),
+        ),
+        // Eight distinct strings cycling row-by-row: runs of one kill
+        // RLE, the dictionary packs each row into a byte.
+        ColumnCodec::Dict => (
+            Field::new("v", DataType::Utf8),
+            Box::new(|i| Value::Utf8(format!("category-{:02}", i % 8))),
+        ),
+        // Long runs of identical values.
+        ColumnCodec::Rle => (
+            Field::new("v", DataType::Int64),
+            Box::new(|i| Value::Int64((i / 512) as i64)),
+        ),
+        // A sorted sequence: one-byte deltas.
+        ColumnCodec::Delta => (
+            Field::new("v", DataType::Int64),
+            Box::new(|i| Value::Int64(1_000_000 + i as i64 * 3)),
+        ),
+        // Sparse: null suppression beats everything.
+        ColumnCodec::NullSup => (
+            Field::new("v", DataType::Int64),
+            Box::new(|i| {
+                if i % 17 == 0 {
+                    Value::Int64(i as i64 * 7919)
+                } else {
+                    Value::Null
+                }
+            }),
+        ),
+    };
+    let schema = Schema::new(vec![field]).into_ref();
+    let data: Vec<Vec<Value>> = (0..rows).map(|i| vec![gen(i)]).collect();
+    Batch::from_rows(schema, &data).unwrap()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    const ROWS: usize = 4096;
+    for codec in ColumnCodec::all() {
+        let batch = codec_batch(codec, ROWS);
+        let mut buf = BytesMut::new();
+        let stats = encode_frame_into(&mut buf, &batch);
+        assert_eq!(
+            stats.codecs[codec as usize],
+            1,
+            "{} batch selected {} instead",
+            codec.name(),
+            stats.codec_summary()
+        );
+        let encoded = buf.freeze();
+        // Throughput in *decoded* bytes: what the codec moves per
+        // second of CPU, comparable across codecs.
+        group.throughput(Throughput::Bytes(stats.raw as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", codec.name()),
+            &batch,
+            |b, batch| {
+                let mut scratch = BytesMut::new();
+                b.iter(|| {
+                    scratch.clear();
+                    black_box(encode_frame_into(&mut scratch, batch).wire)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", codec.name()),
+            &encoded,
+            |b, encoded| b.iter(|| black_box(decode_frame(encoded.clone()).unwrap().num_rows())),
+        );
+    }
+    group.finish();
 }
 
 fn bench_wire(c: &mut Criterion) {
@@ -79,5 +163,5 @@ fn bench_wire(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire);
+criterion_group!(benches, bench_wire, bench_codecs);
 criterion_main!(benches);

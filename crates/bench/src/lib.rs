@@ -19,6 +19,7 @@
 //! | `t5_cost_model` | T5 — estimate vs measured |
 //! | `f8_mediator_throughput` | F8 — vectorized kernel rows/sec |
 //! | `f9_materialized_views` | F9 — views vs re-shipping a repeated workload |
+//! | `f11_wire_compression` | F11 — adaptive wire codecs vs raw frames |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

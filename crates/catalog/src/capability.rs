@@ -29,6 +29,10 @@ pub struct CapabilityProfile {
     /// Supports parameterized repeated lookups (the bind-join /
     /// fetch-matches protocol).
     pub bind_lookup: bool,
+    /// Can evaluate a shipped Bloom filter against its rows (the
+    /// semijoin filter-lookup protocol); false means the mediator
+    /// must ship explicit key lists instead.
+    pub filter_lookup: bool,
 }
 
 impl CapabilityProfile {
@@ -43,6 +47,7 @@ impl CapabilityProfile {
             sort: true,
             limit: true,
             bind_lookup: true,
+            filter_lookup: true,
         }
     }
 
@@ -58,6 +63,7 @@ impl CapabilityProfile {
             sort: false,
             limit: true,
             bind_lookup: true,
+            filter_lookup: true,
         }
     }
 
@@ -73,6 +79,7 @@ impl CapabilityProfile {
             sort: false,
             limit: true,
             bind_lookup: true,
+            filter_lookup: false,
         }
     }
 
@@ -87,6 +94,7 @@ impl CapabilityProfile {
             sort: false,
             limit: false,
             bind_lookup: false,
+            filter_lookup: false,
         }
     }
 

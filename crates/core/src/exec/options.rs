@@ -76,6 +76,15 @@ pub struct ExecOptions {
     /// views when a registered view subsumes the plan. Disable to
     /// force shipping from sources (baselines, differential tests).
     pub view_matching: bool,
+    /// Allow the classic-semijoin path to ship a compact Bloom filter
+    /// of the outer key set instead of the explicit key list when the
+    /// inner source can evaluate one ([`filter_lookup`] capability)
+    /// and the filter plus expected false-positive rows is cheaper
+    /// than the keys. False positives are removed by the mediator's
+    /// residual hash join, so results are identical either way.
+    ///
+    /// [`filter_lookup`]: gis_catalog::CapabilityProfile::filter_lookup
+    pub bloom_semijoin: bool,
 }
 
 impl Default for ExecOptions {
@@ -92,6 +101,7 @@ impl Default for ExecOptions {
             partial_results: false,
             parallel_kernel_rows: 100_000,
             view_matching: true,
+            bloom_semijoin: true,
         }
     }
 }

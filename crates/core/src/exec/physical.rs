@@ -10,6 +10,7 @@ use crate::metrics::{DegradedReport, DegradedSource};
 use crate::plan::logical::AggregateExpr;
 use gis_adapters::{is_availability_error, SourceGroup, SourceRequest};
 use gis_catalog::TableMapping;
+use gis_net::KeyBloom;
 use gis_observe::Span;
 use gis_sql::ast::JoinKind;
 use gis_types::mem::{MemBudget, UNLIMITED};
@@ -282,6 +283,15 @@ pub struct BindJoinExec {
     pub schema: SchemaRef,
     /// Strategy label for EXPLAIN (`semijoin` / `bind-join`).
     pub label: &'static str,
+    /// The inner source can evaluate a shipped Bloom filter
+    /// (capability `filter_lookup`), making the bloom-semijoin wire
+    /// format an option on the classic-semijoin path.
+    pub filter_capable: bool,
+    /// Planner's estimate of the inner table's row count — prices the
+    /// false-positive rows a Bloom filter would fetch back.
+    pub inner_rows_est: u64,
+    /// Planner's estimate of the inner table's wire bytes per row.
+    pub inner_row_bytes: u64,
 }
 
 /// One resolved sort key.
@@ -937,6 +947,15 @@ fn request_summary(req: &SourceRequest) -> String {
             keys,
             ..
         } => format!("lookup {table} keycols={key_columns:?} keys={}", keys.len()),
+        SourceRequest::LookupFilter {
+            table,
+            key_columns,
+            bloom,
+            ..
+        } => format!(
+            "filter {table} keycols={key_columns:?} bloom={}B",
+            bloom.size_bytes()
+        ),
         SourceRequest::Join {
             left_table,
             right_table,
@@ -1099,27 +1118,78 @@ fn execute_bind_join(
             export_keys.push(export_key);
         }
     }
+    // A sorted, deduplicated key list is cheaper on the wire — the
+    // request codec delta-compresses sorted integer key columns, and
+    // distinct pre-image keys can invert to one export value, so
+    // duplicates may exist here. Join results don't depend on order.
+    export_keys.sort();
+    export_keys.dedup();
     // Ship keys in batches, collect matching inner rows.
     let resp_schema = b.inner.request.output_schema(&b.inner.export_schema)?;
     let mut inner_rows: u64 = 0;
     let mut inner_parts: Vec<Batch> = Vec::new();
-    let chunk = b.batch_size.max(1);
-    let mut idx = 0;
-    while idx < export_keys.len() || (idx == 0 && export_keys.is_empty()) {
-        let end = export_keys.len().min(idx.saturating_add(chunk));
-        let keys_chunk: Vec<Vec<Value>> = export_keys[idx..end].to_vec();
-        if keys_chunk.is_empty() {
-            break;
+    // The classic-semijoin path (whole key set in one message) may
+    // ship a Bloom filter of the keys instead of the keys themselves,
+    // when the source can evaluate one and the filter plus its
+    // expected false-positive rows prices below the explicit list.
+    // False positives come back as extra inner rows and are dropped
+    // by the mediator hash join below — both modes return identical
+    // rows, only the bytes differ.
+    const BLOOM_FPP: f64 = 0.01;
+    let mut keyship = format!("keyship[mode=keys n={}]", export_keys.len());
+    let mut requests: Vec<SourceRequest> = Vec::new();
+    if b.batch_size == usize::MAX
+        && ctx.options().bloom_semijoin
+        && b.filter_capable
+        && !export_keys.is_empty()
+    {
+        let key_list_bytes: usize = export_keys
+            .iter()
+            .map(|k| gis_net::wire::encode_values(k).len())
+            .sum();
+        let bloom_bytes = KeyBloom::predicted_bytes(export_keys.len(), BLOOM_FPP);
+        let fp_bytes =
+            (BLOOM_FPP * b.inner_rows_est as f64 * b.inner_row_bytes as f64).ceil() as usize;
+        if bloom_bytes.saturating_add(fp_bytes) < key_list_bytes {
+            let mut bloom = KeyBloom::sized_for(export_keys.len(), BLOOM_FPP);
+            for key in &export_keys {
+                bloom.insert(KeyBloom::hash_key(key));
+            }
+            keyship = format!(
+                "keyship[mode=bloom n={} filter={}B keys={}B]",
+                export_keys.len(),
+                bloom.size_bytes(),
+                key_list_bytes
+            );
+            requests.push(SourceRequest::LookupFilter {
+                table: table.clone(),
+                key_columns: key_columns.clone(),
+                bloom,
+                projection: projection.clone(),
+            });
         }
+    }
+    if requests.is_empty() {
+        let chunk = b.batch_size.max(1);
+        let mut idx = 0;
+        while idx < export_keys.len() {
+            let end = export_keys.len().min(idx.saturating_add(chunk));
+            requests.push(SourceRequest::Lookup {
+                table: table.clone(),
+                key_columns: key_columns.clone(),
+                keys: export_keys[idx..end].to_vec(),
+                projection: projection.clone(),
+            });
+            idx = end;
+        }
+    }
+    if trace {
+        children.push(Span::leaf(keyship));
+    }
+    for request in requests {
         // A bind join is the longest-running fragment shape (one
         // round trip per key batch) — poll the deadline per batch.
         ctx.check_deadline()?;
-        let request = SourceRequest::Lookup {
-            table: table.clone(),
-            key_columns: key_columns.clone(),
-            keys: keys_chunk,
-            projection: projection.clone(),
-        };
         let fetched = if trace {
             remote
                 .execute_all_traced(&request, resp_schema.clone(), ctx.deadline())
@@ -1164,7 +1234,6 @@ fn execute_bind_join(
             None => mapped,
         };
         inner_parts.push(filtered.project(&b.inner.output_positions)?);
-        idx = end;
     }
     if recv_dropped > 0 {
         children.push(Span::leaf(format!(

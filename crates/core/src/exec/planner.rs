@@ -489,6 +489,9 @@ impl Planner<'_> {
             batch_size,
             schema: j.schema.clone(),
             label,
+            filter_capable: caps.filter_lookup,
+            inner_rows_est: inner_est.rows.max(0.0) as u64,
+            inner_row_bytes: inner_est.row_bytes.max(0.0) as u64,
         })))
     }
 

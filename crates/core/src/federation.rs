@@ -23,13 +23,13 @@ use crate::plan::binder::{check_duplicate_aliases, Binder};
 use crate::plan::logical::LogicalPlan;
 use gis_adapters::{register_adapter, RemoteSource, SourceAdapter, SourceGroup};
 use gis_catalog::{Catalog, CatalogRef, TableMapping};
-use gis_net::{BreakerConfig, Link, NetworkConditions, RetryPolicy, SimClock};
+use gis_net::{BreakerConfig, Link, NetworkConditions, RetryPolicy, SimClock, WireStats};
 use gis_sql::ast::Statement;
 use gis_types::{Batch, GisError, MemBudget, Result};
 use gis_views::{CompiledView, MaterializedView, RefreshPolicy, ViewGauges, ViewRegistry};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -80,6 +80,13 @@ pub struct Federation {
     exec_options: RwLock<ExecOptions>,
     next_query_id: AtomicU64,
     views: ViewRegistry<LogicalPlan>,
+    /// Shared switch every registered link's [`RemoteSource`] watches:
+    /// when set, fragment results and bind-join chunks ship as
+    /// compressed v1 frames; when clear, as legacy raw frames.
+    wire_compression: Arc<AtomicBool>,
+    /// Federation-wide raw/compressed byte accumulator, fed by every
+    /// [`RemoteSource`] as frames are encoded.
+    wire_stats: Arc<WireStats>,
 }
 
 impl Default for Federation {
@@ -99,7 +106,26 @@ impl Federation {
             exec_options: RwLock::new(ExecOptions::default()),
             next_query_id: AtomicU64::new(1),
             views: ViewRegistry::new(),
+            wire_compression: Arc::new(AtomicBool::new(true)),
+            wire_stats: WireStats::shared(),
         }
+    }
+
+    /// Turns adaptive wire compression on or off for every source
+    /// (current and future). Default is on; turning it off ships
+    /// legacy raw frames — the ablation baseline for byte counts.
+    pub fn set_wire_compression(&self, on: bool) {
+        self.wire_compression.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether fragment results currently ship compressed.
+    pub fn wire_compression(&self) -> bool {
+        self.wire_compression.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative raw-vs-wire byte counters across all sources.
+    pub fn wire_stats(&self) -> &Arc<WireStats> {
+        &self.wire_stats
     }
 
     /// The shared catalog.
@@ -144,7 +170,10 @@ impl Federation {
         let name = adapter.name().to_ascii_lowercase();
         let link = Link::new(adapter.name(), conditions, self.clock.clone());
         let chunk = self.exec_options.read().chunk_rows;
-        let remote = RemoteSource::new(adapter, link).with_chunk_rows(chunk);
+        let remote = RemoteSource::new(adapter, link)
+            .with_chunk_rows(chunk)
+            .with_compression_flag(self.wire_compression.clone())
+            .with_wire_stats(self.wire_stats.clone());
         self.sources.write().insert(name, SourceGroup::new(remote));
         Ok(())
     }
@@ -172,7 +201,9 @@ impl Federation {
         let chunk = self.exec_options.read().chunk_rows;
         let replica = RemoteSource::new(group.adapter().clone(), link.clone())
             .with_chunk_rows(chunk)
-            .with_retry_policy(group.primary().retry_policy());
+            .with_retry_policy(group.primary().retry_policy())
+            .with_compression_flag(self.wire_compression.clone())
+            .with_wire_stats(self.wire_stats.clone());
         group.push_replica(replica);
         Ok(link)
     }

@@ -15,8 +15,13 @@ use std::fmt;
 /// Traffic attributed to one source during one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SourceTraffic {
-    /// Bytes over the link (both directions).
+    /// Bytes over the link (both directions), as priced by the
+    /// simulated network — i.e. *after* wire compression.
     pub bytes: u64,
+    /// The same traffic before compression (decoded payload size).
+    /// Equal to `bytes` when compression is off; the gap between the
+    /// two is what the adaptive codecs saved on this link.
+    pub raw_bytes: u64,
     /// Messages over the link.
     pub messages: u64,
     /// Transient failures observed (including retried ones).
@@ -30,8 +35,17 @@ pub struct SourceTraffic {
 /// Everything measured about one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct QueryMetrics {
-    /// Total bytes shipped over all links.
+    /// Total bytes shipped over all links — the *wire* size the
+    /// simulated network actually charged for (post-compression).
     pub bytes_shipped: u64,
+    /// Total payload bytes before compression. `bytes_raw -
+    /// bytes_wire` is what the codecs saved this query; the two are
+    /// equal when compression is off.
+    pub bytes_raw: u64,
+    /// Alias of [`QueryMetrics::bytes_shipped`], kept as a separate
+    /// counter so report code can print the raw/wire pair without
+    /// knowing which legacy name carries the wire meaning.
+    pub bytes_wire: u64,
     /// Total messages.
     pub messages: u64,
     /// Total transient failures (retried or fatal).
@@ -107,6 +121,9 @@ impl QueryMetrics {
             self.virtual_network_ms(),
             self.fragments
         );
+        if self.bytes_raw != self.bytes_wire {
+            s.push_str(&format!(" raw_bytes={}", self.bytes_raw));
+        }
         if self.query_id != 0 {
             s.push_str(&format!(" qid={}", self.query_id));
         }
@@ -135,6 +152,7 @@ impl QueryMetrics {
         let mut rows: Vec<(String, String)> = vec![
             ("rows_returned".into(), self.rows_returned.to_string()),
             ("bytes_shipped".into(), self.bytes_shipped.to_string()),
+            ("bytes_raw".into(), self.bytes_raw.to_string()),
             ("messages".into(), self.messages.to_string()),
             ("failures".into(), self.failures.to_string()),
             ("retries".into(), self.retries.to_string()),
@@ -261,6 +279,7 @@ impl TrafficSnapshot {
                     l.name().to_string(),
                     SourceTraffic {
                         bytes: m.bytes(),
+                        raw_bytes: m.raw_bytes(),
                         messages: m.messages(),
                         failures: m.failures(),
                         retries: m.retries(),
@@ -290,12 +309,15 @@ impl TrafficSnapshot {
             let before = self.per_link.get(name).copied().unwrap_or_default();
             let d = SourceTraffic {
                 bytes: after.bytes - before.bytes,
+                raw_bytes: after.raw_bytes - before.raw_bytes,
                 messages: after.messages - before.messages,
                 failures: after.failures - before.failures,
                 retries: after.retries - before.retries,
                 busy_us: after.busy_us - before.busy_us,
             };
             m.bytes_shipped += d.bytes;
+            m.bytes_raw += d.raw_bytes;
+            m.bytes_wire += d.bytes;
             m.messages += d.messages;
             m.failures += d.failures;
             m.retries += d.retries;
@@ -332,6 +354,8 @@ mod tests {
         b.transfer(7).unwrap();
         let m = snap.diff_against([&a, &b], &clock);
         assert_eq!(m.bytes_shipped, 107);
+        assert_eq!(m.bytes_raw, 107); // transfer() prices raw == wire
+        assert_eq!(m.bytes_wire, 107);
         assert_eq!(m.messages, 3);
         assert_eq!(m.virtual_network_us, 20);
         assert_eq!(m.per_source["a"].bytes, 100);

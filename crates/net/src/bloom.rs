@@ -1,0 +1,239 @@
+//! Compact Bloom filters for semijoin key shipping.
+//!
+//! Instead of shipping every distinct outer join key to a source, the
+//! mediator can ship a [`KeyBloom`] sized from catalog statistics:
+//! `m = ceil(-n·ln p / (ln 2)²)` bits and `k = round((m/n)·ln 2)`
+//! probes for `n` expected keys at false-positive rate `p`. False
+//! positives only cost extra shipped rows — the mediator's exact hash
+//! join re-checks every key — so correctness never depends on `p`.
+//!
+//! Probes use double hashing (`h1 + i·h2`, `h2` forced odd) over one
+//! 64-bit stable hash, the standard Kirsch–Mitzenmacher construction,
+//! so a key hashes once no matter how many probes the filter uses.
+//! The key hash itself is FNV-1a over the tagged wire bytes of the
+//! key values, making it stable across processes and platforms — the
+//! filter crosses the (simulated) wire.
+
+use crate::wire::{encode_value, get_uvarint, put_uvarint, truncated};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gis_types::{GisError, Result, Value};
+
+/// Hard ceiling on filter size: a filter this large (16 MiB) has lost
+/// to shipping the keys outright long before, and the bound keeps a
+/// hostile frame from sizing a huge allocation.
+pub const MAX_BLOOM_BYTES: usize = 16 << 20;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A Bloom filter over join-key hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyBloom {
+    bits: Vec<u8>,
+    n_bits: u64,
+    k: u32,
+}
+
+impl KeyBloom {
+    /// A filter sized for `n` expected keys at false-positive rate
+    /// `p` (clamped to sane bounds).
+    pub fn sized_for(n: usize, p: f64) -> KeyBloom {
+        let n = n.max(1) as f64;
+        let p = p.clamp(1e-6, 0.5);
+        let ln2 = std::f64::consts::LN_2;
+        let m_bits = (-n * p.ln() / (ln2 * ln2)).ceil() as u64;
+        let m_bits = m_bits.clamp(64, (MAX_BLOOM_BYTES as u64) * 8);
+        let k = ((m_bits as f64 / n) * ln2).round().clamp(1.0, 16.0) as u32;
+        KeyBloom {
+            bits: vec![0u8; (m_bits as usize).div_ceil(8)],
+            n_bits: m_bits,
+            k,
+        }
+    }
+
+    /// Stable 64-bit hash of a composite key: FNV-1a over the tagged
+    /// wire encoding of each value.
+    pub fn hash_key(key: &[Value]) -> u64 {
+        let mut buf = BytesMut::new();
+        for v in key {
+            encode_value(&mut buf, v);
+        }
+        let mut h = FNV_OFFSET;
+        for &b in buf.iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    fn probes(&self, h: u64) -> impl Iterator<Item = u64> + '_ {
+        let h1 = h;
+        let h2 = (h >> 32) | 1; // odd, so probes cycle the whole table
+        (0..u64::from(self.k)).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits)
+    }
+
+    /// Inserts a key hash.
+    pub fn insert(&mut self, h: u64) {
+        let (n_bits, k) = (self.n_bits, self.k);
+        let h2 = (h >> 32) | 1;
+        for i in 0..u64::from(k) {
+            let bit = h.wrapping_add(i.wrapping_mul(h2)) % n_bits;
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+    }
+
+    /// True when the key hash may have been inserted (false positives
+    /// possible, false negatives not).
+    pub fn contains(&self, h: u64) -> bool {
+        self.probes(h)
+            .all(|bit| self.bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0)
+    }
+
+    /// Filter size in bytes (what shipping it costs).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of probe functions.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Predicted filter bytes for `n` keys at rate `p` without
+    /// building the filter — the planner's cost input.
+    pub fn predicted_bytes(n: usize, p: f64) -> usize {
+        let n = n.max(1) as f64;
+        let p = p.clamp(1e-6, 0.5);
+        let ln2 = std::f64::consts::LN_2;
+        let m_bits = (-n * p.ln() / (ln2 * ln2)).ceil() as u64;
+        (m_bits.clamp(64, (MAX_BLOOM_BYTES as u64) * 8) as usize).div_ceil(8)
+    }
+
+    /// Serializes the filter (bit count, probe count, bit bytes).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.bits.len() + 12);
+        put_uvarint(&mut buf, self.n_bits);
+        put_uvarint(&mut buf, u64::from(self.k));
+        buf.put_slice(&self.bits);
+        buf.freeze()
+    }
+
+    /// Decodes a filter, bounding the claimed size by the bytes
+    /// remaining before allocating.
+    pub fn decode(buf: &mut Bytes) -> Result<KeyBloom> {
+        let n_bits = get_uvarint(buf)?;
+        if n_bits == 0 || n_bits > (MAX_BLOOM_BYTES as u64) * 8 {
+            return Err(GisError::Network(format!(
+                "bloom filter claims {n_bits} bits"
+            )));
+        }
+        let k = u32::try_from(get_uvarint(buf)?)
+            .map_err(|_| GisError::Network("bloom probe count overflow".into()))?;
+        if k == 0 || k > 16 {
+            return Err(GisError::Network(format!("bloom filter claims {k} probes")));
+        }
+        let n_bytes = (n_bits as usize).div_ceil(8);
+        if buf.remaining() < n_bytes {
+            return Err(truncated());
+        }
+        let bits = buf.copy_to_bytes(n_bytes).to_vec();
+        Ok(KeyBloom { bits, n_bits, k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: i64) -> Vec<Value> {
+        vec![Value::Int64(i), Value::Utf8(format!("k{i}"))]
+    }
+
+    #[test]
+    fn no_false_negatives_and_low_false_positives() {
+        let n = 5_000;
+        let mut bloom = KeyBloom::sized_for(n, 0.01);
+        for i in 0..n as i64 {
+            bloom.insert(KeyBloom::hash_key(&key(i)));
+        }
+        // Every inserted key is found.
+        for i in 0..n as i64 {
+            assert!(bloom.contains(KeyBloom::hash_key(&key(i))), "lost key {i}");
+        }
+        // Non-members come back mostly negative.
+        let fp = (n as i64..2 * n as i64)
+            .filter(|&i| bloom.contains(KeyBloom::hash_key(&key(i))))
+            .count();
+        let rate = fp as f64 / n as f64;
+        assert!(rate < 0.03, "false-positive rate {rate} way over target");
+    }
+
+    #[test]
+    fn sizing_follows_the_math() {
+        // 1% at n keys needs ~9.59 bits/key.
+        let bloom = KeyBloom::sized_for(10_000, 0.01);
+        let bits_per_key = (bloom.size_bytes() * 8) as f64 / 10_000.0;
+        assert!(
+            (9.0..11.0).contains(&bits_per_key),
+            "bits/key {bits_per_key}"
+        );
+        assert!((6..=8).contains(&bloom.k()), "k {}", bloom.k());
+        assert_eq!(
+            KeyBloom::predicted_bytes(10_000, 0.01),
+            bloom.size_bytes(),
+            "prediction matches construction"
+        );
+        // Tiny inputs still make a usable filter.
+        let tiny = KeyBloom::sized_for(0, 0.01);
+        assert!(tiny.size_bytes() >= 8);
+        assert!(tiny.k() >= 1);
+    }
+
+    #[test]
+    fn hash_is_stable_and_distinguishes_types() {
+        assert_eq!(
+            KeyBloom::hash_key(&[Value::Int64(7)]),
+            KeyBloom::hash_key(&[Value::Int64(7)])
+        );
+        assert_ne!(
+            KeyBloom::hash_key(&[Value::Int64(7)]),
+            KeyBloom::hash_key(&[Value::Int32(7)])
+        );
+        assert_ne!(
+            KeyBloom::hash_key(&[Value::Utf8("ab".into()), Value::Utf8("c".into())]),
+            KeyBloom::hash_key(&[Value::Utf8("a".into()), Value::Utf8("bc".into())]),
+            "length prefixes keep concatenations apart"
+        );
+    }
+
+    #[test]
+    fn roundtrips_and_rejects_hostile_frames() {
+        let mut bloom = KeyBloom::sized_for(100, 0.01);
+        for i in 0..100 {
+            bloom.insert(KeyBloom::hash_key(&key(i)));
+        }
+        let mut buf = bloom.encode();
+        let back = KeyBloom::decode(&mut buf).unwrap();
+        assert_eq!(back, bloom);
+        assert!(!buf.has_remaining());
+
+        // Truncations error, never panic.
+        let frame = bloom.encode();
+        for cut in 0..frame.len() {
+            assert!(KeyBloom::decode(&mut frame.slice(0..cut)).is_err());
+        }
+
+        // Absurd bit counts are bounded before allocation.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, u64::MAX / 2);
+        put_uvarint(&mut buf, 4);
+        assert!(KeyBloom::decode(&mut buf.freeze()).is_err());
+
+        // Zero probes / absurd probes rejected.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 64);
+        put_uvarint(&mut buf, 0);
+        buf.put_slice(&[0u8; 8]);
+        assert!(KeyBloom::decode(&mut buf.freeze()).is_err());
+    }
+}

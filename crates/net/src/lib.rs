@@ -19,15 +19,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bloom;
 pub mod breaker;
 pub mod clock;
+pub mod codec;
 pub mod fault;
 pub mod link;
 pub mod retry;
 pub mod wire;
 
+pub use bloom::KeyBloom;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use clock::SimClock;
+pub use codec::{
+    decode_frame, encode_frame, encode_frame_into, encode_legacy_into, is_compressed_frame,
+    raw_frame_size, ColumnCodec, FrameStats, WireStats,
+};
 pub use fault::{FaultPlan, FaultVerdict};
 pub use link::{Link, LinkMetrics, NetworkConditions};
 pub use retry::RetryPolicy;

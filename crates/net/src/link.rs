@@ -73,6 +73,7 @@ impl NetworkConditions {
 pub struct LinkMetrics {
     messages: AtomicU64,
     bytes: AtomicU64,
+    raw_bytes: AtomicU64,
     busy_us: AtomicU64,
     failures: AtomicU64,
     retries: AtomicU64,
@@ -84,9 +85,16 @@ impl LinkMetrics {
         self.messages.load(Ordering::Relaxed)
     }
 
-    /// Total bytes transferred.
+    /// Total bytes transferred — what actually crossed the wire (the
+    /// compressed size when wire compression is on).
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total pre-compression bytes the transferred messages represent.
+    /// Equal to [`bytes`](Self::bytes) when nothing was compressed.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes.load(Ordering::Relaxed)
     }
 
     /// Total virtual time spent on the wire, microseconds.
@@ -114,6 +122,7 @@ impl LinkMetrics {
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
+        self.raw_bytes.store(0, Ordering::Relaxed);
         self.busy_us.store(0, Ordering::Relaxed);
         self.failures.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
@@ -192,6 +201,14 @@ impl Link {
     /// message fails fast — [`GisError::Unavailable`], zero clock
     /// advance, zero wire latency.
     pub fn transfer(&self, bytes: usize) -> Result<()> {
+        self.transfer_sized(bytes, bytes)
+    }
+
+    /// [`transfer`](Self::transfer) for a message that was compressed
+    /// before shipping: the wire pays (and the clock advances by)
+    /// `wire_bytes`, while `raw_bytes` — the pre-compression size —
+    /// is recorded separately so reports can state the savings.
+    pub fn transfer_sized(&self, wire_bytes: usize, raw_bytes: usize) -> Result<()> {
         if let Err(remaining_us) = self.breaker.admit(self.clock.now_us()) {
             return Err(GisError::Unavailable(format!(
                 "link '{}': circuit open, probe in {remaining_us}us",
@@ -212,13 +229,16 @@ impl Link {
             FaultVerdict::Deliver { cost_factor } => {
                 let cost = self
                     .conditions
-                    .message_cost_us(bytes)
+                    .message_cost_us(wire_bytes)
                     .saturating_mul(u64::from(cost_factor));
                 self.clock.advance(cost);
                 self.metrics.messages.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .bytes
-                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                    .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+                self.metrics
+                    .raw_bytes
+                    .fetch_add(raw_bytes as u64, Ordering::Relaxed);
                 self.metrics.busy_us.fetch_add(cost, Ordering::Relaxed);
                 self.breaker.on_success();
                 Ok(())
@@ -288,6 +308,29 @@ mod tests {
         assert_eq!(clock.now_us(), 7);
         // retry succeeds
         assert!(link.transfer(10).is_ok());
+    }
+
+    #[test]
+    fn transfer_sized_prices_the_wire_size_but_remembers_raw() {
+        let clock = SimClock::new();
+        let link = Link::new(
+            "compressed",
+            NetworkConditions {
+                latency_us: 10,
+                bandwidth_bytes_per_sec: 1_000_000, // 1 byte/µs
+            },
+            clock.clone(),
+        );
+        link.transfer_sized(100, 400).unwrap();
+        assert_eq!(clock.now_us(), 110, "clock pays the compressed size");
+        assert_eq!(link.metrics().bytes(), 100);
+        assert_eq!(link.metrics().raw_bytes(), 400);
+        // Plain transfer keeps the two in lockstep.
+        link.transfer(50).unwrap();
+        assert_eq!(link.metrics().bytes(), 150);
+        assert_eq!(link.metrics().raw_bytes(), 450);
+        link.metrics().reset();
+        assert_eq!(link.metrics().raw_bytes(), 0);
     }
 
     #[test]

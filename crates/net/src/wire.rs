@@ -65,18 +65,23 @@ pub fn get_ivarint(buf: &mut Bytes) -> Result<i64> {
     Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     put_uvarint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String> {
     let len = get_count(buf, 1)?;
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| GisError::Network("invalid UTF-8 on wire".into()))
+    // Validate straight from the frame slice; the only allocation is
+    // the returned String itself.
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| GisError::Network("invalid UTF-8 on wire".into()))?
+        .to_string();
+    buf.advance(len);
+    Ok(s)
 }
 
-fn truncated() -> GisError {
+pub(crate) fn truncated() -> GisError {
     GisError::Network("truncated message".into())
 }
 
@@ -84,7 +89,7 @@ fn truncated() -> GisError {
 /// counted item occupies at least `min_item_bytes` on the wire, so a
 /// count that cannot possibly fit in the rest of the frame is a
 /// corrupt frame — reject it *before* it sizes an allocation.
-fn get_count(buf: &mut Bytes, min_item_bytes: usize) -> Result<usize> {
+pub(crate) fn get_count(buf: &mut Bytes, min_item_bytes: usize) -> Result<usize> {
     let n = usize::try_from(get_uvarint(buf)?).map_err(|_| truncated())?;
     match n.checked_mul(min_item_bytes) {
         Some(need) if need <= buf.remaining() => Ok(n),
@@ -94,7 +99,7 @@ fn get_count(buf: &mut Bytes, min_item_bytes: usize) -> Result<usize> {
 
 // ---- type tags ------------------------------------------------------------
 
-fn type_tag(dt: DataType) -> u8 {
+pub(crate) fn type_tag(dt: DataType) -> u8 {
     match dt {
         DataType::Null => 0,
         DataType::Boolean => 1,
@@ -107,7 +112,7 @@ fn type_tag(dt: DataType) -> u8 {
     }
 }
 
-fn tag_type(tag: u8) -> Result<DataType> {
+pub(crate) fn tag_type(tag: u8) -> Result<DataType> {
     Ok(match tag {
         0 => DataType::Null,
         1 => DataType::Boolean,
@@ -221,7 +226,7 @@ pub fn decode_schema(buf: &mut Bytes) -> Result<Schema> {
 
 // ---- arrays -------------------------------------------------------------------
 
-fn encode_array(buf: &mut BytesMut, a: &Array) {
+pub(crate) fn encode_array(buf: &mut BytesMut, a: &Array) {
     buf.put_u8(type_tag(a.data_type()));
     let len = a.len();
     put_uvarint(buf, len as u64);
@@ -259,7 +264,7 @@ fn encode_array(buf: &mut BytesMut, a: &Array) {
     }
 }
 
-fn decode_array(buf: &mut Bytes) -> Result<Array> {
+pub(crate) fn decode_array(buf: &mut Bytes) -> Result<Array> {
     if !buf.has_remaining() {
         return Err(truncated());
     }

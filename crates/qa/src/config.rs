@@ -25,6 +25,11 @@ pub enum Mode {
     /// like fault-injected failures); any query that survives must
     /// still be exact.
     MemStarved,
+    /// One call with wire compression explicitly forced on (the
+    /// oracle always runs over raw legacy frames, so every run in
+    /// this mode differentials the adaptive codecs and the
+    /// Bloom-semijoin protocol against uncompressed shipping).
+    Compressed,
 }
 
 /// One engine configuration under test.
@@ -154,6 +159,19 @@ pub fn matrix() -> Vec<EngineConfig> {
             exec: base,
             mode: Mode::MemStarved,
         },
+        // Adaptive per-column wire codecs + Bloom-filter semijoins,
+        // checked against the raw-frame oracle: every byte-saving
+        // layer must be bit-transparent. Semijoin forced so the
+        // filter-vs-keys choice actually fires on capable sources.
+        EngineConfig {
+            name: "compressed",
+            optimizer: OptimizerOptions::default(),
+            exec: ExecOptions {
+                join_strategy: JoinStrategy::SemiJoin,
+                ..base
+            },
+            mode: Mode::Compressed,
+        },
     ]
 }
 
@@ -170,6 +188,8 @@ mod tests {
         assert!(m.iter().any(|c| c.exec.view_matching));
         assert!(m.iter().any(|c| c.mode == Mode::MemTight));
         assert!(m.iter().any(|c| c.mode == Mode::MemStarved));
+        assert!(m.iter().any(|c| c.mode == Mode::Compressed));
+        assert!(m.iter().any(|c| c.name == "compressed"));
     }
 
     #[test]

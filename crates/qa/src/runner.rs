@@ -280,11 +280,16 @@ impl Harness {
     /// `fault_seed` deterministically seeds the flaky run.
     pub fn run_matrix(&self, sql: &str, fault_seed: u64) -> RunReport {
         let (opt, exec) = oracle();
+        // The oracle ships raw legacy frames: every matrix run (the
+        // federation default is compression on) then differentials
+        // the adaptive wire codecs for free, on every query.
+        self.fed.set_wire_compression(false);
         let oracle_rows = self
             .fed
             .query_with(sql, &opt, &exec)
             .map(|r| sorted_rows(r.batch.to_rows()))
             .map_err(|e| e.to_string());
+        self.fed.set_wire_compression(true);
         let runs = self
             .configs
             .iter()
@@ -298,6 +303,12 @@ impl Harness {
                     Mode::Faulted => self.run_faulted(sql, cfg, fault_seed),
                     Mode::MemTight => self.run_budgeted(sql, cfg, TIGHT_SPILL_CAP),
                     Mode::MemStarved => self.run_budgeted(sql, cfg, 0),
+                    Mode::Compressed => {
+                        // The federation default, asserted explicitly:
+                        // the oracle above toggled it off and back on.
+                        self.fed.set_wire_compression(true);
+                        self.run_direct(sql, cfg)
+                    }
                 },
             })
             .collect();

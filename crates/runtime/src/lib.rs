@@ -252,8 +252,38 @@ impl Runtime {
             "Slow-log entries evicted because the ring was full",
         );
         expo.sample("gis_slow_log_dropped_total", &[], stats.slow_log_dropped);
-        expo.header("gis_link_bytes_total", "counter", "Bytes shipped per link");
         let fed = &self.shared.federation;
+        expo.header(
+            "gis_wire_bytes",
+            "counter",
+            "Response payload bytes before (raw) and after (compressed) wire encoding",
+        );
+        let wire = fed.wire_stats();
+        expo.sample("gis_wire_bytes", &[("kind", "raw")], wire.raw_bytes());
+        expo.sample(
+            "gis_wire_bytes",
+            &[("kind", "compressed")],
+            wire.wire_bytes(),
+        );
+        expo.header(
+            "gis_wire_frames_total",
+            "counter",
+            "Response frames encoded for the wire",
+        );
+        expo.sample("gis_wire_frames_total", &[], wire.frames());
+        expo.header(
+            "gis_wire_columns_total",
+            "counter",
+            "Encoded columns by the codec each one selected",
+        );
+        for codec in gis_net::ColumnCodec::all() {
+            expo.sample(
+                "gis_wire_columns_total",
+                &[("codec", codec.name())],
+                wire.columns(codec),
+            );
+        }
+        expo.header("gis_link_bytes_total", "counter", "Bytes shipped per link");
         // One series per *link*, not per logical source: every replica
         // reports under its own link name (`crm`, `crm@r1`, …).
         let links: Vec<_> = fed

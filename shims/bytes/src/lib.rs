@@ -149,6 +149,25 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Splits off everything written so far, leaving `self` empty but
+    /// holding equivalent capacity — the scratch-buffer reuse pattern
+    /// encode loops rely on to avoid re-growing per frame.
+    pub fn split(&mut self) -> BytesMut {
+        let mut written = Vec::with_capacity(self.data.capacity());
+        std::mem::swap(&mut self.data, &mut written);
+        BytesMut { data: written }
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 impl From<&[u8]> for BytesMut {

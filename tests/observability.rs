@@ -166,6 +166,27 @@ fn render_text_exposes_runtime_cache_and_link_counters() {
         text.contains("gis_source_data_version{source=\"crm\"}"),
         "{text}"
     );
+    // Wire-compression counters: raw strictly exceeds compressed on
+    // FedMart's regular data, and at least one non-raw codec fired.
+    let series = |needle: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(needle))
+            .unwrap_or_else(|| panic!("missing {needle} in:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let raw = series("gis_wire_bytes{kind=\"raw\"}");
+    let compressed = series("gis_wire_bytes{kind=\"compressed\"}");
+    assert!(raw > compressed, "raw={raw} compressed={compressed}");
+    assert!(series("gis_wire_frames_total") > 0);
+    let non_raw: u64 = ["dict", "rle", "delta", "nullsup"]
+        .iter()
+        .map(|c| series(&format!("gis_wire_columns_total{{codec=\"{c}\"}}")))
+        .sum();
+    assert!(non_raw > 0, "no adaptive codec selected:\n{text}");
     runtime.shutdown();
 }
 

@@ -96,6 +96,18 @@ impl SourceAdapter for ColumnarAdapter {
             .collect_stats()
     }
 
+    fn collect_stats_sampled(
+        &self,
+        table: &str,
+        spec: &gis_stats::SampleSpec,
+    ) -> Result<TableStats> {
+        let mut tables = self.tables.write();
+        tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| self.no_table(table))?
+            .collect_stats_sampled(spec)
+    }
+
     fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>> {
         request.check_capabilities(&self.capabilities())?;
         let key = request.table().to_ascii_lowercase();

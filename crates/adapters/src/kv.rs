@@ -174,6 +174,18 @@ impl SourceAdapter for KvAdapter {
             .ok_or_else(|| self.no_table(table))
     }
 
+    fn collect_stats_sampled(
+        &self,
+        table: &str,
+        spec: &gis_stats::SampleSpec,
+    ) -> Result<TableStats> {
+        let tables = self.tables.read();
+        tables
+            .get(&table.to_ascii_lowercase())
+            .map(|s| s.collect_stats_sampled(spec))
+            .ok_or_else(|| self.no_table(table))
+    }
+
     fn pushable_predicates(&self, table: &str, predicates: &[ScanPredicate]) -> Vec<bool> {
         let tables = self.tables.read();
         match tables.get(&table.to_ascii_lowercase()) {

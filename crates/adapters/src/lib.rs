@@ -28,6 +28,7 @@ pub mod relational;
 pub mod remote;
 pub mod request;
 pub mod wire_req;
+pub mod wire_stats;
 
 pub use columnar::ColumnarAdapter;
 pub use group::{is_availability_error, SourceGroup};

@@ -310,6 +310,29 @@ impl RemoteSource {
         self.link.round_trip(2 + table.len(), 64)?;
         self.adapter.table_schema(table)
     }
+
+    /// Runs `ANALYZE table` at the source under the given sampling
+    /// instruction, shipping the request and the statistics frame
+    /// across the metered link. Returns the collected stats and the
+    /// total wire bytes the exchange cost.
+    pub fn analyze(
+        &self,
+        table: &str,
+        spec: &gis_stats::SampleSpec,
+    ) -> Result<(gis_storage::TableStats, u64)> {
+        let frame = crate::wire_stats::encode_analyze_request(table, spec);
+        let mut wire_bytes = frame.len() as u64;
+        self.link.transfer(frame.len())?;
+        // The source decodes the request (full wire path), samples its
+        // own storage, and ships the summary back as one frame.
+        let (table, spec) = crate::wire_stats::decode_analyze_request(frame)?;
+        let stats = self.adapter.collect_stats_sampled(&table, &spec)?;
+        let frame = crate::wire_stats::encode_stats_frame(&stats);
+        wire_bytes += frame.len() as u64;
+        self.link.transfer(frame.len())?;
+        let stats = crate::wire_stats::decode_stats_frame(frame)?;
+        Ok((stats, wire_bytes))
+    }
 }
 
 impl std::fmt::Debug for RemoteSource {

@@ -382,6 +382,20 @@ pub trait SourceAdapter: Send + Sync {
     /// Collects fresh statistics for a table (run at registration).
     fn collect_stats(&self, table: &str) -> Result<TableStats>;
 
+    /// Collects statistics under a sampling instruction (ANALYZE).
+    /// The default ignores the spec and scans everything — correct for
+    /// relational sources, whose pushdown machinery touches every row
+    /// anyway; engines with a cheaper native sampling unit (columnar
+    /// segments, ordered KV ranges) override this.
+    fn collect_stats_sampled(
+        &self,
+        table: &str,
+        spec: &gis_stats::SampleSpec,
+    ) -> Result<TableStats> {
+        let _ = spec;
+        self.collect_stats(table)
+    }
+
     /// Executes a fragment request, returning result batches in
     /// [`SourceRequest::output_schema`] layout.
     fn execute(&self, request: &SourceRequest) -> Result<Vec<Batch>>;

@@ -1,0 +1,300 @@
+//! Wire serialization of ANALYZE requests and statistics frames.
+//!
+//! Statistics collection crosses the same metered links as query
+//! traffic, so both halves of the exchange are real frames: the
+//! request carries the table name and a [`SampleSpec`], the response
+//! carries the full [`TableStats`] — sketched NDV, histogram bounds,
+//! and MCV lists included — and the link prices every byte. The
+//! request kind byte (6) shares the namespace of
+//! [`crate::wire_req::encode_request`] so a source can dispatch on the
+//! first byte of any frame.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gis_net::wire::{decode_value, encode_value, get_uvarint, put_uvarint};
+use gis_stats::{Histogram, McvList, SampleMode, SampleSpec};
+use gis_storage::{ColumnStats, TableStats};
+use gis_types::{GisError, Result, Value};
+
+/// Request kind byte, after [`crate::wire_req`]'s tags 0–5.
+pub const ANALYZE_KIND: u8 = 6;
+
+fn truncated() -> GisError {
+    GisError::Network("truncated stats frame".into())
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(truncated());
+    }
+    String::from_utf8(buf.copy_to_bytes(len).to_vec())
+        .map_err(|_| GisError::Network("invalid UTF-8 in stats frame".into()))
+}
+
+fn put_opt_value(buf: &mut BytesMut, v: &Option<Value>) {
+    match v {
+        Some(v) => {
+            buf.put_u8(1);
+            encode_value(buf, v);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
+    if !buf.has_remaining() {
+        return Err(truncated());
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(decode_value(buf)?)),
+        other => Err(GisError::Network(format!(
+            "bad option tag {other} in stats frame"
+        ))),
+    }
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(truncated());
+    }
+    Ok(buf.get_f64_le())
+}
+
+/// Encodes an `ANALYZE table` request frame.
+pub fn encode_analyze_request(table: &str, spec: &SampleSpec) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(ANALYZE_KIND);
+    put_string(&mut buf, table);
+    buf.put_u8(spec.mode.tag());
+    put_uvarint(&mut buf, spec.target_rows);
+    put_uvarint(&mut buf, spec.seed);
+    buf.freeze()
+}
+
+/// Decodes an ANALYZE request frame.
+pub fn decode_analyze_request(mut buf: Bytes) -> Result<(String, SampleSpec)> {
+    if !buf.has_remaining() {
+        return Err(GisError::Network("empty request".into()));
+    }
+    let kind = buf.get_u8();
+    if kind != ANALYZE_KIND {
+        return Err(GisError::Network(format!(
+            "unknown analyze request kind {kind}"
+        )));
+    }
+    let table = get_string(&mut buf)?;
+    if !buf.has_remaining() {
+        return Err(truncated());
+    }
+    let mode = SampleMode::from_tag(buf.get_u8())?;
+    let target_rows = get_uvarint(&mut buf)?;
+    let seed = get_uvarint(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(GisError::Network("trailing bytes in request".into()));
+    }
+    Ok((
+        table,
+        SampleSpec {
+            mode,
+            target_rows,
+            seed,
+        },
+    ))
+}
+
+/// Encodes a [`TableStats`] response frame.
+pub fn encode_stats_frame(stats: &TableStats) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_uvarint(&mut buf, stats.row_count);
+    put_uvarint(&mut buf, stats.columns.len() as u64);
+    for c in &stats.columns {
+        put_opt_value(&mut buf, &c.min);
+        put_opt_value(&mut buf, &c.max);
+        put_uvarint(&mut buf, c.null_count);
+        put_uvarint(&mut buf, c.ndv);
+        buf.put_f64_le(c.avg_width);
+        match &c.histogram {
+            Some(h) => {
+                buf.put_u8(1);
+                put_uvarint(&mut buf, h.bounds.len() as u64);
+                for b in &h.bounds {
+                    encode_value(&mut buf, b);
+                }
+            }
+            None => buf.put_u8(0),
+        }
+        match &c.mcv {
+            Some(m) => {
+                buf.put_u8(1);
+                put_uvarint(&mut buf, m.entries.len() as u64);
+                for (v, f) in &m.entries {
+                    encode_value(&mut buf, v);
+                    buf.put_f64_le(*f);
+                }
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`TableStats`] response frame.
+pub fn decode_stats_frame(mut buf: Bytes) -> Result<TableStats> {
+    let row_count = get_uvarint(&mut buf)?;
+    let ncols = get_uvarint(&mut buf)? as usize;
+    let mut columns = Vec::with_capacity(ncols.min(1024));
+    for _ in 0..ncols {
+        let min = get_opt_value(&mut buf)?;
+        let max = get_opt_value(&mut buf)?;
+        let null_count = get_uvarint(&mut buf)?;
+        let ndv = get_uvarint(&mut buf)?;
+        let avg_width = get_f64(&mut buf)?;
+        if !buf.has_remaining() {
+            return Err(truncated());
+        }
+        let histogram = match buf.get_u8() {
+            0 => None,
+            1 => {
+                let n = get_uvarint(&mut buf)? as usize;
+                let mut bounds = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    bounds.push(decode_value(&mut buf)?);
+                }
+                if bounds.len() < 2 {
+                    return Err(GisError::Network("histogram with <2 bounds".into()));
+                }
+                Some(Histogram { bounds })
+            }
+            other => {
+                return Err(GisError::Network(format!(
+                    "bad histogram tag {other} in stats frame"
+                )))
+            }
+        };
+        if !buf.has_remaining() {
+            return Err(truncated());
+        }
+        let mcv = match buf.get_u8() {
+            0 => None,
+            1 => {
+                let n = get_uvarint(&mut buf)? as usize;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let v = decode_value(&mut buf)?;
+                    let f = get_f64(&mut buf)?;
+                    entries.push((v, f));
+                }
+                Some(McvList { entries })
+            }
+            other => {
+                return Err(GisError::Network(format!(
+                    "bad mcv tag {other} in stats frame"
+                )))
+            }
+        };
+        columns.push(ColumnStats {
+            min,
+            max,
+            null_count,
+            ndv,
+            avg_width,
+            histogram,
+            mcv,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(GisError::Network("trailing bytes in stats frame".into()));
+    }
+    Ok(TableStats { row_count, columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_stats::SampleMode;
+    use gis_storage::StatsCollector;
+
+    fn rich_stats() -> TableStats {
+        let mut c = StatsCollector::new(3);
+        for i in 0..500i64 {
+            let skew = if i % 3 == 0 { 1 } else { i };
+            let s = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Utf8(format!("name-{i:03}"))
+            };
+            c.observe_row(&[Value::Int64(i), Value::Int64(skew), s]);
+        }
+        c.finish()
+    }
+
+    #[test]
+    fn analyze_request_roundtrips() {
+        for mode in [SampleMode::Full, SampleMode::Page, SampleMode::Range] {
+            let spec = SampleSpec {
+                mode,
+                target_rows: 5000,
+                seed: 42,
+            };
+            let frame = encode_analyze_request("orders", &spec);
+            let (table, got) = decode_analyze_request(frame).unwrap();
+            assert_eq!(table, "orders");
+            assert_eq!(got, spec);
+        }
+    }
+
+    #[test]
+    fn stats_frame_roundtrips_rich_stats() {
+        let stats = rich_stats();
+        assert!(stats.columns[0].histogram.is_some());
+        assert!(stats.columns[1].mcv.is_some());
+        let frame = encode_stats_frame(&stats);
+        let got = decode_stats_frame(frame).unwrap();
+        assert_eq!(got, stats);
+    }
+
+    #[test]
+    fn stats_frame_roundtrips_empty() {
+        let stats = TableStats::empty(4);
+        let got = decode_stats_frame(encode_stats_frame(&stats)).unwrap();
+        assert_eq!(got, stats);
+    }
+
+    #[test]
+    fn hostile_truncation_never_panics() {
+        let req = encode_analyze_request("orders", &SampleSpec::full());
+        for cut in 0..req.len() {
+            assert!(
+                decode_analyze_request(req.slice(0..cut)).is_err(),
+                "request prefix of {cut} bytes decoded"
+            );
+        }
+        let frame = encode_stats_frame(&rich_stats());
+        for cut in 0..frame.len() {
+            // Any strict prefix must error, never panic (a prefix can
+            // never be valid: the trailing-bytes check catches short
+            // reads that still parse).
+            assert!(
+                decode_stats_frame(frame.slice(0..cut)).is_err(),
+                "stats prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_kind_and_trailing_bytes() {
+        let mut bad = BytesMut::new();
+        bad.put_u8(0); // Scan kind, not ANALYZE
+        assert!(decode_analyze_request(bad.freeze()).is_err());
+
+        let mut frame = BytesMut::from(&encode_stats_frame(&rich_stats())[..]);
+        frame.put_u8(0xFF);
+        assert!(decode_stats_frame(frame.freeze()).is_err());
+    }
+}

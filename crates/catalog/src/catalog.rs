@@ -144,6 +144,19 @@ impl Catalog {
         Ok(())
     }
 
+    /// Drops every table's statistics, leaving the optimizer on its
+    /// magic-constant fallbacks (used by experiments that need an
+    /// un-analyzed baseline, and useful after bulk loads that make old
+    /// stats misleading). Bumps the catalog version.
+    pub fn clear_stats(&self) {
+        let mut inner = self.inner.write();
+        for meta in inner.tables.values_mut() {
+            meta.stats = None;
+        }
+        drop(inner);
+        self.bump_version();
+    }
+
     /// Registers a global table via an explicit mapping. The mapping
     /// is validated against the source's export schema.
     pub fn register_global(&self, mapping: TableMapping) -> Result<()> {
@@ -327,6 +340,31 @@ mod tests {
         assert_eq!(r.global_schema.field(0).name, "id");
         assert_eq!(r.global_schema.field(0).data_type, DataType::Int64);
         assert_eq!(r.mapping.source_table, "kunden");
+    }
+
+    #[test]
+    fn stats_updates_bump_version() {
+        let c = catalog();
+        let v0 = c.version();
+        c.update_stats("crm", "kunden", TableStats::empty(2))
+            .unwrap();
+        let v1 = c.version();
+        assert!(v1 > v0, "update_stats must invalidate cached plans");
+        assert!(c
+            .resolve(Some("crm"), "kunden")
+            .unwrap()
+            .table
+            .stats
+            .is_some());
+        c.clear_stats();
+        assert!(c.version() > v1, "clear_stats must invalidate cached plans");
+        assert!(c
+            .resolve(Some("crm"), "kunden")
+            .unwrap()
+            .table
+            .stats
+            .is_none());
+        assert!(c.update_stats("crm", "nope", TableStats::empty(2)).is_err());
     }
 
     #[test]

@@ -53,8 +53,15 @@ pub fn estimate(plan: &LogicalPlan) -> Estimate {
         LogicalPlan::TableScan(t) => estimate_scan(t),
         LogicalPlan::Filter { input, predicate } => {
             let e = estimate(input);
+            // Selectivity consults the scan statistics the predicate's
+            // columns trace back to; magic constants only when the
+            // trail goes cold.
+            let sel = predicate_selectivity(predicate, &|c| {
+                let (scan, g) = resolve_column(input, c)?;
+                Some((column_stats(scan, g)?, scan_rows(scan)))
+            });
             Estimate {
-                rows: (e.rows * generic_selectivity(predicate)).max(1.0),
+                rows: (e.rows * sel).max(1.0),
                 row_bytes: e.row_bytes,
             }
         }
@@ -253,55 +260,150 @@ pub fn column_stats(scan: &TableScanNode, g: usize) -> Option<&ColumnStats> {
     stats.columns.get(export_idx)
 }
 
-/// Selectivity of one pushed filter over the scan's global schema.
-fn scan_filter_selectivity(scan: &TableScanNode, f: &ScalarExpr) -> f64 {
-    if let ScalarExpr::Binary { left, op, right } = f {
-        if let (ScalarExpr::Column(c), ScalarExpr::Literal(v)) = (left.as_ref(), right.as_ref()) {
-            return column_predicate_selectivity(scan, *c, *op, v);
-        }
-        if let (ScalarExpr::Literal(v), ScalarExpr::Column(c)) = (left.as_ref(), right.as_ref()) {
-            if let Some(sw) = op.swap() {
-                return column_predicate_selectivity(scan, *c, sw, v);
-            }
-        }
-    }
-    generic_selectivity(f)
-}
-
-fn column_predicate_selectivity(
-    scan: &TableScanNode,
-    column: usize,
-    op: BinaryOp,
-    value: &Value,
-) -> f64 {
-    let Some(stats) = column_stats(scan, column) else {
-        return generic_op_selectivity(op);
-    };
-    let rows = scan
-        .resolved
+/// Row count of a scan's table (for null-fraction computations).
+fn scan_rows(scan: &TableScanNode) -> f64 {
+    scan.resolved
         .table
         .stats
         .as_ref()
         .map(|s| s.row_count as f64)
         .unwrap_or(defaults::TABLE_ROWS)
-        .max(1.0);
+        .max(1.0)
+}
+
+/// Traces output ordinal `col` of `plan` down to the table scan that
+/// produces it, returning the scan and the column's **global** ordinal
+/// there. `None` when the column is computed or the trail crosses a
+/// join/aggregate/union.
+fn resolve_column(plan: &LogicalPlan, col: usize) -> Option<(&TableScanNode, usize)> {
+    match plan {
+        LogicalPlan::TableScan(t) => {
+            let g = *t.output_ordinals().get(col)?;
+            Some((t, g))
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => resolve_column(input, col),
+        LogicalPlan::Projection { input, exprs, .. } => match exprs.get(col)? {
+            ScalarExpr::Column(c) => resolve_column(input, *c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Selectivity of one pushed filter over the scan's global schema.
+fn scan_filter_selectivity(scan: &TableScanNode, f: &ScalarExpr) -> f64 {
+    predicate_selectivity(f, &|c| Some((column_stats(scan, c)?, scan_rows(scan))))
+}
+
+/// Selectivity of an arbitrary predicate, given a way to fetch the
+/// statistics behind a column ordinal (`(column stats, table rows)`).
+/// Boolean structure recurses; leaves consult MCVs, histograms, and
+/// NDV before touching any magic constant.
+fn predicate_selectivity<'a>(
+    e: &ScalarExpr,
+    lookup: &dyn Fn(usize) -> Option<(&'a ColumnStats, f64)>,
+) -> f64 {
+    match e {
+        ScalarExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => predicate_selectivity(left, lookup) * predicate_selectivity(right, lookup),
+        ScalarExpr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => {
+            let (a, b) = (
+                predicate_selectivity(left, lookup),
+                predicate_selectivity(right, lookup),
+            );
+            (a + b - a * b).clamp(0.0, 1.0)
+        }
+        ScalarExpr::Unary {
+            op: gis_sql::ast::UnaryOp::Not,
+            expr,
+        } => 1.0 - predicate_selectivity(expr, lookup),
+        ScalarExpr::Binary { left, op, right } => {
+            let resolved = match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => Some((*c, *op, v)),
+                (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => op.swap().map(|sw| (*c, sw, v)),
+                _ => None,
+            };
+            match resolved.and_then(|(c, op, v)| Some((lookup(c)?, op, v))) {
+                Some(((stats, rows), op, v)) => column_op_selectivity(stats, rows, op, v),
+                None => generic_selectivity(e),
+            }
+        }
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let sel = match (expr.as_ref(), pattern.as_ref()) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(Value::Utf8(p))) => lookup(*c)
+                    .and_then(|(stats, rows)| like_selectivity(stats, rows, p))
+                    .unwrap_or(defaults::LIKE),
+                _ => defaults::LIKE,
+            };
+            if *negated {
+                1.0 - sel
+            } else {
+                sel
+            }
+        }
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let sel = match expr.as_ref() {
+                ScalarExpr::Column(c) => match lookup(*c) {
+                    Some((stats, rows)) => list
+                        .iter()
+                        .map(|item| match item {
+                            ScalarExpr::Literal(v) => {
+                                column_op_selectivity(stats, rows, BinaryOp::Eq, v)
+                            }
+                            _ => defaults::EQ,
+                        })
+                        .sum::<f64>()
+                        .min(1.0),
+                    None => (defaults::EQ * list.len() as f64).min(1.0),
+                },
+                _ => (defaults::EQ * list.len() as f64).min(1.0),
+            };
+            if *negated {
+                1.0 - sel
+            } else {
+                sel
+            }
+        }
+        _ => generic_selectivity(e),
+    }
+}
+
+/// Selectivity of `column <op> value` from the column's statistics.
+fn column_op_selectivity(stats: &ColumnStats, rows: f64, op: BinaryOp, value: &Value) -> f64 {
     match op {
-        BinaryOp::Eq => {
-            if stats.ndv > 0 {
-                (1.0 / stats.ndv as f64).min(1.0)
-            } else {
-                defaults::EQ
-            }
-        }
-        BinaryOp::NotEq => {
-            if stats.ndv > 0 {
-                1.0 - (1.0 / stats.ndv as f64).min(1.0)
-            } else {
-                1.0 - defaults::EQ
-            }
-        }
+        BinaryOp::Eq => eq_selectivity(stats, rows, value),
+        BinaryOp::NotEq => (1.0 - eq_selectivity(stats, rows, value)).clamp(0.0, 1.0),
         BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
-            // Linear interpolation over the numeric [min, max] range.
+            let null_frac = (stats.null_count as f64 / rows).clamp(0.0, 1.0);
+            // Histogram first: equi-depth buckets know the shape.
+            if let Some(h) = &stats.histogram {
+                let below = match op {
+                    BinaryOp::Lt => h.fraction_below(value, false),
+                    BinaryOp::LtEq => h.fraction_below(value, true),
+                    BinaryOp::Gt => 1.0 - h.fraction_below(value, true),
+                    _ => 1.0 - h.fraction_below(value, false),
+                };
+                return (below * (1.0 - null_frac)).clamp(0.0, 1.0);
+            }
+            // Then linear interpolation over the numeric [min, max].
             let (Some(min), Some(max)) = (&stats.min, &stats.max) else {
                 return defaults::RANGE;
             };
@@ -314,7 +416,6 @@ fn column_predicate_selectivity(
                 return defaults::RANGE;
             }
             let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
-            let null_frac = stats.null_count as f64 / rows;
             let sel = match op {
                 BinaryOp::Lt | BinaryOp::LtEq => frac,
                 _ => 1.0 - frac,
@@ -323,6 +424,84 @@ fn column_predicate_selectivity(
         }
         _ => generic_op_selectivity(op),
     }
+}
+
+/// Selectivity of `column = value`: MCV frequency when the value is a
+/// known heavy hitter, the spread non-MCV remainder otherwise, plain
+/// 1/NDV without MCVs — and `defaults::EQ` only when NDV is unknown.
+fn eq_selectivity(stats: &ColumnStats, rows: f64, value: &Value) -> f64 {
+    let null_frac = (stats.null_count as f64 / rows).clamp(0.0, 1.0);
+    if let Some(mcv) = &stats.mcv {
+        if let Some(f) = mcv.freq(value) {
+            return f.clamp(0.0, 1.0);
+        }
+        // Not a heavy hitter: the remaining probability mass spread
+        // over the remaining distinct values.
+        if stats.ndv as usize > mcv.len() {
+            let rest = (1.0 - null_frac - mcv.total_freq()).max(0.0);
+            return (rest / (stats.ndv as usize - mcv.len()) as f64).clamp(0.0, 1.0);
+        }
+    }
+    if stats.ndv > 0 {
+        (1.0 / stats.ndv as f64).min(1.0)
+    } else {
+        defaults::EQ
+    }
+}
+
+/// Histogram-backed selectivity of `column LIKE 'prefix%'`: the
+/// pattern's literal prefix brackets a string range the histogram can
+/// measure. `None` when the pattern has no usable prefix or the
+/// column has no histogram.
+fn like_selectivity(stats: &ColumnStats, rows: f64, pattern: &str) -> Option<f64> {
+    let prefix = like_prefix(pattern)?;
+    let h = stats.histogram.as_ref()?;
+    let null_frac = (stats.null_count as f64 / rows).clamp(0.0, 1.0);
+    let lo = Value::Utf8(prefix.clone());
+    let sel = match prefix_upper_bound(&prefix) {
+        Some(ub) => h.range_fraction(Some((&lo, true)), Some((&Value::Utf8(ub), false))),
+        None => 1.0 - h.fraction_below(&lo, false),
+    };
+    // An exact-string pattern (no wildcards) is an equality test; a
+    // true prefix pattern matches the whole bracketed range.
+    let sel = if prefix.len() == pattern.len() {
+        sel.min(eq_selectivity(stats, rows, &lo))
+    } else {
+        sel
+    };
+    Some((sel * (1.0 - null_frac)).clamp(0.0, 1.0))
+}
+
+/// The literal prefix of a LIKE pattern (chars before the first
+/// wildcard); `None` when the pattern starts with a wildcard.
+fn like_prefix(pattern: &str) -> Option<String> {
+    let mut prefix = String::new();
+    for ch in pattern.chars() {
+        match ch {
+            '%' | '_' => break,
+            c => prefix.push(c),
+        }
+    }
+    if prefix.is_empty() {
+        None
+    } else {
+        Some(prefix)
+    }
+}
+
+/// The smallest string greater than every string starting with
+/// `prefix` (last byte incremented, backing off over 0xFF). `None`
+/// when no such string exists or the increment breaks UTF-8.
+fn prefix_upper_bound(prefix: &str) -> Option<String> {
+    let mut bytes = prefix.as_bytes().to_vec();
+    while let Some(last) = bytes.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return String::from_utf8(bytes).ok();
+        }
+        bytes.pop();
+    }
+    None
 }
 
 fn generic_op_selectivity(op: BinaryOp) -> f64 {
@@ -437,6 +616,164 @@ mod tests {
         };
         assert!(generic_selectivity(&small) < generic_selectivity(&big));
         assert!(generic_selectivity(&big) <= 1.0);
+    }
+
+    /// A 1000-row table with realistic stats: `id` unique (0..1000),
+    /// `region` skewed (half the rows are "east", the rest spread over
+    /// "w000".."w499"), `amount` uniform (0..1000), `name` strings
+    /// "name-000".."name-999".
+    fn scan_with_stats() -> crate::plan::logical::TableScanNode {
+        use gis_catalog::{CapabilityProfile, Catalog};
+        use gis_storage::StatsCollector;
+        use gis_types::{DataType, Field, Schema};
+        let c = Catalog::new();
+        c.register_source("s", "relational", CapabilityProfile::full_sql());
+        let export = Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::new("region", DataType::Utf8),
+            Field::new("amount", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ])
+        .into_ref();
+        let mut sc = StatsCollector::new(4);
+        for i in 0..1000i64 {
+            let region = if i % 2 == 0 {
+                "east".to_string()
+            } else {
+                format!("w{:03}", (i / 2) % 500)
+            };
+            sc.observe_row(&[
+                Value::Int64(i),
+                Value::Utf8(region),
+                Value::Int64(i),
+                Value::Utf8(format!("name-{:03}", i)),
+            ]);
+        }
+        c.register_table("s", "t", export, Some(sc.finish()))
+            .unwrap();
+        crate::plan::logical::TableScanNode::new("t", c.resolve(Some("s"), "t").unwrap())
+    }
+
+    fn filtered_rows(pred: ScalarExpr) -> f64 {
+        let scan = LogicalPlan::TableScan(scan_with_stats());
+        estimate(&LogicalPlan::Filter {
+            input: Box::new(scan),
+            predicate: pred,
+        })
+        .rows
+    }
+
+    use crate::plan::logical::LogicalPlan;
+
+    #[test]
+    fn filter_equality_uses_ndv_not_magic_constant() {
+        // id = 5 on a unique column: 1/NDV ≈ 1/1000, so ~1 row — the
+        // old generic fallback would have said 100.
+        let rows = filtered_rows(
+            ScalarExpr::col(0).binary(BinaryOp::Eq, ScalarExpr::lit(Value::Int64(5))),
+        );
+        assert!(rows <= 2.0, "eq over unique column estimated {rows} rows");
+        // Literal-on-the-left swaps the operator and hits the same path.
+        let swapped = filtered_rows(
+            ScalarExpr::lit(Value::Int64(5)).binary(BinaryOp::Eq, ScalarExpr::col(0)),
+        );
+        assert!(swapped <= 2.0, "swapped eq estimated {swapped} rows");
+    }
+
+    #[test]
+    fn filter_not_eq_complements_ndv() {
+        let rows = filtered_rows(
+            ScalarExpr::col(0).binary(BinaryOp::NotEq, ScalarExpr::lit(Value::Int64(5))),
+        );
+        assert!(rows >= 990.0, "neq over unique column estimated {rows}");
+    }
+
+    #[test]
+    fn filter_equality_consults_mcvs_for_skew() {
+        // "east" is half the table — a heavy hitter the MCV list knows.
+        let hot = filtered_rows(
+            ScalarExpr::col(1).binary(BinaryOp::Eq, ScalarExpr::lit(Value::Utf8("east".into()))),
+        );
+        assert!(
+            (400.0..=600.0).contains(&hot),
+            "MCV estimate for the hot value: {hot}"
+        );
+        // A non-MCV value gets the spread remainder, far below 1/NDV
+        // of a uniform assumption over the skewed column.
+        let cold = filtered_rows(
+            ScalarExpr::col(1).binary(BinaryOp::Eq, ScalarExpr::lit(Value::Utf8("w007".into()))),
+        );
+        assert!(cold < 20.0, "non-MCV estimate: {cold}");
+        assert!(hot / cold > 20.0, "skew must separate hot from cold");
+    }
+
+    #[test]
+    fn filter_range_uses_histogram() {
+        let rows = filtered_rows(
+            ScalarExpr::col(2).binary(BinaryOp::Lt, ScalarExpr::lit(Value::Int64(250))),
+        );
+        assert!(
+            (150.0..=350.0).contains(&rows),
+            "histogram range estimate {rows} for true 250"
+        );
+        let rows = filtered_rows(
+            ScalarExpr::col(2).binary(BinaryOp::GtEq, ScalarExpr::lit(Value::Int64(900))),
+        );
+        assert!(
+            (50.0..=200.0).contains(&rows),
+            "histogram range estimate {rows} for true 100"
+        );
+    }
+
+    #[test]
+    fn filter_like_prefix_uses_histogram() {
+        // name LIKE 'name-1%' matches name-100..name-199: 100 rows.
+        let rows = filtered_rows(ScalarExpr::Like {
+            expr: Box::new(ScalarExpr::col(3)),
+            pattern: Box::new(ScalarExpr::lit(Value::Utf8("name-1%".into()))),
+            negated: false,
+        });
+        assert!(
+            (40.0..=250.0).contains(&rows),
+            "LIKE-prefix estimate {rows} for true 100"
+        );
+        // Without a usable prefix the magic constant holds.
+        let all = filtered_rows(ScalarExpr::Like {
+            expr: Box::new(ScalarExpr::col(3)),
+            pattern: Box::new(ScalarExpr::lit(Value::Utf8("%9".into()))),
+            negated: false,
+        });
+        assert!((all - 1000.0 * defaults::LIKE).abs() < 1.0);
+    }
+
+    #[test]
+    fn filter_in_list_sums_member_selectivities() {
+        let rows = filtered_rows(ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::col(0)),
+            list: (0..5).map(|i| ScalarExpr::lit(Value::Int64(i))).collect(),
+            negated: false,
+        });
+        // 5 members over a unique column: ~5 rows, not 5·0.1·1000.
+        assert!(rows <= 10.0, "IN-list over unique column estimated {rows}");
+    }
+
+    #[test]
+    fn filter_traces_through_projection() {
+        let scan = LogicalPlan::TableScan(scan_with_stats());
+        let schema = scan.schema().clone();
+        let proj = LogicalPlan::Projection {
+            schema: std::sync::Arc::new(schema.project(&[2, 0])),
+            input: Box::new(scan),
+            exprs: vec![ScalarExpr::col(2), ScalarExpr::col(0)],
+        };
+        // Column 1 of the projection is `id`; equality must still find
+        // the NDV through the reordering.
+        let rows = estimate(&LogicalPlan::Filter {
+            input: Box::new(proj),
+            predicate: ScalarExpr::col(1).binary(BinaryOp::Eq, ScalarExpr::lit(Value::Int64(7))),
+        })
+        .rows;
+        assert!(rows <= 2.0, "projection-traced eq estimated {rows}");
     }
 
     #[test]

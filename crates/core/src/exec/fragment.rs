@@ -42,6 +42,9 @@ pub struct FragmentExec {
     pub post_fetch: Option<usize>,
     /// Final output schema (alias-qualified).
     pub schema: SchemaRef,
+    /// Optimizer's row estimate for this scan (0 = none), surfaced as
+    /// `est=…` in the fragment's `EXPLAIN ANALYZE` span.
+    pub rows_est: u64,
 }
 
 impl FragmentExec {
@@ -93,6 +96,7 @@ impl FragmentExec {
             let mut s = Span::leaf(format!("Fragment[{}]", self.source))
                 .with_rows_in(rows_in)
                 .with_rows_out(batch.num_rows() as u64)
+                .with_est_rows(self.rows_est)
                 .with_wall_us(t.elapsed().as_micros() as u64);
             s.children.extend(recv);
             s
@@ -221,6 +225,7 @@ pub fn build_fragment(scan: &TableScanNode, remote: &SourceGroup) -> Result<Frag
         output_positions,
         post_fetch,
         schema: scan.schema.clone(),
+        rows_est: crate::cost::estimate_scan(scan).rows.round().max(1.0) as u64,
     })
 }
 
@@ -281,6 +286,9 @@ pub fn build_lookup_fragment(scan: &TableScanNode, key_global: &[usize]) -> Resu
         output_positions,
         post_fetch: scan.fetch,
         schema: scan.schema.clone(),
+        // Lookup row counts depend on the keys bound at run time, so
+        // the planner makes no claim here.
+        rows_est: 0,
     })
 }
 

@@ -25,6 +25,9 @@ use gis_adapters::{register_adapter, RemoteSource, SourceAdapter, SourceGroup};
 use gis_catalog::{Catalog, CatalogRef, TableMapping};
 use gis_net::{BreakerConfig, Link, NetworkConditions, RetryPolicy, SimClock, WireStats};
 use gis_sql::ast::Statement;
+use gis_stats::{
+    plan_fingerprint, FeedbackRegistry, SampleMode, SampleSpec, StatsGauges, StatsPolicy,
+};
 use gis_types::{Batch, GisError, MemBudget, Result};
 use gis_views::{CompiledView, MaterializedView, RefreshPolicy, ViewGauges, ViewRegistry};
 use parking_lot::RwLock;
@@ -87,6 +90,9 @@ pub struct Federation {
     /// Federation-wide raw/compressed byte accumulator, fed by every
     /// [`RemoteSource`] as frames are encoded.
     wire_stats: Arc<WireStats>,
+    /// Estimated-vs-actual cardinality feedback: the q-error ring,
+    /// per-table drift windows, and the re-ANALYZE scheduler's state.
+    feedback: Arc<FeedbackRegistry>,
 }
 
 impl Default for Federation {
@@ -108,6 +114,7 @@ impl Federation {
             views: ViewRegistry::new(),
             wire_compression: Arc::new(AtomicBool::new(true)),
             wire_stats: WireStats::shared(),
+            feedback: Arc::new(FeedbackRegistry::default()),
         }
     }
 
@@ -334,6 +341,126 @@ impl Federation {
             .ok_or_else(|| GisError::Catalog(format!("unknown source '{source}'")))?;
         let stats = remote.adapter().collect_stats(table)?;
         self.catalog.update_stats(source, table, stats)
+    }
+
+    /// The cardinality-feedback registry (q-error ring, drift windows,
+    /// re-ANALYZE scheduling state).
+    pub fn feedback(&self) -> &Arc<FeedbackRegistry> {
+        &self.feedback
+    }
+
+    /// Replaces the adaptive statistics policy (thresholds, cooldown,
+    /// auto-re-ANALYZE switch).
+    pub fn set_stats_policy(&self, policy: StatsPolicy) {
+        self.feedback.set_policy(policy);
+    }
+
+    /// Observability snapshot of the statistics subsystem, rendered by
+    /// the runtime as `gis_stats_*` series.
+    pub fn stats_gauges(&self) -> StatsGauges {
+        self.feedback.gauges()
+    }
+
+    /// The sampling instruction for one table of one source: a
+    /// relational engine evaluates pushdown over every row anyway, so
+    /// ANALYZE scans fully; a columnar engine samples whole segments;
+    /// a KV store strides its ordered key space. The seed folds in the
+    /// catalog version so repeated ANALYZEs are deterministic yet
+    /// don't resample identically forever.
+    fn sample_spec_for(&self, kind: &str) -> SampleSpec {
+        let seed = 0x5ca1e ^ self.catalog.version();
+        match kind {
+            "relational" => SampleSpec::full(),
+            "kv" => SampleSpec::sampled(SampleMode::Range, seed),
+            _ => SampleSpec::sampled(SampleMode::Page, seed),
+        }
+    }
+
+    /// ANALYZEs one table: ships the request and the statistics frame
+    /// across the table's metered link, installs the result in the
+    /// catalog (bumping the catalog version, so cached plans
+    /// re-optimize), and resets the table's drift window. Returns the
+    /// wire bytes the exchange cost.
+    pub fn analyze_table(&self, source: &str, table: &str) -> Result<u64> {
+        let sources = self.sources.read();
+        let group = sources
+            .get(&source.to_ascii_lowercase())
+            .ok_or_else(|| GisError::Catalog(format!("unknown source '{source}'")))?;
+        let spec = self.sample_spec_for(group.adapter().kind());
+        let (stats, wire_bytes) = group.primary().analyze(table, &spec)?;
+        drop(sources);
+        self.catalog.update_stats(source, table, stats)?;
+        self.feedback
+            .note_analyzed(source, table, self.clock.now_us(), wire_bytes);
+        Ok(wire_bytes)
+    }
+
+    /// Runs an `ANALYZE [source[.table]]` statement: no target means
+    /// every table of every source; a bare source means all its
+    /// tables. Returns a one-row status batch whose metrics carry the
+    /// collection traffic, priced on the virtual clock like any query.
+    pub fn run_analyze(&self, source: Option<&str>, table: Option<&str>) -> Result<QueryResult> {
+        let started = Instant::now();
+        let targets: Vec<(String, String)> = match (source, table) {
+            (Some(s), Some(t)) => vec![(s.to_string(), t.to_string())],
+            (Some(s), None) => {
+                let tables = self.catalog.tables_of(s);
+                if tables.is_empty() {
+                    return Err(GisError::Catalog(format!(
+                        "unknown source '{s}' (or it exports no tables)"
+                    )));
+                }
+                tables.into_iter().map(|t| (s.to_string(), t)).collect()
+            }
+            _ => self
+                .catalog
+                .sources()
+                .into_iter()
+                .flat_map(|s| {
+                    self.catalog
+                        .tables_of(&s.name)
+                        .into_iter()
+                        .map(move |t| (s.name.clone(), t))
+                })
+                .collect(),
+        };
+        let sources = self.sources.read();
+        let links: Vec<Link> = sources
+            .values()
+            .flat_map(|g| g.replicas().iter().map(|r| r.link().clone()))
+            .collect();
+        drop(sources);
+        let snapshot = TrafficSnapshot::capture(links.iter(), &self.clock);
+        let mut wire_bytes = 0u64;
+        for (s, t) in &targets {
+            wire_bytes += self.analyze_table(s, t)?;
+        }
+        let mut metrics = snapshot.diff_against(links.iter(), &self.clock);
+        metrics.rows_returned = 1;
+        metrics.wall_us = started.elapsed().as_micros();
+        status_result(
+            format!(
+                "ANALYZE: {} table(s), {wire_bytes} wire bytes",
+                targets.len()
+            ),
+            metrics,
+        )
+    }
+
+    /// Re-ANALYZEs every table whose recent q-errors say the
+    /// optimizer's picture has rotted (threshold, window, and cooldown
+    /// per [`StatsPolicy`]), on the virtual clock. The runtime's workers
+    /// call this between jobs, next to [`Federation::maintain_views`].
+    /// Returns the number of tables re-analyzed.
+    pub fn maintain_stats(&self) -> usize {
+        let due = self.feedback.due_for_reanalyze(self.clock.now_us());
+        let mut done = 0;
+        for (source, table) in due {
+            if self.analyze_table(&source, &table).is_ok() {
+                done += 1;
+            }
+        }
+        done
     }
 
     /// The materialized-view registry (inspection, tests, gauges).
@@ -584,6 +711,9 @@ impl Federation {
             }
             Statement::RefreshMaterializedView { name } => self.refresh_materialized_view(&name),
             Statement::DropMaterializedView { name } => self.drop_materialized_view(&name),
+            Statement::Analyze { source, table } => {
+                self.run_analyze(source.as_deref(), table.as_deref())
+            }
         }
     }
 
@@ -648,6 +778,11 @@ impl Federation {
             }
             Statement::RefreshMaterializedView { name } => self.refresh_materialized_view(&name),
             Statement::DropMaterializedView { name } => self.drop_materialized_view(&name),
+            // ANALYZE mutates shared catalog state; session overrides
+            // don't apply.
+            Statement::Analyze { source, table } => {
+                self.run_analyze(source.as_deref(), table.as_deref())
+            }
         }
     }
 
@@ -735,7 +870,39 @@ impl Federation {
         metrics.wall_us = started.elapsed().as_micros();
         metrics.trace = trace;
         metrics.views_used = views_used;
+        // Stamp the root span with the optimizer's estimate so
+        // `EXPLAIN ANALYZE` shows est-vs-actual at the top of the tree
+        // (fragments carry their own scan-level estimates).
+        if let Some(span) = &mut metrics.trace {
+            span.est_rows = crate::cost::estimate(plan).rows.round().max(1.0) as u64;
+        }
         let degraded = ctx.take_degraded();
+        // Cardinality feedback: compare the optimizer's root estimate
+        // against the observed row count, attributed to every base
+        // table the plan read. Degraded (partial) results are skipped
+        // — a missing source, not a bad estimate.
+        if degraded.is_none() {
+            let tables: Vec<(String, String)> = plan
+                .scans()
+                .iter()
+                .map(|s| {
+                    (
+                        s.resolved.source.name.clone(),
+                        s.resolved.mapping.source_table.clone(),
+                    )
+                })
+                .collect();
+            if !tables.is_empty() {
+                let est = crate::cost::estimate(plan).rows;
+                self.feedback.record(
+                    plan_fingerprint(&plan.to_string()),
+                    &tables,
+                    est,
+                    batch.num_rows() as u64,
+                    self.clock.now_us(),
+                );
+            }
+        }
         Ok(QueryResult {
             batch,
             metrics,

@@ -44,6 +44,9 @@ impl Binder {
                 "materialized-view DDL has no logical plan; route it through Federation::query"
                     .into(),
             )),
+            Statement::Analyze { .. } => Err(GisError::Analysis(
+                "ANALYZE has no logical plan; route it through Federation::query".into(),
+            )),
         }
     }
 

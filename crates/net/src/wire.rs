@@ -432,6 +432,8 @@ fn decode_span_at(buf: &mut Bytes, depth: usize) -> Result<Span> {
     for _ in 0..n_children {
         children.push(decode_span_at(buf, depth + 1)?);
     }
+    // Sources report no estimates — the optimizer's picture lives at
+    // the mediator, so wire spans leave `est_rows` at 0.
     Ok(Span {
         label,
         rows_in,
@@ -439,6 +441,7 @@ fn decode_span_at(buf: &mut Bytes, depth: usize) -> Result<Span> {
         bytes,
         wall_us,
         children,
+        ..Span::default()
     })
 }
 

@@ -16,6 +16,10 @@ pub struct Span {
     pub rows_in: u64,
     /// Rows the operator produced.
     pub rows_out: u64,
+    /// Optimizer's row estimate for this operator, when one was made
+    /// (0 = no estimate). Rendered as `est=…` next to the actual count
+    /// so `EXPLAIN ANALYZE` exposes cardinality misestimates in place.
+    pub est_rows: u64,
     /// Bytes shipped over a link by this operator (0 for pure
     /// mediator-side operators).
     pub bytes: u64,
@@ -44,6 +48,12 @@ impl Span {
     /// Builder: sets rows out.
     pub fn with_rows_out(mut self, rows: u64) -> Span {
         self.rows_out = rows;
+        self
+    }
+
+    /// Builder: sets the optimizer's row estimate.
+    pub fn with_est_rows(mut self, rows: u64) -> Span {
+        self.est_rows = rows;
         self
     }
 
@@ -110,13 +120,24 @@ impl Span {
             out.push_str("  ");
         }
         out.push_str(&self.label);
-        out.push_str(&format!(
-            " (rows_in={} rows={} bytes={} time={})",
-            self.rows_in,
-            self.rows_out,
-            self.bytes,
-            format_us(self.wall_us)
-        ));
+        if self.est_rows > 0 {
+            out.push_str(&format!(
+                " (rows_in={} rows={} est={} bytes={} time={})",
+                self.rows_in,
+                self.rows_out,
+                self.est_rows,
+                self.bytes,
+                format_us(self.wall_us)
+            ));
+        } else {
+            out.push_str(&format!(
+                " (rows_in={} rows={} bytes={} time={})",
+                self.rows_in,
+                self.rows_out,
+                self.bytes,
+                format_us(self.wall_us)
+            ));
+        }
         out.push('\n');
         for c in &self.children {
             c.render_into(depth + 1, out);
@@ -182,6 +203,20 @@ mod tests {
         assert_eq!(t.node_count(), 4);
         assert_eq!(t.find("remote:").unwrap().rows_out, 100);
         assert!(t.find("nope").is_none());
+    }
+
+    #[test]
+    fn estimate_renders_only_when_present() {
+        let s = Span::leaf("Scan[t]").with_rows_out(10).render();
+        assert!(!s.contains("est="), "no estimate, no annotation: {s}");
+        let s = Span::leaf("Scan[t]")
+            .with_rows_out(10)
+            .with_est_rows(12)
+            .render();
+        assert!(
+            s.contains("rows=10 est=12"),
+            "estimate sits next to actuals: {s}"
+        );
     }
 
     #[test]

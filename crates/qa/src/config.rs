@@ -30,6 +30,11 @@ pub enum Mode {
     /// this mode differentials the adaptive codecs and the
     /// Bloom-semijoin protocol against uncompressed shipping).
     Compressed,
+    /// One call against a twin federation that ran `ANALYZE` over
+    /// every source before the sweep: the optimizer plans from real
+    /// histograms/NDV sketches instead of magic constants. Plans may
+    /// change; answers must stay bit-identical to the oracle.
+    Analyzed,
 }
 
 /// One engine configuration under test.
@@ -172,6 +177,16 @@ pub fn matrix() -> Vec<EngineConfig> {
             },
             mode: Mode::Compressed,
         },
+        // Stats-driven planning: the harness ANALYZEs a twin
+        // federation up front, so selectivity and join cardinality
+        // come from collected sketches. Whatever plan the richer cost
+        // model picks, the rows must not move.
+        EngineConfig {
+            name: "analyzed",
+            optimizer: OptimizerOptions::default(),
+            exec: base,
+            mode: Mode::Analyzed,
+        },
     ]
 }
 
@@ -190,6 +205,8 @@ mod tests {
         assert!(m.iter().any(|c| c.mode == Mode::MemStarved));
         assert!(m.iter().any(|c| c.mode == Mode::Compressed));
         assert!(m.iter().any(|c| c.name == "compressed"));
+        assert!(m.iter().any(|c| c.mode == Mode::Analyzed));
+        assert!(m.iter().any(|c| c.name == "analyzed"));
     }
 
     #[test]

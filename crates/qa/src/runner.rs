@@ -179,6 +179,10 @@ fn rows_diff(oracle: &[Vec<Value>], got: &[Vec<Value>]) -> Option<String> {
 /// for the cached configuration, and the configuration matrix.
 pub struct Harness {
     fed: Arc<Federation>,
+    /// A twin federation (same seeded data) that ran `ANALYZE` over
+    /// every source up front: the `analyzed` configuration plans from
+    /// collected statistics while the oracle keeps magic constants.
+    analyzed_fed: Arc<Federation>,
     cached_session: Session,
     configs: Vec<EngineConfig>,
     // Keep the runtime alive for the session's lifetime.
@@ -206,6 +210,18 @@ impl Harness {
                 .map_err(|e| format!("creating {view}: {e}"))?;
         }
         let fed = Arc::new(federation);
+        // The twin: FedMart's generator is seed-deterministic, so the
+        // analyzed federation holds bit-identical data — only its
+        // catalog statistics (and therefore its plans) differ.
+        let FedMart {
+            federation: analyzed,
+            ..
+        } = build_fedmart(FedMartConfig::tiny()).map_err(|e| e.to_string())?;
+        analyzed.configure_breaker(BreakerConfig::disabled());
+        analyzed
+            .query("ANALYZE")
+            .map_err(|e| format!("pre-sweep ANALYZE: {e}"))?;
+        let analyzed_fed = Arc::new(analyzed);
         let runtime = Runtime::new(fed.clone(), RuntimeConfig::default().with_workers(2));
         let cached = matrix()
             .into_iter()
@@ -215,6 +231,7 @@ impl Harness {
         cached_session.set_caching(true);
         Ok(Harness {
             fed,
+            analyzed_fed,
             cached_session,
             configs: matrix(),
             _runtime: runtime,
@@ -309,6 +326,11 @@ impl Harness {
                         self.fed.set_wire_compression(true);
                         self.run_direct(sql, cfg)
                     }
+                    Mode::Analyzed => self
+                        .analyzed_fed
+                        .query_with(sql, &cfg.optimizer, &cfg.exec)
+                        .map(|r| sorted_rows(r.batch.to_rows()))
+                        .map_err(|e| e.to_string()),
                 },
             })
             .collect();

@@ -469,6 +469,89 @@ impl Runtime {
                 );
             }
         }
+        let stats = fed.stats_gauges();
+        expo.header(
+            "gis_stats_tables_analyzed_total",
+            "counter",
+            "Tables ANALYZE has collected statistics for (counting repeats)",
+        );
+        expo.sample(
+            "gis_stats_tables_analyzed_total",
+            &[],
+            stats.tables_analyzed,
+        );
+        expo.header(
+            "gis_stats_analyze_bytes_total",
+            "counter",
+            "Wire bytes shipped by ANALYZE traffic (priced on the virtual clock)",
+        );
+        expo.sample("gis_stats_analyze_bytes_total", &[], stats.analyze_bytes);
+        expo.header(
+            "gis_stats_reanalyze_scheduled_total",
+            "counter",
+            "Re-ANALYZEs the cardinality-feedback loop has scheduled",
+        );
+        expo.sample(
+            "gis_stats_reanalyze_scheduled_total",
+            &[],
+            stats.reanalyze_scheduled,
+        );
+        expo.header(
+            "gis_stats_feedback_samples_total",
+            "counter",
+            "Estimated-vs-actual cardinality samples recorded",
+        );
+        expo.sample(
+            "gis_stats_feedback_samples_total",
+            &[],
+            stats.samples_recorded,
+        );
+        expo.header(
+            "gis_stats_qerror_median_milli",
+            "gauge",
+            "Median q-error over the feedback ring, scaled by 1000 (1000 = perfect)",
+        );
+        expo.sample(
+            "gis_stats_qerror_median_milli",
+            &[],
+            (stats.qerror_median * 1_000.0).round() as u64,
+        );
+        expo.header(
+            "gis_stats_qerror_max_milli",
+            "gauge",
+            "Maximum q-error over the feedback ring, scaled by 1000",
+        );
+        expo.sample(
+            "gis_stats_qerror_max_milli",
+            &[],
+            (stats.qerror_max * 1_000.0).round() as u64,
+        );
+        if !stats.tables.is_empty() {
+            expo.header(
+                "gis_stats_table_drift_milli",
+                "gauge",
+                "Per-table median q-error over the recent window, scaled by 1000",
+            );
+            for t in &stats.tables {
+                expo.sample(
+                    "gis_stats_table_drift_milli",
+                    &[("source", &t.source), ("table", &t.table)],
+                    (t.median_q * 1_000.0).round() as u64,
+                );
+            }
+            expo.header(
+                "gis_stats_table_analyzed_total",
+                "counter",
+                "ANALYZE runs that have covered this table",
+            );
+            for t in &stats.tables {
+                expo.sample(
+                    "gis_stats_table_analyzed_total",
+                    &[("source", &t.source), ("table", &t.table)],
+                    t.analyzed,
+                );
+            }
+        }
         expo.render()
     }
 

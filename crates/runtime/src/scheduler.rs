@@ -157,6 +157,10 @@ pub(crate) fn worker_loop(shared: &Shared) {
         // clock only advances with query activity, so a wall-clock
         // timer thread could never pace it. Cheap when nothing is due.
         shared.federation.maintain_views();
+        // Likewise for statistics: re-ANALYZE tables whose cardinality
+        // feedback shows persistent drift, paced by the same virtual
+        // clock and its cooldown.
+        shared.federation.maintain_stats();
         let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
         let result = run_job(shared, &job, queue_wait_us);
         match &result {

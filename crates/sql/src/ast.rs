@@ -41,6 +41,15 @@ pub enum Statement {
         /// View name.
         name: String,
     },
+    /// `ANALYZE [source[.table]]` — collect statistics over the wire.
+    /// With no target, every registered table is analyzed; with only a
+    /// source, every table of that source; with both, just that table.
+    Analyze {
+        /// Source name, when given.
+        source: Option<String>,
+        /// Table name within the source, when given.
+        table: Option<String>,
+    },
 }
 
 /// A query expression: set-op body plus ordering and limits.

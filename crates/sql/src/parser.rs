@@ -174,7 +174,31 @@ impl Parser {
         if self.peek_keyword("DROP") {
             return self.parse_drop_materialized_view();
         }
+        if self.peek_keyword("ANALYZE") {
+            return self.parse_analyze();
+        }
         Ok(Statement::Query(self.parse_query()?))
+    }
+
+    /// Parses `ANALYZE [source[.table]]`.
+    fn parse_analyze(&mut self) -> Result<Statement> {
+        self.expect_keyword("ANALYZE")?;
+        if !matches!(self.peek(), Token::Ident(_)) {
+            return Ok(Statement::Analyze {
+                source: None,
+                table: None,
+            });
+        }
+        let source = self.expect_ident()?;
+        let table = if self.consume_if(&Token::Dot) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(Statement::Analyze {
+            source: Some(source),
+            table,
+        })
     }
 
     /// Parses `CREATE MATERIALIZED VIEW name AS query`.
@@ -1071,6 +1095,45 @@ mod tests {
         assert!(matches!(s, Statement::Explain { analyze: true, .. }));
         let err = parse_sql("EXPLAIN (VERBOSE) SELECT 1").unwrap_err();
         assert!(err.to_string().contains("ANALYZE"), "{err}");
+    }
+
+    #[test]
+    fn analyze_statement_forms() {
+        assert_eq!(
+            parse_sql("ANALYZE").unwrap(),
+            Statement::Analyze {
+                source: None,
+                table: None
+            }
+        );
+        assert_eq!(
+            parse_sql("analyze crm").unwrap(),
+            Statement::Analyze {
+                source: Some("crm".into()),
+                table: None
+            }
+        );
+        assert_eq!(
+            parse_sql("ANALYZE crm.customers;").unwrap(),
+            Statement::Analyze {
+                source: Some("crm".into()),
+                table: Some("customers".into())
+            }
+        );
+        assert!(parse_sql("ANALYZE crm.").is_err());
+        // EXPLAIN of an ANALYZE statement still parses.
+        let s = parse_sql("EXPLAIN ANALYZE ANALYZE crm").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+    }
+
+    #[test]
+    fn analyze_unparse_roundtrips() {
+        for sql in ["ANALYZE", "ANALYZE crm", "ANALYZE crm.customers"] {
+            let stmt = parse_sql(sql).unwrap();
+            let text = crate::unparse::statement_to_sql(&stmt);
+            assert_eq!(text, sql);
+            assert_eq!(parse_sql(&text).unwrap(), stmt);
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub fn statement_to_sql(stmt: &Statement) -> String {
         Statement::DropMaterializedView { name } => {
             format!("DROP MATERIALIZED VIEW {name}")
         }
+        Statement::Analyze { source, table } => match (source, table) {
+            (Some(s), Some(t)) => format!("ANALYZE {s}.{t}"),
+            (Some(s), None) => format!("ANALYZE {s}"),
+            _ => "ANALYZE".to_string(),
+        },
     }
 }
 

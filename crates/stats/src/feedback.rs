@@ -1,0 +1,415 @@
+//! Cardinality feedback: estimated-vs-actual q-error accounting.
+//!
+//! Every governed execution knows two numbers the optimizer would love
+//! to be told about: what it *predicted* the root cardinality to be
+//! and what actually came back. The [`FeedbackRegistry`] keeps a
+//! bounded ring of those comparisons, folds them into per-table drift
+//! windows, and — under a [`StatsPolicy`] — nominates tables whose
+//! drift exceeds the threshold for re-ANALYZE on the virtual clock.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The q-error of an estimate: `max(est/actual, actual/est)`, with
+/// both sides floored at one row so empty results stay finite. Always
+/// `>= 1`; `1.0` is a perfect estimate.
+pub fn q_error(est_rows: f64, actual_rows: u64) -> f64 {
+    let est = est_rows.max(1.0);
+    let actual = (actual_rows as f64).max(1.0);
+    (est / actual).max(actual / est)
+}
+
+/// A stable fingerprint for a plan's textual form — the key feedback
+/// samples aggregate under.
+pub fn plan_fingerprint(plan_text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    plan_text.hash(&mut h);
+    h.finish()
+}
+
+/// One recorded estimated-vs-actual comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorSample {
+    /// Fingerprint of the executed plan.
+    pub fingerprint: u64,
+    /// The optimizer's root-cardinality estimate.
+    pub est_rows: f64,
+    /// Rows the query actually returned.
+    pub actual_rows: u64,
+    /// `q_error(est_rows, actual_rows)`.
+    pub q_error: f64,
+    /// Virtual-clock timestamp of the execution.
+    pub at_us: u64,
+}
+
+/// When and how aggressively the runtime re-collects statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsPolicy {
+    /// Master switch for feedback-driven re-ANALYZE.
+    pub auto_reanalyze: bool,
+    /// Median drift (q-error) above which a table is due.
+    pub qerror_threshold: f64,
+    /// Minimum feedback samples before a table can be nominated.
+    pub min_samples: usize,
+    /// Virtual microseconds between ANALYZEs of the same table.
+    pub cooldown_us: u64,
+    /// Capacity of the feedback ring.
+    pub ring_capacity: usize,
+}
+
+impl Default for StatsPolicy {
+    fn default() -> Self {
+        StatsPolicy {
+            auto_reanalyze: true,
+            qerror_threshold: 8.0,
+            min_samples: 8,
+            cooldown_us: 30_000_000,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// Drift gauges for one table, as exported to observability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDriftGauge {
+    /// Source name.
+    pub source: String,
+    /// Table name.
+    pub table: String,
+    /// Median q-error over the table's recent window.
+    pub median_q: f64,
+    /// Samples currently in the window.
+    pub samples: u64,
+    /// ANALYZE runs that have covered this table.
+    pub analyzed: u64,
+}
+
+/// A snapshot of every statistics counter and gauge.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsGauges {
+    /// Tables ANALYZE has collected (counting repeats).
+    pub tables_analyzed: u64,
+    /// Wire bytes ANALYZE traffic has shipped.
+    pub analyze_bytes: u64,
+    /// Re-ANALYZEs the feedback loop has scheduled.
+    pub reanalyze_scheduled: u64,
+    /// Feedback samples recorded.
+    pub samples_recorded: u64,
+    /// Samples currently resident in the ring.
+    pub ring_len: u64,
+    /// Median q-error over the resident ring (1.0 when empty).
+    pub qerror_median: f64,
+    /// Maximum q-error over the resident ring (1.0 when empty).
+    pub qerror_max: f64,
+    /// Per-table drift windows.
+    pub tables: Vec<TableDriftGauge>,
+}
+
+#[derive(Debug, Default)]
+struct TableDrift {
+    recent: VecDeque<f64>,
+    last_analyzed_us: Option<u64>,
+    analyzed_runs: u64,
+}
+
+const DRIFT_WINDOW: usize = 32;
+
+#[derive(Debug)]
+struct Inner {
+    policy: StatsPolicy,
+    ring: VecDeque<QErrorSample>,
+    tables: BTreeMap<(String, String), TableDrift>,
+}
+
+/// The estimated-vs-actual feedback ring plus per-table drift state.
+#[derive(Debug)]
+pub struct FeedbackRegistry {
+    inner: Mutex<Inner>,
+    samples_recorded: AtomicU64,
+    tables_analyzed: AtomicU64,
+    analyze_bytes: AtomicU64,
+    reanalyze_scheduled: AtomicU64,
+}
+
+impl Default for FeedbackRegistry {
+    fn default() -> Self {
+        FeedbackRegistry::new(StatsPolicy::default())
+    }
+}
+
+impl FeedbackRegistry {
+    /// A registry under `policy`.
+    pub fn new(policy: StatsPolicy) -> FeedbackRegistry {
+        FeedbackRegistry {
+            inner: Mutex::new(Inner {
+                policy,
+                ring: VecDeque::new(),
+                tables: BTreeMap::new(),
+            }),
+            samples_recorded: AtomicU64::new(0),
+            tables_analyzed: AtomicU64::new(0),
+            analyze_bytes: AtomicU64::new(0),
+            reanalyze_scheduled: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Replaces the policy.
+    pub fn set_policy(&self, policy: StatsPolicy) {
+        self.lock().policy = policy;
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> StatsPolicy {
+        self.lock().policy
+    }
+
+    /// Records one executed plan's estimated-vs-actual comparison,
+    /// attributed to the `(source, table)` pairs the plan read.
+    pub fn record(
+        &self,
+        fingerprint: u64,
+        tables: &[(String, String)],
+        est_rows: f64,
+        actual_rows: u64,
+        at_us: u64,
+    ) -> f64 {
+        let q = q_error(est_rows, actual_rows);
+        let mut inner = self.lock();
+        let cap = inner.policy.ring_capacity.max(1);
+        while inner.ring.len() >= cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(QErrorSample {
+            fingerprint,
+            est_rows,
+            actual_rows,
+            q_error: q,
+            at_us,
+        });
+        for key in tables {
+            let drift = inner.tables.entry(key.clone()).or_default();
+            if drift.recent.len() >= DRIFT_WINDOW {
+                drift.recent.pop_front();
+            }
+            drift.recent.push_back(q);
+        }
+        drop(inner);
+        self.samples_recorded.fetch_add(1, Ordering::Relaxed);
+        q
+    }
+
+    /// Notes a completed ANALYZE of `source.table` that shipped
+    /// `wire_bytes`, resetting the table's drift window.
+    pub fn note_analyzed(&self, source: &str, table: &str, at_us: u64, wire_bytes: u64) {
+        let mut inner = self.lock();
+        let drift = inner
+            .tables
+            .entry((source.to_string(), table.to_string()))
+            .or_default();
+        drift.last_analyzed_us = Some(at_us);
+        drift.analyzed_runs += 1;
+        drift.recent.clear();
+        drop(inner);
+        self.tables_analyzed.fetch_add(1, Ordering::Relaxed);
+        self.analyze_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Tables whose drift window says their statistics have rotted:
+    /// previously ANALYZEd, enough samples, median q-error over the
+    /// threshold, cooldown elapsed. Nominated tables have their
+    /// windows cleared so they are not returned again before the
+    /// re-ANALYZE lands.
+    pub fn due_for_reanalyze(&self, now_us: u64) -> Vec<(String, String)> {
+        let mut inner = self.lock();
+        let policy = inner.policy;
+        if !policy.auto_reanalyze {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        for (key, drift) in inner.tables.iter_mut() {
+            let Some(last) = drift.last_analyzed_us else {
+                continue;
+            };
+            if now_us.saturating_sub(last) < policy.cooldown_us {
+                continue;
+            }
+            if drift.recent.len() < policy.min_samples {
+                continue;
+            }
+            if median(drift.recent.iter().copied()) > policy.qerror_threshold {
+                drift.recent.clear();
+                due.push(key.clone());
+            }
+        }
+        drop(inner);
+        self.reanalyze_scheduled
+            .fetch_add(due.len() as u64, Ordering::Relaxed);
+        due
+    }
+
+    /// A snapshot of the resident feedback ring, oldest first.
+    pub fn ring(&self) -> Vec<QErrorSample> {
+        self.lock().ring.iter().cloned().collect()
+    }
+
+    /// Every counter and gauge, for metrics exposition.
+    pub fn gauges(&self) -> StatsGauges {
+        let inner = self.lock();
+        let qs: Vec<f64> = inner.ring.iter().map(|s| s.q_error).collect();
+        let tables = inner
+            .tables
+            .iter()
+            .map(|((source, table), drift)| TableDriftGauge {
+                source: source.clone(),
+                table: table.clone(),
+                median_q: if drift.recent.is_empty() {
+                    1.0
+                } else {
+                    median(drift.recent.iter().copied())
+                },
+                samples: drift.recent.len() as u64,
+                analyzed: drift.analyzed_runs,
+            })
+            .collect();
+        StatsGauges {
+            tables_analyzed: self.tables_analyzed.load(Ordering::Relaxed),
+            analyze_bytes: self.analyze_bytes.load(Ordering::Relaxed),
+            reanalyze_scheduled: self.reanalyze_scheduled.load(Ordering::Relaxed),
+            samples_recorded: self.samples_recorded.load(Ordering::Relaxed),
+            ring_len: qs.len() as u64,
+            qerror_median: if qs.is_empty() {
+                1.0
+            } else {
+                median(qs.iter().copied())
+            },
+            qerror_max: qs.iter().copied().fold(1.0, f64::max),
+            tables,
+        }
+    }
+}
+
+/// Median of a non-empty iterator (lower median for even counts).
+pub fn median(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        return 1.0;
+    }
+    v.sort_by(f64::total_cmp);
+    v[(v.len() - 1) / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: &str) -> (String, String) {
+        ("src".to_string(), t.to_string())
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(10.0, 100), 10.0);
+        assert_eq!(q_error(100.0, 10), 10.0);
+        assert_eq!(q_error(0.0, 0), 1.0);
+        assert_eq!(q_error(0.5, 1), 1.0);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let reg = FeedbackRegistry::new(StatsPolicy {
+            ring_capacity: 4,
+            ..StatsPolicy::default()
+        });
+        for i in 0..10u64 {
+            reg.record(i, &[key("t")], 10.0, 10, i);
+        }
+        let ring = reg.ring();
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring[0].fingerprint, 6);
+        assert_eq!(reg.gauges().samples_recorded, 10);
+    }
+
+    #[test]
+    fn reanalyze_requires_drift_samples_and_cooldown() {
+        let policy = StatsPolicy {
+            qerror_threshold: 4.0,
+            min_samples: 3,
+            cooldown_us: 1_000,
+            ..StatsPolicy::default()
+        };
+        let reg = FeedbackRegistry::new(policy);
+        // Never analyzed: not eligible no matter the drift.
+        for _ in 0..5 {
+            reg.record(1, &[key("cold")], 1000.0, 1, 0);
+        }
+        assert!(reg.due_for_reanalyze(10_000).is_empty());
+
+        reg.note_analyzed("src", "hot", 0, 128);
+        // Not enough samples yet.
+        reg.record(2, &[key("hot")], 1000.0, 1, 100);
+        assert!(reg.due_for_reanalyze(10_000).is_empty());
+        for _ in 0..4 {
+            reg.record(2, &[key("hot")], 1000.0, 1, 200);
+        }
+        // Cooldown not elapsed.
+        assert!(reg.due_for_reanalyze(500).is_empty());
+        let due = reg.due_for_reanalyze(10_000);
+        assert_eq!(due, vec![key("hot")]);
+        // Window cleared: not nominated twice.
+        assert!(reg.due_for_reanalyze(20_000).is_empty());
+        assert_eq!(reg.gauges().reanalyze_scheduled, 1);
+    }
+
+    #[test]
+    fn accurate_estimates_never_trigger() {
+        let reg = FeedbackRegistry::new(StatsPolicy {
+            min_samples: 2,
+            cooldown_us: 0,
+            ..StatsPolicy::default()
+        });
+        reg.note_analyzed("src", "t", 0, 64);
+        for _ in 0..10 {
+            reg.record(3, &[key("t")], 100.0, 101, 50);
+        }
+        assert!(reg.due_for_reanalyze(1_000_000).is_empty());
+        let g = reg.gauges();
+        assert!(g.qerror_median < 1.1);
+        assert_eq!(g.tables_analyzed, 1);
+        assert_eq!(g.analyze_bytes, 64);
+    }
+
+    #[test]
+    fn disabled_policy_never_nominates() {
+        let reg = FeedbackRegistry::new(StatsPolicy {
+            auto_reanalyze: false,
+            min_samples: 1,
+            cooldown_us: 0,
+            ..StatsPolicy::default()
+        });
+        reg.note_analyzed("src", "t", 0, 0);
+        reg.record(4, &[key("t")], 1e6, 1, 10);
+        assert!(reg.due_for_reanalyze(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn gauges_summarize_ring() {
+        let reg = FeedbackRegistry::default();
+        reg.record(1, &[key("a")], 10.0, 10, 0);
+        reg.record(2, &[key("a")], 100.0, 10, 1);
+        reg.record(3, &[key("b")], 10.0, 1000, 2);
+        let g = reg.gauges();
+        assert_eq!(g.ring_len, 3);
+        assert_eq!(g.qerror_median, 10.0);
+        assert_eq!(g.qerror_max, 100.0);
+        assert_eq!(g.tables.len(), 2);
+        let a = g.tables.iter().find(|t| t.table == "a").unwrap();
+        assert_eq!(a.samples, 2);
+    }
+}

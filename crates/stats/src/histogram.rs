@@ -1,0 +1,270 @@
+//! Equi-depth histograms and most-common-value lists.
+//!
+//! Both are built from a sorted sample (usually a [`crate::Reservoir`]
+//! drain). The histogram stores `B+1` bucket boundaries where each
+//! bucket holds an equal share of the sampled values — skewed columns
+//! naturally get narrow buckets around their dense regions, and heavy
+//! hitters surface as repeated boundaries. Frequencies are stored as
+//! fractions of the table, so stats scaled up from a sample need no
+//! adjustment.
+
+use gis_types::Value;
+
+/// Default number of equi-depth buckets.
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// Cap on MCV entries kept per column.
+pub const MAX_MCVS: usize = 16;
+
+/// An equi-depth histogram: `bounds.len() - 1` buckets of equal mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket boundaries, ascending. Bucket `i` spans
+    /// `[bounds[i], bounds[i+1]]`; repeated boundaries mark heavy
+    /// hitters (several buckets' worth of mass at one value).
+    pub bounds: Vec<Value>,
+}
+
+impl Histogram {
+    /// Builds from an ascending-sorted slice of non-null values.
+    /// Returns `None` when fewer than two values are available (no
+    /// range to describe).
+    pub fn from_sorted(values: &[Value], buckets: usize) -> Option<Histogram> {
+        let n = values.len();
+        if n < 2 {
+            return None;
+        }
+        let b = buckets.clamp(1, n - 1);
+        let bounds = (0..=b).map(|i| values[(i * (n - 1)) / b].clone()).collect();
+        Some(Histogram { bounds })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Estimated fraction of values strictly below (`inclusive ==
+    /// false`) or at-or-below (`inclusive == true`) `v`.
+    pub fn fraction_below(&self, v: &Value, inclusive: bool) -> f64 {
+        let b = self.buckets();
+        if b == 0 {
+            return 0.5;
+        }
+        let mut acc = 0.0f64;
+        for i in 0..b {
+            let lo = &self.bounds[i];
+            let hi = &self.bounds[i + 1];
+            if v.total_cmp(lo).is_lt() {
+                break;
+            }
+            let past = if inclusive {
+                v.total_cmp(hi).is_ge()
+            } else {
+                v.total_cmp(hi).is_gt()
+            };
+            if past {
+                acc += 1.0;
+                continue;
+            }
+            acc += bucket_fraction(lo, hi, v, inclusive);
+            break;
+        }
+        (acc / b as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of values inside the (optionally bounded,
+    /// optionally inclusive) range. `None` bounds are unbounded.
+    pub fn range_fraction(&self, lo: Option<(&Value, bool)>, hi: Option<(&Value, bool)>) -> f64 {
+        let upper = match hi {
+            Some((v, incl)) => self.fraction_below(v, incl),
+            None => 1.0,
+        };
+        let lower = match lo {
+            // Values below the range start: everything < v (or <= v
+            // when the bound is exclusive).
+            Some((v, incl)) => self.fraction_below(v, !incl),
+            None => 0.0,
+        };
+        (upper - lower).clamp(0.0, 1.0)
+    }
+}
+
+/// Position of `v` within one bucket, in `[0, 1]`.
+fn bucket_fraction(lo: &Value, hi: &Value, v: &Value, inclusive: bool) -> f64 {
+    if lo.total_cmp(hi).is_eq() {
+        // A heavy-hitter bucket: all mass sits on one value.
+        return if inclusive { 1.0 } else { 0.0 };
+    }
+    match (value_frac(lo), value_frac(hi), value_frac(v)) {
+        (Some(flo), Some(fhi), Some(fv)) if fhi > flo => ((fv - flo) / (fhi - flo)).clamp(0.0, 1.0),
+        _ => 0.5,
+    }
+}
+
+/// A linearization of a value for within-bucket interpolation.
+fn value_frac(v: &Value) -> Option<f64> {
+    if let Ok(Some(f)) = v.as_f64() {
+        return Some(f);
+    }
+    if let Value::Utf8(s) = v {
+        // First eight bytes, big-endian: enough resolution to place a
+        // string between two bucket boundaries.
+        let mut buf = [0u8; 8];
+        for (i, b) in s.as_bytes().iter().take(8).enumerate() {
+            buf[i] = *b;
+        }
+        return Some(u64::from_be_bytes(buf) as f64);
+    }
+    None
+}
+
+/// Most-common values of a column with their frequency fractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McvList {
+    /// `(value, fraction_of_rows)` pairs, most frequent first.
+    pub entries: Vec<(Value, f64)>,
+}
+
+impl McvList {
+    /// Extracts heavy hitters from an ascending-sorted sample of
+    /// non-null values: values appearing at least twice and clearly
+    /// above the uniform expectation, capped at [`MAX_MCVS`].
+    /// Returns `None` when nothing qualifies.
+    pub fn from_sorted(values: &[Value]) -> Option<McvList> {
+        let n = values.len();
+        if n < 2 {
+            return None;
+        }
+        let mut runs: Vec<(usize, usize)> = Vec::new(); // (start, len)
+        let mut start = 0usize;
+        for i in 1..=n {
+            if i == n || values[i].total_cmp(&values[start]).is_ne() {
+                runs.push((start, i - start));
+                start = i;
+            }
+        }
+        let distinct = runs.len().max(1);
+        // "Common" means beating the uniform share by 1.5x — below
+        // that, 1/NDV is already the right answer.
+        let threshold = ((n as f64 / distinct as f64) * 1.5).max(2.0);
+        let mut hitters: Vec<(usize, usize)> = runs
+            .into_iter()
+            .filter(|&(_, len)| len as f64 >= threshold && len >= 2)
+            .collect();
+        if hitters.is_empty() {
+            return None;
+        }
+        hitters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hitters.truncate(MAX_MCVS);
+        Some(McvList {
+            entries: hitters
+                .into_iter()
+                .map(|(s, len)| (values[s].clone(), len as f64 / n as f64))
+                .collect(),
+        })
+    }
+
+    /// Frequency fraction of `v`, if it is a recorded common value.
+    pub fn freq(&self, v: &Value) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(mv, _)| mv.total_cmp(v).is_eq())
+            .map(|&(_, f)| f)
+    }
+
+    /// Total fraction of rows covered by the recorded common values.
+    pub fn total_freq(&self) -> f64 {
+        self.entries.iter().map(|&(_, f)| f).sum()
+    }
+
+    /// Number of recorded common values.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no common values are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: impl IntoIterator<Item = i64>) -> Vec<Value> {
+        vals.into_iter().map(Value::Int64).collect()
+    }
+
+    #[test]
+    fn uniform_histogram_interpolates_linearly() {
+        let vals = ints(0..1000);
+        let h = Histogram::from_sorted(&vals, 64).unwrap();
+        assert_eq!(h.buckets(), 64);
+        let f = h.fraction_below(&Value::Int64(250), false);
+        assert!((f - 0.25).abs() < 0.03, "fraction {f}");
+        assert_eq!(h.fraction_below(&Value::Int64(-5), false), 0.0);
+        assert_eq!(h.fraction_below(&Value::Int64(5000), true), 1.0);
+    }
+
+    #[test]
+    fn range_fraction_brackets() {
+        let vals = ints(0..1000);
+        let h = Histogram::from_sorted(&vals, 64).unwrap();
+        let f = h.range_fraction(
+            Some((&Value::Int64(100), true)),
+            Some((&Value::Int64(200), false)),
+        );
+        assert!((f - 0.10).abs() < 0.03, "fraction {f}");
+        assert!((h.range_fraction(None, None) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_concentrates_buckets() {
+        // 90% of mass at 0, the rest spread over 1..=1000.
+        let mut vals = vec![0i64; 900];
+        vals.extend(1..=100);
+        let vals = ints(vals);
+        let h = Histogram::from_sorted(&vals, 64).unwrap();
+        // Nearly all buckets collapse onto the heavy value, so the
+        // mass at-or-below zero is ~0.9.
+        let f = h.fraction_below(&Value::Int64(0), true);
+        assert!(f > 0.8, "fraction {f}");
+        let strict = h.fraction_below(&Value::Int64(0), false);
+        assert!(strict < 0.1, "strict fraction {strict}");
+    }
+
+    #[test]
+    fn string_buckets_interpolate() {
+        let vals: Vec<Value> = (0..260)
+            .map(|i| Value::Utf8(format!("k{:04}", i)))
+            .collect();
+        let h = Histogram::from_sorted(&vals, 16).unwrap();
+        let f = h.fraction_below(&Value::Utf8("k0130".into()), false);
+        assert!((f - 0.5).abs() < 0.15, "fraction {f}");
+    }
+
+    #[test]
+    fn mcvs_capture_heavy_hitters() {
+        let mut vals = vec![7i64; 500];
+        vals.extend(vec![13i64; 200]);
+        vals.extend(0..300);
+        let mut vals = ints(vals);
+        vals.sort();
+        let mcv = McvList::from_sorted(&vals).unwrap();
+        let f7 = mcv.freq(&Value::Int64(7)).unwrap();
+        assert!((f7 - 0.5).abs() < 0.01, "freq {f7}");
+        assert!(mcv.freq(&Value::Int64(13)).is_some());
+        assert!(mcv.freq(&Value::Int64(299)).is_none());
+        assert!(mcv.total_freq() < 1.0);
+    }
+
+    #[test]
+    fn uniform_data_has_no_mcvs() {
+        let vals = ints(0..1000);
+        assert!(McvList::from_sorted(&vals).is_none());
+        assert!(Histogram::from_sorted(&ints(0..1), 64).is_none());
+        assert!(McvList::from_sorted(&[]).is_none());
+    }
+}

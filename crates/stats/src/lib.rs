@@ -1,0 +1,40 @@
+//! # gis-stats — statistics sketches and cardinality feedback
+//!
+//! Kameny's mediator decomposes queries by *cost*, yet the component
+//! systems are autonomous: the federation cannot read their data, only
+//! ask them questions over a priced link. This crate holds everything
+//! the statistics subsystem needs that is not tied to a particular
+//! engine or wire:
+//!
+//! * [`Hll`] — a HyperLogLog sketch for NDV estimation, mergeable so
+//!   sampled collection scans can be combined;
+//! * [`Histogram`] — equi-depth bucket boundaries with range-fraction
+//!   estimation (the selectivity workhorse for range and LIKE-prefix
+//!   predicates);
+//! * [`McvList`] — most-common values with their frequency fractions,
+//!   consulted before any 1/NDV uniformity assumption;
+//! * [`Reservoir`] — a deterministic reservoir sampler feeding the
+//!   histogram/MCV builders in bounded memory;
+//! * [`SampleSpec`]/[`SampleMode`] — how much of a table a source
+//!   should look at when asked to ANALYZE, chosen per capability
+//!   profile (full scan for relational pushdown sources, page or
+//!   key-range sampling for columnar and KV engines);
+//! * [`FeedbackRegistry`] — the estimated-vs-actual q-error ring and
+//!   per-table drift accounting that schedules re-ANALYZE when the
+//!   optimizer's picture of a table has rotted.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod feedback;
+pub mod histogram;
+pub mod hll;
+pub mod sample;
+
+pub use feedback::{
+    plan_fingerprint, q_error, FeedbackRegistry, QErrorSample, StatsGauges, StatsPolicy,
+    TableDriftGauge,
+};
+pub use histogram::{Histogram, McvList};
+pub use hll::Hll;
+pub use sample::{Reservoir, SampleMode, SampleSpec};

@@ -1,0 +1,219 @@
+//! Sampling specifications and the reservoir sampler.
+//!
+//! ANALYZE cannot assume a source will (or should) scan everything:
+//! a relational engine evaluating pushdown already touches every row
+//! cheaply, but a columnar engine answers from segment zone maps and a
+//! KV store would have to walk its whole keyspace. The [`SampleSpec`]
+//! travels in the ANALYZE wire request and tells the source-side
+//! collector how much to look at; the [`Reservoir`] keeps collection
+//! memory bounded regardless.
+
+use gis_types::{GisError, Result, Value};
+
+/// How a source should sample a table for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Scan every row (relational pushdown sources: the scan is the
+    /// same work they already do to answer queries).
+    Full,
+    /// Sample whole pages/segments (columnar sources: a segment is the
+    /// unit their storage reads anyway).
+    Page,
+    /// Sample key ranges by stride (KV sources: ordered key space,
+    /// no predicate evaluation available).
+    Range,
+}
+
+impl SampleMode {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            SampleMode::Full => 0,
+            SampleMode::Page => 1,
+            SampleMode::Range => 2,
+        }
+    }
+
+    /// Decodes a wire tag.
+    pub fn from_tag(tag: u8) -> Result<SampleMode> {
+        Ok(match tag {
+            0 => SampleMode::Full,
+            1 => SampleMode::Page,
+            2 => SampleMode::Range,
+            other => {
+                return Err(GisError::Network(format!(
+                    "unknown sample mode tag {other}"
+                )))
+            }
+        })
+    }
+
+    /// Short label for spans and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleMode::Full => "full",
+            SampleMode::Page => "page",
+            SampleMode::Range => "range",
+        }
+    }
+}
+
+/// A complete sampling instruction for one ANALYZE of one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// How to pick rows.
+    pub mode: SampleMode,
+    /// Rough number of rows the sample should contain (sampling modes
+    /// derive their stride from this; `Full` ignores it).
+    pub target_rows: u64,
+    /// Seed for any randomized choices, so ANALYZE is deterministic.
+    pub seed: u64,
+}
+
+impl SampleSpec {
+    /// Default sample size.
+    pub const DEFAULT_TARGET: u64 = 10_000;
+
+    /// A full-scan spec.
+    pub fn full() -> SampleSpec {
+        SampleSpec {
+            mode: SampleMode::Full,
+            target_rows: Self::DEFAULT_TARGET,
+            seed: 0,
+        }
+    }
+
+    /// A sampling spec in `mode` with the default target.
+    pub fn sampled(mode: SampleMode, seed: u64) -> SampleSpec {
+        SampleSpec {
+            mode,
+            target_rows: Self::DEFAULT_TARGET,
+            seed,
+        }
+    }
+
+    /// The stride for `total` rows under this spec: every `stride`-th
+    /// row (or page) keeps the sample near `target_rows`.
+    pub fn stride(&self, total: u64) -> u64 {
+        if self.mode == SampleMode::Full || self.target_rows == 0 {
+            return 1;
+        }
+        (total / self.target_rows).max(1)
+    }
+}
+
+/// Algorithm-R reservoir sampler over [`Value`]s with a deterministic
+/// xorshift generator: same seed, same stream, same sample.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    state: u64,
+    values: Vec<Value>,
+}
+
+impl Reservoir {
+    /// A reservoir keeping at most `capacity` values.
+    pub fn new(capacity: usize, seed: u64) -> Reservoir {
+        Reservoir {
+            capacity: capacity.max(1),
+            seen: 0,
+            // xorshift must not start at 0.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            values: Vec::new(),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Offers one value to the reservoir.
+    pub fn offer(&mut self, v: &Value) {
+        self.seen += 1;
+        if self.values.len() < self.capacity {
+            self.values.push(v.clone());
+            return;
+        }
+        let j = self.next_u64() % self.seen;
+        if (j as usize) < self.capacity {
+            self.values[j as usize] = v.clone();
+        }
+    }
+
+    /// Values offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Drains the sample, ascending-sorted (the input order histogram
+    /// and MCV builders expect).
+    pub fn into_sorted(mut self) -> Vec<Value> {
+        self.values.sort_by(|a, b| a.total_cmp(b));
+        self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_tags_roundtrip() {
+        for mode in [SampleMode::Full, SampleMode::Page, SampleMode::Range] {
+            assert_eq!(SampleMode::from_tag(mode.tag()).unwrap(), mode);
+        }
+        assert!(SampleMode::from_tag(9).is_err());
+    }
+
+    #[test]
+    fn stride_tracks_target() {
+        let spec = SampleSpec {
+            mode: SampleMode::Range,
+            target_rows: 100,
+            seed: 7,
+        };
+        assert_eq!(spec.stride(1000), 10);
+        assert_eq!(spec.stride(50), 1);
+        assert_eq!(SampleSpec::full().stride(1_000_000), 1);
+    }
+
+    #[test]
+    fn reservoir_keeps_capacity_and_is_deterministic() {
+        let fill = |seed| {
+            let mut r = Reservoir::new(100, seed);
+            for i in 0..10_000i64 {
+                r.offer(&Value::Int64(i));
+            }
+            assert_eq!(r.seen(), 10_000);
+            r.into_sorted()
+        };
+        let a = fill(1);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, fill(1), "same seed, same sample");
+        assert_ne!(a, fill(2), "different seed, different sample");
+        assert!(a.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()));
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        let mut r = Reservoir::new(1000, 42);
+        for i in 0..100_000i64 {
+            r.offer(&Value::Int64(i));
+        }
+        let sample = r.into_sorted();
+        let below = sample
+            .iter()
+            .filter(|v| v.total_cmp(&Value::Int64(50_000)).is_lt())
+            .count();
+        assert!(
+            (400..=600).contains(&below),
+            "half-point split {below}/1000"
+        );
+    }
+}

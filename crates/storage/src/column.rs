@@ -16,6 +16,7 @@
 
 use crate::predicate::ScanPredicate;
 use crate::stats::{StatsCollector, TableStats};
+use gis_stats::SampleSpec;
 use gis_types::{Array, ArrayBuilder, Batch, DataType, GisError, Result, SchemaRef, Value};
 
 /// Default rows per segment.
@@ -434,6 +435,30 @@ impl ColumnStore {
             c.observe_batch(&batch);
         }
         Ok(c.finish())
+    }
+
+    /// Collects statistics from a page sample: whole segments are the
+    /// unit a column store reads anyway, so the sample decodes every
+    /// `stride`-th segment and extrapolates to the full row count.
+    pub fn collect_stats_sampled(&mut self, spec: &SampleSpec) -> Result<TableStats> {
+        self.seal()?;
+        let total = self.len() as u64;
+        let stride = spec.stride(total) as usize;
+        if stride <= 1 {
+            return self.collect_stats();
+        }
+        let offset = (spec.seed as usize) % stride;
+        let mut c = StatsCollector::with_seed(self.schema.len(), spec.seed);
+        for seg in self.segments.iter().skip(offset).step_by(stride) {
+            let arrays: Vec<Array> = seg
+                .chunks
+                .iter()
+                .map(ColumnChunk::decode)
+                .collect::<Result<_>>()?;
+            let batch = Batch::try_new(self.schema.clone(), arrays)?;
+            c.observe_batch(&batch);
+        }
+        Ok(c.finish().scaled_to(total))
     }
 }
 

@@ -8,6 +8,7 @@
 //! over the B-tree match value ordering.
 
 use crate::stats::{StatsCollector, TableStats};
+use gis_stats::SampleSpec;
 use gis_types::{Batch, GisError, Result, SchemaRef, Value};
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -211,6 +212,23 @@ impl KvStore {
             c.observe_row(row);
         }
         c.finish()
+    }
+
+    /// Collects statistics from a key-range sample: the ordered key
+    /// space is strided so only every `stride`-th entry is visited,
+    /// then counts are extrapolated to the full keyspace.
+    pub fn collect_stats_sampled(&self, spec: &SampleSpec) -> TableStats {
+        let total = self.len() as u64;
+        let stride = spec.stride(total) as usize;
+        if stride <= 1 {
+            return self.collect_stats();
+        }
+        let offset = (spec.seed as usize) % stride;
+        let mut c = StatsCollector::with_seed(self.schema.len(), spec.seed);
+        for row in self.map.values().skip(offset).step_by(stride) {
+            c.observe_row(row);
+        }
+        c.finish().scaled_to(total)
     }
 }
 

@@ -35,4 +35,4 @@ pub use kv::KvStore;
 pub use predicate::{CmpOp, ScanPredicate};
 pub use row::RowStore;
 pub use spill::{SpillFile, SpillRecord, SpillWriter};
-pub use stats::{ColumnStats, TableStats};
+pub use stats::{ColumnStats, StatsCollector, TableStats};

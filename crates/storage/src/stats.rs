@@ -1,14 +1,20 @@
 //! Table and column statistics.
 //!
 //! Collected by each engine on demand and exported through the
-//! adapters at *registration time* — the mediator's optimizer never
+//! adapters — at registration time or whenever the mediator issues an
+//! `ANALYZE` over the priced wire. The mediator's optimizer never
 //! sees the data itself, only these summaries, exactly the situation
-//! a real federation is in. NDV is estimated with a small
-//! linear-counting sketch so collection stays single-pass.
+//! a real federation is in. Collection is single-pass and bounded:
+//! NDV comes from a HyperLogLog sketch, while a deterministic
+//! reservoir sample feeds the equi-depth histogram and
+//! most-common-value list each column carries.
 
+use gis_stats::{histogram, Histogram, Hll, McvList, Reservoir};
 use gis_types::{Batch, Value};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+
+/// Reservoir capacity per column: enough for 64 well-filled buckets
+/// and stable MCV frequencies, small enough to ship and hold per scan.
+const SAMPLE_CAPACITY: usize = 8192;
 
 /// Summary of one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +29,12 @@ pub struct ColumnStats {
     pub ndv: u64,
     /// Mean wire size of a value in bytes.
     pub avg_width: f64,
+    /// Equi-depth histogram over the non-null values, when the column
+    /// had enough of them to describe a range.
+    pub histogram: Option<Histogram>,
+    /// Most-common values with frequency fractions, when the column
+    /// is skewed enough for any value to beat the uniform assumption.
+    pub mcv: Option<McvList>,
 }
 
 impl ColumnStats {
@@ -34,6 +46,17 @@ impl ColumnStats {
             null_count: 0,
             ndv: 0,
             avg_width: 0.0,
+            histogram: None,
+            mcv: None,
+        }
+    }
+
+    /// Fraction of rows that are NULL, given the table's row count.
+    pub fn null_frac(&self, row_count: u64) -> f64 {
+        if row_count == 0 {
+            0.0
+        } else {
+            (self.null_count as f64 / row_count as f64).clamp(0.0, 1.0)
         }
     }
 }
@@ -60,6 +83,43 @@ impl TableStats {
     pub fn avg_row_width(&self) -> f64 {
         self.columns.iter().map(|c| c.avg_width).sum()
     }
+
+    /// Extrapolates stats collected from a sample up to a table of
+    /// `total_rows`: counts scale linearly; NDV scales only when the
+    /// sample looked near-unique (a low-cardinality column's NDV is
+    /// already fully observed in any decent sample); histograms and
+    /// MCV fractions are shape statistics and carry over unchanged.
+    pub fn scaled_to(&self, total_rows: u64) -> TableStats {
+        if self.row_count == 0 || total_rows <= self.row_count {
+            return self.clone();
+        }
+        let ratio = total_rows as f64 / self.row_count as f64;
+        TableStats {
+            row_count: total_rows,
+            columns: self
+                .columns
+                .iter()
+                .map(|c| {
+                    let non_null = self.row_count.saturating_sub(c.null_count);
+                    let scaled_ndv = if c.ndv as f64 >= 0.5 * non_null as f64 {
+                        (c.ndv as f64 * ratio).round() as u64
+                    } else {
+                        c.ndv
+                    };
+                    let null_count = (c.null_count as f64 * ratio).round() as u64;
+                    ColumnStats {
+                        min: c.min.clone(),
+                        max: c.max.clone(),
+                        null_count: null_count.min(total_rows),
+                        ndv: scaled_ndv.min(total_rows.saturating_sub(null_count)),
+                        avg_width: c.avg_width,
+                        histogram: c.histogram.clone(),
+                        mcv: c.mcv.clone(),
+                    }
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Single-pass statistics collector.
@@ -76,22 +136,31 @@ struct ColumnCollector {
     nulls: u64,
     non_nulls: u64,
     width_sum: u64,
-    sketch: LinearCounter,
+    sketch: Hll,
+    sample: Reservoir,
 }
 
 impl StatsCollector {
     /// A collector for `width` columns.
     pub fn new(width: usize) -> Self {
+        StatsCollector::with_seed(width, 0)
+    }
+
+    /// A collector whose reservoir sampling is seeded with `seed`
+    /// (ANALYZE passes its spec seed through so repeated collections
+    /// are reproducible).
+    pub fn with_seed(width: usize, seed: u64) -> Self {
         StatsCollector {
             rows: 0,
             columns: (0..width)
-                .map(|_| ColumnCollector {
+                .map(|c| ColumnCollector {
                     min: None,
                     max: None,
                     nulls: 0,
                     non_nulls: 0,
                     width_sum: 0,
-                    sketch: LinearCounter::new(4096),
+                    sketch: Hll::default_precision(),
+                    sample: Reservoir::new(SAMPLE_CAPACITY, seed ^ (c as u64).wrapping_mul(0xA5)),
                 })
                 .collect(),
         }
@@ -130,12 +199,15 @@ impl StatsCollector {
                     } else {
                         0.0
                     };
+                    let sorted = c.sample.into_sorted();
                     ColumnStats {
                         min: c.min,
                         max: c.max,
                         null_count: c.nulls,
                         ndv: c.sketch.estimate().min(c.non_nulls),
                         avg_width,
+                        histogram: Histogram::from_sorted(&sorted, histogram::DEFAULT_BUCKETS),
+                        mcv: McvList::from_sorted(&sorted),
                     }
                 })
                 .collect(),
@@ -160,41 +232,7 @@ impl ColumnCollector {
             _ => self.max = Some(v.clone()),
         }
         self.sketch.observe(v);
-    }
-}
-
-/// Linear (hit) counting NDV sketch: a bitmap of `m` slots; the
-/// estimate is `-m * ln(unset/m)`. Accurate to a few percent for
-/// cardinalities up to ~m, which is plenty for join-order decisions.
-#[derive(Debug)]
-struct LinearCounter {
-    bits: Vec<u64>,
-    m: usize,
-}
-
-impl LinearCounter {
-    fn new(m: usize) -> Self {
-        LinearCounter {
-            bits: vec![0u64; m.div_ceil(64)],
-            m,
-        }
-    }
-
-    fn observe(&mut self, v: &Value) {
-        let mut h = DefaultHasher::new();
-        v.hash(&mut h);
-        let slot = (h.finish() % self.m as u64) as usize;
-        self.bits[slot / 64] |= 1 << (slot % 64);
-    }
-
-    fn estimate(&self) -> u64 {
-        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
-        let unset = self.m as f64 - set as f64;
-        if unset <= 0.5 {
-            // Sketch saturated; report its ceiling.
-            return self.m as u64 * 8;
-        }
-        (-(self.m as f64) * (unset / self.m as f64).ln()).round() as u64
+        self.sample.offer(v);
     }
 }
 
@@ -215,6 +253,7 @@ mod tests {
         assert_eq!(stats.columns[0].null_count, 0);
         assert_eq!(stats.columns[1].null_count, 1);
         assert_eq!(stats.columns[1].min, Some(Value::Utf8("a".into())));
+        assert!((stats.columns[1].null_frac(3) - 1.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -226,7 +265,7 @@ mod tests {
         }
         let ndv = c.finish().columns[0].ndv;
         assert!(
-            (200..=300).contains(&ndv),
+            (235..=265).contains(&ndv),
             "ndv estimate {ndv} out of tolerance for true 250"
         );
     }
@@ -257,5 +296,56 @@ mod tests {
         assert_eq!(stats.row_count, 0);
         assert_eq!(stats.columns.len(), 3);
         assert_eq!(stats.columns[0].ndv, 0);
+        assert!(stats.columns[0].histogram.is_none());
+        assert!(stats.columns[0].mcv.is_none());
+    }
+
+    #[test]
+    fn histogram_and_mcv_materialize() {
+        let mut c = StatsCollector::new(2);
+        for i in 0..2000i64 {
+            // Column 0: uniform 0..2000. Column 1: 50% of rows are 7.
+            let skewed = if i % 2 == 0 { 7 } else { i };
+            c.observe_row(&[Value::Int64(i), Value::Int64(skewed)]);
+        }
+        let stats = c.finish();
+        let h = stats.columns[0].histogram.as_ref().unwrap();
+        let f = h.fraction_below(&Value::Int64(500), false);
+        assert!((f - 0.25).abs() < 0.05, "fraction {f}");
+        assert!(stats.columns[0].mcv.is_none(), "uniform column has no MCVs");
+        let mcv = stats.columns[1].mcv.as_ref().unwrap();
+        let f7 = mcv.freq(&Value::Int64(7)).unwrap();
+        assert!((f7 - 0.5).abs() < 0.05, "freq {f7}");
+    }
+
+    #[test]
+    fn scaling_extrapolates_sampled_stats() {
+        let mut c = StatsCollector::new(2);
+        for i in 0..1000i64 {
+            // Column 0 near-unique; column 1 low-cardinality with
+            // every 10th row NULL.
+            let v1 = if i % 10 == 0 {
+                Value::Null
+            } else {
+                Value::Int64(i % 5)
+            };
+            c.observe_row(&[Value::Int64(i), v1]);
+        }
+        let sampled = c.finish();
+        let scaled = sampled.scaled_to(100_000);
+        assert_eq!(scaled.row_count, 100_000);
+        // Near-unique column: NDV scales with the table.
+        assert!(
+            scaled.columns[0].ndv > 50_000,
+            "scaled ndv {}",
+            scaled.columns[0].ndv
+        );
+        // Low-cardinality column: NDV already fully observed.
+        assert!(scaled.columns[1].ndv <= 10, "ndv {}", scaled.columns[1].ndv);
+        assert_eq!(scaled.columns[1].null_count, 10_000);
+        // Shape statistics survive scaling.
+        assert_eq!(scaled.columns[0].histogram, sampled.columns[0].histogram);
+        // Scaling down (or to the same size) is the identity.
+        assert_eq!(sampled.scaled_to(500), sampled);
     }
 }

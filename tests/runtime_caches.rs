@@ -123,6 +123,36 @@ fn caches_invalidate_on_mapping_change() {
 }
 
 #[test]
+fn analyze_bumps_catalog_version_and_reoptimizes_cached_plans() {
+    let (fed, _crm) = fed_with_adapter();
+    let runtime = Runtime::new(fed.clone(), RuntimeConfig::default());
+    let session = runtime.session();
+    let sql = "SELECT id, region FROM customers WHERE id = 7";
+
+    session.query(sql).unwrap();
+    assert!(session.query(sql).unwrap().metrics.plan_cache_hit);
+
+    // ANALYZE refreshes statistics through Catalog::update_stats,
+    // which bumps the catalog version — orphaning every cached plan,
+    // because those plans were costed against the old picture.
+    let before = fed.catalog_version();
+    let analyzed = session.query("ANALYZE crm.customers").unwrap();
+    assert_eq!(analyzed.metrics.rows_returned, 1);
+    assert!(
+        fed.catalog_version() > before,
+        "ANALYZE must bump the catalog version"
+    );
+
+    let after = session.query(sql).unwrap();
+    assert!(
+        !after.metrics.plan_cache_hit,
+        "post-ANALYZE query must re-optimize against the new stats"
+    );
+    // The re-optimized plan answers identically, and is cached anew.
+    assert!(session.query(sql).unwrap().metrics.plan_cache_hit);
+}
+
+#[test]
 fn session_scoped_ablation_disables_caching() {
     let (fed, _crm) = fed_with_adapter();
     let runtime = Runtime::new(fed, RuntimeConfig::default());
